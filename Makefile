@@ -1,0 +1,30 @@
+# Developer entry points for the dkbms testbed.
+
+.PHONY: all test bench experiments examples doc clippy clean
+
+all: test
+
+test:
+	cargo test --workspace
+
+bench:
+	cargo bench --workspace
+
+# Regenerate every paper table/figure (EXPERIMENTS.md records the shapes).
+experiments:
+	cargo run --release -p dkbms-bench --bin experiments
+
+examples:
+	cargo run --release --example quickstart
+	cargo run --release --example genealogy
+	cargo run --release --example bill_of_materials
+	cargo run --release --example corporate_policy
+
+doc:
+	cargo doc --workspace --no-deps
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+clean:
+	cargo clean

@@ -1,0 +1,20 @@
+//! Criterion counterpart of Figures 9/10: dictionary reads at varying
+//! dictionary sizes and relevant-predicate counts.
+
+use bench_harness::experiments::fig9::{dict_session, read_once};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_dict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dict");
+    for (p_s, p_dr) in [(50usize, 1usize), (800, 1), (50, 10), (800, 10)] {
+        let mut session = dict_session(p_s);
+        group.bench_function(format!("Ps={p_s}/Pdr={p_dr}"), |b| {
+            b.iter(|| black_box(read_once(&mut session, p_dr)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dict);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion counterpart of Figures 7/8: relevant-rule extraction from the
+//! Stored D/KB, including the no-index ablation explaining Figure 7's
+//! flatness.
+
+use bench_harness::chain_session;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use workload::rules::chain_query;
+
+fn bench_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract");
+
+    // Indexed compiled storage: flat in R_s, growing in R_rs.
+    for (chains, r_rs) in [(5usize, 1usize), (20, 1), (5, 20), (20, 20)] {
+        let mut session = chain_session(chains, 20).expect("session");
+        let query = chain_query(0, 20 - r_rs, "a");
+        group.bench_function(format!("Rs={}/Rrs={}", chains * 20, r_rs), |b| {
+            b.iter(|| {
+                let compiled = session.compile(black_box(&query)).expect("compile");
+                black_box(compiled.timings.t_extract)
+            })
+        });
+    }
+
+    // Ablation: drop the rulesource index — extraction degrades with R_s.
+    for chains in [5usize, 20] {
+        let mut session = chain_session(chains, 20).expect("session");
+        session
+            .engine_mut()
+            .execute("DROP INDEX rulesource_head")
+            .expect("drop index");
+        let query = chain_query(0, 19, "a");
+        group.bench_function(format!("noindex/Rs={}", chains * 20), |b| {
+            b.iter(|| {
+                let compiled = session.compile(black_box(&query)).expect("compile");
+                black_box(compiled.timings.t_extract)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion counterpart of Figure 11, plus the ablation for the
+//! specialized transitive-closure operator (paper conclusion #8): the
+//! generic SQL LFP loop versus the in-engine TC operator on the same
+//! query and data.
+
+use bench_harness::tree_session;
+use criterion::{criterion_group, criterion_main, Criterion};
+use km::LfpStrategy;
+use std::hint::black_box;
+
+fn bench_lfp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lfp");
+    group.sample_size(10);
+    for depth in [7u32, 8, 9] {
+        let mut session =
+            tree_session(depth, false, LfpStrategy::SemiNaive).expect("session");
+        let compiled = session.compile("?- anc(n1, W).").expect("compile");
+        group.bench_function(format!("seminaive/depth={depth}"), |b| {
+            b.iter(|| black_box(session.execute(&compiled).expect("run").rows.len()))
+        });
+    }
+
+    // Ablation: the specialized TC operator against the SQL loop.
+    for depth in [8u32, 9] {
+        let mut session =
+            tree_session(depth, false, LfpStrategy::SemiNaive).expect("session");
+        session.config.special_tc = true;
+        let compiled = session.compile("?- anc(n1, W).").expect("compile");
+        group.bench_function(format!("tc_operator/depth={depth}"), |b| {
+            b.iter(|| black_box(session.execute(&compiled).expect("run").rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lfp);
+criterion_main!(benches);

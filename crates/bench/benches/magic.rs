@@ -1,0 +1,34 @@
+//! Criterion counterpart of Figures 13/14: magic sets on/off at low and
+//! high query selectivity.
+
+use bench_harness::tree_session;
+use criterion::{criterion_group, criterion_main, Criterion};
+use km::LfpStrategy;
+use std::hint::black_box;
+use workload::graphs::tree_node_at_level;
+
+fn bench_magic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("magic");
+    group.sample_size(10);
+    let depth = 9u32;
+    for (optimize, supplementary, level, label) in [
+        (false, false, 1u32, "plain/high-sel"),
+        (true, false, 1, "magic/high-sel"),
+        (false, false, 6, "plain/low-sel"),
+        (true, false, 6, "magic/low-sel"),
+        (true, true, 6, "supplementary/low-sel"),
+    ] {
+        let mut session =
+            tree_session(depth, optimize, LfpStrategy::SemiNaive).expect("session");
+        session.config.supplementary = supplementary;
+        let query = format!("?- anc({}, W).", tree_node_at_level(level));
+        let compiled = session.compile(&query).expect("compile");
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(session.execute(&compiled).expect("run").rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_magic);
+criterion_main!(benches);

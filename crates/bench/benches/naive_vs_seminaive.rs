@@ -1,0 +1,26 @@
+//! Criterion counterpart of Figure 12 / Table 5: naive versus semi-naive
+//! LFP evaluation on the same query and data.
+
+use bench_harness::tree_session;
+use criterion::{criterion_group, criterion_main, Criterion};
+use km::LfpStrategy;
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("naive_vs_seminaive");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("naive", LfpStrategy::Naive),
+        ("seminaive", LfpStrategy::SemiNaive),
+    ] {
+        let mut session = tree_session(8, false, strategy).expect("session");
+        let compiled = session.compile("?- anc(n1, W).").expect("compile");
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(session.execute(&compiled).expect("run").rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

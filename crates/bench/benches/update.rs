@@ -1,0 +1,55 @@
+//! Criterion counterpart of Figure 15 / Table 8: stored-D/KB updates with
+//! and without compiled rule storage, plus the incremental-vs-full
+//! transitive-closure ablation DESIGN.md calls out.
+
+use bench_harness::chain_session_configured;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hornlog::pcg::Pcg;
+use km::session::{Session, SessionConfig};
+use std::hint::black_box;
+use workload::rules::chain_pred;
+
+const CHAIN_LEN: usize = 9;
+const CHAINS: usize = 21; // R_s = 189
+
+fn session_with_chains(compiled: bool) -> Session {
+    chain_session_configured(
+        CHAINS,
+        CHAIN_LEN,
+        SessionConfig { compiled_storage: compiled, ..SessionConfig::default() },
+    )
+    .expect("session")
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update");
+    group.sample_size(10);
+    for (compiled, label) in [(true, "compiled"), (false, "source-only")] {
+        group.bench_function(label, |b| {
+            b.iter_with_setup(
+                || {
+                    let mut s = session_with_chains(compiled);
+                    s.load_rules(&format!("newp(X, Y) :- {}(X, Y).\n", chain_pred(0, 0)))
+                        .expect("load");
+                    s
+                },
+                |mut s| black_box(s.commit_workspace().expect("update").total),
+            )
+        });
+    }
+
+    // Ablation: incremental TC (composite only) vs re-closing the entire
+    // stored rule base.
+    let full_base = workload::chain_rule_base(CHAINS, CHAIN_LEN, "base");
+    group.bench_function("tc/incremental", |b| {
+        let composite = workload::chain_rule_base(1, CHAIN_LEN, "base");
+        b.iter(|| black_box(Pcg::build(&composite).transitive_closure().len()))
+    });
+    group.bench_function("tc/full-rulebase", |b| {
+        b.iter(|| black_box(Pcg::build(&full_base).transitive_closure().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

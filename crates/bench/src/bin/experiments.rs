@@ -1,0 +1,49 @@
+//! Regenerate the paper's evaluation tables and figures.
+//!
+//! ```text
+//! experiments            # run everything, in paper order
+//! experiments fig13      # run one experiment
+//! experiments --list     # list experiment ids
+//! ```
+
+use bench_harness::experiments::ALL;
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        // Tolerate a closed pipe (e.g. `experiments --list | head`).
+        let mut out = std::io::stdout().lock();
+        for (id, _) in ALL {
+            if writeln!(out, "{id}").is_err() {
+                break;
+            }
+        }
+        return;
+    }
+    let selected: Vec<&(&str, fn())> = if args.is_empty() {
+        ALL.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for arg in &args {
+            match ALL.iter().find(|(id, _)| id == arg) {
+                Some(entry) => picked.push(entry),
+                None => {
+                    eprintln!("unknown experiment: {arg} (try --list)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        picked
+    };
+
+    println!("D/KBMS testbed — experiment harness (Ramnarayan & Lu, SIGMOD 1988)");
+    let start = Instant::now();
+    for (id, run) in selected {
+        let t = Instant::now();
+        run();
+        println!("[{id} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    println!("\nAll selected experiments done in {:.1}s.", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,31 @@
+//! Figure 10 — Test 2 (continued): `t_read` versus the number of derived
+//! predicates relevant to the query, `P_dr`, at three dictionary sizes.
+//!
+//! Paper shape: `t_read` increases with `P_dr` (join selectivity of the
+//! dictionary query) and the three `P_s` curves coincide.
+
+use crate::experiments::fig9::{dict_session, read_once};
+use crate::experiments::min_of;
+use crate::{f3, ms, print_table};
+
+const P_S: &[usize] = &[50, 200, 800];
+const P_DR: &[usize] = &[1, 2, 4, 8, 16, 32];
+
+pub fn run() {
+    let mut sessions: Vec<_> = P_S.iter().map(|&p| dict_session(p)).collect();
+    let mut rows = Vec::new();
+    for &p_dr in P_DR {
+        let mut cells = vec![p_dr.to_string()];
+        for s in &mut sessions {
+            let t = min_of(9, || read_once(s, p_dr));
+            cells.push(f3(ms(t)));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Figure 10: t_read (ms) vs relevant derived predicates P_dr",
+        &["P_dr", "P_s=50", "P_s=200", "P_s=800"],
+        &rows,
+    );
+    println!("Paper shape: increasing in P_dr; insensitive to P_s.");
+}

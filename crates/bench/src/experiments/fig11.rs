@@ -1,0 +1,65 @@
+//! Figure 11 — Test 4: query execution time `t_e` versus the fraction of
+//! relevant facts `D_rel/D_tot`, varied two ways (semi-naive, no
+//! optimization).
+//!
+//! Method 1 fixes the parent relation and moves the query root across
+//! subtree levels: without magic sets the whole closure is computed
+//! regardless, so `t_e` is flat. Method 2 fixes the query's subtree size
+//! and grows the parent relation: `t_e` grows with `D_tot`.
+
+use crate::experiments::min_of;
+use crate::{f3, ms, print_table, tree_session};
+use km::LfpStrategy;
+use workload::graphs::{subtree_edges, tree_node_at_level};
+
+pub fn run() {
+    // Method 1: fixed D_tot (depth-10 tree, 1022 edges), varying root.
+    let depth = 10;
+    let d_tot = subtree_edges(depth, 1);
+    let mut rows = Vec::new();
+    let mut session = tree_session(depth, false, LfpStrategy::SemiNaive).expect("session");
+    for level in [1u32, 2, 3, 5, 7] {
+        let d_rel = subtree_edges(depth, level);
+        let query = format!("?- anc({}, W).", tree_node_at_level(level));
+        let compiled = session.compile(&query).expect("compile");
+        let t = min_of(3, || session.execute(&compiled).expect("execute").t_execute);
+        rows.push(vec![
+            format!("{:.1}%", 100.0 * d_rel as f64 / d_tot as f64),
+            d_rel.to_string(),
+            d_tot.to_string(),
+            f3(ms(t)),
+        ]);
+    }
+    print_table(
+        "Figure 11 (method 1): t_e vs D_rel/D_tot, D_tot fixed",
+        &["D_rel/D_tot", "D_rel", "D_tot", "t_e(ms)"],
+        &rows,
+    );
+    println!("Paper shape: flat — without magic sets the full closure is computed.");
+
+    // Method 2: fixed D_rel (a depth-6 subtree: 62 edges), growing D_tot.
+    let sub_depth = 6;
+    let mut rows = Vec::new();
+    for depth in [7u32, 8, 9, 10, 11] {
+        let level = depth - sub_depth + 1;
+        let d_rel = subtree_edges(depth, level);
+        let d_tot = subtree_edges(depth, 1);
+        let mut session =
+            tree_session(depth, false, LfpStrategy::SemiNaive).expect("session");
+        let query = format!("?- anc({}, W).", tree_node_at_level(level));
+        let compiled = session.compile(&query).expect("compile");
+        let t = min_of(3, || session.execute(&compiled).expect("execute").t_execute);
+        rows.push(vec![
+            format!("{:.1}%", 100.0 * d_rel as f64 / d_tot as f64),
+            d_rel.to_string(),
+            d_tot.to_string(),
+            f3(ms(t)),
+        ]);
+    }
+    print_table(
+        "Figure 11 (method 2): t_e vs D_rel/D_tot, D_rel fixed (62 edges)",
+        &["D_rel/D_tot", "D_rel", "D_tot", "t_e(ms)"],
+        &rows,
+    );
+    println!("Paper shape: t_e grows as D_tot grows (ratio falls).");
+}

@@ -1,0 +1,33 @@
+//! Figure 8 — Test 1 (continued): `t_extract` versus the number of rules
+//! relevant to the query, `R_rs`, at a fixed stored rule base.
+//!
+//! Paper shape: `t_extract` increases with `R_rs` (the join selectivity of
+//! the extraction query tracks the number of rules actually retrieved).
+
+use crate::experiments::min_of;
+use crate::{chain_session, f3, ms, print_table};
+use workload::rules::chain_query;
+
+const CHAIN_LEN: usize = 20;
+const CHAINS: usize = 20; // R_s = 400 fixed
+const R_RS: &[usize] = &[1, 2, 5, 10, 15, 20];
+
+pub fn run() {
+    let mut session = chain_session(CHAINS, CHAIN_LEN).expect("session");
+    let mut rows = Vec::new();
+    for &r_rs in R_RS {
+        let query = chain_query(0, CHAIN_LEN - r_rs, "a");
+        let t = min_of(5, || {
+            let compiled = session.compile(&query).expect("compile");
+            assert_eq!(compiled.relevant_rules, r_rs);
+            compiled.timings.t_extract
+        });
+        rows.push(vec![r_rs.to_string(), f3(ms(t))]);
+    }
+    print_table(
+        &format!("Figure 8: t_extract (ms) vs relevant rules R_rs (R_s = {})", CHAINS * CHAIN_LEN),
+        &["R_rs", "t_extract"],
+        &rows,
+    );
+    println!("Paper shape: increasing in R_rs.");
+}

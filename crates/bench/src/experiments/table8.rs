@@ -1,0 +1,60 @@
+//! Table 8 — Test 9: breakdown of the stored-D/KB update time into its
+//! three components, for a large (R_w = 36) and a tiny (R_w = 1)
+//! workspace against an R_s = 189 stored rule base.
+//!
+//! Paper shape: extracting the relevant rules (`t_u1`) dominates — 42%
+//! for the 36-rule workspace and 81% for the single-rule workspace — while
+//! storing the source form contributes little.
+
+use crate::{chain_session_configured, pct, print_table};
+use km::session::{Session, SessionConfig};
+use km::UpdateTimings;
+use workload::rules::chain_pred;
+
+const CHAIN_LEN: usize = 9;
+const CHAINS: usize = 21; // R_s = 189
+
+fn base_session() -> Session {
+    chain_session_configured(CHAINS, CHAIN_LEN, SessionConfig::default()).expect("session")
+}
+
+fn run_update(r_w: usize) -> UpdateTimings {
+    let mut s = base_session();
+    for i in 0..r_w {
+        // Each new rule hangs off a stored chain so extraction has work.
+        s.load_rules(&format!(
+            "w{i}(X, Y) :- {}(X, Y).\n",
+            chain_pred(i % CHAINS, 0)
+        ))
+        .expect("load");
+    }
+    s.commit_workspace().expect("update")
+}
+
+pub fn run() {
+    let mut rows = Vec::new();
+    for r_w in [36usize, 1] {
+        let t = run_update(r_w);
+        rows.push(vec![
+            t.tc_edges.to_string(),
+            r_w.to_string(),
+            (CHAINS * CHAIN_LEN).to_string(),
+            pct(t.t_extract, t.total),
+            pct(t.t_tc, t.total),
+            pct(t.t_compiled_store, t.total),
+            pct(t.t_source_store, t.total),
+            crate::f3(crate::ms(t.total)),
+        ]);
+    }
+    print_table(
+        "Table 8: breakdown of D/KB update time",
+        &["TC edges", "R_w", "R_s", "t_extract(u1)", "t_tc", "t_compiled(u2)", "t_source(u3)", "total(ms)"],
+        &rows,
+    );
+    println!(
+        "Paper shape: extraction (t_u1) significant — 42% at R_w=36, 81% at R_w=1; \
+         source-form storage (t_u3) a small share. Our in-process engine makes \
+         extraction far cheaper than the paper's disk DBMS, muting t_u1's share; \
+         t_u3 stays small as reported."
+    );
+}

@@ -1,0 +1,308 @@
+//! Adornments and sideways information passing (SIP).
+//!
+//! The generalized magic sets strategy of Beeri & Ramakrishnan first
+//! *adorns* the rules relevant to a query: each derived predicate
+//! occurrence is annotated with a binding pattern (`b`ound / `f`ree per
+//! argument) describing which arguments will carry bindings at evaluation
+//! time. Bindings propagate left-to-right through rule bodies (the
+//! textbook full-SIP), starting from the constants in the query.
+//!
+//! Adorned predicates are materialized as renamed predicates
+//! (`p__bf`), which keeps the downstream pipeline — magic rule
+//! generation, code generation, LFP evaluation — uniform.
+
+use crate::atom::Atom;
+use crate::clause::{Clause, Program};
+use crate::term::Term;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// A binding pattern: `true` = bound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Adornment(pub Vec<bool>);
+
+impl Adornment {
+    pub fn all_free(arity: usize) -> Adornment {
+        Adornment(vec![false; arity])
+    }
+
+    /// Adornment of `atom` given the currently bound variables: constants
+    /// and bound variables are `b`, everything else `f`.
+    pub fn of_atom(atom: &Atom, bound_vars: &BTreeSet<&str>) -> Adornment {
+        Adornment(
+            atom.args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound_vars.contains(v.as_str()),
+                })
+                .collect(),
+        )
+    }
+
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn bound_count(&self) -> usize {
+        self.0.iter().filter(|b| **b).count()
+    }
+
+    pub fn is_all_free(&self) -> bool {
+        self.bound_count() == 0
+    }
+
+    /// Indexes of the bound positions.
+    pub fn bound_positions(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.then_some(i))
+            .collect()
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{}", if *b { 'b' } else { 'f' })?;
+        }
+        Ok(())
+    }
+}
+
+/// Name of the adorned version of `pred` under `adornment`.
+pub fn adorned_name(pred: &str, adornment: &Adornment) -> String {
+    format!("{pred}__{adornment}")
+}
+
+/// Result of adorning a program for one query.
+#[derive(Debug, Clone)]
+pub struct AdornResult {
+    /// Adorned rules: derived predicates renamed to their adorned versions.
+    pub rules: Vec<Clause>,
+    /// The query clause with adorned body predicates.
+    pub query: Clause,
+    /// Adorned name → (original predicate, adornment).
+    pub origin: BTreeMap<String, (String, Adornment)>,
+}
+
+/// Adorn `program`'s rules for `query`. `derived` says which predicates
+/// are derived (and hence get adorned); all other predicates are base and
+/// keep their names. Only rules reachable from the query under the chosen
+/// SIP are emitted.
+pub fn adorn_program(
+    program: &Program,
+    query: &Clause,
+    derived: &BTreeSet<String>,
+) -> AdornResult {
+    let mut origin: BTreeMap<String, (String, Adornment)> = BTreeMap::new();
+    let mut worklist: VecDeque<(String, Adornment)> = VecDeque::new();
+    let mut seen: BTreeSet<(String, Adornment)> = BTreeSet::new();
+
+    // Adorn the query body left-to-right. The query's head variables are
+    // free; constants in query atoms provide the initial bindings.
+    let mut bound_vars: BTreeSet<&str> = BTreeSet::new();
+    let mut query_body = Vec::with_capacity(query.body.len());
+    for atom in &query.body {
+        let new_atom = adorn_occurrence(
+            atom,
+            &bound_vars,
+            derived,
+            &mut origin,
+            &mut worklist,
+            &mut seen,
+        );
+        query_body.push(new_atom);
+        for v in atom.variables() {
+            bound_vars.insert(v);
+        }
+    }
+    let adorned_query = Clause {
+        head: query.head.clone(),
+        body: query_body,
+        negative_body: query.negative_body.clone(),
+    };
+
+    // Process (predicate, adornment) pairs.
+    let mut rules = Vec::new();
+    while let Some((pred, adornment)) = worklist.pop_front() {
+        for rule in program.rules_for(&pred) {
+            // Head variables at bound positions are bound at entry.
+            let mut bound_vars: BTreeSet<&str> = BTreeSet::new();
+            for (i, term) in rule.head.args.iter().enumerate() {
+                if adornment.0.get(i).copied().unwrap_or(false) {
+                    if let Term::Var(v) = term {
+                        bound_vars.insert(v);
+                    }
+                }
+            }
+            let mut body = Vec::with_capacity(rule.body.len());
+            for atom in &rule.body {
+                let new_atom = adorn_occurrence(
+                    atom,
+                    &bound_vars,
+                    derived,
+                    &mut origin,
+                    &mut worklist,
+                    &mut seen,
+                );
+                body.push(new_atom);
+                for v in atom.variables() {
+                    bound_vars.insert(v);
+                }
+            }
+            let head = rule.head.with_predicate(adorned_name(&pred, &adornment));
+            // Negated atoms refer to lower strata and are never adorned.
+            rules.push(Clause { head, body, negative_body: rule.negative_body.clone() });
+        }
+    }
+
+    AdornResult { rules, query: adorned_query, origin }
+}
+
+/// Adorn one body-atom occurrence, scheduling the (pred, adornment) pair
+/// for rule generation if it is new.
+fn adorn_occurrence(
+    atom: &Atom,
+    bound_vars: &BTreeSet<&str>,
+    derived: &BTreeSet<String>,
+    origin: &mut BTreeMap<String, (String, Adornment)>,
+    worklist: &mut VecDeque<(String, Adornment)>,
+    seen: &mut BTreeSet<(String, Adornment)>,
+) -> Atom {
+    if !derived.contains(&atom.predicate) {
+        return atom.clone();
+    }
+    let adornment = Adornment::of_atom(atom, bound_vars);
+    let name = adorned_name(&atom.predicate, &adornment);
+    origin
+        .entry(name.clone())
+        .or_insert_with(|| (atom.predicate.clone(), adornment.clone()));
+    if seen.insert((atom.predicate.clone(), adornment.clone())) {
+        worklist.push_back((atom.predicate.clone(), adornment));
+    }
+    atom.with_predicate(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_query};
+
+    fn derived(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn adornment_display_and_counts() {
+        let a = Adornment(vec![true, false, true]);
+        assert_eq!(a.to_string(), "bfb");
+        assert_eq!(a.bound_count(), 2);
+        assert_eq!(a.bound_positions(), vec![0, 2]);
+        assert!(!a.is_all_free());
+        assert!(Adornment::all_free(2).is_all_free());
+    }
+
+    #[test]
+    fn ancestor_bf_adornment() {
+        let p = parse_program(
+            "anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).\n",
+        )
+        .unwrap();
+        let q = parse_query("?- anc(adam, W).").unwrap();
+        let result = adorn_program(&p, &q, &derived(&["anc"]));
+
+        // Query references anc__bf.
+        assert_eq!(result.query.body[0].predicate, "anc__bf");
+        // Two adorned rules, both for anc__bf (SIP keeps Z bound in the
+        // recursive call because parent(X, Z) precedes it).
+        assert_eq!(result.rules.len(), 2);
+        assert!(result.rules.iter().all(|r| r.head.predicate == "anc__bf"));
+        let recursive = result
+            .rules
+            .iter()
+            .find(|r| r.body.len() == 2)
+            .expect("recursive rule");
+        assert_eq!(recursive.body[0].predicate, "parent");
+        assert_eq!(recursive.body[1].predicate, "anc__bf");
+        // Origin map records the original name and pattern.
+        let (orig, adn) = &result.origin["anc__bf"];
+        assert_eq!(orig, "anc");
+        assert_eq!(adn.to_string(), "bf");
+    }
+
+    #[test]
+    fn all_free_query_generates_ff() {
+        let p = parse_program("anc(X, Y) :- parent(X, Y).\n").unwrap();
+        let q = parse_query("?- anc(A, B).").unwrap();
+        let result = adorn_program(&p, &q, &derived(&["anc"]));
+        assert_eq!(result.query.body[0].predicate, "anc__ff");
+        assert!(result.origin["anc__ff"].1.is_all_free());
+    }
+
+    #[test]
+    fn sip_binds_later_atoms_in_query_body() {
+        // ?- p(a, X), q(X, Y): q sees X bound by p.
+        let p = parse_program(
+            "p(X, Y) :- b1(X, Y).\n\
+             q(X, Y) :- b2(X, Y).\n",
+        )
+        .unwrap();
+        let q = parse_query("?- p(a, X), q(X, Y).").unwrap();
+        let result = adorn_program(&p, &q, &derived(&["p", "q"]));
+        assert_eq!(result.query.body[0].predicate, "p__bf");
+        assert_eq!(result.query.body[1].predicate, "q__bf");
+    }
+
+    #[test]
+    fn multiple_adornments_of_same_predicate() {
+        // p appears with bf (from the query) and ff (from r's body where
+        // nothing is bound).
+        let p = parse_program(
+            "p(X, Y) :- b1(X, Y).\n\
+             r(X, Y) :- p(V, W), b2(X, Y).\n",
+        )
+        .unwrap();
+        let q = parse_query("?- p(a, X), r(X, Y).").unwrap();
+        let result = adorn_program(&p, &q, &derived(&["p", "r"]));
+        let heads: BTreeSet<&str> =
+            result.rules.iter().map(|r| r.head.predicate.as_str()).collect();
+        assert!(heads.contains("p__bf"));
+        assert!(heads.contains("p__ff"));
+        assert!(heads.contains("r__bf"));
+    }
+
+    #[test]
+    fn base_predicates_not_adorned() {
+        let p = parse_program("p(X) :- base(X).\n").unwrap();
+        let q = parse_query("?- p(a).").unwrap();
+        let result = adorn_program(&p, &q, &derived(&["p"]));
+        assert_eq!(result.rules[0].body[0].predicate, "base");
+    }
+
+    #[test]
+    fn unreachable_rules_are_dropped() {
+        let p = parse_program(
+            "p(X) :- b(X).\n\
+             orphan(X) :- b(X).\n",
+        )
+        .unwrap();
+        let q = parse_query("?- p(a).").unwrap();
+        let result = adorn_program(&p, &q, &derived(&["p", "orphan"]));
+        assert_eq!(result.rules.len(), 1);
+        assert_eq!(result.rules[0].head.predicate, "p__b");
+    }
+
+    #[test]
+    fn head_constant_counts_as_bound_downstream() {
+        // Rule head has a constant at a bound position: no variable to
+        // bind, but adornment processing must not panic.
+        let p = parse_program("p(a, Y) :- b(Y).\n").unwrap();
+        let q = parse_query("?- p(a, W).").unwrap();
+        let result = adorn_program(&p, &q, &derived(&["p"]));
+        assert_eq!(result.rules.len(), 1);
+        assert_eq!(result.rules[0].head.predicate, "p__bf");
+    }
+}

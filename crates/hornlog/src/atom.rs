@@ -1,0 +1,108 @@
+//! Atomic formulas: a predicate applied to terms.
+
+use crate::term::{Const, Term};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atomic formula `p(t1, ..., tn)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    pub predicate: String,
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    pub fn new(predicate: impl Into<String>, args: Vec<Term>) -> Atom {
+        Atom { predicate: predicate.into(), args }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Whether every argument is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| !t.is_var())
+    }
+
+    /// The distinct variables appearing in this atom, in first-occurrence
+    /// order.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                if seen.insert(v.as_str()) {
+                    out.push(v.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    /// The constants appearing in this atom.
+    pub fn constants(&self) -> Vec<&Const> {
+        self.args.iter().filter_map(Term::as_const).collect()
+    }
+
+    /// Rename the predicate, keeping the arguments.
+    pub fn with_predicate(&self, predicate: impl Into<String>) -> Atom {
+        Atom { predicate: predicate.into(), args: self.args.clone() }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.predicate)?;
+        if !self.args.is_empty() {
+            write!(f, "(")?;
+            for (i, t) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom() -> Atom {
+        Atom::new("p", vec![Term::var("X"), Term::sym("a"), Term::var("X"), Term::var("Y")])
+    }
+
+    #[test]
+    fn variables_are_distinct_in_order() {
+        assert_eq!(atom().variables(), vec!["X", "Y"]);
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(!atom().is_ground());
+        assert!(Atom::new("f", vec![Term::sym("a"), Term::int(1)]).is_ground());
+        assert!(Atom::new("nullary", vec![]).is_ground());
+    }
+
+    #[test]
+    fn constants_extracted() {
+        assert_eq!(atom().constants(), vec![&Const::Str("a".into())]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(atom().to_string(), "p(X, a, X, Y)");
+        assert_eq!(Atom::new("done", vec![]).to_string(), "done");
+    }
+
+    #[test]
+    fn with_predicate_renames() {
+        let a = atom().with_predicate("magic_p");
+        assert_eq!(a.predicate, "magic_p");
+        assert_eq!(a.args, atom().args);
+    }
+}

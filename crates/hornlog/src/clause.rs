@@ -1,0 +1,295 @@
+//! Horn clauses and programs.
+
+use crate::atom::Atom;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A Horn clause `head :- body`. A clause with an empty body and a ground
+/// head is a *fact*; anything else is a *rule*.
+///
+/// As the stratified-negation extension (the paper lists negation as
+/// future work), a clause may also carry *negated* body atoms
+/// (`head :- p(X), not q(X).`); `body` always holds the positive atoms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Clause {
+    pub head: Atom,
+    /// Positive body atoms.
+    pub body: Vec<Atom>,
+    /// Negated body atoms (`not q(...)`), empty for pure Horn clauses.
+    pub negative_body: Vec<Atom>,
+}
+
+impl Clause {
+    pub fn rule(head: Atom, body: Vec<Atom>) -> Clause {
+        Clause { head, body, negative_body: Vec::new() }
+    }
+
+    pub fn rule_with_negation(head: Atom, body: Vec<Atom>, negative_body: Vec<Atom>) -> Clause {
+        Clause { head, body, negative_body }
+    }
+
+    pub fn fact(head: Atom) -> Clause {
+        Clause { head, body: Vec::new(), negative_body: Vec::new() }
+    }
+
+    /// A fact per the paper: empty body, no variables in the head.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && self.negative_body.is_empty() && self.head.is_ground()
+    }
+
+    /// Whether the clause uses negation.
+    pub fn has_negation(&self) -> bool {
+        !self.negative_body.is_empty()
+    }
+
+    /// Distinct variables of the whole clause in first-occurrence order
+    /// (head first, then positive body, then negated atoms).
+    pub fn variables(&self) -> Vec<&str> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for atom in std::iter::once(&self.head)
+            .chain(&self.body)
+            .chain(&self.negative_body)
+        {
+            for v in atom.variables() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Range restriction (the paper's safety condition for bottom-up
+    /// evaluation): every variable in the head — and, for safe negation,
+    /// every variable in a negated atom — must occur in the positive body.
+    /// Facts are trivially safe since their heads are ground.
+    pub fn is_range_restricted(&self) -> bool {
+        let body_vars: BTreeSet<&str> =
+            self.body.iter().flat_map(|a| a.variables()).collect();
+        self.head.variables().iter().all(|v| body_vars.contains(v))
+            && self
+                .negative_body
+                .iter()
+                .flat_map(|a| a.variables())
+                .all(|v| body_vars.contains(v))
+    }
+
+    /// Predicates referenced in the positive body, deduplicated, in order.
+    pub fn body_predicates(&self) -> Vec<&str> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for atom in &self.body {
+            if seen.insert(atom.predicate.as_str()) {
+                out.push(atom.predicate.as_str());
+            }
+        }
+        out
+    }
+
+    /// All body atoms, positive first, then negated.
+    pub fn all_body_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().chain(&self.negative_body)
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() || !self.negative_body.is_empty() {
+            write!(f, " :- ")?;
+            let mut first = true;
+            for a in &self.body {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{a}")?;
+            }
+            for a in &self.negative_body {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "not {a}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A set of Horn clauses: the unit the Workspace D/KB holds and the
+/// Knowledge Manager analyzes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    pub clauses: Vec<Clause>,
+}
+
+impl Program {
+    pub fn new(clauses: Vec<Clause>) -> Program {
+        Program { clauses }
+    }
+
+    /// Rules only (clauses that are not facts).
+    pub fn rules(&self) -> impl Iterator<Item = &Clause> {
+        self.clauses.iter().filter(|c| !c.is_fact())
+    }
+
+    /// Facts only.
+    pub fn facts(&self) -> impl Iterator<Item = &Clause> {
+        self.clauses.iter().filter(|c| c.is_fact())
+    }
+
+    /// All rules whose head predicate is `pred`.
+    pub fn rules_for(&self, pred: &str) -> Vec<&Clause> {
+        self.rules().filter(|c| c.head.predicate == pred).collect()
+    }
+
+    /// Predicates defined by at least one rule (derived predicates).
+    pub fn derived_predicates(&self) -> BTreeSet<&str> {
+        self.rules().map(|c| c.head.predicate.as_str()).collect()
+    }
+
+    /// Predicates that appear only in bodies or as fact heads (base
+    /// predicates, relative to this program).
+    pub fn base_predicates(&self) -> BTreeSet<&str> {
+        let derived = self.derived_predicates();
+        let mut base: BTreeSet<&str> = self
+            .clauses
+            .iter()
+            .flat_map(|c| c.body.iter().map(|a| a.predicate.as_str()))
+            .collect();
+        base.extend(self.facts().map(|c| c.head.predicate.as_str()));
+        base.retain(|p| !derived.contains(p));
+        base
+    }
+
+    /// Arity of `pred` as used anywhere in the program, if consistent.
+    /// Returns `Err` with the conflicting arities when inconsistent.
+    pub fn arity_of(&self, pred: &str) -> Result<Option<usize>, (usize, usize)> {
+        let mut arity = None;
+        for atom in self
+            .clauses
+            .iter()
+            .flat_map(|c| std::iter::once(&c.head).chain(&c.body))
+            .filter(|a| a.predicate == pred)
+        {
+            match arity {
+                None => arity = Some(atom.arity()),
+                Some(a) if a != atom.arity() => return Err((a, atom.arity())),
+                Some(_) => {}
+            }
+        }
+        Ok(arity)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    pub fn push(&mut self, clause: Clause) {
+        self.clauses.push(clause);
+    }
+
+    pub fn extend(&mut self, other: Program) {
+        self.clauses.extend(other.clauses);
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.clauses {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn anc_program() -> Program {
+        // ancestor(X,Y) :- parent(X,Y).
+        // ancestor(X,Y) :- parent(X,Z), ancestor(Z,Y).
+        // parent(adam, bob).
+        Program::new(vec![
+            Clause::rule(
+                Atom::new("ancestor", vec![Term::var("X"), Term::var("Y")]),
+                vec![Atom::new("parent", vec![Term::var("X"), Term::var("Y")])],
+            ),
+            Clause::rule(
+                Atom::new("ancestor", vec![Term::var("X"), Term::var("Y")]),
+                vec![
+                    Atom::new("parent", vec![Term::var("X"), Term::var("Z")]),
+                    Atom::new("ancestor", vec![Term::var("Z"), Term::var("Y")]),
+                ],
+            ),
+            Clause::fact(Atom::new("parent", vec![Term::sym("adam"), Term::sym("bob")])),
+        ])
+    }
+
+    #[test]
+    fn fact_vs_rule() {
+        let p = anc_program();
+        assert_eq!(p.rules().count(), 2);
+        assert_eq!(p.facts().count(), 1);
+        // A bodyless clause with head variables is NOT a fact.
+        let c = Clause::fact(Atom::new("p", vec![Term::var("X")]));
+        assert!(!c.is_fact());
+    }
+
+    #[test]
+    fn base_and_derived_partition() {
+        let p = anc_program();
+        assert_eq!(p.derived_predicates().into_iter().collect::<Vec<_>>(), vec!["ancestor"]);
+        assert_eq!(p.base_predicates().into_iter().collect::<Vec<_>>(), vec!["parent"]);
+    }
+
+    #[test]
+    fn range_restriction() {
+        let safe = &anc_program().clauses[0];
+        assert!(safe.is_range_restricted());
+        let unsafe_clause = Clause::rule(
+            Atom::new("p", vec![Term::var("X"), Term::var("Y")]),
+            vec![Atom::new("q", vec![Term::var("X")])],
+        );
+        assert!(!unsafe_clause.is_range_restricted());
+    }
+
+    #[test]
+    fn clause_variables_in_order() {
+        let c = &anc_program().clauses[1];
+        assert_eq!(c.variables(), vec!["X", "Y", "Z"]);
+    }
+
+    #[test]
+    fn arity_checking() {
+        let p = anc_program();
+        assert_eq!(p.arity_of("ancestor"), Ok(Some(2)));
+        assert_eq!(p.arity_of("nope"), Ok(None));
+        let mut bad = anc_program();
+        bad.push(Clause::fact(Atom::new("parent", vec![Term::sym("x")])));
+        assert_eq!(bad.arity_of("parent"), Err((2, 1)));
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let p = anc_program();
+        let text = p.to_string();
+        assert!(text.contains("ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y)."));
+        assert!(text.contains("parent(adam, bob)."));
+    }
+
+    #[test]
+    fn rules_for_selects_by_head() {
+        let p = anc_program();
+        assert_eq!(p.rules_for("ancestor").len(), 2);
+        assert!(p.rules_for("parent").is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! The evaluation graph and evaluation order list.
+//!
+//! Collapsing each clique of the PCG to a single node yields an acyclic
+//! graph over cliques and non-recursive derived predicates. A topological
+//! sort of this graph is the *evaluation order list*: the order in which
+//! the generated program evaluates cliques (by LFP computation) and
+//! non-recursive predicates (by plain relational algebra).
+
+use crate::clause::{Clause, Program};
+use crate::scc::{find_cliques, Clique};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A node of the evaluation graph, carrying the rules the code generator
+/// needs (mirroring the paper's generated data structures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalNode {
+    /// A clique of mutually recursive predicates, evaluated by LFP.
+    Clique(Clique),
+    /// A non-recursive derived predicate with its defining rules.
+    Pred { name: String, rules: Vec<Clause> },
+}
+
+impl EvalNode {
+    /// The predicates this node defines.
+    pub fn defined_predicates(&self) -> Vec<&str> {
+        match self {
+            EvalNode::Clique(c) => c.predicates.iter().map(String::as_str).collect(),
+            EvalNode::Pred { name, .. } => vec![name.as_str()],
+        }
+    }
+
+    /// All rules attached to this node.
+    pub fn rules(&self) -> Vec<&Clause> {
+        match self {
+            EvalNode::Clique(c) => c.all_rules().collect(),
+            EvalNode::Pred { rules, .. } => rules.iter().collect(),
+        }
+    }
+
+    pub fn is_clique(&self) -> bool {
+        matches!(self, EvalNode::Clique(_))
+    }
+}
+
+/// Errors from evaluation-graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalGraphError {
+    /// The condensed graph had a cycle — impossible for a correct SCC
+    /// collapse; indicates corrupted input.
+    Cycle,
+}
+
+impl std::fmt::Display for EvalGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalGraphError::Cycle => write!(f, "evaluation graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for EvalGraphError {}
+
+/// Build the evaluation order list for `program`: every clique and
+/// non-recursive derived predicate, topologically sorted so each node
+/// appears after everything it depends on. The order is deterministic
+/// (ties broken by first-defined predicate name).
+pub fn evaluation_order(program: &Program) -> Result<Vec<EvalNode>, EvalGraphError> {
+    let cliques = find_cliques(program);
+    let clique_preds: BTreeSet<String> = cliques
+        .iter()
+        .flat_map(|c| c.predicates.iter().cloned())
+        .collect();
+
+    // Nodes: cliques first, then non-recursive derived predicates.
+    let mut nodes: Vec<EvalNode> = cliques.into_iter().map(EvalNode::Clique).collect();
+    let derived = program.derived_predicates();
+    for pred in &derived {
+        if !clique_preds.contains(*pred) {
+            nodes.push(EvalNode::Pred {
+                name: pred.to_string(),
+                rules: program.rules_for(pred).into_iter().cloned().collect(),
+            });
+        }
+    }
+
+    // Map each derived predicate to its node.
+    let mut node_of: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        for p in node.defined_predicates() {
+            node_of.insert(p, i);
+        }
+    }
+
+    // Edges: dependency → dependent, between distinct nodes.
+    let n = nodes.len();
+    let mut succs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut indegree = vec![0usize; n];
+    for (i, node) in nodes.iter().enumerate() {
+        for rule in node.rules() {
+            for atom in rule.all_body_atoms() {
+                if let Some(&dep) = node_of.get(atom.predicate.as_str()) {
+                    if dep != i && succs[dep].insert(i) {
+                        indegree[i] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Kahn's algorithm with deterministic tie-breaking by node index
+    // (nodes are ordered clique-discovery then predicate name).
+    let mut ready: BTreeSet<usize> =
+        (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&i) = ready.iter().next() {
+        ready.remove(&i);
+        order.push(i);
+        for &j in &succs[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                ready.insert(j);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(EvalGraphError::Cycle);
+    }
+
+    // Emit nodes in topological order.
+    let mut slots: Vec<Option<EvalNode>> = nodes.into_iter().map(Some).collect();
+    Ok(order
+        .into_iter()
+        .map(|i| slots[i].take().expect("each node emitted once"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_query, QUERY_PREDICATE};
+
+    fn figure1_with_query() -> Program {
+        let mut p = parse_program(
+            "p(X, Y) :- p1(X, Z), q(Z, Y).\n\
+             q(X, Y) :- p(X, Y), p2(X, Y).\n\
+             p1(X, Y) :- b1(X, Y).\n\
+             p1(X, Y) :- b1(X, Z), p1(Z, Y).\n\
+             p2(X, Y) :- b2(X, Y).\n\
+             p2(X, Y) :- b2(X, Z), p2(Z, Y).\n",
+        )
+        .unwrap();
+        p.push(parse_query("?- p(a, Y).").unwrap());
+        p
+    }
+
+    fn position_of(order: &[EvalNode], pred: &str) -> usize {
+        order
+            .iter()
+            .position(|n| n.defined_predicates().contains(&pred))
+            .unwrap_or_else(|| panic!("{pred} not in order"))
+    }
+
+    #[test]
+    fn figure4_evaluation_order() {
+        let order = evaluation_order(&figure1_with_query()).unwrap();
+        // Nodes: 3 cliques + the query predicate.
+        assert_eq!(order.len(), 4);
+        // p1 and p2 cliques precede the p/q clique; query last.
+        let c_pq = position_of(&order, "p");
+        assert!(position_of(&order, "p1") < c_pq);
+        assert!(position_of(&order, "p2") < c_pq);
+        assert_eq!(position_of(&order, QUERY_PREDICATE), 3);
+    }
+
+    #[test]
+    fn nonrecursive_pipeline_orders_by_dependency() {
+        let p = parse_program(
+            "a(X) :- b(X).\n\
+             b(X) :- c(X).\n\
+             c(X) :- base(X).\n",
+        )
+        .unwrap();
+        let order = evaluation_order(&p).unwrap();
+        assert_eq!(order.len(), 3);
+        assert!(order.iter().all(|n| !n.is_clique()));
+        assert!(position_of(&order, "c") < position_of(&order, "b"));
+        assert!(position_of(&order, "b") < position_of(&order, "a"));
+    }
+
+    #[test]
+    fn mixed_cliques_and_predicates() {
+        let p = parse_program(
+            "top(X) :- t(X, X).\n\
+             t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- t(X, Z), e(Z, Y).\n",
+        )
+        .unwrap();
+        let order = evaluation_order(&p).unwrap();
+        assert_eq!(order.len(), 2);
+        assert!(order[0].is_clique());
+        assert!(matches!(&order[1], EvalNode::Pred { name, .. } if name == "top"));
+    }
+
+    #[test]
+    fn base_predicates_are_not_nodes() {
+        let p = parse_program("a(X) :- base1(X), base2(X).\n").unwrap();
+        let order = evaluation_order(&p).unwrap();
+        assert_eq!(order.len(), 1);
+    }
+
+    #[test]
+    fn node_accessors() {
+        let p = parse_program(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- t(X, Z), e(Z, Y).\n",
+        )
+        .unwrap();
+        let order = evaluation_order(&p).unwrap();
+        let node = &order[0];
+        assert_eq!(node.defined_predicates(), vec!["t"]);
+        assert_eq!(node.rules().len(), 2);
+    }
+
+    #[test]
+    fn empty_program_is_empty_order() {
+        let order = evaluation_order(&Program::default()).unwrap();
+        assert!(order.is_empty());
+    }
+}

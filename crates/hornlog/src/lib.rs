@@ -1,0 +1,44 @@
+//! # dkbms-hornlog — the rule language layer of the D/KBMS testbed
+//!
+//! Pure, function-free Horn clauses (Datalog) as in Ramnarayan & Lu
+//! (SIGMOD 1988): the AST ([`term`], [`atom`], [`clause`]), a Prolog-like
+//! [`parser`], the Predicate Connection Graph with reachability ([`pcg`]),
+//! clique detection via strongly connected components ([`scc`]), the
+//! evaluation graph and evaluation order list ([`evalgraph`]), type
+//! inference and semantic checks ([`types`]), and adornments with sideways
+//! information passing ([`adorn`]) feeding the magic-sets optimizer.
+//!
+//! ## Example
+//!
+//! ```
+//! use hornlog::parser::{parse_program, parse_query};
+//! use hornlog::evalgraph::evaluation_order;
+//!
+//! let mut program = parse_program(
+//!     "ancestor(X, Y) :- parent(X, Y).\n\
+//!      ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).\n",
+//! ).unwrap();
+//! program.push(parse_query("?- ancestor(adam, W).").unwrap());
+//! let order = evaluation_order(&program).unwrap();
+//! assert_eq!(order.len(), 2); // the ancestor clique, then the query node
+//! assert!(order[0].is_clique());
+//! ```
+
+pub mod adorn;
+pub mod atom;
+pub mod clause;
+pub mod evalgraph;
+pub mod parser;
+pub mod pcg;
+pub mod scc;
+pub mod strat;
+pub mod term;
+pub mod types;
+
+pub use atom::Atom;
+pub use clause::{Clause, Program};
+pub use parser::{parse_clause, parse_program, parse_query, ParseError, QUERY_PREDICATE};
+pub use pcg::Pcg;
+pub use scc::{find_cliques, Clique};
+pub use strat::{is_stratified, stratify, StratificationError};
+pub use term::{Const, Term};

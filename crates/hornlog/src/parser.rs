@@ -1,0 +1,477 @@
+//! Parser for Horn clause programs and queries.
+//!
+//! Syntax (Prolog-like, matching the paper's examples):
+//!
+//! ```text
+//! ancestor(X, Y) :- parent(X, Y).        % rule
+//! ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+//! parent(adam, bob).                     % fact
+//! ?- ancestor(adam, X).                  % query
+//! ```
+//!
+//! Variables start with an uppercase letter or `_`; bare lowercase
+//! identifiers and quoted strings are symbol constants; integers are
+//! numeric constants. `%` starts a line comment. As the stratified-negation
+//! extension, body atoms may be negated with `not`:
+//! `bachelor(X) :- person(X), not married(X).`
+
+use crate::atom::Atom;
+use crate::clause::{Clause, Program};
+use crate::term::Term;
+use std::fmt;
+
+/// Parse errors with a message and byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The synthetic head predicate given to parsed queries.
+pub const QUERY_PREDICATE: &str = "_query";
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),  // lowercase-leading: predicate or symbol
+    Var(String),    // uppercase/underscore-leading
+    Int(i64),
+    Str(String),    // quoted symbol
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Implies, // :-
+    QueryMark, // ?-
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokens(mut self) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_token()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset: self.pos }
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Tok, usize)>, ParseError> {
+        loop {
+            match self.src.get(self.pos) {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.pos += 1,
+                Some(b'%') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let start = self.pos;
+        let Some(&c) = self.src.get(self.pos) else {
+            return Ok(None);
+        };
+        let tok = match c {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            b':' => {
+                if self.src.get(self.pos + 1) == Some(&b'-') {
+                    self.pos += 2;
+                    Tok::Implies
+                } else {
+                    return Err(self.err("expected ':-'"));
+                }
+            }
+            b'?' => {
+                if self.src.get(self.pos + 1) == Some(&b'-') {
+                    self.pos += 2;
+                    Tok::QueryMark
+                } else {
+                    return Err(self.err("expected '?-'"));
+                }
+            }
+            b'"' => {
+                self.pos += 1;
+                let s_start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(self.err("unterminated string"));
+                }
+                let s = std::str::from_utf8(&self.src[s_start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?
+                    .to_string();
+                self.pos += 1;
+                Tok::Str(s)
+            }
+            b'-' | b'0'..=b'9' => {
+                let neg = c == b'-';
+                if neg {
+                    self.pos += 1;
+                    if !self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                        return Err(self.err("expected digits after '-'"));
+                    }
+                }
+                let n_start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[n_start..self.pos]).unwrap();
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| self.err(format!("integer out of range: {text}")))?;
+                Tok::Int(if neg { -n } else { n })
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let w_start = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let word =
+                    std::str::from_utf8(&self.src[w_start..self.pos]).unwrap().to_string();
+                if c.is_ascii_uppercase() || c == b'_' {
+                    Tok::Var(word)
+                } else {
+                    Tok::Ident(word)
+                }
+            }
+            other => return Err(self.err(format!("unexpected character '{}'", other as char))),
+        };
+        Ok(Some((tok, start)))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|(_, o)| *o).unwrap_or(usize::MAX)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset: self.offset() }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(s)) => s,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err("expected predicate name"));
+            }
+        };
+        let mut args = Vec::new();
+        if self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            loop {
+                args.push(self.term()?);
+                match self.bump() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RParen) => break,
+                    _ => {
+                        self.pos = self.pos.saturating_sub(1);
+                        return Err(self.err("expected ',' or ')'"));
+                    }
+                }
+            }
+        }
+        Ok(Atom::new(name, args))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Var(v)) => Ok(Term::var(v)),
+            Some(Tok::Ident(s)) => Ok(Term::sym(s)),
+            Some(Tok::Str(s)) => Ok(Term::sym(s)),
+            Some(Tok::Int(i)) => Ok(Term::int(i)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected a term"))
+            }
+        }
+    }
+
+    /// Whether the next tokens start a negated atom: the keyword `not`
+    /// followed by a predicate name (so a predicate named `not` used as
+    /// `not(X)` still parses as an atom).
+    fn at_negation(&self) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(w)) if w == "not")
+            && matches!(self.tokens.get(self.pos + 1), Some((Tok::Ident(_), _)))
+    }
+
+    /// Parse a body: positive and negated atoms, in source order.
+    fn body(&mut self) -> Result<(Vec<Atom>, Vec<Atom>), ParseError> {
+        let mut positive = Vec::new();
+        let mut negative = Vec::new();
+        loop {
+            if self.at_negation() {
+                self.pos += 1;
+                negative.push(self.atom()?);
+            } else {
+                positive.push(self.atom()?);
+            }
+            if self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok((positive, negative))
+    }
+
+    /// One clause or query, consuming the trailing dot.
+    fn clause(&mut self) -> Result<Clause, ParseError> {
+        if self.peek() == Some(&Tok::QueryMark) {
+            self.pos += 1;
+            let (body, negative) = self.body()?;
+            self.expect(&Tok::Dot, "'.' after query")?;
+            return Ok(make_query_clause_with_negation(body, negative));
+        }
+        let head = self.atom()?;
+        let (body, negative_body) = if self.peek() == Some(&Tok::Implies) {
+            self.pos += 1;
+            self.body()?
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        self.expect(&Tok::Dot, "'.' after clause")?;
+        Ok(Clause { head, body, negative_body })
+    }
+}
+
+/// Build the synthetic query clause `_query(V1, ..., Vn) :- body` where the
+/// Vi are the distinct variables of the body in first-occurrence order.
+pub fn make_query_clause(body: Vec<Atom>) -> Clause {
+    make_query_clause_with_negation(body, Vec::new())
+}
+
+/// [`make_query_clause`] with negated query atoms. Only variables of the
+/// positive atoms become answer variables (safe negation).
+pub fn make_query_clause_with_negation(body: Vec<Atom>, negative_body: Vec<Atom>) -> Clause {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut vars = Vec::new();
+    for atom in &body {
+        for v in atom.variables() {
+            if seen.insert(v.to_string()) {
+                vars.push(Term::var(v));
+            }
+        }
+    }
+    Clause { head: Atom::new(QUERY_PREDICATE, vars), body, negative_body }
+}
+
+/// Parse a whole program (clauses and/or queries).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = Lexer { src: src.as_bytes(), pos: 0 }.tokens()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut clauses = Vec::new();
+    while p.peek().is_some() {
+        clauses.push(p.clause()?);
+    }
+    Ok(Program::new(clauses))
+}
+
+/// Parse a single clause (rule or fact).
+pub fn parse_clause(src: &str) -> Result<Clause, ParseError> {
+    let tokens = Lexer { src: src.as_bytes(), pos: 0 }.tokens()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let c = p.clause()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after clause"));
+    }
+    Ok(c)
+}
+
+/// Parse a query: either `?- body.` or a bare body `p(X), q(X).`.
+pub fn parse_query(src: &str) -> Result<Clause, ParseError> {
+    let tokens = Lexer { src: src.as_bytes(), pos: 0 }.tokens()?;
+    let mut p = Parser { tokens, pos: 0 };
+    if p.peek() == Some(&Tok::QueryMark) {
+        p.pos += 1;
+    }
+    let (body, negative) = p.body()?;
+    // The trailing dot is optional for queries.
+    if p.peek() == Some(&Tok::Dot) {
+        p.pos += 1;
+    }
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(make_query_clause_with_negation(body, negative))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Const;
+
+    #[test]
+    fn parses_rule_fact_query_program() {
+        let p = parse_program(
+            "% the classic\n\
+             ancestor(X, Y) :- parent(X, Y).\n\
+             ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).\n\
+             parent(adam, bob).\n\
+             ?- ancestor(adam, W).\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert!(p.clauses[2].is_fact());
+        assert_eq!(p.clauses[3].head.predicate, QUERY_PREDICATE);
+        assert_eq!(p.clauses[3].head.args, vec![Term::var("W")]);
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        let src = "p(X, Y) :- q(X, Z), r(Z, Y).";
+        let c = parse_clause(src).unwrap();
+        assert_eq!(c.to_string(), src);
+        let again = parse_clause(&c.to_string()).unwrap();
+        assert_eq!(c, again);
+    }
+
+    #[test]
+    fn parses_all_term_kinds() {
+        let c = parse_clause("p(X, john, \"Mrs. Smith\", 42, -7).").unwrap();
+        assert_eq!(
+            c.head.args,
+            vec![
+                Term::var("X"),
+                Term::sym("john"),
+                Term::sym("Mrs. Smith"),
+                Term::int(42),
+                Term::int(-7),
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_leading_is_variable() {
+        let c = parse_clause("p(_x, Y) :- q(_x, Y).").unwrap();
+        assert_eq!(c.head.args[0], Term::var("_x"));
+    }
+
+    #[test]
+    fn nullary_predicates() {
+        let c = parse_clause("halt :- condition.").unwrap();
+        assert_eq!(c.head.arity(), 0);
+        assert_eq!(c.body[0].arity(), 0);
+    }
+
+    #[test]
+    fn query_variable_order_is_first_occurrence() {
+        let q = parse_query("?- p(Y, X), q(X, Z).").unwrap();
+        assert_eq!(
+            q.head.args,
+            vec![Term::var("Y"), Term::var("X"), Term::var("Z")]
+        );
+    }
+
+    #[test]
+    fn bare_query_without_mark_or_dot() {
+        let q = parse_query("ancestor(adam, X)").unwrap();
+        assert_eq!(q.body.len(), 1);
+        assert_eq!(q.head.args, vec![Term::var("X")]);
+    }
+
+    #[test]
+    fn ground_query_has_empty_head() {
+        let q = parse_query("?- ancestor(adam, bob).").unwrap();
+        assert!(q.head.args.is_empty());
+        assert_eq!(
+            q.body[0].constants(),
+            vec![&Const::Str("adam".into()), &Const::Str("bob".into())]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse_clause("p(X) :- q(X)").unwrap_err(); // missing dot
+        assert!(err.message.contains("'.'"));
+        assert!(parse_clause("p(X) :-").is_err());
+        assert!(parse_clause("p(X").is_err());
+        assert!(parse_clause("p(X,) .").is_err());
+        assert!(parse_clause(": q(X).").is_err());
+        assert!(parse_program("p(x). trailing ?").is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let p = parse_program("  % nothing\n\n p(a). % trailing\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn paper_figure_1_rule_set_parses() {
+        // The sample D/KB of Figure 1 (cleaned of OCR noise): p and q are
+        // mutually recursive, p1/p2 recursive, b1/b2 base.
+        let p = parse_program(
+            "p(X, Y) :- p1(X, Z), q(Z, Y).\n\
+             q(X, Y) :- p(X, Y), p2(X, Y).\n\
+             p1(X, Y) :- b1(X, Y).\n\
+             p1(X, Y) :- b1(X, Z), p1(Z, Y).\n\
+             p2(X, Y) :- b2(X, Y).\n\
+             p2(X, Y) :- b2(X, Z), p2(Z, Y).\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules().count(), 6);
+        let derived: Vec<_> = p.derived_predicates().into_iter().collect();
+        assert_eq!(derived, vec!["p", "p1", "p2", "q"]);
+    }
+}

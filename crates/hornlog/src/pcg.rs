@@ -1,0 +1,273 @@
+//! The Predicate Connection Graph (PCG).
+//!
+//! Nodes are predicates; for every rule `p :- q1, ..., qn` there is a
+//! directed edge from each `qi` to `p` (the paper's convention). The
+//! *reachability* relation the testbed stores and queries is the inverse:
+//! `q` is reachable from `p` when `q` occurs (transitively) in the body of
+//! rules defining `p` — i.e. following PCG edges backwards.
+
+use crate::clause::{Clause, Program};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The PCG over a set of clauses.
+#[derive(Debug, Clone, Default)]
+pub struct Pcg {
+    /// All predicate names appearing anywhere.
+    nodes: BTreeSet<String>,
+    /// `depends_on[p]` = predicates in the bodies of rules defining `p`
+    /// (PCG edges point the other way; this orientation is what
+    /// reachability needs). Includes negated dependencies.
+    depends_on: BTreeMap<String, BTreeSet<String>>,
+    /// The subset of dependencies that occur under negation — what the
+    /// stratification check inspects.
+    neg_depends_on: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Pcg {
+    /// Build the PCG of a program (facts contribute nodes only).
+    pub fn build(program: &Program) -> Pcg {
+        Pcg::from_clauses(program.clauses.iter())
+    }
+
+    /// Build from an explicit clause iterator.
+    pub fn from_clauses<'a>(clauses: impl Iterator<Item = &'a Clause>) -> Pcg {
+        let mut pcg = Pcg::default();
+        for clause in clauses {
+            pcg.add_clause(clause);
+        }
+        pcg
+    }
+
+    /// Add one clause's nodes and edges.
+    pub fn add_clause(&mut self, clause: &Clause) {
+        self.nodes.insert(clause.head.predicate.clone());
+        for atom in clause.all_body_atoms() {
+            self.nodes.insert(atom.predicate.clone());
+            self.depends_on
+                .entry(clause.head.predicate.clone())
+                .or_default()
+                .insert(atom.predicate.clone());
+        }
+        for atom in &clause.negative_body {
+            self.neg_depends_on
+                .entry(clause.head.predicate.clone())
+                .or_default()
+                .insert(atom.predicate.clone());
+        }
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = &str> {
+        self.nodes.iter().map(String::as_str)
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Direct dependencies of `pred` (body predicates of its rules).
+    pub fn direct_deps(&self, pred: &str) -> impl Iterator<Item = &str> {
+        self.depends_on
+            .get(pred)
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
+    /// PCG edges in the paper's direction (body predicate → head
+    /// predicate), sorted.
+    pub fn edges(&self) -> Vec<(&str, &str)> {
+        let mut out: Vec<(&str, &str)> = self
+            .depends_on
+            .iter()
+            .flat_map(|(head, deps)| deps.iter().map(move |d| (d.as_str(), head.as_str())))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// All predicates reachable from `start` (excluding `start` itself
+    /// unless it is reachable through a cycle): breadth-first over
+    /// `depends_on`.
+    pub fn reachable_from(&self, start: &str) -> BTreeSet<String> {
+        self.reachable_from_all(std::iter::once(start))
+    }
+
+    /// Union of `reachable_from` over several start predicates.
+    pub fn reachable_from_all<'a>(
+        &self,
+        starts: impl Iterator<Item = &'a str>,
+    ) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        let mut queue: VecDeque<&str> = starts.collect();
+        let mut visited: BTreeSet<&str> = queue.iter().copied().collect();
+        while let Some(p) = queue.pop_front() {
+            for dep in self.direct_deps(p) {
+                out.insert(dep.to_string());
+                if visited.insert(dep) {
+                    queue.push_back(dep);
+                }
+            }
+        }
+        out
+    }
+
+    /// A predicate is recursive iff it is reachable from itself.
+    pub fn is_recursive(&self, pred: &str) -> bool {
+        self.reachable_from(pred).contains(pred)
+    }
+
+    /// Negative dependencies of `pred` (predicates it negates).
+    pub fn neg_deps(&self, pred: &str) -> impl Iterator<Item = &str> {
+        self.neg_depends_on
+            .get(pred)
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
+    /// All negative dependency pairs `(head, negated)`.
+    pub fn neg_edges(&self) -> Vec<(&str, &str)> {
+        let mut out: Vec<(&str, &str)> = self
+            .neg_depends_on
+            .iter()
+            .flat_map(|(h, deps)| deps.iter().map(move |d| (h.as_str(), d.as_str())))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The full transitive closure as sorted `(from, to)` pairs — the
+    /// contents of the Stored D/KB's `reachablepreds` relation. Uses an
+    /// index-based BFS per node (no string allocation in the inner loop).
+    pub fn transitive_closure(&self) -> Vec<(String, String)> {
+        let nodes: Vec<&str> = self.nodes.iter().map(String::as_str).collect();
+        let index_of: BTreeMap<&str, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let adj: Vec<Vec<usize>> = nodes
+            .iter()
+            .map(|&n| self.direct_deps(n).map(|d| index_of[d]).collect())
+            .collect();
+        let n = nodes.len();
+        let mut out = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut visited = vec![false; n];
+        for start in 0..n {
+            visited.iter_mut().for_each(|v| *v = false);
+            queue.clear();
+            queue.push_back(start);
+            // The start node itself joins its own closure only through a
+            // cycle, so it is not pre-marked.
+            while let Some(v) = queue.pop_front() {
+                for &w in &adj[v] {
+                    if !visited[w] {
+                        visited[w] = true;
+                        out.push((nodes[start].to_string(), nodes[w].to_string()));
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn figure1() -> Program {
+        parse_program(
+            "p(X, Y) :- p1(X, Z), q(Z, Y).\n\
+             q(X, Y) :- p(X, Y), p2(X, Y).\n\
+             p1(X, Y) :- b1(X, Y).\n\
+             p1(X, Y) :- b1(X, Z), p1(Z, Y).\n\
+             p2(X, Y) :- b2(X, Y).\n\
+             p2(X, Y) :- b2(X, Z), p2(Z, Y).\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nodes_and_edges() {
+        let pcg = Pcg::build(&figure1());
+        assert_eq!(pcg.node_count(), 6);
+        let edges = pcg.edges();
+        assert!(edges.contains(&("p1", "p")));
+        assert!(edges.contains(&("q", "p")));
+        assert!(edges.contains(&("p", "q")));
+        assert!(edges.contains(&("b1", "p1")));
+        assert!(edges.contains(&("p1", "p1")));
+    }
+
+    #[test]
+    fn reachability_matches_paper() {
+        let pcg = Pcg::build(&figure1());
+        let from_p = pcg.reachable_from("p");
+        // Everything is reachable from p (p itself via the p<->q cycle).
+        for pred in ["p", "q", "p1", "p2", "b1", "b2"] {
+            assert!(from_p.contains(pred), "{pred} reachable from p");
+        }
+        let from_p1 = pcg.reachable_from("p1");
+        assert_eq!(
+            from_p1.into_iter().collect::<Vec<_>>(),
+            vec!["b1".to_string(), "p1".to_string()]
+        );
+        // Base predicates reach nothing.
+        assert!(pcg.reachable_from("b1").is_empty());
+    }
+
+    #[test]
+    fn recursive_predicates() {
+        let pcg = Pcg::build(&figure1());
+        assert!(pcg.is_recursive("p"));
+        assert!(pcg.is_recursive("q"));
+        assert!(pcg.is_recursive("p1"));
+        assert!(pcg.is_recursive("p2"));
+        assert!(!pcg.is_recursive("b1"));
+    }
+
+    #[test]
+    fn nonrecursive_chain() {
+        let p = parse_program("a(X) :- b(X).\nb(X) :- c(X).\n").unwrap();
+        let pcg = Pcg::build(&p);
+        assert!(!pcg.is_recursive("a"));
+        assert_eq!(
+            pcg.reachable_from("a").into_iter().collect::<Vec<_>>(),
+            vec!["b".to_string(), "c".to_string()]
+        );
+    }
+
+    #[test]
+    fn reachable_from_all_unions() {
+        let p = parse_program("a(X) :- b(X).\nc(X) :- d(X).\n").unwrap();
+        let pcg = Pcg::build(&p);
+        let r = pcg.reachable_from_all(["a", "c"].into_iter());
+        assert_eq!(
+            r.into_iter().collect::<Vec<_>>(),
+            vec!["b".to_string(), "d".to_string()]
+        );
+    }
+
+    #[test]
+    fn transitive_closure_contains_all_pairs() {
+        let p = parse_program("a(X) :- b(X).\nb(X) :- c(X).\n").unwrap();
+        let pcg = Pcg::build(&p);
+        let tc = pcg.transitive_closure();
+        assert_eq!(
+            tc,
+            vec![
+                ("a".to_string(), "b".to_string()),
+                ("a".to_string(), "c".to_string()),
+                ("b".to_string(), "c".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn facts_contribute_nodes_only() {
+        let p = parse_program("parent(adam, bob).").unwrap();
+        let pcg = Pcg::build(&p);
+        assert_eq!(pcg.node_count(), 1);
+        assert!(pcg.edges().is_empty());
+    }
+}

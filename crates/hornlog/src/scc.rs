@@ -1,0 +1,234 @@
+//! Strongly connected components and cliques.
+//!
+//! Mutually recursive predicates form the strongly connected components of
+//! the PCG. Following the paper's broader definition (§2.2), a *clique* is
+//! such a component together with the rules defining its predicates,
+//! partitioned into *recursive rules* (some body predicate is mutually
+//! recursive with the head) and *exit rules* (the rest).
+
+use crate::clause::{Clause, Program};
+use crate::pcg::Pcg;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A clique: mutually recursive predicates plus their defining rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clique {
+    pub predicates: BTreeSet<String>,
+    pub recursive_rules: Vec<Clause>,
+    pub exit_rules: Vec<Clause>,
+}
+
+impl Clique {
+    /// All rules of the clique, exit rules first (the order naive LFP
+    /// initialization wants).
+    pub fn all_rules(&self) -> impl Iterator<Item = &Clause> {
+        self.exit_rules.iter().chain(&self.recursive_rules)
+    }
+}
+
+/// Iterative Tarjan SCC over the PCG's dependency orientation. Components
+/// are returned in reverse topological order of `depends_on` edges —
+/// i.e. a component appears before any component that depends on it.
+pub fn tarjan_scc(pcg: &Pcg) -> Vec<Vec<String>> {
+    let nodes: Vec<&str> = pcg.nodes().collect();
+    let index_of: BTreeMap<&str, usize> =
+        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let adj: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|&n| pcg.direct_deps(n).map(|d| index_of[d]).collect())
+        .collect();
+
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0;
+    let mut components: Vec<Vec<String>> = Vec::new();
+
+    // Explicit DFS state: (node, next child position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut child)) = call_stack.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(nodes[w].to_string());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Find all cliques of a program: SCCs of size > 1, plus singleton SCCs
+/// with a direct self-dependency. Rules are cloned out of the program.
+pub fn find_cliques(program: &Program) -> Vec<Clique> {
+    let pcg = Pcg::build(program);
+    let components = tarjan_scc(&pcg);
+    let mut cliques = Vec::new();
+    for component in components {
+        let is_clique = component.len() > 1 || {
+            let p = &component[0];
+            pcg.direct_deps(p).any(|d| d == p)
+        };
+        if !is_clique {
+            continue;
+        }
+        let preds: BTreeSet<String> = component.into_iter().collect();
+        let mut recursive_rules = Vec::new();
+        let mut exit_rules = Vec::new();
+        for rule in program.rules() {
+            if !preds.contains(&rule.head.predicate) {
+                continue;
+            }
+            if rule.body.iter().any(|a| preds.contains(&a.predicate)) {
+                recursive_rules.push(rule.clone());
+            } else {
+                exit_rules.push(rule.clone());
+            }
+        }
+        cliques.push(Clique { predicates: preds, recursive_rules, exit_rules });
+    }
+    cliques
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn figure1() -> Program {
+        parse_program(
+            "p(X, Y) :- p1(X, Z), q(Z, Y).\n\
+             q(X, Y) :- p(X, Y), p2(X, Y).\n\
+             p1(X, Y) :- b1(X, Y).\n\
+             p1(X, Y) :- b1(X, Z), p1(Z, Y).\n\
+             p2(X, Y) :- b2(X, Y).\n\
+             p2(X, Y) :- b2(X, Z), p2(Z, Y).\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_has_three_cliques() {
+        let cliques = find_cliques(&figure1());
+        assert_eq!(cliques.len(), 3);
+        let mut pred_sets: Vec<Vec<&str>> = cliques
+            .iter()
+            .map(|c| c.predicates.iter().map(String::as_str).collect())
+            .collect();
+        pred_sets.sort();
+        assert_eq!(pred_sets, vec![vec!["p", "q"], vec!["p1"], vec!["p2"]]);
+    }
+
+    #[test]
+    fn figure1_rule_partition() {
+        let cliques = find_cliques(&figure1());
+        let pq = cliques
+            .iter()
+            .find(|c| c.predicates.len() == 2)
+            .expect("p/q clique");
+        // Both p's rule and q's rule are recursive (each references the
+        // other); there are no exit rules in the p/q clique.
+        assert_eq!(pq.recursive_rules.len(), 2);
+        assert!(pq.exit_rules.is_empty());
+
+        let p1 = cliques
+            .iter()
+            .find(|c| c.predicates.contains("p1"))
+            .expect("p1 clique");
+        assert_eq!(p1.recursive_rules.len(), 1);
+        assert_eq!(p1.exit_rules.len(), 1);
+        assert!(p1.exit_rules[0].body[0].predicate == "b1");
+    }
+
+    #[test]
+    fn ancestor_is_a_singleton_clique() {
+        let p = parse_program(
+            "ancestor(X, Y) :- parent(X, Y).\n\
+             ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).\n",
+        )
+        .unwrap();
+        let cliques = find_cliques(&p);
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].predicates.len(), 1);
+        assert_eq!(cliques[0].exit_rules.len(), 1);
+        assert_eq!(cliques[0].recursive_rules.len(), 1);
+    }
+
+    #[test]
+    fn nonrecursive_program_has_no_cliques() {
+        let p = parse_program("a(X) :- b(X).\nb(X) :- c(X).\n").unwrap();
+        assert!(find_cliques(&p).is_empty());
+    }
+
+    #[test]
+    fn scc_handles_long_chains_iteratively() {
+        // A 2000-rule chain must not overflow the stack.
+        let mut src = String::new();
+        for i in 0..2000 {
+            src.push_str(&format!("p{}(X) :- p{}(X).\n", i, i + 1));
+        }
+        let p = parse_program(&src).unwrap();
+        let pcg = Pcg::build(&p);
+        let comps = tarjan_scc(&pcg);
+        assert_eq!(comps.len(), 2001);
+        assert!(comps.iter().all(|c| c.len() == 1));
+        assert!(find_cliques(&p).is_empty());
+    }
+
+    #[test]
+    fn scc_components_in_dependency_order() {
+        let p = parse_program("a(X) :- b(X).\nb(X) :- c(X).\n").unwrap();
+        let comps = tarjan_scc(&Pcg::build(&p));
+        let pos =
+            |name: &str| comps.iter().position(|c| c[0] == name).unwrap();
+        assert!(pos("c") < pos("b"));
+        assert!(pos("b") < pos("a"));
+    }
+
+    #[test]
+    fn all_rules_yields_exit_first() {
+        let p = parse_program(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- t(X, Z), e(Z, Y).\n",
+        )
+        .unwrap();
+        let cliques = find_cliques(&p);
+        let rules: Vec<_> = cliques[0].all_rules().collect();
+        assert_eq!(rules.len(), 2);
+        assert!(rules[0].body.len() == 1, "exit rule first");
+    }
+}

@@ -1,0 +1,166 @@
+//! Stratification for negation.
+//!
+//! A program with negated body atoms is evaluable bottom-up iff it is
+//! *stratified*: the predicates can be assigned strata such that a rule's
+//! positive dependencies live in the same stratum or below, and its
+//! negated dependencies live strictly below. Equivalently, no cycle of the
+//! PCG passes through a negative edge.
+//!
+//! This module computes the stratum assignment by fixpoint (the standard
+//! algorithm) and reports the offending predicate pair when the program is
+//! not stratifiable.
+
+use crate::clause::Program;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Failure: `head` negates `negated`, but they are mutually recursive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StratificationError {
+    pub head: String,
+    pub negated: String,
+}
+
+impl fmt::Display for StratificationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program is not stratified: {} negates {} inside a recursive cycle",
+            self.head, self.negated
+        )
+    }
+}
+
+impl std::error::Error for StratificationError {}
+
+/// Compute the stratum of every predicate (base predicates sit in
+/// stratum 0). Errors if the program is not stratifiable.
+pub fn stratify(program: &Program) -> Result<BTreeMap<String, usize>, StratificationError> {
+    let mut stratum: BTreeMap<String, usize> = BTreeMap::new();
+    for clause in &program.clauses {
+        stratum.entry(clause.head.predicate.clone()).or_insert(0);
+        for atom in clause.all_body_atoms() {
+            stratum.entry(atom.predicate.clone()).or_insert(0);
+        }
+    }
+
+    // Fixpoint: raise strata until stable. Any stratum exceeding the
+    // number of predicates proves a cycle through negation.
+    let limit = stratum.len() + 1;
+    loop {
+        let mut changed = false;
+        for rule in program.rules() {
+            let head = rule.head.predicate.clone();
+            for atom in &rule.body {
+                let need = stratum[&atom.predicate];
+                if stratum[&head] < need {
+                    stratum.insert(head.clone(), need);
+                    changed = true;
+                }
+            }
+            for atom in &rule.negative_body {
+                let need = stratum[&atom.predicate] + 1;
+                if stratum[&head] < need {
+                    if need > limit {
+                        return Err(StratificationError {
+                            head: head.clone(),
+                            negated: atom.predicate.clone(),
+                        });
+                    }
+                    stratum.insert(head.clone(), need);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(stratum);
+        }
+    }
+}
+
+/// Convenience: just check stratifiability.
+pub fn is_stratified(program: &Program) -> bool {
+    stratify(program).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn pure_horn_programs_sit_in_stratum_zero_and_up() {
+        let p = parse_program(
+            "anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).\n",
+        )
+        .unwrap();
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata["parent"], 0);
+        assert_eq!(strata["anc"], 0);
+    }
+
+    #[test]
+    fn negation_forces_a_higher_stratum() {
+        let p = parse_program(
+            "reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- edge(X, Z), reach(Z, Y).\n\
+             unreach(X, Y) :- node(X), node(Y), not reach(X, Y).\n",
+        )
+        .unwrap();
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata["reach"], 0);
+        assert_eq!(strata["unreach"], 1);
+        assert!(is_stratified(&p));
+    }
+
+    #[test]
+    fn stacked_negation_stacks_strata() {
+        let p = parse_program(
+            "a(X) :- base(X).\n\
+             b(X) :- base(X), not a(X).\n\
+             c(X) :- base(X), not b(X).\n",
+        )
+        .unwrap();
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata["a"], 0);
+        assert_eq!(strata["b"], 1);
+        assert_eq!(strata["c"], 2);
+    }
+
+    #[test]
+    fn negation_through_recursion_is_rejected() {
+        let p = parse_program(
+            "win(X) :- move(X, Y), not win(Y).\n",
+        )
+        .unwrap();
+        let err = stratify(&p).unwrap_err();
+        assert_eq!(err.head, "win");
+        assert_eq!(err.negated, "win");
+        assert!(!is_stratified(&p));
+    }
+
+    #[test]
+    fn mutual_negation_cycle_is_rejected() {
+        let p = parse_program(
+            "a(X) :- base(X), not b(X).\n\
+             b(X) :- base(X), not a(X).\n",
+        )
+        .unwrap();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn positive_recursion_within_a_stratum_is_fine() {
+        let p = parse_program(
+            "odd(X) :- succ(Y, X), even(Y).\n\
+             even(X) :- zero(X).\n\
+             even(X) :- succ(Y, X), odd(Y).\n\
+             noteven(X) :- num(X), not even(X).\n",
+        )
+        .unwrap();
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata["even"], strata["odd"]);
+        assert_eq!(strata["noteven"], strata["even"] + 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Terms: the arguments of atomic formulas.
+//!
+//! The testbed handles *pure, function-free* Horn clauses, so a term is
+//! either a variable or a constant — never a compound term.
+
+use std::fmt;
+
+/// A constant value: integer or symbol/string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Const {
+    Int(i64),
+    Str(String),
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(i) => write!(f, "{i}"),
+            Const::Str(s) => {
+                // Symbols that look like identifiers print bare; anything
+                // else is quoted so parsing round-trips.
+                if is_plain_symbol(s) {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "\"{s}\"")
+                }
+            }
+        }
+    }
+}
+
+/// Whether `s` can print as a bare lowercase symbol.
+pub fn is_plain_symbol(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl From<i64> for Const {
+    fn from(v: i64) -> Self {
+        Const::Int(v)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(v: &str) -> Self {
+        Const::Str(v.to_string())
+    }
+}
+
+/// A term: variable or constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable; by convention names start with an uppercase letter or
+    /// underscore.
+    Var(String),
+    Const(Const),
+}
+
+impl Term {
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    pub fn int(v: i64) -> Term {
+        Term::Const(Const::Int(v))
+    }
+
+    pub fn sym(s: impl Into<String>) -> Term {
+        Term::Const(Const::Str(s.into()))
+    }
+
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    pub fn as_const(&self) -> Option<&Const> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = Term::var("X");
+        let i = Term::int(3);
+        let s = Term::sym("john");
+        assert!(v.is_var());
+        assert_eq!(v.as_var(), Some("X"));
+        assert_eq!(v.as_const(), None);
+        assert_eq!(i.as_const(), Some(&Const::Int(3)));
+        assert_eq!(s.as_const(), Some(&Const::Str("john".into())));
+        assert_eq!(s.as_var(), None);
+    }
+
+    #[test]
+    fn display_plain_vs_quoted_symbols() {
+        assert_eq!(Term::sym("john").to_string(), "john");
+        assert_eq!(Term::sym("John Smith").to_string(), "\"John Smith\"");
+        assert_eq!(Term::sym("Upper").to_string(), "\"Upper\"");
+        assert_eq!(Term::sym("").to_string(), "\"\"");
+        assert_eq!(Term::int(-5).to_string(), "-5");
+        assert_eq!(Term::var("X1").to_string(), "X1");
+    }
+
+    #[test]
+    fn plain_symbol_predicate() {
+        assert!(is_plain_symbol("abc_12"));
+        assert!(!is_plain_symbol("1abc"));
+        assert!(!is_plain_symbol("_x"));
+        assert!(!is_plain_symbol("a-b"));
+    }
+}

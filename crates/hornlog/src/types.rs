@@ -1,0 +1,373 @@
+//! Type inference and checking for derived predicates.
+//!
+//! The paper's Semantic Checker performs two checks: (1) every derived
+//! predicate reachable from the query has a defining rule, and (2) the
+//! column types of each derived predicate, inferred from the rules that
+//! define it, agree across all those rules. This module implements both;
+//! the Knowledge Manager drives them with base-predicate types read from
+//! the extensional data dictionary.
+
+use crate::clause::Program;
+use crate::term::{Const, Term};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Attribute types, matching the DBMS column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    Int,
+    Sym,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Int => write!(f, "integer"),
+            AttrType::Sym => write!(f, "char"),
+        }
+    }
+}
+
+impl AttrType {
+    pub fn of_const(c: &Const) -> AttrType {
+        match c {
+            Const::Int(_) => AttrType::Int,
+            Const::Str(_) => AttrType::Sym,
+        }
+    }
+}
+
+/// Predicate name → column types.
+pub type TypeMap = BTreeMap<String, Vec<AttrType>>;
+
+/// Type-checking failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Two rules (or a rule and the dictionary) disagree on a column type.
+    ColumnConflict {
+        predicate: String,
+        column: usize,
+        first: AttrType,
+        second: AttrType,
+    },
+    /// One variable is used at two positions with different types.
+    VariableConflict {
+        rule: String,
+        variable: String,
+        first: AttrType,
+        second: AttrType,
+    },
+    /// Arity of a predicate differs between uses.
+    ArityConflict {
+        predicate: String,
+        first: usize,
+        second: usize,
+    },
+    /// A head variable never receives a type (not range-restricted, or the
+    /// predicate's rules bottom out in nothing typable).
+    Uninferable { predicate: String },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::ColumnConflict { predicate, column, first, second } => write!(
+                f,
+                "type conflict on {predicate} column {column}: {first} vs {second}"
+            ),
+            TypeError::VariableConflict { rule, variable, first, second } => write!(
+                f,
+                "variable {variable} in rule '{rule}' used as both {first} and {second}"
+            ),
+            TypeError::ArityConflict { predicate, first, second } => {
+                write!(f, "arity conflict on {predicate}: {first} vs {second}")
+            }
+            TypeError::Uninferable { predicate } => {
+                write!(f, "cannot infer column types of {predicate}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Definedness check: body predicates that are neither derived (defined by
+/// a rule in `program`) nor listed in `known_base`. Sorted, deduplicated.
+pub fn undefined_predicates(program: &Program, known_base: &BTreeSet<String>) -> Vec<String> {
+    let derived = program.derived_predicates();
+    let fact_defined: BTreeSet<&str> =
+        program.facts().map(|c| c.head.predicate.as_str()).collect();
+    let mut missing = BTreeSet::new();
+    for rule in program.rules() {
+        for atom in rule.all_body_atoms() {
+            let p = atom.predicate.as_str();
+            if !derived.contains(p) && !fact_defined.contains(p) && !known_base.contains(p) {
+                missing.insert(p.to_string());
+            }
+        }
+    }
+    missing.into_iter().collect()
+}
+
+/// Infer column types for every derived predicate of `program`, seeded with
+/// `base` (the extensional dictionary). Returns the combined map (base +
+/// derived). Runs to fixpoint so mutual recursion converges; conflicting
+/// inferences error out.
+pub fn infer_types(program: &Program, base: &TypeMap) -> Result<TypeMap, TypeError> {
+    let mut types: TypeMap = base.clone();
+
+    // Facts contribute types directly.
+    for fact in program.facts() {
+        let inferred: Vec<AttrType> = fact
+            .head
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => AttrType::of_const(c),
+                Term::Var(_) => unreachable!("facts are ground"),
+            })
+            .collect();
+        merge_pred(&mut types, &fact.head.predicate, &inferred)?;
+    }
+
+    // Fixpoint over rules.
+    loop {
+        let mut changed = false;
+        for rule in program.rules() {
+            // 1. Collect variable types from body atoms (positive and
+            //    negated) with known predicate types.
+            let mut var_types: BTreeMap<&str, AttrType> = BTreeMap::new();
+            for atom in rule.all_body_atoms() {
+                let Some(cols) = types.get(&atom.predicate) else {
+                    continue;
+                };
+                if cols.len() != atom.arity() {
+                    return Err(TypeError::ArityConflict {
+                        predicate: atom.predicate.clone(),
+                        first: cols.len(),
+                        second: atom.arity(),
+                    });
+                }
+                for (i, term) in atom.args.iter().enumerate() {
+                    let ty = cols[i];
+                    match term {
+                        Term::Var(v) => {
+                            if let Some(prev) = var_types.insert(v, ty) {
+                                if prev != ty {
+                                    return Err(TypeError::VariableConflict {
+                                        rule: rule.to_string(),
+                                        variable: v.clone(),
+                                        first: prev,
+                                        second: ty,
+                                    });
+                                }
+                            }
+                        }
+                        Term::Const(c) => {
+                            let cty = AttrType::of_const(c);
+                            if cty != ty {
+                                return Err(TypeError::ColumnConflict {
+                                    predicate: atom.predicate.clone(),
+                                    column: i,
+                                    first: ty,
+                                    second: cty,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 2. Derive the head type vector; defer if any head variable is
+            //    still untyped.
+            let mut head_types = Vec::with_capacity(rule.head.arity());
+            let mut complete = true;
+            for term in &rule.head.args {
+                match term {
+                    Term::Const(c) => head_types.push(AttrType::of_const(c)),
+                    Term::Var(v) => match var_types.get(v.as_str()) {
+                        Some(ty) => head_types.push(*ty),
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if !complete {
+                continue;
+            }
+            if merge_new(&mut types, &rule.head.predicate, &head_types)? {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Every derived predicate must have ended up typed.
+    for pred in program.derived_predicates() {
+        if !types.contains_key(pred) {
+            return Err(TypeError::Uninferable { predicate: pred.to_string() });
+        }
+    }
+    Ok(types)
+}
+
+/// Merge `inferred` into `types[pred]`, erroring on conflicts.
+fn merge_pred(types: &mut TypeMap, pred: &str, inferred: &[AttrType]) -> Result<(), TypeError> {
+    merge_new(types, pred, inferred).map(|_| ())
+}
+
+/// Like [`merge_pred`] but reports whether an entry was newly added.
+fn merge_new(types: &mut TypeMap, pred: &str, inferred: &[AttrType]) -> Result<bool, TypeError> {
+    match types.get(pred) {
+        None => {
+            types.insert(pred.to_string(), inferred.to_vec());
+            Ok(true)
+        }
+        Some(existing) => {
+            if existing.len() != inferred.len() {
+                return Err(TypeError::ArityConflict {
+                    predicate: pred.to_string(),
+                    first: existing.len(),
+                    second: inferred.len(),
+                });
+            }
+            for (i, (a, b)) in existing.iter().zip(inferred).enumerate() {
+                if a != b {
+                    return Err(TypeError::ColumnConflict {
+                        predicate: pred.to_string(),
+                        column: i,
+                        first: *a,
+                        second: *b,
+                    });
+                }
+            }
+            Ok(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn base_types(pairs: &[(&str, &[AttrType])]) -> TypeMap {
+        pairs.iter().map(|(p, t)| (p.to_string(), t.to_vec())).collect()
+    }
+
+    #[test]
+    fn infers_through_recursion() {
+        let p = parse_program(
+            "ancestor(X, Y) :- parent(X, Y).\n\
+             ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).\n",
+        )
+        .unwrap();
+        let base = base_types(&[("parent", &[AttrType::Sym, AttrType::Sym])]);
+        let types = infer_types(&p, &base).unwrap();
+        assert_eq!(types["ancestor"], vec![AttrType::Sym, AttrType::Sym]);
+    }
+
+    #[test]
+    fn infers_through_mutual_recursion() {
+        let p = parse_program(
+            "even(X) :- zero(X).\n\
+             even(X) :- succ2(Y, X), odd(Y).\n\
+             odd(X) :- succ2(Y, X), even(Y).\n",
+        )
+        .unwrap();
+        let base = base_types(&[
+            ("zero", &[AttrType::Int]),
+            ("succ2", &[AttrType::Int, AttrType::Int]),
+        ]);
+        let types = infer_types(&p, &base).unwrap();
+        assert_eq!(types["even"], vec![AttrType::Int]);
+        assert_eq!(types["odd"], vec![AttrType::Int]);
+    }
+
+    #[test]
+    fn constants_type_head_columns() {
+        let p = parse_program("labeled(X, tag) :- item(X).\n").unwrap();
+        let base = base_types(&[("item", &[AttrType::Int])]);
+        let types = infer_types(&p, &base).unwrap();
+        assert_eq!(types["labeled"], vec![AttrType::Int, AttrType::Sym]);
+    }
+
+    #[test]
+    fn facts_seed_types() {
+        let p = parse_program("parent(adam, bob).\nage(adam, 30).\n").unwrap();
+        let types = infer_types(&p, &TypeMap::new()).unwrap();
+        assert_eq!(types["parent"], vec![AttrType::Sym, AttrType::Sym]);
+        assert_eq!(types["age"], vec![AttrType::Sym, AttrType::Int]);
+    }
+
+    #[test]
+    fn conflicting_rules_detected() {
+        // p typed (Sym) by one rule and (Int) by another.
+        let p = parse_program(
+            "p(X) :- names(X).\n\
+             p(X) :- nums(X).\n",
+        )
+        .unwrap();
+        let base = base_types(&[
+            ("names", &[AttrType::Sym]),
+            ("nums", &[AttrType::Int]),
+        ]);
+        let err = infer_types(&p, &base).unwrap_err();
+        assert!(matches!(err, TypeError::ColumnConflict { .. }));
+    }
+
+    #[test]
+    fn variable_conflict_within_rule() {
+        let p = parse_program("p(X) :- names(X), nums(X).\n").unwrap();
+        let base = base_types(&[
+            ("names", &[AttrType::Sym]),
+            ("nums", &[AttrType::Int]),
+        ]);
+        let err = infer_types(&p, &base).unwrap_err();
+        assert!(matches!(err, TypeError::VariableConflict { .. }));
+    }
+
+    #[test]
+    fn constant_against_wrong_column_type() {
+        let p = parse_program("p(X) :- nums(X), nums(notanum).\n").unwrap();
+        let base = base_types(&[("nums", &[AttrType::Int])]);
+        let err = infer_types(&p, &base).unwrap_err();
+        assert!(matches!(err, TypeError::ColumnConflict { .. }));
+    }
+
+    #[test]
+    fn arity_conflict_detected() {
+        let p = parse_program("p(X) :- q(X, X).\n").unwrap();
+        let base = base_types(&[("q", &[AttrType::Int])]);
+        let err = infer_types(&p, &base).unwrap_err();
+        assert!(matches!(err, TypeError::ArityConflict { .. }));
+    }
+
+    #[test]
+    fn uninferable_when_no_exit_path() {
+        // p defined only in terms of itself: no types can be established.
+        let p = parse_program("p(X) :- p(X).\n").unwrap();
+        let err = infer_types(&p, &TypeMap::new()).unwrap_err();
+        assert_eq!(err, TypeError::Uninferable { predicate: "p".to_string() });
+    }
+
+    #[test]
+    fn undefined_predicates_found() {
+        let p = parse_program("a(X) :- b(X), c(X).\n").unwrap();
+        let base: BTreeSet<String> = ["b".to_string()].into();
+        assert_eq!(undefined_predicates(&p, &base), vec!["c".to_string()]);
+        let all: BTreeSet<String> = ["b".to_string(), "c".to_string()].into();
+        assert!(undefined_predicates(&p, &all).is_empty());
+    }
+
+    #[test]
+    fn fact_defined_predicates_are_not_undefined() {
+        let p = parse_program("a(X) :- parent(X, X).\nparent(adam, adam).\n").unwrap();
+        assert!(undefined_predicates(&p, &BTreeSet::new()).is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! Robustness properties of the Horn clause front end: the parser and the
+//! downstream analyses never panic, whatever the input.
+
+use hornlog::parser::{parse_clause, parse_program, parse_query};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary printable text never panics any parser entry point.
+    #[test]
+    fn parsers_never_panic(input in "[ -~\\n]{0,150}") {
+        let _ = parse_program(&input);
+        let _ = parse_clause(&input);
+        let _ = parse_query(&input);
+    }
+
+    /// Whatever parses also survives the whole analysis pipeline: PCG,
+    /// SCC/cliques, stratification, evaluation order, type inference.
+    #[test]
+    fn analyses_never_panic_on_parsed_programs(input in "[ -~\\n]{0,150}") {
+        if let Ok(program) = parse_program(&input) {
+            let pcg = hornlog::Pcg::build(&program);
+            let _ = pcg.transitive_closure();
+            let _ = hornlog::scc::tarjan_scc(&pcg);
+            let _ = hornlog::find_cliques(&program);
+            let _ = hornlog::stratify(&program);
+            let _ = hornlog::evalgraph::evaluation_order(&program);
+            let _ = hornlog::types::infer_types(&program, &Default::default());
+        }
+    }
+
+    /// Parse errors carry offsets inside (or one past) the input.
+    #[test]
+    fn error_offsets_are_in_range(input in "[ -~]{1,100}") {
+        if let Err(e) = parse_clause(&input) {
+            prop_assert!(e.offset <= input.len() || e.offset == usize::MAX);
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_inputs_do_not_overflow() {
+    // Very long bodies and very long programs parse iteratively.
+    let long_body: String = (0..5000)
+        .map(|i| format!("p{i}(X)"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let clause = format!("big(X) :- {long_body}.");
+    let parsed = parse_clause(&clause).unwrap();
+    assert_eq!(parsed.body.len(), 5000);
+
+    let long_program: String =
+        (0..5000).map(|i| format!("q{i}(a).\n")).collect();
+    assert_eq!(parse_program(&long_program).unwrap().len(), 5000);
+}

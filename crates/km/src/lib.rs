@@ -1,0 +1,57 @@
+//! # dkbms-km — the Knowledge Manager
+//!
+//! The top layer of the two-layer D/KBMS testbed (Ramnarayan & Lu, SIGMOD
+//! 1988): it accepts pure function-free Horn clauses and queries, compiles
+//! each query into a program of SQL statements, and executes that program
+//! against the relational engine ([`rdbms`]) with naive or semi-naive LFP
+//! evaluation, optionally after the generalized magic-sets rewrite.
+//!
+//! Component map (paper §3.2):
+//!
+//! * [`workspace`] — the Workspace D/KB Manager;
+//! * [`stored`] — the Stored D/KB Manager (rules-in-relations, indexed
+//!   `rulesource` + `reachablepreds` compiled form);
+//! * [`semantics`] — the Semantic Checker;
+//! * [`magic`] — the Optimizer (generalized magic sets);
+//! * [`codegen`] — the Code Generator (rule bodies → SQL);
+//! * [`runtime`] — the Run Time Library (naive / semi-naive LFP);
+//! * [`update`] — the Stored D/KB update algorithm with incremental
+//!   transitive closure;
+//! * [`session`] — the User Interface's control flow: compile, execute,
+//!   update, with per-phase timings.
+//!
+//! ## Example
+//!
+//! ```
+//! use km::session::{Session, SessionConfig, binary_sym};
+//! use rdbms::Value;
+//!
+//! let mut s = Session::with_defaults().unwrap();
+//! s.define_base("parent", &binary_sym()).unwrap();
+//! s.load_facts("parent", vec![
+//!     vec![Value::from("adam"), Value::from("bob")],
+//!     vec![Value::from("bob"), Value::from("carol")],
+//! ]).unwrap();
+//! s.load_rules(
+//!     "anc(X, Y) :- parent(X, Y).\n\
+//!      anc(X, Y) :- parent(X, Z), anc(Z, Y).\n",
+//! ).unwrap();
+//! let (_, result) = s.query("?- anc(adam, W).").unwrap();
+//! assert_eq!(result.rows.len(), 2);
+//! ```
+
+pub mod codegen;
+pub mod magic;
+pub mod runtime;
+pub mod semantics;
+pub mod session;
+pub mod stored;
+pub mod update;
+pub mod util;
+pub mod workspace;
+
+pub use runtime::{EvalOutcome, LfpBreakdown, LfpStrategy};
+pub use session::{CompileTimings, CompiledQuery, QueryResult, Session, SessionConfig};
+pub use stored::{KmError, StoredDkb};
+pub use update::UpdateTimings;
+pub use workspace::Workspace;

@@ -1,0 +1,94 @@
+//! The Semantic Checker: the two checks of §3.2.4.
+//!
+//! 1. *Definedness* — every derived predicate reachable from the query has
+//!    a defining rule (or is a base relation / fact predicate).
+//! 2. *Type check* — column types of each derived predicate are inferred
+//!    from its rules and must agree across all rules defining it.
+
+use crate::stored::KmError;
+use hornlog::strat::stratify;
+use hornlog::types::{infer_types, undefined_predicates, TypeMap};
+use hornlog::Program;
+use std::collections::BTreeSet;
+
+/// Outcome of semantic analysis: the complete type map (base + derived).
+#[derive(Debug, Clone)]
+pub struct SemanticInfo {
+    pub types: TypeMap,
+}
+
+/// Run the semantic checks over the relevant program: definedness, the
+/// stratification check (negation extension), and type inference.
+///
+/// `program` holds the relevant rules *and* any workspace facts;
+/// `base_types` holds dictionary types for base relations (and, when known,
+/// previously registered derived predicates).
+pub fn check(program: &Program, base_types: &TypeMap) -> Result<SemanticInfo, KmError> {
+    let known: BTreeSet<String> = base_types.keys().cloned().collect();
+    let missing = undefined_predicates(program, &known);
+    if !missing.is_empty() {
+        return Err(KmError::Semantic(format!(
+            "no rules or facts define: {}",
+            missing.join(", ")
+        )));
+    }
+    if let Err(e) = stratify(program) {
+        return Err(KmError::Semantic(e.to_string()));
+    }
+    let types = infer_types(program, base_types)?;
+    Ok(SemanticInfo { types })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hornlog::parser::parse_program;
+    use hornlog::types::AttrType;
+
+    fn base() -> TypeMap {
+        [("parent".to_string(), vec![AttrType::Sym, AttrType::Sym])].into()
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let p = parse_program(
+            "anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).\n",
+        )
+        .unwrap();
+        let info = check(&p, &base()).unwrap();
+        assert_eq!(info.types["anc"], vec![AttrType::Sym, AttrType::Sym]);
+    }
+
+    #[test]
+    fn undefined_predicate_rejected() {
+        let p = parse_program("anc(X, Y) :- nosuch(X, Y).\n").unwrap();
+        let err = check(&p, &base()).unwrap_err();
+        assert!(matches!(err, KmError::Semantic(m) if m.contains("nosuch")));
+    }
+
+    #[test]
+    fn type_conflict_rejected() {
+        let p = parse_program(
+            "p(X) :- parent(X, X).\n\
+             p(X) :- nums(X).\n",
+        )
+        .unwrap();
+        let mut types = base();
+        types.insert("nums".into(), vec![AttrType::Int]);
+        let err = check(&p, &types).unwrap_err();
+        assert!(matches!(err, KmError::Type(_)));
+    }
+
+    #[test]
+    fn fact_predicates_count_as_defined() {
+        let p = parse_program(
+            "anc(X, Y) :- edge(X, Y).\n\
+             edge(a, b).\n",
+        )
+        .unwrap();
+        let info = check(&p, &TypeMap::new()).unwrap();
+        assert_eq!(info.types["edge"], vec![AttrType::Sym, AttrType::Sym]);
+        assert_eq!(info.types["anc"], vec![AttrType::Sym, AttrType::Sym]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Conversions between the rule-language world (`hornlog`) and the DBMS
+//! world (`rdbms`), plus SQL text helpers used by the code generator and
+//! the Stored D/KB manager.
+
+use hornlog::types::AttrType;
+use hornlog::Const;
+use rdbms::{ColType, Value};
+
+/// Map a rule-language attribute type to a DBMS column type.
+pub fn attr_to_coltype(t: AttrType) -> ColType {
+    match t {
+        AttrType::Int => ColType::Int,
+        AttrType::Sym => ColType::Str,
+    }
+}
+
+/// Map a DBMS column type to a rule-language attribute type.
+pub fn coltype_to_attr(t: ColType) -> AttrType {
+    match t {
+        ColType::Int => AttrType::Int,
+        ColType::Str => AttrType::Sym,
+    }
+}
+
+/// Map a rule-language constant to a DBMS value.
+pub fn const_to_value(c: &Const) -> Value {
+    match c {
+        Const::Int(i) => Value::Int(*i),
+        Const::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+/// Map a DBMS value back to a rule-language constant.
+pub fn value_to_const(v: &Value) -> Const {
+    match v {
+        Value::Int(i) => Const::Int(*i),
+        Value::Str(s) => Const::Str(s.clone()),
+    }
+}
+
+/// Convert a ground atom's arguments to an engine row. Panics on
+/// variables — callers pass facts only.
+pub fn fact_row(atom: &hornlog::Atom) -> Vec<Value> {
+    atom.args
+        .iter()
+        .map(|t| match t {
+            hornlog::Term::Const(c) => const_to_value(c),
+            hornlog::Term::Var(_) => unreachable!("facts are ground"),
+        })
+        .collect()
+}
+
+/// Render a string as a SQL string literal (single quotes doubled).
+pub fn sql_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for c in s.chars() {
+        if c == '\'' {
+            out.push('\'');
+        }
+        out.push(c);
+    }
+    out.push('\'');
+    out
+}
+
+/// Render a constant as a SQL literal.
+pub fn sql_const(c: &Const) -> String {
+    match c {
+        Const::Int(i) => i.to_string(),
+        Const::Str(s) => sql_quote(s),
+    }
+}
+
+/// Render a value as a SQL literal.
+pub fn sql_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => sql_quote(s),
+    }
+}
+
+/// Render an `IN` list of strings.
+pub fn sql_in_list<'a>(items: impl Iterator<Item = &'a str>) -> String {
+    let parts: Vec<String> = items.map(sql_quote).collect();
+    parts.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_mapping_roundtrips() {
+        for t in [AttrType::Int, AttrType::Sym] {
+            assert_eq!(coltype_to_attr(attr_to_coltype(t)), t);
+        }
+    }
+
+    #[test]
+    fn const_value_roundtrip() {
+        for c in [Const::Int(-3), Const::Str("it's".into())] {
+            assert_eq!(value_to_const(&const_to_value(&c)), c);
+        }
+    }
+
+    #[test]
+    fn quoting_escapes_single_quotes() {
+        assert_eq!(sql_quote("john"), "'john'");
+        assert_eq!(sql_quote("it's"), "'it''s'");
+        assert_eq!(sql_const(&Const::Int(7)), "7");
+        assert_eq!(sql_const(&Const::Str("a'b".into())), "'a''b'");
+    }
+
+    #[test]
+    fn in_list_rendering() {
+        assert_eq!(sql_in_list(["p", "q"].into_iter()), "'p', 'q'");
+        assert_eq!(sql_in_list(std::iter::empty()), "");
+    }
+}

@@ -1,0 +1,183 @@
+//! The Workspace D/KB: the memory-resident environment where a user session
+//! creates rules and facts before querying them or committing them to the
+//! Stored D/KB.
+
+use hornlog::parser::{parse_program, ParseError};
+use hornlog::pcg::Pcg;
+use hornlog::{Clause, Program};
+use std::collections::BTreeSet;
+
+/// In-memory rules and facts, with the analyses the paper assigns to the
+/// Workspace D/KB Manager: reachability, clique finding (via `hornlog`),
+/// and bookkeeping of which predicates the workspace defines.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    rules: Program,
+    facts: Program,
+}
+
+impl Workspace {
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Load clauses from source text; facts and rules are separated.
+    pub fn load(&mut self, src: &str) -> Result<(), ParseError> {
+        let program = parse_program(src)?;
+        for clause in program.clauses {
+            self.add_clause(clause);
+        }
+        Ok(())
+    }
+
+    pub fn add_clause(&mut self, clause: Clause) {
+        if clause.is_fact() {
+            self.facts.push(clause);
+        } else {
+            self.rules.push(clause);
+        }
+    }
+
+    pub fn rules(&self) -> &Program {
+        &self.rules
+    }
+
+    pub fn facts(&self) -> &Program {
+        &self.facts
+    }
+
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.facts.is_empty()
+    }
+
+    /// Discard all workspace contents (the paper's session flow clears the
+    /// workspace after committing it to the Stored D/KB).
+    pub fn clear(&mut self) {
+        self.rules = Program::default();
+        self.facts = Program::default();
+    }
+
+    /// Remove and return every fact whose predicate is in `preds` — used
+    /// when a commit moves pure fact predicates into stored base relations.
+    pub fn drain_facts_for(&mut self, preds: &BTreeSet<String>) -> Vec<Clause> {
+        let mut drained = Vec::new();
+        self.facts.clauses.retain(|c| {
+            if preds.contains(&c.head.predicate) {
+                drained.push(c.clone());
+                false
+            } else {
+                true
+            }
+        });
+        drained
+    }
+
+    /// Predicates defined by workspace rules.
+    pub fn derived_predicates(&self) -> BTreeSet<String> {
+        self.rules
+            .derived_predicates()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Predicates defined by workspace facts.
+    pub fn fact_predicates(&self) -> BTreeSet<String> {
+        self.facts
+            .facts()
+            .map(|c| c.head.predicate.to_string())
+            .collect()
+    }
+
+    /// The PCG of the workspace rules.
+    pub fn pcg(&self) -> Pcg {
+        Pcg::build(&self.rules)
+    }
+
+    /// Predicates reachable from `start` predicates through workspace rules.
+    pub fn reachable_from<'a>(
+        &self,
+        starts: impl Iterator<Item = &'a str>,
+    ) -> BTreeSet<String> {
+        self.pcg().reachable_from_all(starts)
+    }
+
+    /// Workspace rules whose head is in `preds`.
+    pub fn rules_for_set(&self, preds: &BTreeSet<String>) -> Vec<&Clause> {
+        self.rules
+            .rules()
+            .filter(|r| preds.contains(&r.head.predicate))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_separates_rules_and_facts() {
+        let mut ws = Workspace::new();
+        ws.load(
+            "anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).\n\
+             parent(adam, bob).\n",
+        )
+        .unwrap();
+        assert_eq!(ws.rule_count(), 2);
+        assert_eq!(ws.fact_count(), 1);
+        assert!(!ws.is_empty());
+        assert_eq!(
+            ws.derived_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["anc".to_string()]
+        );
+        assert_eq!(
+            ws.fact_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["parent".to_string()]
+        );
+    }
+
+    #[test]
+    fn reachability_through_workspace_rules() {
+        let mut ws = Workspace::new();
+        ws.load("a(X) :- b(X).\nb(X) :- c(X).\n").unwrap();
+        let r = ws.reachable_from(["a"].into_iter());
+        assert_eq!(
+            r.into_iter().collect::<Vec<_>>(),
+            vec!["b".to_string(), "c".to_string()]
+        );
+    }
+
+    #[test]
+    fn clear_empties_workspace() {
+        let mut ws = Workspace::new();
+        ws.load("p(a).").unwrap();
+        ws.clear();
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn rules_for_set_filters_by_head() {
+        let mut ws = Workspace::new();
+        ws.load("a(X) :- b(X).\nc(X) :- d(X).\n").unwrap();
+        let set: BTreeSet<String> = ["a".to_string()].into();
+        let rules = ws.rules_for_set(&set);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].head.predicate, "a");
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let mut ws = Workspace::new();
+        assert!(ws.load("p(X :- q.").is_err());
+        assert!(ws.is_empty());
+    }
+}

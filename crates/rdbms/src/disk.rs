@@ -1,0 +1,166 @@
+//! The simulated disk.
+//!
+//! The paper's testbed ran against a disk-based commercial DBMS. We model
+//! the disk as an in-memory collection of paged files with explicit read and
+//! write accounting, so experiments can report deterministic "physical I/O"
+//! counts alongside wall-clock time. Every transfer moves a whole
+//! [`crate::page::PAGE_SIZE`] page, exactly as a buffer manager
+//! over a real disk would.
+
+use crate::page::PAGE_SIZE;
+
+/// Identifies a file on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// Identifies a page within a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// Cumulative physical I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    pub pages_read: u64,
+    pub pages_written: u64,
+    pub pages_allocated: u64,
+}
+
+/// An in-memory paged "disk". Files are append-only collections of pages;
+/// dropping a file releases its pages immediately (the engine uses this for
+/// the temp-table churn the paper identifies as a major LFP overhead).
+#[derive(Default)]
+pub struct Disk {
+    files: Vec<Option<Vec<Box<[u8]>>>>,
+    stats: DiskStats,
+}
+
+impl Disk {
+    pub fn new() -> Disk {
+        Disk::default()
+    }
+
+    /// Create a new empty file.
+    pub fn create_file(&mut self) -> FileId {
+        // Reuse the slot of a previously dropped file if any, so long
+        // sessions do not grow the file table without bound.
+        if let Some(idx) = self.files.iter().position(Option::is_none) {
+            self.files[idx] = Some(Vec::new());
+            FileId(idx as u32)
+        } else {
+            self.files.push(Some(Vec::new()));
+            FileId((self.files.len() - 1) as u32)
+        }
+    }
+
+    /// Drop a file and all its pages.
+    pub fn drop_file(&mut self, file: FileId) {
+        if let Some(slot) = self.files.get_mut(file.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    fn file(&self, file: FileId) -> &Vec<Box<[u8]>> {
+        self.files[file.0 as usize]
+            .as_ref()
+            .expect("access to dropped file")
+    }
+
+    fn file_mut(&mut self, file: FileId) -> &mut Vec<Box<[u8]>> {
+        self.files[file.0 as usize]
+            .as_mut()
+            .expect("access to dropped file")
+    }
+
+    /// Append a zeroed page to `file`.
+    pub fn allocate_page(&mut self, file: FileId) -> PageId {
+        self.stats.pages_allocated += 1;
+        let pages = self.file_mut(file);
+        pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+        PageId((pages.len() - 1) as u32)
+    }
+
+    /// Number of pages currently allocated to `file`.
+    pub fn page_count(&self, file: FileId) -> u32 {
+        self.file(file).len() as u32
+    }
+
+    /// Read a page into `out`.
+    pub fn read_page(&mut self, file: FileId, page: PageId, out: &mut [u8]) {
+        self.stats.pages_read += 1;
+        out.copy_from_slice(&self.file(file)[page.0 as usize]);
+    }
+
+    /// Write a page from `data`.
+    pub fn write_page(&mut self, file: FileId, page: PageId, data: &[u8]) {
+        self.stats.pages_written += 1;
+        self.file_mut(file)[page.0 as usize].copy_from_slice(data);
+    }
+
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Whether `file` still exists.
+    pub fn file_exists(&self, file: FileId) -> bool {
+        matches!(self.files.get(file.0 as usize), Some(Some(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_allocate_read_write() {
+        let mut disk = Disk::new();
+        let f = disk.create_file();
+        let p = disk.allocate_page(f);
+        assert_eq!(disk.page_count(f), 1);
+
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[0] = 0xAB;
+        disk.write_page(f, p, &data);
+
+        let mut out = vec![0u8; PAGE_SIZE];
+        disk.read_page(f, p, &mut out);
+        assert_eq!(out[0], 0xAB);
+
+        let s = disk.stats();
+        assert_eq!(s.pages_allocated, 1);
+        assert_eq!(s.pages_read, 1);
+        assert_eq!(s.pages_written, 1);
+    }
+
+    #[test]
+    fn file_ids_are_reused_after_drop() {
+        let mut disk = Disk::new();
+        let f0 = disk.create_file();
+        let f1 = disk.create_file();
+        assert_ne!(f0, f1);
+        disk.drop_file(f0);
+        assert!(!disk.file_exists(f0));
+        assert!(disk.file_exists(f1));
+        let f2 = disk.create_file();
+        assert_eq!(f2, f0, "dropped slot is reused");
+        assert_eq!(disk.page_count(f2), 0, "reused file starts empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped file")]
+    fn access_to_dropped_file_panics() {
+        let mut disk = Disk::new();
+        let f = disk.create_file();
+        disk.drop_file(f);
+        disk.allocate_page(f);
+    }
+
+    #[test]
+    fn pages_are_zeroed_on_allocation() {
+        let mut disk = Disk::new();
+        let f = disk.create_file();
+        let p = disk.allocate_page(f);
+        let mut out = vec![0xFFu8; PAGE_SIZE];
+        disk.read_page(f, p, &mut out);
+        assert!(out.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,319 @@
+//! Physical-plan executor.
+//!
+//! A materializing executor: each operator produces its full result before
+//! the parent consumes it. This mirrors how the testbed's generated
+//! embedded-SQL programs behaved (every LFP iteration materialized
+//! temporaries), and keeps join state simple. Logical work is counted in
+//! [`ExecStats`] so experiments can report machine-independent costs.
+
+use crate::buffer::BufferPool;
+use crate::catalog::{Catalog, DbError};
+use crate::disk::Disk;
+use crate::plan::{ExecCond, PhysPlan, ProjExpr};
+use crate::schema::{deserialize_tuple, Tuple};
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Logical execution counters, cumulative across statements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tuples read by sequential scans.
+    pub tuples_scanned: u64,
+    /// Tuples fetched through an index (lookups and index joins).
+    pub tuples_fetched: u64,
+    /// Index probes issued.
+    pub index_probes: u64,
+    /// Tuples emitted by join operators.
+    pub join_output: u64,
+    /// Rows returned to the caller.
+    pub rows_output: u64,
+}
+
+/// Everything an operator needs at runtime.
+pub struct ExecCtx<'a> {
+    pub catalog: &'a Catalog,
+    pub disk: &'a mut Disk,
+    pub pool: &'a mut BufferPool,
+    pub stats: &'a mut ExecStats,
+}
+
+/// Evaluate one resolved condition against a flat row.
+fn eval_cond(cond: &ExecCond, row: &[Value]) -> bool {
+    match cond {
+        ExecCond::ColCmpCol(a, op, b) => op.eval(row[*a].cmp(&row[*b])),
+        ExecCond::ColCmpLit(a, op, v) => op.eval(row[*a].cmp(v)),
+        ExecCond::InList(a, vs) => vs.contains(&row[*a]),
+    }
+}
+
+fn eval_all(conds: &[ExecCond], row: &[Value]) -> bool {
+    conds.iter().all(|c| eval_cond(c, row))
+}
+
+/// Execute `plan` to completion.
+pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbError> {
+    match plan {
+        PhysPlan::SeqScan { table, filters } => {
+            let t = ctx.catalog.table(table)?;
+            let mut scan = t.heap.scan();
+            let mut out = Vec::new();
+            while let Some((_, payload)) = scan.next(ctx.disk, ctx.pool) {
+                ctx.stats.tuples_scanned += 1;
+                let tuple =
+                    deserialize_tuple(&payload).expect("stored tuple must deserialize");
+                if eval_all(filters, &tuple) {
+                    out.push(tuple);
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::IndexLookup { table, index_pos, key, residual } => {
+            let t = ctx.catalog.table(table)?;
+            let index = &t.indexes[*index_pos];
+            ctx.stats.index_probes += 1;
+            let rids: Vec<_> = index.lookup(key).to_vec();
+            let mut out = Vec::with_capacity(rids.len());
+            for rid in rids {
+                let payload = t
+                    .heap
+                    .get(ctx.disk, ctx.pool, rid)
+                    .expect("index points at live record");
+                ctx.stats.tuples_fetched += 1;
+                let tuple =
+                    deserialize_tuple(&payload).expect("stored tuple must deserialize");
+                if eval_all(residual, &tuple) {
+                    out.push(tuple);
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::IndexRange { table, index_pos, lo, hi, residual } => {
+            let t = ctx.catalog.table(table)?;
+            let index = &t.indexes[*index_pos];
+            let to_key = |b: &std::ops::Bound<Value>| match b {
+                std::ops::Bound::Included(v) => std::ops::Bound::Included(vec![v.clone()]),
+                std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(vec![v.clone()]),
+                std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+            };
+            let rids = index
+                .range(to_key(lo), to_key(hi))
+                .expect("planner only ranges over ordered indexes");
+            ctx.stats.index_probes += 1;
+            let mut out = Vec::with_capacity(rids.len());
+            for rid in rids {
+                let payload = t
+                    .heap
+                    .get(ctx.disk, ctx.pool, rid)
+                    .expect("index points at live record");
+                ctx.stats.tuples_fetched += 1;
+                let tuple =
+                    deserialize_tuple(&payload).expect("stored tuple must deserialize");
+                if eval_all(residual, &tuple) {
+                    out.push(tuple);
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::HashJoin { left, right, left_keys, right_keys, residual } => {
+            let left_rows = execute_plan(left, ctx)?;
+            let right_rows = execute_plan(right, ctx)?;
+            // Build the hash table on the smaller side; output rows are
+            // always left-columns-then-right-columns regardless.
+            let build_left = left_rows.len() <= right_rows.len();
+            let (build, build_keys, probe, probe_keys) = if build_left {
+                (&left_rows, left_keys, &right_rows, right_keys)
+            } else {
+                (&right_rows, right_keys, &left_rows, left_keys)
+            };
+            let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+            for row in build {
+                let key: Vec<Value> = build_keys.iter().map(|&i| row[i].clone()).collect();
+                table.entry(key).or_default().push(row);
+            }
+            let mut out = Vec::new();
+            for prow in probe {
+                let key: Vec<Value> = probe_keys.iter().map(|&i| prow[i].clone()).collect();
+                if let Some(matches) = table.get(&key) {
+                    for brow in matches {
+                        let (lrow, rrow): (&Tuple, &Tuple) =
+                            if build_left { (brow, prow) } else { (prow, brow) };
+                        let mut joined = Vec::with_capacity(lrow.len() + rrow.len());
+                        joined.extend_from_slice(lrow);
+                        joined.extend_from_slice(rrow);
+                        if eval_all(residual, &joined) {
+                            ctx.stats.join_output += 1;
+                            out.push(joined);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::IndexNlJoin { left, table, index_pos, left_keys, inner_filters, residual } => {
+            let left_rows = execute_plan(left, ctx)?;
+            let t = ctx.catalog.table(table)?;
+            let index = &t.indexes[*index_pos];
+            let mut out = Vec::new();
+            for lrow in &left_rows {
+                let key: Vec<Value> = left_keys.iter().map(|&i| lrow[i].clone()).collect();
+                ctx.stats.index_probes += 1;
+                let rids: Vec<_> = index.lookup(&key).to_vec();
+                for rid in rids {
+                    let payload = t
+                        .heap
+                        .get(ctx.disk, ctx.pool, rid)
+                        .expect("index points at live record");
+                    ctx.stats.tuples_fetched += 1;
+                    let inner =
+                        deserialize_tuple(&payload).expect("stored tuple must deserialize");
+                    if !eval_all(inner_filters, &inner) {
+                        continue;
+                    }
+                    let mut joined = Vec::with_capacity(lrow.len() + inner.len());
+                    joined.extend_from_slice(lrow);
+                    joined.extend(inner);
+                    if eval_all(residual, &joined) {
+                        ctx.stats.join_output += 1;
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::AntiJoin { child, table, inner_filters, outer_keys, inner_keys } => {
+            let rows = execute_plan(child, ctx)?;
+            // Materialize the (filtered) inner side once.
+            let t = ctx.catalog.table(table)?;
+            let mut scan = t.heap.scan();
+            let mut keys: HashSet<Vec<Value>> = HashSet::new();
+            let mut inner_nonempty = false;
+            while let Some((_, payload)) = scan.next(ctx.disk, ctx.pool) {
+                ctx.stats.tuples_scanned += 1;
+                let tuple =
+                    deserialize_tuple(&payload).expect("stored tuple must deserialize");
+                if !eval_all(inner_filters, &tuple) {
+                    continue;
+                }
+                inner_nonempty = true;
+                if !inner_keys.is_empty() {
+                    keys.insert(inner_keys.iter().map(|&i| tuple[i].clone()).collect());
+                }
+            }
+            if outer_keys.is_empty() {
+                // Uncorrelated NOT EXISTS: all-or-nothing.
+                return Ok(if inner_nonempty { Vec::new() } else { rows });
+            }
+            Ok(rows
+                .into_iter()
+                .filter(|row| {
+                    let key: Vec<Value> =
+                        outer_keys.iter().map(|&i| row[i].clone()).collect();
+                    !keys.contains(&key)
+                })
+                .collect())
+        }
+        PhysPlan::CrossJoin { left, right, residual } => {
+            let left_rows = execute_plan(left, ctx)?;
+            let right_rows = execute_plan(right, ctx)?;
+            let mut out = Vec::new();
+            for lrow in &left_rows {
+                for rrow in &right_rows {
+                    let mut joined = Vec::with_capacity(lrow.len() + rrow.len());
+                    joined.extend_from_slice(lrow);
+                    joined.extend_from_slice(rrow);
+                    if eval_all(residual, &joined) {
+                        ctx.stats.join_output += 1;
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::Filter { child, conds } => {
+            let rows = execute_plan(child, ctx)?;
+            Ok(rows.into_iter().filter(|r| eval_all(conds, r)).collect())
+        }
+        PhysPlan::Project { child, exprs } => {
+            let rows = execute_plan(child, ctx)?;
+            Ok(rows
+                .into_iter()
+                .map(|row| {
+                    exprs
+                        .iter()
+                        .map(|e| match e {
+                            ProjExpr::Col(i) => row[*i].clone(),
+                            ProjExpr::Lit(v) => v.clone(),
+                        })
+                        .collect()
+                })
+                .collect())
+        }
+        PhysPlan::Distinct { child } => {
+            let rows = execute_plan(child, ctx)?;
+            let mut seen = HashSet::with_capacity(rows.len());
+            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+        }
+        PhysPlan::Sort { child, keys } => {
+            let mut rows = execute_plan(child, ctx)?;
+            rows.sort_by(|a, b| {
+                for &k in keys {
+                    let ord = a[k].cmp(&b[k]);
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rows)
+        }
+        PhysPlan::CountStar { child } => {
+            let rows = execute_plan(child, ctx)?;
+            Ok(vec![vec![Value::Int(rows.len() as i64)]])
+        }
+        PhysPlan::GroupCount { child, keys } => {
+            let rows = execute_plan(child, ctx)?;
+            // Insertion-ordered grouping so output is deterministic.
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            let mut counts: HashMap<Vec<Value>, i64> = HashMap::new();
+            for row in rows {
+                let key: Vec<Value> = keys.iter().map(|&i| row[i].clone()).collect();
+                match counts.get_mut(&key) {
+                    Some(c) => *c += 1,
+                    None => {
+                        counts.insert(key.clone(), 1);
+                        order.push(key);
+                    }
+                }
+            }
+            Ok(order
+                .into_iter()
+                .map(|key| {
+                    let count = counts[&key];
+                    let mut row = key;
+                    row.push(Value::Int(count));
+                    row
+                })
+                .collect())
+        }
+        PhysPlan::UnionAll { left, right } => {
+            let mut rows = execute_plan(left, ctx)?;
+            rows.extend(execute_plan(right, ctx)?);
+            Ok(rows)
+        }
+        PhysPlan::UnionDistinct { left, right } => {
+            let mut rows = execute_plan(left, ctx)?;
+            rows.extend(execute_plan(right, ctx)?);
+            let mut seen = HashSet::with_capacity(rows.len());
+            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+        }
+        PhysPlan::Except { left, right } => {
+            let rows = execute_plan(left, ctx)?;
+            let exclude: HashSet<Tuple> = execute_plan(right, ctx)?.into_iter().collect();
+            let mut seen = HashSet::new();
+            Ok(rows
+                .into_iter()
+                .filter(|r| !exclude.contains(r) && seen.insert(r.clone()))
+                .collect())
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! In-memory indexes over heap files.
+//!
+//! The paper's experiments hinge on indexes: the flatness of `t_extract`
+//! versus total stored rules (Figure 7) and of `t_read` versus total derived
+//! predicates (Figure 9) both come from indexes on the rule-storage and
+//! dictionary relations. Two kinds are provided:
+//!
+//! * **hash** — exact-match lookups (the default; what the testbed's
+//!   generated programs use);
+//! * **ordered** — a B-tree-style ordered directory that additionally
+//!   serves range predicates (`WHERE a < 5`).
+//!
+//! Directories live in memory while the indexed records stay on pages;
+//! probe counts are tracked so experiments can report logical index work.
+
+use crate::heap::RecordId;
+use crate::value::Value;
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+#[derive(Debug, Clone)]
+enum Directory {
+    Hash(HashMap<Vec<Value>, Vec<RecordId>>),
+    Ordered(BTreeMap<Vec<Value>, Vec<RecordId>>),
+}
+
+/// A multi-column index: exact-match lookups on a fixed key, and — for
+/// ordered indexes — range scans.
+///
+/// The probe counter is a [`Cell`] so lookups can be counted while the
+/// catalog (and thus the index) is borrowed immutably during execution.
+#[derive(Debug, Clone)]
+pub struct TableIndex {
+    name: String,
+    /// Positions of the key columns within the table schema.
+    key_cols: Vec<usize>,
+    directory: Directory,
+    probes: Cell<u64>,
+}
+
+/// Backwards-compatible alias: the original index type was hash-only.
+pub type HashIndex = TableIndex;
+
+impl TableIndex {
+    /// A hash index (exact-match only).
+    pub fn new(name: impl Into<String>, key_cols: Vec<usize>) -> TableIndex {
+        assert!(!key_cols.is_empty(), "index needs at least one key column");
+        TableIndex {
+            name: name.into(),
+            key_cols,
+            directory: Directory::Hash(HashMap::new()),
+            probes: Cell::new(0),
+        }
+    }
+
+    /// An ordered index (exact-match and range scans).
+    pub fn new_ordered(name: impl Into<String>, key_cols: Vec<usize>) -> TableIndex {
+        assert!(!key_cols.is_empty(), "index needs at least one key column");
+        TableIndex {
+            name: name.into(),
+            key_cols,
+            directory: Directory::Ordered(BTreeMap::new()),
+            probes: Cell::new(0),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    pub fn is_ordered(&self) -> bool {
+        matches!(self.directory, Directory::Ordered(_))
+    }
+
+    /// Extract this index's key from a full tuple.
+    pub fn key_of(&self, tuple: &[Value]) -> Vec<Value> {
+        self.key_cols.iter().map(|&i| tuple[i].clone()).collect()
+    }
+
+    /// Register `rid` under the key of `tuple`.
+    pub fn insert(&mut self, tuple: &[Value], rid: RecordId) {
+        let key = self.key_of(tuple);
+        match &mut self.directory {
+            Directory::Hash(m) => m.entry(key).or_default().push(rid),
+            Directory::Ordered(m) => m.entry(key).or_default().push(rid),
+        }
+    }
+
+    /// Remove `rid` from the posting list of `tuple`'s key.
+    pub fn remove(&mut self, tuple: &[Value], rid: RecordId) {
+        let key = self.key_of(tuple);
+        let emptied = match &mut self.directory {
+            Directory::Hash(m) => match m.get_mut(&key) {
+                Some(rids) => {
+                    rids.retain(|r| *r != rid);
+                    rids.is_empty()
+                }
+                None => false,
+            },
+            Directory::Ordered(m) => match m.get_mut(&key) {
+                Some(rids) => {
+                    rids.retain(|r| *r != rid);
+                    rids.is_empty()
+                }
+                None => false,
+            },
+        };
+        if emptied {
+            match &mut self.directory {
+                Directory::Hash(m) => {
+                    m.remove(&key);
+                }
+                Directory::Ordered(m) => {
+                    m.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// All record ids whose key equals `key`.
+    pub fn lookup(&self, key: &[Value]) -> &[RecordId] {
+        self.probes.set(self.probes.get() + 1);
+        match &self.directory {
+            Directory::Hash(m) => m.get(key).map(Vec::as_slice).unwrap_or(&[]),
+            Directory::Ordered(m) => m.get(key).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    /// Record ids whose key lies in the given bounds, in key order. Only
+    /// meaningful for ordered indexes; a hash index returns `None`.
+    pub fn range(
+        &self,
+        lo: Bound<Vec<Value>>,
+        hi: Bound<Vec<Value>>,
+    ) -> Option<Vec<RecordId>> {
+        let Directory::Ordered(m) = &self.directory else {
+            return None;
+        };
+        self.probes.set(self.probes.get() + 1);
+        // An inverted range is simply empty (BTreeMap::range would panic).
+        if let (
+            Bound::Included(a) | Bound::Excluded(a),
+            Bound::Included(b) | Bound::Excluded(b),
+        ) = (&lo, &hi)
+        {
+            let empty = a > b
+                || (a == b
+                    && (matches!(lo, Bound::Excluded(_)) || matches!(hi, Bound::Excluded(_))));
+            if empty {
+                return Some(Vec::new());
+            }
+        }
+        Some(
+            m.range((lo, hi))
+                .flat_map(|(_, rids)| rids.iter().copied())
+                .collect(),
+        )
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        match &self.directory {
+            Directory::Hash(m) => m.len(),
+            Directory::Ordered(m) => m.len(),
+        }
+    }
+
+    /// Total postings.
+    pub fn entry_count(&self) -> usize {
+        match &self.directory {
+            Directory::Hash(m) => m.values().map(Vec::len).sum(),
+            Directory::Ordered(m) => m.values().map(Vec::len).sum(),
+        }
+    }
+
+    pub fn probes(&self) -> u64 {
+        self.probes.get()
+    }
+
+    /// Discard all entries (used when a table is truncated).
+    pub fn clear(&mut self) {
+        match &mut self.directory {
+            Directory::Hash(m) => m.clear(),
+            Directory::Ordered(m) => m.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::PageId;
+
+    fn rid(page: u32, slot: u16) -> RecordId {
+        RecordId { page: PageId(page), slot }
+    }
+
+    #[test]
+    fn insert_lookup_single_column() {
+        let mut idx = HashIndex::new("i1", vec![0]);
+        idx.insert(&[Value::Int(1), Value::from("a")], rid(0, 0));
+        idx.insert(&[Value::Int(1), Value::from("b")], rid(0, 1));
+        idx.insert(&[Value::Int(2), Value::from("c")], rid(0, 2));
+        assert_eq!(idx.lookup(&[Value::Int(1)]), &[rid(0, 0), rid(0, 1)]);
+        assert_eq!(idx.lookup(&[Value::Int(2)]), &[rid(0, 2)]);
+        assert!(idx.lookup(&[Value::Int(3)]).is_empty());
+        assert_eq!(idx.probes(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.entry_count(), 3);
+    }
+
+    #[test]
+    fn multi_column_key_uses_all_parts() {
+        let mut idx = HashIndex::new("i2", vec![0, 1]);
+        idx.insert(&[Value::Int(1), Value::from("a")], rid(0, 0));
+        assert_eq!(idx.lookup(&[Value::Int(1), Value::from("a")]).len(), 1);
+        assert!(idx.lookup(&[Value::Int(1), Value::from("b")]).is_empty());
+    }
+
+    #[test]
+    fn key_can_skip_and_reorder_columns() {
+        let mut idx = HashIndex::new("i3", vec![2, 0]);
+        let tuple = [Value::Int(10), Value::from("mid"), Value::Int(30)];
+        idx.insert(&tuple, rid(1, 1));
+        assert_eq!(idx.key_of(&tuple), vec![Value::Int(30), Value::Int(10)]);
+        assert_eq!(idx.lookup(&[Value::Int(30), Value::Int(10)]).len(), 1);
+    }
+
+    #[test]
+    fn remove_shrinks_posting_list() {
+        let mut idx = HashIndex::new("i4", vec![0]);
+        let t = [Value::Int(1)];
+        idx.insert(&t, rid(0, 0));
+        idx.insert(&t, rid(0, 1));
+        idx.remove(&t, rid(0, 0));
+        assert_eq!(idx.lookup(&[Value::Int(1)]), &[rid(0, 1)]);
+        idx.remove(&t, rid(0, 1));
+        assert!(idx.lookup(&[Value::Int(1)]).is_empty());
+        assert_eq!(idx.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn clear_empties_index() {
+        let mut idx = HashIndex::new("i5", vec![0]);
+        idx.insert(&[Value::Int(1)], rid(0, 0));
+        idx.clear();
+        assert_eq!(idx.entry_count(), 0);
+    }
+}

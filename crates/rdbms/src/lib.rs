@@ -1,0 +1,55 @@
+//! # dkbms-rdbms — the DBMS layer of the D/KBMS testbed
+//!
+//! An in-process relational engine playing the role of the "commercial
+//! relational database management system with SQL and embedded-SQL
+//! interfaces" in the two-layer testbed architecture of Ramnarayan & Lu
+//! (SIGMOD 1988). The Knowledge Manager compiles Horn-clause queries into
+//! programs whose every database interaction is a SQL statement executed
+//! through [`Engine::execute`].
+//!
+//! The stack, bottom to top:
+//!
+//! * [`disk`] — a simulated paged disk with physical I/O accounting;
+//! * [`page`] — slotted pages;
+//! * [`buffer`] — a clock-replacement buffer pool;
+//! * [`heap`] — heap files of variable-length records;
+//! * [`index`] — multi-column hash indexes;
+//! * [`catalog`] — table/index metadata, temp-table lifecycle;
+//! * [`sql`] — lexer, parser and AST for the SQL subset;
+//! * [`plan`] — binding, access-path selection (index lookups, index
+//!   nested-loop joins, hash joins), greedy join ordering;
+//! * [`exec`] — the materializing executor with logical-work counters;
+//! * [`engine`] — the public facade.
+//!
+//! ## Example
+//!
+//! ```
+//! use rdbms::Engine;
+//!
+//! let mut db = Engine::new();
+//! db.execute("CREATE TABLE parent (par char, child char)").unwrap();
+//! db.execute("INSERT INTO parent VALUES ('adam','bob'), ('bob','carol')").unwrap();
+//! let rs = db
+//!     .execute("SELECT a.par, b.child FROM parent a, parent b WHERE a.child = b.par")
+//!     .unwrap();
+//! assert_eq!(rs.rows.len(), 1); // adam is bob's parent, bob is carol's: one grandparent pair
+//! ```
+
+pub mod buffer;
+pub mod catalog;
+pub mod disk;
+pub mod engine;
+pub mod exec;
+pub mod heap;
+pub mod index;
+pub mod page;
+pub mod plan;
+pub mod schema;
+pub mod snapshot;
+pub mod sql;
+pub mod value;
+
+pub use catalog::DbError;
+pub use engine::{Engine, EngineStats, ResultSet};
+pub use schema::{Column, Schema, Tuple};
+pub use value::{ColType, Value};

@@ -1,0 +1,1166 @@
+//! Query planner: binds a parsed query against the catalog and produces a
+//! physical plan.
+//!
+//! The planner implements the access-path and join decisions the paper's
+//! experiments depend on:
+//!
+//! * **Index selection** — a relation restricted by constant equalities on
+//!   all key columns of some index is read with an index lookup instead of a
+//!   scan. This is why `t_extract` and `t_read` stay flat as the stored rule
+//!   base / dictionary grows (Figures 7 and 9).
+//! * **Index nested-loop joins** — when the relation being joined in has an
+//!   index covering the join columns, the already-built side drives probes
+//!   into that index, so join cost follows the *relevant* rows, not the
+//!   relation size (Figure 8's join-selectivity sensitivity).
+//! * **Hash joins** otherwise, with greedy smallest-first join ordering.
+
+use crate::catalog::{Catalog, DbError};
+use crate::schema::Schema;
+use crate::sql::ast::*;
+use crate::value::{ColType, Value};
+
+/// A resolved condition over a flat row layout (column positions are
+/// absolute offsets into the combined row).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecCond {
+    ColCmpCol(usize, CmpOp, usize),
+    ColCmpLit(usize, CmpOp, Value),
+    InList(usize, Vec<Value>),
+}
+
+/// A resolved projection expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjExpr {
+    Col(usize),
+    Lit(Value),
+}
+
+/// Physical plan operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysPlan {
+    /// Full scan of a base table with pushed-down filters (positions are
+    /// local to the table's schema).
+    SeqScan {
+        table: String,
+        filters: Vec<ExecCond>,
+    },
+    /// Exact-match index lookup; `residual` filters run on fetched rows.
+    IndexLookup {
+        table: String,
+        index_pos: usize,
+        key: Vec<Value>,
+        residual: Vec<ExecCond>,
+    },
+    /// Hash join on equi-key columns; `residual` runs on joined rows using
+    /// combined-layout positions.
+    HashJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        residual: Vec<ExecCond>,
+    },
+    /// Index nested-loop join: rows from `left` probe `index_pos` on
+    /// `table`; `left_keys` are positions in the left layout, aligned with
+    /// the index key columns. `inner_filters` use the inner table's local
+    /// positions; `residual` uses combined positions.
+    IndexNlJoin {
+        left: Box<PhysPlan>,
+        table: String,
+        index_pos: usize,
+        left_keys: Vec<usize>,
+        inner_filters: Vec<ExecCond>,
+        residual: Vec<ExecCond>,
+    },
+    /// Cartesian product with post-filters (combined positions).
+    CrossJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        residual: Vec<ExecCond>,
+    },
+    /// Range scan over an ordered index: record ids whose key is within
+    /// the bounds, with residual filters on fetched rows (local positions).
+    IndexRange {
+        table: String,
+        index_pos: usize,
+        lo: std::ops::Bound<Value>,
+        hi: std::ops::Bound<Value>,
+        residual: Vec<ExecCond>,
+    },
+    /// Anti-join implementing `NOT EXISTS`: child rows survive iff no row
+    /// of `table` (after `inner_filters`, local positions) matches them on
+    /// `outer_keys` = `inner_keys`. With no correlation keys the semantics
+    /// degenerate to "inner relation empty".
+    AntiJoin {
+        child: Box<PhysPlan>,
+        table: String,
+        inner_filters: Vec<ExecCond>,
+        outer_keys: Vec<usize>,
+        inner_keys: Vec<usize>,
+    },
+    /// Row filter over any child (combined positions) — the fallback for
+    /// residual conditions whose child operator has no residual slot.
+    Filter {
+        child: Box<PhysPlan>,
+        conds: Vec<ExecCond>,
+    },
+    Project {
+        child: Box<PhysPlan>,
+        exprs: Vec<ProjExpr>,
+    },
+    Distinct {
+        child: Box<PhysPlan>,
+    },
+    Sort {
+        child: Box<PhysPlan>,
+        keys: Vec<usize>,
+    },
+    CountStar {
+        child: Box<PhysPlan>,
+    },
+    /// Hash aggregation for `SELECT <cols>, COUNT(*) ... GROUP BY <cols>`:
+    /// emits one row per distinct key (combined-layout positions) with the
+    /// group count appended.
+    GroupCount {
+        child: Box<PhysPlan>,
+        keys: Vec<usize>,
+    },
+    UnionAll {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+    },
+    UnionDistinct {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+    },
+    Except {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+    },
+}
+
+impl PhysPlan {
+    /// Render the operator tree as an indented EXPLAIN listing.
+    pub fn explain(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut Vec<String>) {
+        let pad = "  ".repeat(depth);
+        let fmt_conds = |conds: &[ExecCond]| -> String {
+            if conds.is_empty() {
+                String::new()
+            } else {
+                format!(" [{} cond(s)]", conds.len())
+            }
+        };
+        match self {
+            PhysPlan::SeqScan { table, filters } => {
+                out.push(format!("{pad}SeqScan {table}{}", fmt_conds(filters)));
+            }
+            PhysPlan::IndexLookup { table, key, residual, .. } => {
+                let key_str: Vec<String> = key.iter().map(|v| v.to_string()).collect();
+                out.push(format!(
+                    "{pad}IndexLookup {table} key=({}){}",
+                    key_str.join(", "),
+                    fmt_conds(residual)
+                ));
+            }
+            PhysPlan::IndexRange { table, lo, hi, residual, .. } => {
+                out.push(format!(
+                    "{pad}IndexRange {table} {lo:?}..{hi:?}{}",
+                    fmt_conds(residual)
+                ));
+            }
+            PhysPlan::HashJoin { left, right, left_keys, right_keys, residual } => {
+                out.push(format!(
+                    "{pad}HashJoin on {left_keys:?}={right_keys:?}{}",
+                    fmt_conds(residual)
+                ));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysPlan::IndexNlJoin { left, table, left_keys, residual, .. } => {
+                out.push(format!(
+                    "{pad}IndexNlJoin probe {table} keys={left_keys:?}{}",
+                    fmt_conds(residual)
+                ));
+                left.explain_into(depth + 1, out);
+            }
+            PhysPlan::CrossJoin { left, right, residual } => {
+                out.push(format!("{pad}CrossJoin{}", fmt_conds(residual)));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysPlan::AntiJoin { child, table, outer_keys, inner_keys, inner_filters } => {
+                out.push(format!(
+                    "{pad}AntiJoin {table} on {outer_keys:?}={inner_keys:?}{}",
+                    fmt_conds(inner_filters)
+                ));
+                child.explain_into(depth + 1, out);
+            }
+            PhysPlan::Filter { child, conds } => {
+                out.push(format!("{pad}Filter{}", fmt_conds(conds)));
+                child.explain_into(depth + 1, out);
+            }
+            PhysPlan::Project { child, exprs } => {
+                out.push(format!("{pad}Project [{} col(s)]", exprs.len()));
+                child.explain_into(depth + 1, out);
+            }
+            PhysPlan::Distinct { child } => {
+                out.push(format!("{pad}Distinct"));
+                child.explain_into(depth + 1, out);
+            }
+            PhysPlan::Sort { child, keys } => {
+                out.push(format!("{pad}Sort by {keys:?}"));
+                child.explain_into(depth + 1, out);
+            }
+            PhysPlan::CountStar { child } => {
+                out.push(format!("{pad}CountStar"));
+                child.explain_into(depth + 1, out);
+            }
+            PhysPlan::GroupCount { child, keys } => {
+                out.push(format!("{pad}GroupCount by {keys:?}"));
+                child.explain_into(depth + 1, out);
+            }
+            PhysPlan::UnionAll { left, right } => {
+                out.push(format!("{pad}UnionAll"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysPlan::UnionDistinct { left, right } => {
+                out.push(format!("{pad}UnionDistinct"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysPlan::Except { left, right } => {
+                out.push(format!("{pad}Except"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+        }
+    }
+}
+
+/// A planned query: the operator tree plus output column names.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    pub plan: PhysPlan,
+    pub columns: Vec<String>,
+}
+
+/// Plan a (possibly compound) query.
+pub fn plan_query(catalog: &Catalog, query: &Query) -> Result<PlannedQuery, DbError> {
+    match query {
+        Query::Select(block) => plan_select(catalog, block),
+        Query::Union { left, right, all } => {
+            let l = plan_query(catalog, left)?;
+            let r = plan_query(catalog, right)?;
+            check_compatible(&l, &r, "UNION")?;
+            let plan = if *all {
+                PhysPlan::UnionAll { left: Box::new(l.plan), right: Box::new(r.plan) }
+            } else {
+                PhysPlan::UnionDistinct { left: Box::new(l.plan), right: Box::new(r.plan) }
+            };
+            Ok(PlannedQuery { plan, columns: l.columns })
+        }
+        Query::Except { left, right } => {
+            let l = plan_query(catalog, left)?;
+            let r = plan_query(catalog, right)?;
+            check_compatible(&l, &r, "EXCEPT")?;
+            Ok(PlannedQuery {
+                plan: PhysPlan::Except { left: Box::new(l.plan), right: Box::new(r.plan) },
+                columns: l.columns,
+            })
+        }
+    }
+}
+
+fn check_compatible(l: &PlannedQuery, r: &PlannedQuery, op: &str) -> Result<(), DbError> {
+    if l.columns.len() != r.columns.len() {
+        return Err(DbError::Plan(format!(
+            "{op} arms have different arities ({} vs {})",
+            l.columns.len(),
+            r.columns.len()
+        )));
+    }
+    Ok(())
+}
+
+/// One relation appearing in the FROM list, after binding.
+struct Binding {
+    /// Canonical table name (as stored in the catalog entry).
+    table: String,
+    /// Name by which columns qualify this occurrence.
+    binding: String,
+    schema: Schema,
+    tuple_count: u64,
+}
+
+/// A column resolved to (relation index in FROM order, local column index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Resolved {
+    rel: usize,
+    col: usize,
+}
+
+/// A classified WHERE conjunct.
+enum Classified {
+    /// Touches exactly one relation.
+    Local(usize, LocalCond),
+    /// `a.x = b.y` with a != b.
+    EquiJoin(Resolved, Resolved),
+    /// Anything else touching two relations.
+    CrossResidual(ResolvedCond),
+}
+
+/// A condition with relation-local column positions.
+#[derive(Debug, Clone)]
+enum LocalCond {
+    ColCmpCol(usize, CmpOp, usize),
+    ColCmpLit(usize, CmpOp, Value),
+    InList(usize, Vec<Value>),
+}
+
+/// A fully resolved cross-relation condition.
+#[derive(Debug, Clone)]
+enum ResolvedCond {
+    ColCmpCol(Resolved, CmpOp, Resolved),
+}
+
+fn plan_select(catalog: &Catalog, block: &SelectBlock) -> Result<PlannedQuery, DbError> {
+    // 1. Bind FROM relations.
+    let mut bindings = Vec::with_capacity(block.from.len());
+    for tref in &block.from {
+        let table = catalog.table(&tref.table)?;
+        let binding = tref.binding().to_ascii_lowercase();
+        if bindings.iter().any(|b: &Binding| b.binding == binding) {
+            return Err(DbError::Plan(format!("duplicate relation binding: {binding}")));
+        }
+        bindings.push(Binding {
+            table: table.name.clone(),
+            binding,
+            schema: table.schema.clone(),
+            tuple_count: table.heap.tuple_count(),
+        });
+    }
+
+    // 2. Resolve and classify conditions. NOT EXISTS conjuncts become
+    // anti-joins applied after the positive join tree is complete.
+    let mut local: Vec<Vec<LocalCond>> = vec![Vec::new(); bindings.len()];
+    let mut joins: Vec<(Resolved, Resolved)> = Vec::new();
+    let mut cross: Vec<ResolvedCond> = Vec::new();
+    let mut anti: Vec<(&TableRef, &Vec<Condition>)> = Vec::new();
+    for cond in &block.where_clause {
+        if let Condition::NotExists { table, conds } = cond {
+            anti.push((table, conds));
+            continue;
+        }
+        match classify(&bindings, cond)? {
+            Classified::Local(rel, c) => local[rel].push(c),
+            Classified::EquiJoin(a, b) => joins.push((a, b)),
+            Classified::CrossResidual(c) => cross.push(c),
+        }
+    }
+
+    // 3. Greedy join order.
+    let order = join_order(catalog, &bindings, &local, &joins);
+
+    // 4/5/6. Build the join tree with access paths.
+    let mut layout: Vec<usize> = Vec::new(); // FROM-relation index per join position
+    let mut plan: Option<PhysPlan> = None;
+    let mut pending_joins = joins.clone();
+    let mut pending_cross = cross;
+
+    for &rel in &order {
+        let next = if let Some(current) = plan.take() {
+            // Join keys between the current layout and `rel`.
+            let mut left_keys = Vec::new();
+            let mut right_keys = Vec::new();
+            pending_joins.retain(|(a, b)| {
+                let (inner, outer) = if a.rel == rel && layout.contains(&b.rel) {
+                    (a, b)
+                } else if b.rel == rel && layout.contains(&a.rel) {
+                    (b, a)
+                } else {
+                    return true;
+                };
+                left_keys.push(global_pos(&bindings, &layout, *outer));
+                right_keys.push(inner.col);
+                false
+            });
+
+            if left_keys.is_empty() {
+                let right = access_path(catalog, &bindings, rel, &local[rel])?;
+                PhysPlan::CrossJoin {
+                    left: Box::new(current),
+                    right: Box::new(right),
+                    residual: Vec::new(),
+                }
+            } else if let Some(index_pos) =
+                usable_join_index(catalog, &bindings[rel], &right_keys)
+            {
+                // Reorder left keys to match the index key-column order.
+                let idx_cols = catalog.table(&bindings[rel].table)?.indexes[index_pos]
+                    .key_cols()
+                    .to_vec();
+                let mut ordered_left = Vec::with_capacity(idx_cols.len());
+                for kc in &idx_cols {
+                    let at = right_keys.iter().position(|c| c == kc).expect("covered");
+                    ordered_left.push(left_keys[at]);
+                }
+                PhysPlan::IndexNlJoin {
+                    left: Box::new(current),
+                    table: bindings[rel].table.clone(),
+                    index_pos,
+                    left_keys: ordered_left,
+                    inner_filters: local[rel].iter().map(local_to_exec).collect(),
+                    residual: Vec::new(),
+                }
+            } else {
+                let right = access_path(catalog, &bindings, rel, &local[rel])?;
+                PhysPlan::HashJoin {
+                    left: Box::new(current),
+                    right: Box::new(right),
+                    left_keys,
+                    right_keys,
+                    residual: Vec::new(),
+                }
+            }
+        } else {
+            access_path(catalog, &bindings, rel, &local[rel])?
+        };
+        layout.push(rel);
+        plan = Some(next);
+
+        // Attach any cross-residual conditions that are now fully bound.
+        let bound: Vec<ResolvedCond> = {
+            let mut now = Vec::new();
+            pending_cross.retain(|c| {
+                let ResolvedCond::ColCmpCol(a, _, b) = c;
+                if layout.contains(&a.rel) && layout.contains(&b.rel) {
+                    now.push(c.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            now
+        };
+        if !bound.is_empty() {
+            let conds: Vec<ExecCond> = bound
+                .iter()
+                .map(|ResolvedCond::ColCmpCol(a, op, b)| {
+                    ExecCond::ColCmpCol(
+                        global_pos(&bindings, &layout, *a),
+                        *op,
+                        global_pos(&bindings, &layout, *b),
+                    )
+                })
+                .collect();
+            plan = Some(attach_residual(plan.take().expect("plan built"), conds));
+        }
+    }
+    debug_assert!(pending_joins.is_empty(), "all equi-joins consumed");
+    let mut plan = plan.expect("FROM list is non-empty");
+
+    // Anti-joins for each NOT EXISTS conjunct.
+    for (tref, conds) in anti {
+        plan = plan_anti_join(catalog, &bindings, &layout, plan, tref, conds)?;
+    }
+
+    // Remaining equi-joins within a single relation occurrence cannot happen
+    // (classify maps those to Local), so pending_joins is empty here.
+
+    // 7. Grouped aggregation: SELECT <group cols>, COUNT(*) ... GROUP BY.
+    if !block.group_by.is_empty() {
+        return plan_group_count(&bindings, &layout, block, plan);
+    }
+
+    // 7'. Projection.
+    let (exprs, columns, count_star) =
+        resolve_projection(&bindings, &layout, &block.projections)?;
+    if count_star {
+        plan = PhysPlan::CountStar { child: Box::new(plan) };
+        return Ok(PlannedQuery { plan, columns });
+    }
+    plan = PhysPlan::Project { child: Box::new(plan), exprs };
+
+    // 8. DISTINCT then ORDER BY (sort runs over the projected row).
+    if block.distinct {
+        plan = PhysPlan::Distinct { child: Box::new(plan) };
+    }
+    if !block.order_by.is_empty() {
+        let mut keys = Vec::with_capacity(block.order_by.len());
+        for cref in &block.order_by {
+            let pos = columns
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(&cref.column))
+                .ok_or_else(|| {
+                    DbError::Plan(format!("ORDER BY column not in output: {}", cref.column))
+                })?;
+            keys.push(pos);
+        }
+        plan = PhysPlan::Sort { child: Box::new(plan), keys };
+    }
+    Ok(PlannedQuery { plan, columns })
+}
+
+/// Absolute position of a resolved column in the current join layout.
+fn global_pos(bindings: &[Binding], layout: &[usize], r: Resolved) -> usize {
+    let mut offset = 0;
+    for &rel in layout {
+        if rel == r.rel {
+            return offset + r.col;
+        }
+        offset += bindings[rel].schema.arity();
+    }
+    unreachable!("column's relation not yet in layout")
+}
+
+fn local_to_exec(c: &LocalCond) -> ExecCond {
+    match c {
+        LocalCond::ColCmpCol(a, op, b) => ExecCond::ColCmpCol(*a, *op, *b),
+        LocalCond::ColCmpLit(a, op, v) => ExecCond::ColCmpLit(*a, *op, v.clone()),
+        LocalCond::InList(a, vs) => ExecCond::InList(*a, vs.clone()),
+    }
+}
+
+fn attach_residual(plan: PhysPlan, mut conds: Vec<ExecCond>) -> PhysPlan {
+    match plan {
+        PhysPlan::HashJoin { left, right, left_keys, right_keys, mut residual } => {
+            residual.append(&mut conds);
+            PhysPlan::HashJoin { left, right, left_keys, right_keys, residual }
+        }
+        PhysPlan::IndexNlJoin { left, table, index_pos, left_keys, inner_filters, mut residual } => {
+            residual.append(&mut conds);
+            PhysPlan::IndexNlJoin { left, table, index_pos, left_keys, inner_filters, residual }
+        }
+        PhysPlan::CrossJoin { left, right, mut residual } => {
+            residual.append(&mut conds);
+            PhysPlan::CrossJoin { left, right, residual }
+        }
+        // Single-relation query with a same-relation residual: wrap in a
+        // degenerate cross join is overkill; push into the scan instead.
+        PhysPlan::SeqScan { table, mut filters } => {
+            filters.append(&mut conds);
+            PhysPlan::SeqScan { table, filters }
+        }
+        PhysPlan::IndexLookup { table, index_pos, key, mut residual } => {
+            residual.append(&mut conds);
+            PhysPlan::IndexLookup { table, index_pos, key, residual }
+        }
+        // Any other shape (e.g. the UnionAll an IN-list index expansion
+        // produces) keeps its semantics under a generic filter — never
+        // silently drop a condition.
+        other => PhysPlan::Filter { child: Box::new(other), conds },
+    }
+}
+
+/// Pick the access path for one relation given its local filters.
+fn access_path(
+    catalog: &Catalog,
+    bindings: &[Binding],
+    rel: usize,
+    local: &[LocalCond],
+) -> Result<PhysPlan, DbError> {
+    let b = &bindings[rel];
+    let table = catalog.table(&b.table)?;
+    // Constant-equality columns available for index keys.
+    let mut eq_cols: Vec<(usize, Value)> = Vec::new();
+    for c in local {
+        if let LocalCond::ColCmpLit(col, CmpOp::Eq, v) = c {
+            eq_cols.push((*col, v.clone()));
+        }
+    }
+    for (pos, index) in table.indexes.iter().enumerate() {
+        let covered: Option<Vec<Value>> = index
+            .key_cols()
+            .iter()
+            .map(|kc| eq_cols.iter().find(|(c, _)| c == kc).map(|(_, v)| v.clone()))
+            .collect();
+        if let Some(key) = covered {
+            // Exactly the (column, value) pairs consumed by the key; any
+            // other filter — including a conflicting equality on the same
+            // column — stays residual.
+            let consumed: Vec<(usize, &Value)> =
+                index.key_cols().iter().copied().zip(key.iter()).collect();
+            let residual: Vec<ExecCond> = local
+                .iter()
+                .filter(|c| {
+                    !matches!(c, LocalCond::ColCmpLit(col, CmpOp::Eq, v)
+                        if consumed.contains(&(*col, v)))
+                })
+                .map(local_to_exec)
+                .collect();
+            return Ok(PhysPlan::IndexLookup {
+                table: b.table.clone(),
+                index_pos: pos,
+                key,
+                residual,
+            });
+        }
+    }
+    // An IN-list over a single-column index expands to a union of index
+    // lookups — this is what keeps the Stored D/KB extraction query flat in
+    // the total rule count (Figure 7).
+    for (pos, index) in table.indexes.iter().enumerate() {
+        let [key_col] = index.key_cols() else { continue };
+        let in_list = local.iter().find_map(|c| match c {
+            LocalCond::InList(col, vs) if col == key_col => Some(vs),
+            _ => None,
+        });
+        let Some(values) = in_list else { continue };
+        let residual: Vec<ExecCond> = local
+            .iter()
+            .filter(|c| !matches!(c, LocalCond::InList(col, vs) if col == key_col && vs == values))
+            .map(local_to_exec)
+            .collect();
+        // Dedupe list values so a row cannot match through two arms.
+        let mut distinct: Vec<&Value> = Vec::new();
+        for v in values {
+            if !distinct.contains(&v) {
+                distinct.push(v);
+            }
+        }
+        let mut arms = distinct.into_iter().map(|v| PhysPlan::IndexLookup {
+            table: b.table.clone(),
+            index_pos: pos,
+            key: vec![v.clone()],
+            residual: residual.clone(),
+        });
+        let first = arms.next().expect("IN list is non-empty");
+        return Ok(arms.fold(first, |acc, arm| PhysPlan::UnionAll {
+            left: Box::new(acc),
+            right: Box::new(arm),
+        }));
+    }
+    // Range predicates over a single-column ordered index.
+    for (pos, index) in table.indexes.iter().enumerate() {
+        if !index.is_ordered() {
+            continue;
+        }
+        let [key_col] = index.key_cols() else { continue };
+        let mut lo: std::ops::Bound<Value> = std::ops::Bound::Unbounded;
+        let mut hi: std::ops::Bound<Value> = std::ops::Bound::Unbounded;
+        let mut used = 0usize;
+        for c in local {
+            if let LocalCond::ColCmpLit(col, op, v) = c {
+                if col != key_col {
+                    continue;
+                }
+                match op {
+                    CmpOp::Gt => {
+                        lo = tighten_lo(lo, std::ops::Bound::Excluded(v.clone()));
+                        used += 1;
+                    }
+                    CmpOp::Ge => {
+                        lo = tighten_lo(lo, std::ops::Bound::Included(v.clone()));
+                        used += 1;
+                    }
+                    CmpOp::Lt => {
+                        hi = tighten_hi(hi, std::ops::Bound::Excluded(v.clone()));
+                        used += 1;
+                    }
+                    CmpOp::Le => {
+                        hi = tighten_hi(hi, std::ops::Bound::Included(v.clone()));
+                        used += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if used == 0 {
+            continue;
+        }
+        // Everything stays as a residual check (bounds may overlap several
+        // conjuncts); the index only narrows the scan.
+        let residual: Vec<ExecCond> = local.iter().map(local_to_exec).collect();
+        return Ok(PhysPlan::IndexRange {
+            table: b.table.clone(),
+            index_pos: pos,
+            lo,
+            hi,
+            residual,
+        });
+    }
+    Ok(PhysPlan::SeqScan {
+        table: b.table.clone(),
+        filters: local.iter().map(local_to_exec).collect(),
+    })
+}
+
+/// Keep the tighter of two lower bounds.
+fn tighten_lo(
+    a: std::ops::Bound<Value>,
+    b: std::ops::Bound<Value>,
+) -> std::ops::Bound<Value> {
+    use std::ops::Bound::*;
+    match (&a, &b) {
+        (Unbounded, _) => b,
+        (_, Unbounded) => a,
+        (Included(x) | Excluded(x), Included(y) | Excluded(y)) => {
+            if y > x || (y == x && matches!(b, Excluded(_))) {
+                b
+            } else {
+                a
+            }
+        }
+    }
+}
+
+/// Keep the tighter of two upper bounds.
+fn tighten_hi(
+    a: std::ops::Bound<Value>,
+    b: std::ops::Bound<Value>,
+) -> std::ops::Bound<Value> {
+    use std::ops::Bound::*;
+    match (&a, &b) {
+        (Unbounded, _) => b,
+        (_, Unbounded) => a,
+        (Included(x) | Excluded(x), Included(y) | Excluded(y)) => {
+            if y < x || (y == x && matches!(b, Excluded(_))) {
+                b
+            } else {
+                a
+            }
+        }
+    }
+}
+
+/// An index on `binding`'s table whose key columns are exactly covered by
+/// the available join columns.
+fn usable_join_index(
+    catalog: &Catalog,
+    binding: &Binding,
+    join_cols: &[usize],
+) -> Option<usize> {
+    let table = catalog.table(&binding.table).ok()?;
+    table.indexes.iter().position(|index| {
+        index.key_cols().iter().all(|kc| join_cols.contains(kc))
+            && index.key_cols().len() == join_cols.len()
+    })
+}
+
+/// Greedy join order: start from the most restricted relation, then extend
+/// with connected relations smallest-first.
+fn join_order(
+    _catalog: &Catalog,
+    bindings: &[Binding],
+    local: &[Vec<LocalCond>],
+    joins: &[(Resolved, Resolved)],
+) -> Vec<usize> {
+    let n = bindings.len();
+    if n == 1 {
+        return vec![0];
+    }
+    // Restriction-aware size estimate: constant filters shrink a relation.
+    let est = |rel: usize| -> u64 {
+        let base = bindings[rel].tuple_count.max(1);
+        let restricted = local[rel]
+            .iter()
+            .any(|c| matches!(c, LocalCond::ColCmpLit(_, CmpOp::Eq, _) | LocalCond::InList(..)));
+        if restricted {
+            (base / 20).max(1)
+        } else {
+            base
+        }
+    };
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    // Seed with the smallest estimated relation.
+    remaining.sort_by_key(|&r| est(r));
+    order.push(remaining.remove(0));
+    while !remaining.is_empty() {
+        let connected_pos = remaining.iter().position(|&r| {
+            joins.iter().any(|(a, b)| {
+                (a.rel == r && order.contains(&b.rel)) || (b.rel == r && order.contains(&a.rel))
+            })
+        });
+        let pos = connected_pos.unwrap_or(0);
+        order.push(remaining.remove(pos));
+    }
+    order
+}
+
+/// Plan `SELECT c1, .., cn, COUNT(*) FROM ... GROUP BY c1, .., cn`. The
+/// projection must be exactly the group columns (in order) followed by one
+/// `COUNT(*)`.
+fn plan_group_count(
+    bindings: &[Binding],
+    layout: &[usize],
+    block: &SelectBlock,
+    child: PhysPlan,
+) -> Result<PlannedQuery, DbError> {
+    let n = block.group_by.len();
+    if block.projections.len() != n + 1 {
+        return Err(DbError::Plan(
+            "GROUP BY projection must be the group columns followed by COUNT(*)".into(),
+        ));
+    }
+    let mut keys = Vec::with_capacity(n);
+    let mut columns = Vec::with_capacity(n + 1);
+    for (i, gcol) in block.group_by.iter().enumerate() {
+        let SelectItem::Expr { expr: Scalar::Col(pcol), alias } = &block.projections[i] else {
+            return Err(DbError::Plan(
+                "GROUP BY projection must be plain group columns".into(),
+            ));
+        };
+        let rg = resolve_col(bindings, gcol)?;
+        let rp = resolve_col(bindings, pcol)?;
+        if rg != rp {
+            return Err(DbError::Plan(format!(
+                "projected column {} is not group column {}",
+                pcol.column, gcol.column
+            )));
+        }
+        keys.push(global_pos(bindings, layout, rg));
+        columns.push(alias.clone().unwrap_or_else(|| pcol.column.clone()));
+    }
+    match &block.projections[n] {
+        SelectItem::CountStar { alias } => {
+            columns.push(alias.clone().unwrap_or_else(|| "count".to_string()));
+        }
+        _ => {
+            return Err(DbError::Plan(
+                "the last GROUP BY projection must be COUNT(*)".into(),
+            ))
+        }
+    }
+    let mut plan = PhysPlan::GroupCount { child: Box::new(child), keys };
+    if !block.order_by.is_empty() {
+        let mut sort_keys = Vec::new();
+        for cref in &block.order_by {
+            let pos = columns
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(&cref.column))
+                .ok_or_else(|| {
+                    DbError::Plan(format!("ORDER BY column not in output: {}", cref.column))
+                })?;
+            sort_keys.push(pos);
+        }
+        plan = PhysPlan::Sort { child: Box::new(plan), keys: sort_keys };
+    }
+    Ok(PlannedQuery { plan, columns })
+}
+
+/// Build an [`PhysPlan::AntiJoin`] for one `NOT EXISTS` subquery. Inner
+/// column references resolve against the subquery's table first, then the
+/// outer FROM bindings; correlation must be by equality.
+fn plan_anti_join(
+    catalog: &Catalog,
+    bindings: &[Binding],
+    layout: &[usize],
+    child: PhysPlan,
+    tref: &TableRef,
+    conds: &[Condition],
+) -> Result<PhysPlan, DbError> {
+    let table = catalog.table(&tref.table)?;
+    let inner_binding = tref.binding().to_ascii_lowercase();
+    let inner_schema = table.schema.clone();
+
+    /// Where a column reference landed.
+    enum Side {
+        Inner(usize),
+        Outer(Resolved),
+    }
+    let resolve = |c: &ColRef| -> Result<Side, DbError> {
+        match &c.table {
+            Some(qual) if qual.to_ascii_lowercase() == inner_binding => inner_schema
+                .index_of(&c.column)
+                .map(Side::Inner)
+                .ok_or_else(|| DbError::NoSuchColumn(format!("{qual}.{}", c.column))),
+            Some(_) => resolve_col(bindings, c).map(Side::Outer),
+            None => {
+                // Unqualified: inner table shadows the outer scope.
+                if let Some(i) = inner_schema.index_of(&c.column) {
+                    Ok(Side::Inner(i))
+                } else {
+                    resolve_col(bindings, c).map(Side::Outer)
+                }
+            }
+        }
+    };
+
+    let mut inner_filters = Vec::new();
+    let mut outer_keys = Vec::new();
+    let mut inner_keys = Vec::new();
+    for cond in conds {
+        match cond {
+            Condition::NotExists { .. } => {
+                return Err(DbError::Plan("nested NOT EXISTS is not supported".into()))
+            }
+            Condition::InList { col, values } => match resolve(col)? {
+                Side::Inner(i) => inner_filters.push(ExecCond::InList(i, values.clone())),
+                Side::Outer(_) => {
+                    return Err(DbError::Plan(
+                        "NOT EXISTS: IN-list on an outer column is not supported".into(),
+                    ))
+                }
+            },
+            Condition::Cmp { left, op, right } => match (left, right) {
+                (Scalar::Col(a), Scalar::Col(b)) => match (resolve(a)?, resolve(b)?) {
+                    (Side::Inner(x), Side::Inner(y)) => {
+                        inner_filters.push(ExecCond::ColCmpCol(x, *op, y))
+                    }
+                    (Side::Inner(i), Side::Outer(o)) | (Side::Outer(o), Side::Inner(i)) => {
+                        if *op != CmpOp::Eq {
+                            return Err(DbError::Plan(
+                                "NOT EXISTS correlation must be by equality".into(),
+                            ));
+                        }
+                        outer_keys.push(global_pos(bindings, layout, o));
+                        inner_keys.push(i);
+                    }
+                    (Side::Outer(_), Side::Outer(_)) => {
+                        return Err(DbError::Plan(
+                            "NOT EXISTS condition references only outer columns".into(),
+                        ))
+                    }
+                },
+                (Scalar::Col(c), Scalar::Lit(v)) => match resolve(c)? {
+                    Side::Inner(i) => inner_filters.push(ExecCond::ColCmpLit(i, *op, v.clone())),
+                    Side::Outer(_) => {
+                        return Err(DbError::Plan(
+                            "NOT EXISTS literal condition must bind an inner column".into(),
+                        ))
+                    }
+                },
+                (Scalar::Lit(v), Scalar::Col(c)) => match resolve(c)? {
+                    Side::Inner(i) => {
+                        inner_filters.push(ExecCond::ColCmpLit(i, flip(*op), v.clone()))
+                    }
+                    Side::Outer(_) => {
+                        return Err(DbError::Plan(
+                            "NOT EXISTS literal condition must bind an inner column".into(),
+                        ))
+                    }
+                },
+                (Scalar::Lit(_), Scalar::Lit(_)) => {
+                    return Err(DbError::Plan(
+                        "constant comparison not supported in NOT EXISTS".into(),
+                    ))
+                }
+            },
+        }
+    }
+    Ok(PhysPlan::AntiJoin {
+        child: Box::new(child),
+        table: table.name.clone(),
+        inner_filters,
+        outer_keys,
+        inner_keys,
+    })
+}
+
+fn classify(bindings: &[Binding], cond: &Condition) -> Result<Classified, DbError> {
+    match cond {
+        Condition::NotExists { .. } => {
+            unreachable!("NOT EXISTS conjuncts are handled before classification")
+        }
+        Condition::InList { col, values } => {
+            let r = resolve_col(bindings, col)?;
+            let expected = bindings[r.rel].schema.column(r.col).ty;
+            for v in values {
+                if v.col_type() != expected {
+                    return Err(DbError::TypeMismatch(format!(
+                        "IN list value {v} does not match column type {expected}"
+                    )));
+                }
+            }
+            Ok(Classified::Local(r.rel, LocalCond::InList(r.col, values.clone())))
+        }
+        Condition::Cmp { left, op, right } => match (left, right) {
+            (Scalar::Lit(a), Scalar::Lit(b)) => Err(DbError::Plan(format!(
+                "constant comparison not supported: {a} vs {b}"
+            ))),
+            (Scalar::Col(c), Scalar::Lit(v)) => {
+                let r = resolve_col(bindings, c)?;
+                check_lit_type(bindings, r, v)?;
+                Ok(Classified::Local(r.rel, LocalCond::ColCmpLit(r.col, *op, v.clone())))
+            }
+            (Scalar::Lit(v), Scalar::Col(c)) => {
+                let r = resolve_col(bindings, c)?;
+                check_lit_type(bindings, r, v)?;
+                Ok(Classified::Local(r.rel, LocalCond::ColCmpLit(r.col, flip(*op), v.clone())))
+            }
+            (Scalar::Col(a), Scalar::Col(b)) => {
+                let ra = resolve_col(bindings, a)?;
+                let rb = resolve_col(bindings, b)?;
+                if ra.rel == rb.rel {
+                    Ok(Classified::Local(
+                        ra.rel,
+                        LocalCond::ColCmpCol(ra.col, *op, rb.col),
+                    ))
+                } else if *op == CmpOp::Eq {
+                    Ok(Classified::EquiJoin(ra, rb))
+                } else {
+                    Ok(Classified::CrossResidual(ResolvedCond::ColCmpCol(ra, *op, rb)))
+                }
+            }
+        },
+    }
+}
+
+fn check_lit_type(bindings: &[Binding], r: Resolved, v: &Value) -> Result<(), DbError> {
+    let expected = bindings[r.rel].schema.column(r.col).ty;
+    if v.col_type() != expected {
+        return Err(DbError::TypeMismatch(format!(
+            "literal {v} does not match column type {expected}"
+        )));
+    }
+    Ok(())
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+fn resolve_col(bindings: &[Binding], c: &ColRef) -> Result<Resolved, DbError> {
+    match &c.table {
+        Some(qual) => {
+            let qual = qual.to_ascii_lowercase();
+            let rel = bindings
+                .iter()
+                .position(|b| b.binding == qual)
+                .ok_or_else(|| DbError::Plan(format!("unknown relation: {qual}")))?;
+            let col = bindings[rel]
+                .schema
+                .index_of(&c.column)
+                .ok_or_else(|| DbError::NoSuchColumn(format!("{qual}.{}", c.column)))?;
+            Ok(Resolved { rel, col })
+        }
+        None => {
+            let mut found = None;
+            for (rel, b) in bindings.iter().enumerate() {
+                if let Some(col) = b.schema.index_of(&c.column) {
+                    if found.is_some() {
+                        return Err(DbError::Plan(format!(
+                            "ambiguous column: {}",
+                            c.column
+                        )));
+                    }
+                    found = Some(Resolved { rel, col });
+                }
+            }
+            found.ok_or_else(|| DbError::NoSuchColumn(c.column.clone()))
+        }
+    }
+}
+
+/// Resolve the projection list against the join layout. Returns the
+/// expressions, the output column names, and whether this is a COUNT(*).
+fn resolve_projection(
+    bindings: &[Binding],
+    layout: &[usize],
+    items: &[SelectItem],
+) -> Result<(Vec<ProjExpr>, Vec<String>, bool), DbError> {
+    if items.len() == 1 {
+        if let SelectItem::CountStar { alias } = &items[0] {
+            let name = alias.clone().unwrap_or_else(|| "count".to_string());
+            return Ok((Vec::new(), vec![name], true));
+        }
+    }
+    let mut exprs = Vec::new();
+    let mut names = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Star => {
+                // All columns in FROM order (not join order).
+                for (rel, b) in bindings.iter().enumerate() {
+                    for (col, c) in b.schema.columns().iter().enumerate() {
+                        exprs.push(ProjExpr::Col(global_pos(
+                            bindings,
+                            layout,
+                            Resolved { rel, col },
+                        )));
+                        names.push(c.name.clone());
+                    }
+                }
+            }
+            SelectItem::CountStar { .. } => {
+                return Err(DbError::Plan(
+                    "COUNT(*) cannot be mixed with other projections".to_string(),
+                ));
+            }
+            SelectItem::Expr { expr, alias } => match expr {
+                Scalar::Col(c) => {
+                    let r = resolve_col(bindings, c)?;
+                    exprs.push(ProjExpr::Col(global_pos(bindings, layout, r)));
+                    names.push(alias.clone().unwrap_or_else(|| c.column.clone()));
+                }
+                Scalar::Lit(v) => {
+                    exprs.push(ProjExpr::Lit(v.clone()));
+                    names.push(alias.clone().unwrap_or_else(|| "literal".to_string()));
+                }
+            },
+        }
+    }
+    Ok((exprs, names, false))
+}
+
+/// Infer the output column *types* of a planned query (needed for
+/// INSERT ... SELECT type checking). Literal projections carry their own
+/// type; column projections inherit from the base tables.
+pub fn output_types(catalog: &Catalog, query: &Query) -> Result<Vec<ColType>, DbError> {
+    match query {
+        Query::Union { left, .. } | Query::Except { left, .. } => output_types(catalog, left),
+        Query::Select(block) => {
+            let mut bindings = Vec::new();
+            for tref in &block.from {
+                let table = catalog.table(&tref.table)?;
+                bindings.push(Binding {
+                    table: table.name.clone(),
+                    binding: tref.binding().to_ascii_lowercase(),
+                    schema: table.schema.clone(),
+                    tuple_count: 0,
+                });
+            }
+            let mut types = Vec::new();
+            if !block.group_by.is_empty() {
+                for item in &block.projections {
+                    match item {
+                        SelectItem::Expr { expr: Scalar::Col(c), .. } => {
+                            let r = resolve_col(&bindings, c)?;
+                            types.push(bindings[r.rel].schema.column(r.col).ty);
+                        }
+                        SelectItem::CountStar { .. } => types.push(ColType::Int),
+                        _ => {
+                            return Err(DbError::Plan(
+                                "unsupported GROUP BY projection".into(),
+                            ))
+                        }
+                    }
+                }
+                return Ok(types);
+            }
+            for item in &block.projections {
+                match item {
+                    SelectItem::Star => {
+                        for b in &bindings {
+                            types.extend(b.schema.columns().iter().map(|c| c.ty));
+                        }
+                    }
+                    SelectItem::CountStar { .. } => types.push(ColType::Int),
+                    SelectItem::Expr { expr, .. } => match expr {
+                        Scalar::Col(c) => {
+                            let r = resolve_col(&bindings, c)?;
+                            types.push(bindings[r.rel].schema.column(r.col).ty);
+                        }
+                        Scalar::Lit(v) => types.push(v.col_type()),
+                    },
+                }
+            }
+            Ok(types)
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Abstract syntax for the SQL subset the Knowledge Manager emits.
+//!
+//! The subset covers exactly what the testbed's generated programs and
+//! dictionary maintenance need: DDL (tables + indexes), `INSERT` (literal
+//! rows and `INSERT ... SELECT`), `DELETE`, and conjunctive `SELECT` blocks
+//! with multi-way equi-joins, `DISTINCT`, `IN`-lists, `UNION [ALL]`,
+//! `EXCEPT`, `ORDER BY` and `COUNT(*)`.
+
+use crate::value::{ColType, Value};
+
+/// One SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, ColType)>,
+        temp: bool,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+        /// `CREATE ORDERED INDEX`: a range-capable ordered directory.
+        ordered: bool,
+    },
+    DropIndex {
+        name: String,
+    },
+    InsertValues {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
+    InsertSelect {
+        table: String,
+        query: Query,
+    },
+    /// `INSERT INTO t TRANSITIVE CLOSURE OF s` — the specialized LFP
+    /// operator of the paper's conclusion #8: the DBMS computes the
+    /// transitive closure of binary relation `source` internally, without
+    /// per-iteration SQL round-trips or temporary-table churn.
+    InsertTransitiveClosure {
+        table: String,
+        source: String,
+    },
+    Delete {
+        table: String,
+        predicate: Vec<Condition>,
+    },
+    Select(Query),
+    /// `EXPLAIN SELECT ...` — return the physical plan as text rows.
+    Explain(Query),
+}
+
+/// A (possibly compound) query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    Select(SelectBlock),
+    /// `left UNION [ALL] right`
+    Union {
+        left: Box<Query>,
+        right: Box<Query>,
+        all: bool,
+    },
+    /// `left EXCEPT right` (set difference, distinct semantics)
+    Except {
+        left: Box<Query>,
+        right: Box<Query>,
+    },
+}
+
+/// A single `SELECT ... FROM ... WHERE ... [ORDER BY ...]` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectBlock {
+    pub distinct: bool,
+    pub projections: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    /// Conjunction of simple conditions.
+    pub where_clause: Vec<Condition>,
+    /// `GROUP BY` columns; when non-empty the projection must be exactly
+    /// the group columns followed by `COUNT(*)`.
+    pub group_by: Vec<ColRef>,
+    pub order_by: Vec<ColRef>,
+}
+
+/// One item in the projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// A scalar (column reference or literal), optionally aliased.
+    Expr { expr: Scalar, alias: Option<String> },
+    /// `COUNT(*)`
+    CountStar { alias: Option<String> },
+}
+
+/// A table in the FROM list with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name by which columns may qualify this relation.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A possibly-qualified column reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+/// A scalar term in a condition or projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    Col(ColRef),
+    Lit(Value),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on ordered values.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// One conjunct of a WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    Cmp {
+        left: Scalar,
+        op: CmpOp,
+        right: Scalar,
+    },
+    /// `col IN (v1, v2, ...)` — the paper's extraction query uses an
+    /// OR-of-equalities over the query predicates, which we express this way.
+    InList { col: ColRef, values: Vec<Value> },
+    /// `NOT EXISTS (SELECT * FROM t [alias] WHERE ...)` — the correlated
+    /// anti-join the code generator emits for negated body atoms
+    /// (stratified-negation extension). The subquery is restricted to one
+    /// table with a conjunction of simple conditions; correlation is by
+    /// equality with outer columns.
+    NotExists {
+        table: TableRef,
+        conds: Vec<Condition>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn cmp_op_eval_covers_all_operators() {
+        assert!(CmpOp::Eq.eval(Ordering::Equal));
+        assert!(!CmpOp::Eq.eval(Ordering::Less));
+        assert!(CmpOp::Ne.eval(Ordering::Greater));
+        assert!(CmpOp::Lt.eval(Ordering::Less));
+        assert!(!CmpOp::Lt.eval(Ordering::Equal));
+        assert!(CmpOp::Le.eval(Ordering::Equal));
+        assert!(CmpOp::Gt.eval(Ordering::Greater));
+        assert!(CmpOp::Ge.eval(Ordering::Equal));
+        assert!(!CmpOp::Ge.eval(Ordering::Less));
+    }
+
+    #[test]
+    fn table_ref_binding_prefers_alias() {
+        let t = TableRef { table: "rulesource".into(), alias: Some("r".into()) };
+        assert_eq!(t.binding(), "r");
+        let t = TableRef { table: "rulesource".into(), alias: None };
+        assert_eq!(t.binding(), "rulesource");
+    }
+}

@@ -1,0 +1,244 @@
+//! SQL lexer.
+
+use crate::catalog::DbError;
+
+/// Lexical tokens. Keywords are recognized case-insensitively and surfaced
+/// as `Ident`; the parser matches them by spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Semicolon,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Tokenize `input`, rejecting any character outside the subset.
+pub fn lex(input: &str) -> Result<Vec<Token>, DbError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse("unexpected '!'".to_string()));
+                }
+            }
+            '\'' => {
+                // Single-quoted string; '' escapes a quote.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DbError::Parse("unterminated string".to_string())),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            // Strings are UTF-8; copy the full code point.
+                            let ch_len = utf8_len(b);
+                            let chunk = std::str::from_utf8(&bytes[i..i + ch_len])
+                                .map_err(|_| DbError::Parse("invalid UTF-8 in string".into()))?;
+                            s.push_str(chunk);
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '-' => {
+                // Either a negative integer literal or a `--` comment.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let (n, len) = lex_int(&input[i + 1..])?;
+                    tokens.push(Token::Int(-n));
+                    i += 1 + len;
+                } else {
+                    return Err(DbError::Parse("unexpected '-'".to_string()));
+                }
+            }
+            '0'..='9' => {
+                let (n, len) = lex_int(&input[i..])?;
+                tokens.push(Token::Int(n));
+                i += len;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(DbError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+fn lex_int(s: &str) -> Result<(i64, usize), DbError> {
+    let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    s[..end]
+        .parse::<i64>()
+        .map(|n| (n, end))
+        .map_err(|_| DbError::Parse(format!("integer literal out of range: {}", &s[..end])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_simple_select() {
+        let toks = lex("SELECT a.x, b.y FROM t a, u b WHERE a.x = b.y;").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Dot));
+        assert!(toks.contains(&Token::Eq));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn lexes_unicode_strings() {
+        let toks = lex("'ancêtre'").unwrap();
+        assert_eq!(toks, vec![Token::Str("ancêtre".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn lexes_numbers_including_negative() {
+        assert_eq!(lex("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(lex("-7").unwrap(), vec![Token::Int(-7)]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            lex("< <= > >= <> != =").unwrap(),
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Ne,
+                Token::Ne,
+                Token::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT -- the projection\n x").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("SELECT".into()), Token::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(lex("SELECT @x").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn huge_integer_errors() {
+        assert!(lex("999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,6 @@
+//! SQL front end: lexer, AST, and recursive-descent parser for the subset
+//! of SQL the Knowledge Manager emits.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;

@@ -1,0 +1,618 @@
+//! Recursive-descent parser for the SQL subset.
+
+use super::ast::*;
+use super::lexer::{lex, Token};
+use crate::catalog::DbError;
+use crate::value::{ColType, Value};
+
+/// Parse one statement (a trailing semicolon is allowed).
+pub fn parse_stmt(input: &str) -> Result<Stmt, DbError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.stmt()?;
+    p.accept_semicolon();
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a script of semicolon-separated statements.
+pub fn parse_script(input: &str) -> Result<Vec<Stmt>, DbError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_eof() {
+        stmts.push(p.stmt()?);
+        if !p.accept_semicolon() {
+            break;
+        }
+    }
+    p.expect_eof()?;
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Keywords that terminate an implicit alias position.
+const RESERVED: &[&str] = &[
+    "where", "order", "union", "except", "from", "and", "in", "as", "group", "on", "values",
+    "select", "distinct", "not", "exists",
+];
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: &str) -> DbError {
+        DbError::Parse(format!(
+            "{msg} (at token {:?})",
+            self.peek().map(|t| format!("{t:?}")).unwrap_or_else(|| "<eof>".into())
+        ))
+    }
+
+    /// Consume an identifier matching `kw` case-insensitively.
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected keyword {kw}")))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn accept(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), DbError> {
+        if self.accept(tok) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {tok:?}")))
+        }
+    }
+
+    fn accept_semicolon(&mut self) -> bool {
+        self.accept(&Token::Semicolon)
+    }
+
+    fn expect_eof(&mut self) -> Result<(), DbError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DbError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected identifier"))
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, DbError> {
+        if self.peek_kw("create") {
+            self.create_stmt()
+        } else if self.peek_kw("drop") {
+            self.drop_stmt()
+        } else if self.peek_kw("insert") {
+            self.insert_stmt()
+        } else if self.peek_kw("delete") {
+            self.delete_stmt()
+        } else if self.peek_kw("select") {
+            Ok(Stmt::Select(self.query()?))
+        } else if self.accept_kw("explain") {
+            Ok(Stmt::Explain(self.query()?))
+        } else {
+            Err(self.error("expected a statement"))
+        }
+    }
+
+    fn create_stmt(&mut self) -> Result<Stmt, DbError> {
+        self.expect_kw("create")?;
+        let temp = self.accept_kw("temp") || self.accept_kw("temporary");
+        let ordered = self.accept_kw("ordered");
+        if ordered {
+            if temp {
+                return Err(self.error("ORDERED applies to indexes only"));
+            }
+            self.expect_kw("index")?;
+            return self.create_index_tail(true);
+        }
+        if self.accept_kw("table") {
+            let name = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let mut columns = Vec::new();
+            loop {
+                let col = self.ident()?;
+                let ty_name = self.ident()?;
+                let ty = ColType::parse(&ty_name)
+                    .ok_or_else(|| DbError::Parse(format!("unknown type: {ty_name}")))?;
+                columns.push((col, ty));
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            Ok(Stmt::CreateTable { name, columns, temp })
+        } else if self.accept_kw("index") {
+            if temp {
+                return Err(self.error("TEMP applies to tables only"));
+            }
+            self.create_index_tail(false)
+        } else {
+            Err(self.error("expected TABLE or INDEX after CREATE"))
+        }
+    }
+
+    fn create_index_tail(&mut self, ordered: bool) -> Result<Stmt, DbError> {
+        let name = self.ident()?;
+        self.expect_kw("on")?;
+        let table = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = vec![self.ident()?];
+        while self.accept(&Token::Comma) {
+            columns.push(self.ident()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Stmt::CreateIndex { name, table, columns, ordered })
+    }
+
+    fn drop_stmt(&mut self) -> Result<Stmt, DbError> {
+        self.expect_kw("drop")?;
+        if self.accept_kw("table") {
+            let if_exists = if self.accept_kw("if") {
+                self.expect_kw("exists")?;
+                true
+            } else {
+                false
+            };
+            Ok(Stmt::DropTable { name: self.ident()?, if_exists })
+        } else if self.accept_kw("index") {
+            Ok(Stmt::DropIndex { name: self.ident()? })
+        } else {
+            Err(self.error("expected TABLE or INDEX after DROP"))
+        }
+    }
+
+    fn insert_stmt(&mut self) -> Result<Stmt, DbError> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        if self.accept_kw("values") {
+            let mut rows = vec![self.literal_row()?];
+            while self.accept(&Token::Comma) {
+                rows.push(self.literal_row()?);
+            }
+            Ok(Stmt::InsertValues { table, rows })
+        } else if self.peek_kw("select") {
+            Ok(Stmt::InsertSelect { table, query: self.query()? })
+        } else if self.accept_kw("transitive") {
+            self.expect_kw("closure")?;
+            self.expect_kw("of")?;
+            let source = self.ident()?;
+            Ok(Stmt::InsertTransitiveClosure { table, source })
+        } else {
+            Err(self.error(
+                "expected VALUES, SELECT or TRANSITIVE CLOSURE OF after INSERT INTO <table>",
+            ))
+        }
+    }
+
+    fn literal_row(&mut self) -> Result<Vec<Value>, DbError> {
+        self.expect(&Token::LParen)?;
+        let mut row = vec![self.literal()?];
+        while self.accept(&Token::Comma) {
+            row.push(self.literal()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(row)
+    }
+
+    fn literal(&mut self) -> Result<Value, DbError> {
+        match self.bump() {
+            Some(Token::Int(i)) => Ok(Value::Int(i)),
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected a literal"))
+            }
+        }
+    }
+
+    fn delete_stmt(&mut self) -> Result<Stmt, DbError> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let predicate = if self.accept_kw("where") {
+            self.conjunction()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::Delete { table, predicate })
+    }
+
+    fn query(&mut self) -> Result<Query, DbError> {
+        let mut left = Query::Select(self.select_block()?);
+        loop {
+            if self.accept_kw("union") {
+                let all = self.accept_kw("all");
+                let right = Query::Select(self.select_block()?);
+                left = Query::Union { left: Box::new(left), right: Box::new(right), all };
+            } else if self.accept_kw("except") {
+                let right = Query::Select(self.select_block()?);
+                left = Query::Except { left: Box::new(left), right: Box::new(right) };
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn select_block(&mut self) -> Result<SelectBlock, DbError> {
+        self.expect_kw("select")?;
+        let distinct = self.accept_kw("distinct");
+        let projections = self.select_items()?;
+        self.expect_kw("from")?;
+        let mut from = vec![self.table_ref()?];
+        while self.accept(&Token::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let where_clause = if self.accept_kw("where") {
+            self.conjunction()?
+        } else {
+            Vec::new()
+        };
+        let group_by = if self.accept_kw("group") {
+            self.expect_kw("by")?;
+            let mut cols = vec![self.col_ref()?];
+            while self.accept(&Token::Comma) {
+                cols.push(self.col_ref()?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
+        let order_by = if self.accept_kw("order") {
+            self.expect_kw("by")?;
+            let mut cols = vec![self.col_ref()?];
+            while self.accept(&Token::Comma) {
+                cols.push(self.col_ref()?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
+        Ok(SelectBlock { distinct, projections, from, where_clause, group_by, order_by })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>, DbError> {
+        if self.accept(&Token::Star) {
+            return Ok(vec![SelectItem::Star]);
+        }
+        let mut items = vec![self.select_item()?];
+        while self.accept(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, DbError> {
+        if self.peek_kw("count") {
+            self.pos += 1;
+            self.expect(&Token::LParen)?;
+            self.expect(&Token::Star)?;
+            self.expect(&Token::RParen)?;
+            let alias = self.optional_alias()?;
+            return Ok(SelectItem::CountStar { alias });
+        }
+        let expr = self.scalar()?;
+        let alias = self.optional_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn optional_alias(&mut self) -> Result<Option<String>, DbError> {
+        if self.accept_kw("as") {
+            return Ok(Some(self.ident()?));
+        }
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !RESERVED.contains(&s.to_ascii_lowercase().as_str()) {
+                return Ok(Some(self.ident()?));
+            }
+        }
+        Ok(None)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, DbError> {
+        let table = self.ident()?;
+        let alias = self.optional_alias()?;
+        Ok(TableRef { table, alias })
+    }
+
+    fn conjunction(&mut self) -> Result<Vec<Condition>, DbError> {
+        let mut conds = vec![self.condition()?];
+        while self.accept_kw("and") {
+            conds.push(self.condition()?);
+        }
+        Ok(conds)
+    }
+
+    fn condition(&mut self) -> Result<Condition, DbError> {
+        if self.peek_kw("not") {
+            let mark = self.pos;
+            self.pos += 1;
+            if self.accept_kw("exists") {
+                self.expect(&Token::LParen)?;
+                self.expect_kw("select")?;
+                self.expect(&Token::Star)?;
+                self.expect_kw("from")?;
+                let table = self.table_ref()?;
+                let conds = if self.accept_kw("where") {
+                    self.conjunction()?
+                } else {
+                    Vec::new()
+                };
+                if conds.iter().any(|c| matches!(c, Condition::NotExists { .. })) {
+                    return Err(self.error("nested NOT EXISTS is not supported"));
+                }
+                self.expect(&Token::RParen)?;
+                return Ok(Condition::NotExists { table, conds });
+            }
+            self.pos = mark;
+        }
+        let left = self.scalar()?;
+        if self.accept_kw("in") {
+            let col = match left {
+                Scalar::Col(c) => c,
+                Scalar::Lit(_) => return Err(self.error("IN requires a column on the left")),
+            };
+            self.expect(&Token::LParen)?;
+            let mut values = vec![self.literal()?];
+            while self.accept(&Token::Comma) {
+                values.push(self.literal()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Condition::InList { col, values });
+        }
+        let op = match self.bump() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error("expected comparison operator"));
+            }
+        };
+        let right = self.scalar()?;
+        Ok(Condition::Cmp { left, op, right })
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, DbError> {
+        match self.peek() {
+            Some(Token::Int(_)) | Some(Token::Str(_)) => Ok(Scalar::Lit(self.literal()?)),
+            Some(Token::Ident(_)) => Ok(Scalar::Col(self.col_ref()?)),
+            _ => Err(self.error("expected a scalar")),
+        }
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef, DbError> {
+        let first = self.ident()?;
+        if self.accept(&Token::Dot) {
+            let column = self.ident()?;
+            Ok(ColRef { table: Some(first), column })
+        } else {
+            Ok(ColRef { table: None, column: first })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let stmt = parse_stmt("CREATE TABLE parent (par char, child char);").unwrap();
+        match stmt {
+            Stmt::CreateTable { name, columns, temp } => {
+                assert_eq!(name, "parent");
+                assert!(!temp);
+                assert_eq!(
+                    columns,
+                    vec![("par".into(), ColType::Str), ("child".into(), ColType::Str)]
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_temp_table() {
+        let stmt = parse_stmt("CREATE TEMP TABLE delta (c0 integer)").unwrap();
+        assert!(matches!(stmt, Stmt::CreateTable { temp: true, .. }));
+    }
+
+    #[test]
+    fn parses_create_index() {
+        let stmt =
+            parse_stmt("CREATE INDEX rs_head ON rulesource (headpredname)").unwrap();
+        match stmt {
+            Stmt::CreateIndex { name, table, columns, ordered } => {
+                assert!(!ordered);
+                assert_eq!(name, "rs_head");
+                assert_eq!(table, "rulesource");
+                assert_eq!(columns, vec!["headpredname".to_string()]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_values() {
+        let stmt =
+            parse_stmt("INSERT INTO parent VALUES ('john', 'mary'), ('mary', 'sue')").unwrap();
+        match stmt {
+            Stmt::InsertValues { table, rows } => {
+                assert_eq!(table, "parent");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][0], Value::from("john"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_select() {
+        let stmt = parse_stmt(
+            "INSERT INTO anc SELECT p.par, p.child FROM parent p WHERE p.par = 'john'",
+        )
+        .unwrap();
+        assert!(matches!(stmt, Stmt::InsertSelect { .. }));
+    }
+
+    #[test]
+    fn parses_join_with_aliases_and_in_list() {
+        let stmt = parse_stmt(
+            "SELECT DISTINCT r.rule FROM rulesource r, reachablepreds t \
+             WHERE t.frompredname = r.headpredname AND t.topredname IN ('p', 'q')",
+        )
+        .unwrap();
+        let Stmt::Select(Query::Select(block)) = stmt else {
+            panic!("expected plain select");
+        };
+        assert!(block.distinct);
+        assert_eq!(block.from.len(), 2);
+        assert_eq!(block.where_clause.len(), 2);
+        assert!(matches!(block.where_clause[1], Condition::InList { .. }));
+    }
+
+    #[test]
+    fn parses_union_and_except_left_assoc() {
+        let stmt = parse_stmt(
+            "SELECT * FROM a UNION ALL SELECT * FROM b EXCEPT SELECT * FROM c",
+        )
+        .unwrap();
+        let Stmt::Select(q) = stmt else { panic!() };
+        match q {
+            Query::Except { left, .. } => {
+                assert!(matches!(*left, Query::Union { all: true, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_count_star_and_order_by() {
+        let stmt = parse_stmt("SELECT COUNT(*) AS n FROM t ORDER BY t.a, b").unwrap();
+        let Stmt::Select(Query::Select(block)) = stmt else { panic!() };
+        assert_eq!(
+            block.projections,
+            vec![SelectItem::CountStar { alias: Some("n".into()) }]
+        );
+        assert_eq!(block.order_by.len(), 2);
+    }
+
+    #[test]
+    fn parses_delete_with_predicate() {
+        let stmt = parse_stmt("DELETE FROM t WHERE a = 1 AND b <> 'x'").unwrap();
+        let Stmt::Delete { table, predicate } = stmt else { panic!() };
+        assert_eq!(table, "t");
+        assert_eq!(predicate.len(), 2);
+    }
+
+    #[test]
+    fn parses_drop_variants() {
+        assert!(matches!(
+            parse_stmt("DROP TABLE IF EXISTS t").unwrap(),
+            Stmt::DropTable { if_exists: true, .. }
+        ));
+        assert!(matches!(
+            parse_stmt("DROP TABLE t").unwrap(),
+            Stmt::DropTable { if_exists: false, .. }
+        ));
+        assert!(matches!(
+            parse_stmt("DROP INDEX i").unwrap(),
+            Stmt::DropIndex { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_script() {
+        let stmts = parse_script(
+            "CREATE TABLE t (a integer); INSERT INTO t VALUES (1); SELECT * FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_stmt("SELEC * FROM t").is_err());
+        assert!(parse_stmt("SELECT FROM t").is_err());
+        assert!(parse_stmt("SELECT * FROM t WHERE").is_err());
+        assert!(parse_stmt("SELECT * FROM t extra garbage here").is_err());
+        assert!(parse_stmt("INSERT INTO t VALUES (1,)").is_err());
+        assert!(parse_stmt("CREATE TABLE t (a blob)").is_err());
+        assert!(parse_stmt("SELECT * FROM t WHERE 1 IN (2)").is_err());
+    }
+
+    #[test]
+    fn unqualified_and_qualified_colrefs() {
+        let stmt = parse_stmt("SELECT a, t.b FROM t").unwrap();
+        let Stmt::Select(Query::Select(block)) = stmt else { panic!() };
+        assert_eq!(
+            block.projections[0],
+            SelectItem::Expr {
+                expr: Scalar::Col(ColRef { table: None, column: "a".into() }),
+                alias: None
+            }
+        );
+        assert_eq!(
+            block.projections[1],
+            SelectItem::Expr {
+                expr: Scalar::Col(ColRef { table: Some("t".into()), column: "b".into() }),
+                alias: None
+            }
+        );
+    }
+}

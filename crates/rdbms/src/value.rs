@@ -1,0 +1,248 @@
+//! Runtime values and column types.
+//!
+//! The testbed's data model follows the paper: base and derived relations
+//! carry columns of type `integer` or `char` (string). Values are totally
+//! ordered within a type; cross-type comparison orders all integers before
+//! all strings so that sorting mixed columns is deterministic rather than a
+//! panic.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column type of a relation attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColType {
+    /// 64-bit signed integer (the paper's `integer`).
+    Int,
+    /// Variable-length string (the paper's `char`).
+    Str,
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColType::Int => write!(f, "integer"),
+            ColType::Str => write!(f, "char"),
+        }
+    }
+}
+
+impl ColType {
+    /// Parse a type name as it appears in `CREATE TABLE`.
+    pub fn parse(s: &str) -> Option<ColType> {
+        match s.to_ascii_lowercase().as_str() {
+            "integer" | "int" => Some(ColType::Int),
+            "char" | "varchar" | "string" | "text" => Some(ColType::Str),
+            _ => None,
+        }
+    }
+}
+
+/// A runtime value stored in a tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    Int(i64),
+    Str(String),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn col_type(&self) -> ColType {
+        match self {
+            Value::Int(_) => ColType::Int,
+            Value::Str(_) => ColType::Str,
+        }
+    }
+
+    /// Integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// String payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Number of bytes this value occupies when serialized into a page
+    /// (1 tag byte plus the payload).
+    pub fn serialized_len(&self) -> usize {
+        match self {
+            Value::Int(_) => 1 + 8,
+            Value::Str(s) => 1 + 4 + s.len(),
+        }
+    }
+
+    /// Append the serialized form to `out`.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(i) => {
+                out.push(0);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(1);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    /// Decode one value from `buf` starting at `*pos`, advancing `*pos`.
+    /// Returns `None` on malformed input.
+    pub fn deserialize_from(buf: &[u8], pos: &mut usize) -> Option<Value> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        match tag {
+            0 => {
+                let bytes: [u8; 8] = buf.get(*pos..*pos + 8)?.try_into().ok()?;
+                *pos += 8;
+                Some(Value::Int(i64::from_le_bytes(bytes)))
+            }
+            1 => {
+                let len_bytes: [u8; 4] = buf.get(*pos..*pos + 4)?.try_into().ok()?;
+                *pos += 4;
+                let len = u32::from_le_bytes(len_bytes) as usize;
+                let s = buf.get(*pos..*pos + len)?;
+                *pos += len;
+                Some(Value::Str(String::from_utf8(s.to_vec()).ok()?))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Int(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_type_parse_and_display() {
+        assert_eq!(ColType::parse("integer"), Some(ColType::Int));
+        assert_eq!(ColType::parse("INT"), Some(ColType::Int));
+        assert_eq!(ColType::parse("char"), Some(ColType::Str));
+        assert_eq!(ColType::parse("VarChar"), Some(ColType::Str));
+        assert_eq!(ColType::parse("blob"), None);
+        assert_eq!(ColType::Int.to_string(), "integer");
+        assert_eq!(ColType::Str.to_string(), "char");
+    }
+
+    #[test]
+    fn value_type_accessors() {
+        let i = Value::Int(42);
+        let s = Value::from("hello");
+        assert_eq!(i.col_type(), ColType::Int);
+        assert_eq!(s.col_type(), ColType::Str);
+        assert_eq!(i.as_int(), Some(42));
+        assert_eq!(i.as_str(), None);
+        assert_eq!(s.as_str(), Some("hello"));
+        assert_eq!(s.as_int(), None);
+    }
+
+    #[test]
+    fn value_ordering_within_and_across_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::from("a") < Value::from("b"));
+        assert!(Value::Int(i64::MAX) < Value::from(""));
+    }
+
+    #[test]
+    fn serialize_roundtrip_int() {
+        let v = Value::Int(-123456789);
+        let mut buf = Vec::new();
+        v.serialize_into(&mut buf);
+        assert_eq!(buf.len(), v.serialized_len());
+        let mut pos = 0;
+        assert_eq!(Value::deserialize_from(&buf, &mut pos), Some(v));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn serialize_roundtrip_str() {
+        let v = Value::from("ancêtre");
+        let mut buf = Vec::new();
+        v.serialize_into(&mut buf);
+        assert_eq!(buf.len(), v.serialized_len());
+        let mut pos = 0;
+        assert_eq!(Value::deserialize_from(&buf, &mut pos), Some(v));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn deserialize_rejects_truncated_input() {
+        let v = Value::from("hello world");
+        let mut buf = Vec::new();
+        v.serialize_into(&mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(
+                Value::deserialize_from(&buf[..cut], &mut pos),
+                None,
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_bad_tag() {
+        let buf = [7u8, 0, 0, 0];
+        let mut pos = 0;
+        assert_eq!(Value::deserialize_from(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn display_matches_payload() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::from("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,259 @@
+//! Model-based property tests for the storage stack: each component is
+//! driven with random operation sequences and compared against a trivial
+//! in-memory reference model.
+
+use proptest::prelude::*;
+use rdbms::buffer::BufferPool;
+use rdbms::disk::Disk;
+use rdbms::heap::{HeapFile, RecordId};
+use rdbms::page::{SlottedPage, PAGE_SIZE};
+
+// ---------------------------------------------------------------------
+// Slotted page vs Vec<Option<payload>>
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PageOp {
+    Insert(Vec<u8>),
+    Delete(u16),
+    Get(u16),
+}
+
+fn arb_page_op() -> impl Strategy<Value = PageOp> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..300).prop_map(PageOp::Insert),
+        (0u16..64).prop_map(PageOp::Delete),
+        (0u16..64).prop_map(PageOp::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn slotted_page_matches_model(ops in prop::collection::vec(arb_page_op(), 0..80)) {
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        let mut page = SlottedPage::init(&mut buf);
+        // Model: slot -> Some(payload) while live.
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+        for op in ops {
+            match op {
+                PageOp::Insert(payload) => {
+                    match page.insert(&payload) {
+                        Some(slot) => {
+                            prop_assert_eq!(slot as usize, model.len());
+                            model.push(Some(payload));
+                        }
+                        None => {
+                            // Reject must mean it genuinely does not fit.
+                            prop_assert!(!page.fits(payload.len()));
+                        }
+                    }
+                }
+                PageOp::Delete(slot) => {
+                    let expected = model
+                        .get_mut(slot as usize)
+                        .map(|s| s.take().is_some())
+                        .unwrap_or(false);
+                    prop_assert_eq!(page.delete(slot), expected);
+                }
+                PageOp::Get(slot) => {
+                    let expected = model.get(slot as usize).and_then(|s| s.as_deref());
+                    prop_assert_eq!(page.get(slot), expected);
+                }
+            }
+        }
+        // Live slots agree at the end.
+        let live: Vec<u16> = model
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i as u16))
+            .collect();
+        prop_assert_eq!(page.live_slots(), live);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heap file vs HashMap<RecordId, payload>
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Insert(Vec<u8>),
+    /// Delete the i-th live record (mod live count).
+    DeleteNth(usize),
+    Scan,
+}
+
+fn arb_heap_op() -> impl Strategy<Value = HeapOp> {
+    prop_oneof![
+        3 => prop::collection::vec(any::<u8>(), 1..600).prop_map(HeapOp::Insert),
+        1 => (0usize..32).prop_map(HeapOp::DeleteNth),
+        1 => Just(HeapOp::Scan),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heap_file_matches_model(ops in prop::collection::vec(arb_heap_op(), 0..60)) {
+        let mut disk = Disk::new();
+        // Tiny pool so eviction churns constantly.
+        let mut pool = BufferPool::new(3);
+        let mut heap = HeapFile::create(&mut disk);
+        let mut model: Vec<(RecordId, Vec<u8>)> = Vec::new();
+
+        for op in ops {
+            match op {
+                HeapOp::Insert(payload) => {
+                    let rid = heap.insert(&mut disk, &mut pool, &payload);
+                    prop_assert!(
+                        !model.iter().any(|(r, _)| *r == rid),
+                        "record ids are never reused while live"
+                    );
+                    model.push((rid, payload));
+                }
+                HeapOp::DeleteNth(n) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let (rid, _) = model.remove(n % model.len());
+                    prop_assert!(heap.delete(&mut disk, &mut pool, rid));
+                    prop_assert!(!heap.delete(&mut disk, &mut pool, rid));
+                    prop_assert_eq!(heap.get(&mut disk, &mut pool, rid), None);
+                }
+                HeapOp::Scan => {
+                    let mut scan = heap.scan();
+                    let mut seen = Vec::new();
+                    while let Some((rid, payload)) = scan.next(&mut disk, &mut pool) {
+                        seen.push((rid, payload));
+                    }
+                    let mut expected = model.clone();
+                    expected.sort_by_key(|(r, _)| (r.page.0, r.slot));
+                    prop_assert_eq!(seen, expected);
+                }
+            }
+            prop_assert_eq!(heap.tuple_count() as usize, model.len());
+        }
+
+        // Every live record is retrievable at the end.
+        for (rid, payload) in &model {
+            let got = heap.get(&mut disk, &mut pool, *rid);
+            prop_assert_eq!(got.as_deref(), Some(payload.as_slice()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Buffer pool vs shadow memory
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random single-byte writes through pools of different sizes always
+    /// read back correctly, regardless of eviction pattern.
+    #[test]
+    fn buffer_pool_reads_see_all_writes(
+        pool_size in 1usize..6,
+        n_pages in 1u32..10,
+        ops in prop::collection::vec((0u32..10, 0usize..PAGE_SIZE, any::<u8>()), 0..120),
+    ) {
+        let mut disk = Disk::new();
+        let file = disk.create_file();
+        for _ in 0..n_pages {
+            disk.allocate_page(file);
+        }
+        let mut pool = BufferPool::new(pool_size);
+        let mut shadow = vec![vec![0u8; PAGE_SIZE]; n_pages as usize];
+
+        for (page, offset, byte) in ops {
+            let page = page % n_pages;
+            pool.with_page(&mut disk, file, rdbms::disk::PageId(page), true, |buf| {
+                buf[offset] = byte;
+            });
+            shadow[page as usize][offset] = byte;
+        }
+        // Every byte of every page reads back as the shadow says.
+        for page in 0..n_pages {
+            let expected = shadow[page as usize].clone();
+            pool.with_page(&mut disk, file, rdbms::disk::PageId(page), false, |buf| {
+                assert_eq!(buf, expected.as_slice(), "page {page}");
+            });
+        }
+        // Flushing and re-reading straight from disk agrees too.
+        pool.flush_all(&mut disk);
+        for page in 0..n_pages {
+            let mut out = vec![0u8; PAGE_SIZE];
+            disk.read_page(file, rdbms::disk::PageId(page), &mut out);
+            prop_assert_eq!(&out, &shadow[page as usize]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SQL front-end robustness
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The SQL parser never panics, whatever the input.
+    #[test]
+    fn sql_parser_never_panics(input in "[ -~\\n]{0,120}") {
+        let _ = rdbms::sql::parser::parse_stmt(&input);
+        let _ = rdbms::sql::parser::parse_script(&input);
+    }
+
+    /// Executing arbitrary text through the engine never panics either —
+    /// it errors or succeeds.
+    #[test]
+    fn engine_never_panics_on_garbage(input in "[ -~]{0,80}") {
+        let mut e = rdbms::Engine::new();
+        e.execute("CREATE TABLE t (a integer, b char)").unwrap();
+        let _ = e.execute(&input);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ordered index range scans vs reference filter
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Range queries over an ordered index agree with a reference filter
+    /// for every bound combination.
+    #[test]
+    fn ordered_index_range_matches_reference(
+        values in prop::collection::vec(-20i64..20, 0..40),
+        lo in -25i64..25,
+        hi in -25i64..25,
+        lo_incl in any::<bool>(),
+        hi_incl in any::<bool>(),
+    ) {
+        let mut e = rdbms::Engine::new();
+        e.execute("CREATE TABLE t (k integer)").unwrap();
+        e.insert_rows("t", values.iter().map(|&v| vec![rdbms::Value::Int(v)]).collect())
+            .unwrap();
+        e.execute("CREATE ORDERED INDEX t_k ON t (k)").unwrap();
+        let (lo_op, lo_ok): (&str, Box<dyn Fn(i64) -> bool>) = if lo_incl {
+            (">=", Box::new(move |v| v >= lo))
+        } else {
+            (">", Box::new(move |v| v > lo))
+        };
+        let (hi_op, hi_ok): (&str, Box<dyn Fn(i64) -> bool>) = if hi_incl {
+            ("<=", Box::new(move |v| v <= hi))
+        } else {
+            ("<", Box::new(move |v| v < hi))
+        };
+        let expected = values.iter().filter(|&&v| lo_ok(v) && hi_ok(v)).count() as i64;
+        let rs = e
+            .execute(&format!(
+                "SELECT COUNT(*) FROM t WHERE k {lo_op} {lo} AND k {hi_op} {hi}"
+            ))
+            .unwrap();
+        prop_assert_eq!(rs.scalar_int(), Some(expected));
+    }
+}

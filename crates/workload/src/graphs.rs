@@ -1,0 +1,273 @@
+//! Base-relation generators (§5.2, Tables 1 and 2).
+//!
+//! Binary relations are characterized by their directed-graph
+//! representation: domain elements are nodes, tuples are edges. The paper
+//! uses four families: lists, full binary trees, directed acyclic graphs,
+//! and directed cyclic graphs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// An edge list: the tuples of one binary relation.
+pub type Edges = Vec<(String, String)>;
+
+/// Convert an edge list into engine rows — the one place the
+/// string-to-[`rdbms::Value`] conversion lives.
+pub fn edges_to_rows(edges: &[(String, String)]) -> Vec<Vec<rdbms::Value>> {
+    edges
+        .iter()
+        .map(|(a, b)| vec![rdbms::Value::from(a.as_str()), rdbms::Value::from(b.as_str())])
+        .collect()
+}
+
+/// Engine rows for the chain `a0 -> a1 -> ... -> a{n-1}` — the fixture the
+/// compilation/update tests and examples share.
+pub fn chain_facts(n: usize) -> Vec<Vec<rdbms::Value>> {
+    (0..n.saturating_sub(1))
+        .map(|i| {
+            vec![
+                rdbms::Value::from(format!("a{i}")),
+                rdbms::Value::from(format!("a{}", i + 1)),
+            ]
+        })
+        .collect()
+}
+
+/// `n` disjoint lists of `len` nodes each: `n * (len - 1)` tuples.
+/// Node `j` of list `i` is named `L{i}_{j}`.
+pub fn lists(n: usize, len: usize) -> Edges {
+    let mut edges = Vec::with_capacity(n * len.saturating_sub(1));
+    for i in 0..n {
+        for j in 0..len.saturating_sub(1) {
+            edges.push((format!("L{i}_{j}"), format!("L{i}_{}", j + 1)));
+        }
+    }
+    edges
+}
+
+/// `n` disjoint lists with lengths uniform in `[avg_len/2, 3*avg_len/2]`
+/// (Table 1 parameterizes lists by *average* length). Deterministic under
+/// `seed`; total tuples ≈ `n * (avg_len - 1)`.
+pub fn lists_varied(n: usize, avg_len: usize, seed: u64) -> Edges {
+    assert!(avg_len >= 2, "lists need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lo = (avg_len / 2).max(2);
+    let hi = avg_len + avg_len / 2;
+    let mut edges = Vec::new();
+    for i in 0..n {
+        let len = rng.random_range(lo..=hi);
+        for j in 0..len - 1 {
+            edges.push((format!("L{i}_{j}"), format!("L{i}_{}", j + 1)));
+        }
+    }
+    edges
+}
+
+/// A full binary tree of `depth` levels (root at level 1): `2^depth - 1`
+/// nodes, `2^depth - 2` edges. Nodes are named by heap index (`n1` is the
+/// root; `n{2i}` and `n{2i+1}` are the children of `n{i}`), so callers can
+/// address any subtree root directly.
+pub fn full_binary_tree(depth: u32) -> Edges {
+    assert!((1..28).contains(&depth), "depth out of range");
+    let nodes = (1u64 << depth) - 1;
+    let mut edges = Vec::with_capacity((nodes - 1) as usize);
+    for i in 1..=(nodes / 2) {
+        edges.push((format!("n{i}"), format!("n{}", 2 * i)));
+        edges.push((format!("n{i}"), format!("n{}", 2 * i + 1)));
+    }
+    edges
+}
+
+/// Name of the leftmost node at `level` (1-based; level 1 is the root) of
+/// a [`full_binary_tree`].
+pub fn tree_node_at_level(level: u32) -> String {
+    format!("n{}", 1u64 << (level - 1))
+}
+
+/// Number of nodes in the subtree rooted at a node on `level` of a tree of
+/// `depth` levels.
+pub fn subtree_size(depth: u32, level: u32) -> u64 {
+    assert!(level >= 1 && level <= depth);
+    (1u64 << (depth - level + 1)) - 1
+}
+
+/// Number of edges inside that subtree (= descendants of the root).
+pub fn subtree_edges(depth: u32, level: u32) -> u64 {
+    subtree_size(depth, level) - 1
+}
+
+/// A forest of `n` full binary trees of `depth` levels. Tree `t`'s nodes
+/// are prefixed `t{t}_`.
+pub fn forest(n: usize, depth: u32) -> Edges {
+    let mut edges = Vec::new();
+    for t in 0..n {
+        for (a, b) in full_binary_tree(depth) {
+            edges.push((format!("t{t}_{a}"), format!("t{t}_{b}")));
+        }
+    }
+    edges
+}
+
+/// A layered DAG: `layers` layers of `width` nodes; each node has `fan_out`
+/// edges to distinct random nodes of the next layer. Tuples:
+/// `(layers - 1) * width * fan_out`; average fan-in equals `fan_out`; the
+/// path length (paper's sense) is `layers`. Deterministic under `seed`.
+pub fn layered_dag(layers: usize, width: usize, fan_out: usize, seed: u64) -> Edges {
+    assert!(fan_out <= width, "fan_out cannot exceed layer width");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(layers.saturating_sub(1) * width * fan_out);
+    for layer in 0..layers.saturating_sub(1) {
+        for i in 0..width {
+            let mut targets: Vec<usize> = (0..width).collect();
+            targets.shuffle(&mut rng);
+            for &t in targets.iter().take(fan_out) {
+                edges.push((format!("d{layer}_{i}"), format!("d{}_{t}", layer + 1)));
+            }
+        }
+    }
+    edges
+}
+
+/// A directed cyclic graph: `n_cycles` disjoint cycles of `cycle_len`
+/// nodes, plus `extra_edges` random edges between arbitrary nodes.
+/// Deterministic under `seed`.
+pub fn cyclic_digraph(
+    n_cycles: usize,
+    cycle_len: usize,
+    extra_edges: usize,
+    seed: u64,
+) -> Edges {
+    assert!(cycle_len >= 2, "a cycle needs at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n_cycles * cycle_len + extra_edges);
+    let node = |c: usize, i: usize| format!("c{c}_{i}");
+    for c in 0..n_cycles {
+        for i in 0..cycle_len {
+            edges.push((node(c, i), node(c, (i + 1) % cycle_len)));
+        }
+    }
+    for _ in 0..extra_edges {
+        let a = (rng.random_range(0..n_cycles), rng.random_range(0..cycle_len));
+        let b = (rng.random_range(0..n_cycles), rng.random_range(0..cycle_len));
+        edges.push((node(a.0, a.1), node(b.0, b.1)));
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn lists_tuple_count_matches_formula() {
+        // n lists of average length l: approximately n(l - 1) tuples.
+        let edges = lists(5, 10);
+        assert_eq!(edges.len(), 5 * 9);
+        // Each list is a simple chain: every node has at most one successor.
+        let sources: BTreeSet<&String> = edges.iter().map(|(a, _)| a).collect();
+        assert_eq!(sources.len(), edges.len());
+    }
+
+    #[test]
+    fn conversions_produce_engine_rows() {
+        let edges = vec![("x".to_string(), "y".to_string())];
+        assert_eq!(
+            edges_to_rows(&edges),
+            vec![vec![rdbms::Value::from("x"), rdbms::Value::from("y")]]
+        );
+        let chain = chain_facts(3);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[1][1], rdbms::Value::from("a2"));
+        assert!(chain_facts(0).is_empty());
+    }
+
+    #[test]
+    fn varied_lists_average_out() {
+        let edges = lists_varied(40, 10, 9);
+        // Total ≈ n(avg - 1) = 360, within the ±50% band per list.
+        assert!(edges.len() >= 40 * 4 && edges.len() <= 40 * 14, "{}", edges.len());
+        assert_eq!(lists_varied(40, 10, 9), edges, "deterministic");
+        // Each list is still a simple chain.
+        let sources: BTreeSet<&String> = edges.iter().map(|(a, _)| a).collect();
+        assert_eq!(sources.len(), edges.len());
+    }
+
+    #[test]
+    fn tree_tuple_count_matches_formula() {
+        for depth in 1..=10 {
+            let edges = full_binary_tree(depth);
+            assert_eq!(edges.len() as u64, (1u64 << depth) - 2);
+        }
+    }
+
+    #[test]
+    fn tree_structure_is_correct() {
+        let edges = full_binary_tree(3);
+        assert!(edges.contains(&("n1".into(), "n2".into())));
+        assert!(edges.contains(&("n1".into(), "n3".into())));
+        assert!(edges.contains(&("n3".into(), "n7".into())));
+        // Every non-root node has exactly one parent.
+        let mut targets: Vec<&String> = edges.iter().map(|(_, b)| b).collect();
+        let before = targets.len();
+        targets.sort();
+        targets.dedup();
+        assert_eq!(targets.len(), before);
+    }
+
+    #[test]
+    fn subtree_arithmetic() {
+        // Depth-4 tree: root subtree = whole tree.
+        assert_eq!(subtree_size(4, 1), 15);
+        assert_eq!(subtree_edges(4, 1), 14);
+        // A leaf's subtree is itself.
+        assert_eq!(subtree_size(4, 4), 1);
+        assert_eq!(subtree_edges(4, 4), 0);
+        assert_eq!(tree_node_at_level(1), "n1");
+        assert_eq!(tree_node_at_level(3), "n4");
+    }
+
+    #[test]
+    fn forest_prefixes_trees_disjointly() {
+        let edges = forest(3, 3);
+        assert_eq!(edges.len(), 3 * 6);
+        assert!(edges.iter().any(|(a, _)| a == "t0_n1"));
+        assert!(edges.iter().any(|(a, _)| a == "t2_n1"));
+    }
+
+    #[test]
+    fn layered_dag_counts_and_determinism() {
+        let e1 = layered_dag(4, 6, 2, 42);
+        let e2 = layered_dag(4, 6, 2, 42);
+        assert_eq!(e1, e2, "seeded generation is deterministic");
+        assert_eq!(e1.len(), 3 * 6 * 2);
+        // Edges only go layer k -> k+1: acyclic by construction.
+        for (a, b) in &e1 {
+            let la: usize = a[1..a.find('_').unwrap()].parse().unwrap();
+            let lb: usize = b[1..b.find('_').unwrap()].parse().unwrap();
+            assert_eq!(lb, la + 1);
+        }
+        // Fan-out targets are distinct per source.
+        let mut seen = BTreeSet::new();
+        for e in &e1 {
+            assert!(seen.insert(e.clone()), "duplicate edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn cyclic_digraph_contains_cycles() {
+        let edges = cyclic_digraph(2, 4, 3, 7);
+        assert_eq!(edges.len(), 2 * 4 + 3);
+        // The base cycles are present.
+        assert!(edges.contains(&("c0_0".into(), "c0_1".into())));
+        assert!(edges.contains(&("c0_3".into(), "c0_0".into())));
+        assert!(edges.contains(&("c1_3".into(), "c1_0".into())));
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_out")]
+    fn dag_fan_out_validated() {
+        layered_dag(3, 2, 5, 0);
+    }
+}

@@ -1,0 +1,12 @@
+//! # dkbms-workload — synthetic workloads for the D/KBMS testbed
+//!
+//! Generators for the experiment inputs of §5: base relations shaped as
+//! lists, full binary trees, layered DAGs and cyclic digraphs ([`graphs`]),
+//! and parameterized rule bases for the compilation/update sweeps plus the
+//! standard recursive programs ([`rules`]).
+
+pub mod graphs;
+pub mod rules;
+
+pub use graphs::{chain_facts, cyclic_digraph, edges_to_rows, forest, full_binary_tree, layered_dag, lists, Edges};
+pub use rules::{ancestor_program, chain_rule_base, same_generation};

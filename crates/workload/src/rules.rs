@@ -1,0 +1,150 @@
+//! Synthetic rule-base generators for the compilation and update
+//! experiments (Tests 1-3, 8-9), plus the standard recursive programs the
+//! execution experiments use.
+
+use hornlog::parser::parse_program;
+use hornlog::Program;
+
+/// The classic ancestor program over a base relation named `base`.
+pub fn ancestor_program(base: &str) -> String {
+    format!(
+        "anc(X, Y) :- {base}(X, Y).\n\
+         anc(X, Y) :- {base}(X, Z), anc(Z, Y).\n"
+    )
+}
+
+/// The right-linear variant of ancestor (descendant-extending).
+pub fn ancestor_right_linear(base: &str) -> String {
+    format!(
+        "anc(X, Y) :- {base}(X, Y).\n\
+         anc(X, Y) :- anc(X, Z), {base}(Z, Y).\n"
+    )
+}
+
+/// The non-linear (doubly recursive) ancestor program.
+pub fn ancestor_nonlinear(base: &str) -> String {
+    format!(
+        "anc(X, Y) :- {base}(X, Y).\n\
+         anc(X, Y) :- anc(X, Z), anc(Z, Y).\n"
+    )
+}
+
+/// The same-generation program over `up`/`flat`/`down` base relations.
+pub fn same_generation() -> &'static str {
+    "sg(X, Y) :- flat(X, Y).\n\
+     sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n"
+}
+
+/// A rule base made of disjoint chains. Chain `c` has predicates
+/// `g{c}_p0 .. g{c}_p{chain_len-1}`; each predicate is defined by one rule
+/// referring to the next, and the last refers to the base predicate:
+///
+/// ```text
+/// g0_p0(X, Y) :- g0_p1(X, Y).
+/// ...
+/// g0_p{L-1}(X, Y) :- base(X, Y).
+/// ```
+///
+/// Querying `g{c}_p{k}` makes exactly `chain_len - k` rules relevant, so
+/// sweeps over the total rule count `R_s` (number of chains × length) and
+/// over the relevant count `R_rs` are independent — the knobs of Tests 1-3.
+pub fn chain_rule_base(chains: usize, chain_len: usize, base: &str) -> Program {
+    let mut src = String::new();
+    for c in 0..chains {
+        for i in 0..chain_len {
+            if i + 1 < chain_len {
+                src.push_str(&format!(
+                    "g{c}_p{i}(X, Y) :- g{c}_p{}(X, Y).\n",
+                    i + 1
+                ));
+            } else {
+                src.push_str(&format!("g{c}_p{i}(X, Y) :- {base}(X, Y).\n"));
+            }
+        }
+    }
+    parse_program(&src).expect("generated rule base parses")
+}
+
+/// The predicate name at position `k` of chain `c` in a
+/// [`chain_rule_base`].
+pub fn chain_pred(c: usize, k: usize) -> String {
+    format!("g{c}_p{k}")
+}
+
+/// A query against `chain_pred(c, k)` with the given constant bound in the
+/// first argument.
+pub fn chain_query(c: usize, k: usize, constant: &str) -> String {
+    format!("?- {}({constant}, W).", chain_pred(c, k))
+}
+
+/// A rule base where one predicate fans out over `width` branches of
+/// `depth` rules each — querying the root makes `width * depth + 1` rules
+/// relevant. Used to grow `R_rs` quickly at a fixed chain shape.
+pub fn fanout_rule_base(width: usize, depth: usize, base: &str) -> Program {
+    let mut src = String::new();
+    for w in 0..width {
+        src.push_str(&format!("root(X, Y) :- f{w}_p0(X, Y).\n"));
+        for i in 0..depth {
+            if i + 1 < depth {
+                src.push_str(&format!("f{w}_p{i}(X, Y) :- f{w}_p{}(X, Y).\n", i + 1));
+            } else {
+                src.push_str(&format!("f{w}_p{i}(X, Y) :- {base}(X, Y).\n"));
+            }
+        }
+    }
+    parse_program(&src).expect("generated rule base parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hornlog::pcg::Pcg;
+
+    #[test]
+    fn standard_programs_parse() {
+        assert_eq!(parse_program(&ancestor_program("parent")).unwrap().len(), 2);
+        assert_eq!(
+            parse_program(&ancestor_right_linear("parent")).unwrap().len(),
+            2
+        );
+        assert_eq!(
+            parse_program(&ancestor_nonlinear("parent")).unwrap().len(),
+            2
+        );
+        assert_eq!(parse_program(same_generation()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn chain_rule_base_counts() {
+        let p = chain_rule_base(4, 5, "base");
+        assert_eq!(p.len(), 20);
+        assert_eq!(p.derived_predicates().len(), 20, "one predicate per rule");
+    }
+
+    #[test]
+    fn chain_relevance_is_suffix_length() {
+        let p = chain_rule_base(3, 10, "base");
+        let pcg = Pcg::build(&p);
+        // From g0_p4: reaches g0_p5..g0_p9 and base = 5 predicates + base.
+        let reach = pcg.reachable_from(&chain_pred(0, 4));
+        assert_eq!(reach.len(), 6);
+        assert!(reach.contains("base"));
+        assert!(!reach.contains(&chain_pred(0, 3)));
+        assert!(!reach.contains(&chain_pred(1, 0)), "chains are disjoint");
+    }
+
+    #[test]
+    fn chain_query_text() {
+        assert_eq!(chain_query(2, 0, "a"), "?- g2_p0(a, W).");
+    }
+
+    #[test]
+    fn fanout_rule_base_counts() {
+        let p = fanout_rule_base(3, 4, "base");
+        assert_eq!(p.len(), 3 + 3 * 4);
+        let pcg = Pcg::build(&p);
+        let reach = pcg.reachable_from("root");
+        // All 12 branch predicates plus base.
+        assert_eq!(reach.len(), 13);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dkbms — a Data/Knowledge Base Management testbed
+//!
+//! A Rust reproduction of the D/KBMS testbed of Ramnarayan & Lu,
+//! *"A Data/Knowledge Base Management Testbed and Experimental Results on
+//! Data/Knowledge Base Query and Update Processing"* (SIGMOD 1988).
+//!
+//! The system is two-layered, exactly as in the paper:
+//!
+//! * the **Knowledge Manager** ([`km`]) compiles pure, function-free Horn
+//!   clause queries into programs of SQL statements — via the Predicate
+//!   Connection Graph, clique detection, the evaluation order list, type
+//!   inference, and (optionally) the generalized magic-sets rewrite — and
+//!   evaluates them bottom-up with naive or semi-naive LFP iteration;
+//! * the **DBMS** ([`rdbms`]) is an in-process relational engine (slotted
+//!   pages, buffer pool, hash indexes, SQL subset, cost-aware joins) that
+//!   stores both the facts and the rules: rule source in `rulesource`, the
+//!   compiled form in `reachablepreds` (the PCG's transitive closure).
+//!
+//! [`hornlog`] is the rule-language layer and [`workload`] generates the
+//! paper's experiment inputs. See `examples/quickstart.rs` for the
+//! five-minute tour and `crates/bench` for the reproduction of every table
+//! and figure in the paper's evaluation.
+
+pub use hornlog;
+pub use km;
+pub use rdbms;
+pub use workload;
+
+pub use km::session::{Session, SessionConfig};
+pub use km::{KmError, LfpStrategy};
+pub use rdbms::{Engine, Value};

@@ -1,0 +1,121 @@
+//! Property tests for stratified negation: evaluated answers must match a
+//! reference computation of the stratified model on random graphs.
+
+use km::session::{binary_sym, Session};
+use km::LfpStrategy;
+use proptest::prelude::*;
+use rdbms::Value;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+fn reachable(edges: &[(u8, u8)], start: u8) -> BTreeSet<u8> {
+    let mut adj: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::from([start]);
+    while let Some(n) = queue.pop_front() {
+        for &next in adj.get(&n).into_iter().flatten() {
+            if seen.insert(next) {
+                queue.push_back(next);
+            }
+        }
+    }
+    seen
+}
+
+fn node(n: u8) -> String {
+    format!("v{n}")
+}
+
+fn build_session(edges: &[(u8, u8)], nodes: &BTreeSet<u8>) -> Session {
+    let mut s = Session::with_defaults().unwrap();
+    s.define_base("edge", &binary_sym()).unwrap();
+    s.define_base("node", &[hornlog::types::AttrType::Sym]).unwrap();
+    s.load_facts(
+        "edge",
+        edges
+            .iter()
+            .map(|&(a, b)| vec![Value::from(node(a)), Value::from(node(b))])
+            .collect(),
+    )
+    .unwrap();
+    s.load_facts(
+        "node",
+        nodes.iter().map(|&n| vec![Value::from(node(n))]).collect(),
+    )
+    .unwrap();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// unreach(a, Y) = nodes NOT reachable from a, per the stratified
+    /// model, for both LFP strategies.
+    #[test]
+    fn unreachable_matches_complement(
+        edges in prop::collection::vec((0u8..8, 0u8..8), 1..20),
+        start in 0u8..8,
+    ) {
+        let nodes: BTreeSet<u8> = edges
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .chain([start])
+            .collect();
+        let reach = reachable(&edges, start);
+        let expected: BTreeSet<String> = nodes
+            .iter()
+            .filter(|n| !reach.contains(n))
+            .map(|&n| node(n))
+            .collect();
+        for strategy in [LfpStrategy::Naive, LfpStrategy::SemiNaive] {
+            let mut s = build_session(&edges, &nodes);
+            s.config.strategy = strategy;
+            s.load_rules(
+                "reach(X, Y) :- edge(X, Y).\n\
+                 reach(X, Y) :- edge(X, Z), reach(Z, Y).\n\
+                 unreach(X, Y) :- node(X), node(Y), not reach(X, Y).\n",
+            )
+            .unwrap();
+            let (_, result) =
+                s.query(&format!("?- unreach({}, W).", node(start))).unwrap();
+            let got: BTreeSet<String> = result
+                .rows
+                .iter()
+                .map(|r| r[0].as_str().unwrap().to_string())
+                .collect();
+            prop_assert_eq!(&got, &expected, "strategy {:?}", strategy);
+        }
+    }
+
+    /// sink(X) = nodes with no outgoing edge; double negation recovers the
+    /// complement (nonsink) exactly.
+    #[test]
+    fn double_negation_is_complement(
+        edges in prop::collection::vec((0u8..8, 0u8..8), 0..16),
+    ) {
+        let nodes: BTreeSet<u8> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+        prop_assume!(!nodes.is_empty());
+        let with_out: BTreeSet<u8> = edges.iter().map(|&(a, _)| a).collect();
+        let mut s = build_session(&edges, &nodes);
+        s.load_rules(
+            "hasout(X) :- edge(X, Y).\n\
+             sink(X) :- node(X), not hasout(X).\n\
+             nonsink(X) :- node(X), not sink(X).\n",
+        )
+        .unwrap();
+        let (_, sinks) = s.query("?- sink(W).").unwrap();
+        let (_, nonsinks) = s.query("?- nonsink(W).").unwrap();
+        let got_sinks: BTreeSet<String> = sinks
+            .rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
+        let got_nonsinks: BTreeSet<String> = nonsinks
+            .rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
+        let expected_sinks: BTreeSet<String> =
+            nodes.iter().filter(|n| !with_out.contains(n)).map(|&n| node(n)).collect();
+        let expected_nonsinks: BTreeSet<String> =
+            with_out.iter().map(|&n| node(n)).collect();
+        prop_assert_eq!(got_sinks, expected_sinks);
+        prop_assert_eq!(got_nonsinks, expected_nonsinks);
+    }
+}

@@ -1,0 +1,223 @@
+//! Persistence tests: the whole D/KB — facts, dictionaries, rule source,
+//! and the compiled reachability form — survives a snapshot round trip,
+//! and queries over the reopened session behave identically.
+
+use km::session::{binary_sym, Session, SessionConfig};
+use rdbms::Value;
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dkbms_{tag}_{}.snap", std::process::id()))
+}
+
+fn build_and_commit() -> Session {
+    let mut s = Session::with_defaults().unwrap();
+    s.define_base("parent", &binary_sym()).unwrap();
+    s.load_facts("parent", workload::chain_facts(9)).unwrap();
+    s.load_rules(
+        "anc(X, Y) :- parent(X, Y).\n\
+         anc(X, Y) :- parent(X, Z), anc(Z, Y).\n",
+    )
+    .unwrap();
+    s.commit_workspace().unwrap();
+    s.workspace_mut().clear();
+    s
+}
+
+#[test]
+fn whole_dkb_survives_save_and_open() {
+    let path = temp_path("whole_dkb");
+    let mut original = build_and_commit();
+    let (_, before) = original.query("?- anc(a0, W).").unwrap();
+    original.save(&path).unwrap();
+
+    let mut reopened = Session::open(&path, SessionConfig::default()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // Rules come back from the persisted rulesource; facts from the
+    // persisted base relation; the compiled form is intact.
+    let (compiled, after) = reopened.query("?- anc(a0, W).").unwrap();
+    assert_eq!(compiled.relevant_rules, 2);
+    assert_eq!(before.rows, after.rows);
+    let stored = reopened.stored().clone();
+    assert!(stored.reachable_count(reopened.engine_mut()).unwrap() >= 2);
+}
+
+#[test]
+fn reopened_session_accepts_further_commits_and_data() {
+    let path = temp_path("further");
+    let mut original = build_and_commit();
+    original.save(&path).unwrap();
+
+    let mut s = Session::open(&path, SessionConfig::default()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // Extend the data and the rule base after reopening.
+    s.load_facts(
+        "parent",
+        vec![vec![Value::from("a8"), Value::from("a9")]],
+    )
+    .unwrap();
+    s.load_rules("far(X) :- anc(a0, X).\n").unwrap();
+    s.commit_workspace().unwrap();
+    s.workspace_mut().clear();
+    let (compiled, result) = s.query("?- far(W).").unwrap();
+    assert_eq!(compiled.relevant_rules, 3);
+    assert_eq!(result.rows.len(), 9, "a1..a9");
+}
+
+#[test]
+fn workspace_is_not_persisted() {
+    let path = temp_path("workspace");
+    let mut original = build_and_commit();
+    original.load_rules("uncommitted(X) :- anc(a0, X).\n").unwrap();
+    original.save(&path).unwrap();
+
+    let mut reopened = Session::open(&path, SessionConfig::default()).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(reopened.workspace().is_empty());
+    assert!(reopened.query("?- uncommitted(W).").is_err());
+}
+
+#[test]
+fn opening_missing_or_garbage_files_errors_cleanly() {
+    assert!(Session::open("/nonexistent/nope.snap", SessionConfig::default()).is_err());
+    let path = temp_path("garbage");
+    std::fs::write(&path, b"this is not a snapshot").unwrap();
+    let result = Session::open(&path, SessionConfig::default());
+    std::fs::remove_file(&path).ok();
+    assert!(result.is_err());
+}
+
+#[test]
+fn workspace_facts_are_materialized_by_commit_and_survive() {
+    // The paper's §3.1 flow: enter rules AND facts, commit, reopen, query.
+    let path = temp_path("facts");
+    let mut s = Session::with_defaults().unwrap();
+    s.load_rules(
+        "parent(adam, bob).\n\
+         parent(bob, carol).\n\
+         anc(X, Y) :- parent(X, Y).\n\
+         anc(X, Y) :- parent(X, Z), anc(Z, Y).\n",
+    )
+    .unwrap();
+    let t = s.commit_workspace().unwrap();
+    assert_eq!(t.facts_stored, 2, "facts became base-relation rows");
+    assert!(t.fact_predicates.contains("parent"));
+    // Facts left the workspace (they now shadow nothing).
+    assert_eq!(s.workspace().fact_count(), 0);
+    assert_eq!(s.workspace().rule_count(), 2, "rules stay for further edits");
+
+    // Queries work immediately after commit...
+    let (_, r) = s.query("?- anc(adam, W).").unwrap();
+    assert_eq!(r.rows.len(), 2);
+    s.save(&path).unwrap();
+
+    // ...and after reopening from the snapshot.
+    let mut reopened = Session::open(&path, SessionConfig::default()).unwrap();
+    std::fs::remove_file(&path).ok();
+    let (_, r2) = reopened.query("?- anc(adam, W).").unwrap();
+    assert_eq!(r.rows, r2.rows);
+}
+
+#[test]
+fn repeated_fact_commits_deduplicate() {
+    let mut s = Session::with_defaults().unwrap();
+    s.load_rules("likes(ann, tea).\nlikes(bob, tea).\n").unwrap();
+    let t1 = s.commit_workspace().unwrap();
+    assert_eq!(t1.facts_stored, 2);
+    // Same facts again plus one new: only the new one lands.
+    s.load_rules("likes(ann, tea).\nlikes(cay, tea).\n").unwrap();
+    let t2 = s.commit_workspace().unwrap();
+    assert_eq!(t2.facts_stored, 1);
+    assert!(s.engine().stats().statements > 0);
+    let mut s2 = s;
+    assert_eq!(s2.engine_mut().table_len("likes").unwrap(), 3);
+}
+
+#[test]
+fn facts_for_rule_defined_predicates_stay_in_the_workspace() {
+    // A fact for a predicate that also has rules is a seed, not a base
+    // relation — committing must not materialize it.
+    let mut s = Session::with_defaults().unwrap();
+    s.load_rules(
+        "edge(a, b).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(x0, y0).\n",
+    )
+    .unwrap();
+    let t = s.commit_workspace().unwrap();
+    assert!(t.fact_predicates.contains("edge"));
+    assert!(!t.fact_predicates.contains("path"), "path is rule-defined");
+    assert_eq!(s.workspace().fact_count(), 1, "the path seed stays");
+    let (_, r) = s.query("?- path(W, V).").unwrap();
+    assert_eq!(r.rows.len(), 2, "edge row + seeded path fact");
+}
+
+#[test]
+fn raw_engine_snapshot_is_rejected_by_session_open() {
+    // A snapshot saved from a bare engine (no D/KB storage structures) is
+    // a valid engine snapshot but not a session.
+    let path = temp_path("raw_engine");
+    let mut e = rdbms::Engine::new();
+    e.execute("CREATE TABLE t (a integer)").unwrap();
+    e.save_snapshot(&path).unwrap();
+    let result = Session::open(&path, SessionConfig::default());
+    std::fs::remove_file(&path).ok();
+    match result {
+        Err(km::KmError::Semantic(msg)) => assert!(msg.contains("not a D/KB session")),
+        other => panic!("expected semantic error, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn conflicting_fact_types_abort_commit_before_any_write() {
+    // Regression: a fact conflicting with an existing base relation's
+    // schema must fail the semantic check, not a mid-commit insert.
+    let mut s = Session::with_defaults().unwrap();
+    s.define_base(
+        "nums",
+        &[hornlog::types::AttrType::Int, hornlog::types::AttrType::Int],
+    )
+    .unwrap();
+    s.load_rules(
+        "viewer(X) :- nums(X, X).\n\
+         nums(notanint, alsonot).\n",
+    )
+    .unwrap();
+    assert!(s.commit_workspace().is_err());
+    // Nothing was written: no rules stored, no rows appended.
+    let stored = s.stored().clone();
+    assert_eq!(stored.rule_count(s.engine_mut()).unwrap(), 0);
+    assert_eq!(s.engine_mut().table_len("nums").unwrap(), 0);
+}
+
+#[test]
+fn arity_conflicting_fact_aborts_commit() {
+    let mut s = Session::with_defaults().unwrap();
+    s.define_base("parent", &binary_sym()).unwrap();
+    s.load_rules("a(X) :- parent(X, X).\nparent(onlyone).\n").unwrap();
+    assert!(s.commit_workspace().is_err());
+    let stored = s.stored().clone();
+    assert_eq!(stored.rule_count(s.engine_mut()).unwrap(), 0, "atomic abort");
+}
+
+#[test]
+fn open_syncs_compiled_storage_config_with_snapshot() {
+    let path = temp_path("source_only");
+    let mut s = Session::new(SessionConfig {
+        compiled_storage: false,
+        ..SessionConfig::default()
+    })
+    .unwrap();
+    s.define_base("parent", &binary_sym()).unwrap();
+    s.save(&path).unwrap();
+    // Asking for compiled storage over a source-only snapshot downgrades
+    // the *config* too, so callers see the architecture they actually got.
+    let reopened = Session::open(
+        &path,
+        SessionConfig { compiled_storage: true, ..SessionConfig::default() },
+    )
+    .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(!reopened.config.compiled_storage);
+}

@@ -1,0 +1,129 @@
+//! Tests of precompiled-query caching with update invalidation (the
+//! paper's conclusion #3: precompilation pays for query-intensive
+//! workloads, at the price of invalidation checks on every update).
+
+use km::session::{binary_sym, Session, SessionConfig};
+use km::KmError;
+
+fn session() -> Session {
+    let mut s = Session::new(SessionConfig::default()).unwrap();
+    s.define_base("parent", &binary_sym()).unwrap();
+    s.load_facts("parent", workload::chain_facts(7)).unwrap();
+    s.load_rules(
+        "anc(X, Y) :- parent(X, Y).\n\
+         anc(X, Y) :- parent(X, Z), anc(Z, Y).\n",
+    )
+    .unwrap();
+    s.commit_workspace().unwrap();
+    s.workspace_mut().clear();
+    s
+}
+
+#[test]
+fn prepared_query_executes_repeatedly_without_recompiling() {
+    let mut s = session();
+    s.prepare("descendants", "?- anc(a0, W).").unwrap();
+    for _ in 0..3 {
+        let r = s.execute_prepared("descendants").unwrap();
+        assert_eq!(r.rows.len(), 6);
+    }
+    assert_eq!(s.recompilations(), 0);
+    assert_eq!(s.prepared_is_valid("descendants"), Some(true));
+}
+
+#[test]
+fn relevant_update_invalidates_and_recompiles() {
+    let mut s = session();
+    s.prepare("descendants", "?- anc(a0, W).").unwrap();
+    s.execute_prepared("descendants").unwrap();
+
+    // A new rule touching `anc` invalidates the plan.
+    s.load_rules("anc(X, Y) :- parent(Y, X).\n").unwrap();
+    s.commit_workspace().unwrap();
+    s.workspace_mut().clear();
+    assert_eq!(s.prepared_is_valid("descendants"), Some(false));
+
+    // Execution transparently recompiles and picks up the new rule
+    // (ancestor is now symmetric closure: everyone is reachable).
+    let r = s.execute_prepared("descendants").unwrap();
+    assert_eq!(r.rows.len(), 7, "a0 now reaches everyone incl. itself");
+    assert_eq!(s.recompilations(), 1);
+    assert_eq!(s.prepared_is_valid("descendants"), Some(true));
+}
+
+#[test]
+fn workspace_edits_mark_plans_stale_but_answers_stay_correct() {
+    let mut s = session();
+    s.prepare("descendants", "?- anc(a0, W).").unwrap();
+    let baseline = s.execute_prepared("descendants").unwrap().rows;
+    assert_eq!(s.recompilations(), 0);
+
+    // Any workspace mutation conservatively marks plans stale — an
+    // uncommitted rule must be visible to prepared queries too.
+    s.load_rules("other(X, Y) :- parent(X, Y).\n").unwrap();
+    assert_eq!(s.prepared_is_valid("descendants"), Some(false));
+    let r = s.execute_prepared("descendants").unwrap();
+    assert_eq!(r.rows, baseline, "disjoint edit does not change answers");
+    assert_eq!(s.recompilations(), 1);
+
+    // Steady workspace: no further recompilation.
+    s.execute_prepared("descendants").unwrap();
+    assert_eq!(s.recompilations(), 1);
+}
+
+#[test]
+fn uncommitted_workspace_rules_are_visible_to_prepared_queries() {
+    // Regression for the staleness hole: a plan prepared before a
+    // workspace edit must observe the edit, exactly like query() does.
+    let mut s = session();
+    s.prepare("descendants", "?- anc(a0, W).").unwrap();
+    let before = s.execute_prepared("descendants").unwrap().rows.len();
+    // Add an uncommitted rule that widens anc.
+    s.load_rules("anc(X, Y) :- parent(Y, X).\n").unwrap();
+    let after = s.execute_prepared("descendants").unwrap().rows.len();
+    let (_, fresh) = s.query("?- anc(a0, W).").unwrap();
+    assert_eq!(after, fresh.rows.len(), "prepared matches ad-hoc query");
+    assert!(after > before);
+}
+
+#[test]
+fn re_preparing_replaces_the_entry() {
+    let mut s = session();
+    s.prepare("q", "?- anc(a0, W).").unwrap();
+    s.prepare("q", "?- anc(a3, W).").unwrap();
+    let r = s.execute_prepared("q").unwrap();
+    assert_eq!(r.rows.len(), 3, "a3 reaches a4..a6");
+}
+
+#[test]
+fn unknown_prepared_name_errors() {
+    let mut s = session();
+    assert!(matches!(
+        s.execute_prepared("nope"),
+        Err(KmError::Internal(_))
+    ));
+}
+
+#[test]
+fn dependency_set_is_recorded() {
+    let mut s = session();
+    let compiled = s.compile("?- anc(a0, W).").unwrap();
+    assert!(compiled.relevant_preds.contains("anc"));
+    assert!(compiled.relevant_preds.contains("parent"));
+}
+
+#[test]
+fn fact_only_commit_invalidates_prepared_queries() {
+    // Regression: facts materialized into base relations must invalidate
+    // cached programs that still read them from compile-time seeds.
+    let mut s = Session::new(SessionConfig::default()).unwrap();
+    s.load_rules("edge(a, b).").unwrap();
+    s.prepare("q", "?- edge(a, W).").unwrap();
+    assert_eq!(s.execute_prepared("q").unwrap().rows.len(), 1);
+    s.commit_workspace().unwrap(); // edge becomes a base relation
+    s.load_rules("edge(a, c).").unwrap();
+    s.commit_workspace().unwrap(); // appends to the base relation
+    assert_eq!(s.prepared_is_valid("q"), Some(false), "seeded plan is stale");
+    let r = s.execute_prepared("q").unwrap();
+    assert_eq!(r.rows.len(), 2, "recompiled plan sees both rows");
+}

@@ -1,0 +1,241 @@
+//! Integration tests of the DBMS layer through its public SQL interface,
+//! including property tests comparing query results against an in-memory
+//! reference evaluation.
+
+use proptest::prelude::*;
+use rdbms::{DbError, Engine, Value};
+
+// ---------------------------------------------------------------------
+// Scenario tests
+// ---------------------------------------------------------------------
+
+#[test]
+fn bulk_load_survives_buffer_pressure() {
+    // A pool of 4 frames (16 KiB) against ~100 KiB of data forces steady
+    // eviction; results must be unaffected.
+    let mut e = Engine::with_pool_size(4);
+    e.execute("CREATE TABLE big (id integer, payload char)").unwrap();
+    let rows: Vec<Vec<Value>> = (0..2000)
+        .map(|i| vec![Value::Int(i), Value::from(format!("row-{i:04}-{}", "x".repeat(30)))])
+        .collect();
+    e.insert_rows("big", rows).unwrap();
+    assert_eq!(e.table_len("big").unwrap(), 2000);
+    let rs = e.execute("SELECT COUNT(*) FROM big WHERE id >= 1000").unwrap();
+    assert_eq!(rs.scalar_int(), Some(1000));
+    let stats = e.stats();
+    assert!(stats.buffer.evictions > 0, "pool pressure actually occurred");
+    assert!(stats.disk.pages_written > 0, "dirty pages were written back");
+}
+
+#[test]
+fn join_pipeline_with_indexes_and_temp_tables() {
+    let mut e = Engine::new();
+    e.execute_script(
+        "CREATE TABLE emp (name char, dept integer);\
+         CREATE TABLE dept (id integer, title char);\
+         CREATE INDEX dept_id ON dept (id);\
+         INSERT INTO emp VALUES ('ann', 1), ('bob', 2), ('carol', 1);\
+         INSERT INTO dept VALUES (1, 'eng'), (2, 'sales');",
+    )
+    .unwrap();
+    let rs = e
+        .execute(
+            "SELECT e.name, d.title FROM emp e, dept d \
+             WHERE e.dept = d.id AND d.title = 'eng' ORDER BY name",
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Value::from("ann"), Value::from("eng")],
+            vec![Value::from("carol"), Value::from("eng")],
+        ]
+    );
+
+    // Materialize through a temp table, then set-subtract.
+    e.execute("CREATE TEMP TABLE engineers (name char)").unwrap();
+    e.execute(
+        "INSERT INTO engineers SELECT e.name FROM emp e, dept d \
+         WHERE e.dept = d.id AND d.title = 'eng'",
+    )
+    .unwrap();
+    let rs = e
+        .execute("SELECT name FROM emp EXCEPT SELECT name FROM engineers")
+        .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::from("bob")]]);
+    assert_eq!(e.drop_temp_tables(), 1);
+}
+
+#[test]
+fn error_paths_do_not_corrupt_state() {
+    let mut e = Engine::new();
+    e.execute("CREATE TABLE t (a integer)").unwrap();
+    e.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    // A failing statement...
+    assert!(matches!(
+        e.execute("INSERT INTO t VALUES ('wrong type')"),
+        Err(DbError::TypeMismatch(_))
+    ));
+    assert!(e.execute("SELECT nope FROM t").is_err());
+    assert!(e.execute("CREATE TABLE t (b integer)").is_err());
+    // ...leaves the data intact and the engine usable.
+    let rs = e.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.scalar_int(), Some(2));
+}
+
+#[test]
+fn self_join_chain_of_four() {
+    // Four-way self-join: paths of length 3 in a chain.
+    let mut e = Engine::new();
+    e.execute("CREATE TABLE g (s integer, t integer)").unwrap();
+    e.insert_rows(
+        "g",
+        (0..6).map(|i| vec![Value::Int(i), Value::Int(i + 1)]).collect(),
+    )
+    .unwrap();
+    let rs = e
+        .execute(
+            "SELECT a.s, c.t FROM g a, g b, g c \
+             WHERE a.t = b.s AND b.t = c.s ORDER BY s",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 4);
+    assert_eq!(rs.rows[0], vec![Value::Int(0), Value::Int(3)]);
+}
+
+#[test]
+fn index_maintenance_under_churn() {
+    let mut e = Engine::new();
+    e.execute("CREATE TABLE t (k integer, v char)").unwrap();
+    e.execute("CREATE INDEX t_k ON t (k)").unwrap();
+    for round in 0..5 {
+        e.insert_rows(
+            "t",
+            (0..100).map(|i| vec![Value::Int(i), Value::from(format!("r{round}"))]).collect(),
+        )
+        .unwrap();
+        e.execute(&format!("DELETE FROM t WHERE v = 'r{round}' AND k >= 50")).unwrap();
+    }
+    // 5 rounds x 50 surviving rows.
+    assert_eq!(e.table_len("t").unwrap(), 250);
+    let rs = e.execute("SELECT COUNT(*) FROM t WHERE k = 10").unwrap();
+    assert_eq!(rs.scalar_int(), Some(5));
+    let rs = e.execute("SELECT COUNT(*) FROM t WHERE k = 75").unwrap();
+    assert_eq!(rs.scalar_int(), Some(0));
+}
+
+// ---------------------------------------------------------------------
+// Property tests against a reference evaluator
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Row {
+    a: i64,
+    b: i64,
+    s: String,
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec(
+        (0i64..20, 0i64..20, "[a-c]{1,2}").prop_map(|(a, b, s)| Row { a, b, s }),
+        0..40,
+    )
+}
+
+fn load(rows: &[Row]) -> Engine {
+    let mut e = Engine::new();
+    e.execute("CREATE TABLE t (a integer, b integer, s char)").unwrap();
+    e.insert_rows(
+        "t",
+        rows.iter()
+            .map(|r| vec![Value::Int(r.a), Value::Int(r.b), Value::from(r.s.as_str())])
+            .collect(),
+    )
+    .unwrap();
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conjunctive selection matches the reference filter, with and
+    /// without an index on the equality column.
+    #[test]
+    fn selection_matches_reference(rows in arb_rows(), k in 0i64..20, lo in 0i64..20) {
+        let expected = rows
+            .iter()
+            .filter(|r| r.a == k && r.b >= lo)
+            .count() as i64;
+        for indexed in [false, true] {
+            let mut e = load(&rows);
+            if indexed {
+                e.execute("CREATE INDEX t_a ON t (a)").unwrap();
+            }
+            let rs = e
+                .execute(&format!("SELECT COUNT(*) FROM t WHERE a = {k} AND b >= {lo}"))
+                .unwrap();
+            prop_assert_eq!(rs.scalar_int(), Some(expected), "indexed={}", indexed);
+        }
+    }
+
+    /// Equi-join row counts match the reference nested loop.
+    #[test]
+    fn join_matches_reference(rows in arb_rows()) {
+        let expected = rows
+            .iter()
+            .flat_map(|x| rows.iter().map(move |y| (x, y)))
+            .filter(|(x, y)| x.b == y.a)
+            .count();
+        let mut e = load(&rows);
+        let rs = e
+            .execute("SELECT x.a, y.b FROM t x, t y WHERE x.b = y.a")
+            .unwrap();
+        prop_assert_eq!(rs.rows.len(), expected);
+    }
+
+    /// DISTINCT agrees with a reference set; ORDER BY yields sorted rows.
+    #[test]
+    fn distinct_and_order_match_reference(rows in arb_rows()) {
+        let expected: std::collections::BTreeSet<i64> =
+            rows.iter().map(|r| r.a).collect();
+        let mut e = load(&rows);
+        let rs = e.execute("SELECT DISTINCT a FROM t ORDER BY a").unwrap();
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        prop_assert_eq!(got.clone(), expected.into_iter().collect::<Vec<_>>());
+        let mut sorted = got.clone();
+        sorted.sort();
+        prop_assert_eq!(got, sorted);
+    }
+
+    /// UNION / EXCEPT behave as set operations.
+    #[test]
+    fn set_operations_match_reference(rows in arb_rows(), pivot in 0i64..20) {
+        use std::collections::BTreeSet;
+        let low: BTreeSet<i64> = rows.iter().filter(|r| r.a < pivot).map(|r| r.a).collect();
+        let high: BTreeSet<i64> = rows.iter().filter(|r| r.a >= pivot).map(|r| r.a).collect();
+        let mut e = load(&rows);
+        let rs = e
+            .execute(&format!(
+                "SELECT a FROM t WHERE a < {pivot} UNION SELECT a FROM t WHERE a >= {pivot}"
+            ))
+            .unwrap();
+        prop_assert_eq!(rs.rows.len(), low.union(&high).count());
+        let rs = e
+            .execute(&format!(
+                "SELECT a FROM t EXCEPT SELECT a FROM t WHERE a >= {pivot}"
+            ))
+            .unwrap();
+        prop_assert_eq!(rs.rows.len(), low.difference(&high).count());
+    }
+
+    /// DELETE removes exactly the matching rows.
+    #[test]
+    fn delete_matches_reference(rows in arb_rows(), k in 0i64..20) {
+        let expected_remaining =
+            rows.iter().filter(|r| r.a != k).count() as u64;
+        let mut e = load(&rows);
+        let rs = e.execute(&format!("DELETE FROM t WHERE a = {k}")).unwrap();
+        prop_assert_eq!(rs.affected as usize, rows.len() - expected_remaining as usize);
+        prop_assert_eq!(e.table_len("t").unwrap(), expected_remaining);
+    }
+}
