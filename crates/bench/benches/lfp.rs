@@ -12,8 +12,7 @@ fn bench_lfp(c: &mut Criterion) {
     let mut group = c.benchmark_group("lfp");
     group.sample_size(10);
     for depth in [7u32, 8, 9] {
-        let mut session =
-            tree_session(depth, false, LfpStrategy::SemiNaive).expect("session");
+        let mut session = tree_session(depth, false, LfpStrategy::SemiNaive).expect("session");
         let compiled = session.compile("?- anc(n1, W).").expect("compile");
         group.bench_function(format!("seminaive/depth={depth}"), |b| {
             b.iter(|| black_box(session.execute(&compiled).expect("run").rows.len()))
@@ -22,8 +21,7 @@ fn bench_lfp(c: &mut Criterion) {
 
     // Ablation: the specialized TC operator against the SQL loop.
     for depth in [8u32, 9] {
-        let mut session =
-            tree_session(depth, false, LfpStrategy::SemiNaive).expect("session");
+        let mut session = tree_session(depth, false, LfpStrategy::SemiNaive).expect("session");
         session.config.special_tc = true;
         let compiled = session.compile("?- anc(n1, W).").expect("compile");
         group.bench_function(format!("tc_operator/depth={depth}"), |b| {

@@ -18,8 +18,7 @@ fn bench_magic(c: &mut Criterion) {
         (true, false, 6, "magic/low-sel"),
         (true, true, 6, "supplementary/low-sel"),
     ] {
-        let mut session =
-            tree_session(depth, optimize, LfpStrategy::SemiNaive).expect("session");
+        let mut session = tree_session(depth, optimize, LfpStrategy::SemiNaive).expect("session");
         session.config.supplementary = supplementary;
         let query = format!("?- anc({}, W).", tree_node_at_level(level));
         let compiled = session.compile(&query).expect("compile");

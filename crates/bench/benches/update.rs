@@ -16,7 +16,10 @@ fn session_with_chains(compiled: bool) -> Session {
     chain_session_configured(
         CHAINS,
         CHAIN_LEN,
-        SessionConfig { compiled_storage: compiled, ..SessionConfig::default() },
+        SessionConfig {
+            compiled_storage: compiled,
+            ..SessionConfig::default()
+        },
     )
     .expect("session")
 }
@@ -29,6 +32,30 @@ fn bench_update(c: &mut Criterion) {
             b.iter_with_setup(
                 || {
                     let mut s = session_with_chains(compiled);
+                    s.load_rules(&format!("newp(X, Y) :- {}(X, Y).\n", chain_pred(0, 0)))
+                        .expect("load");
+                    s
+                },
+                |mut s| black_box(s.commit_workspace().expect("update").total),
+            )
+        });
+    }
+
+    // Ablation: the same commit with and without write-ahead logging.
+    // The gap between the two is the durability tax on the paper's t_u.
+    for (durability, label) in [(false, "wal-off"), (true, "wal-on")] {
+        group.bench_function(format!("wal/{label}"), |b| {
+            b.iter_with_setup(
+                || {
+                    let mut s = chain_session_configured(
+                        CHAINS,
+                        CHAIN_LEN,
+                        SessionConfig {
+                            durability,
+                            ..SessionConfig::default()
+                        },
+                    )
+                    .expect("session");
                     s.load_rules(&format!("newp(X, Y) :- {}(X, Y).\n", chain_pred(0, 0)))
                         .expect("load");
                     s

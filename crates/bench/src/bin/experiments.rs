@@ -45,5 +45,8 @@ fn main() {
         run();
         println!("[{id} done in {:.1}s]", t.elapsed().as_secs_f64());
     }
-    println!("\nAll selected experiments done in {:.1}s.", start.elapsed().as_secs_f64());
+    println!(
+        "\nAll selected experiments done in {:.1}s.",
+        start.elapsed().as_secs_f64()
+    );
 }

@@ -20,7 +20,8 @@ fn session_with(edges: &workload::Edges, optimize: bool) -> Session {
         .execute("CREATE INDEX edge_c0 ON edge (c0)")
         .expect("index");
     s.load_facts("edge", edges_to_rows(edges)).expect("facts");
-    s.load_rules(&workload::ancestor_program("edge")).expect("rules");
+    s.load_rules(&workload::ancestor_program("edge"))
+        .expect("rules");
     s
 }
 
@@ -29,7 +30,11 @@ pub fn run() {
     let cases: Vec<(&str, workload::Edges, String)> = vec![
         ("lists", graphs::lists(25, 21), "\"L0_0\"".to_string()),
         ("binary tree", graphs::full_binary_tree(9), "n1".to_string()),
-        ("layered DAG", graphs::layered_dag(6, 20, 5, 7), "d0_0".to_string()),
+        (
+            "layered DAG",
+            graphs::layered_dag(6, 20, 5, 7),
+            "d0_0".to_string(),
+        ),
         (
             "cyclic digraph",
             graphs::cyclic_digraph(5, 20, 400, 7),
@@ -46,8 +51,7 @@ pub fn run() {
         let t_plain = min_of(3, || plain.execute(&c_plain).expect("run").t_execute);
         let (answers, t_magic) = {
             let r = magic.execute(&c_magic).expect("run");
-            let t = min_of(2, || magic.execute(&c_magic).expect("run").t_execute)
-                .min(r.t_execute);
+            let t = min_of(2, || magic.execute(&c_magic).expect("run").t_execute).min(r.t_execute);
             (r.rows.len(), t)
         };
         rows.push(vec![

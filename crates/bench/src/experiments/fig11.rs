@@ -44,8 +44,7 @@ pub fn run() {
         let level = depth - sub_depth + 1;
         let d_rel = subtree_edges(depth, level);
         let d_tot = subtree_edges(depth, 1);
-        let mut session =
-            tree_session(depth, false, LfpStrategy::SemiNaive).expect("session");
+        let mut session = tree_session(depth, false, LfpStrategy::SemiNaive).expect("session");
         let query = format!("?- anc({}, W).", tree_node_at_level(level));
         let compiled = session.compile(&query).expect("compile");
         let t = min_of(3, || session.execute(&compiled).expect("execute").t_execute);

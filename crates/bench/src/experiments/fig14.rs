@@ -37,9 +37,7 @@ pub fn run() {
         ]);
     }
     print_table(
-        &format!(
-            "Figure 14: magic vs modified rules evaluation time (ms), depth-{DEPTH} tree"
-        ),
+        &format!("Figure 14: magic vs modified rules evaluation time (ms), depth-{DEPTH} tree"),
         &["selectivity", "magic rules", "modified rules", "total"],
         &rows,
     );

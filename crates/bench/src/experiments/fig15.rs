@@ -21,7 +21,10 @@ fn session_with_chains(chains: usize, compiled: bool) -> Session {
     chain_session_configured(
         chains,
         CHAIN_LEN,
-        SessionConfig { compiled_storage: compiled, ..SessionConfig::default() },
+        SessionConfig {
+            compiled_storage: compiled,
+            ..SessionConfig::default()
+        },
     )
     .expect("session")
 }
@@ -47,7 +50,10 @@ pub fn run() {
             r_s.to_string(),
             f3(ms(with)),
             f3(ms(without)),
-            format!("{:.1}x", with.as_secs_f64() / without.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                with.as_secs_f64() / without.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     print_table(

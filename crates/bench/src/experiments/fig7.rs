@@ -4,8 +4,8 @@
 //! Paper shape: with the compiled rule storage (`reachablepreds` + indexes),
 //! `t_extract` is *insensitive to `R_s`* and grows only with `R_rs`.
 
-use crate::{chain_session, f3, ms, print_table};
 use crate::experiments::min_of;
+use crate::{chain_session, f3, ms, print_table};
 use workload::rules::chain_query;
 
 const CHAIN_LEN: usize = 20;
@@ -36,7 +36,5 @@ pub fn run() {
         &["R_s", "R_rs=1", "R_rs=7", "R_rs=20"],
         &rows,
     );
-    println!(
-        "Paper shape: flat in R_s (indexed compiled storage); grows with R_rs."
-    );
+    println!("Paper shape: flat in R_s (indexed compiled storage); grows with R_rs.");
 }

@@ -25,7 +25,10 @@ pub fn run() {
         rows.push(vec![r_rs.to_string(), f3(ms(t))]);
     }
     print_table(
-        &format!("Figure 8: t_extract (ms) vs relevant rules R_rs (R_s = {})", CHAINS * CHAIN_LEN),
+        &format!(
+            "Figure 8: t_extract (ms) vs relevant rules R_rs (R_s = {})",
+            CHAINS * CHAIN_LEN
+        ),
         &["R_rs", "t_extract"],
         &rows,
     );

@@ -36,7 +36,9 @@ pub fn read_once(s: &mut Session, p_dr: usize) -> std::time::Duration {
     let preds: BTreeSet<String> = (0..p_dr).map(|i| format!("pred{i}")).collect();
     let stored = s.stored().clone();
     let start = Instant::now();
-    let dict = stored.read_idb_dictionary(s.engine_mut(), &preds).expect("read");
+    let dict = stored
+        .read_idb_dictionary(s.engine_mut(), &preds)
+        .expect("read");
     let elapsed = start.elapsed();
     assert_eq!(dict.len(), p_dr);
     elapsed

@@ -2,19 +2,20 @@
 //! the regenerated rows in the shape the paper reports.
 
 pub mod datasets;
+pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig7;
-pub mod optimizers;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
+pub mod optimizers;
 pub mod table4;
 pub mod table5;
 pub mod table8;
+pub mod wal;
 
 use std::time::Duration;
 
@@ -38,6 +39,7 @@ pub const ALL: &[(&str, fn())] = &[
     ("fig14", fig14::run),
     ("fig15", fig15::run),
     ("table8", table8::run),
+    ("wal", wal::run),
     ("datasets", datasets::run),
     ("optimizers", optimizers::run),
 ];

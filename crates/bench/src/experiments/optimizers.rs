@@ -48,7 +48,8 @@ fn anc_session(depth: u32, optimize: bool, supplementary: bool) -> Session {
     s.define_base("parent", &binary_sym()).expect("base");
     s.load_facts("parent", edges_to_rows(&full_binary_tree(depth)))
         .expect("facts");
-    s.load_rules(&workload::ancestor_program("parent")).expect("rules");
+    s.load_rules(&workload::ancestor_program("parent"))
+        .expect("rules");
     s
 }
 

@@ -38,7 +38,15 @@ pub fn run() {
     }
     print_table(
         "Table 4: compilation time breakdown vs R_rs (R_s = 200)",
-        &["R_rs", "t_setup", "t_read", "t_extract", "t_eol", "t_gen", "total(ms)"],
+        &[
+            "R_rs",
+            "t_setup",
+            "t_read",
+            "t_extract",
+            "t_eol",
+            "t_gen",
+            "total(ms)",
+        ],
         &rows,
     );
     println!("Paper shape: t_extract share grows with R_rs (25% -> 67%).");

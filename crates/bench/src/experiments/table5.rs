@@ -56,12 +56,27 @@ pub fn run() {
     }
     print_table(
         &format!("Table 5: LFP step breakdown (ancestor, depth-{DEPTH} tree, full query)"),
-        &["strategy", "temp-tables", "eval RHS", "termination", "iters", "#ddl", "#eval", "#term"],
+        &[
+            "strategy",
+            "temp-tables",
+            "eval RHS",
+            "termination",
+            "iters",
+            "#ddl",
+            "#eval",
+            "#term",
+        ],
         &rows,
     );
     print_table(
         "Table 5 (absolute, ms)",
-        &["strategy", "temp-tables", "eval RHS", "termination", "total"],
+        &[
+            "strategy",
+            "temp-tables",
+            "eval RHS",
+            "termination",
+            "total",
+        ],
         &absolute,
     );
     println!(

@@ -48,7 +48,16 @@ pub fn run() {
     }
     print_table(
         "Table 8: breakdown of D/KB update time",
-        &["TC edges", "R_w", "R_s", "t_extract(u1)", "t_tc", "t_compiled(u2)", "t_source(u3)", "total(ms)"],
+        &[
+            "TC edges",
+            "R_w",
+            "R_s",
+            "t_extract(u1)",
+            "t_tc",
+            "t_compiled(u2)",
+            "t_source(u3)",
+            "total(ms)",
+        ],
         &rows,
     );
     println!(

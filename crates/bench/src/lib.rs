@@ -17,12 +17,12 @@ pub use workload::edges_to_rows;
 /// A session holding a `parent` base relation shaped as a full binary tree
 /// of `depth` levels, with the ancestor rules in the workspace and an index
 /// on `parent.c0` (the join column every rule uses).
-pub fn tree_session(
-    depth: u32,
-    optimize: bool,
-    strategy: LfpStrategy,
-) -> Result<Session, KmError> {
-    let mut s = Session::new(SessionConfig { optimize, strategy, ..SessionConfig::default() })?;
+pub fn tree_session(depth: u32, optimize: bool, strategy: LfpStrategy) -> Result<Session, KmError> {
+    let mut s = Session::new(SessionConfig {
+        optimize,
+        strategy,
+        ..SessionConfig::default()
+    })?;
     s.define_base("parent", &binary_sym())?;
     s.engine_mut()
         .execute("CREATE INDEX parent_c0 ON parent (c0)")?;
@@ -90,7 +90,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -91,11 +91,7 @@ pub struct AdornResult {
 /// are derived (and hence get adorned); all other predicates are base and
 /// keep their names. Only rules reachable from the query under the chosen
 /// SIP are emitted.
-pub fn adorn_program(
-    program: &Program,
-    query: &Clause,
-    derived: &BTreeSet<String>,
-) -> AdornResult {
+pub fn adorn_program(program: &Program, query: &Clause, derived: &BTreeSet<String>) -> AdornResult {
     let mut origin: BTreeMap<String, (String, Adornment)> = BTreeMap::new();
     let mut worklist: VecDeque<(String, Adornment)> = VecDeque::new();
     let mut seen: BTreeSet<(String, Adornment)> = BTreeSet::new();
@@ -154,11 +150,19 @@ pub fn adorn_program(
             }
             let head = rule.head.with_predicate(adorned_name(&pred, &adornment));
             // Negated atoms refer to lower strata and are never adorned.
-            rules.push(Clause { head, body, negative_body: rule.negative_body.clone() });
+            rules.push(Clause {
+                head,
+                body,
+                negative_body: rule.negative_body.clone(),
+            });
         }
     }
 
-    AdornResult { rules, query: adorned_query, origin }
+    AdornResult {
+        rules,
+        query: adorned_query,
+        origin,
+    }
 }
 
 /// Adorn one body-atom occurrence, scheduling the (pred, adornment) pair
@@ -267,8 +271,11 @@ mod tests {
         .unwrap();
         let q = parse_query("?- p(a, X), r(X, Y).").unwrap();
         let result = adorn_program(&p, &q, &derived(&["p", "r"]));
-        let heads: BTreeSet<&str> =
-            result.rules.iter().map(|r| r.head.predicate.as_str()).collect();
+        let heads: BTreeSet<&str> = result
+            .rules
+            .iter()
+            .map(|r| r.head.predicate.as_str())
+            .collect();
         assert!(heads.contains("p__bf"));
         assert!(heads.contains("p__ff"));
         assert!(heads.contains("r__bf"));

@@ -13,7 +13,10 @@ pub struct Atom {
 
 impl Atom {
     pub fn new(predicate: impl Into<String>, args: Vec<Term>) -> Atom {
-        Atom { predicate: predicate.into(), args }
+        Atom {
+            predicate: predicate.into(),
+            args,
+        }
     }
 
     pub fn arity(&self) -> usize {
@@ -47,7 +50,10 @@ impl Atom {
 
     /// Rename the predicate, keeping the arguments.
     pub fn with_predicate(&self, predicate: impl Into<String>) -> Atom {
-        Atom { predicate: predicate.into(), args: self.args.clone() }
+        Atom {
+            predicate: predicate.into(),
+            args: self.args.clone(),
+        }
     }
 }
 
@@ -73,7 +79,15 @@ mod tests {
     use super::*;
 
     fn atom() -> Atom {
-        Atom::new("p", vec![Term::var("X"), Term::sym("a"), Term::var("X"), Term::var("Y")])
+        Atom::new(
+            "p",
+            vec![
+                Term::var("X"),
+                Term::sym("a"),
+                Term::var("X"),
+                Term::var("Y"),
+            ],
+        )
     }
 
     #[test]

@@ -21,15 +21,27 @@ pub struct Clause {
 
 impl Clause {
     pub fn rule(head: Atom, body: Vec<Atom>) -> Clause {
-        Clause { head, body, negative_body: Vec::new() }
+        Clause {
+            head,
+            body,
+            negative_body: Vec::new(),
+        }
     }
 
     pub fn rule_with_negation(head: Atom, body: Vec<Atom>, negative_body: Vec<Atom>) -> Clause {
-        Clause { head, body, negative_body }
+        Clause {
+            head,
+            body,
+            negative_body,
+        }
     }
 
     pub fn fact(head: Atom) -> Clause {
-        Clause { head, body: Vec::new(), negative_body: Vec::new() }
+        Clause {
+            head,
+            body: Vec::new(),
+            negative_body: Vec::new(),
+        }
     }
 
     /// A fact per the paper: empty body, no variables in the head.
@@ -65,8 +77,7 @@ impl Clause {
     /// every variable in a negated atom — must occur in the positive body.
     /// Facts are trivially safe since their heads are ground.
     pub fn is_range_restricted(&self) -> bool {
-        let body_vars: BTreeSet<&str> =
-            self.body.iter().flat_map(|a| a.variables()).collect();
+        let body_vars: BTreeSet<&str> = self.body.iter().flat_map(|a| a.variables()).collect();
         self.head.variables().iter().all(|v| body_vars.contains(v))
             && self
                 .negative_body
@@ -230,7 +241,10 @@ mod tests {
                     Atom::new("ancestor", vec![Term::var("Z"), Term::var("Y")]),
                 ],
             ),
-            Clause::fact(Atom::new("parent", vec![Term::sym("adam"), Term::sym("bob")])),
+            Clause::fact(Atom::new(
+                "parent",
+                vec![Term::sym("adam"), Term::sym("bob")],
+            )),
         ])
     }
 
@@ -247,8 +261,14 @@ mod tests {
     #[test]
     fn base_and_derived_partition() {
         let p = anc_program();
-        assert_eq!(p.derived_predicates().into_iter().collect::<Vec<_>>(), vec!["ancestor"]);
-        assert_eq!(p.base_predicates().into_iter().collect::<Vec<_>>(), vec!["parent"]);
+        assert_eq!(
+            p.derived_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["ancestor"]
+        );
+        assert_eq!(
+            p.base_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["parent"]
+        );
     }
 
     #[test]

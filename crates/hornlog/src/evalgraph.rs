@@ -109,8 +109,7 @@ pub fn evaluation_order(program: &Program) -> Result<Vec<EvalNode>, EvalGraphErr
 
     // Kahn's algorithm with deterministic tie-breaking by node index
     // (nodes are ordered clique-discovery then predicate name).
-    let mut ready: BTreeSet<usize> =
-        (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(&i) = ready.iter().next() {
         ready.remove(&i);

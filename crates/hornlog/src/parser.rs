@@ -40,15 +40,15 @@ pub const QUERY_PREDICATE: &str = "_query";
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
-    Ident(String),  // lowercase-leading: predicate or symbol
-    Var(String),    // uppercase/underscore-leading
+    Ident(String), // lowercase-leading: predicate or symbol
+    Var(String),   // uppercase/underscore-leading
     Int(i64),
-    Str(String),    // quoted symbol
+    Str(String), // quoted symbol
     LParen,
     RParen,
     Comma,
     Dot,
-    Implies, // :-
+    Implies,   // :-
     QueryMark, // ?-
 }
 
@@ -67,7 +67,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.pos }
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn next_token(&mut self) -> Result<Option<(Tok, usize)>, ParseError> {
@@ -159,8 +162,9 @@ impl<'a> Lexer<'a> {
                 {
                     self.pos += 1;
                 }
-                let word =
-                    std::str::from_utf8(&self.src[w_start..self.pos]).unwrap().to_string();
+                let word = std::str::from_utf8(&self.src[w_start..self.pos])
+                    .unwrap()
+                    .to_string();
                 if c.is_ascii_uppercase() || c == b'_' {
                     Tok::Var(word)
                 } else {
@@ -184,11 +188,17 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.tokens.get(self.pos).map(|(_, o)| *o).unwrap_or(usize::MAX)
+        self.tokens
+            .get(self.pos)
+            .map(|(_, o)| *o)
+            .unwrap_or(usize::MAX)
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.offset() }
+        ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        }
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -291,7 +301,11 @@ impl Parser {
             (Vec::new(), Vec::new())
         };
         self.expect(&Tok::Dot, "'.' after clause")?;
-        Ok(Clause { head, body, negative_body })
+        Ok(Clause {
+            head,
+            body,
+            negative_body,
+        })
     }
 }
 
@@ -313,12 +327,20 @@ pub fn make_query_clause_with_negation(body: Vec<Atom>, negative_body: Vec<Atom>
             }
         }
     }
-    Clause { head: Atom::new(QUERY_PREDICATE, vars), body, negative_body }
+    Clause {
+        head: Atom::new(QUERY_PREDICATE, vars),
+        body,
+        negative_body,
+    }
 }
 
 /// Parse a whole program (clauses and/or queries).
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
-    let tokens = Lexer { src: src.as_bytes(), pos: 0 }.tokens()?;
+    let tokens = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+    }
+    .tokens()?;
     let mut p = Parser { tokens, pos: 0 };
     let mut clauses = Vec::new();
     while p.peek().is_some() {
@@ -329,7 +351,11 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 
 /// Parse a single clause (rule or fact).
 pub fn parse_clause(src: &str) -> Result<Clause, ParseError> {
-    let tokens = Lexer { src: src.as_bytes(), pos: 0 }.tokens()?;
+    let tokens = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+    }
+    .tokens()?;
     let mut p = Parser { tokens, pos: 0 };
     let c = p.clause()?;
     if p.peek().is_some() {
@@ -340,7 +366,11 @@ pub fn parse_clause(src: &str) -> Result<Clause, ParseError> {
 
 /// Parse a query: either `?- body.` or a bare body `p(X), q(X).`.
 pub fn parse_query(src: &str) -> Result<Clause, ParseError> {
-    let tokens = Lexer { src: src.as_bytes(), pos: 0 }.tokens()?;
+    let tokens = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+    }
+    .tokens()?;
     let mut p = Parser { tokens, pos: 0 };
     if p.peek() == Some(&Tok::QueryMark) {
         p.pos += 1;

@@ -31,8 +31,7 @@ impl Clique {
 /// i.e. a component appears before any component that depends on it.
 pub fn tarjan_scc(pcg: &Pcg) -> Vec<Vec<String>> {
     let nodes: Vec<&str> = pcg.nodes().collect();
-    let index_of: BTreeMap<&str, usize> =
-        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let index_of: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let adj: Vec<Vec<usize>> = nodes
         .iter()
         .map(|&n| pcg.direct_deps(n).map(|d| index_of[d]).collect())
@@ -119,7 +118,11 @@ pub fn find_cliques(program: &Program) -> Vec<Clique> {
                 exit_rules.push(rule.clone());
             }
         }
-        cliques.push(Clique { predicates: preds, recursive_rules, exit_rules });
+        cliques.push(Clique {
+            predicates: preds,
+            recursive_rules,
+            exit_rules,
+        });
     }
     cliques
 }
@@ -213,8 +216,7 @@ mod tests {
     fn scc_components_in_dependency_order() {
         let p = parse_program("a(X) :- b(X).\nb(X) :- c(X).\n").unwrap();
         let comps = tarjan_scc(&Pcg::build(&p));
-        let pos =
-            |name: &str| comps.iter().position(|c| c[0] == name).unwrap();
+        let pos = |name: &str| comps.iter().position(|c| c[0] == name).unwrap();
         assert!(pos("c") < pos("b"));
         assert!(pos("b") < pos("a"));
     }

@@ -130,10 +130,7 @@ mod tests {
 
     #[test]
     fn negation_through_recursion_is_rejected() {
-        let p = parse_program(
-            "win(X) :- move(X, Y), not win(Y).\n",
-        )
-        .unwrap();
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).\n").unwrap();
         let err = stratify(&p).unwrap_err();
         assert_eq!(err.head, "win");
         assert_eq!(err.negated, "win");

@@ -72,15 +72,29 @@ pub enum TypeError {
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TypeError::ColumnConflict { predicate, column, first, second } => write!(
+            TypeError::ColumnConflict {
+                predicate,
+                column,
+                first,
+                second,
+            } => write!(
                 f,
                 "type conflict on {predicate} column {column}: {first} vs {second}"
             ),
-            TypeError::VariableConflict { rule, variable, first, second } => write!(
+            TypeError::VariableConflict {
+                rule,
+                variable,
+                first,
+                second,
+            } => write!(
                 f,
                 "variable {variable} in rule '{rule}' used as both {first} and {second}"
             ),
-            TypeError::ArityConflict { predicate, first, second } => {
+            TypeError::ArityConflict {
+                predicate,
+                first,
+                second,
+            } => {
                 write!(f, "arity conflict on {predicate}: {first} vs {second}")
             }
             TypeError::Uninferable { predicate } => {
@@ -96,8 +110,7 @@ impl std::error::Error for TypeError {}
 /// a rule in `program`) nor listed in `known_base`. Sorted, deduplicated.
 pub fn undefined_predicates(program: &Program, known_base: &BTreeSet<String>) -> Vec<String> {
     let derived = program.derived_predicates();
-    let fact_defined: BTreeSet<&str> =
-        program.facts().map(|c| c.head.predicate.as_str()).collect();
+    let fact_defined: BTreeSet<&str> = program.facts().map(|c| c.head.predicate.as_str()).collect();
     let mut missing = BTreeSet::new();
     for rule in program.rules() {
         for atom in rule.all_body_atoms() {
@@ -210,7 +223,9 @@ pub fn infer_types(program: &Program, base: &TypeMap) -> Result<TypeMap, TypeErr
     // Every derived predicate must have ended up typed.
     for pred in program.derived_predicates() {
         if !types.contains_key(pred) {
-            return Err(TypeError::Uninferable { predicate: pred.to_string() });
+            return Err(TypeError::Uninferable {
+                predicate: pred.to_string(),
+            });
         }
     }
     Ok(types)
@@ -257,7 +272,10 @@ mod tests {
     use crate::parser::parse_program;
 
     fn base_types(pairs: &[(&str, &[AttrType])]) -> TypeMap {
-        pairs.iter().map(|(p, t)| (p.to_string(), t.to_vec())).collect()
+        pairs
+            .iter()
+            .map(|(p, t)| (p.to_string(), t.to_vec()))
+            .collect()
     }
 
     #[test]
@@ -313,10 +331,7 @@ mod tests {
              p(X) :- nums(X).\n",
         )
         .unwrap();
-        let base = base_types(&[
-            ("names", &[AttrType::Sym]),
-            ("nums", &[AttrType::Int]),
-        ]);
+        let base = base_types(&[("names", &[AttrType::Sym]), ("nums", &[AttrType::Int])]);
         let err = infer_types(&p, &base).unwrap_err();
         assert!(matches!(err, TypeError::ColumnConflict { .. }));
     }
@@ -324,10 +339,7 @@ mod tests {
     #[test]
     fn variable_conflict_within_rule() {
         let p = parse_program("p(X) :- names(X), nums(X).\n").unwrap();
-        let base = base_types(&[
-            ("names", &[AttrType::Sym]),
-            ("nums", &[AttrType::Int]),
-        ]);
+        let base = base_types(&[("names", &[AttrType::Sym]), ("nums", &[AttrType::Int])]);
         let err = infer_types(&p, &base).unwrap_err();
         assert!(matches!(err, TypeError::VariableConflict { .. }));
     }
@@ -353,7 +365,12 @@ mod tests {
         // p defined only in terms of itself: no types can be established.
         let p = parse_program("p(X) :- p(X).\n").unwrap();
         let err = infer_types(&p, &TypeMap::new()).unwrap_err();
-        assert_eq!(err, TypeError::Uninferable { predicate: "p".to_string() });
+        assert_eq!(
+            err,
+            TypeError::Uninferable {
+                predicate: "p".to_string()
+            }
+        );
     }
 
     #[test]

@@ -50,7 +50,6 @@ fn deeply_nested_inputs_do_not_overflow() {
     let parsed = parse_clause(&clause).unwrap();
     assert_eq!(parsed.body.len(), 5000);
 
-    let long_program: String =
-        (0..5000).map(|i| format!("q{i}(a).\n")).collect();
+    let long_program: String = (0..5000).map(|i| format!("q{i}(a).\n")).collect();
     assert_eq!(parse_program(&long_program).unwrap().len(), 5000);
 }

@@ -103,7 +103,11 @@ impl EvalProgram {
             .iter()
             .map(|n| match n {
                 ProgNode::Predicate { rules, .. } => rules.len(),
-                ProgNode::Clique { exit_rules, recursive_rules, .. } => {
+                ProgNode::Clique {
+                    exit_rules,
+                    recursive_rules,
+                    ..
+                } => {
                     exit_rules.len()
                         + recursive_rules
                             .iter()
@@ -271,10 +275,7 @@ pub fn rule_to_sql(
 /// relation, and one recursive rule composing `b`/`p` linearly or `p`
 /// non-linearly (`p(X, Y) :- q(X, Z), r(Z, Y)` with `q`, `r` ∈ {b, p}).
 /// Returns the source table to close over.
-fn detect_transitive_closure(
-    clique: &hornlog::Clique,
-    env: &CodegenEnv<'_>,
-) -> Option<String> {
+fn detect_transitive_closure(clique: &hornlog::Clique, env: &CodegenEnv<'_>) -> Option<String> {
     use hornlog::Term;
 
     if clique.predicates.len() != 1
@@ -410,7 +411,10 @@ pub fn generate(
                     .filter(|r| !r.body.is_empty())
                     .map(|r| compile_rule(r, env, &BTreeSet::new()))
                     .collect();
-                nodes.push(ProgNode::Predicate { pred: name.clone(), rules: compiled? });
+                nodes.push(ProgNode::Predicate {
+                    pred: name.clone(),
+                    rules: compiled?,
+                });
             }
             EvalNode::Clique(clique) => {
                 let clique_preds: BTreeSet<String> = clique.predicates.clone();
@@ -463,14 +467,21 @@ mod tests {
         types.insert("m_anc".into(), vec![AttrType::Sym]);
         let base: BTreeSet<String> = ["parent".to_string()].into();
         let mut cols = BTreeMap::new();
-        cols.insert("parent".to_string(), vec!["par".to_string(), "child".to_string()]);
+        cols.insert(
+            "parent".to_string(),
+            vec!["par".to_string(), "child".to_string()],
+        );
         (types, base, cols)
     }
 
     #[test]
     fn simple_rule_sql() {
         let (types, base, cols) = env_fixture();
-        let env = CodegenEnv { types: &types, base_preds: &base, base_columns: &cols };
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+        };
         let rule = parse_clause("anc(X, Y) :- parent(X, Y).").unwrap();
         let sql = rule_to_sql(&rule, &env, None).unwrap();
         assert_eq!(sql, "SELECT DISTINCT t0.par, t0.child FROM parent t0");
@@ -479,7 +490,11 @@ mod tests {
     #[test]
     fn join_rule_sql_chains_variables() {
         let (types, base, cols) = env_fixture();
-        let env = CodegenEnv { types: &types, base_preds: &base, base_columns: &cols };
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+        };
         let rule = parse_clause("anc(X, Y) :- parent(X, Z), anc(Z, Y).").unwrap();
         let sql = rule_to_sql(&rule, &env, None).unwrap();
         assert_eq!(
@@ -492,7 +507,11 @@ mod tests {
     #[test]
     fn constants_become_equality_filters_and_literals() {
         let (types, base, cols) = env_fixture();
-        let env = CodegenEnv { types: &types, base_preds: &base, base_columns: &cols };
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+        };
         let rule = parse_clause("anc(adam, Y) :- parent(adam, Y).").unwrap();
         let sql = rule_to_sql(&rule, &env, None).unwrap();
         assert_eq!(
@@ -504,7 +523,11 @@ mod tests {
     #[test]
     fn repeated_variable_within_one_atom() {
         let (types, base, cols) = env_fixture();
-        let env = CodegenEnv { types: &types, base_preds: &base, base_columns: &cols };
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+        };
         let rule = parse_clause("anc(X, X) :- parent(X, X).").unwrap();
         let sql = rule_to_sql(&rule, &env, None).unwrap();
         assert!(sql.contains("t0.par = t0.child"));
@@ -513,7 +536,11 @@ mod tests {
     #[test]
     fn delta_override_replaces_one_occurrence() {
         let (types, base, cols) = env_fixture();
-        let env = CodegenEnv { types: &types, base_preds: &base, base_columns: &cols };
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+        };
         let rule = parse_clause("anc(X, Y) :- anc(X, Z), anc(Z, Y).").unwrap();
         let v0 = rule_to_sql(&rule, &env, Some((0, delta_table("anc")))).unwrap();
         let v1 = rule_to_sql(&rule, &env, Some((1, delta_table("anc")))).unwrap();
@@ -524,7 +551,11 @@ mod tests {
     #[test]
     fn unsafe_rule_rejected() {
         let (types, base, cols) = env_fixture();
-        let env = CodegenEnv { types: &types, base_preds: &base, base_columns: &cols };
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+        };
         let rule = parse_clause("anc(X, Y) :- parent(X, X).").unwrap();
         assert!(matches!(
             rule_to_sql(&rule, &env, None),
@@ -547,7 +578,11 @@ mod tests {
 
         let (mut types, base, cols) = env_fixture();
         types.insert("_query".into(), vec![AttrType::Sym]);
-        let env = CodegenEnv { types: &types, base_preds: &base, base_columns: &cols };
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+        };
         let order = evaluation_order(&program).unwrap();
         let prog = generate(&order, &[], "_query", &env).unwrap();
 
@@ -557,9 +592,17 @@ mod tests {
         assert_eq!(prog.result_types, vec![AttrType::Sym]);
         assert!(prog.tables.contains_key("anc"));
         assert!(prog.tables.contains_key("_query"));
-        assert!(!prog.tables.contains_key("parent"), "base tables not recreated");
+        assert!(
+            !prog.tables.contains_key("parent"),
+            "base tables not recreated"
+        );
 
-        let ProgNode::Clique { exit_rules, recursive_rules, .. } = &prog.nodes[0] else {
+        let ProgNode::Clique {
+            exit_rules,
+            recursive_rules,
+            ..
+        } = &prog.nodes[0]
+        else {
             panic!("expected clique");
         };
         assert_eq!(exit_rules.len(), 1);
@@ -574,7 +617,11 @@ mod tests {
     fn seeds_are_grouped_by_predicate() {
         let (mut types, base, cols) = env_fixture();
         types.insert("m_anc".into(), vec![AttrType::Sym]);
-        let env = CodegenEnv { types: &types, base_preds: &base, base_columns: &cols };
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+        };
         let seeds = vec![
             parse_clause("m_anc(adam).").unwrap(),
             parse_clause("m_anc(bob).").unwrap(),
@@ -589,7 +636,11 @@ mod tests {
     #[test]
     fn nullary_head_rejected() {
         let (types, base, cols) = env_fixture();
-        let env = CodegenEnv { types: &types, base_preds: &base, base_columns: &cols };
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+        };
         let rule = parse_clause("halt :- parent(X, Y).").unwrap();
         assert!(matches!(
             rule_to_sql(&rule, &env, None),

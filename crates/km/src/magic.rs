@@ -41,7 +41,9 @@ impl MagicRewrite {
     pub fn rewritten_types(&self, original: &TypeMap) -> TypeMap {
         let mut out = original.clone();
         for (adorned, (orig, adornment)) in &self.origin {
-            let Some(types) = original.get(orig) else { continue };
+            let Some(types) = original.get(orig) else {
+                continue;
+            };
             out.insert(adorned.clone(), types.clone());
             let magic = magic_name(adorned);
             if self.magic_preds.contains(&magic) {
@@ -68,7 +70,6 @@ fn magic_atom(atom: &Atom, adornment: &Adornment) -> Atom {
     Atom::new(magic_name(&atom.predicate), args)
 }
 
-
 /// Emit the magic rules a rule body's derived occurrences induce under the
 /// plain strategy (`m_Bi(bound) :- [head magic,] B1 .. B_{i-1}`), plus the
 /// plainly-guarded modified rule. Shared by both rewrites (the
@@ -86,7 +87,9 @@ fn emit_plain_rule(
     magic_rule_count: &mut usize,
 ) {
     for (i, atom) in body.iter().enumerate() {
-        let Some(adn) = adornment_of(atom) else { continue };
+        let Some(adn) = adornment_of(atom) else {
+            continue;
+        };
         if adn.is_all_free() {
             continue;
         }
@@ -97,7 +100,11 @@ fn emit_plain_rule(
             m_body.push(m.clone());
         }
         m_body.extend_from_slice(&body[..i]);
-        rewritten.push(Clause { head: m_head, body: m_body, negative_body: Vec::new() });
+        rewritten.push(Clause {
+            head: m_head,
+            body: m_body,
+            negative_body: Vec::new(),
+        });
         *magic_rule_count += 1;
     }
     if let Some(h) = head {
@@ -244,15 +251,18 @@ pub fn supplementary_magic_rewrite(
             Some(m)
         };
 
-        if let Some(plan) =
-            head_magic.as_ref().and_then(|m| plan_supplementaries(rule, m, rule_idx))
+        if let Some(plan) = head_magic
+            .as_ref()
+            .and_then(|m| plan_supplementaries(rule, m, rule_idx))
         {
             // Emit sup chain + magic rules + modified rule.
             for clause in plan.sup_rules {
                 rewritten.push(clause);
             }
             for (i, atom) in rule.body.iter().enumerate() {
-                let Some(adn) = adornment_of(atom) else { continue };
+                let Some(adn) = adornment_of(atom) else {
+                    continue;
+                };
                 if adn.is_all_free() {
                     continue;
                 }
@@ -374,7 +384,10 @@ fn plan_supplementaries(rule: &Clause, head_magic: &Atom, rule_idx: usize) -> Op
         sup_atoms.push(sup_i);
         carry = next_carry;
     }
-    Some(SupPlan { sup_rules, sup_atoms })
+    Some(SupPlan {
+        sup_rules,
+        sup_atoms,
+    })
 }
 
 #[cfg(test)]
@@ -400,25 +413,19 @@ mod tests {
         let q = parse_query("?- anc(adam, W).").unwrap();
         let rw = magic_rewrite(&ancestor(), &q, &derived(&["anc"]));
 
-        let texts: Vec<String> =
-            rw.program.clauses.iter().map(|c| c.to_string()).collect();
-        assert!(texts.contains(&"m_anc__bf(adam).".to_string()), "seed: {texts:?}");
-        assert!(texts.contains(
-            &"anc__bf(X, Y) :- m_anc__bf(X), parent(X, Y).".to_string()
-        ));
-        assert!(texts.contains(
-            &"anc__bf(X, Y) :- m_anc__bf(X), parent(X, Z), anc__bf(Z, Y).".to_string()
-        ));
-        assert!(texts.contains(
-            &"m_anc__bf(Z) :- m_anc__bf(X), parent(X, Z).".to_string()
-        ));
+        let texts: Vec<String> = rw.program.clauses.iter().map(|c| c.to_string()).collect();
+        assert!(
+            texts.contains(&"m_anc__bf(adam).".to_string()),
+            "seed: {texts:?}"
+        );
+        assert!(texts.contains(&"anc__bf(X, Y) :- m_anc__bf(X), parent(X, Y).".to_string()));
+        assert!(texts
+            .contains(&"anc__bf(X, Y) :- m_anc__bf(X), parent(X, Z), anc__bf(Z, Y).".to_string()));
+        assert!(texts.contains(&"m_anc__bf(Z) :- m_anc__bf(X), parent(X, Z).".to_string()));
         assert_eq!(rw.program.len(), 4);
         assert_eq!(rw.magic_rule_count, 2);
         assert_eq!(rw.query.body[0].predicate, "anc__bf");
-        assert_eq!(
-            rw.magic_preds.iter().collect::<Vec<_>>(),
-            vec!["m_anc__bf"]
-        );
+        assert_eq!(rw.magic_preds.iter().collect::<Vec<_>>(), vec!["m_anc__bf"]);
     }
 
     #[test]
@@ -429,13 +436,10 @@ mod tests {
         // sub-computation — the overhead regime of Figure 13's crossover.
         let q = parse_query("?- anc(A, B).").unwrap();
         let rw = magic_rewrite(&ancestor(), &q, &derived(&["anc"]));
-        let texts: Vec<String> =
-            rw.program.clauses.iter().map(|c| c.to_string()).collect();
+        let texts: Vec<String> = rw.program.clauses.iter().map(|c| c.to_string()).collect();
         // The ff rules themselves are unguarded (no m_anc__ff exists).
         assert!(texts.contains(&"anc__ff(X, Y) :- parent(X, Y).".to_string()));
-        assert!(texts.contains(
-            &"anc__ff(X, Y) :- parent(X, Z), anc__bf(Z, Y).".to_string()
-        ));
+        assert!(texts.contains(&"anc__ff(X, Y) :- parent(X, Z), anc__bf(Z, Y).".to_string()));
         assert!(!rw.magic_preds.contains("m_anc__ff"));
         // The inner bf occurrence is magic-guarded as usual.
         assert!(rw.magic_preds.contains("m_anc__bf"));
@@ -446,17 +450,13 @@ mod tests {
     fn second_argument_bound_gives_fb_then_bb() {
         let q = parse_query("?- anc(X, eve).").unwrap();
         let rw = magic_rewrite(&ancestor(), &q, &derived(&["anc"]));
-        let texts: Vec<String> =
-            rw.program.clauses.iter().map(|c| c.to_string()).collect();
+        let texts: Vec<String> = rw.program.clauses.iter().map(|c| c.to_string()).collect();
         assert!(texts.contains(&"m_anc__fb(eve).".to_string()));
         // Left-to-right SIP binds Z through parent(X, Z) before the
         // recursive call, so the inner occurrence is fully bound (bb).
-        assert!(texts.contains(
-            &"anc__fb(X, Y) :- m_anc__fb(Y), parent(X, Z), anc__bb(Z, Y).".to_string()
-        ));
-        assert!(texts.contains(
-            &"m_anc__bb(Z, Y) :- m_anc__fb(Y), parent(X, Z).".to_string()
-        ));
+        assert!(texts
+            .contains(&"anc__fb(X, Y) :- m_anc__fb(Y), parent(X, Z), anc__bb(Z, Y).".to_string()));
+        assert!(texts.contains(&"m_anc__bb(Z, Y) :- m_anc__fb(Y), parent(X, Z).".to_string()));
         assert!(rw.magic_preds.contains("m_anc__bb"));
     }
 
@@ -469,8 +469,7 @@ mod tests {
         .unwrap();
         let q = parse_query("?- p(a, X), q(X, Y).").unwrap();
         let rw = magic_rewrite(&p, &q, &derived(&["p", "q"]));
-        let texts: Vec<String> =
-            rw.program.clauses.iter().map(|c| c.to_string()).collect();
+        let texts: Vec<String> = rw.program.clauses.iter().map(|c| c.to_string()).collect();
         assert!(texts.contains(&"m_p__bf(a).".to_string()));
         assert!(texts.contains(&"m_q__bf(X) :- p__bf(a, X).".to_string()));
     }
@@ -491,8 +490,7 @@ mod tests {
     fn seed_is_a_fact() {
         let q = parse_query("?- anc(adam, W).").unwrap();
         let rw = magic_rewrite(&ancestor(), &q, &derived(&["anc"]));
-        let seeds: Vec<&Clause> =
-            rw.program.clauses.iter().filter(|c| c.is_fact()).collect();
+        let seeds: Vec<&Clause> = rw.program.clauses.iter().filter(|c| c.is_fact()).collect();
         assert_eq!(seeds.len(), 1);
         assert_eq!(seeds[0].head.predicate, "m_anc__bf");
     }
@@ -508,8 +506,7 @@ mod tests {
         .unwrap();
         let q = parse_query("?- sg(john, W).").unwrap();
         let rw = magic_rewrite(&p, &q, &derived(&["sg"]));
-        let texts: Vec<String> =
-            rw.program.clauses.iter().map(|c| c.to_string()).collect();
+        let texts: Vec<String> = rw.program.clauses.iter().map(|c| c.to_string()).collect();
         assert!(texts.contains(&"m_sg__bf(john).".to_string()));
         assert!(texts.contains(&"m_sg__bf(U) :- m_sg__bf(X), up(X, U).".to_string()));
         assert!(texts.contains(

@@ -160,7 +160,12 @@ pub fn run_program_with(
         let node_start = Instant::now();
         let node_breakdown = match node {
             ProgNode::Predicate { rules, .. } => eval_predicate(db, rules)?,
-            ProgNode::Clique { preds, exit_rules, recursive_rules, tc_of } => {
+            ProgNode::Clique {
+                preds,
+                exit_rules,
+                recursive_rules,
+                tc_of,
+            } => {
                 // The specialized operator applies only when nothing was
                 // seeded into the clique predicate (seeds would extend the
                 // LFP beyond the plain closure).
@@ -230,7 +235,12 @@ pub fn run_program_with(
     }
     breakdown.t_temp_tables += t.elapsed();
 
-    Ok(EvalOutcome { rows, total: start.elapsed(), node_timings, breakdown })
+    Ok(EvalOutcome {
+        rows,
+        total: start.elapsed(),
+        node_timings,
+        breakdown,
+    })
 }
 
 /// Insert a SELECT's result into `target`, keeping set semantics via the
@@ -452,9 +462,15 @@ mod tests {
     /// a0 -> a1 -> ... -> a{n-1}.
     fn chain_engine(n: usize) -> Engine {
         let mut db = Engine::new();
-        db.execute("CREATE TABLE parent (c0 char, c1 char)").unwrap();
+        db.execute("CREATE TABLE parent (c0 char, c1 char)")
+            .unwrap();
         let rows: Vec<Vec<Value>> = (0..n - 1)
-            .map(|i| vec![Value::from(format!("a{i}")), Value::from(format!("a{}", i + 1))])
+            .map(|i| {
+                vec![
+                    Value::from(format!("a{i}")),
+                    Value::from(format!("a{}", i + 1)),
+                ]
+            })
             .collect();
         db.insert_rows("parent", rows).unwrap();
         db
@@ -493,7 +509,11 @@ mod tests {
                 .collect(),
         )]
         .into();
-        let env = CodegenEnv { types: &types, base_preds: &base, base_columns: &cols };
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+        };
         let order = evaluation_order(program).unwrap();
         generate(&order, &[], "_query", &env).unwrap()
     }
@@ -506,7 +526,10 @@ mod tests {
         let out = run_program(&mut db, &prog, LfpStrategy::SemiNaive).unwrap();
         // Chain of 6 nodes: C(6,2) = 15 ancestor pairs.
         assert_eq!(out.rows.len(), 15);
-        assert!(out.breakdown.iterations >= 5, "chain depth forces iterations");
+        assert!(
+            out.breakdown.iterations >= 5,
+            "chain depth forces iterations"
+        );
     }
 
     #[test]
@@ -577,7 +600,8 @@ mod tests {
     fn cyclic_data_terminates() {
         // parent forms a cycle: a -> b -> c -> a.
         let mut db = Engine::new();
-        db.execute("CREATE TABLE parent (c0 char, c1 char)").unwrap();
+        db.execute("CREATE TABLE parent (c0 char, c1 char)")
+            .unwrap();
         db.insert_rows(
             "parent",
             vec![
@@ -598,7 +622,8 @@ mod tests {
     #[test]
     fn empty_base_relation_yields_empty_answer() {
         let mut db = Engine::new();
-        db.execute("CREATE TABLE parent (c0 char, c1 char)").unwrap();
+        db.execute("CREATE TABLE parent (c0 char, c1 char)")
+            .unwrap();
         let (program, _) = ancestor_program("?- anc(A, B).");
         let prog = compile(&program, &db);
         let out = run_program(&mut db, &prog, LfpStrategy::SemiNaive).unwrap();
@@ -618,21 +643,41 @@ mod tests {
         types.insert("anc".into(), vec![AttrType::Sym, AttrType::Sym]);
         types.insert("_query".into(), vec![AttrType::Sym, AttrType::Sym]);
         let base: BTreeSet<String> = ["parent".to_string()].into();
-        let cols: std::collections::BTreeMap<String, Vec<String>> =
-            [("parent".to_string(), vec!["c0".to_string(), "c1".to_string()])].into();
-        let env = CodegenEnv { types: &types, base_preds: &base, base_columns: &cols };
+        let cols: std::collections::BTreeMap<String, Vec<String>> = [(
+            "parent".to_string(),
+            vec!["c0".to_string(), "c1".to_string()],
+        )]
+        .into();
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+        };
         let rules_only = hornlog::Program::new(
-            program.clauses.iter().filter(|c| !c.is_fact()).cloned().collect(),
+            program
+                .clauses
+                .iter()
+                .filter(|c| !c.is_fact())
+                .cloned()
+                .collect(),
         );
         let order = evaluation_order(&rules_only).unwrap();
-        let seeds: Vec<hornlog::Clause> =
-            program.clauses.iter().filter(|c| c.is_fact()).cloned().collect();
+        let seeds: Vec<hornlog::Clause> = program
+            .clauses
+            .iter()
+            .filter(|c| c.is_fact())
+            .cloned()
+            .collect();
         let prog = generate(&order, &seeds, "_query", &env).unwrap();
         let out = run_program(&mut db, &prog, LfpStrategy::SemiNaive).unwrap();
         // The seeded tuple itself is part of the answer (the left-linear
         // rule cannot extend it leftward, since no parent edge leaves zz).
-        assert!(out.rows.contains(&vec![Value::from("zz"), Value::from("a0")]));
+        assert!(out
+            .rows
+            .contains(&vec![Value::from("zz"), Value::from("a0")]));
         // And ordinary chain pairs are still derived.
-        assert!(out.rows.contains(&vec![Value::from("a0"), Value::from("a2")]));
+        assert!(out
+            .rows
+            .contains(&vec![Value::from("a0"), Value::from("a2")]));
     }
 }

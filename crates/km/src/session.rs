@@ -34,6 +34,11 @@ pub struct SessionConfig {
     /// (§2.5): prefix joins are materialized once in supplementary
     /// predicates and shared between magic and modified rules.
     pub supplementary: bool,
+    /// Run every [`Session::commit_workspace`] as one write-ahead-logged
+    /// engine transaction, so a crash mid-update leaves the Stored D/KB
+    /// either fully pre- or fully post-update. Off by default: without it
+    /// the engine's I/O path is byte-for-byte the original one.
+    pub durability: bool,
 }
 
 impl Default for SessionConfig {
@@ -44,6 +49,7 @@ impl Default for SessionConfig {
             compiled_storage: true,
             special_tc: false,
             supplementary: false,
+            durability: false,
         }
     }
 }
@@ -151,6 +157,9 @@ impl Session {
     /// Create a session with freshly initialized storage structures.
     pub fn new(config: SessionConfig) -> Result<Session, KmError> {
         let mut db = Engine::new();
+        if config.durability {
+            db.enable_wal();
+        }
         let stored = StoredDkb::new(config.compiled_storage);
         stored.init(&mut db)?;
         Ok(Session {
@@ -210,6 +219,12 @@ impl Session {
 
     /// Commit the workspace rules to the Stored D/KB (§4.3), returning the
     /// phase timings of Test 8/9. The workspace is left intact.
+    ///
+    /// With [`SessionConfig::durability`] on, the whole update runs as one
+    /// engine transaction: on any error the stored D/KB is rolled back to
+    /// its pre-commit state and the workspace keeps everything, so the
+    /// commit can simply be retried. If the error was an injected crash,
+    /// call [`Session::recover`] first.
     pub fn commit_workspace(&mut self) -> Result<UpdateTimings, KmError> {
         let referenced: BTreeSet<String> = self
             .workspace
@@ -219,7 +234,28 @@ impl Session {
             .flat_map(|c| c.body.iter().map(|a| a.predicate.clone()))
             .collect();
         let base_types = self.stored.read_edb_dictionary(&mut self.db, &referenced)?;
-        let timings = update_stored(&mut self.db, &self.stored, &self.workspace, &base_types)?;
+        let durable = self.config.durability;
+        if durable {
+            self.db.begin()?;
+        }
+        let timings = match update_stored(&mut self.db, &self.stored, &self.workspace, &base_types)
+        {
+            Ok(t) => t,
+            Err(e) => {
+                if durable {
+                    // On a crashed disk the rollback itself fails; the
+                    // open transaction is then reconciled by recover().
+                    let _ = self.db.rollback();
+                }
+                return Err(e);
+            }
+        };
+        if durable {
+            if let Err(e) = self.db.commit() {
+                let _ = self.db.rollback();
+                return Err(e.into());
+            }
+        }
 
         // Facts that became stored base relations leave the workspace —
         // they would otherwise shadow the base relation on the next query.
@@ -243,12 +279,36 @@ impl Session {
         touched.extend(timings.fact_predicates.iter().cloned());
         for entry in self.prepared.values_mut() {
             if entry.valid
-                && entry.compiled.relevant_preds.intersection(&touched).next().is_some()
+                && entry
+                    .compiled
+                    .relevant_preds
+                    .intersection(&touched)
+                    .next()
+                    .is_some()
             {
                 entry.valid = false;
             }
         }
         Ok(timings)
+    }
+
+    /// Recover the engine after an injected crash: replay committed
+    /// transactions from the WAL, undo uncommitted ones, and rebuild the
+    /// volatile state (buffer pool, indexes, tuple counts). Every prepared
+    /// query is invalidated, since its plan may reference rolled-back
+    /// state; the memory-resident workspace survives untouched.
+    pub fn recover(&mut self) -> Result<rdbms::RecoveryReport, KmError> {
+        let report = self.db.recover()?;
+        for entry in self.prepared.values_mut() {
+            entry.valid = false;
+        }
+        Ok(report)
+    }
+
+    /// Cross-check the stored D/KB's dictionary structures against each
+    /// other (see [`StoredDkb::verify_integrity`]).
+    pub fn verify_integrity(&mut self) -> Result<(), KmError> {
+        self.stored.verify_integrity(&mut self.db)
     }
 
     /// Persist the whole D/KB — base relations, dictionaries, rule storage
@@ -263,7 +323,10 @@ impl Session {
         path: impl AsRef<std::path::Path>,
         config: SessionConfig,
     ) -> Result<Session, KmError> {
-        let db = Engine::load_snapshot(path)?;
+        let mut db = Engine::load_snapshot(path)?;
+        if config.durability {
+            db.enable_wal();
+        }
         for required in ["rulesource", "idb_relname", "idb_column", "edb_relname"] {
             if !db.has_table(required) {
                 return Err(KmError::Semantic(format!(
@@ -298,7 +361,12 @@ impl Session {
         let workspace_gen = self.workspace_gen;
         self.prepared.insert(
             name.to_string(),
-            Prepared { source: query_src.to_string(), compiled, valid: true, workspace_gen },
+            Prepared {
+                source: query_src.to_string(),
+                compiled,
+                valid: true,
+                workspace_gen,
+            },
         );
         Ok(())
     }
@@ -330,7 +398,11 @@ impl Session {
             self.config.special_tc,
         )?;
         let rows = std::mem::take(&mut outcome.rows);
-        Ok(QueryResult { rows, t_execute: outcome.total, outcome })
+        Ok(QueryResult {
+            rows,
+            t_execute: outcome.total,
+            outcome,
+        })
     }
 
     /// Whether the named prepared plan is current against both the stored
@@ -375,10 +447,11 @@ impl Session {
         // Step 1: find the reachable predicate set and relevant rule set,
         // iterating between workspace reachability and stored extraction.
         let mut relevant = Program::default();
-        let mut seen_rules: std::collections::HashSet<Clause> =
-            std::collections::HashSet::new();
-        let mut preds: BTreeSet<String> =
-            query.all_body_atoms().map(|a| a.predicate.clone()).collect();
+        let mut seen_rules: std::collections::HashSet<Clause> = std::collections::HashSet::new();
+        let mut preds: BTreeSet<String> = query
+            .all_body_atoms()
+            .map(|a| a.predicate.clone())
+            .collect();
         loop {
             let mut changed = false;
 
@@ -425,8 +498,7 @@ impl Session {
         // dictionary for relevant derived predicates.
         let t = Instant::now();
         let base_rels = self.stored.base_relations(&mut self.db)?;
-        let referenced_base: BTreeSet<String> =
-            preds.intersection(&base_rels).cloned().collect();
+        let referenced_base: BTreeSet<String> = preds.intersection(&base_rels).cloned().collect();
         let mut dict = self
             .stored
             .read_edb_dictionary(&mut self.db, &referenced_base)?;
@@ -435,7 +507,10 @@ impl Session {
             .into_iter()
             .map(str::to_string)
             .collect();
-        for (pred, types) in self.stored.read_idb_dictionary(&mut self.db, &derived_set)? {
+        for (pred, types) in self
+            .stored
+            .read_idb_dictionary(&mut self.db, &derived_set)?
+        {
             dict.entry(pred).or_insert(types);
         }
         tm.t_read += t.elapsed();
@@ -472,8 +547,8 @@ impl Session {
         // negation are evaluated unoptimized — magic sets over stratified
         // negation needs care the testbed does not implement (the paper
         // leaves negation as future work altogether).
-        let uses_negation = query.has_negation()
-            || relevant.clauses.iter().any(Clause::has_negation);
+        let uses_negation =
+            query.has_negation() || relevant.clauses.iter().any(Clause::has_negation);
         let optimized = self.config.optimize && !uses_negation;
         let (rules_for_eval, eval_query, extra_seeds) = if optimized {
             let rw = if self.config.supplementary {
@@ -504,8 +579,8 @@ impl Session {
         let t = Instant::now();
         let mut order_program = rules_for_eval.clone();
         order_program.push(eval_query.clone());
-        let order = evaluation_order(&order_program)
-            .map_err(|e| KmError::Internal(e.to_string()))?;
+        let order =
+            evaluation_order(&order_program).map_err(|e| KmError::Internal(e.to_string()))?;
         tm.t_eol += t.elapsed();
 
         // Step 5 precompute: code generation + SQL validation.
@@ -550,7 +625,11 @@ impl Session {
             self.config.special_tc,
         )?;
         let rows = std::mem::take(&mut outcome.rows);
-        Ok(QueryResult { rows, t_execute: outcome.total, outcome })
+        Ok(QueryResult {
+            rows,
+            t_execute: outcome.total,
+            outcome,
+        })
     }
 
     /// Compile and execute in one step.
@@ -582,7 +661,10 @@ impl Session {
                     }
                 }
                 crate::codegen::ProgNode::Clique {
-                    preds, exit_rules, recursive_rules, tc_of,
+                    preds,
+                    exit_rules,
+                    recursive_rules,
+                    tc_of,
                 } => {
                     out.push(format!("[{i}] clique {{{}}}", preds.join(", ")));
                     if let Some(src) = tc_of {
@@ -619,7 +701,11 @@ fn validate_program(program: &EvalProgram) -> Result<(), KmError> {
                     check(&r.full_sql)?;
                 }
             }
-            crate::codegen::ProgNode::Clique { exit_rules, recursive_rules, .. } => {
+            crate::codegen::ProgNode::Clique {
+                exit_rules,
+                recursive_rules,
+                ..
+            } => {
                 for r in exit_rules {
                     check(&r.full_sql)?;
                 }
@@ -647,7 +733,12 @@ mod tests {
 
     fn chain_rows(n: usize) -> Vec<Vec<Value>> {
         (0..n - 1)
-            .map(|i| vec![Value::from(format!("a{i}")), Value::from(format!("a{}", i + 1))])
+            .map(|i| {
+                vec![
+                    Value::from(format!("a{i}")),
+                    Value::from(format!("a{}", i + 1)),
+                ]
+            })
             .collect()
     }
 

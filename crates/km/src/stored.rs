@@ -21,10 +21,11 @@
 
 use crate::util::{attr_to_coltype, sql_in_list, sql_quote};
 use hornlog::parser::parse_clause;
+use hornlog::pcg::Pcg;
 use hornlog::types::{AttrType, TypeMap};
 use hornlog::{Clause, Program};
-use rdbms::{DbError, Engine, Value};
-use std::collections::BTreeSet;
+use rdbms::{ColType, DbError, Engine, Value};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Errors raised by the Knowledge Manager.
 #[derive(Debug)]
@@ -34,6 +35,9 @@ pub enum KmError {
     Type(hornlog::types::TypeError),
     Semantic(String),
     Internal(String),
+    /// The stored D/KB's structures contradict each other (see
+    /// [`StoredDkb::verify_integrity`]).
+    Integrity(String),
 }
 
 impl std::fmt::Display for KmError {
@@ -44,6 +48,7 @@ impl std::fmt::Display for KmError {
             KmError::Type(e) => write!(f, "type error: {e}"),
             KmError::Semantic(m) => write!(f, "semantic error: {m}"),
             KmError::Internal(m) => write!(f, "internal error: {m}"),
+            KmError::Integrity(m) => write!(f, "integrity violation: {m}"),
         }
     }
 }
@@ -80,7 +85,9 @@ pub struct StoredDkb {
 
 impl Default for StoredDkb {
     fn default() -> Self {
-        StoredDkb { compiled_storage: true }
+        StoredDkb {
+            compiled_storage: true,
+        }
     }
 }
 
@@ -239,8 +246,10 @@ impl StoredDkb {
             .into_iter()
             .map(|r| r[0].as_str().expect("predname is char").to_string())
             .collect();
-        let fresh: Vec<&(String, Vec<AttrType>)> =
-            entries.iter().filter(|(p, _)| !existing.contains(p)).collect();
+        let fresh: Vec<&(String, Vec<AttrType>)> = entries
+            .iter()
+            .filter(|(p, _)| !existing.contains(p))
+            .collect();
         if fresh.is_empty() {
             return Ok(0);
         }
@@ -408,6 +417,35 @@ impl StoredDkb {
             .collect())
     }
 
+    /// Predicates recorded as reaching any of `preds`, as `(from, to)`
+    /// pairs with `to` in `preds` — the reverse lookup over the compiled
+    /// form (a scan: the index covers the forward direction only). The
+    /// incremental closure update uses this to extend the rows of
+    /// predicates that already reached an updated rule head.
+    pub fn reaching_to(
+        &self,
+        db: &mut Engine,
+        preds: &BTreeSet<String>,
+    ) -> Result<Vec<(String, String)>, KmError> {
+        if !self.compiled_storage || preds.is_empty() {
+            return Ok(Vec::new());
+        }
+        let rs = db.execute(&format!(
+            "SELECT frompredname, topredname FROM reachablepreds WHERE topredname IN ({})",
+            sql_in_list(preds.iter().map(String::as_str))
+        ))?;
+        Ok(rs
+            .rows
+            .into_iter()
+            .map(|r| {
+                (
+                    r[0].as_str().expect("frompredname is char").to_string(),
+                    r[1].as_str().expect("topredname is char").to_string(),
+                )
+            })
+            .collect())
+    }
+
     /// Extract from the Stored D/KB all rules needed to solve predicates
     /// `preds`: rules whose head is in `preds` or reachable from `preds`
     /// — the paper's §4.1 extraction query. Falls back to iterative
@@ -484,6 +522,179 @@ impl StoredDkb {
         let rs = db.execute("SELECT COUNT(*) FROM reachablepreds")?;
         Ok(rs.scalar_int().unwrap_or(0) as u64)
     }
+
+    // ------------------------------------------------------------------
+    // Integrity checking
+    // ------------------------------------------------------------------
+
+    /// Cross-check every Stored D/KB structure against the others:
+    ///
+    /// * each `idb_relname`/`edb_relname` entry has exactly `arity` column
+    ///   rows, numbered `0..arity` with valid types, and no column row is
+    ///   orphaned or duplicated;
+    /// * every extensional dictionary entry names an existing table whose
+    ///   schema has the declared arity;
+    /// * every `rulesource` row parses and is filed under its actual head
+    ///   predicate, which is registered in the intensional dictionary;
+    /// * `reachablepreds` (when maintained) is exactly the transitive
+    ///   closure of the stored rule base's predicate connection graph,
+    ///   rooted at the stored rule heads.
+    ///
+    /// Returns [`KmError::Integrity`] naming the first violation. The
+    /// crash-recovery tests run this after every injected crash point.
+    pub fn verify_integrity(&self, db: &mut Engine) -> Result<(), KmError> {
+        self.check_dictionary(db, "idb_relname", "idb_column", "predname")?;
+        self.check_dictionary(db, "edb_relname", "edb_column", "relname")?;
+
+        // Extensional entries describe real tables of the declared arity.
+        let rs = db.execute("SELECT relname, arity FROM edb_relname")?;
+        for row in rs.rows {
+            let name = str_cell("edb_relname.relname", &row[0])?;
+            let arity = int_cell("edb_relname.arity", &row[1])?;
+            if !db.has_table(name) {
+                return violation(format!(
+                    "edb_relname lists {name}, but no such table exists"
+                ));
+            }
+            let cols = db.table_schema(name)?.columns().len();
+            if cols as i64 != arity {
+                return violation(format!(
+                    "edb_relname declares {name} with arity {arity}, \
+                     but the table has {cols} column(s)"
+                ));
+            }
+        }
+
+        // Rule source: parseable, filed under its head, head registered.
+        let rs = db.execute("SELECT predname FROM idb_relname")?;
+        let mut registered: BTreeSet<String> = BTreeSet::new();
+        for row in rs.rows {
+            registered.insert(str_cell("idb_relname.predname", &row[0])?.to_string());
+        }
+        let rs = db.execute("SELECT headpredname, ruletext FROM rulesource")?;
+        let mut rules = Program::default();
+        for row in rs.rows {
+            let head = str_cell("rulesource.headpredname", &row[0])?;
+            let text = str_cell("rulesource.ruletext", &row[1])?;
+            let clause = parse_clause(text).map_err(|e| {
+                KmError::Integrity(format!("stored rule {text:?} does not parse: {e}"))
+            })?;
+            if clause.head.predicate != head {
+                return violation(format!(
+                    "rule {text:?} is filed under head {head}, \
+                     but its head predicate is {}",
+                    clause.head.predicate
+                ));
+            }
+            if !registered.contains(head) {
+                return violation(format!("rule head {head} is not registered in idb_relname"));
+            }
+            rules.push(clause);
+        }
+
+        // Compiled form: exactly the recomputed closure of the rule base.
+        if self.compiled_storage {
+            let heads: BTreeSet<&str> = rules
+                .clauses
+                .iter()
+                .map(|c| c.head.predicate.as_str())
+                .collect();
+            let expected: BTreeSet<(String, String)> = Pcg::build(&rules)
+                .transitive_closure()
+                .into_iter()
+                .filter(|(from, _)| heads.contains(from.as_str()))
+                .collect();
+            let rs = db.execute("SELECT frompredname, topredname FROM reachablepreds")?;
+            let mut actual: BTreeSet<(String, String)> = BTreeSet::new();
+            for row in rs.rows {
+                actual.insert((
+                    str_cell("reachablepreds.frompredname", &row[0])?.to_string(),
+                    str_cell("reachablepreds.topredname", &row[1])?.to_string(),
+                ));
+            }
+            if actual != expected {
+                let missing: Vec<_> = expected.difference(&actual).take(3).collect();
+                let extra: Vec<_> = actual.difference(&expected).take(3).collect();
+                return violation(format!(
+                    "reachablepreds disagrees with the recomputed closure \
+                     (missing {missing:?}, extra {extra:?})"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Check one relname/column dictionary pair for cross-consistency.
+    fn check_dictionary(
+        &self,
+        db: &mut Engine,
+        rel_table: &str,
+        col_table: &str,
+        key: &str,
+    ) -> Result<(), KmError> {
+        let rs = db.execute(&format!("SELECT {key}, arity FROM {rel_table}"))?;
+        let mut arities: BTreeMap<String, i64> = BTreeMap::new();
+        for row in rs.rows {
+            let name = str_cell(key, &row[0])?.to_string();
+            let arity = int_cell("arity", &row[1])?;
+            if arity < 0 {
+                return violation(format!("{rel_table} declares {name} with arity {arity}"));
+            }
+            if arities.insert(name.clone(), arity).is_some() {
+                return violation(format!("{rel_table} has duplicate entries for {name}"));
+            }
+        }
+        let valid_types = [ColType::Int.to_string(), ColType::Str.to_string()];
+        let rs = db.execute(&format!("SELECT {key}, colno, coltype FROM {col_table}"))?;
+        let mut cols: BTreeMap<String, BTreeSet<i64>> = BTreeMap::new();
+        for row in rs.rows {
+            let name = str_cell(key, &row[0])?;
+            let colno = int_cell("colno", &row[1])?;
+            let coltype = str_cell("coltype", &row[2])?;
+            let Some(&arity) = arities.get(name) else {
+                return violation(format!(
+                    "{col_table} has a row for {name}, which {rel_table} does not list"
+                ));
+            };
+            if colno < 0 || colno >= arity {
+                return violation(format!(
+                    "{col_table} column {colno} of {name} is outside arity {arity}"
+                ));
+            }
+            if !valid_types.iter().any(|t| t == coltype) {
+                return violation(format!(
+                    "{col_table} column {colno} of {name} has unknown type {coltype:?}"
+                ));
+            }
+            if !cols.entry(name.to_string()).or_default().insert(colno) {
+                return violation(format!("{col_table} lists column {colno} of {name} twice"));
+            }
+        }
+        for (name, arity) in arities {
+            let have = cols.get(&name).map_or(0, BTreeSet::len);
+            if have as i64 != arity {
+                return violation(format!(
+                    "{rel_table} declares {name} with arity {arity}, \
+                     but {col_table} has {have} column row(s)"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn violation(msg: String) -> Result<(), KmError> {
+    Err(KmError::Integrity(msg))
+}
+
+fn str_cell<'a>(what: &str, v: &'a Value) -> Result<&'a str, KmError> {
+    v.as_str()
+        .ok_or_else(|| KmError::Integrity(format!("{what} holds a non-string value {v:?}")))
+}
+
+fn int_cell(what: &str, v: &Value) -> Result<i64, KmError> {
+    v.as_int()
+        .ok_or_else(|| KmError::Integrity(format!("{what} holds a non-integer value {v:?}")))
 }
 
 /// Group dictionary rows `(name, colno, coltype)` into a [`TypeMap`].
@@ -564,10 +775,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(db.table_len("parent").unwrap(), 1);
-        assert_eq!(
-            stored.base_relations(&mut db).unwrap(),
-            preds(&["parent"])
-        );
+        assert_eq!(stored.base_relations(&mut db).unwrap(), preds(&["parent"]));
         let dict = stored
             .read_edb_dictionary(&mut db, &preds(&["parent"]))
             .unwrap();
@@ -584,7 +792,9 @@ mod tests {
         assert!(!stored
             .register_derived(&mut db, "anc", &[AttrType::Sym, AttrType::Sym])
             .unwrap());
-        let dict = stored.read_idb_dictionary(&mut db, &preds(&["anc"])).unwrap();
+        let dict = stored
+            .read_idb_dictionary(&mut db, &preds(&["anc"]))
+            .unwrap();
         assert_eq!(dict["anc"], vec![AttrType::Sym, AttrType::Sym]);
         assert_eq!(stored.derived_count(&mut db).unwrap(), 1);
     }
@@ -593,10 +803,19 @@ mod tests {
     fn dictionary_column_order_is_by_colno() {
         let (mut db, stored) = setup(true);
         stored
-            .register_derived(&mut db, "mix", &[AttrType::Int, AttrType::Sym, AttrType::Int])
+            .register_derived(
+                &mut db,
+                "mix",
+                &[AttrType::Int, AttrType::Sym, AttrType::Int],
+            )
             .unwrap();
-        let dict = stored.read_idb_dictionary(&mut db, &preds(&["mix"])).unwrap();
-        assert_eq!(dict["mix"], vec![AttrType::Int, AttrType::Sym, AttrType::Int]);
+        let dict = stored
+            .read_idb_dictionary(&mut db, &preds(&["mix"]))
+            .unwrap();
+        assert_eq!(
+            dict["mix"],
+            vec![AttrType::Int, AttrType::Sym, AttrType::Int]
+        );
     }
 
     #[test]
@@ -651,7 +870,11 @@ mod tests {
     #[test]
     fn extraction_without_compiled_storage_expands_frontier() {
         let (mut db, stored) = setup(false);
-        for text in ["a(X) :- b(X).", "b(X) :- c(X).", "unrelated(X) :- other(X)."] {
+        for text in [
+            "a(X) :- b(X).",
+            "b(X) :- c(X).",
+            "unrelated(X) :- other(X).",
+        ] {
             stored
                 .store_rule_source(&mut db, &parse_clause(text).unwrap())
                 .unwrap();
@@ -666,7 +889,10 @@ mod tests {
     fn reachable_from_uses_compiled_form() {
         let (mut db, stored) = setup(true);
         stored
-            .insert_reachable(&mut db, &[("a".into(), "b".into()), ("a".into(), "c".into())])
+            .insert_reachable(
+                &mut db,
+                &[("a".into(), "b".into()), ("a".into(), "c".into())],
+            )
             .unwrap();
         // Duplicate insert is skipped.
         let added = stored
@@ -689,6 +915,84 @@ mod tests {
             .extract_relevant_rules(&mut db, &preds(&["label"]))
             .unwrap();
         assert_eq!(program.clauses[0], rule);
+    }
+
+    #[test]
+    fn integrity_passes_on_healthy_store() {
+        let (mut db, stored) = setup(true);
+        stored
+            .create_base_relation(&mut db, "parent", &[AttrType::Sym, AttrType::Sym])
+            .unwrap();
+        stored
+            .register_derived(&mut db, "anc", &[AttrType::Sym, AttrType::Sym])
+            .unwrap();
+        stored
+            .store_rule_source(
+                &mut db,
+                &parse_clause("anc(X, Y) :- parent(X, Y).").unwrap(),
+            )
+            .unwrap();
+        stored
+            .insert_reachable(&mut db, &[("anc".into(), "parent".into())])
+            .unwrap();
+        stored.verify_integrity(&mut db).unwrap();
+    }
+
+    #[test]
+    fn integrity_catches_orphaned_column_row() {
+        let (mut db, stored) = setup(true);
+        db.execute("INSERT INTO idb_column VALUES ('ghost', 0, 'char')")
+            .unwrap();
+        assert!(matches!(
+            stored.verify_integrity(&mut db),
+            Err(KmError::Integrity(_))
+        ));
+    }
+
+    #[test]
+    fn integrity_catches_missing_column_rows() {
+        let (mut db, stored) = setup(true);
+        db.execute("INSERT INTO idb_relname VALUES ('half', 2)")
+            .unwrap();
+        db.execute("INSERT INTO idb_column VALUES ('half', 0, 'char')")
+            .unwrap();
+        assert!(matches!(
+            stored.verify_integrity(&mut db),
+            Err(KmError::Integrity(_))
+        ));
+    }
+
+    #[test]
+    fn integrity_catches_stray_reachability_edge() {
+        let (mut db, stored) = setup(true);
+        db.execute("INSERT INTO reachablepreds VALUES ('ghost', 'x')")
+            .unwrap();
+        assert!(matches!(
+            stored.verify_integrity(&mut db),
+            Err(KmError::Integrity(_))
+        ));
+    }
+
+    #[test]
+    fn integrity_catches_unregistered_rule_head() {
+        let (mut db, stored) = setup(true);
+        stored
+            .create_base_relation(&mut db, "parent", &[AttrType::Sym, AttrType::Sym])
+            .unwrap();
+        // Rule stored without registering its head in idb_relname.
+        stored
+            .store_rule_source(
+                &mut db,
+                &parse_clause("anc(X, Y) :- parent(X, Y).").unwrap(),
+            )
+            .unwrap();
+        stored
+            .insert_reachable(&mut db, &[("anc".into(), "parent".into())])
+            .unwrap();
+        assert!(matches!(
+            stored.verify_integrity(&mut db),
+            Err(KmError::Integrity(_))
+        ));
     }
 
     #[test]

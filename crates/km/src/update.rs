@@ -79,9 +79,7 @@ pub fn update_stored(
 
     // Step 2/3: composite PCG and its transitive closure.
     let t = Instant::now();
-    let mut composite = Program::new(
-        workspace.rules().clauses.to_vec(),
-    );
+    let mut composite = Program::new(workspace.rules().clauses.to_vec());
     composite.extend(extracted);
     let closure = if stored.compiled_storage {
         Pcg::build(&composite).transitive_closure()
@@ -107,7 +105,13 @@ pub fn update_stored(
         // Workspace fact predicates participate too: a fact conflicting
         // with an existing base relation's schema must fail the semantic
         // check here, before anything is written.
-        .chain(workspace.facts().clauses.iter().map(|c| c.head.predicate.clone()))
+        .chain(
+            workspace
+                .facts()
+                .clauses
+                .iter()
+                .map(|c| c.head.predicate.clone()),
+        )
         .collect();
     for (pred, types) in stored.read_edb_dictionary(db, &referenced)? {
         dict.entry(pred).or_insert(types);
@@ -131,10 +135,43 @@ pub fn update_stored(
     stored.register_derived_bulk(db, &entries)?;
     // Only closure edges rooted at a derived predicate are stored (base
     // predicates reach nothing).
-    let pairs: Vec<(String, String)> = closure
+    let mut pairs: Vec<(String, String)> = closure
         .into_iter()
         .filter(|(from, _)| derived.contains(from.as_str()))
         .collect();
+    // The composite closure covers everything reachable *from* the
+    // workspace rules, but extraction only looks down from them: a stored
+    // predicate that already reached one of their heads now transitively
+    // reaches the new targets too. Pull those ancestors from the compiled
+    // form and extend their rows, or the stored closure drifts from the
+    // true one whenever a commit adds a rule to an existing head.
+    if stored.compiled_storage {
+        let heads: BTreeSet<String> = workspace
+            .rules()
+            .rules()
+            .map(|r| r.head.predicate.clone())
+            .collect();
+        let ancestors = stored.reaching_to(db, &heads)?;
+        if !ancestors.is_empty() {
+            let mut downstream: std::collections::BTreeMap<&str, Vec<&str>> =
+                std::collections::BTreeMap::new();
+            for (from, to) in &pairs {
+                if heads.contains(from) {
+                    downstream
+                        .entry(from.as_str())
+                        .or_default()
+                        .push(to.as_str());
+                }
+            }
+            let mut extended = Vec::new();
+            for (from, head) in &ancestors {
+                for to in downstream.get(head.as_str()).into_iter().flatten() {
+                    extended.push((from.clone(), (*to).to_string()));
+                }
+            }
+            pairs.extend(extended);
+        }
+    }
     timings.reachable_added = stored.insert_reachable(db, &pairs)?;
     timings.t_compiled_store = t.elapsed();
 
@@ -186,11 +223,15 @@ pub fn update_stored(
             // first-commit case (empty relation) skips the scan entirely.
             let fresh: Vec<Vec<rdbms::Value>> = if db.table_len(pred)? == 0 {
                 let mut seen = BTreeSet::new();
-                rows.into_iter().filter(|r| seen.insert(r.clone())).collect()
+                rows.into_iter()
+                    .filter(|r| seen.insert(r.clone()))
+                    .collect()
             } else {
                 let mut seen: BTreeSet<Vec<rdbms::Value>> =
                     db.scan_all(pred)?.into_iter().collect();
-                rows.into_iter().filter(|r| seen.insert(r.clone())).collect()
+                rows.into_iter()
+                    .filter(|r| seen.insert(r.clone()))
+                    .collect()
             };
             timings.facts_stored += stored.load_facts(db, pred, fresh)?;
         }
@@ -268,7 +309,34 @@ mod tests {
             .reachable_from(&mut db, &["a".to_string()].into())
             .unwrap();
         assert!(reach.contains("b"));
-        assert!(reach.contains("parent"), "closure goes through stored rules");
+        assert!(
+            reach.contains("parent"),
+            "closure goes through stored rules"
+        );
+    }
+
+    #[test]
+    fn closure_propagates_to_ancestors_of_updated_heads() {
+        let (mut db, stored) = setup(true);
+        stored
+            .create_base_relation(&mut db, "other", &[AttrType::Sym, AttrType::Sym])
+            .unwrap();
+        let mut ws = Workspace::new();
+        ws.load("b(X, Y) :- parent(X, Y).\n").unwrap();
+        update_stored(&mut db, &stored, &ws, &base_types()).unwrap();
+        let mut ws2 = Workspace::new();
+        ws2.load("a(X, Y) :- b(X, Y).\n").unwrap();
+        update_stored(&mut db, &stored, &ws2, &base_types()).unwrap();
+        // Third commit adds a rule to the *existing* head b. a already
+        // reached b, so a must now also reach b's new target.
+        let mut ws3 = Workspace::new();
+        ws3.load("b(X, Y) :- other(X, Y).\n").unwrap();
+        update_stored(&mut db, &stored, &ws3, &base_types()).unwrap();
+        let reach = stored
+            .reachable_from(&mut db, &["a".to_string()].into())
+            .unwrap();
+        assert!(reach.contains("other"), "ancestor rows extended: {reach:?}");
+        stored.verify_integrity(&mut db).unwrap();
     }
 
     #[test]

@@ -103,10 +103,7 @@ impl Workspace {
     }
 
     /// Predicates reachable from `start` predicates through workspace rules.
-    pub fn reachable_from<'a>(
-        &self,
-        starts: impl Iterator<Item = &'a str>,
-    ) -> BTreeSet<String> {
+    pub fn reachable_from<'a>(&self, starts: impl Iterator<Item = &'a str>) -> BTreeSet<String> {
         self.pcg().reachable_from_all(starts)
     }
 

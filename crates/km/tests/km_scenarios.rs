@@ -15,10 +15,20 @@ fn figure1_session() -> Session {
     s.define_base("b2", &binary_sym()).unwrap();
     // b1: chain x0 -> x1 -> x2 -> x3; b2: same nodes, reversed edges.
     let chain: Vec<Vec<Value>> = (0..3)
-        .map(|i| vec![Value::from(format!("x{i}")), Value::from(format!("x{}", i + 1))])
+        .map(|i| {
+            vec![
+                Value::from(format!("x{i}")),
+                Value::from(format!("x{}", i + 1)),
+            ]
+        })
         .collect();
     let reversed: Vec<Vec<Value>> = (0..3)
-        .map(|i| vec![Value::from(format!("x{}", i + 1)), Value::from(format!("x{i}"))])
+        .map(|i| {
+            vec![
+                Value::from(format!("x{}", i + 1)),
+                Value::from(format!("x{i}")),
+            ]
+        })
         .collect();
     s.load_facts("b1", chain).unwrap();
     s.load_facts("b2", reversed).unwrap();
@@ -118,7 +128,10 @@ fn magic_program_visible_in_explain() {
     let text = listing.join("\n");
     assert!(text.contains("magic sets: true"));
     assert!(text.contains("m_anc__bf"), "magic predicate shown:\n{text}");
-    assert!(text.contains("seed m_anc__bf: 1 fact(s)"), "seed shown:\n{text}");
+    assert!(
+        text.contains("seed m_anc__bf: 1 fact(s)"),
+        "seed shown:\n{text}"
+    );
 }
 
 #[test]
@@ -126,11 +139,8 @@ fn deep_view_stack_compiles_and_runs() {
     // 30 stacked non-recursive views over one base relation.
     let mut s = Session::with_defaults().unwrap();
     s.define_base("base", &binary_sym()).unwrap();
-    s.load_facts(
-        "base",
-        vec![vec![Value::from("a"), Value::from("b")]],
-    )
-    .unwrap();
+    s.load_facts("base", vec![vec![Value::from("a"), Value::from("b")]])
+        .unwrap();
     let mut rules = String::from("v0(X, Y) :- base(X, Y).\n");
     for i in 1..30 {
         rules.push_str(&format!("v{i}(X, Y) :- v{}(X, Y).\n", i - 1));
@@ -167,7 +177,12 @@ fn mutual_recursion_through_three_predicates() {
     s.load_facts(
         "step",
         (0..9)
-            .map(|i| vec![Value::from(format!("s{i}")), Value::from(format!("s{}", i + 1))])
+            .map(|i| {
+                vec![
+                    Value::from(format!("s{i}")),
+                    Value::from(format!("s{}", i + 1)),
+                ]
+            })
             .collect(),
     )
     .unwrap();
@@ -184,9 +199,12 @@ fn mutual_recursion_through_three_predicates() {
         let (compiled, result) = s.query("?- mod0(s0, W).").unwrap();
         assert_eq!(compiled.relevant_derived, 3);
         // Distances divisible by 3 from s0: s3, s6, s9.
-        let got: BTreeSet<&str> =
-            result.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
-        assert_eq!(got, ["s3", "s6", "s9"].into_iter().collect(), "{strategy:?}");
+        let got: BTreeSet<&str> = result.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        assert_eq!(
+            got,
+            ["s3", "s6", "s9"].into_iter().collect(),
+            "{strategy:?}"
+        );
     }
 }
 
@@ -200,7 +218,9 @@ fn integers_flow_through_the_pipeline() {
     .unwrap();
     s.load_facts(
         "succ",
-        (0..10).map(|i| vec![Value::Int(i), Value::Int(i + 1)]).collect(),
+        (0..10)
+            .map(|i| vec![Value::Int(i), Value::Int(i + 1)])
+            .collect(),
     )
     .unwrap();
     s.load_rules(
@@ -233,7 +253,8 @@ fn mixed_type_predicates() {
         ],
     )
     .unwrap();
-    s.load_rules("samesage(X, Y) :- aged(X, A), aged(Y, A).\n").unwrap();
+    s.load_rules("samesage(X, Y) :- aged(X, A), aged(Y, A).\n")
+        .unwrap();
     let (_, result) = s.query("?- samesage(ann, W).").unwrap();
     assert_eq!(result.rows.len(), 2, "ann and bob (incl. ann herself)");
 }

@@ -5,6 +5,7 @@
 //! (and writing back) a dirty victim. Hit/miss counters let experiments
 //! separate logical from physical page traffic.
 
+use crate::catalog::DbError;
 use crate::disk::{Disk, FileId, PageId};
 use crate::page::PAGE_SIZE;
 use std::collections::HashMap;
@@ -69,7 +70,7 @@ impl BufferPool {
         page: PageId,
         mark_dirty: bool,
         f: impl FnOnce(&mut [u8]) -> R,
-    ) -> R {
+    ) -> Result<R, DbError> {
         let frame_idx = match self.map.get(&(file, page)) {
             Some(&idx) => {
                 self.stats.hits += 1;
@@ -77,8 +78,8 @@ impl BufferPool {
             }
             None => {
                 self.stats.misses += 1;
-                let idx = self.find_victim(disk);
-                disk.read_page(file, page, &mut self.frames[idx].data);
+                let idx = self.find_victim(disk)?;
+                disk.read_page(file, page, &mut self.frames[idx].data)?;
                 self.frames[idx].key = Some((file, page));
                 self.frames[idx].dirty = false;
                 self.map.insert((file, page), idx);
@@ -88,14 +89,14 @@ impl BufferPool {
         let frame = &mut self.frames[frame_idx];
         frame.referenced = true;
         frame.dirty |= mark_dirty;
-        f(&mut frame.data)
+        Ok(f(&mut frame.data))
     }
 
     /// Pick a frame to reuse, writing back its contents if dirty.
-    fn find_victim(&mut self, disk: &mut Disk) -> usize {
+    fn find_victim(&mut self, disk: &mut Disk) -> Result<usize, DbError> {
         // Free frame first.
         if let Some(idx) = self.frames.iter().position(|fr| fr.key.is_none()) {
-            return idx;
+            return Ok(idx);
         }
         // Clock sweep: skip referenced frames once, clearing the bit.
         loop {
@@ -109,23 +110,38 @@ impl BufferPool {
             let (file, page) = frame.key.expect("occupied frame has a key");
             if frame.dirty {
                 self.stats.dirty_writebacks += 1;
-                disk.write_page(file, page, &frame.data);
+                disk.write_page(file, page, &frame.data)?;
             }
             self.stats.evictions += 1;
             self.map.remove(&(file, page));
             frame.key = None;
-            return idx;
+            return Ok(idx);
         }
     }
 
-    /// Write back every dirty frame.
-    pub fn flush_all(&mut self, disk: &mut Disk) {
+    /// Write back every dirty frame. On error (an injected crash) some
+    /// dirty frames remain unflushed; the caller is expected to discard
+    /// the pool and recover.
+    pub fn flush_all(&mut self, disk: &mut Disk) -> Result<(), DbError> {
         for frame in &mut self.frames {
             if let (Some((file, page)), true) = (frame.key, frame.dirty) {
                 self.stats.dirty_writebacks += 1;
-                disk.write_page(file, page, &frame.data);
+                disk.write_page(file, page, &frame.data)?;
                 frame.dirty = false;
             }
+        }
+        Ok(())
+    }
+
+    /// Drop every cached page without write-back. Models losing the
+    /// buffer cache in a crash; also used before rebuilding state after
+    /// recovery.
+    pub fn discard_all(&mut self) {
+        self.map.clear();
+        for frame in &mut self.frames {
+            frame.key = None;
+            frame.dirty = false;
+            frame.referenced = false;
         }
     }
 
@@ -170,9 +186,12 @@ mod tests {
     #[test]
     fn repeated_access_hits_cache() {
         let (mut disk, mut pool, file) = setup(4);
-        let page = disk.allocate_page(file);
-        pool.with_page(&mut disk, file, page, true, |buf| buf[0] = 42);
-        let val = pool.with_page(&mut disk, file, page, false, |buf| buf[0]);
+        let page = disk.allocate_page(file).unwrap();
+        pool.with_page(&mut disk, file, page, true, |buf| buf[0] = 42)
+            .unwrap();
+        let val = pool
+            .with_page(&mut disk, file, page, false, |buf| buf[0])
+            .unwrap();
         assert_eq!(val, 42);
         assert_eq!(pool.stats().misses, 1);
         assert_eq!(pool.stats().hits, 1);
@@ -183,14 +202,17 @@ mod tests {
     #[test]
     fn eviction_writes_back_dirty_pages() {
         let (mut disk, mut pool, file) = setup(2);
-        let pages: Vec<PageId> = (0..4).map(|_| disk.allocate_page(file)).collect();
+        let pages: Vec<PageId> = (0..4).map(|_| disk.allocate_page(file).unwrap()).collect();
         for (i, &p) in pages.iter().enumerate() {
-            pool.with_page(&mut disk, file, p, true, |buf| buf[0] = i as u8 + 1);
+            pool.with_page(&mut disk, file, p, true, |buf| buf[0] = i as u8 + 1)
+                .unwrap();
         }
         assert!(pool.stats().evictions >= 2);
         // Re-reading the evicted pages must observe the written data.
         for (i, &p) in pages.iter().enumerate() {
-            let v = pool.with_page(&mut disk, file, p, false, |buf| buf[0]);
+            let v = pool
+                .with_page(&mut disk, file, p, false, |buf| buf[0])
+                .unwrap();
             assert_eq!(v, i as u8 + 1);
         }
     }
@@ -198,44 +220,46 @@ mod tests {
     #[test]
     fn flush_all_persists_without_eviction() {
         let (mut disk, mut pool, file) = setup(4);
-        let page = disk.allocate_page(file);
-        pool.with_page(&mut disk, file, page, true, |buf| buf[7] = 9);
-        pool.flush_all(&mut disk);
+        let page = disk.allocate_page(file).unwrap();
+        pool.with_page(&mut disk, file, page, true, |buf| buf[7] = 9)
+            .unwrap();
+        pool.flush_all(&mut disk).unwrap();
         let mut out = vec![0u8; PAGE_SIZE];
-        disk.read_page(file, page, &mut out);
+        disk.read_page(file, page, &mut out).unwrap();
         assert_eq!(out[7], 9);
     }
 
     #[test]
     fn discard_file_drops_cached_frames() {
         let (mut disk, mut pool, file) = setup(4);
-        let page = disk.allocate_page(file);
-        pool.with_page(&mut disk, file, page, true, |buf| buf[0] = 1);
+        let page = disk.allocate_page(file).unwrap();
+        pool.with_page(&mut disk, file, page, true, |buf| buf[0] = 1)
+            .unwrap();
         assert_eq!(pool.occupied(), 1);
         pool.discard_file(file);
         assert_eq!(pool.occupied(), 0);
         // The dirty write was discarded, not flushed.
         let mut out = vec![0u8; PAGE_SIZE];
-        disk.read_page(file, page, &mut out);
+        disk.read_page(file, page, &mut out).unwrap();
         assert_eq!(out[0], 0);
     }
 
     #[test]
     fn clock_gives_second_chance_to_referenced_frames() {
         let (mut disk, mut pool, file) = setup(2);
-        let p0 = disk.allocate_page(file);
-        let p1 = disk.allocate_page(file);
-        let p2 = disk.allocate_page(file);
-        pool.with_page(&mut disk, file, p0, false, |_| ());
-        pool.with_page(&mut disk, file, p1, false, |_| ());
+        let p0 = disk.allocate_page(file).unwrap();
+        let p1 = disk.allocate_page(file).unwrap();
+        let p2 = disk.allocate_page(file).unwrap();
+        pool.with_page(&mut disk, file, p0, false, |_| ()).unwrap();
+        pool.with_page(&mut disk, file, p1, false, |_| ()).unwrap();
         // Fault p2: the sweep clears both reference bits and evicts p0.
-        pool.with_page(&mut disk, file, p2, false, |_| ());
+        pool.with_page(&mut disk, file, p2, false, |_| ()).unwrap();
         // Touch p2 (sets its bit), then fault p0: the unreferenced p1 is the
         // victim and the freshly referenced p2 survives.
-        pool.with_page(&mut disk, file, p2, false, |_| ());
-        pool.with_page(&mut disk, file, p0, false, |_| ());
+        pool.with_page(&mut disk, file, p2, false, |_| ()).unwrap();
+        pool.with_page(&mut disk, file, p0, false, |_| ()).unwrap();
         let before = pool.stats().misses;
-        pool.with_page(&mut disk, file, p2, false, |_| ());
+        pool.with_page(&mut disk, file, p2, false, |_| ()).unwrap();
         assert_eq!(pool.stats().misses, before, "p2 survived the sweep");
     }
 }

@@ -32,6 +32,12 @@ pub enum DbError {
     Parse(String),
     Plan(String),
     Io(String),
+    /// A stored page or tuple failed to decode: the database is damaged
+    /// (or a fault-injection test tore a write). Surfaced as an error so
+    /// callers can attempt recovery instead of aborting the process.
+    Corruption(String),
+    /// Transaction-protocol misuse (nested begin, commit without begin).
+    Txn(String),
 }
 
 impl std::fmt::Display for DbError {
@@ -46,6 +52,8 @@ impl std::fmt::Display for DbError {
             DbError::Parse(m) => write!(f, "parse error: {m}"),
             DbError::Plan(m) => write!(f, "planning error: {m}"),
             DbError::Io(m) => write!(f, "I/O error: {m}"),
+            DbError::Corruption(m) => write!(f, "corruption detected: {m}"),
+            DbError::Txn(m) => write!(f, "transaction error: {m}"),
         }
     }
 }
@@ -120,6 +128,26 @@ impl Catalog {
             .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
     }
 
+    /// Remove a table entry *without* destroying its heap file. Used by
+    /// the transaction layer: a `DROP TABLE` inside a transaction keeps
+    /// the `Table` alive so rollback can put it back.
+    pub fn take_table(&mut self, name: &str) -> Result<Table, DbError> {
+        self.tables
+            .remove(&norm(name))
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Re-insert a table previously removed with [`Catalog::take_table`].
+    pub fn restore_table(&mut self, table: Table) {
+        self.tables.insert(norm(&table.name), table);
+    }
+
+    /// Mutable iteration over all tables (used to rebuild volatile state
+    /// after recovery).
+    pub fn tables_mut(&mut self) -> impl Iterator<Item = &mut Table> {
+        self.tables.values_mut()
+    }
+
     pub fn has_table(&self, name: &str) -> bool {
         self.tables.contains_key(&norm(name))
     }
@@ -155,9 +183,12 @@ impl Catalog {
             HashIndex::new(index_name.to_ascii_lowercase(), key_cols)
         };
         let mut scan = table.heap.scan();
-        while let Some((rid, payload)) = scan.next(disk, pool) {
-            let tuple = crate::schema::deserialize_tuple(&payload)
-                .expect("stored tuple must deserialize");
+        while let Some((rid, payload)) = scan.next(disk, pool)? {
+            let tuple = crate::schema::deserialize_tuple(&payload).ok_or_else(|| {
+                DbError::Corruption(format!(
+                    "table {table_name}: stored tuple at {rid:?} does not deserialize"
+                ))
+            })?;
             index.insert(&tuple, rid);
         }
         table.indexes.push(index);
@@ -220,7 +251,8 @@ mod tests {
     #[test]
     fn create_and_lookup_table() {
         let (mut disk, _pool, mut cat) = setup();
-        cat.create_table(&mut disk, "Parent", two_col_schema(), false).unwrap();
+        cat.create_table(&mut disk, "Parent", two_col_schema(), false)
+            .unwrap();
         assert!(cat.has_table("parent"));
         assert!(cat.has_table("PARENT"));
         assert_eq!(cat.table("parent").unwrap().name, "Parent");
@@ -233,7 +265,8 @@ mod tests {
     #[test]
     fn drop_table_removes_and_errors_when_missing() {
         let (mut disk, mut pool, mut cat) = setup();
-        cat.create_table(&mut disk, "t", two_col_schema(), false).unwrap();
+        cat.create_table(&mut disk, "t", two_col_schema(), false)
+            .unwrap();
         cat.drop_table(&mut disk, &mut pool, "T").unwrap();
         assert!(!cat.has_table("t"));
         assert!(matches!(
@@ -245,7 +278,8 @@ mod tests {
     #[test]
     fn create_index_backfills_existing_rows() {
         let (mut disk, mut pool, mut cat) = setup();
-        cat.create_table(&mut disk, "t", two_col_schema(), false).unwrap();
+        cat.create_table(&mut disk, "t", two_col_schema(), false)
+            .unwrap();
         {
             let t = cat.table_mut("t").unwrap();
             let rows = [
@@ -255,10 +289,11 @@ mod tests {
             ];
             for row in &rows {
                 let payload = serialize_tuple(row);
-                t.heap.insert(&mut disk, &mut pool, &payload);
+                t.heap.insert(&mut disk, &mut pool, &payload).unwrap();
             }
         }
-        cat.create_index(&mut disk, &mut pool, "t_a", "t", &["a".to_string()], false).unwrap();
+        cat.create_index(&mut disk, &mut pool, "t_a", "t", &["a".to_string()], false)
+            .unwrap();
         let t = cat.table_mut("t").unwrap();
         assert_eq!(t.indexes.len(), 1);
         assert_eq!(t.indexes[0].lookup(&[Value::Int(1)]).len(), 2);
@@ -268,8 +303,10 @@ mod tests {
     #[test]
     fn duplicate_or_bad_index_rejected() {
         let (mut disk, mut pool, mut cat) = setup();
-        cat.create_table(&mut disk, "t", two_col_schema(), false).unwrap();
-        cat.create_index(&mut disk, &mut pool, "i", "t", &["a".to_string()], false).unwrap();
+        cat.create_table(&mut disk, "t", two_col_schema(), false)
+            .unwrap();
+        cat.create_index(&mut disk, &mut pool, "i", "t", &["a".to_string()], false)
+            .unwrap();
         assert!(matches!(
             cat.create_index(&mut disk, &mut pool, "i", "t", &["b".to_string()], false),
             Err(DbError::IndexExists(_))
@@ -283,8 +320,10 @@ mod tests {
     #[test]
     fn drop_index_by_name() {
         let (mut disk, mut pool, mut cat) = setup();
-        cat.create_table(&mut disk, "t", two_col_schema(), false).unwrap();
-        cat.create_index(&mut disk, &mut pool, "i", "t", &["a".to_string()], false).unwrap();
+        cat.create_table(&mut disk, "t", two_col_schema(), false)
+            .unwrap();
+        cat.create_index(&mut disk, &mut pool, "i", "t", &["a".to_string()], false)
+            .unwrap();
         assert!(cat.find_index("I").is_some());
         cat.drop_index("i").unwrap();
         assert!(cat.find_index("i").is_none());
@@ -294,9 +333,12 @@ mod tests {
     #[test]
     fn drop_temp_tables_only_touches_temps() {
         let (mut disk, mut pool, mut cat) = setup();
-        cat.create_table(&mut disk, "base", two_col_schema(), false).unwrap();
-        cat.create_table(&mut disk, "tmp1", two_col_schema(), true).unwrap();
-        cat.create_table(&mut disk, "tmp2", two_col_schema(), true).unwrap();
+        cat.create_table(&mut disk, "base", two_col_schema(), false)
+            .unwrap();
+        cat.create_table(&mut disk, "tmp1", two_col_schema(), true)
+            .unwrap();
+        cat.create_table(&mut disk, "tmp2", two_col_schema(), true)
+            .unwrap();
         assert_eq!(cat.drop_temp_tables(&mut disk, &mut pool), 2);
         assert!(cat.has_table("base"));
         assert!(!cat.has_table("tmp1"));

@@ -6,10 +6,11 @@
 //! bulk-loading fast paths used by workload generators.
 
 use crate::buffer::{BufferPool, BufferStats, DEFAULT_POOL_FRAMES};
-use crate::catalog::{Catalog, DbError};
-use crate::disk::{Disk, DiskStats};
+use crate::catalog::{Catalog, DbError, Table};
+use crate::disk::{Disk, DiskStats, FaultInjector, RecoveryReport};
 use crate::exec::{execute_plan, ExecCtx, ExecStats};
-use crate::plan::{plan_query, output_types, PlannedQuery};
+use crate::heap::RecordId;
+use crate::plan::{output_types, plan_query, PlannedQuery};
 use crate::schema::{serialize_tuple, Schema, Tuple};
 use crate::sql::ast::{Condition, Query, Stmt};
 use crate::sql::parser::{parse_script, parse_stmt};
@@ -26,11 +27,19 @@ pub struct ResultSet {
 
 impl ResultSet {
     fn empty() -> ResultSet {
-        ResultSet { columns: Vec::new(), rows: Vec::new(), affected: 0 }
+        ResultSet {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            affected: 0,
+        }
     }
 
     fn dml(affected: u64) -> ResultSet {
-        ResultSet { columns: Vec::new(), rows: Vec::new(), affected }
+        ResultSet {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            affected,
+        }
     }
 
     /// The single integer a `SELECT COUNT(*)` returns.
@@ -61,6 +70,30 @@ pub struct EngineStats {
 /// An index description: name, key column positions, ordered flag.
 pub type IndexSpec = (String, Vec<usize>, bool);
 
+/// Decode a stored payload, reporting damage as [`DbError::Corruption`].
+fn decode_stored(table: &str, rid: RecordId, payload: &[u8]) -> Result<Tuple, DbError> {
+    crate::schema::deserialize_tuple(payload).ok_or_else(|| {
+        DbError::Corruption(format!(
+            "table {table}: stored tuple at {rid:?} does not deserialize"
+        ))
+    })
+}
+
+/// One catalog-level action taken inside the active transaction. The
+/// page-level effects are undone by the disk's WAL; these record the
+/// in-memory catalog changes so rollback/recovery can reverse them in
+/// reverse order (which handles create-then-drop interleavings exactly).
+enum TxnOp {
+    Created(String),
+    Dropped(Table),
+}
+
+/// Catalog bookkeeping for the active engine-level transaction.
+#[derive(Default)]
+struct TxnState {
+    ops: Vec<TxnOp>,
+}
+
 /// The in-process relational engine.
 pub struct Engine {
     disk: Disk,
@@ -70,6 +103,7 @@ pub struct Engine {
     statements: u64,
     tables_created: u64,
     tables_dropped: u64,
+    txn: Option<TxnState>,
 }
 
 impl Default for Engine {
@@ -92,7 +126,151 @@ impl Engine {
             statements: 0,
             tables_created: 0,
             tables_dropped: 0,
+            txn: None,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability and transactions
+    // ------------------------------------------------------------------
+
+    /// Turn on write-ahead logging (required before [`Engine::begin`]).
+    pub fn enable_wal(&mut self) {
+        self.disk.enable_wal();
+    }
+
+    pub fn wal_enabled(&self) -> bool {
+        self.disk.wal_enabled()
+    }
+
+    /// Arm a deterministic fault injector on the underlying disk.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.disk.set_fault_injector(injector);
+    }
+
+    pub fn clear_fault_injector(&mut self) {
+        self.disk.clear_fault_injector();
+    }
+
+    /// Whether an injected fault has "powered off" the disk; all I/O fails
+    /// until [`Engine::recover`] runs.
+    pub fn crashed(&self) -> bool {
+        self.disk.crashed()
+    }
+
+    /// Keep committed WAL records instead of checkpointing at commit
+    /// (tests exercising the redo path use this).
+    pub fn set_checkpoint_on_commit(&mut self, on: bool) {
+        self.disk.set_checkpoint_on_commit(on);
+    }
+
+    /// Whether an engine-level transaction is active.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Flush every dirty buffered page to the disk.
+    pub fn flush(&mut self) -> Result<(), DbError> {
+        self.pool.flush_all(&mut self.disk)
+    }
+
+    /// Begin a transaction. All buffered pages are flushed first so that
+    /// every before-image logged during the transaction reflects true
+    /// pre-transaction disk state — otherwise rollback could lose writes
+    /// that predate the transaction but were still sitting in the pool.
+    pub fn begin(&mut self) -> Result<(), DbError> {
+        if self.txn.is_some() {
+            return Err(DbError::Txn("a transaction is already active".into()));
+        }
+        self.pool.flush_all(&mut self.disk)?;
+        self.disk.begin_txn()?;
+        self.txn = Some(TxnState::default());
+        Ok(())
+    }
+
+    /// Commit the active transaction: flush all buffered pages (each
+    /// flush is WAL-logged), then write the commit record and checkpoint.
+    /// On error the transaction stays open; if the error was an injected
+    /// crash the engine must go through [`Engine::recover`].
+    pub fn commit(&mut self) -> Result<(), DbError> {
+        if self.txn.is_none() {
+            return Err(DbError::Txn("commit without an active transaction".into()));
+        }
+        self.pool.flush_all(&mut self.disk)?;
+        self.disk.commit_txn()?;
+        self.txn = None;
+        Ok(())
+    }
+
+    /// Roll back the active transaction on a healthy disk: discard all
+    /// buffered pages, restore before-images from the WAL, and reverse
+    /// the catalog changes. A crashed disk rejects this; use
+    /// [`Engine::recover`].
+    pub fn rollback(&mut self) -> Result<(), DbError> {
+        let state = self
+            .txn
+            .take()
+            .ok_or_else(|| DbError::Txn("rollback without an active transaction".into()))?;
+        self.pool.discard_all();
+        if let Err(e) = self.disk.rollback_txn() {
+            // Keep the catalog bookkeeping so recover() can still undo it.
+            self.txn = Some(state);
+            return Err(e);
+        }
+        self.undo_catalog(state);
+        self.rebuild_volatile_state()
+    }
+
+    /// Crash recovery: discard the (possibly stale) buffer pool, replay
+    /// committed WAL records and undo uncommitted ones, reverse any
+    /// catalog changes of an in-flight transaction, and rebuild all
+    /// volatile state (heap counters, in-memory indexes) from the
+    /// recovered pages.
+    pub fn recover(&mut self) -> Result<RecoveryReport, DbError> {
+        self.pool.discard_all();
+        let report = self.disk.recover_wal()?;
+        if let Some(state) = self.txn.take() {
+            self.undo_catalog(state);
+        }
+        self.rebuild_volatile_state()?;
+        Ok(report)
+    }
+
+    /// Reverse the catalog-level actions of a transaction, newest first.
+    fn undo_catalog(&mut self, state: TxnState) {
+        for op in state.ops.into_iter().rev() {
+            match op {
+                TxnOp::Created(name) => {
+                    // The heap file itself is removed by the WAL undo.
+                    let _ = self.catalog.take_table(&name);
+                }
+                TxnOp::Dropped(table) => self.catalog.restore_table(table),
+            }
+        }
+    }
+
+    /// Rebuild everything that lives only in memory from on-disk pages:
+    /// heap tuple counts / insert hints, and index directories.
+    fn rebuild_volatile_state(&mut self) -> Result<(), DbError> {
+        let disk = &mut self.disk;
+        let pool = &mut self.pool;
+        for table in self.catalog.tables_mut() {
+            table.heap.rebuild_stats(disk, pool)?;
+            if table.indexes.is_empty() {
+                continue;
+            }
+            for index in &mut table.indexes {
+                index.clear();
+            }
+            let mut scan = table.heap.scan();
+            while let Some((rid, payload)) = scan.next(disk, pool)? {
+                let tuple = decode_stored(&table.name, rid, &payload)?;
+                for index in &mut table.indexes {
+                    index.insert(&tuple, rid);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Execute one SQL statement.
@@ -115,19 +293,33 @@ impl Engine {
     pub fn run_stmt(&mut self, stmt: &Stmt) -> Result<ResultSet, DbError> {
         self.statements += 1;
         match stmt {
-            Stmt::CreateTable { name, columns, temp } => {
+            Stmt::CreateTable {
+                name,
+                columns,
+                temp,
+            } => {
                 let schema = Schema::new(
                     columns
                         .iter()
                         .map(|(n, t)| crate::schema::Column::new(n.clone(), *t))
                         .collect(),
                 );
-                self.catalog.create_table(&mut self.disk, name, schema, *temp)?;
+                self.catalog
+                    .create_table(&mut self.disk, name, schema, *temp)?;
                 self.tables_created += 1;
+                if let Some(txn) = self.txn.as_mut() {
+                    txn.ops.push(TxnOp::Created(name.clone()));
+                }
                 Ok(ResultSet::empty())
             }
             Stmt::DropTable { name, if_exists } => {
-                match self.catalog.drop_table(&mut self.disk, &mut self.pool, name) {
+                let result = if self.txn.is_some() {
+                    self.drop_table_in_txn(name)
+                } else {
+                    self.catalog
+                        .drop_table(&mut self.disk, &mut self.pool, name)
+                };
+                match result {
                     Ok(()) => {
                         self.tables_dropped += 1;
                         Ok(ResultSet::empty())
@@ -136,7 +328,12 @@ impl Engine {
                     Err(e) => Err(e),
                 }
             }
-            Stmt::CreateIndex { name, table, columns, ordered } => {
+            Stmt::CreateIndex {
+                name,
+                table,
+                columns,
+                ordered,
+            } => {
                 self.catalog.create_index(
                     &mut self.disk,
                     &mut self.pool,
@@ -205,6 +402,23 @@ impl Engine {
         }
     }
 
+    /// `DROP TABLE` inside a transaction: keep the [`Table`] so rollback
+    /// can resurrect it; the disk defers the file drop to commit. Cached
+    /// frames are discarded, which is safe because `begin` flushed all
+    /// pre-transaction state and in-transaction changes to a doomed table
+    /// are dead either way (dropped at commit, undone at rollback).
+    fn drop_table_in_txn(&mut self, name: &str) -> Result<(), DbError> {
+        let table = self.catalog.take_table(name)?;
+        self.pool.discard_file(table.heap.file_id());
+        self.disk.drop_file(table.heap.file_id());
+        self.txn
+            .as_mut()
+            .expect("checked by caller")
+            .ops
+            .push(TxnOp::Dropped(table));
+        Ok(())
+    }
+
     /// Plan and execute a query against the current catalog.
     fn run_query(&mut self, query: &Query) -> Result<ResultSet, DbError> {
         let PlannedQuery { plan, columns } = plan_query(&self.catalog, query)?;
@@ -216,7 +430,11 @@ impl Engine {
         };
         let rows = execute_plan(&plan, &mut ctx)?;
         self.exec_stats.rows_output += rows.len() as u64;
-        Ok(ResultSet { columns, rows, affected: 0 })
+        Ok(ResultSet {
+            columns,
+            rows,
+            affected: 0,
+        })
     }
 
     /// Bulk-insert rows (programmatic fast path; also used by SQL INSERT).
@@ -232,7 +450,7 @@ impl Engine {
                 )));
             }
             let payload = serialize_tuple(&row);
-            let rid = t.heap.insert(&mut self.disk, &mut self.pool, &payload);
+            let rid = t.heap.insert(&mut self.disk, &mut self.pool, &payload)?;
             for index in &mut t.indexes {
                 index.insert(&row, rid);
             }
@@ -253,7 +471,10 @@ impl Engine {
             let query = Query::Select(crate::sql::ast::SelectBlock {
                 distinct: false,
                 projections: vec![crate::sql::ast::SelectItem::Star],
-                from: vec![crate::sql::ast::TableRef { table: table.to_string(), alias: None }],
+                from: vec![crate::sql::ast::TableRef {
+                    table: table.to_string(),
+                    alias: None,
+                }],
                 where_clause: predicate.to_vec(),
                 group_by: Vec::new(),
                 order_by: Vec::new(),
@@ -265,17 +486,16 @@ impl Engine {
         let t = self.catalog.table_mut(table)?;
         let mut scan = t.heap.scan();
         let mut victims = Vec::new();
-        while let Some((rid, payload)) = scan.next(&mut self.disk, &mut self.pool) {
+        while let Some((rid, payload)) = scan.next(&mut self.disk, &mut self.pool)? {
             self.exec_stats.tuples_scanned += 1;
-            let tuple = crate::schema::deserialize_tuple(&payload)
-                .expect("stored tuple must deserialize");
+            let tuple = decode_stored(table, rid, &payload)?;
             if matching.as_ref().is_none_or(|m| m.contains(&tuple)) {
                 victims.push((rid, tuple));
             }
         }
         let n = victims.len() as u64;
         for (rid, tuple) in victims {
-            t.heap.delete(&mut self.disk, &mut self.pool, rid);
+            t.heap.delete(&mut self.disk, &mut self.pool, rid)?;
             for index in &mut t.indexes {
                 index.remove(&tuple, rid);
             }
@@ -313,10 +533,9 @@ impl Engine {
         // One scan of the source builds the adjacency map.
         let mut adjacency: HashMap<Value, Vec<Value>> = HashMap::new();
         let mut scan = src.heap.scan();
-        while let Some((_, payload)) = scan.next(&mut self.disk, &mut self.pool) {
+        while let Some((rid, payload)) = scan.next(&mut self.disk, &mut self.pool)? {
             self.exec_stats.tuples_scanned += 1;
-            let mut tuple = crate::schema::deserialize_tuple(&payload)
-                .expect("stored tuple must deserialize");
+            let mut tuple = decode_stored(source, rid, &payload)?;
             let b = tuple.pop().expect("binary");
             let a = tuple.pop().expect("binary");
             adjacency.entry(a).or_default().push(b);
@@ -344,10 +563,9 @@ impl Engine {
             let tgt = self.catalog.table(target)?;
             let mut scan = tgt.heap.scan();
             let mut out = HashSet::new();
-            while let Some((_, payload)) = scan.next(&mut self.disk, &mut self.pool) {
+            while let Some((rid, payload)) = scan.next(&mut self.disk, &mut self.pool)? {
                 self.exec_stats.tuples_scanned += 1;
-                let mut tuple = crate::schema::deserialize_tuple(&payload)
-                    .expect("stored tuple must deserialize");
+                let mut tuple = decode_stored(target, rid, &payload)?;
                 let b = tuple.pop().expect("binary");
                 let a = tuple.pop().expect("binary");
                 out.insert((a, b));
@@ -374,7 +592,11 @@ impl Engine {
 
     /// Names of all tables.
     pub fn table_names(&self) -> Vec<String> {
-        self.catalog.table_names().into_iter().map(str::to_string).collect()
+        self.catalog
+            .table_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
     }
 
     /// Schema of `table`.
@@ -384,10 +606,7 @@ impl Engine {
 
     /// Schema, temp flag, and index specs (name, key columns) of `table` —
     /// the metadata snapshots persist.
-    pub fn table_info(
-        &self,
-        table: &str,
-    ) -> Result<(Schema, bool, Vec<IndexSpec>), DbError> {
+    pub fn table_info(&self, table: &str) -> Result<(Schema, bool, Vec<IndexSpec>), DbError> {
         let t = self.catalog.table(table)?;
         let indexes = t
             .indexes
@@ -403,18 +622,17 @@ impl Engine {
         let t = self.catalog.table(table)?;
         let mut scan = t.heap.scan();
         let mut out = Vec::with_capacity(t.heap.tuple_count() as usize);
-        while let Some((_, payload)) = scan.next(&mut self.disk, &mut self.pool) {
-            out.push(
-                crate::schema::deserialize_tuple(&payload)
-                    .expect("stored tuple must deserialize"),
-            );
+        while let Some((rid, payload)) = scan.next(&mut self.disk, &mut self.pool)? {
+            out.push(decode_stored(table, rid, &payload)?);
         }
         Ok(out)
     }
 
     /// Drop all temporary tables, returning how many were dropped.
     pub fn drop_temp_tables(&mut self) -> usize {
-        let n = self.catalog.drop_temp_tables(&mut self.disk, &mut self.pool);
+        let n = self
+            .catalog
+            .drop_temp_tables(&mut self.disk, &mut self.pool);
         self.tables_dropped += n as u64;
         n
     }
@@ -438,7 +656,8 @@ mod tests {
 
     fn engine_with_parent() -> Engine {
         let mut e = Engine::new();
-        e.execute("CREATE TABLE parent (par char, child char)").unwrap();
+        e.execute("CREATE TABLE parent (par char, child char)")
+            .unwrap();
         e.execute(
             "INSERT INTO parent VALUES ('adam','bob'), ('adam','carol'), \
              ('bob','dave'), ('carol','eve')",
@@ -463,7 +682,9 @@ mod tests {
     #[test]
     fn select_star_preserves_column_order() {
         let mut e = engine_with_parent();
-        let rs = e.execute("SELECT * FROM parent WHERE child = 'dave'").unwrap();
+        let rs = e
+            .execute("SELECT * FROM parent WHERE child = 'dave'")
+            .unwrap();
         assert_eq!(rs.columns, vec!["par", "child"]);
         assert_eq!(rs.rows, vec![vec![Value::from("bob"), Value::from("dave")]]);
     }
@@ -490,23 +711,28 @@ mod tests {
     #[test]
     fn join_uses_index_when_available() {
         let mut e = engine_with_parent();
-        e.execute("CREATE INDEX parent_par ON parent (par)").unwrap();
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
         let before = e.stats().exec.index_probes;
         let rs = e
-            .execute(
-                "SELECT a.par, b.child FROM parent a, parent b WHERE a.child = b.par",
-            )
+            .execute("SELECT a.par, b.child FROM parent a, parent b WHERE a.child = b.par")
             .unwrap();
         assert_eq!(rs.rows.len(), 2);
-        assert!(e.stats().exec.index_probes > before, "INL join probed the index");
+        assert!(
+            e.stats().exec.index_probes > before,
+            "INL join probed the index"
+        );
     }
 
     #[test]
     fn point_query_uses_index_lookup() {
         let mut e = engine_with_parent();
-        e.execute("CREATE INDEX parent_par ON parent (par)").unwrap();
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
         let scanned_before = e.stats().exec.tuples_scanned;
-        let rs = e.execute("SELECT * FROM parent WHERE par = 'adam'").unwrap();
+        let rs = e
+            .execute("SELECT * FROM parent WHERE par = 'adam'")
+            .unwrap();
         assert_eq!(rs.rows.len(), 2);
         assert_eq!(
             e.stats().exec.tuples_scanned,
@@ -520,7 +746,9 @@ mod tests {
     fn insert_select_and_count() {
         let mut e = engine_with_parent();
         e.execute("CREATE TABLE anc (x char, y char)").unwrap();
-        let rs = e.execute("INSERT INTO anc SELECT par, child FROM parent").unwrap();
+        let rs = e
+            .execute("INSERT INTO anc SELECT par, child FROM parent")
+            .unwrap();
         assert_eq!(rs.affected, 4);
         let rs = e.execute("SELECT COUNT(*) FROM anc").unwrap();
         assert_eq!(rs.scalar_int(), Some(4));
@@ -529,7 +757,8 @@ mod tests {
     #[test]
     fn insert_select_type_mismatch_rejected() {
         let mut e = engine_with_parent();
-        e.execute("CREATE TABLE nums (n integer, m integer)").unwrap();
+        e.execute("CREATE TABLE nums (n integer, m integer)")
+            .unwrap();
         let err = e.execute("INSERT INTO nums SELECT par, child FROM parent");
         assert!(matches!(err, Err(DbError::TypeMismatch(_))));
     }
@@ -546,7 +775,11 @@ mod tests {
             .unwrap();
         assert_eq!(
             rs.rows,
-            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(3)]
+            ]
         );
         let rs = e
             .execute("SELECT x FROM a UNION ALL SELECT x FROM b")
@@ -560,9 +793,12 @@ mod tests {
     fn except_is_the_termination_check_shape() {
         // The semi-naive termination check: delta EXCEPT accumulated.
         let mut e = Engine::new();
-        e.execute("CREATE TABLE delta (x integer, y integer)").unwrap();
-        e.execute("CREATE TABLE acc (x integer, y integer)").unwrap();
-        e.execute("INSERT INTO delta VALUES (1, 2), (3, 4)").unwrap();
+        e.execute("CREATE TABLE delta (x integer, y integer)")
+            .unwrap();
+        e.execute("CREATE TABLE acc (x integer, y integer)")
+            .unwrap();
+        e.execute("INSERT INTO delta VALUES (1, 2), (3, 4)")
+            .unwrap();
         e.execute("INSERT INTO acc VALUES (1, 2)").unwrap();
         let rs = e
             .execute("SELECT * FROM delta EXCEPT SELECT * FROM acc")
@@ -610,9 +846,12 @@ mod tests {
     #[test]
     fn delete_maintains_indexes() {
         let mut e = engine_with_parent();
-        e.execute("CREATE INDEX parent_par ON parent (par)").unwrap();
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
         e.execute("DELETE FROM parent WHERE par = 'adam'").unwrap();
-        let rs = e.execute("SELECT * FROM parent WHERE par = 'adam'").unwrap();
+        let rs = e
+            .execute("SELECT * FROM parent WHERE par = 'adam'")
+            .unwrap();
         assert!(rs.rows.is_empty());
         let rs = e.execute("SELECT * FROM parent WHERE par = 'bob'").unwrap();
         assert_eq!(rs.rows.len(), 1);
@@ -687,12 +926,17 @@ mod tests {
     #[test]
     fn in_list_uses_index_lookups() {
         let mut e = engine_with_parent();
-        e.execute("CREATE INDEX parent_par ON parent (par)").unwrap();
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
         let scanned_before = e.stats().exec.tuples_scanned;
         let rs = e
             .execute("SELECT child FROM parent WHERE par IN ('adam', 'bob', 'adam')")
             .unwrap();
-        assert_eq!(rs.rows.len(), 3, "duplicate IN values do not duplicate rows");
+        assert_eq!(
+            rs.rows.len(),
+            3,
+            "duplicate IN values do not duplicate rows"
+        );
         assert_eq!(
             e.stats().exec.tuples_scanned,
             scanned_before,
@@ -719,7 +963,10 @@ mod tests {
         let rs = e.execute("SELECT x, y FROM a, b ORDER BY x").unwrap();
         assert_eq!(
             rs.rows,
-            vec![vec![Value::Int(1), Value::Int(10)], vec![Value::Int(2), Value::Int(10)]]
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(10)]
+            ]
         );
     }
 
@@ -733,9 +980,7 @@ mod tests {
         e.execute("INSERT INTO e2 VALUES (2, 3)").unwrap();
         e.execute("INSERT INTO e3 VALUES (3, 4)").unwrap();
         let rs = e
-            .execute(
-                "SELECT e1.a, e3.d FROM e1, e2, e3 WHERE e1.b = e2.b AND e2.c = e3.c",
-            )
+            .execute("SELECT e1.a, e3.d FROM e1, e2, e3 WHERE e1.b = e2.b AND e2.c = e3.c")
             .unwrap();
         assert_eq!(rs.rows, vec![vec![Value::Int(1), Value::Int(4)]]);
     }
@@ -746,7 +991,9 @@ mod tests {
         e.execute("CREATE TABLE t (k integer, v char)").unwrap();
         e.insert_rows(
             "t",
-            (0..100).map(|i| vec![Value::Int(i), Value::from(format!("v{i}"))]).collect(),
+            (0..100)
+                .map(|i| vec![Value::Int(i), Value::from(format!("v{i}"))])
+                .collect(),
         )
         .unwrap();
         e.execute("CREATE ORDERED INDEX t_k ON t (k)").unwrap();
@@ -771,7 +1018,8 @@ mod tests {
     fn ordered_index_half_open_and_conflicting_bounds() {
         let mut e = Engine::new();
         e.execute("CREATE TABLE t (k integer)").unwrap();
-        e.insert_rows("t", (0..20).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+        e.insert_rows("t", (0..20).map(|i| vec![Value::Int(i)]).collect())
+            .unwrap();
         e.execute("CREATE ORDERED INDEX t_k ON t (k)").unwrap();
         let rs = e.execute("SELECT COUNT(*) FROM t WHERE k > 15").unwrap();
         assert_eq!(rs.scalar_int(), Some(4));
@@ -782,7 +1030,9 @@ mod tests {
             .execute("SELECT COUNT(*) FROM t WHERE k > 5 AND k > 10 AND k <= 12")
             .unwrap();
         assert_eq!(rs.scalar_int(), Some(2));
-        let rs = e.execute("SELECT COUNT(*) FROM t WHERE k > 10 AND k < 5").unwrap();
+        let rs = e
+            .execute("SELECT COUNT(*) FROM t WHERE k > 10 AND k < 5")
+            .unwrap();
         assert_eq!(rs.scalar_int(), Some(0));
     }
 
@@ -790,12 +1040,15 @@ mod tests {
     fn ordered_index_survives_snapshot() {
         let mut e = Engine::new();
         e.execute("CREATE TABLE t (k integer)").unwrap();
-        e.insert_rows("t", (0..50).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+        e.insert_rows("t", (0..50).map(|i| vec![Value::Int(i)]).collect())
+            .unwrap();
         e.execute("CREATE ORDERED INDEX t_k ON t (k)").unwrap();
         let bytes = e.snapshot_bytes().unwrap();
         let mut restored = Engine::from_snapshot_bytes(&bytes).unwrap();
         let scanned_before = restored.stats().exec.tuples_scanned;
-        let rs = restored.execute("SELECT COUNT(*) FROM t WHERE k < 5").unwrap();
+        let rs = restored
+            .execute("SELECT COUNT(*) FROM t WHERE k < 5")
+            .unwrap();
         assert_eq!(rs.scalar_int(), Some(5));
         assert_eq!(restored.stats().exec.tuples_scanned, scanned_before);
     }
@@ -804,7 +1057,8 @@ mod tests {
     fn hash_index_ignores_range_predicates() {
         let mut e = Engine::new();
         e.execute("CREATE TABLE t (k integer)").unwrap();
-        e.insert_rows("t", (0..10).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+        e.insert_rows("t", (0..10).map(|i| vec![Value::Int(i)]).collect())
+            .unwrap();
         e.execute("CREATE INDEX t_k ON t (k)").unwrap();
         // Still answered correctly, via a scan.
         let rs = e.execute("SELECT COUNT(*) FROM t WHERE k < 5").unwrap();
@@ -867,18 +1121,19 @@ mod tests {
     #[test]
     fn explain_renders_the_plan_tree() {
         let mut e = engine_with_parent();
-        e.execute("CREATE INDEX parent_par ON parent (par)").unwrap();
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
         let rs = e
             .execute(
                 "EXPLAIN SELECT a.par, b.child FROM parent a, parent b                  WHERE a.child = b.par AND a.par = 'adam'",
             )
             .unwrap();
         assert_eq!(rs.columns, vec!["plan"]);
-        let text: Vec<&str> =
-            rs.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        let text: Vec<&str> = rs.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
         assert!(text[0].starts_with("Project"));
         assert!(
-            text.iter().any(|l| l.contains("IndexNlJoin") || l.contains("HashJoin")),
+            text.iter()
+                .any(|l| l.contains("IndexNlJoin") || l.contains("HashJoin")),
             "join operator shown: {text:?}"
         );
         assert!(
@@ -892,7 +1147,8 @@ mod tests {
         let mut e = Engine::new();
         e.execute("CREATE TABLE g (s char, t char)").unwrap();
         e.execute("CREATE TABLE tc (s char, t char)").unwrap();
-        e.execute("INSERT INTO g VALUES ('a','b'), ('b','c'), ('c','a')").unwrap();
+        e.execute("INSERT INTO g VALUES ('a','b'), ('b','c'), ('c','a')")
+            .unwrap();
         let rs = e.execute("INSERT INTO tc TRANSITIVE CLOSURE OF g").unwrap();
         assert_eq!(rs.affected, 9, "3-cycle closes to 3x3 pairs");
         // Idempotent: re-running adds nothing.
@@ -916,8 +1172,12 @@ mod tests {
         let mut e = Engine::new();
         e.execute("CREATE TABLE uno (x char)").unwrap();
         e.execute("CREATE TABLE duo (s char, t char)").unwrap();
-        assert!(e.execute("INSERT INTO duo TRANSITIVE CLOSURE OF uno").is_err());
-        assert!(e.execute("INSERT INTO uno TRANSITIVE CLOSURE OF duo").is_err());
+        assert!(e
+            .execute("INSERT INTO duo TRANSITIVE CLOSURE OF uno")
+            .is_err());
+        assert!(e
+            .execute("INSERT INTO uno TRANSITIVE CLOSURE OF duo")
+            .is_err());
     }
 
     #[test]
@@ -927,7 +1187,8 @@ mod tests {
         e.execute("CREATE TABLE tc (s char, t char)").unwrap();
         let rs = e.execute("INSERT INTO tc TRANSITIVE CLOSURE OF g").unwrap();
         assert_eq!(rs.affected, 0);
-        e.execute("INSERT INTO g VALUES ('a','b'), ('b','c'), ('c','d')").unwrap();
+        e.execute("INSERT INTO g VALUES ('a','b'), ('b','c'), ('c','d')")
+            .unwrap();
         let rs = e.execute("INSERT INTO tc TRANSITIVE CLOSURE OF g").unwrap();
         assert_eq!(rs.affected, 6, "chain of 4 nodes: C(4,2) = 6 pairs");
     }
@@ -1006,12 +1267,11 @@ mod tests {
     fn self_join_with_theta_residual() {
         let mut e = Engine::new();
         e.execute("CREATE TABLE t (a integer, b integer)").unwrap();
-        e.execute("INSERT INTO t VALUES (1, 5), (2, 5), (3, 6)").unwrap();
+        e.execute("INSERT INTO t VALUES (1, 5), (2, 5), (3, 6)")
+            .unwrap();
         // Pairs sharing b with x.a < y.a.
         let rs = e
-            .execute(
-                "SELECT x.a, y.a FROM t x, t y WHERE x.b = y.b AND x.a < y.a",
-            )
+            .execute("SELECT x.a, y.a FROM t x, t y WHERE x.b = y.b AND x.a < y.a")
             .unwrap();
         assert_eq!(rs.rows, vec![vec![Value::Int(1), Value::Int(2)]]);
     }

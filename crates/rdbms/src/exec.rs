@@ -9,6 +9,7 @@
 use crate::buffer::BufferPool;
 use crate::catalog::{Catalog, DbError};
 use crate::disk::Disk;
+use crate::heap::RecordId;
 use crate::plan::{ExecCond, PhysPlan, ProjExpr};
 use crate::schema::{deserialize_tuple, Tuple};
 use crate::value::Value;
@@ -50,6 +51,31 @@ fn eval_all(conds: &[ExecCond], row: &[Value]) -> bool {
     conds.iter().all(|c| eval_cond(c, row))
 }
 
+/// Decode a stored payload, surfacing damage as [`DbError::Corruption`]
+/// instead of panicking so callers can attempt recovery.
+fn decode_tuple(table: &str, rid: RecordId, payload: &[u8]) -> Result<Tuple, DbError> {
+    deserialize_tuple(payload).ok_or_else(|| {
+        DbError::Corruption(format!(
+            "table {table}: stored tuple at {rid:?} does not deserialize"
+        ))
+    })
+}
+
+/// Fetch the record an index entry points at; a dangling entry means the
+/// index and heap have diverged, which is corruption, not a logic bug.
+fn fetch_indexed(
+    ctx: &mut ExecCtx<'_>,
+    table: &crate::catalog::Table,
+    rid: RecordId,
+) -> Result<Vec<u8>, DbError> {
+    table.heap.get(ctx.disk, ctx.pool, rid)?.ok_or_else(|| {
+        DbError::Corruption(format!(
+            "table {}: index entry points at missing record {rid:?}",
+            table.name
+        ))
+    })
+}
+
 /// Execute `plan` to completion.
 pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbError> {
     match plan {
@@ -57,37 +83,43 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
             let t = ctx.catalog.table(table)?;
             let mut scan = t.heap.scan();
             let mut out = Vec::new();
-            while let Some((_, payload)) = scan.next(ctx.disk, ctx.pool) {
+            while let Some((rid, payload)) = scan.next(ctx.disk, ctx.pool)? {
                 ctx.stats.tuples_scanned += 1;
-                let tuple =
-                    deserialize_tuple(&payload).expect("stored tuple must deserialize");
+                let tuple = decode_tuple(table, rid, &payload)?;
                 if eval_all(filters, &tuple) {
                     out.push(tuple);
                 }
             }
             Ok(out)
         }
-        PhysPlan::IndexLookup { table, index_pos, key, residual } => {
+        PhysPlan::IndexLookup {
+            table,
+            index_pos,
+            key,
+            residual,
+        } => {
             let t = ctx.catalog.table(table)?;
             let index = &t.indexes[*index_pos];
             ctx.stats.index_probes += 1;
             let rids: Vec<_> = index.lookup(key).to_vec();
             let mut out = Vec::with_capacity(rids.len());
             for rid in rids {
-                let payload = t
-                    .heap
-                    .get(ctx.disk, ctx.pool, rid)
-                    .expect("index points at live record");
+                let payload = fetch_indexed(ctx, t, rid)?;
                 ctx.stats.tuples_fetched += 1;
-                let tuple =
-                    deserialize_tuple(&payload).expect("stored tuple must deserialize");
+                let tuple = decode_tuple(table, rid, &payload)?;
                 if eval_all(residual, &tuple) {
                     out.push(tuple);
                 }
             }
             Ok(out)
         }
-        PhysPlan::IndexRange { table, index_pos, lo, hi, residual } => {
+        PhysPlan::IndexRange {
+            table,
+            index_pos,
+            lo,
+            hi,
+            residual,
+        } => {
             let t = ctx.catalog.table(table)?;
             let index = &t.indexes[*index_pos];
             let to_key = |b: &std::ops::Bound<Value>| match b {
@@ -101,20 +133,22 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
             ctx.stats.index_probes += 1;
             let mut out = Vec::with_capacity(rids.len());
             for rid in rids {
-                let payload = t
-                    .heap
-                    .get(ctx.disk, ctx.pool, rid)
-                    .expect("index points at live record");
+                let payload = fetch_indexed(ctx, t, rid)?;
                 ctx.stats.tuples_fetched += 1;
-                let tuple =
-                    deserialize_tuple(&payload).expect("stored tuple must deserialize");
+                let tuple = decode_tuple(table, rid, &payload)?;
                 if eval_all(residual, &tuple) {
                     out.push(tuple);
                 }
             }
             Ok(out)
         }
-        PhysPlan::HashJoin { left, right, left_keys, right_keys, residual } => {
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
             let left_rows = execute_plan(left, ctx)?;
             let right_rows = execute_plan(right, ctx)?;
             // Build the hash table on the smaller side; output rows are
@@ -135,8 +169,11 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
                 let key: Vec<Value> = probe_keys.iter().map(|&i| prow[i].clone()).collect();
                 if let Some(matches) = table.get(&key) {
                     for brow in matches {
-                        let (lrow, rrow): (&Tuple, &Tuple) =
-                            if build_left { (brow, prow) } else { (prow, brow) };
+                        let (lrow, rrow): (&Tuple, &Tuple) = if build_left {
+                            (brow, prow)
+                        } else {
+                            (prow, brow)
+                        };
                         let mut joined = Vec::with_capacity(lrow.len() + rrow.len());
                         joined.extend_from_slice(lrow);
                         joined.extend_from_slice(rrow);
@@ -149,7 +186,14 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
             }
             Ok(out)
         }
-        PhysPlan::IndexNlJoin { left, table, index_pos, left_keys, inner_filters, residual } => {
+        PhysPlan::IndexNlJoin {
+            left,
+            table,
+            index_pos,
+            left_keys,
+            inner_filters,
+            residual,
+        } => {
             let left_rows = execute_plan(left, ctx)?;
             let t = ctx.catalog.table(table)?;
             let index = &t.indexes[*index_pos];
@@ -159,13 +203,9 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
                 ctx.stats.index_probes += 1;
                 let rids: Vec<_> = index.lookup(&key).to_vec();
                 for rid in rids {
-                    let payload = t
-                        .heap
-                        .get(ctx.disk, ctx.pool, rid)
-                        .expect("index points at live record");
+                    let payload = fetch_indexed(ctx, t, rid)?;
                     ctx.stats.tuples_fetched += 1;
-                    let inner =
-                        deserialize_tuple(&payload).expect("stored tuple must deserialize");
+                    let inner = decode_tuple(table, rid, &payload)?;
                     if !eval_all(inner_filters, &inner) {
                         continue;
                     }
@@ -180,17 +220,22 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
             }
             Ok(out)
         }
-        PhysPlan::AntiJoin { child, table, inner_filters, outer_keys, inner_keys } => {
+        PhysPlan::AntiJoin {
+            child,
+            table,
+            inner_filters,
+            outer_keys,
+            inner_keys,
+        } => {
             let rows = execute_plan(child, ctx)?;
             // Materialize the (filtered) inner side once.
             let t = ctx.catalog.table(table)?;
             let mut scan = t.heap.scan();
             let mut keys: HashSet<Vec<Value>> = HashSet::new();
             let mut inner_nonempty = false;
-            while let Some((_, payload)) = scan.next(ctx.disk, ctx.pool) {
+            while let Some((rid, payload)) = scan.next(ctx.disk, ctx.pool)? {
                 ctx.stats.tuples_scanned += 1;
-                let tuple =
-                    deserialize_tuple(&payload).expect("stored tuple must deserialize");
+                let tuple = decode_tuple(table, rid, &payload)?;
                 if !eval_all(inner_filters, &tuple) {
                     continue;
                 }
@@ -206,13 +251,16 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
             Ok(rows
                 .into_iter()
                 .filter(|row| {
-                    let key: Vec<Value> =
-                        outer_keys.iter().map(|&i| row[i].clone()).collect();
+                    let key: Vec<Value> = outer_keys.iter().map(|&i| row[i].clone()).collect();
                     !keys.contains(&key)
                 })
                 .collect())
         }
-        PhysPlan::CrossJoin { left, right, residual } => {
+        PhysPlan::CrossJoin {
+            left,
+            right,
+            residual,
+        } => {
             let left_rows = execute_plan(left, ctx)?;
             let right_rows = execute_plan(right, ctx)?;
             let mut out = Vec::new();
@@ -251,7 +299,10 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
         PhysPlan::Distinct { child } => {
             let rows = execute_plan(child, ctx)?;
             let mut seen = HashSet::with_capacity(rows.len());
-            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+            Ok(rows
+                .into_iter()
+                .filter(|r| seen.insert(r.clone()))
+                .collect())
         }
         PhysPlan::Sort { child, keys } => {
             let mut rows = execute_plan(child, ctx)?;
@@ -304,7 +355,10 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
             let mut rows = execute_plan(left, ctx)?;
             rows.extend(execute_plan(right, ctx)?);
             let mut seen = HashSet::with_capacity(rows.len());
-            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+            Ok(rows
+                .into_iter()
+                .filter(|r| seen.insert(r.clone()))
+                .collect())
         }
         PhysPlan::Except { left, right } => {
             let rows = execute_plan(left, ctx)?;

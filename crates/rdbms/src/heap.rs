@@ -3,6 +3,7 @@
 //! dictionary relation and runtime temporary in the testbed.
 
 use crate::buffer::BufferPool;
+use crate::catalog::DbError;
 use crate::disk::{Disk, FileId, PageId};
 use crate::page::SlottedPage;
 
@@ -51,34 +52,43 @@ impl HeapFile {
 
     /// Insert a record, returning its id. Tries the hint page first, then a
     /// fresh page; records must fit on one page.
-    pub fn insert(&mut self, disk: &mut Disk, pool: &mut BufferPool, payload: &[u8]) -> RecordId {
+    pub fn insert(
+        &mut self,
+        disk: &mut Disk,
+        pool: &mut BufferPool,
+        payload: &[u8],
+    ) -> Result<RecordId, DbError> {
         let page_count = disk.page_count(self.file);
         if self.insert_hint < page_count {
             let pid = PageId(self.insert_hint);
             let slot = pool.with_page(disk, self.file, pid, true, |buf| {
                 SlottedPage::new(buf).insert(payload)
-            });
+            })?;
             if let Some(slot) = slot {
                 self.tuple_count += 1;
-                return RecordId { page: pid, slot };
+                return Ok(RecordId { page: pid, slot });
             }
         }
-        let pid = disk.allocate_page(self.file);
+        let pid = disk.allocate_page(self.file)?;
         self.insert_hint = pid.0;
         let slot = pool.with_page(disk, self.file, pid, true, |buf| {
             SlottedPage::init(buf).insert(payload)
-        });
-        let slot = slot.unwrap_or_else(|| {
-            panic!("record of {} bytes exceeds page capacity", payload.len())
-        });
+        })?;
+        let slot = slot
+            .unwrap_or_else(|| panic!("record of {} bytes exceeds page capacity", payload.len()));
         self.tuple_count += 1;
-        RecordId { page: pid, slot }
+        Ok(RecordId { page: pid, slot })
     }
 
     /// Copy out the payload of `rid`, or `None` if it was deleted.
-    pub fn get(&self, disk: &mut Disk, pool: &mut BufferPool, rid: RecordId) -> Option<Vec<u8>> {
+    pub fn get(
+        &self,
+        disk: &mut Disk,
+        pool: &mut BufferPool,
+        rid: RecordId,
+    ) -> Result<Option<Vec<u8>>, DbError> {
         if rid.page.0 >= disk.page_count(self.file) {
-            return None;
+            return Ok(None);
         }
         pool.with_page(disk, self.file, rid.page, false, |buf| {
             SlottedPage::new(buf).get(rid.slot).map(<[u8]>::to_vec)
@@ -86,20 +96,42 @@ impl HeapFile {
     }
 
     /// Delete `rid`; returns whether it was live.
-    pub fn delete(&mut self, disk: &mut Disk, pool: &mut BufferPool, rid: RecordId) -> bool {
+    pub fn delete(
+        &mut self,
+        disk: &mut Disk,
+        pool: &mut BufferPool,
+        rid: RecordId,
+    ) -> Result<bool, DbError> {
         if rid.page.0 >= disk.page_count(self.file) {
-            return false;
+            return Ok(false);
         }
         let deleted = pool.with_page(disk, self.file, rid.page, true, |buf| {
             SlottedPage::new(buf).delete(rid.slot)
-        });
+        })?;
         if deleted {
             self.tuple_count -= 1;
             // Deleted space is reclaimable only via new pages, but allow the
             // hint to revisit this page for small records.
             self.insert_hint = self.insert_hint.min(rid.page.0);
         }
-        deleted
+        Ok(deleted)
+    }
+
+    /// Recount live records and reset the insert hint by scanning the
+    /// pages. The handle's bookkeeping is volatile state: after crash
+    /// recovery rewrites pages underneath it, the counts must be rebuilt
+    /// from what is actually on disk.
+    pub fn rebuild_stats(&mut self, disk: &mut Disk, pool: &mut BufferPool) -> Result<(), DbError> {
+        let pages = disk.page_count(self.file);
+        let mut count: u64 = 0;
+        for p in 0..pages {
+            count += pool.with_page(disk, self.file, PageId(p), false, |buf| {
+                SlottedPage::new(buf).live_slots().len() as u64
+            })?;
+        }
+        self.tuple_count = count;
+        self.insert_hint = pages.saturating_sub(1);
+        Ok(())
     }
 
     /// Start a full scan.
@@ -121,10 +153,14 @@ pub struct HeapScan {
 
 impl HeapScan {
     /// Advance to the next live record, copying out its payload.
-    pub fn next(&mut self, disk: &mut Disk, pool: &mut BufferPool) -> Option<(RecordId, Vec<u8>)> {
+    pub fn next(
+        &mut self,
+        disk: &mut Disk,
+        pool: &mut BufferPool,
+    ) -> Result<Option<(RecordId, Vec<u8>)>, DbError> {
         loop {
             if self.page >= disk.page_count(self.file) {
-                return None;
+                return Ok(None);
             }
             let pid = PageId(self.page);
             let start_slot = self.slot;
@@ -139,11 +175,11 @@ impl HeapScan {
                     s += 1;
                 }
                 None
-            });
+            })?;
             match found {
                 Some((slot, payload)) => {
                     self.slot = slot + 1;
-                    return Some((RecordId { page: pid, slot }, payload));
+                    return Ok(Some((RecordId { page: pid, slot }, payload)));
                 }
                 None => {
                     self.page += 1;
@@ -166,7 +202,7 @@ mod tests {
     fn collect_all(heap: &HeapFile, disk: &mut Disk, pool: &mut BufferPool) -> Vec<Vec<u8>> {
         let mut scan = heap.scan();
         let mut out = Vec::new();
-        while let Some((_, payload)) = scan.next(disk, pool) {
+        while let Some((_, payload)) = scan.next(disk, pool).unwrap() {
             out.push(payload);
         }
         out
@@ -176,8 +212,11 @@ mod tests {
     fn insert_get_roundtrip() {
         let (mut disk, mut pool) = setup();
         let mut heap = HeapFile::create(&mut disk);
-        let rid = heap.insert(&mut disk, &mut pool, b"tuple-1");
-        assert_eq!(heap.get(&mut disk, &mut pool, rid), Some(b"tuple-1".to_vec()));
+        let rid = heap.insert(&mut disk, &mut pool, b"tuple-1").unwrap();
+        assert_eq!(
+            heap.get(&mut disk, &mut pool, rid).unwrap(),
+            Some(b"tuple-1".to_vec())
+        );
         assert_eq!(heap.tuple_count(), 1);
     }
 
@@ -188,7 +227,7 @@ mod tests {
         let payload = vec![7u8; 500];
         let n = 100; // ~13 pages at 500B + slot overhead
         for _ in 0..n {
-            heap.insert(&mut disk, &mut pool, &payload);
+            heap.insert(&mut disk, &mut pool, &payload).unwrap();
         }
         assert!(disk.page_count(heap.file_id()) > 1);
         let all = collect_all(&heap, &mut disk, &mut pool);
@@ -200,13 +239,16 @@ mod tests {
     fn delete_removes_from_scan_and_count() {
         let (mut disk, mut pool) = setup();
         let mut heap = HeapFile::create(&mut disk);
-        let r0 = heap.insert(&mut disk, &mut pool, b"a");
-        let _r1 = heap.insert(&mut disk, &mut pool, b"b");
-        assert!(heap.delete(&mut disk, &mut pool, r0));
-        assert!(!heap.delete(&mut disk, &mut pool, r0));
+        let r0 = heap.insert(&mut disk, &mut pool, b"a").unwrap();
+        let _r1 = heap.insert(&mut disk, &mut pool, b"b").unwrap();
+        assert!(heap.delete(&mut disk, &mut pool, r0).unwrap());
+        assert!(!heap.delete(&mut disk, &mut pool, r0).unwrap());
         assert_eq!(heap.tuple_count(), 1);
-        assert_eq!(collect_all(&heap, &mut disk, &mut pool), vec![b"b".to_vec()]);
-        assert_eq!(heap.get(&mut disk, &mut pool, r0), None);
+        assert_eq!(
+            collect_all(&heap, &mut disk, &mut pool),
+            vec![b"b".to_vec()]
+        );
+        assert_eq!(heap.get(&mut disk, &mut pool, r0).unwrap(), None);
     }
 
     #[test]
@@ -220,7 +262,7 @@ mod tests {
     fn destroy_releases_pages() {
         let (mut disk, mut pool) = setup();
         let mut heap = HeapFile::create(&mut disk);
-        heap.insert(&mut disk, &mut pool, b"x");
+        heap.insert(&mut disk, &mut pool, b"x").unwrap();
         let fid = heap.file_id();
         heap.destroy(&mut disk, &mut pool);
         assert!(!disk.file_exists(fid));
@@ -234,7 +276,7 @@ mod tests {
         let mut heap = HeapFile::create(&mut disk);
         let payload = vec![3u8; 1000];
         for _ in 0..20 {
-            heap.insert(&mut disk, &mut pool, &payload);
+            heap.insert(&mut disk, &mut pool, &payload).unwrap();
         }
         let all = collect_all(&heap, &mut disk, &mut pool);
         assert_eq!(all.len(), 20);

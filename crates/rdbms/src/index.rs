@@ -133,20 +133,14 @@ impl TableIndex {
 
     /// Record ids whose key lies in the given bounds, in key order. Only
     /// meaningful for ordered indexes; a hash index returns `None`.
-    pub fn range(
-        &self,
-        lo: Bound<Vec<Value>>,
-        hi: Bound<Vec<Value>>,
-    ) -> Option<Vec<RecordId>> {
+    pub fn range(&self, lo: Bound<Vec<Value>>, hi: Bound<Vec<Value>>) -> Option<Vec<RecordId>> {
         let Directory::Ordered(m) = &self.directory else {
             return None;
         };
         self.probes.set(self.probes.get() + 1);
         // An inverted range is simply empty (BTreeMap::range would panic).
-        if let (
-            Bound::Included(a) | Bound::Excluded(a),
-            Bound::Included(b) | Bound::Excluded(b),
-        ) = (&lo, &hi)
+        if let (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) =
+            (&lo, &hi)
         {
             let empty = a > b
                 || (a == b
@@ -197,7 +191,10 @@ mod tests {
     use crate::disk::PageId;
 
     fn rid(page: u32, slot: u16) -> RecordId {
-        RecordId { page: PageId(page), slot }
+        RecordId {
+            page: PageId(page),
+            slot,
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! * [`buffer`] — a clock-replacement buffer pool;
 //! * [`heap`] — heap files of variable-length records;
 //! * [`index`] — multi-column hash indexes;
+//! * [`wal`] — checksummed page-image write-ahead log for crash safety;
 //! * [`catalog`] — table/index metadata, temp-table lifecycle;
 //! * [`sql`] — lexer, parser and AST for the SQL subset;
 //! * [`plan`] — binding, access-path selection (index lookups, index
@@ -48,8 +49,10 @@ pub mod schema;
 pub mod snapshot;
 pub mod sql;
 pub mod value;
+pub mod wal;
 
 pub use catalog::DbError;
+pub use disk::{DiskStats, FaultInjector, RecoveryReport};
 pub use engine::{Engine, EngineStats, ResultSet};
 pub use schema::{Column, Schema, Tuple};
 pub use value::{ColType, Value};

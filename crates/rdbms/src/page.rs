@@ -125,7 +125,9 @@ impl<'a> SlottedPage<'a> {
 
     /// Slot numbers of all live slots, in insertion order.
     pub fn live_slots(&self) -> Vec<u16> {
-        (0..self.slot_count()).filter(|&s| self.slot_entry(s).0 != DEAD).collect()
+        (0..self.slot_count())
+            .filter(|&s| self.slot_entry(s).0 != DEAD)
+            .collect()
     }
 }
 

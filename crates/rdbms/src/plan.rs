@@ -160,7 +160,12 @@ impl PhysPlan {
             PhysPlan::SeqScan { table, filters } => {
                 out.push(format!("{pad}SeqScan {table}{}", fmt_conds(filters)));
             }
-            PhysPlan::IndexLookup { table, key, residual, .. } => {
+            PhysPlan::IndexLookup {
+                table,
+                key,
+                residual,
+                ..
+            } => {
                 let key_str: Vec<String> = key.iter().map(|v| v.to_string()).collect();
                 out.push(format!(
                     "{pad}IndexLookup {table} key=({}){}",
@@ -168,13 +173,25 @@ impl PhysPlan {
                     fmt_conds(residual)
                 ));
             }
-            PhysPlan::IndexRange { table, lo, hi, residual, .. } => {
+            PhysPlan::IndexRange {
+                table,
+                lo,
+                hi,
+                residual,
+                ..
+            } => {
                 out.push(format!(
                     "{pad}IndexRange {table} {lo:?}..{hi:?}{}",
                     fmt_conds(residual)
                 ));
             }
-            PhysPlan::HashJoin { left, right, left_keys, right_keys, residual } => {
+            PhysPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+            } => {
                 out.push(format!(
                     "{pad}HashJoin on {left_keys:?}={right_keys:?}{}",
                     fmt_conds(residual)
@@ -182,19 +199,35 @@ impl PhysPlan {
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
             }
-            PhysPlan::IndexNlJoin { left, table, left_keys, residual, .. } => {
+            PhysPlan::IndexNlJoin {
+                left,
+                table,
+                left_keys,
+                residual,
+                ..
+            } => {
                 out.push(format!(
                     "{pad}IndexNlJoin probe {table} keys={left_keys:?}{}",
                     fmt_conds(residual)
                 ));
                 left.explain_into(depth + 1, out);
             }
-            PhysPlan::CrossJoin { left, right, residual } => {
+            PhysPlan::CrossJoin {
+                left,
+                right,
+                residual,
+            } => {
                 out.push(format!("{pad}CrossJoin{}", fmt_conds(residual)));
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
             }
-            PhysPlan::AntiJoin { child, table, outer_keys, inner_keys, inner_filters } => {
+            PhysPlan::AntiJoin {
+                child,
+                table,
+                outer_keys,
+                inner_keys,
+                inner_filters,
+            } => {
                 out.push(format!(
                     "{pad}AntiJoin {table} on {outer_keys:?}={inner_keys:?}{}",
                     fmt_conds(inner_filters)
@@ -260,18 +293,30 @@ pub fn plan_query(catalog: &Catalog, query: &Query) -> Result<PlannedQuery, DbEr
             let r = plan_query(catalog, right)?;
             check_compatible(&l, &r, "UNION")?;
             let plan = if *all {
-                PhysPlan::UnionAll { left: Box::new(l.plan), right: Box::new(r.plan) }
+                PhysPlan::UnionAll {
+                    left: Box::new(l.plan),
+                    right: Box::new(r.plan),
+                }
             } else {
-                PhysPlan::UnionDistinct { left: Box::new(l.plan), right: Box::new(r.plan) }
+                PhysPlan::UnionDistinct {
+                    left: Box::new(l.plan),
+                    right: Box::new(r.plan),
+                }
             };
-            Ok(PlannedQuery { plan, columns: l.columns })
+            Ok(PlannedQuery {
+                plan,
+                columns: l.columns,
+            })
         }
         Query::Except { left, right } => {
             let l = plan_query(catalog, left)?;
             let r = plan_query(catalog, right)?;
             check_compatible(&l, &r, "EXCEPT")?;
             Ok(PlannedQuery {
-                plan: PhysPlan::Except { left: Box::new(l.plan), right: Box::new(r.plan) },
+                plan: PhysPlan::Except {
+                    left: Box::new(l.plan),
+                    right: Box::new(r.plan),
+                },
                 columns: l.columns,
             })
         }
@@ -337,7 +382,9 @@ fn plan_select(catalog: &Catalog, block: &SelectBlock) -> Result<PlannedQuery, D
         let table = catalog.table(&tref.table)?;
         let binding = tref.binding().to_ascii_lowercase();
         if bindings.iter().any(|b: &Binding| b.binding == binding) {
-            return Err(DbError::Plan(format!("duplicate relation binding: {binding}")));
+            return Err(DbError::Plan(format!(
+                "duplicate relation binding: {binding}"
+            )));
         }
         bindings.push(Binding {
             table: table.name.clone(),
@@ -399,8 +446,7 @@ fn plan_select(catalog: &Catalog, block: &SelectBlock) -> Result<PlannedQuery, D
                     right: Box::new(right),
                     residual: Vec::new(),
                 }
-            } else if let Some(index_pos) =
-                usable_join_index(catalog, &bindings[rel], &right_keys)
+            } else if let Some(index_pos) = usable_join_index(catalog, &bindings[rel], &right_keys)
             {
                 // Reorder left keys to match the index key-column order.
                 let idx_cols = catalog.table(&bindings[rel].table)?.indexes[index_pos]
@@ -480,17 +526,23 @@ fn plan_select(catalog: &Catalog, block: &SelectBlock) -> Result<PlannedQuery, D
     }
 
     // 7'. Projection.
-    let (exprs, columns, count_star) =
-        resolve_projection(&bindings, &layout, &block.projections)?;
+    let (exprs, columns, count_star) = resolve_projection(&bindings, &layout, &block.projections)?;
     if count_star {
-        plan = PhysPlan::CountStar { child: Box::new(plan) };
+        plan = PhysPlan::CountStar {
+            child: Box::new(plan),
+        };
         return Ok(PlannedQuery { plan, columns });
     }
-    plan = PhysPlan::Project { child: Box::new(plan), exprs };
+    plan = PhysPlan::Project {
+        child: Box::new(plan),
+        exprs,
+    };
 
     // 8. DISTINCT then ORDER BY (sort runs over the projected row).
     if block.distinct {
-        plan = PhysPlan::Distinct { child: Box::new(plan) };
+        plan = PhysPlan::Distinct {
+            child: Box::new(plan),
+        };
     }
     if !block.order_by.is_empty() {
         let mut keys = Vec::with_capacity(block.order_by.len());
@@ -503,7 +555,10 @@ fn plan_select(catalog: &Catalog, block: &SelectBlock) -> Result<PlannedQuery, D
                 })?;
             keys.push(pos);
         }
-        plan = PhysPlan::Sort { child: Box::new(plan), keys };
+        plan = PhysPlan::Sort {
+            child: Box::new(plan),
+            keys,
+        };
     }
     Ok(PlannedQuery { plan, columns })
 }
@@ -530,17 +585,51 @@ fn local_to_exec(c: &LocalCond) -> ExecCond {
 
 fn attach_residual(plan: PhysPlan, mut conds: Vec<ExecCond>) -> PhysPlan {
     match plan {
-        PhysPlan::HashJoin { left, right, left_keys, right_keys, mut residual } => {
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            mut residual,
+        } => {
             residual.append(&mut conds);
-            PhysPlan::HashJoin { left, right, left_keys, right_keys, residual }
+            PhysPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+            }
         }
-        PhysPlan::IndexNlJoin { left, table, index_pos, left_keys, inner_filters, mut residual } => {
+        PhysPlan::IndexNlJoin {
+            left,
+            table,
+            index_pos,
+            left_keys,
+            inner_filters,
+            mut residual,
+        } => {
             residual.append(&mut conds);
-            PhysPlan::IndexNlJoin { left, table, index_pos, left_keys, inner_filters, residual }
+            PhysPlan::IndexNlJoin {
+                left,
+                table,
+                index_pos,
+                left_keys,
+                inner_filters,
+                residual,
+            }
         }
-        PhysPlan::CrossJoin { left, right, mut residual } => {
+        PhysPlan::CrossJoin {
+            left,
+            right,
+            mut residual,
+        } => {
             residual.append(&mut conds);
-            PhysPlan::CrossJoin { left, right, residual }
+            PhysPlan::CrossJoin {
+                left,
+                right,
+                residual,
+            }
         }
         // Single-relation query with a same-relation residual: wrap in a
         // degenerate cross join is overkill; push into the scan instead.
@@ -548,14 +637,27 @@ fn attach_residual(plan: PhysPlan, mut conds: Vec<ExecCond>) -> PhysPlan {
             filters.append(&mut conds);
             PhysPlan::SeqScan { table, filters }
         }
-        PhysPlan::IndexLookup { table, index_pos, key, mut residual } => {
+        PhysPlan::IndexLookup {
+            table,
+            index_pos,
+            key,
+            mut residual,
+        } => {
             residual.append(&mut conds);
-            PhysPlan::IndexLookup { table, index_pos, key, residual }
+            PhysPlan::IndexLookup {
+                table,
+                index_pos,
+                key,
+                residual,
+            }
         }
         // Any other shape (e.g. the UnionAll an IN-list index expansion
         // produces) keeps its semantics under a generic filter — never
         // silently drop a condition.
-        other => PhysPlan::Filter { child: Box::new(other), conds },
+        other => PhysPlan::Filter {
+            child: Box::new(other),
+            conds,
+        },
     }
 }
 
@@ -579,7 +681,12 @@ fn access_path(
         let covered: Option<Vec<Value>> = index
             .key_cols()
             .iter()
-            .map(|kc| eq_cols.iter().find(|(c, _)| c == kc).map(|(_, v)| v.clone()))
+            .map(|kc| {
+                eq_cols
+                    .iter()
+                    .find(|(c, _)| c == kc)
+                    .map(|(_, v)| v.clone())
+            })
             .collect();
         if let Some(key) = covered {
             // Exactly the (column, value) pairs consumed by the key; any
@@ -607,7 +714,9 @@ fn access_path(
     // lookups — this is what keeps the Stored D/KB extraction query flat in
     // the total rule count (Figure 7).
     for (pos, index) in table.indexes.iter().enumerate() {
-        let [key_col] = index.key_cols() else { continue };
+        let [key_col] = index.key_cols() else {
+            continue;
+        };
         let in_list = local.iter().find_map(|c| match c {
             LocalCond::InList(col, vs) if col == key_col => Some(vs),
             _ => None,
@@ -642,7 +751,9 @@ fn access_path(
         if !index.is_ordered() {
             continue;
         }
-        let [key_col] = index.key_cols() else { continue };
+        let [key_col] = index.key_cols() else {
+            continue;
+        };
         let mut lo: std::ops::Bound<Value> = std::ops::Bound::Unbounded;
         let mut hi: std::ops::Bound<Value> = std::ops::Bound::Unbounded;
         let mut used = 0usize;
@@ -693,10 +804,7 @@ fn access_path(
 }
 
 /// Keep the tighter of two lower bounds.
-fn tighten_lo(
-    a: std::ops::Bound<Value>,
-    b: std::ops::Bound<Value>,
-) -> std::ops::Bound<Value> {
+fn tighten_lo(a: std::ops::Bound<Value>, b: std::ops::Bound<Value>) -> std::ops::Bound<Value> {
     use std::ops::Bound::*;
     match (&a, &b) {
         (Unbounded, _) => b,
@@ -712,10 +820,7 @@ fn tighten_lo(
 }
 
 /// Keep the tighter of two upper bounds.
-fn tighten_hi(
-    a: std::ops::Bound<Value>,
-    b: std::ops::Bound<Value>,
-) -> std::ops::Bound<Value> {
+fn tighten_hi(a: std::ops::Bound<Value>, b: std::ops::Bound<Value>) -> std::ops::Bound<Value> {
     use std::ops::Bound::*;
     match (&a, &b) {
         (Unbounded, _) => b,
@@ -732,11 +837,7 @@ fn tighten_hi(
 
 /// An index on `binding`'s table whose key columns are exactly covered by
 /// the available join columns.
-fn usable_join_index(
-    catalog: &Catalog,
-    binding: &Binding,
-    join_cols: &[usize],
-) -> Option<usize> {
+fn usable_join_index(catalog: &Catalog, binding: &Binding, join_cols: &[usize]) -> Option<usize> {
     let table = catalog.table(&binding.table).ok()?;
     table.indexes.iter().position(|index| {
         index.key_cols().iter().all(|kc| join_cols.contains(kc))
@@ -759,9 +860,12 @@ fn join_order(
     // Restriction-aware size estimate: constant filters shrink a relation.
     let est = |rel: usize| -> u64 {
         let base = bindings[rel].tuple_count.max(1);
-        let restricted = local[rel]
-            .iter()
-            .any(|c| matches!(c, LocalCond::ColCmpLit(_, CmpOp::Eq, _) | LocalCond::InList(..)));
+        let restricted = local[rel].iter().any(|c| {
+            matches!(
+                c,
+                LocalCond::ColCmpLit(_, CmpOp::Eq, _) | LocalCond::InList(..)
+            )
+        });
         if restricted {
             (base / 20).max(1)
         } else {
@@ -803,7 +907,11 @@ fn plan_group_count(
     let mut keys = Vec::with_capacity(n);
     let mut columns = Vec::with_capacity(n + 1);
     for (i, gcol) in block.group_by.iter().enumerate() {
-        let SelectItem::Expr { expr: Scalar::Col(pcol), alias } = &block.projections[i] else {
+        let SelectItem::Expr {
+            expr: Scalar::Col(pcol),
+            alias,
+        } = &block.projections[i]
+        else {
             return Err(DbError::Plan(
                 "GROUP BY projection must be plain group columns".into(),
             ));
@@ -829,7 +937,10 @@ fn plan_group_count(
             ))
         }
     }
-    let mut plan = PhysPlan::GroupCount { child: Box::new(child), keys };
+    let mut plan = PhysPlan::GroupCount {
+        child: Box::new(child),
+        keys,
+    };
     if !block.order_by.is_empty() {
         let mut sort_keys = Vec::new();
         for cref in &block.order_by {
@@ -841,7 +952,10 @@ fn plan_group_count(
                 })?;
             sort_keys.push(pos);
         }
-        plan = PhysPlan::Sort { child: Box::new(plan), keys: sort_keys };
+        plan = PhysPlan::Sort {
+            child: Box::new(plan),
+            keys: sort_keys,
+        };
     }
     Ok(PlannedQuery { plan, columns })
 }
@@ -970,7 +1084,10 @@ fn classify(bindings: &[Binding], cond: &Condition) -> Result<Classified, DbErro
                     )));
                 }
             }
-            Ok(Classified::Local(r.rel, LocalCond::InList(r.col, values.clone())))
+            Ok(Classified::Local(
+                r.rel,
+                LocalCond::InList(r.col, values.clone()),
+            ))
         }
         Condition::Cmp { left, op, right } => match (left, right) {
             (Scalar::Lit(a), Scalar::Lit(b)) => Err(DbError::Plan(format!(
@@ -979,12 +1096,18 @@ fn classify(bindings: &[Binding], cond: &Condition) -> Result<Classified, DbErro
             (Scalar::Col(c), Scalar::Lit(v)) => {
                 let r = resolve_col(bindings, c)?;
                 check_lit_type(bindings, r, v)?;
-                Ok(Classified::Local(r.rel, LocalCond::ColCmpLit(r.col, *op, v.clone())))
+                Ok(Classified::Local(
+                    r.rel,
+                    LocalCond::ColCmpLit(r.col, *op, v.clone()),
+                ))
             }
             (Scalar::Lit(v), Scalar::Col(c)) => {
                 let r = resolve_col(bindings, c)?;
                 check_lit_type(bindings, r, v)?;
-                Ok(Classified::Local(r.rel, LocalCond::ColCmpLit(r.col, flip(*op), v.clone())))
+                Ok(Classified::Local(
+                    r.rel,
+                    LocalCond::ColCmpLit(r.col, flip(*op), v.clone()),
+                ))
             }
             (Scalar::Col(a), Scalar::Col(b)) => {
                 let ra = resolve_col(bindings, a)?;
@@ -997,7 +1120,9 @@ fn classify(bindings: &[Binding], cond: &Condition) -> Result<Classified, DbErro
                 } else if *op == CmpOp::Eq {
                     Ok(Classified::EquiJoin(ra, rb))
                 } else {
-                    Ok(Classified::CrossResidual(ResolvedCond::ColCmpCol(ra, *op, rb)))
+                    Ok(Classified::CrossResidual(ResolvedCond::ColCmpCol(
+                        ra, *op, rb,
+                    )))
                 }
             }
         },
@@ -1044,10 +1169,7 @@ fn resolve_col(bindings: &[Binding], c: &ColRef) -> Result<Resolved, DbError> {
             for (rel, b) in bindings.iter().enumerate() {
                 if let Some(col) = b.schema.index_of(&c.column) {
                     if found.is_some() {
-                        return Err(DbError::Plan(format!(
-                            "ambiguous column: {}",
-                            c.column
-                        )));
+                        return Err(DbError::Plan(format!("ambiguous column: {}", c.column)));
                     }
                     found = Some(Resolved { rel, col });
                 }
@@ -1129,16 +1251,15 @@ pub fn output_types(catalog: &Catalog, query: &Query) -> Result<Vec<ColType>, Db
             if !block.group_by.is_empty() {
                 for item in &block.projections {
                     match item {
-                        SelectItem::Expr { expr: Scalar::Col(c), .. } => {
+                        SelectItem::Expr {
+                            expr: Scalar::Col(c),
+                            ..
+                        } => {
                             let r = resolve_col(&bindings, c)?;
                             types.push(bindings[r.rel].schema.column(r.col).ty);
                         }
                         SelectItem::CountStar { .. } => types.push(ColType::Int),
-                        _ => {
-                            return Err(DbError::Plan(
-                                "unsupported GROUP BY projection".into(),
-                            ))
-                        }
+                        _ => return Err(DbError::Plan("unsupported GROUP BY projection".into())),
                     }
                 }
                 return Ok(types);

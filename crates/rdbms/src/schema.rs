@@ -12,7 +12,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, ty: ColType) -> Column {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -38,7 +41,9 @@ impl Schema {
     /// every derived-predicate temporary the runtime creates.
     pub fn ints(n: usize) -> Schema {
         Schema {
-            columns: (0..n).map(|i| Column::new(format!("c{i}"), ColType::Int)).collect(),
+            columns: (0..n)
+                .map(|i| Column::new(format!("c{i}"), ColType::Int))
+                .collect(),
         }
     }
 
@@ -56,7 +61,9 @@ impl Schema {
 
     /// Index of the column named `name` (case-insensitive), if any.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     pub fn column(&self, idx: usize) -> &Column {
@@ -66,7 +73,10 @@ impl Schema {
     /// Whether `tuple` matches this schema's arity and column types.
     pub fn admits(&self, tuple: &[Value]) -> bool {
         tuple.len() == self.arity()
-            && tuple.iter().zip(&self.columns).all(|(v, c)| v.col_type() == c.ty)
+            && tuple
+                .iter()
+                .zip(&self.columns)
+                .all(|(v, c)| v.col_type() == c.ty)
     }
 }
 

@@ -164,16 +164,11 @@ impl Engine {
                 let ty = match r.u8()? {
                     0 => ColType::Int,
                     1 => ColType::Str,
-                    other => {
-                        return Err(DbError::Parse(format!(
-                            "snapshot: bad type tag {other}"
-                        )))
-                    }
+                    other => return Err(DbError::Parse(format!("snapshot: bad type tag {other}"))),
                 };
                 cols.push((r.string()?, ty));
             }
-            let col_sql: Vec<String> =
-                cols.iter().map(|(n, t)| format!("{n} {t}")).collect();
+            let col_sql: Vec<String> = cols.iter().map(|(n, t)| format!("{n} {t}")).collect();
             engine.execute(&format!("CREATE TABLE {name} ({})", col_sql.join(", ")))?;
 
             let n_indexes = r.u32()?;
@@ -235,14 +230,15 @@ mod tests {
 
     fn populated_engine() -> Engine {
         let mut e = Engine::new();
-        e.execute("CREATE TABLE parent (par char, child char)").unwrap();
-        e.execute("CREATE INDEX parent_par ON parent (par)").unwrap();
+        e.execute("CREATE TABLE parent (par char, child char)")
+            .unwrap();
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
         e.execute("CREATE TABLE nums (n integer)").unwrap();
-        e.execute(
-            "INSERT INTO parent VALUES ('adam','bob'), ('bob','cay'), ('it''s','x')",
-        )
-        .unwrap();
-        e.execute("INSERT INTO nums VALUES (1), (-5), (9000000000)").unwrap();
+        e.execute("INSERT INTO parent VALUES ('adam','bob'), ('bob','cay'), ('it''s','x')")
+            .unwrap();
+        e.execute("INSERT INTO nums VALUES (1), (-5), (9000000000)")
+            .unwrap();
         e.execute("CREATE TEMP TABLE scratch (x integer)").unwrap();
         e
     }
@@ -267,22 +263,25 @@ mod tests {
 
         // The index exists and is used (no scan for the point query).
         let before = restored.stats().exec.tuples_scanned;
-        restored.execute("SELECT * FROM parent WHERE par = 'adam'").unwrap();
+        restored
+            .execute("SELECT * FROM parent WHERE par = 'adam'")
+            .unwrap();
         assert_eq!(restored.stats().exec.tuples_scanned, before);
     }
 
     #[test]
     fn snapshot_roundtrip_through_a_file() {
         let mut e = populated_engine();
-        let path = std::env::temp_dir().join(format!(
-            "dkbms_snapshot_test_{}.bin",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("dkbms_snapshot_test_{}.bin", std::process::id()));
         e.save_snapshot(&path).unwrap();
         let mut restored = Engine::load_snapshot(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(
-            restored.execute("SELECT COUNT(*) FROM parent").unwrap().scalar_int(),
+            restored
+                .execute("SELECT COUNT(*) FROM parent")
+                .unwrap()
+                .scalar_int(),
             Some(3)
         );
     }

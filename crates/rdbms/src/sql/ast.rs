@@ -193,9 +193,15 @@ mod tests {
 
     #[test]
     fn table_ref_binding_prefers_alias() {
-        let t = TableRef { table: "rulesource".into(), alias: Some("r".into()) };
+        let t = TableRef {
+            table: "rulesource".into(),
+            alias: Some("r".into()),
+        };
         assert_eq!(t.binding(), "r");
-        let t = TableRef { table: "rulesource".into(), alias: None };
+        let t = TableRef {
+            table: "rulesource".into(),
+            alias: None,
+        };
         assert_eq!(t.binding(), "rulesource");
     }
 }

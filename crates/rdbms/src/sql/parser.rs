@@ -61,7 +61,9 @@ impl Parser {
     fn error(&self, msg: &str) -> DbError {
         DbError::Parse(format!(
             "{msg} (at token {:?})",
-            self.peek().map(|t| format!("{t:?}")).unwrap_or_else(|| "<eof>".into())
+            self.peek()
+                .map(|t| format!("{t:?}"))
+                .unwrap_or_else(|| "<eof>".into())
         ))
     }
 
@@ -171,7 +173,11 @@ impl Parser {
                 }
             }
             self.expect(&Token::RParen)?;
-            Ok(Stmt::CreateTable { name, columns, temp })
+            Ok(Stmt::CreateTable {
+                name,
+                columns,
+                temp,
+            })
         } else if self.accept_kw("index") {
             if temp {
                 return Err(self.error("TEMP applies to tables only"));
@@ -192,7 +198,12 @@ impl Parser {
             columns.push(self.ident()?);
         }
         self.expect(&Token::RParen)?;
-        Ok(Stmt::CreateIndex { name, table, columns, ordered })
+        Ok(Stmt::CreateIndex {
+            name,
+            table,
+            columns,
+            ordered,
+        })
     }
 
     fn drop_stmt(&mut self) -> Result<Stmt, DbError> {
@@ -204,9 +215,14 @@ impl Parser {
             } else {
                 false
             };
-            Ok(Stmt::DropTable { name: self.ident()?, if_exists })
+            Ok(Stmt::DropTable {
+                name: self.ident()?,
+                if_exists,
+            })
         } else if self.accept_kw("index") {
-            Ok(Stmt::DropIndex { name: self.ident()? })
+            Ok(Stmt::DropIndex {
+                name: self.ident()?,
+            })
         } else {
             Err(self.error("expected TABLE or INDEX after DROP"))
         }
@@ -223,7 +239,10 @@ impl Parser {
             }
             Ok(Stmt::InsertValues { table, rows })
         } else if self.peek_kw("select") {
-            Ok(Stmt::InsertSelect { table, query: self.query()? })
+            Ok(Stmt::InsertSelect {
+                table,
+                query: self.query()?,
+            })
         } else if self.accept_kw("transitive") {
             self.expect_kw("closure")?;
             self.expect_kw("of")?;
@@ -275,10 +294,17 @@ impl Parser {
             if self.accept_kw("union") {
                 let all = self.accept_kw("all");
                 let right = Query::Select(self.select_block()?);
-                left = Query::Union { left: Box::new(left), right: Box::new(right), all };
+                left = Query::Union {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    all,
+                };
             } else if self.accept_kw("except") {
                 let right = Query::Select(self.select_block()?);
-                left = Query::Except { left: Box::new(left), right: Box::new(right) };
+                left = Query::Except {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                };
             } else {
                 break;
             }
@@ -320,7 +346,14 @@ impl Parser {
         } else {
             Vec::new()
         };
-        Ok(SelectBlock { distinct, projections, from, where_clause, group_by, order_by })
+        Ok(SelectBlock {
+            distinct,
+            projections,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+        })
     }
 
     fn select_items(&mut self) -> Result<Vec<SelectItem>, DbError> {
@@ -389,7 +422,10 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                if conds.iter().any(|c| matches!(c, Condition::NotExists { .. })) {
+                if conds
+                    .iter()
+                    .any(|c| matches!(c, Condition::NotExists { .. }))
+                {
                     return Err(self.error("nested NOT EXISTS is not supported"));
                 }
                 self.expect(&Token::RParen)?;
@@ -439,9 +475,15 @@ impl Parser {
         let first = self.ident()?;
         if self.accept(&Token::Dot) {
             let column = self.ident()?;
-            Ok(ColRef { table: Some(first), column })
+            Ok(ColRef {
+                table: Some(first),
+                column,
+            })
         } else {
-            Ok(ColRef { table: None, column: first })
+            Ok(ColRef {
+                table: None,
+                column: first,
+            })
         }
     }
 }
@@ -454,7 +496,11 @@ mod tests {
     fn parses_create_table() {
         let stmt = parse_stmt("CREATE TABLE parent (par char, child char);").unwrap();
         match stmt {
-            Stmt::CreateTable { name, columns, temp } => {
+            Stmt::CreateTable {
+                name,
+                columns,
+                temp,
+            } => {
                 assert_eq!(name, "parent");
                 assert!(!temp);
                 assert_eq!(
@@ -474,10 +520,14 @@ mod tests {
 
     #[test]
     fn parses_create_index() {
-        let stmt =
-            parse_stmt("CREATE INDEX rs_head ON rulesource (headpredname)").unwrap();
+        let stmt = parse_stmt("CREATE INDEX rs_head ON rulesource (headpredname)").unwrap();
         match stmt {
-            Stmt::CreateIndex { name, table, columns, ordered } => {
+            Stmt::CreateIndex {
+                name,
+                table,
+                columns,
+                ordered,
+            } => {
                 assert!(!ordered);
                 assert_eq!(name, "rs_head");
                 assert_eq!(table, "rulesource");
@@ -503,10 +553,9 @@ mod tests {
 
     #[test]
     fn parses_insert_select() {
-        let stmt = parse_stmt(
-            "INSERT INTO anc SELECT p.par, p.child FROM parent p WHERE p.par = 'john'",
-        )
-        .unwrap();
+        let stmt =
+            parse_stmt("INSERT INTO anc SELECT p.par, p.child FROM parent p WHERE p.par = 'john'")
+                .unwrap();
         assert!(matches!(stmt, Stmt::InsertSelect { .. }));
     }
 
@@ -528,10 +577,8 @@ mod tests {
 
     #[test]
     fn parses_union_and_except_left_assoc() {
-        let stmt = parse_stmt(
-            "SELECT * FROM a UNION ALL SELECT * FROM b EXCEPT SELECT * FROM c",
-        )
-        .unwrap();
+        let stmt =
+            parse_stmt("SELECT * FROM a UNION ALL SELECT * FROM b EXCEPT SELECT * FROM c").unwrap();
         let Stmt::Select(q) = stmt else { panic!() };
         match q {
             Query::Except { left, .. } => {
@@ -544,10 +591,14 @@ mod tests {
     #[test]
     fn parses_count_star_and_order_by() {
         let stmt = parse_stmt("SELECT COUNT(*) AS n FROM t ORDER BY t.a, b").unwrap();
-        let Stmt::Select(Query::Select(block)) = stmt else { panic!() };
+        let Stmt::Select(Query::Select(block)) = stmt else {
+            panic!()
+        };
         assert_eq!(
             block.projections,
-            vec![SelectItem::CountStar { alias: Some("n".into()) }]
+            vec![SelectItem::CountStar {
+                alias: Some("n".into())
+            }]
         );
         assert_eq!(block.order_by.len(), 2);
     }
@@ -555,7 +606,9 @@ mod tests {
     #[test]
     fn parses_delete_with_predicate() {
         let stmt = parse_stmt("DELETE FROM t WHERE a = 1 AND b <> 'x'").unwrap();
-        let Stmt::Delete { table, predicate } = stmt else { panic!() };
+        let Stmt::Delete { table, predicate } = stmt else {
+            panic!()
+        };
         assert_eq!(table, "t");
         assert_eq!(predicate.len(), 2);
     }
@@ -564,11 +617,17 @@ mod tests {
     fn parses_drop_variants() {
         assert!(matches!(
             parse_stmt("DROP TABLE IF EXISTS t").unwrap(),
-            Stmt::DropTable { if_exists: true, .. }
+            Stmt::DropTable {
+                if_exists: true,
+                ..
+            }
         ));
         assert!(matches!(
             parse_stmt("DROP TABLE t").unwrap(),
-            Stmt::DropTable { if_exists: false, .. }
+            Stmt::DropTable {
+                if_exists: false,
+                ..
+            }
         ));
         assert!(matches!(
             parse_stmt("DROP INDEX i").unwrap(),
@@ -578,10 +637,9 @@ mod tests {
 
     #[test]
     fn parses_script() {
-        let stmts = parse_script(
-            "CREATE TABLE t (a integer); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("CREATE TABLE t (a integer); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -599,18 +657,26 @@ mod tests {
     #[test]
     fn unqualified_and_qualified_colrefs() {
         let stmt = parse_stmt("SELECT a, t.b FROM t").unwrap();
-        let Stmt::Select(Query::Select(block)) = stmt else { panic!() };
+        let Stmt::Select(Query::Select(block)) = stmt else {
+            panic!()
+        };
         assert_eq!(
             block.projections[0],
             SelectItem::Expr {
-                expr: Scalar::Col(ColRef { table: None, column: "a".into() }),
+                expr: Scalar::Col(ColRef {
+                    table: None,
+                    column: "a".into()
+                }),
                 alias: None
             }
         );
         assert_eq!(
             block.projections[1],
             SelectItem::Expr {
-                expr: Scalar::Col(ColRef { table: Some("t".into()), column: "b".into() }),
+                expr: Scalar::Col(ColRef {
+                    table: Some("t".into()),
+                    column: "b".into()
+                }),
                 alias: None
             }
         );

@@ -107,7 +107,7 @@ proptest! {
         for op in ops {
             match op {
                 HeapOp::Insert(payload) => {
-                    let rid = heap.insert(&mut disk, &mut pool, &payload);
+                    let rid = heap.insert(&mut disk, &mut pool, &payload).unwrap();
                     prop_assert!(
                         !model.iter().any(|(r, _)| *r == rid),
                         "record ids are never reused while live"
@@ -119,14 +119,14 @@ proptest! {
                         continue;
                     }
                     let (rid, _) = model.remove(n % model.len());
-                    prop_assert!(heap.delete(&mut disk, &mut pool, rid));
-                    prop_assert!(!heap.delete(&mut disk, &mut pool, rid));
-                    prop_assert_eq!(heap.get(&mut disk, &mut pool, rid), None);
+                    prop_assert!(heap.delete(&mut disk, &mut pool, rid).unwrap());
+                    prop_assert!(!heap.delete(&mut disk, &mut pool, rid).unwrap());
+                    prop_assert_eq!(heap.get(&mut disk, &mut pool, rid).unwrap(), None);
                 }
                 HeapOp::Scan => {
                     let mut scan = heap.scan();
                     let mut seen = Vec::new();
-                    while let Some((rid, payload)) = scan.next(&mut disk, &mut pool) {
+                    while let Some((rid, payload)) = scan.next(&mut disk, &mut pool).unwrap() {
                         seen.push((rid, payload));
                     }
                     let mut expected = model.clone();
@@ -139,7 +139,7 @@ proptest! {
 
         // Every live record is retrievable at the end.
         for (rid, payload) in &model {
-            let got = heap.get(&mut disk, &mut pool, *rid);
+            let got = heap.get(&mut disk, &mut pool, *rid).unwrap();
             prop_assert_eq!(got.as_deref(), Some(payload.as_slice()));
         }
     }
@@ -163,7 +163,7 @@ proptest! {
         let mut disk = Disk::new();
         let file = disk.create_file();
         for _ in 0..n_pages {
-            disk.allocate_page(file);
+            disk.allocate_page(file).unwrap();
         }
         let mut pool = BufferPool::new(pool_size);
         let mut shadow = vec![vec![0u8; PAGE_SIZE]; n_pages as usize];
@@ -172,7 +172,8 @@ proptest! {
             let page = page % n_pages;
             pool.with_page(&mut disk, file, rdbms::disk::PageId(page), true, |buf| {
                 buf[offset] = byte;
-            });
+            })
+            .unwrap();
             shadow[page as usize][offset] = byte;
         }
         // Every byte of every page reads back as the shadow says.
@@ -180,13 +181,14 @@ proptest! {
             let expected = shadow[page as usize].clone();
             pool.with_page(&mut disk, file, rdbms::disk::PageId(page), false, |buf| {
                 assert_eq!(buf, expected.as_slice(), "page {page}");
-            });
+            })
+            .unwrap();
         }
         // Flushing and re-reading straight from disk agrees too.
-        pool.flush_all(&mut disk);
+        pool.flush_all(&mut disk).unwrap();
         for page in 0..n_pages {
             let mut out = vec![0u8; PAGE_SIZE];
-            disk.read_page(file, rdbms::disk::PageId(page), &mut out);
+            disk.read_page(file, rdbms::disk::PageId(page), &mut out).unwrap();
             prop_assert_eq!(&out, &shadow[page as usize]);
         }
     }

@@ -17,7 +17,12 @@ pub type Edges = Vec<(String, String)>;
 pub fn edges_to_rows(edges: &[(String, String)]) -> Vec<Vec<rdbms::Value>> {
     edges
         .iter()
-        .map(|(a, b)| vec![rdbms::Value::from(a.as_str()), rdbms::Value::from(b.as_str())])
+        .map(|(a, b)| {
+            vec![
+                rdbms::Value::from(a.as_str()),
+                rdbms::Value::from(b.as_str()),
+            ]
+        })
         .collect()
 }
 
@@ -132,12 +137,7 @@ pub fn layered_dag(layers: usize, width: usize, fan_out: usize, seed: u64) -> Ed
 /// A directed cyclic graph: `n_cycles` disjoint cycles of `cycle_len`
 /// nodes, plus `extra_edges` random edges between arbitrary nodes.
 /// Deterministic under `seed`.
-pub fn cyclic_digraph(
-    n_cycles: usize,
-    cycle_len: usize,
-    extra_edges: usize,
-    seed: u64,
-) -> Edges {
+pub fn cyclic_digraph(n_cycles: usize, cycle_len: usize, extra_edges: usize, seed: u64) -> Edges {
     assert!(cycle_len >= 2, "a cycle needs at least two nodes");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(n_cycles * cycle_len + extra_edges);
@@ -148,8 +148,14 @@ pub fn cyclic_digraph(
         }
     }
     for _ in 0..extra_edges {
-        let a = (rng.random_range(0..n_cycles), rng.random_range(0..cycle_len));
-        let b = (rng.random_range(0..n_cycles), rng.random_range(0..cycle_len));
+        let a = (
+            rng.random_range(0..n_cycles),
+            rng.random_range(0..cycle_len),
+        );
+        let b = (
+            rng.random_range(0..n_cycles),
+            rng.random_range(0..cycle_len),
+        );
         edges.push((node(a.0, a.1), node(b.0, b.1)));
     }
     edges
@@ -187,7 +193,11 @@ mod tests {
     fn varied_lists_average_out() {
         let edges = lists_varied(40, 10, 9);
         // Total ≈ n(avg - 1) = 360, within the ±50% band per list.
-        assert!(edges.len() >= 40 * 4 && edges.len() <= 40 * 14, "{}", edges.len());
+        assert!(
+            edges.len() >= 40 * 4 && edges.len() <= 40 * 14,
+            "{}",
+            edges.len()
+        );
         assert_eq!(lists_varied(40, 10, 9), edges, "deterministic");
         // Each list is still a simple chain.
         let sources: BTreeSet<&String> = edges.iter().map(|(a, _)| a).collect();

@@ -8,5 +8,7 @@
 pub mod graphs;
 pub mod rules;
 
-pub use graphs::{chain_facts, cyclic_digraph, edges_to_rows, forest, full_binary_tree, layered_dag, lists, Edges};
+pub use graphs::{
+    chain_facts, cyclic_digraph, edges_to_rows, forest, full_binary_tree, layered_dag, lists, Edges,
+};
 pub use rules::{ancestor_program, chain_rule_base, same_generation};

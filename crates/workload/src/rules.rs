@@ -53,10 +53,7 @@ pub fn chain_rule_base(chains: usize, chain_len: usize, base: &str) -> Program {
     for c in 0..chains {
         for i in 0..chain_len {
             if i + 1 < chain_len {
-                src.push_str(&format!(
-                    "g{c}_p{i}(X, Y) :- g{c}_p{}(X, Y).\n",
-                    i + 1
-                ));
+                src.push_str(&format!("g{c}_p{i}(X, Y) :- g{c}_p{}(X, Y).\n", i + 1));
             } else {
                 src.push_str(&format!("g{c}_p{i}(X, Y) :- {base}(X, Y).\n"));
             }
@@ -104,7 +101,9 @@ mod tests {
     fn standard_programs_parse() {
         assert_eq!(parse_program(&ancestor_program("parent")).unwrap().len(), 2);
         assert_eq!(
-            parse_program(&ancestor_right_linear("parent")).unwrap().len(),
+            parse_program(&ancestor_right_linear("parent"))
+                .unwrap()
+                .len(),
             2
         );
         assert_eq!(

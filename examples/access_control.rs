@@ -18,6 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compiled_storage: true,
         special_tc: true, // role-hierarchy closure uses the TC operator
         supplementary: false,
+        durability: false,
     })?;
 
     // Extensional data: role inheritance, grants, denials, memberships.
@@ -80,8 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     for user in ["ann", "bob", "cay"] {
         let r = s.execute_prepared(user)?;
-        let resources: Vec<String> =
-            r.rows.iter().map(|row| row[0].to_string()).collect();
+        let resources: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
         println!("{user:<4} can access: {}", resources.join(", "));
     }
 
@@ -99,7 +99,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cay = s.execute_prepared("cay")?; // transparently recompiled
     println!(
         "cay  can access: {}",
-        cay.rows.iter().map(|r| r[0].to_string()).collect::<Vec<_>>().join(", ")
+        cay.rows
+            .iter()
+            .map(|r| r[0].to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     assert!(cay.rows.contains(&vec![Value::from("wiki")]));
     println!("(recompilations forced by updates: {})", s.recompilations());

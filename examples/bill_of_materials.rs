@@ -24,6 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compiled_storage: true,
         special_tc: false,
         supplementary: false,
+        durability: false,
     })?;
 
     // Assembly graph: 5 levels (finished goods -> raw materials), 8 items
@@ -42,7 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect(),
     )?;
     // Index the part-explosion join column.
-    s.engine_mut().execute("CREATE INDEX subpart_c0 ON subpart (c0)")?;
+    s.engine_mut()
+        .execute("CREATE INDEX subpart_c0 ON subpart (c0)")?;
 
     s.load_rules(
         "contains(A, P) :- subpart(A, P).\n\
@@ -71,9 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for row in raw.rows.iter().take(5) {
         println!("  needs {}", row[0]);
     }
-    assert!(raw.rows.iter().all(|r| {
-        r[0].as_str().expect("symbol").starts_with("d4_")
-    }));
+    assert!(raw
+        .rows
+        .iter()
+        .all(|r| { r[0].as_str().expect("symbol").starts_with("d4_") }));
 
     // Where-used: which finished goods does a raw material affect?
     let (_, used) = s.query("?- whereused(d4_0, A).")?;

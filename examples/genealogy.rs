@@ -21,6 +21,7 @@ fn build_session(optimize: bool) -> Result<Session, Box<dyn std::error::Error>> 
         compiled_storage: true,
         special_tc: false,
         supplementary: false,
+        durability: false,
     })?;
     s.define_base("parent", &binary_sym())?;
     let rows = full_binary_tree(10)
@@ -51,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<12} {:>3} descendants of {patriarch}: t_e = {:>9.2?} \
              ({} tuples derived, {} LFP iterations)",
-            if optimize { "magic sets" } else { "unoptimized" },
+            if optimize {
+                "magic sets"
+            } else {
+                "unoptimized"
+            },
             result.rows.len(),
             result.t_execute,
             result.outcome.breakdown.tuples_produced,
@@ -76,10 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(result.rows.len(), 8);
 
     // A boolean kinship check.
-    let (_, related) = s.query(&format!(
-        "?- ancestor(n1, {}).",
-        tree_node_at_level(10)
-    ))?;
+    let (_, related) = s.query(&format!("?- ancestor(n1, {}).", tree_node_at_level(10)))?;
     println!(
         "is n1 an ancestor of {}? {}",
         tree_node_at_level(10),

@@ -17,6 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compiled_storage: true,
         special_tc: false,
         supplementary: false,
+        durability: false,
     })?;
 
     // The extensional database: a parent relation.

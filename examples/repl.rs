@@ -63,9 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Ok((compiled, result)) => {
                     println!(
                         "-- {} rules relevant, compiled in {:.2?}, executed in {:.2?}",
-                        compiled.relevant_rules,
-                        compiled.timings.total,
-                        result.t_execute
+                        compiled.relevant_rules, compiled.timings.total, result.t_execute
                     );
                     if result.rows.is_empty() {
                         println!("no");

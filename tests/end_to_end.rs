@@ -31,16 +31,17 @@ fn all_configs() -> Vec<SessionConfig> {
     let mut out = Vec::new();
     for optimize in [false, true] {
         for strategy in [LfpStrategy::Naive, LfpStrategy::SemiNaive] {
-            out.push(SessionConfig { optimize, strategy, ..SessionConfig::default() });
+            out.push(SessionConfig {
+                optimize,
+                strategy,
+                ..SessionConfig::default()
+            });
         }
     }
     out
 }
 
-fn session_with_edges(
-    config: SessionConfig,
-    edges: &[(String, String)],
-) -> Session {
+fn session_with_edges(config: SessionConfig, edges: &[(String, String)]) -> Session {
     let mut s = Session::new(config).unwrap();
     s.define_base("edge", &binary_sym()).unwrap();
     s.load_facts("edge", rows(edges)).unwrap();
@@ -97,8 +98,7 @@ fn ancestor_on_cyclic_digraph() {
 fn all_free_query_computes_full_closure() {
     let edges = graphs::full_binary_tree(4);
     let mut expected = 0usize;
-    let nodes: BTreeSet<&String> =
-        edges.iter().flat_map(|(a, b)| [a, b]).collect();
+    let nodes: BTreeSet<&String> = edges.iter().flat_map(|(a, b)| [a, b]).collect();
     for n in &nodes {
         expected += reachable_from(&edges, n).len();
     }
@@ -122,8 +122,10 @@ fn second_argument_bound() {
             .iter()
             .map(|r| r[0].as_str().unwrap().to_string())
             .collect();
-        let expected: BTreeSet<String> =
-            ["n1", "n3", "n7", "n15"].iter().map(|s| s.to_string()).collect();
+        let expected: BTreeSet<String> = ["n1", "n3", "n7", "n15"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(got, expected);
     }
 }
@@ -135,7 +137,8 @@ fn nonlinear_ancestor_agrees_with_linear() {
     let mut s = Session::with_defaults().unwrap();
     s.define_base("edge", &binary_sym()).unwrap();
     s.load_facts("edge", rows(&edges)).unwrap();
-    s.load_rules(&workload::rules::ancestor_nonlinear("edge")).unwrap();
+    s.load_rules(&workload::rules::ancestor_nonlinear("edge"))
+        .unwrap();
     let (_, r1) = linear.query("?- anc(d0_0, W).").unwrap();
     let (_, r2) = s.query("?- anc(d0_0, W).").unwrap();
     assert_eq!(r1.rows, r2.rows);
@@ -196,8 +199,7 @@ fn figure1_style_mutual_recursion_runs() {
             .iter()
             .map(|r| r[0].as_str().unwrap().to_string())
             .collect();
-        let expected: BTreeSet<String> =
-            (1..=5).map(|i| format!("v{}", 2 * i)).collect();
+        let expected: BTreeSet<String> = (1..=5).map(|i| format!("v{}", 2 * i)).collect();
         assert_eq!(got, expected, "config {:?}", config.strategy);
         assert_eq!(compiled.relevant_rules, 3);
     }

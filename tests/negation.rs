@@ -10,7 +10,8 @@ use std::collections::BTreeSet;
 fn graph_session() -> Session {
     let mut s = Session::with_defaults().unwrap();
     s.define_base("edge", &binary_sym()).unwrap();
-    s.define_base("node", &[hornlog::types::AttrType::Sym]).unwrap();
+    s.define_base("node", &[hornlog::types::AttrType::Sym])
+        .unwrap();
     let edges = [("a", "b"), ("b", "c"), ("d", "d")];
     s.load_facts(
         "edge",
@@ -38,8 +39,7 @@ fn unreachable_pairs_via_negated_closure() {
     let (compiled, result) = s.query("?- unreach(a, W).").unwrap();
     assert_eq!(compiled.relevant_rules, 3);
     // a reaches b, c. Unreachable from a: a itself and d.
-    let got: BTreeSet<&str> =
-        result.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+    let got: BTreeSet<&str> = result.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
     assert_eq!(got, ["a", "d"].into_iter().collect());
 }
 
@@ -92,18 +92,22 @@ fn unstratified_program_is_rejected() {
 fn unsafe_negation_is_rejected() {
     let mut s = graph_session();
     // Y appears only under negation: not range-restricted.
-    s.load_rules("weird(X, Y) :- node(X), not edge(X, Y).\n").unwrap();
-    assert!(matches!(s.query("?- weird(a, W)."), Err(KmError::Semantic(_))));
+    s.load_rules("weird(X, Y) :- node(X), not edge(X, Y).\n")
+        .unwrap();
+    assert!(matches!(
+        s.query("?- weird(a, W)."),
+        Err(KmError::Semantic(_))
+    ));
 }
 
 #[test]
 fn negation_with_constants_in_negated_atom() {
     let mut s = graph_session();
-    s.load_rules("notowner(X) :- node(X), not edge(X, b).\n").unwrap();
+    s.load_rules("notowner(X) :- node(X), not edge(X, b).\n")
+        .unwrap();
     let (_, result) = s.query("?- notowner(W).").unwrap();
     // Only a has an edge to b.
-    let got: BTreeSet<&str> =
-        result.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+    let got: BTreeSet<&str> = result.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
     assert_eq!(got, ["b", "c", "d"].into_iter().collect());
 }
 
@@ -117,8 +121,7 @@ fn negated_query_atoms() {
     .unwrap();
     // Nodes with an outgoing edge that do NOT reach c.
     let (_, result) = s.query("?- edge(W, V), not reach(W, c).").unwrap();
-    let got: BTreeSet<&str> =
-        result.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+    let got: BTreeSet<&str> = result.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
     assert_eq!(got, ["d"].into_iter().collect());
 }
 
@@ -132,8 +135,7 @@ fn three_strata_pipeline() {
     )
     .unwrap();
     let (_, result) = s.query("?- nonsink(W).").unwrap();
-    let got: BTreeSet<&str> =
-        result.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+    let got: BTreeSet<&str> = result.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
     assert_eq!(got, ["a", "b", "d"].into_iter().collect());
 }
 
@@ -160,7 +162,8 @@ fn negation_inside_recursive_rule_on_lower_stratum() {
     // predicate inside the recursive rule.
     let mut s = Session::with_defaults().unwrap();
     s.define_base("edge", &binary_sym()).unwrap();
-    s.define_base("blocked", &[hornlog::types::AttrType::Sym]).unwrap();
+    s.define_base("blocked", &[hornlog::types::AttrType::Sym])
+        .unwrap();
     let chain = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")];
     s.load_facts(
         "edge",
@@ -170,7 +173,8 @@ fn negation_inside_recursive_rule_on_lower_stratum() {
             .collect(),
     )
     .unwrap();
-    s.load_facts("blocked", vec![vec![Value::from("c")]]).unwrap();
+    s.load_facts("blocked", vec![vec![Value::from("c")]])
+        .unwrap();
     s.load_rules(
         "clear(X, Y) :- edge(X, Y), not blocked(Y).\n\
          clear(X, Y) :- clear(X, Z), edge(Z, Y), not blocked(Y).\n",

@@ -31,7 +31,8 @@ fn node(n: u8) -> String {
 fn build_session(edges: &[(u8, u8)], nodes: &BTreeSet<u8>) -> Session {
     let mut s = Session::with_defaults().unwrap();
     s.define_base("edge", &binary_sym()).unwrap();
-    s.define_base("node", &[hornlog::types::AttrType::Sym]).unwrap();
+    s.define_base("node", &[hornlog::types::AttrType::Sym])
+        .unwrap();
     s.load_facts(
         "edge",
         edges

@@ -3,6 +3,7 @@
 //! and queries over the reopened session behave identically.
 
 use km::session::{binary_sym, Session, SessionConfig};
+use proptest::prelude::*;
 use rdbms::Value;
 
 fn temp_path(tag: &str) -> std::path::PathBuf {
@@ -52,11 +53,8 @@ fn reopened_session_accepts_further_commits_and_data() {
     std::fs::remove_file(&path).ok();
 
     // Extend the data and the rule base after reopening.
-    s.load_facts(
-        "parent",
-        vec![vec![Value::from("a8"), Value::from("a9")]],
-    )
-    .unwrap();
+    s.load_facts("parent", vec![vec![Value::from("a8"), Value::from("a9")]])
+        .unwrap();
     s.load_rules("far(X) :- anc(a0, X).\n").unwrap();
     s.commit_workspace().unwrap();
     s.workspace_mut().clear();
@@ -69,7 +67,9 @@ fn reopened_session_accepts_further_commits_and_data() {
 fn workspace_is_not_persisted() {
     let path = temp_path("workspace");
     let mut original = build_and_commit();
-    original.load_rules("uncommitted(X) :- anc(a0, X).\n").unwrap();
+    original
+        .load_rules("uncommitted(X) :- anc(a0, X).\n")
+        .unwrap();
     original.save(&path).unwrap();
 
     let mut reopened = Session::open(&path, SessionConfig::default()).unwrap();
@@ -105,7 +105,11 @@ fn workspace_facts_are_materialized_by_commit_and_survive() {
     assert!(t.fact_predicates.contains("parent"));
     // Facts left the workspace (they now shadow nothing).
     assert_eq!(s.workspace().fact_count(), 0);
-    assert_eq!(s.workspace().rule_count(), 2, "rules stay for further edits");
+    assert_eq!(
+        s.workspace().rule_count(),
+        2,
+        "rules stay for further edits"
+    );
 
     // Queries work immediately after commit...
     let (_, r) = s.query("?- anc(adam, W).").unwrap();
@@ -122,11 +126,13 @@ fn workspace_facts_are_materialized_by_commit_and_survive() {
 #[test]
 fn repeated_fact_commits_deduplicate() {
     let mut s = Session::with_defaults().unwrap();
-    s.load_rules("likes(ann, tea).\nlikes(bob, tea).\n").unwrap();
+    s.load_rules("likes(ann, tea).\nlikes(bob, tea).\n")
+        .unwrap();
     let t1 = s.commit_workspace().unwrap();
     assert_eq!(t1.facts_stored, 2);
     // Same facts again plus one new: only the new one lands.
-    s.load_rules("likes(ann, tea).\nlikes(cay, tea).\n").unwrap();
+    s.load_rules("likes(ann, tea).\nlikes(cay, tea).\n")
+        .unwrap();
     let t2 = s.commit_workspace().unwrap();
     assert_eq!(t2.facts_stored, 1);
     assert!(s.engine().stats().statements > 0);
@@ -195,10 +201,102 @@ fn conflicting_fact_types_abort_commit_before_any_write() {
 fn arity_conflicting_fact_aborts_commit() {
     let mut s = Session::with_defaults().unwrap();
     s.define_base("parent", &binary_sym()).unwrap();
-    s.load_rules("a(X) :- parent(X, X).\nparent(onlyone).\n").unwrap();
+    s.load_rules("a(X) :- parent(X, X).\nparent(onlyone).\n")
+        .unwrap();
     assert!(s.commit_workspace().is_err());
     let stored = s.stored().clone();
-    assert_eq!(stored.rule_count(s.engine_mut()).unwrap(), 0, "atomic abort");
+    assert_eq!(
+        stored.rule_count(s.engine_mut()).unwrap(),
+        0,
+        "atomic abort"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Snapshot save/open loses nothing no matter how small the buffer
+    /// pool is: a tiny pool forces constant eviction while two tables are
+    /// loaded and one is carved up by deletes, so every page is dirtied,
+    /// evicted, and re-read before the snapshot flushes the rest. The
+    /// expected contents are recomputed from the raw inputs, never read
+    /// back through the engine under test.
+    #[test]
+    fn snapshot_roundtrip_never_loses_rows_under_any_pool_capacity(
+        frames in 2usize..40,
+        rows in prop::collection::vec((0i64..500, "[a-z]{1,12}"), 1..150),
+        cutoff in 0i64..500,
+    ) {
+        let mut e = rdbms::Engine::with_pool_size(frames);
+        e.execute("CREATE TABLE nums (n integer, s char)").unwrap();
+        e.execute("CREATE TABLE names (s char)").unwrap();
+        e.insert_rows(
+            "nums",
+            rows.iter()
+                .map(|(n, s)| vec![Value::from(*n), Value::from(s.as_str())])
+                .collect(),
+        )
+        .unwrap();
+        e.insert_rows(
+            "names",
+            rows.iter().map(|(_, s)| vec![Value::from(s.as_str())]).collect(),
+        )
+        .unwrap();
+        e.execute(&format!("DELETE FROM nums WHERE n < {cutoff}")).unwrap();
+
+        let mut expect_nums: Vec<Vec<Value>> = rows
+            .iter()
+            .filter(|(n, _)| *n >= cutoff)
+            .map(|(n, s)| vec![Value::from(*n), Value::from(s.as_str())])
+            .collect();
+        expect_nums.sort();
+        let mut expect_names: Vec<Vec<Value>> =
+            rows.iter().map(|(_, s)| vec![Value::from(s.as_str())]).collect();
+        expect_names.sort();
+
+        let path = temp_path("prop_roundtrip");
+        e.save_snapshot(&path).unwrap();
+        let mut reopened = rdbms::Engine::load_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let mut got_nums = reopened.scan_all("nums").unwrap();
+        got_nums.sort();
+        let mut got_names = reopened.scan_all("names").unwrap();
+        got_names.sort();
+        prop_assert_eq!(&got_nums, &expect_nums);
+        prop_assert_eq!(&got_names, &expect_names);
+
+        // The original engine agrees after all that eviction traffic too.
+        let mut still = e.scan_all("nums").unwrap();
+        still.sort();
+        prop_assert_eq!(&still, &expect_nums);
+    }
+
+    /// The full D/KB session round trip holds for arbitrary chain sizes:
+    /// committed rules, facts, and the compiled form answer the same
+    /// recursive query after save + open.
+    #[test]
+    fn session_roundtrip_answers_match_for_any_chain(n in 3usize..12) {
+        let mut s = Session::with_defaults().unwrap();
+        s.define_base("parent", &binary_sym()).unwrap();
+        s.load_facts("parent", workload::chain_facts(n)).unwrap();
+        s.load_rules(
+            "anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).\n",
+        )
+        .unwrap();
+        s.commit_workspace().unwrap();
+        s.workspace_mut().clear();
+        let (_, before) = s.query("?- anc(a0, W).").unwrap();
+        prop_assert_eq!(before.rows.len(), n - 1);
+
+        let path = temp_path("prop_session");
+        s.save(&path).unwrap();
+        let mut reopened = Session::open(&path, SessionConfig::default()).unwrap();
+        std::fs::remove_file(&path).ok();
+        let (_, after) = reopened.query("?- anc(a0, W).").unwrap();
+        prop_assert_eq!(before.rows, after.rows);
+    }
 }
 
 #[test]
@@ -215,7 +313,10 @@ fn open_syncs_compiled_storage_config_with_snapshot() {
     // the *config* too, so callers see the architecture they actually got.
     let reopened = Session::open(
         &path,
-        SessionConfig { compiled_storage: true, ..SessionConfig::default() },
+        SessionConfig {
+            compiled_storage: true,
+            ..SessionConfig::default()
+        },
     )
     .unwrap();
     std::fs::remove_file(&path).ok();

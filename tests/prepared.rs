@@ -123,7 +123,11 @@ fn fact_only_commit_invalidates_prepared_queries() {
     s.commit_workspace().unwrap(); // edge becomes a base relation
     s.load_rules("edge(a, c).").unwrap();
     s.commit_workspace().unwrap(); // appends to the base relation
-    assert_eq!(s.prepared_is_valid("q"), Some(false), "seeded plan is stale");
+    assert_eq!(
+        s.prepared_is_valid("q"),
+        Some(false),
+        "seeded plan is stale"
+    );
     let r = s.execute_prepared("q").unwrap();
     assert_eq!(r.rows.len(), 2, "recompiled plan sees both rows");
 }

@@ -124,7 +124,10 @@ fn arb_term() -> impl Strategy<Value = Term> {
 }
 
 fn arb_atom() -> impl Strategy<Value = Atom> {
-    ("[a-z][a-z0-9_]{0,6}", prop::collection::vec(arb_term(), 1..4))
+    (
+        "[a-z][a-z0-9_]{0,6}",
+        prop::collection::vec(arb_term(), 1..4),
+    )
         .prop_map(|(p, args)| Atom::new(p, args))
 }
 
@@ -153,7 +156,11 @@ fn arb_clause() -> impl Strategy<Value = Clause> {
                     }
                 })
                 .collect();
-            Clause { head, body, negative_body }
+            Clause {
+                head,
+                body,
+                negative_body,
+            }
         })
 }
 

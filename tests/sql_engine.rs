@@ -14,17 +14,31 @@ fn bulk_load_survives_buffer_pressure() {
     // A pool of 4 frames (16 KiB) against ~100 KiB of data forces steady
     // eviction; results must be unaffected.
     let mut e = Engine::with_pool_size(4);
-    e.execute("CREATE TABLE big (id integer, payload char)").unwrap();
+    e.execute("CREATE TABLE big (id integer, payload char)")
+        .unwrap();
     let rows: Vec<Vec<Value>> = (0..2000)
-        .map(|i| vec![Value::Int(i), Value::from(format!("row-{i:04}-{}", "x".repeat(30)))])
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::from(format!("row-{i:04}-{}", "x".repeat(30))),
+            ]
+        })
         .collect();
     e.insert_rows("big", rows).unwrap();
     assert_eq!(e.table_len("big").unwrap(), 2000);
-    let rs = e.execute("SELECT COUNT(*) FROM big WHERE id >= 1000").unwrap();
+    let rs = e
+        .execute("SELECT COUNT(*) FROM big WHERE id >= 1000")
+        .unwrap();
     assert_eq!(rs.scalar_int(), Some(1000));
     let stats = e.stats();
-    assert!(stats.buffer.evictions > 0, "pool pressure actually occurred");
-    assert!(stats.disk.pages_written > 0, "dirty pages were written back");
+    assert!(
+        stats.buffer.evictions > 0,
+        "pool pressure actually occurred"
+    );
+    assert!(
+        stats.disk.pages_written > 0,
+        "dirty pages were written back"
+    );
 }
 
 #[test]
@@ -53,7 +67,8 @@ fn join_pipeline_with_indexes_and_temp_tables() {
     );
 
     // Materialize through a temp table, then set-subtract.
-    e.execute("CREATE TEMP TABLE engineers (name char)").unwrap();
+    e.execute("CREATE TEMP TABLE engineers (name char)")
+        .unwrap();
     e.execute(
         "INSERT INTO engineers SELECT e.name FROM emp e, dept d \
          WHERE e.dept = d.id AND d.title = 'eng'",
@@ -90,7 +105,9 @@ fn self_join_chain_of_four() {
     e.execute("CREATE TABLE g (s integer, t integer)").unwrap();
     e.insert_rows(
         "g",
-        (0..6).map(|i| vec![Value::Int(i), Value::Int(i + 1)]).collect(),
+        (0..6)
+            .map(|i| vec![Value::Int(i), Value::Int(i + 1)])
+            .collect(),
     )
     .unwrap();
     let rs = e
@@ -111,10 +128,13 @@ fn index_maintenance_under_churn() {
     for round in 0..5 {
         e.insert_rows(
             "t",
-            (0..100).map(|i| vec![Value::Int(i), Value::from(format!("r{round}"))]).collect(),
+            (0..100)
+                .map(|i| vec![Value::Int(i), Value::from(format!("r{round}"))])
+                .collect(),
         )
         .unwrap();
-        e.execute(&format!("DELETE FROM t WHERE v = 'r{round}' AND k >= 50")).unwrap();
+        e.execute(&format!("DELETE FROM t WHERE v = 'r{round}' AND k >= 50"))
+            .unwrap();
     }
     // 5 rounds x 50 surviving rows.
     assert_eq!(e.table_len("t").unwrap(), 250);
@@ -144,7 +164,8 @@ fn arb_rows() -> impl Strategy<Value = Vec<Row>> {
 
 fn load(rows: &[Row]) -> Engine {
     let mut e = Engine::new();
-    e.execute("CREATE TABLE t (a integer, b integer, s char)").unwrap();
+    e.execute("CREATE TABLE t (a integer, b integer, s char)")
+        .unwrap();
     e.insert_rows(
         "t",
         rows.iter()

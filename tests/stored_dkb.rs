@@ -27,7 +27,8 @@ fn staged_commits_compose() {
     s.commit_workspace().unwrap();
     s.workspace_mut().clear();
     // Stage 2 builds on stage 1.
-    s.load_rules("kin(X, Y) :- anc(X, Y).\nkin(X, Y) :- anc(Y, X).\n").unwrap();
+    s.load_rules("kin(X, Y) :- anc(X, Y).\nkin(X, Y) :- anc(Y, X).\n")
+        .unwrap();
     s.commit_workspace().unwrap();
     s.workspace_mut().clear();
     // Stage 3 builds on stage 2.
@@ -37,7 +38,11 @@ fn staged_commits_compose() {
 
     let (compiled, result) = s.query("?- related(W).").unwrap();
     assert_eq!(compiled.relevant_rules, 5, "all three stages extracted");
-    assert_eq!(result.rows.len(), 9, "a0 is kin to everyone else on the chain");
+    assert_eq!(
+        result.rows.len(),
+        9,
+        "a0 is kin to everyone else on the chain"
+    );
 }
 
 #[test]
@@ -45,8 +50,13 @@ fn closure_growth_is_monotone_across_commits() {
     let mut s = base_session(SessionConfig::default());
     let mut previous = 0;
     for stage in 0..4 {
-        let body = if stage == 0 { "parent".to_string() } else { format!("lvl{}", stage - 1) };
-        s.load_rules(&format!("lvl{stage}(X, Y) :- {body}(X, Y).\n")).unwrap();
+        let body = if stage == 0 {
+            "parent".to_string()
+        } else {
+            format!("lvl{}", stage - 1)
+        };
+        s.load_rules(&format!("lvl{stage}(X, Y) :- {body}(X, Y).\n"))
+            .unwrap();
         s.commit_workspace().unwrap();
         s.workspace_mut().clear();
         let stored = s.stored().clone();
@@ -77,7 +87,10 @@ fn source_only_configuration_still_answers_queries() {
     s.commit_workspace().unwrap();
     s.workspace_mut().clear();
     let (compiled, result) = s.query("?- anc(a0, W).").unwrap();
-    assert_eq!(compiled.relevant_rules, 2, "iterative extraction finds the rules");
+    assert_eq!(
+        compiled.relevant_rules, 2,
+        "iterative extraction finds the rules"
+    );
     assert_eq!(result.rows.len(), 9);
 }
 
@@ -108,9 +121,13 @@ fn workspace_shadows_nothing_stored_rules_accumulate() {
     s.commit_workspace().unwrap();
     s.workspace_mut().clear();
     // The recursive rule lives only in the workspace: both must be used.
-    s.load_rules("anc(X, Y) :- parent(X, Z), anc(Z, Y).\n").unwrap();
+    s.load_rules("anc(X, Y) :- parent(X, Z), anc(Z, Y).\n")
+        .unwrap();
     let (compiled, result) = s.query("?- anc(a0, W).").unwrap();
-    assert_eq!(compiled.relevant_rules, 2, "one stored + one workspace rule");
+    assert_eq!(
+        compiled.relevant_rules, 2,
+        "one stored + one workspace rule"
+    );
     assert_eq!(result.rows.len(), 9);
 }
 
@@ -186,11 +203,8 @@ fn query_sees_base_data_loaded_after_commit() {
     let (_, before) = s.query("?- anc(a0, W).").unwrap();
     // New facts arrive later; compiled queries against the same session
     // re-read the base relation at execution time.
-    s.load_facts(
-        "parent",
-        vec![vec![Value::from("a9"), Value::from("a10")]],
-    )
-    .unwrap();
+    s.load_facts("parent", vec![vec![Value::from("a9"), Value::from("a10")]])
+        .unwrap();
     let (_, after) = s.query("?- anc(a0, W).").unwrap();
     assert_eq!(after.rows.len(), before.rows.len() + 1);
 }

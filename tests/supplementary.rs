@@ -28,11 +28,15 @@ fn same_generation_gets_supplementaries() {
     let texts: Vec<String> = rw.program.clauses.iter().map(|c| c.to_string()).collect();
     // sup_0 from the magic guard, sup chain through the prefix.
     assert!(
-        texts.iter().any(|t| t.starts_with("sup1_0_sg__bf(X) :- m_sg__bf(X).")),
+        texts
+            .iter()
+            .any(|t| t.starts_with("sup1_0_sg__bf(X) :- m_sg__bf(X).")),
         "sup_0 present: {texts:#?}"
     );
     assert!(
-        texts.iter().any(|t| t.contains("sup1_1_sg__bf") && t.contains("up(X, U)")),
+        texts
+            .iter()
+            .any(|t| t.contains("sup1_1_sg__bf") && t.contains("up(X, U)")),
         "sup_1 joins the prefix: {texts:#?}"
     );
     // The magic rule reads the supplementary, not the raw prefix. (sup_1
@@ -58,12 +62,14 @@ fn single_atom_bodies_fall_back_to_plain_magic() {
     let plain = magic_rewrite(&p, &q, &derived(&["anc"]));
     let sup = supplementary_magic_rewrite(&p, &q, &derived(&["anc"]));
     // The exit rule (1 body atom) must be identical in both rewrites.
-    let plain_texts: BTreeSet<String> =
-        plain.program.clauses.iter().map(|c| c.to_string()).collect();
-    assert!(plain_texts
-        .contains("anc__bf(X, Y) :- m_anc__bf(X), parent(X, Y)."));
-    let sup_texts: BTreeSet<String> =
-        sup.program.clauses.iter().map(|c| c.to_string()).collect();
+    let plain_texts: BTreeSet<String> = plain
+        .program
+        .clauses
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
+    assert!(plain_texts.contains("anc__bf(X, Y) :- m_anc__bf(X), parent(X, Y)."));
+    let sup_texts: BTreeSet<String> = sup.program.clauses.iter().map(|c| c.to_string()).collect();
     assert!(sup_texts.contains("anc__bf(X, Y) :- m_anc__bf(X), parent(X, Y)."));
 }
 
@@ -191,5 +197,8 @@ fn supplementary_reduces_tuple_work_on_wide_bodies() {
     // Both are correct; the structural claim is that the supplementary
     // program materializes the prefix once (visible as sup tables).
     let listing = supp_s.explain(query).unwrap().join("\n");
-    assert!(listing.contains("sup1_1_sg__bf"), "sup chain in program:\n{listing}");
+    assert!(
+        listing.contains("sup1_1_sg__bf"),
+        "sup chain in program:\n{listing}"
+    );
 }

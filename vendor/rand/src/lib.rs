@@ -1,0 +1,177 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the tiny slice of the rand 0.9 API it actually uses:
+//! [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`], integer
+//! [`Rng::random_range`], and [`seq::SliceRandom::shuffle`]. Generation is
+//! fully deterministic per seed (splitmix64), which is all the workload
+//! generators require — they assert seed-stability, not any particular
+//! stream.
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `u64` convenience constructor is needed).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that can be drawn uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_between(rng: &mut dyn RngCore, lo: Self, hi_inclusive: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(rng: &mut dyn RngCore, lo: Self, hi_inclusive: Self) -> Self {
+                debug_assert!(lo <= hi_inclusive, "empty sample range");
+                // Span fits in u128 for every supported integer width; the
+                // modulo bias is irrelevant for test workload generation.
+                let span = (hi_inclusive as i128 - lo as i128) as u128 + 1;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + r) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform + One> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(self) -> (T, T) {
+        (self.start, self.end.minus_one())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        self.into_inner()
+    }
+}
+
+/// Helper so half-open ranges can be converted to inclusive bounds.
+pub trait One {
+    fn minus_one(self) -> Self;
+}
+
+macro_rules! impl_one {
+    ($($t:ty),*) => {$(
+        impl One for $t {
+            fn minus_one(self) -> Self { self - 1 }
+        }
+    )*};
+}
+impl_one!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing generation interface.
+pub trait Rng: RngCore + Sized {
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        T::sample_between(self, lo, hi)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Fisher–Yates shuffle, matching the call shape of rand's trait.
+    pub trait SliceRandom {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}
