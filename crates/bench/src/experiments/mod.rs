@@ -12,6 +12,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod optimizers;
+pub mod prepared;
 pub mod table4;
 pub mod table5;
 pub mod table8;
@@ -42,4 +43,5 @@ pub const ALL: &[(&str, fn())] = &[
     ("wal", wal::run),
     ("datasets", datasets::run),
     ("optimizers", optimizers::run),
+    ("prepared", prepared::run),
 ];

@@ -1,0 +1,176 @@
+//! Prepared-statement ablation — the Figure 11 tree workload evaluated with
+//! the embedded-SQL loop (`SessionConfig::prepared_sql`) on and off.
+//!
+//! The paper's Run Time Library compiles every embedded SQL statement once
+//! and re-executes the compiled form each LFP iteration; the unprepared
+//! path re-parses and re-plans the same strings every iteration instead.
+//! This experiment reports the wall-time difference, proves the answers are
+//! identical, and shows the plan-cache counters (statements compile once
+//! per LFP call, then hit the cache).
+//!
+//! Besides the printed table, it writes `BENCH_lfp.json` to the current
+//! directory: the per-workload LFP breakdown (`t_eval_rhs`,
+//! `t_termination`, `t_temp_tables`) in machine-readable form for CI
+//! trend-tracking.
+
+use crate::{f3, ms, print_table, tree_session_configured};
+use km::session::{QueryResult, Session, SessionConfig};
+use km::{LfpBreakdown, LfpStrategy};
+use rdbms::Value;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+struct Run {
+    wall: Duration,
+    breakdown: LfpBreakdown,
+    rows: Vec<Vec<Value>>,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+    tuples_scanned: u64,
+    index_probes: u64,
+    parse_ms: f64,
+    plan_ms: f64,
+}
+
+/// Execute the compiled query `n` times on one session and keep the run
+/// with the smallest wall time (same noise-stripping as
+/// [`crate::experiments::min_of`], but retaining the full result).
+fn best_run(session: &mut Session, n: usize, query: &str) -> Run {
+    let compiled = session.compile(query).expect("compile");
+    let mut best: Option<QueryResult> = None;
+    for _ in 0..n.max(1) {
+        let r = session.execute(&compiled).expect("execute");
+        if best.as_ref().map_or(true, |b| r.t_execute < b.t_execute) {
+            best = Some(r);
+        }
+    }
+    let best = best.expect("n >= 1");
+    let stats = session.engine().stats();
+    let mut rows = best.rows;
+    rows.sort();
+    Run {
+        wall: best.t_execute,
+        breakdown: best.outcome.breakdown,
+        rows,
+        plan_cache_hits: stats.exec.plan_cache_hits,
+        plan_cache_misses: stats.exec.plan_cache_misses,
+        tuples_scanned: stats.exec.tuples_scanned,
+        index_probes: stats.exec.index_probes,
+        parse_ms: stats.exec.parse_ns as f64 / 1e6,
+        plan_ms: stats.exec.plan_ns as f64 / 1e6,
+    }
+}
+
+fn measure(depth: u32, strategy: LfpStrategy, prepared_sql: bool) -> Run {
+    let mut session = tree_session_configured(
+        depth,
+        SessionConfig {
+            prepared_sql,
+            strategy,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("session");
+    best_run(&mut session, 3, "?- anc(n1, W).")
+}
+
+fn strategy_name(s: LfpStrategy) -> &'static str {
+    match s {
+        LfpStrategy::Naive => "naive",
+        LfpStrategy::SemiNaive => "semi_naive",
+    }
+}
+
+fn json_side(out: &mut String, key: &str, r: &Run) {
+    let b = &r.breakdown;
+    let _ = write!(
+        out,
+        concat!(
+            "      \"{}\": {{\"wall_ms\": {:.3}, \"t_eval_rhs_ms\": {:.3}, ",
+            "\"t_termination_ms\": {:.3}, \"t_temp_tables_ms\": {:.3}, ",
+            "\"iterations\": {}, \"tuples_produced\": {}, ",
+            "\"plan_cache_hits\": {}, \"plan_cache_misses\": {}, ",
+            "\"tuples_scanned\": {}, \"index_probes\": {}, ",
+            "\"parse_ms\": {:.3}, \"plan_ms\": {:.3}}}"
+        ),
+        key,
+        ms(r.wall),
+        ms(b.t_eval_rhs),
+        ms(b.t_termination),
+        ms(b.t_temp_tables),
+        b.iterations,
+        b.tuples_produced,
+        r.plan_cache_hits,
+        r.plan_cache_misses,
+        r.tuples_scanned,
+        r.index_probes,
+        r.parse_ms,
+        r.plan_ms,
+    );
+}
+
+pub fn run() {
+    // Figure 11's tree workload at several sizes; naive is bounded at
+    // depth 8 (it recomputes the whole closure each iteration).
+    let workloads: &[(u32, LfpStrategy)] = &[
+        (8, LfpStrategy::Naive),
+        (8, LfpStrategy::SemiNaive),
+        (10, LfpStrategy::SemiNaive),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json = String::from("{\n  \"experiment\": \"prepared\",\n  \"workloads\": [\n");
+    for (i, &(depth, strategy)) in workloads.iter().enumerate() {
+        let off = measure(depth, strategy, false);
+        let on = measure(depth, strategy, true);
+        assert_eq!(
+            off.rows, on.rows,
+            "prepared and unprepared answers must be identical"
+        );
+        assert_eq!(off.breakdown.tuples_produced, on.breakdown.tuples_produced);
+        let name = format!("fig11-tree-d{depth}-{}", strategy_name(strategy));
+        rows.push(vec![
+            name.clone(),
+            off.rows.len().to_string(),
+            f3(ms(off.wall)),
+            f3(ms(on.wall)),
+            format!("{:.2}x", ms(off.wall) / ms(on.wall).max(1e-9)),
+            format!("{}/{}", on.plan_cache_hits, on.plan_cache_misses),
+        ]);
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{name}\", \"depth\": {depth}, \"strategy\": \"{}\",\n",
+            strategy_name(strategy)
+        );
+        json_side(&mut json, "unprepared", &off);
+        json.push_str(",\n");
+        json_side(&mut json, "prepared", &on);
+        let _ = write!(
+            json,
+            ",\n      \"speedup\": {:.3}\n    }}{}\n",
+            ms(off.wall) / ms(on.wall).max(1e-9),
+            if i + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    print_table(
+        "Prepared-statement ablation: LFP wall time, prepared SQL off vs on",
+        &[
+            "workload",
+            "answers",
+            "unprepared(ms)",
+            "prepared(ms)",
+            "speedup",
+            "hits/misses",
+        ],
+        &rows,
+    );
+    println!("hits/misses are the prepared run's plan-cache counters: each LFP");
+    println!("statement is planned once (a miss), then re-executed from cache.");
+
+    match std::fs::write("BENCH_lfp.json", &json) {
+        Ok(()) => println!("Wrote BENCH_lfp.json."),
+        Err(e) => eprintln!("could not write BENCH_lfp.json: {e}"),
+    }
+}

@@ -111,6 +111,30 @@ fn create_table_sql(name: &str, types: &[AttrType]) -> String {
     format!("CREATE TEMP TABLE {name} ({})", cols.join(", "))
 }
 
+/// Server-side "rows of `new` not yet in `all`, appended to `target`".
+/// The `NOT EXISTS` form correlates on every column, so with the matching
+/// full-key index (see [`term_index_sql`]) the engine probes the
+/// accumulated table once per candidate row instead of re-scanning and
+/// re-hashing all of it every iteration — the probe is what keeps the
+/// prepared termination check cheap as the fixpoint grows.
+fn termination_sql(target: &str, new: &str, all: &str, arity: usize) -> String {
+    if arity == 0 {
+        return format!("INSERT INTO {target} SELECT * FROM {new} EXCEPT SELECT * FROM {all}");
+    }
+    let on: Vec<String> = (0..arity).map(|i| format!("a.c{i} = n.c{i}")).collect();
+    format!(
+        "INSERT INTO {target} SELECT DISTINCT * FROM {new} n \
+         WHERE NOT EXISTS (SELECT * FROM {all} a WHERE {})",
+        on.join(" AND ")
+    )
+}
+
+/// Full-key index on an accumulated table, backing [`termination_sql`].
+fn term_index_sql(all: &str, arity: usize) -> String {
+    let cols: Vec<String> = (0..arity).map(|i| format!("c{i}")).collect();
+    format!("CREATE INDEX {all}_term ON {all} ({})", cols.join(", "))
+}
+
 fn dedup(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
     rows.sort();
     rows.dedup();
@@ -135,6 +159,22 @@ pub fn run_program_with(
     prog: &EvalProgram,
     strategy: LfpStrategy,
     special_tc: bool,
+) -> Result<EvalOutcome, KmError> {
+    run_program_opts(db, prog, strategy, special_tc, true)
+}
+
+/// The full-knob entry point: `prepared_sql` selects between the
+/// embedded-SQL style (each clique's per-iteration statements are prepared
+/// once and re-executed as handles, temp tables recycled with TRUNCATE) and
+/// the original string-per-statement loop that re-parses and re-plans every
+/// iteration. Both produce identical answers; the ablation in the bench
+/// harness measures the difference.
+pub fn run_program_opts(
+    db: &mut Engine,
+    prog: &EvalProgram,
+    strategy: LfpStrategy,
+    special_tc: bool,
+    prepared_sql: bool,
 ) -> Result<EvalOutcome, KmError> {
     let start = Instant::now();
     let mut breakdown = LfpBreakdown::default();
@@ -198,12 +238,18 @@ pub fn run_program_with(
                     .iter()
                     .map(|p| (p.as_str(), prog.tables[p].as_slice()))
                     .collect();
-                match strategy {
-                    LfpStrategy::Naive => {
+                match (strategy, prepared_sql) {
+                    (LfpStrategy::Naive, false) => {
                         eval_clique_naive(db, &types, exit_rules, recursive_rules)?
                     }
-                    LfpStrategy::SemiNaive => {
+                    (LfpStrategy::SemiNaive, false) => {
                         eval_clique_seminaive(db, &types, exit_rules, recursive_rules)?
+                    }
+                    (LfpStrategy::Naive, true) => {
+                        eval_clique_naive_prepared(db, &types, exit_rules, recursive_rules)?
+                    }
+                    (LfpStrategy::SemiNaive, true) => {
+                        eval_clique_seminaive_prepared(db, &types, exit_rules, recursive_rules)?
                     }
                 }
             }
@@ -449,6 +495,282 @@ fn eval_clique_seminaive(
     }
 }
 
+/// Naive LFP in embedded-SQL style: the candidate tables are created once
+/// and recycled with TRUNCATE, every per-iteration statement is prepared
+/// once (parse + plan) before the loop, and the termination check folds the
+/// genuinely new tuples into the accumulated table server-side — only the
+/// affected count crosses the SQL boundary. Novelty is decided by probing
+/// a full-key index on the accumulated table ([`termination_sql`]), not by
+/// re-scanning it.
+fn eval_clique_naive_prepared(
+    db: &mut Engine,
+    types: &BTreeMap<&str, &[AttrType]>,
+    exit_rules: &[RuleSql],
+    recursive_rules: &[RuleSql],
+) -> Result<LfpBreakdown, KmError> {
+    let mut b = LfpBreakdown::default();
+
+    // Candidate tables, created once for the whole fixpoint, plus the
+    // full-key index each termination check probes.
+    timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
+        for (p, tys) in types {
+            db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(p)))?;
+            db.execute(&create_table_sql(&new_table(p), tys))?;
+            if !tys.is_empty() {
+                db.execute(&term_index_sql(&all_table(p), tys.len()))?;
+            }
+        }
+        Ok(())
+    })?;
+    b.n_temp_ops += 3 * types.len() as u64;
+
+    // Compile every per-iteration statement once. All DDL for this clique
+    // is done, so the cached plans stay valid across the loop (TRUNCATE
+    // does not invalidate them).
+    let preds: Vec<&str> = types.keys().copied().collect();
+    let mut eval_stmts = Vec::new();
+    let t = Instant::now();
+    for rule in exit_rules.iter().chain(recursive_rules) {
+        eval_stmts.push(db.prepare(&format!(
+            "INSERT INTO {} {}",
+            new_table(&rule.head_pred),
+            rule.full_sql
+        ))?);
+    }
+    b.t_eval_rhs += t.elapsed();
+    let mut trunc_stmts = Vec::new();
+    let t = Instant::now();
+    for p in &preds {
+        trunc_stmts.push(db.prepare(&format!("TRUNCATE TABLE {}", new_table(p)))?);
+    }
+    b.t_temp_tables += t.elapsed();
+    let mut term_stmts = Vec::new();
+    let t = Instant::now();
+    for (p, tys) in types {
+        term_stmts.push(db.prepare(&termination_sql(
+            &all_table(p),
+            &new_table(p),
+            &all_table(p),
+            tys.len(),
+        ))?);
+    }
+    b.t_termination += t.elapsed();
+
+    loop {
+        b.iterations += 1;
+
+        // Recycle the candidate tables.
+        timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
+            for id in &trunc_stmts {
+                db.execute_prepared(*id, &[])?;
+            }
+            Ok(())
+        })?;
+        b.n_temp_ops += trunc_stmts.len() as u64;
+
+        // Recompute the full RHS: exit rules and recursive rules alike.
+        let t = Instant::now();
+        for id in &eval_stmts {
+            db.execute_prepared(*id, &[])?;
+            b.n_eval_stmts += 1;
+        }
+        b.t_eval_rhs += t.elapsed();
+
+        // Termination check + fold in one server-side statement per
+        // predicate.
+        let mut new_tuples = 0;
+        let t = Instant::now();
+        for id in &term_stmts {
+            let rs = db.execute_prepared(*id, &[])?;
+            b.n_term_checks += 1;
+            new_tuples += rs.affected;
+        }
+        b.t_termination += t.elapsed();
+        b.tuples_produced += new_tuples;
+
+        if new_tuples == 0 {
+            break;
+        }
+    }
+
+    // Drop the recycled temporaries and release the handles.
+    timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
+        for p in &preds {
+            db.execute(&format!("DROP TABLE {}", new_table(p)))?;
+        }
+        Ok(())
+    })?;
+    b.n_temp_ops += preds.len() as u64;
+    for id in eval_stmts.into_iter().chain(trunc_stmts).chain(term_stmts) {
+        db.deallocate(id)?;
+    }
+    Ok(b)
+}
+
+/// Semi-naive LFP in embedded-SQL style. Candidate and delta tables are
+/// created once and recycled with TRUNCATE; the delta variants, the
+/// termination check and the delta-fold are prepared once before the loop.
+/// The termination check ([`termination_sql`]) inserts the genuinely new
+/// tuples straight into the next delta via an index-probing `NOT EXISTS`
+/// anti-join — only their count crosses the SQL boundary, instead of the
+/// tuples being materialized in the client and re-inserted row by row.
+fn eval_clique_seminaive_prepared(
+    db: &mut Engine,
+    types: &BTreeMap<&str, &[AttrType]>,
+    exit_rules: &[RuleSql],
+    recursive_rules: &[RuleSql],
+) -> Result<LfpBreakdown, KmError> {
+    let mut b = LfpBreakdown::default();
+
+    // Exit rules populate the accumulated tables (single-shot statements).
+    let t = Instant::now();
+    for rule in exit_rules {
+        b.tuples_produced += insert_new(db, &all_table(&rule.head_pred), &rule.full_sql)?;
+        b.n_eval_stmts += 1;
+    }
+    b.t_eval_rhs += t.elapsed();
+
+    // Candidate and delta tables, created once for the whole fixpoint,
+    // plus the full-key index each termination check probes.
+    timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
+        for (p, tys) in types {
+            db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(p)))?;
+            db.execute(&create_table_sql(&new_table(p), tys))?;
+            db.execute(&format!("DROP TABLE IF EXISTS {}", delta_table(p)))?;
+            db.execute(&create_table_sql(&delta_table(p), tys))?;
+            if !tys.is_empty() {
+                db.execute(&term_index_sql(&all_table(p), tys.len()))?;
+            }
+        }
+        Ok(())
+    })?;
+    b.n_temp_ops += 5 * types.len() as u64;
+
+    // delta := current accumulated contents (exit results + seeds).
+    let t = Instant::now();
+    for p in types.keys() {
+        db.execute(&format!(
+            "INSERT INTO {} SELECT * FROM {}",
+            delta_table(p),
+            all_table(p)
+        ))?;
+        b.n_eval_stmts += 1;
+    }
+    b.t_eval_rhs += t.elapsed();
+
+    // Compile every per-iteration statement once.
+    let preds: Vec<&str> = types.keys().copied().collect();
+    let mut eval_stmts = Vec::new();
+    let t = Instant::now();
+    for rule in recursive_rules {
+        for variant in &rule.delta_variants {
+            eval_stmts.push(db.prepare(&format!(
+                "INSERT INTO {} {variant}",
+                new_table(&rule.head_pred)
+            ))?);
+        }
+    }
+    b.t_eval_rhs += t.elapsed();
+    let mut trunc_new = Vec::new();
+    let mut trunc_delta = Vec::new();
+    let t = Instant::now();
+    for p in &preds {
+        trunc_new.push(db.prepare(&format!("TRUNCATE TABLE {}", new_table(p)))?);
+        trunc_delta.push(db.prepare(&format!("TRUNCATE TABLE {}", delta_table(p)))?);
+    }
+    b.t_temp_tables += t.elapsed();
+    let mut term_stmts = Vec::new();
+    let mut fold_stmts = Vec::new();
+    let t = Instant::now();
+    for (p, tys) in types {
+        term_stmts.push(db.prepare(&termination_sql(
+            &delta_table(p),
+            &new_table(p),
+            &all_table(p),
+            tys.len(),
+        ))?);
+        fold_stmts.push(db.prepare(&format!(
+            "INSERT INTO {} SELECT * FROM {}",
+            all_table(p),
+            delta_table(p)
+        ))?);
+    }
+    b.t_termination += t.elapsed();
+
+    loop {
+        b.iterations += 1;
+
+        // Recycle the candidate tables, then evaluate the differential of
+        // each recursive rule against the previous delta.
+        timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
+            for id in &trunc_new {
+                db.execute_prepared(*id, &[])?;
+            }
+            Ok(())
+        })?;
+        b.n_temp_ops += trunc_new.len() as u64;
+
+        let t = Instant::now();
+        for id in &eval_stmts {
+            db.execute_prepared(*id, &[])?;
+            b.n_eval_stmts += 1;
+        }
+        b.t_eval_rhs += t.elapsed();
+
+        // Recycle the delta, then refill it with exactly the new tuples —
+        // the server-side termination check.
+        timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
+            for id in &trunc_delta {
+                db.execute_prepared(*id, &[])?;
+            }
+            Ok(())
+        })?;
+        b.n_temp_ops += trunc_delta.len() as u64;
+
+        let mut new_tuples = 0;
+        let t = Instant::now();
+        for id in &term_stmts {
+            let rs = db.execute_prepared(*id, &[])?;
+            b.n_term_checks += 1;
+            new_tuples += rs.affected;
+        }
+        b.t_termination += t.elapsed();
+
+        if new_tuples == 0 {
+            break;
+        }
+
+        // Fold the delta into the accumulated tables.
+        let t = Instant::now();
+        for id in &fold_stmts {
+            let rs = db.execute_prepared(*id, &[])?;
+            b.n_eval_stmts += 1;
+            b.tuples_produced += rs.affected;
+        }
+        b.t_eval_rhs += t.elapsed();
+    }
+
+    // Drop the recycled temporaries and release the handles.
+    timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
+        for p in &preds {
+            db.execute(&format!("DROP TABLE {}", new_table(p)))?;
+            db.execute(&format!("DROP TABLE {}", delta_table(p)))?;
+        }
+        Ok(())
+    })?;
+    b.n_temp_ops += 2 * preds.len() as u64;
+    for id in eval_stmts
+        .into_iter()
+        .chain(trunc_new)
+        .chain(trunc_delta)
+        .chain(term_stmts)
+        .chain(fold_stmts)
+    {
+        db.deallocate(id)?;
+    }
+    Ok(b)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,6 +950,66 @@ mod tests {
         let prog = compile(&program, &db);
         let out = run_program(&mut db, &prog, LfpStrategy::SemiNaive).unwrap();
         assert!(out.rows.is_empty());
+    }
+
+    #[test]
+    fn prepared_and_unprepared_lfp_agree() {
+        let (program, _) = ancestor_program("?- anc(A, B).");
+        for strategy in [LfpStrategy::Naive, LfpStrategy::SemiNaive] {
+            let mut db_p = chain_engine(8);
+            let prog = compile(&program, &db_p);
+            let prepared = run_program_opts(&mut db_p, &prog, strategy, false, true).unwrap();
+            let mut db_u = chain_engine(8);
+            let unprepared = run_program_opts(&mut db_u, &prog, strategy, false, false).unwrap();
+            assert_eq!(
+                prepared.rows, unprepared.rows,
+                "{strategy:?}: answers must be byte-identical"
+            );
+            assert_eq!(prepared.rows.len(), 28, "C(8,2) ancestor pairs");
+            assert_eq!(
+                prepared.breakdown.tuples_produced,
+                unprepared.breakdown.tuples_produced
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_lfp_compiles_statements_once() {
+        let mut db = chain_engine(8);
+        let (program, _) = ancestor_program("?- anc(A, B).");
+        let prog = compile(&program, &db);
+        let out = run_program(&mut db, &prog, LfpStrategy::SemiNaive).unwrap();
+        assert!(out.breakdown.iterations >= 6);
+        let stats = db.stats().exec;
+        // One clique over `anc` with one delta variant: the eval statement,
+        // the termination INSERT…EXCEPT and the delta-fold each plan
+        // exactly once; every later iteration is a cache hit.
+        assert_eq!(
+            stats.plan_cache_misses, 3,
+            "statements compile once per LFP call"
+        );
+        // Eval and termination run every iteration, the fold on all but the
+        // last: everything after the first round hits the cache.
+        assert_eq!(
+            stats.plan_cache_hits,
+            2 * out.breakdown.iterations + (out.breakdown.iterations - 1) - 3,
+            "every re-execution reuses its cached plan"
+        );
+    }
+
+    #[test]
+    fn prepared_lfp_recycles_temp_tables() {
+        let mut db = chain_engine(6);
+        let created_before = db.stats().tables_created;
+        let (program, _) = ancestor_program("?- anc(A, B).");
+        let prog = compile(&program, &db);
+        let out = run_program(&mut db, &prog, LfpStrategy::SemiNaive).unwrap();
+        let per_run = db.stats().tables_created - created_before;
+        // d_anc, d__query, new_anc, delta_anc: one CREATE each, regardless
+        // of iteration count — the unprepared path would create new/delta
+        // tables every iteration.
+        assert_eq!(per_run, 4, "temp tables are recycled, not recreated");
+        assert!(out.breakdown.iterations >= 5);
     }
 
     #[test]

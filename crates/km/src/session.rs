@@ -5,7 +5,7 @@
 
 use crate::codegen::{generate, CodegenEnv, EvalProgram};
 use crate::magic::magic_rewrite;
-use crate::runtime::{run_program_with, EvalOutcome, LfpStrategy};
+use crate::runtime::{run_program_opts, EvalOutcome, LfpStrategy};
 use crate::semantics;
 use crate::stored::{KmError, StoredDkb};
 use crate::update::{update_stored, UpdateTimings};
@@ -39,6 +39,12 @@ pub struct SessionConfig {
     /// either fully pre- or fully post-update. Off by default: without it
     /// the engine's I/O path is byte-for-byte the original one.
     pub durability: bool,
+    /// Issue the LFP loop's per-iteration SQL as prepared statements
+    /// (compile once per fixpoint call, recycle temp tables with TRUNCATE,
+    /// server-side termination check) instead of re-parsing strings every
+    /// iteration. On by default; the bench harness turns it off for the
+    /// ablation.
+    pub prepared_sql: bool,
 }
 
 impl Default for SessionConfig {
@@ -50,6 +56,7 @@ impl Default for SessionConfig {
             special_tc: false,
             supplementary: false,
             durability: false,
+            prepared_sql: true,
         }
     }
 }
@@ -391,11 +398,12 @@ impl Session {
         // Run without cloning the program: the prepared map and the engine
         // are disjoint fields.
         let entry = &self.prepared[name];
-        let mut outcome = run_program_with(
+        let mut outcome = run_program_opts(
             &mut self.db,
             &entry.compiled.program,
             self.config.strategy,
             self.config.special_tc,
+            self.config.prepared_sql,
         )?;
         let rows = std::mem::take(&mut outcome.rows);
         Ok(QueryResult {
@@ -618,11 +626,12 @@ impl Session {
 
     /// Execute a compiled query.
     pub fn execute(&mut self, compiled: &CompiledQuery) -> Result<QueryResult, KmError> {
-        let mut outcome = run_program_with(
+        let mut outcome = run_program_opts(
             &mut self.db,
             &compiled.program,
             self.config.strategy,
             self.config.special_tc,
+            self.config.prepared_sql,
         )?;
         let rows = std::mem::take(&mut outcome.rows);
         Ok(QueryResult {

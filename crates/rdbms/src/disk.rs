@@ -559,6 +559,20 @@ impl Disk {
         }
     }
 
+    /// Discard every page of `file` but keep the file itself alive (the
+    /// TRUNCATE fast path). Truncation is not WAL-logged, so callers must
+    /// not invoke this inside a transaction — the engine falls back to
+    /// logged per-row deletes there.
+    pub fn truncate_file(&mut self, file: FileId) -> Result<(), DbError> {
+        self.check_crashed()?;
+        debug_assert!(
+            self.active_txn.is_none(),
+            "truncate_file is not transactional"
+        );
+        self.file_mut(file).clear();
+        Ok(())
+    }
+
     fn file(&self, file: FileId) -> &Vec<Box<[u8]>> {
         self.files[file.0 as usize]
             .as_ref()

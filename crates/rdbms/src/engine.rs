@@ -10,11 +10,13 @@ use crate::catalog::{Catalog, DbError, Table};
 use crate::disk::{Disk, DiskStats, FaultInjector, RecoveryReport};
 use crate::exec::{execute_plan, ExecCtx, ExecStats};
 use crate::heap::RecordId;
-use crate::plan::{output_types, plan_query, PlannedQuery};
+use crate::plan::{output_types, plan_query, ExecCond, PlannedQuery};
 use crate::schema::{serialize_tuple, Schema, Tuple};
-use crate::sql::ast::{Condition, Query, Stmt};
-use crate::sql::parser::{parse_script, parse_stmt};
+use crate::sql::ast::{CmpOp, ColRef, Condition, Query, Scalar, SelectItem, Stmt};
+use crate::sql::parser::{parse_script, parse_stmt, parse_stmt_params};
 use crate::value::Value;
+use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Result of one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +96,21 @@ struct TxnState {
     ops: Vec<TxnOp>,
 }
 
+/// Handle to a statement compiled with [`Engine::prepare`]. The paper's Run
+/// Time Library is an embedded-SQL program — statements compile once and
+/// execute many times — and this is that seam: the LFP runtime prepares its
+/// per-rule SQL once per fixpoint call and re-executes the handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StmtId(u64);
+
+/// A prepared statement: the parsed AST plus, for query-bearing statements,
+/// the physical plan cached under the catalog epoch it was built against.
+struct PreparedStmt {
+    stmt: Stmt,
+    n_params: usize,
+    plan: Option<(u64, PlannedQuery)>,
+}
+
 /// The in-process relational engine.
 pub struct Engine {
     disk: Disk,
@@ -104,6 +121,12 @@ pub struct Engine {
     tables_created: u64,
     tables_dropped: u64,
     txn: Option<TxnState>,
+    /// Bumped on every catalog change (CREATE/DROP table or index, rollback,
+    /// recovery); cached plans tagged with an older epoch are re-planned
+    /// before use. TRUNCATE does not bump it: schemas and indexes survive.
+    catalog_epoch: u64,
+    prepared: BTreeMap<u64, PreparedStmt>,
+    next_stmt_id: u64,
 }
 
 impl Default for Engine {
@@ -127,6 +150,9 @@ impl Engine {
             tables_created: 0,
             tables_dropped: 0,
             txn: None,
+            catalog_epoch: 0,
+            prepared: BTreeMap::new(),
+            next_stmt_id: 0,
         }
     }
 
@@ -238,6 +264,7 @@ impl Engine {
 
     /// Reverse the catalog-level actions of a transaction, newest first.
     fn undo_catalog(&mut self, state: TxnState) {
+        self.catalog_epoch += 1;
         for op in state.ops.into_iter().rev() {
             match op {
                 TxnOp::Created(name) => {
@@ -275,23 +302,151 @@ impl Engine {
 
     /// Execute one SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<ResultSet, DbError> {
-        let stmt = parse_stmt(sql)?;
-        self.run_stmt(&stmt)
+        let t0 = Instant::now();
+        let stmt = parse_stmt(sql);
+        self.exec_stats.parse_ns += t0.elapsed().as_nanos() as u64;
+        self.run_stmt(&stmt?)
     }
 
     /// Execute a semicolon-separated script, returning the last result.
     pub fn execute_script(&mut self, sql: &str) -> Result<ResultSet, DbError> {
-        let stmts = parse_script(sql)?;
+        let t0 = Instant::now();
+        let stmts = parse_script(sql);
+        self.exec_stats.parse_ns += t0.elapsed().as_nanos() as u64;
         let mut last = ResultSet::empty();
-        for stmt in &stmts {
+        for stmt in &stmts? {
             last = self.run_stmt(stmt)?;
         }
         Ok(last)
     }
 
+    // ------------------------------------------------------------------
+    // Prepared statements
+    // ------------------------------------------------------------------
+
+    /// Parse `sql` once and keep the AST for repeated execution. `?`
+    /// placeholders become positional parameters bound at
+    /// [`Engine::execute_prepared`] time; query-bearing statements also get
+    /// their physical plan cached (per catalog epoch) on first execution.
+    pub fn prepare(&mut self, sql: &str) -> Result<StmtId, DbError> {
+        let t0 = Instant::now();
+        let parsed = parse_stmt_params(sql);
+        self.exec_stats.parse_ns += t0.elapsed().as_nanos() as u64;
+        let (stmt, n_params) = parsed?;
+        let id = self.next_stmt_id;
+        self.next_stmt_id += 1;
+        self.prepared.insert(
+            id,
+            PreparedStmt {
+                stmt,
+                n_params,
+                plan: None,
+            },
+        );
+        Ok(StmtId(id))
+    }
+
+    /// Drop a prepared statement and its cached plan.
+    pub fn deallocate(&mut self, id: StmtId) -> Result<(), DbError> {
+        self.prepared
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or_else(|| DbError::Plan(format!("no such prepared statement: {id:?}")))
+    }
+
+    /// Execute a prepared statement with `params` bound to its `?`
+    /// placeholders in parse order. Queries reuse the cached physical plan
+    /// when the catalog epoch still matches; otherwise they re-plan (and
+    /// re-cache) first — a DROP/CREATE of a referenced table can therefore
+    /// never execute a stale plan.
+    pub fn execute_prepared(&mut self, id: StmtId, params: &[Value]) -> Result<ResultSet, DbError> {
+        let (stmt, n_params) = {
+            let e = self
+                .prepared
+                .get(&id.0)
+                .ok_or_else(|| DbError::Plan(format!("no such prepared statement: {id:?}")))?;
+            (e.stmt.clone(), e.n_params)
+        };
+        if params.len() != n_params {
+            return Err(DbError::Plan(format!(
+                "prepared statement expects {n_params} parameter(s), got {}",
+                params.len()
+            )));
+        }
+        self.statements += 1;
+        match &stmt {
+            Stmt::Select(query) => {
+                let planned = self.cached_plan(id, query, None)?;
+                self.execute_planned(&planned, params)
+            }
+            Stmt::InsertSelect { table, query } => {
+                let planned = self.cached_plan(id, query, Some(table))?;
+                let rows = self.execute_planned(&planned, params)?.rows;
+                let n = self.insert_rows(table, rows)?;
+                Ok(ResultSet::dml(n))
+            }
+            Stmt::InsertValues { table, rows } => {
+                let rows = bind_rows(rows, params)?;
+                let n = self.insert_rows(table, rows)?;
+                Ok(ResultSet::dml(n))
+            }
+            Stmt::Delete { table, predicate } => {
+                let bound = bind_conditions(predicate, params)?;
+                let n = self.delete_where(table, &bound)?;
+                Ok(ResultSet::dml(n))
+            }
+            Stmt::Explain(query) => {
+                let planned = self.cached_plan(id, query, None)?;
+                Ok(explain_result(&planned))
+            }
+            other => self.dispatch_stmt(other),
+        }
+    }
+
+    /// Fetch the plan cached for `id` if it was built under the current
+    /// catalog epoch; otherwise (re-)plan, type-check an INSERT SELECT
+    /// target if given, and cache the result under the current epoch.
+    fn cached_plan(
+        &mut self,
+        id: StmtId,
+        query: &Query,
+        insert_target: Option<&str>,
+    ) -> Result<PlannedQuery, DbError> {
+        let epoch = self.catalog_epoch;
+        if let Some((cached_epoch, planned)) =
+            self.prepared.get(&id.0).and_then(|e| e.plan.as_ref())
+        {
+            if *cached_epoch == epoch {
+                self.exec_stats.plan_cache_hits += 1;
+                return Ok(planned.clone());
+            }
+        }
+        self.exec_stats.plan_cache_misses += 1;
+        let t0 = Instant::now();
+        let planned = plan_query(&self.catalog, query);
+        self.exec_stats.plan_ns += t0.elapsed().as_nanos() as u64;
+        let planned = planned?;
+        if let Some(table) = insert_target {
+            self.check_insert_select_types(table, query)?;
+        }
+        if let Some(e) = self.prepared.get_mut(&id.0) {
+            e.plan = Some((epoch, planned.clone()));
+        }
+        Ok(planned)
+    }
+
     /// Execute an already-parsed statement.
     pub fn run_stmt(&mut self, stmt: &Stmt) -> Result<ResultSet, DbError> {
+        if stmt_has_param(stmt) {
+            return Err(DbError::Plan(
+                "statement contains `?` parameters; use prepare/execute_prepared".into(),
+            ));
+        }
         self.statements += 1;
+        self.dispatch_stmt(stmt)
+    }
+
+    fn dispatch_stmt(&mut self, stmt: &Stmt) -> Result<ResultSet, DbError> {
         match stmt {
             Stmt::CreateTable {
                 name,
@@ -307,6 +462,7 @@ impl Engine {
                 self.catalog
                     .create_table(&mut self.disk, name, schema, *temp)?;
                 self.tables_created += 1;
+                self.catalog_epoch += 1;
                 if let Some(txn) = self.txn.as_mut() {
                     txn.ops.push(TxnOp::Created(name.clone()));
                 }
@@ -322,6 +478,7 @@ impl Engine {
                 match result {
                     Ok(()) => {
                         self.tables_dropped += 1;
+                        self.catalog_epoch += 1;
                         Ok(ResultSet::empty())
                     }
                     Err(DbError::NoSuchTable(_)) if *if_exists => Ok(ResultSet::empty()),
@@ -342,36 +499,24 @@ impl Engine {
                     columns,
                     *ordered,
                 )?;
+                self.catalog_epoch += 1;
                 Ok(ResultSet::empty())
             }
             Stmt::DropIndex { name } => {
                 self.catalog.drop_index(name)?;
+                self.catalog_epoch += 1;
                 Ok(ResultSet::empty())
             }
             Stmt::InsertValues { table, rows } => {
-                let n = self.insert_rows(table, rows.clone())?;
+                // run_stmt's parameter guard ensures every scalar is a
+                // literal here.
+                let rows = bind_rows(rows, &[])?;
+                let n = self.insert_rows(table, rows)?;
                 Ok(ResultSet::dml(n))
             }
             Stmt::InsertSelect { table, query } => {
                 // Type-check source against target, then run and load.
-                let src_types = output_types(&self.catalog, query)?;
-                let target = self.catalog.table(table)?;
-                if src_types.len() != target.schema.arity() {
-                    return Err(DbError::Plan(format!(
-                        "INSERT SELECT arity mismatch: query yields {} columns, {} has {}",
-                        src_types.len(),
-                        table,
-                        target.schema.arity()
-                    )));
-                }
-                for (i, ty) in src_types.iter().enumerate() {
-                    let expected = target.schema.column(i).ty;
-                    if *ty != expected {
-                        return Err(DbError::TypeMismatch(format!(
-                            "INSERT SELECT column {i}: query yields {ty}, {table} expects {expected}"
-                        )));
-                    }
-                }
+                self.check_insert_select_types(table, query)?;
                 let rows = self.run_query(query)?.rows;
                 let n = self.insert_rows(table, rows)?;
                 Ok(ResultSet::dml(n))
@@ -384,22 +529,41 @@ impl Engine {
                 let n = self.delete_where(table, predicate)?;
                 Ok(ResultSet::dml(n))
             }
+            Stmt::Truncate { table } => {
+                let n = self.clear_table(table)?;
+                Ok(ResultSet::dml(n))
+            }
             Stmt::Select(query) => self.run_query(query),
             Stmt::Explain(query) => {
-                let planned = plan_query(&self.catalog, query)?;
-                let rows: Vec<Tuple> = planned
-                    .plan
-                    .explain()
-                    .into_iter()
-                    .map(|line| vec![Value::Str(line)])
-                    .collect();
-                Ok(ResultSet {
-                    columns: vec!["plan".to_string()],
-                    rows,
-                    affected: 0,
-                })
+                let t0 = Instant::now();
+                let planned = plan_query(&self.catalog, query);
+                self.exec_stats.plan_ns += t0.elapsed().as_nanos() as u64;
+                Ok(explain_result(&planned?))
             }
         }
+    }
+
+    /// Check that `query`'s output column types match `table`'s schema.
+    fn check_insert_select_types(&self, table: &str, query: &Query) -> Result<(), DbError> {
+        let src_types = output_types(&self.catalog, query)?;
+        let target = self.catalog.table(table)?;
+        if src_types.len() != target.schema.arity() {
+            return Err(DbError::Plan(format!(
+                "INSERT SELECT arity mismatch: query yields {} columns, {} has {}",
+                src_types.len(),
+                table,
+                target.schema.arity()
+            )));
+        }
+        for (i, ty) in src_types.iter().enumerate() {
+            let expected = target.schema.column(i).ty;
+            if *ty != expected {
+                return Err(DbError::TypeMismatch(format!(
+                    "INSERT SELECT column {i}: query yields {ty}, {table} expects {expected}"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// `DROP TABLE` inside a transaction: keep the [`Table`] so rollback
@@ -421,34 +585,55 @@ impl Engine {
 
     /// Plan and execute a query against the current catalog.
     fn run_query(&mut self, query: &Query) -> Result<ResultSet, DbError> {
-        let PlannedQuery { plan, columns } = plan_query(&self.catalog, query)?;
-        let mut ctx = ExecCtx {
-            catalog: &self.catalog,
-            disk: &mut self.disk,
-            pool: &mut self.pool,
-            stats: &mut self.exec_stats,
+        let t0 = Instant::now();
+        let planned = plan_query(&self.catalog, query);
+        self.exec_stats.plan_ns += t0.elapsed().as_nanos() as u64;
+        self.execute_planned(&planned?, &[])
+    }
+
+    /// Run a physical plan with the given parameter bindings.
+    fn execute_planned(
+        &mut self,
+        planned: &PlannedQuery,
+        params: &[Value],
+    ) -> Result<ResultSet, DbError> {
+        let t0 = Instant::now();
+        let rows = {
+            let mut ctx = ExecCtx {
+                catalog: &self.catalog,
+                disk: &mut self.disk,
+                pool: &mut self.pool,
+                stats: &mut self.exec_stats,
+                params,
+            };
+            execute_plan(&planned.plan, &mut ctx)
         };
-        let rows = execute_plan(&plan, &mut ctx)?;
+        self.exec_stats.exec_ns += t0.elapsed().as_nanos() as u64;
+        let rows = rows?;
         self.exec_stats.rows_output += rows.len() as u64;
         Ok(ResultSet {
-            columns,
+            columns: planned.columns.clone(),
             rows,
             affected: 0,
         })
     }
 
     /// Bulk-insert rows (programmatic fast path; also used by SQL INSERT).
-    /// Every row is type-checked against the table schema.
+    /// The whole batch is type-checked against the table schema before any
+    /// row touches the heap, so a mid-batch mismatch cannot leave a partial
+    /// insert behind.
     pub fn insert_rows(&mut self, table: &str, rows: Vec<Tuple>) -> Result<u64, DbError> {
         let t = self.catalog.table_mut(table)?;
-        let mut n = 0;
-        for row in rows {
-            if !t.schema.admits(&row) {
+        for row in &rows {
+            if !t.schema.admits(row) {
                 return Err(DbError::TypeMismatch(format!(
                     "row {row:?} does not match schema {} of {}",
                     t.schema, t.name
                 )));
             }
+        }
+        let mut n = 0;
+        for row in rows {
             let payload = serialize_tuple(&row);
             let rid = t.heap.insert(&mut self.disk, &mut self.pool, &payload)?;
             for index in &mut t.indexes {
@@ -459,18 +644,105 @@ impl Engine {
         Ok(n)
     }
 
+    /// Empty `table` in one step, keeping its schema and (emptied) indexes —
+    /// the TRUNCATE fast path that lets the LFP runtime recycle its
+    /// per-iteration candidate/delta tables instead of dropping and
+    /// recreating them. Returns the number of rows discarded. Truncation is
+    /// not WAL-logged, so inside a transaction this falls back to the
+    /// logged per-row delete path.
+    pub fn clear_table(&mut self, table: &str) -> Result<u64, DbError> {
+        if self.txn.is_some() {
+            return self.delete_where(table, &[]);
+        }
+        self.truncate_now(table)
+    }
+
+    /// Non-transactional truncate: discard every heap page and clear the
+    /// in-memory indexes. The catalog epoch is untouched — schemas and
+    /// index definitions survive, so cached plans stay valid.
+    fn truncate_now(&mut self, table: &str) -> Result<u64, DbError> {
+        let t = self.catalog.table_mut(table)?;
+        let prior = t.heap.tuple_count();
+        t.heap.clear(&mut self.disk, &mut self.pool)?;
+        for index in &mut t.indexes {
+            index.clear();
+        }
+        Ok(prior)
+    }
+
     /// Delete rows matching a conjunction of conditions over one table.
-    /// The predicate is evaluated by the ordinary query pipeline (so every
-    /// WHERE form works — IN lists, NOT EXISTS, index paths); the matching
-    /// row *values* then drive the physical deletion, which removes every
-    /// duplicate of a matched row, exactly as predicate semantics demand.
+    ///
+    /// Three paths, cheapest first: an empty predicate outside a
+    /// transaction truncates; a conjunction of simple per-column conditions
+    /// is evaluated directly against the heap (via an index probe when an
+    /// index key is fully covered by equality conditions, else one
+    /// sequential scan); anything else — NOT EXISTS, type errors worth
+    /// reporting — goes through the ordinary query pipeline, whose matching
+    /// row *values* then drive a victim scan that is deliberately not
+    /// counted as a second logical scan. Deletion removes every duplicate
+    /// of a matched row, exactly as predicate semantics demand.
     fn delete_where(&mut self, table: &str, predicate: &[Condition]) -> Result<u64, DbError> {
-        let matching: Option<std::collections::HashSet<Tuple>> = if predicate.is_empty() {
-            None // unconditional: delete everything
+        if predicate.is_empty() && self.txn.is_none() {
+            return self.truncate_now(table);
+        }
+
+        let direct = if predicate.is_empty() {
+            Some(Vec::new()) // in-txn delete-all: scan once, match everything
         } else {
+            resolve_delete_conds(self.catalog.table(table)?, table, predicate)
+        };
+
+        let victims: Vec<(RecordId, Tuple)> = if let Some(conds) = direct {
+            let t = self.catalog.table(table)?;
+            // Probe an index when equality conditions cover its whole key.
+            let probe: Option<(usize, Vec<Value>)> =
+                t.indexes.iter().enumerate().find_map(|(pos, index)| {
+                    let key: Option<Vec<Value>> = index
+                        .key_cols()
+                        .iter()
+                        .map(|kc| {
+                            conds.iter().find_map(|c| match c {
+                                ExecCond::ColCmpLit(col, CmpOp::Eq, v) if col == kc => {
+                                    Some(v.clone())
+                                }
+                                _ => None,
+                            })
+                        })
+                        .collect();
+                    key.map(|k| (pos, k))
+                });
+            let mut victims = Vec::new();
+            if let Some((pos, key)) = probe {
+                let rids: Vec<RecordId> = t.indexes[pos].lookup(&key).to_vec();
+                self.exec_stats.index_probes += 1;
+                for rid in rids {
+                    let Some(payload) = t.heap.get(&mut self.disk, &mut self.pool, rid)? else {
+                        continue;
+                    };
+                    self.exec_stats.tuples_fetched += 1;
+                    let tuple = decode_stored(table, rid, &payload)?;
+                    if crate::exec::eval_all(&conds, &tuple, &[]) {
+                        victims.push((rid, tuple));
+                    }
+                }
+            } else {
+                let mut scan = t.heap.scan();
+                while let Some((rid, payload)) = scan.next(&mut self.disk, &mut self.pool)? {
+                    self.exec_stats.tuples_scanned += 1;
+                    let tuple = decode_stored(table, rid, &payload)?;
+                    if crate::exec::eval_all(&conds, &tuple, &[]) {
+                        victims.push((rid, tuple));
+                    }
+                }
+            }
+            victims
+        } else {
+            // Complex predicate: let the query pipeline find the matching
+            // values (it counts its own scan), then locate their rids
+            // without counting the victim scan a second time.
             let query = Query::Select(crate::sql::ast::SelectBlock {
                 distinct: false,
-                projections: vec![crate::sql::ast::SelectItem::Star],
+                projections: vec![SelectItem::Star],
                 from: vec![crate::sql::ast::TableRef {
                     table: table.to_string(),
                     alias: None,
@@ -479,20 +751,21 @@ impl Engine {
                 group_by: Vec::new(),
                 order_by: Vec::new(),
             });
-            Some(self.run_query(&query)?.rows.into_iter().collect())
+            let matching: std::collections::HashSet<Tuple> =
+                self.run_query(&query)?.rows.into_iter().collect();
+            let t = self.catalog.table(table)?;
+            let mut scan = t.heap.scan();
+            let mut victims = Vec::new();
+            while let Some((rid, payload)) = scan.next(&mut self.disk, &mut self.pool)? {
+                let tuple = decode_stored(table, rid, &payload)?;
+                if matching.contains(&tuple) {
+                    victims.push((rid, tuple));
+                }
+            }
+            victims
         };
 
-        // Collect victims, then delete (heap + indexes).
         let t = self.catalog.table_mut(table)?;
-        let mut scan = t.heap.scan();
-        let mut victims = Vec::new();
-        while let Some((rid, payload)) = scan.next(&mut self.disk, &mut self.pool)? {
-            self.exec_stats.tuples_scanned += 1;
-            let tuple = decode_stored(table, rid, &payload)?;
-            if matching.as_ref().is_none_or(|m| m.contains(&tuple)) {
-                victims.push((rid, tuple));
-            }
-        }
         let n = victims.len() as u64;
         for (rid, tuple) in victims {
             t.heap.delete(&mut self.disk, &mut self.pool, rid)?;
@@ -634,6 +907,9 @@ impl Engine {
             .catalog
             .drop_temp_tables(&mut self.disk, &mut self.pool);
         self.tables_dropped += n as u64;
+        if n > 0 {
+            self.catalog_epoch += 1;
+        }
         n
     }
 
@@ -648,6 +924,176 @@ impl Engine {
             tables_dropped: self.tables_dropped,
         }
     }
+}
+
+fn scalar_is_param(s: &Scalar) -> bool {
+    matches!(s, Scalar::Param(_))
+}
+
+fn cond_has_param(c: &Condition) -> bool {
+    match c {
+        Condition::Cmp { left, right, .. } => scalar_is_param(left) || scalar_is_param(right),
+        Condition::InList { .. } => false,
+        Condition::NotExists { conds, .. } => conds.iter().any(cond_has_param),
+    }
+}
+
+fn query_has_param(q: &Query) -> bool {
+    match q {
+        Query::Select(b) => {
+            b.where_clause.iter().any(cond_has_param)
+                || b.projections.iter().any(
+                    |item| matches!(item, SelectItem::Expr { expr, .. } if scalar_is_param(expr)),
+                )
+        }
+        Query::Union { left, right, .. } | Query::Except { left, right } => {
+            query_has_param(left) || query_has_param(right)
+        }
+    }
+}
+
+/// Whether a statement contains `?` placeholders anywhere — such statements
+/// can only run through the prepare/execute_prepared path.
+fn stmt_has_param(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::InsertValues { rows, .. } => rows.iter().flatten().any(scalar_is_param),
+        Stmt::InsertSelect { query, .. } | Stmt::Select(query) | Stmt::Explain(query) => {
+            query_has_param(query)
+        }
+        Stmt::Delete { predicate, .. } => predicate.iter().any(cond_has_param),
+        _ => false,
+    }
+}
+
+/// Bind `INSERT ... VALUES` scalar rows against the parameter vector.
+fn bind_rows(rows: &[Vec<Scalar>], params: &[Value]) -> Result<Vec<Tuple>, DbError> {
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .map(|s| match s {
+                    Scalar::Lit(v) => Ok(v.clone()),
+                    Scalar::Param(p) => params
+                        .get(*p)
+                        .cloned()
+                        .ok_or_else(|| DbError::Plan(format!("parameter ?{p} is not bound"))),
+                    Scalar::Col(c) => Err(DbError::Plan(format!(
+                        "column reference {} is not allowed in VALUES",
+                        c.column
+                    ))),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bind_scalar(s: &Scalar, params: &[Value]) -> Result<Scalar, DbError> {
+    match s {
+        Scalar::Param(p) => params
+            .get(*p)
+            .cloned()
+            .map(Scalar::Lit)
+            .ok_or_else(|| DbError::Plan(format!("parameter ?{p} is not bound"))),
+        other => Ok(other.clone()),
+    }
+}
+
+/// Substitute bound parameter values into a DELETE predicate.
+fn bind_conditions(conds: &[Condition], params: &[Value]) -> Result<Vec<Condition>, DbError> {
+    conds
+        .iter()
+        .map(|c| match c {
+            Condition::Cmp { left, op, right } => Ok(Condition::Cmp {
+                left: bind_scalar(left, params)?,
+                op: *op,
+                right: bind_scalar(right, params)?,
+            }),
+            Condition::InList { .. } => Ok(c.clone()),
+            Condition::NotExists { table, conds } => Ok(Condition::NotExists {
+                table: table.clone(),
+                conds: bind_conditions(conds, params)?,
+            }),
+        })
+        .collect()
+}
+
+/// Render a physical plan as the EXPLAIN result set.
+fn explain_result(planned: &PlannedQuery) -> ResultSet {
+    let rows: Vec<Tuple> = planned
+        .plan
+        .explain()
+        .into_iter()
+        .map(|line| vec![Value::Str(line)])
+        .collect();
+    ResultSet {
+        columns: vec!["plan".to_string()],
+        rows,
+        affected: 0,
+    }
+}
+
+fn flip_op(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Try to resolve a DELETE predicate into per-column conditions over
+/// `table`'s schema. Returns `None` when the predicate needs the full query
+/// pipeline — NOT EXISTS subqueries, parameters, or unresolvable/mistyped
+/// columns (the pipeline then reports the proper error).
+fn resolve_delete_conds(t: &Table, table: &str, predicate: &[Condition]) -> Option<Vec<ExecCond>> {
+    let resolve = |c: &ColRef| -> Option<usize> {
+        if let Some(q) = &c.table {
+            if !q.eq_ignore_ascii_case(table) {
+                return None;
+            }
+        }
+        t.schema.index_of(&c.column)
+    };
+    let typed = |i: usize, v: &Value| v.col_type() == t.schema.column(i).ty;
+    let mut out = Vec::new();
+    for cond in predicate {
+        match cond {
+            Condition::Cmp { left, op, right } => match (left, right) {
+                (Scalar::Col(a), Scalar::Col(b)) => {
+                    let (i, j) = (resolve(a)?, resolve(b)?);
+                    if t.schema.column(i).ty != t.schema.column(j).ty {
+                        return None;
+                    }
+                    out.push(ExecCond::ColCmpCol(i, *op, j));
+                }
+                (Scalar::Col(c), Scalar::Lit(v)) => {
+                    let i = resolve(c)?;
+                    if !typed(i, v) {
+                        return None;
+                    }
+                    out.push(ExecCond::ColCmpLit(i, *op, v.clone()));
+                }
+                (Scalar::Lit(v), Scalar::Col(c)) => {
+                    let i = resolve(c)?;
+                    if !typed(i, v) {
+                        return None;
+                    }
+                    out.push(ExecCond::ColCmpLit(i, flip_op(*op), v.clone()));
+                }
+                _ => return None,
+            },
+            Condition::InList { col, values } => {
+                let i = resolve(col)?;
+                if !values.iter().all(|v| typed(i, v)) {
+                    return None;
+                }
+                out.push(ExecCond::InList(i, values.clone()));
+            }
+            Condition::NotExists { .. } => return None,
+        }
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -1231,6 +1677,55 @@ mod tests {
     }
 
     #[test]
+    fn not_exists_probes_full_key_index() {
+        let mut e = engine_with_parent();
+        let sql = "SELECT DISTINCT a.par FROM parent a WHERE NOT EXISTS \
+                   (SELECT * FROM parent b WHERE b.par = a.child) ORDER BY par";
+        let by_scan = e.execute(sql).unwrap().rows;
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
+        let plan = e.execute(&format!("EXPLAIN {sql}")).unwrap();
+        assert!(
+            plan.rows
+                .iter()
+                .flatten()
+                .any(|v| matches!(v, Value::Str(s) if s.contains("probe index"))),
+            "full-key correlation should switch to the probing anti-join: {:?}",
+            plan.rows
+        );
+        let before = e.stats().exec;
+        let by_probe = e.execute(sql).unwrap().rows;
+        let after = e.stats().exec;
+        assert_eq!(by_scan, by_probe);
+        assert!(after.index_probes > before.index_probes);
+        // Only the outer scan touches the heap; the inner side is never
+        // materialized (4 outer rows, 0 inner).
+        assert_eq!(after.tuples_scanned - before.tuples_scanned, 4);
+    }
+
+    #[test]
+    fn not_exists_with_filters_still_scans() {
+        let mut e = engine_with_parent();
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
+        // The extra inner predicate disqualifies the pure index probe.
+        let plan = e
+            .execute(
+                "EXPLAIN SELECT a.par FROM parent a WHERE NOT EXISTS \
+                 (SELECT * FROM parent b WHERE b.par = a.par AND b.child = 'dave')",
+            )
+            .unwrap();
+        assert!(
+            !plan
+                .rows
+                .iter()
+                .flatten()
+                .any(|v| matches!(v, Value::Str(s) if s.contains("probe index"))),
+            "inner filters must fall back to the materializing anti-join"
+        );
+    }
+
+    #[test]
     fn not_exists_uncorrelated() {
         let mut e = engine_with_parent();
         e.execute("CREATE TABLE empty (x char)").unwrap();
@@ -1274,5 +1769,276 @@ mod tests {
             .execute("SELECT x.a, y.a FROM t x, t y WHERE x.b = y.b AND x.a < y.a")
             .unwrap();
         assert_eq!(rs.rows, vec![vec![Value::Int(1), Value::Int(2)]]);
+    }
+
+    // -- prepared statements and the plan cache ---------------------------
+
+    #[test]
+    fn prepared_select_with_params_matches_literal_query() {
+        let mut e = engine_with_parent();
+        let id = e
+            .prepare("SELECT child FROM parent WHERE par = ? ORDER BY child")
+            .unwrap();
+        let by_param = e.execute_prepared(id, &[Value::from("adam")]).unwrap().rows;
+        let by_literal = e
+            .execute("SELECT child FROM parent WHERE par = 'adam' ORDER BY child")
+            .unwrap()
+            .rows;
+        assert_eq!(by_param, by_literal);
+        // Rebinding reuses the same plan with a different key.
+        let bob = e.execute_prepared(id, &[Value::from("bob")]).unwrap().rows;
+        assert_eq!(bob, vec![vec![Value::from("dave")]]);
+    }
+
+    #[test]
+    fn prepared_select_uses_index_for_param_equality() {
+        let mut e = engine_with_parent();
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
+        let id = e.prepare("SELECT child FROM parent WHERE par = ?").unwrap();
+        let probes_before = e.stats().exec.index_probes;
+        let rows = e
+            .execute_prepared(id, &[Value::from("carol")])
+            .unwrap()
+            .rows;
+        assert_eq!(rows, vec![vec![Value::from("eve")]]);
+        assert!(
+            e.stats().exec.index_probes > probes_before,
+            "col = ? should keep the index access path"
+        );
+    }
+
+    #[test]
+    fn plan_cache_counts_hits_and_misses() {
+        let mut e = engine_with_parent();
+        let id = e.prepare("SELECT child FROM parent WHERE par = ?").unwrap();
+        assert_eq!(e.stats().exec.plan_cache_misses, 0, "prepare is lazy");
+        for name in ["adam", "bob", "carol"] {
+            e.execute_prepared(id, &[Value::from(name)]).unwrap();
+        }
+        let s = e.stats().exec;
+        assert_eq!(s.plan_cache_misses, 1, "planned once");
+        assert_eq!(s.plan_cache_hits, 2, "then reused");
+    }
+
+    #[test]
+    fn plan_cache_invalidated_by_catalog_change() {
+        let mut e = engine_with_parent();
+        let id = e.prepare("SELECT * FROM parent WHERE par = ?").unwrap();
+        e.execute_prepared(id, &[Value::from("adam")]).unwrap();
+        assert_eq!(e.stats().exec.plan_cache_misses, 1);
+        // DROP then CREATE a same-named table with a different schema: the
+        // cached plan must not survive.
+        e.execute("DROP TABLE parent").unwrap();
+        e.execute("CREATE TABLE parent (n integer)").unwrap();
+        e.execute("INSERT INTO parent VALUES (7)").unwrap();
+        // The stale plan is re-planned; `par` no longer exists, so this
+        // errors cleanly instead of executing against the wrong layout.
+        assert!(e.execute_prepared(id, &[Value::from("adam")]).is_err());
+        assert_eq!(e.stats().exec.plan_cache_misses, 2, "re-planned");
+        // A statement valid under the new schema re-plans and runs.
+        let id2 = e.prepare("SELECT n FROM parent WHERE n = ?").unwrap();
+        let rows = e.execute_prepared(id2, &[Value::Int(7)]).unwrap().rows;
+        assert_eq!(rows, vec![vec![Value::Int(7)]]);
+    }
+
+    #[test]
+    fn prepared_insert_values_and_delete_with_params() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE t (a integer, b char)").unwrap();
+        let ins = e.prepare("INSERT INTO t VALUES (?, ?)").unwrap();
+        for i in 0..4 {
+            let rs = e
+                .execute_prepared(ins, &[Value::Int(i), Value::from("x")])
+                .unwrap();
+            assert_eq!(rs.affected, 1);
+        }
+        let del = e.prepare("DELETE FROM t WHERE a = ?").unwrap();
+        assert_eq!(
+            e.execute_prepared(del, &[Value::Int(2)]).unwrap().affected,
+            1
+        );
+        assert_eq!(e.table_len("t").unwrap(), 3);
+    }
+
+    #[test]
+    fn prepared_param_arity_is_checked() {
+        let mut e = engine_with_parent();
+        let id = e.prepare("SELECT * FROM parent WHERE par = ?").unwrap();
+        assert!(e.execute_prepared(id, &[]).is_err());
+        assert!(e
+            .execute_prepared(id, &[Value::from("a"), Value::from("b")])
+            .is_err());
+        e.deallocate(id).unwrap();
+        assert!(e.execute_prepared(id, &[Value::from("a")]).is_err());
+    }
+
+    #[test]
+    fn plain_execute_rejects_parameters() {
+        let mut e = engine_with_parent();
+        let err = e.execute("SELECT * FROM parent WHERE par = ?");
+        assert!(err.is_err(), "unbound `?` must not reach execution");
+        assert!(e.execute("INSERT INTO parent VALUES (?, 'x')").is_err());
+        assert!(e.execute("DELETE FROM parent WHERE par = ?").is_err());
+    }
+
+    #[test]
+    fn truncate_keeps_schema_and_indexes() {
+        let mut e = engine_with_parent();
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
+        let rs = e.execute("TRUNCATE TABLE parent").unwrap();
+        assert_eq!(rs.affected, 4);
+        assert_eq!(e.table_len("parent").unwrap(), 0);
+        // Schema and index definitions survive; the table is refillable and
+        // the index still answers point queries.
+        e.execute("INSERT INTO parent VALUES ('x','y')").unwrap();
+        let rows = e
+            .execute("SELECT child FROM parent WHERE par = 'x'")
+            .unwrap()
+            .rows;
+        assert_eq!(rows, vec![vec![Value::from("y")]]);
+        let (_, _, indexes) = e.table_info("parent").unwrap();
+        assert_eq!(indexes.len(), 1);
+    }
+
+    #[test]
+    fn truncate_does_not_invalidate_cached_plans() {
+        let mut e = engine_with_parent();
+        let id = e.prepare("SELECT * FROM parent WHERE par = ?").unwrap();
+        e.execute_prepared(id, &[Value::from("adam")]).unwrap();
+        e.clear_table("parent").unwrap();
+        e.execute("INSERT INTO parent VALUES ('p','q')").unwrap();
+        let rows = e.execute_prepared(id, &[Value::from("p")]).unwrap().rows;
+        assert_eq!(rows, vec![vec![Value::from("p"), Value::from("q")]]);
+        let s = e.stats().exec;
+        assert_eq!(s.plan_cache_misses, 1, "TRUNCATE keeps the plan");
+        assert_eq!(s.plan_cache_hits, 1);
+    }
+
+    #[test]
+    fn clear_table_in_transaction_rolls_back() {
+        let mut e = engine_with_parent();
+        e.enable_wal();
+        e.begin().unwrap();
+        assert_eq!(e.clear_table("parent").unwrap(), 4);
+        assert_eq!(e.table_len("parent").unwrap(), 0);
+        e.rollback().unwrap();
+        assert_eq!(e.table_len("parent").unwrap(), 4, "logged path undoes");
+    }
+
+    #[test]
+    fn insert_batch_is_atomic_on_type_mismatch() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE t (a integer)").unwrap();
+        let err = e.insert_rows(
+            "t",
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::from("oops")],
+                vec![Value::Int(3)],
+            ],
+        );
+        assert!(matches!(err, Err(DbError::TypeMismatch(_))));
+        assert_eq!(e.table_len("t").unwrap(), 0, "no partial batch");
+    }
+
+    #[test]
+    fn delete_scans_heap_once_for_simple_predicates() {
+        let mut e = engine_with_parent();
+        let before = e.stats().exec.tuples_scanned;
+        let rs = e.execute("DELETE FROM parent WHERE par = 'adam'").unwrap();
+        assert_eq!(rs.affected, 2);
+        assert_eq!(
+            e.stats().exec.tuples_scanned - before,
+            4,
+            "one pass over the 4-row heap"
+        );
+        assert_eq!(e.table_len("parent").unwrap(), 2);
+    }
+
+    #[test]
+    fn delete_uses_index_when_key_is_covered() {
+        let mut e = engine_with_parent();
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
+        let scanned_before = e.stats().exec.tuples_scanned;
+        let probes_before = e.stats().exec.index_probes;
+        let rs = e.execute("DELETE FROM parent WHERE par = 'adam'").unwrap();
+        assert_eq!(rs.affected, 2);
+        assert_eq!(
+            e.stats().exec.tuples_scanned,
+            scanned_before,
+            "index path: no sequential scan"
+        );
+        assert!(e.stats().exec.index_probes > probes_before);
+        let rows = e
+            .execute("SELECT par FROM parent ORDER BY par")
+            .unwrap()
+            .rows;
+        assert_eq!(
+            rows,
+            vec![vec![Value::from("bob")], vec![Value::from("carol")]]
+        );
+    }
+
+    #[test]
+    fn unconditional_delete_truncates_outside_txn() {
+        let mut e = engine_with_parent();
+        let before = e.stats().exec.tuples_scanned;
+        let rs = e.execute("DELETE FROM parent").unwrap();
+        assert_eq!(rs.affected, 4);
+        assert_eq!(e.stats().exec.tuples_scanned, before, "no scan needed");
+        assert_eq!(e.table_len("parent").unwrap(), 0);
+    }
+
+    #[test]
+    fn delete_with_complex_predicate_still_works() {
+        let mut e = engine_with_parent();
+        // NOT EXISTS forces the query-pipeline path: delete leaves (people
+        // with no children of their own).
+        let rs = e
+            .execute(
+                "DELETE FROM parent WHERE NOT EXISTS \
+                 (SELECT * FROM parent p WHERE p.par = parent.child)",
+            )
+            .unwrap();
+        assert_eq!(rs.affected, 2, "dave and eve edges are leaves");
+        let rows = e
+            .execute("SELECT child FROM parent ORDER BY child")
+            .unwrap()
+            .rows;
+        assert_eq!(
+            rows,
+            vec![vec![Value::from("bob")], vec![Value::from("carol")]]
+        );
+    }
+
+    #[test]
+    fn timing_counters_accumulate() {
+        let mut e = engine_with_parent();
+        e.execute("SELECT * FROM parent").unwrap();
+        let s = e.stats().exec;
+        assert!(s.parse_ns > 0);
+        assert!(s.plan_ns > 0);
+        assert!(s.exec_ns > 0);
+    }
+
+    #[test]
+    fn prepared_insert_select_respects_epoch() {
+        let mut e = engine_with_parent();
+        e.execute("CREATE TABLE sink (par char, child char)")
+            .unwrap();
+        let id = e.prepare("INSERT INTO sink SELECT * FROM parent").unwrap();
+        assert_eq!(e.execute_prepared(id, &[]).unwrap().affected, 4);
+        assert_eq!(e.execute_prepared(id, &[]).unwrap().affected, 4);
+        let s = e.stats().exec;
+        assert_eq!(s.plan_cache_misses, 1);
+        assert_eq!(s.plan_cache_hits, 1);
+        // Shrinking the target's schema must invalidate the cached plan and
+        // surface a type error rather than corrupt rows.
+        e.execute("DROP TABLE sink").unwrap();
+        e.execute("CREATE TABLE sink (n integer)").unwrap();
+        assert!(e.execute_prepared(id, &[]).is_err());
     }
 }

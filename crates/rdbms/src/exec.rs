@@ -10,7 +10,7 @@ use crate::buffer::BufferPool;
 use crate::catalog::{Catalog, DbError};
 use crate::disk::Disk;
 use crate::heap::RecordId;
-use crate::plan::{ExecCond, PhysPlan, ProjExpr};
+use crate::plan::{ExecCond, KeyExpr, PhysPlan, ProjExpr};
 use crate::schema::{deserialize_tuple, Tuple};
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
@@ -28,6 +28,17 @@ pub struct ExecStats {
     pub join_output: u64,
     /// Rows returned to the caller.
     pub rows_output: u64,
+    /// Prepared-statement executions that reused a cached physical plan.
+    pub plan_cache_hits: u64,
+    /// Prepared-statement executions that had to (re)plan, including the
+    /// first execution after `prepare` and any catalog-epoch invalidation.
+    pub plan_cache_misses: u64,
+    /// Wall time spent lexing/parsing SQL, in nanoseconds.
+    pub parse_ns: u64,
+    /// Wall time spent planning queries, in nanoseconds.
+    pub plan_ns: u64,
+    /// Wall time spent executing physical plans, in nanoseconds.
+    pub exec_ns: u64,
 }
 
 /// Everything an operator needs at runtime.
@@ -36,19 +47,33 @@ pub struct ExecCtx<'a> {
     pub disk: &'a mut Disk,
     pub pool: &'a mut BufferPool,
     pub stats: &'a mut ExecStats,
+    /// Bind values for `?` placeholders; empty for unparameterized plans.
+    /// Arity and ordinals are validated by the engine before execution.
+    pub params: &'a [Value],
 }
 
 /// Evaluate one resolved condition against a flat row.
-fn eval_cond(cond: &ExecCond, row: &[Value]) -> bool {
+fn eval_cond(cond: &ExecCond, row: &[Value], params: &[Value]) -> bool {
     match cond {
         ExecCond::ColCmpCol(a, op, b) => op.eval(row[*a].cmp(&row[*b])),
         ExecCond::ColCmpLit(a, op, v) => op.eval(row[*a].cmp(v)),
+        ExecCond::ColCmpParam(a, op, p) => op.eval(row[*a].cmp(&params[*p])),
         ExecCond::InList(a, vs) => vs.contains(&row[*a]),
     }
 }
 
-fn eval_all(conds: &[ExecCond], row: &[Value]) -> bool {
-    conds.iter().all(|c| eval_cond(c, row))
+pub(crate) fn eval_all(conds: &[ExecCond], row: &[Value], params: &[Value]) -> bool {
+    conds.iter().all(|c| eval_cond(c, row, params))
+}
+
+/// Materialize an index-lookup key, substituting bind values for params.
+fn resolve_key(key: &[KeyExpr], params: &[Value]) -> Vec<Value> {
+    key.iter()
+        .map(|k| match k {
+            KeyExpr::Lit(v) => v.clone(),
+            KeyExpr::Param(p) => params[*p].clone(),
+        })
+        .collect()
 }
 
 /// Decode a stored payload, surfacing damage as [`DbError::Corruption`]
@@ -86,7 +111,7 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
             while let Some((rid, payload)) = scan.next(ctx.disk, ctx.pool)? {
                 ctx.stats.tuples_scanned += 1;
                 let tuple = decode_tuple(table, rid, &payload)?;
-                if eval_all(filters, &tuple) {
+                if eval_all(filters, &tuple, ctx.params) {
                     out.push(tuple);
                 }
             }
@@ -100,14 +125,15 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
         } => {
             let t = ctx.catalog.table(table)?;
             let index = &t.indexes[*index_pos];
+            let key = resolve_key(key, ctx.params);
             ctx.stats.index_probes += 1;
-            let rids: Vec<_> = index.lookup(key).to_vec();
+            let rids: Vec<_> = index.lookup(&key).to_vec();
             let mut out = Vec::with_capacity(rids.len());
             for rid in rids {
                 let payload = fetch_indexed(ctx, t, rid)?;
                 ctx.stats.tuples_fetched += 1;
                 let tuple = decode_tuple(table, rid, &payload)?;
-                if eval_all(residual, &tuple) {
+                if eval_all(residual, &tuple, ctx.params) {
                     out.push(tuple);
                 }
             }
@@ -136,7 +162,7 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
                 let payload = fetch_indexed(ctx, t, rid)?;
                 ctx.stats.tuples_fetched += 1;
                 let tuple = decode_tuple(table, rid, &payload)?;
-                if eval_all(residual, &tuple) {
+                if eval_all(residual, &tuple, ctx.params) {
                     out.push(tuple);
                 }
             }
@@ -177,7 +203,7 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
                         let mut joined = Vec::with_capacity(lrow.len() + rrow.len());
                         joined.extend_from_slice(lrow);
                         joined.extend_from_slice(rrow);
-                        if eval_all(residual, &joined) {
+                        if eval_all(residual, &joined, ctx.params) {
                             ctx.stats.join_output += 1;
                             out.push(joined);
                         }
@@ -206,13 +232,13 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
                     let payload = fetch_indexed(ctx, t, rid)?;
                     ctx.stats.tuples_fetched += 1;
                     let inner = decode_tuple(table, rid, &payload)?;
-                    if !eval_all(inner_filters, &inner) {
+                    if !eval_all(inner_filters, &inner, ctx.params) {
                         continue;
                     }
                     let mut joined = Vec::with_capacity(lrow.len() + inner.len());
                     joined.extend_from_slice(lrow);
                     joined.extend(inner);
-                    if eval_all(residual, &joined) {
+                    if eval_all(residual, &joined, ctx.params) {
                         ctx.stats.join_output += 1;
                         out.push(joined);
                     }
@@ -226,17 +252,32 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
             inner_filters,
             outer_keys,
             inner_keys,
+            index_pos,
         } => {
             let rows = execute_plan(child, ctx)?;
-            // Materialize the (filtered) inner side once.
             let t = ctx.catalog.table(table)?;
+            if let Some(pos) = index_pos {
+                // The correlation keys are exactly the index key: a row of
+                // the inner table matches iff the probe hits, so no scan
+                // and no tuple fetch are needed.
+                let index = &t.indexes[*pos];
+                return Ok(rows
+                    .into_iter()
+                    .filter(|row| {
+                        let key: Vec<Value> = outer_keys.iter().map(|&i| row[i].clone()).collect();
+                        ctx.stats.index_probes += 1;
+                        index.lookup(&key).is_empty()
+                    })
+                    .collect());
+            }
+            // Materialize the (filtered) inner side once.
             let mut scan = t.heap.scan();
             let mut keys: HashSet<Vec<Value>> = HashSet::new();
             let mut inner_nonempty = false;
             while let Some((rid, payload)) = scan.next(ctx.disk, ctx.pool)? {
                 ctx.stats.tuples_scanned += 1;
                 let tuple = decode_tuple(table, rid, &payload)?;
-                if !eval_all(inner_filters, &tuple) {
+                if !eval_all(inner_filters, &tuple, ctx.params) {
                     continue;
                 }
                 inner_nonempty = true;
@@ -269,7 +310,7 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
                     let mut joined = Vec::with_capacity(lrow.len() + rrow.len());
                     joined.extend_from_slice(lrow);
                     joined.extend_from_slice(rrow);
-                    if eval_all(residual, &joined) {
+                    if eval_all(residual, &joined, ctx.params) {
                         ctx.stats.join_output += 1;
                         out.push(joined);
                     }
@@ -279,7 +320,11 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
         }
         PhysPlan::Filter { child, conds } => {
             let rows = execute_plan(child, ctx)?;
-            Ok(rows.into_iter().filter(|r| eval_all(conds, r)).collect())
+            let params = ctx.params;
+            Ok(rows
+                .into_iter()
+                .filter(|r| eval_all(conds, r, params))
+                .collect())
         }
         PhysPlan::Project { child, exprs } => {
             let rows = execute_plan(child, ctx)?;

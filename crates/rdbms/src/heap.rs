@@ -134,6 +134,18 @@ impl HeapFile {
         Ok(())
     }
 
+    /// Discard every record in one step by truncating the underlying file
+    /// (and dropping its cached frames), keeping the file id so the table
+    /// can be refilled without catalog churn. Not WAL-logged — callers must
+    /// not use this inside a transaction.
+    pub fn clear(&mut self, disk: &mut Disk, pool: &mut BufferPool) -> Result<(), DbError> {
+        pool.discard_file(self.file);
+        disk.truncate_file(self.file)?;
+        self.insert_hint = 0;
+        self.tuple_count = 0;
+        Ok(())
+    }
+
     /// Start a full scan.
     pub fn scan(&self) -> HeapScan {
         HeapScan {
@@ -256,6 +268,28 @@ mod tests {
         let (mut disk, mut pool) = setup();
         let heap = HeapFile::create(&mut disk);
         assert!(collect_all(&heap, &mut disk, &mut pool).is_empty());
+    }
+
+    #[test]
+    fn clear_empties_heap_but_keeps_file() {
+        let (mut disk, mut pool) = setup();
+        let mut heap = HeapFile::create(&mut disk);
+        let payload = vec![9u8; 600];
+        for _ in 0..50 {
+            heap.insert(&mut disk, &mut pool, &payload).unwrap();
+        }
+        assert!(disk.page_count(heap.file_id()) > 1);
+        heap.clear(&mut disk, &mut pool).unwrap();
+        assert_eq!(heap.tuple_count(), 0);
+        assert_eq!(disk.page_count(heap.file_id()), 0);
+        assert!(disk.file_exists(heap.file_id()));
+        assert!(collect_all(&heap, &mut disk, &mut pool).is_empty());
+        // The heap is immediately reusable.
+        heap.insert(&mut disk, &mut pool, b"fresh").unwrap();
+        assert_eq!(
+            collect_all(&heap, &mut disk, &mut pool),
+            vec![b"fresh".to_vec()]
+        );
     }
 
     #[test]

@@ -53,6 +53,6 @@ pub mod wal;
 
 pub use catalog::DbError;
 pub use disk::{DiskStats, FaultInjector, RecoveryReport};
-pub use engine::{Engine, EngineStats, ResultSet};
+pub use engine::{Engine, EngineStats, ResultSet, StmtId};
 pub use schema::{Column, Schema, Tuple};
 pub use value::{ColType, Value};

@@ -25,7 +25,29 @@ use crate::value::{ColType, Value};
 pub enum ExecCond {
     ColCmpCol(usize, CmpOp, usize),
     ColCmpLit(usize, CmpOp, Value),
+    /// Column compared against the `?` placeholder with the given ordinal;
+    /// the value is taken from the parameter vector at execution time.
+    ColCmpParam(usize, CmpOp, usize),
     InList(usize, Vec<Value>),
+}
+
+/// One component of an index-lookup key: a literal fixed at plan time, or a
+/// parameter resolved against the bind vector at execution time. Keeping
+/// parameters in keys lets `col = ?` predicates retain their index access
+/// path across executions of a cached plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyExpr {
+    Lit(Value),
+    Param(usize),
+}
+
+impl std::fmt::Display for KeyExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyExpr::Lit(v) => write!(f, "{v}"),
+            KeyExpr::Param(p) => write!(f, "?{p}"),
+        }
+    }
 }
 
 /// A resolved projection expression.
@@ -48,7 +70,7 @@ pub enum PhysPlan {
     IndexLookup {
         table: String,
         index_pos: usize,
-        key: Vec<Value>,
+        key: Vec<KeyExpr>,
         residual: Vec<ExecCond>,
     },
     /// Hash join on equi-key columns; `residual` runs on joined rows using
@@ -90,13 +112,17 @@ pub enum PhysPlan {
     /// Anti-join implementing `NOT EXISTS`: child rows survive iff no row
     /// of `table` (after `inner_filters`, local positions) matches them on
     /// `outer_keys` = `inner_keys`. With no correlation keys the semantics
-    /// degenerate to "inner relation empty".
+    /// degenerate to "inner relation empty". When `index_pos` is set, the
+    /// correlation keys cover exactly that index's key and there are no
+    /// inner filters: the executor probes the index per outer row instead
+    /// of materializing the inner side.
     AntiJoin {
         child: Box<PhysPlan>,
         table: String,
         inner_filters: Vec<ExecCond>,
         outer_keys: Vec<usize>,
         inner_keys: Vec<usize>,
+        index_pos: Option<usize>,
     },
     /// Row filter over any child (combined positions) — the fallback for
     /// residual conditions whose child operator has no residual slot.
@@ -227,9 +253,14 @@ impl PhysPlan {
                 outer_keys,
                 inner_keys,
                 inner_filters,
+                index_pos,
             } => {
+                let via = match index_pos {
+                    Some(i) => format!(" probe index #{i}"),
+                    None => String::new(),
+                };
                 out.push(format!(
-                    "{pad}AntiJoin {table} on {outer_keys:?}={inner_keys:?}{}",
+                    "{pad}AntiJoin {table} on {outer_keys:?}={inner_keys:?}{via}{}",
                     fmt_conds(inner_filters)
                 ));
                 child.explain_into(depth + 1, out);
@@ -366,6 +397,7 @@ enum Classified {
 enum LocalCond {
     ColCmpCol(usize, CmpOp, usize),
     ColCmpLit(usize, CmpOp, Value),
+    ColCmpParam(usize, CmpOp, usize),
     InList(usize, Vec<Value>),
 }
 
@@ -579,6 +611,7 @@ fn local_to_exec(c: &LocalCond) -> ExecCond {
     match c {
         LocalCond::ColCmpCol(a, op, b) => ExecCond::ColCmpCol(*a, *op, *b),
         LocalCond::ColCmpLit(a, op, v) => ExecCond::ColCmpLit(*a, *op, v.clone()),
+        LocalCond::ColCmpParam(a, op, p) => ExecCond::ColCmpParam(*a, *op, *p),
         LocalCond::InList(a, vs) => ExecCond::InList(*a, vs.clone()),
     }
 }
@@ -670,35 +703,46 @@ fn access_path(
 ) -> Result<PhysPlan, DbError> {
     let b = &bindings[rel];
     let table = catalog.table(&b.table)?;
-    // Constant-equality columns available for index keys.
-    let mut eq_cols: Vec<(usize, Value)> = Vec::new();
+    // Constant- or parameter-equality columns available for index keys.
+    let mut eq_cols: Vec<(usize, KeyExpr)> = Vec::new();
     for c in local {
-        if let LocalCond::ColCmpLit(col, CmpOp::Eq, v) = c {
-            eq_cols.push((*col, v.clone()));
+        match c {
+            LocalCond::ColCmpLit(col, CmpOp::Eq, v) => {
+                eq_cols.push((*col, KeyExpr::Lit(v.clone())));
+            }
+            LocalCond::ColCmpParam(col, CmpOp::Eq, p) => {
+                eq_cols.push((*col, KeyExpr::Param(*p)));
+            }
+            _ => {}
         }
     }
     for (pos, index) in table.indexes.iter().enumerate() {
-        let covered: Option<Vec<Value>> = index
+        let covered: Option<Vec<KeyExpr>> = index
             .key_cols()
             .iter()
             .map(|kc| {
                 eq_cols
                     .iter()
                     .find(|(c, _)| c == kc)
-                    .map(|(_, v)| v.clone())
+                    .map(|(_, k)| k.clone())
             })
             .collect();
         if let Some(key) = covered {
-            // Exactly the (column, value) pairs consumed by the key; any
+            // Exactly the (column, key-expr) pairs consumed by the key; any
             // other filter — including a conflicting equality on the same
             // column — stays residual.
-            let consumed: Vec<(usize, &Value)> =
+            let consumed: Vec<(usize, &KeyExpr)> =
                 index.key_cols().iter().copied().zip(key.iter()).collect();
             let residual: Vec<ExecCond> = local
                 .iter()
-                .filter(|c| {
-                    !matches!(c, LocalCond::ColCmpLit(col, CmpOp::Eq, v)
-                        if consumed.contains(&(*col, v)))
+                .filter(|c| match c {
+                    LocalCond::ColCmpLit(col, CmpOp::Eq, v) => {
+                        !consumed.contains(&(*col, &KeyExpr::Lit(v.clone())))
+                    }
+                    LocalCond::ColCmpParam(col, CmpOp::Eq, p) => {
+                        !consumed.contains(&(*col, &KeyExpr::Param(*p)))
+                    }
+                    _ => true,
                 })
                 .map(local_to_exec)
                 .collect();
@@ -737,7 +781,7 @@ fn access_path(
         let mut arms = distinct.into_iter().map(|v| PhysPlan::IndexLookup {
             table: b.table.clone(),
             index_pos: pos,
-            key: vec![v.clone()],
+            key: vec![KeyExpr::Lit(v.clone())],
             residual: residual.clone(),
         });
         let first = arms.next().expect("IN list is non-empty");
@@ -863,7 +907,9 @@ fn join_order(
         let restricted = local[rel].iter().any(|c| {
             matches!(
                 c,
-                LocalCond::ColCmpLit(_, CmpOp::Eq, _) | LocalCond::InList(..)
+                LocalCond::ColCmpLit(_, CmpOp::Eq, _)
+                    | LocalCond::ColCmpParam(_, CmpOp::Eq, _)
+                    | LocalCond::InList(..)
             )
         });
         if restricted {
@@ -1057,7 +1103,39 @@ fn plan_anti_join(
                         "constant comparison not supported in NOT EXISTS".into(),
                     ))
                 }
+                (Scalar::Param(_), _) | (_, Scalar::Param(_)) => {
+                    return Err(DbError::Plan(
+                        "parameters are not supported inside NOT EXISTS".into(),
+                    ))
+                }
             },
+        }
+    }
+    // Probe an index instead of materializing the inner side when the
+    // correlation keys cover exactly one index's key columns and no other
+    // inner predicate needs evaluating: membership is then a pure key
+    // lookup, O(probes) instead of O(|inner|) per execution. This is what
+    // makes a prepared `NOT EXISTS` termination check cheap in the LFP
+    // loop — the accumulated table is probed, never re-scanned.
+    let mut index_pos = None;
+    let keys_distinct = (1..inner_keys.len()).all(|i| !inner_keys[..i].contains(&inner_keys[i]));
+    if inner_filters.is_empty() && !inner_keys.is_empty() && keys_distinct {
+        for (pos, index) in table.indexes.iter().enumerate() {
+            let kc = index.key_cols();
+            if kc.len() != inner_keys.len() {
+                continue;
+            }
+            // Reorder the key pairs to the index's key-column order.
+            let perm: Option<Vec<usize>> = kc
+                .iter()
+                .map(|c| inner_keys.iter().position(|i| i == c))
+                .collect();
+            if let Some(perm) = perm {
+                outer_keys = perm.iter().map(|&j| outer_keys[j]).collect();
+                inner_keys = kc.to_vec();
+                index_pos = Some(pos);
+                break;
+            }
         }
     }
     Ok(PhysPlan::AntiJoin {
@@ -1066,6 +1144,7 @@ fn plan_anti_join(
         inner_filters,
         outer_keys,
         inner_keys,
+        index_pos,
     })
 }
 
@@ -1125,6 +1204,24 @@ fn classify(bindings: &[Binding], cond: &Condition) -> Result<Classified, DbErro
                     )))
                 }
             }
+            (Scalar::Col(c), Scalar::Param(p)) => {
+                let r = resolve_col(bindings, c)?;
+                Ok(Classified::Local(
+                    r.rel,
+                    LocalCond::ColCmpParam(r.col, *op, *p),
+                ))
+            }
+            (Scalar::Param(p), Scalar::Col(c)) => {
+                let r = resolve_col(bindings, c)?;
+                Ok(Classified::Local(
+                    r.rel,
+                    LocalCond::ColCmpParam(r.col, flip(*op), *p),
+                ))
+            }
+            (Scalar::Param(_), Scalar::Param(_) | Scalar::Lit(_))
+            | (Scalar::Lit(_), Scalar::Param(_)) => Err(DbError::Plan(
+                "a parameter must be compared against a column".into(),
+            )),
         },
     }
 }
@@ -1224,6 +1321,11 @@ fn resolve_projection(
                     exprs.push(ProjExpr::Lit(v.clone()));
                     names.push(alias.clone().unwrap_or_else(|| "literal".to_string()));
                 }
+                Scalar::Param(_) => {
+                    return Err(DbError::Plan(
+                        "parameters are not supported in the projection list".into(),
+                    ))
+                }
             },
         }
     }
@@ -1278,6 +1380,11 @@ pub fn output_types(catalog: &Catalog, query: &Query) -> Result<Vec<ColType>, Db
                             types.push(bindings[r.rel].schema.column(r.col).ty);
                         }
                         Scalar::Lit(v) => types.push(v.col_type()),
+                        Scalar::Param(_) => {
+                            return Err(DbError::Plan(
+                                "parameters are not supported in the projection list".into(),
+                            ))
+                        }
                     },
                 }
             }

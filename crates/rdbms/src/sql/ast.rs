@@ -32,7 +32,9 @@ pub enum Stmt {
     },
     InsertValues {
         table: String,
-        rows: Vec<Vec<Value>>,
+        /// Each row is a list of literals or `?` parameter placeholders
+        /// (column references are rejected by the parser here).
+        rows: Vec<Vec<Scalar>>,
     },
     InsertSelect {
         table: String,
@@ -49,6 +51,13 @@ pub enum Stmt {
     Delete {
         table: String,
         predicate: Vec<Condition>,
+    },
+    /// `TRUNCATE TABLE t` — discard every row but keep the table, its
+    /// schema and its (emptied) indexes. The fast path that lets the LFP
+    /// runtime recycle per-iteration candidate/delta tables instead of
+    /// dropping and recreating them.
+    Truncate {
+        table: String,
     },
     Select(Query),
     /// `EXPLAIN SELECT ...` — return the physical plan as text rows.
@@ -123,6 +132,10 @@ pub struct ColRef {
 pub enum Scalar {
     Col(ColRef),
     Lit(Value),
+    /// A `?` placeholder, numbered left-to-right from 0 in parse order.
+    /// Only valid in WHERE comparisons and `INSERT ... VALUES` rows; the
+    /// value is supplied at `execute_prepared` time.
+    Param(usize),
 }
 
 /// Comparison operators.

@@ -21,6 +21,8 @@ pub enum Token {
     Le,
     Gt,
     Ge,
+    /// `?` — a positional parameter placeholder in a prepared statement.
+    Param,
 }
 
 /// Tokenize `input`, rejecting any character outside the subset.
@@ -54,6 +56,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, DbError> {
             }
             ';' => {
                 tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Param);
                 i += 1;
             }
             '=' => {
@@ -229,6 +235,12 @@ mod tests {
             toks,
             vec![Token::Ident("SELECT".into()), Token::Ident("x".into())]
         );
+    }
+
+    #[test]
+    fn lexes_parameter_placeholders() {
+        let toks = lex("SELECT * FROM t WHERE x = ? AND y = ?").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Token::Param).count(), 2);
     }
 
     #[test]

@@ -7,18 +7,32 @@ use crate::value::{ColType, Value};
 
 /// Parse one statement (a trailing semicolon is allowed).
 pub fn parse_stmt(input: &str) -> Result<Stmt, DbError> {
+    parse_stmt_params(input).map(|(stmt, _)| stmt)
+}
+
+/// Parse one statement and report how many `?` parameter placeholders it
+/// contains. Placeholders are numbered 0.. in left-to-right parse order.
+pub fn parse_stmt_params(input: &str) -> Result<(Stmt, usize), DbError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let stmt = p.stmt()?;
     p.accept_semicolon();
     p.expect_eof()?;
-    Ok(stmt)
+    Ok((stmt, p.params))
 }
 
 /// Parse a script of semicolon-separated statements.
 pub fn parse_script(input: &str) -> Result<Vec<Stmt>, DbError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let mut stmts = Vec::new();
     while !p.at_eof() {
         stmts.push(p.stmt()?);
@@ -33,6 +47,8 @@ pub fn parse_script(input: &str) -> Result<Vec<Stmt>, DbError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Number of `?` placeholders seen so far; doubles as the next ordinal.
+    params: usize,
 }
 
 /// Keywords that terminate an implicit alias position.
@@ -142,6 +158,11 @@ impl Parser {
             Ok(Stmt::Select(self.query()?))
         } else if self.accept_kw("explain") {
             Ok(Stmt::Explain(self.query()?))
+        } else if self.accept_kw("truncate") {
+            self.expect_kw("table")?;
+            Ok(Stmt::Truncate {
+                table: self.ident()?,
+            })
         } else {
             Err(self.error("expected a statement"))
         }
@@ -255,14 +276,23 @@ impl Parser {
         }
     }
 
-    fn literal_row(&mut self) -> Result<Vec<Value>, DbError> {
+    fn literal_row(&mut self) -> Result<Vec<Scalar>, DbError> {
         self.expect(&Token::LParen)?;
-        let mut row = vec![self.literal()?];
+        let mut row = vec![self.literal_or_param()?];
         while self.accept(&Token::Comma) {
-            row.push(self.literal()?);
+            row.push(self.literal_or_param()?);
         }
         self.expect(&Token::RParen)?;
         Ok(row)
+    }
+
+    fn literal_or_param(&mut self) -> Result<Scalar, DbError> {
+        if self.accept(&Token::Param) {
+            let ord = self.params;
+            self.params += 1;
+            return Ok(Scalar::Param(ord));
+        }
+        Ok(Scalar::Lit(self.literal()?))
     }
 
     fn literal(&mut self) -> Result<Value, DbError> {
@@ -437,7 +467,7 @@ impl Parser {
         if self.accept_kw("in") {
             let col = match left {
                 Scalar::Col(c) => c,
-                Scalar::Lit(_) => return Err(self.error("IN requires a column on the left")),
+                _ => return Err(self.error("IN requires a column on the left")),
             };
             self.expect(&Token::LParen)?;
             let mut values = vec![self.literal()?];
@@ -467,6 +497,12 @@ impl Parser {
         match self.peek() {
             Some(Token::Int(_)) | Some(Token::Str(_)) => Ok(Scalar::Lit(self.literal()?)),
             Some(Token::Ident(_)) => Ok(Scalar::Col(self.col_ref()?)),
+            Some(Token::Param) => {
+                self.pos += 1;
+                let ord = self.params;
+                self.params += 1;
+                Ok(Scalar::Param(ord))
+            }
             _ => Err(self.error("expected a scalar")),
         }
     }
@@ -545,7 +581,7 @@ mod tests {
             Stmt::InsertValues { table, rows } => {
                 assert_eq!(table, "parent");
                 assert_eq!(rows.len(), 2);
-                assert_eq!(rows[0][0], Value::from("john"));
+                assert_eq!(rows[0][0], Scalar::Lit(Value::from("john")));
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -641,6 +677,62 @@ mod tests {
             parse_script("CREATE TABLE t (a integer); INSERT INTO t VALUES (1); SELECT * FROM t;")
                 .unwrap();
         assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn parses_parameter_placeholders_in_order() {
+        let (stmt, n) =
+            parse_stmt_params("SELECT * FROM t WHERE a = ? AND ? < b AND c = 'x'").unwrap();
+        assert_eq!(n, 2);
+        let Stmt::Select(Query::Select(block)) = stmt else {
+            panic!()
+        };
+        assert_eq!(
+            block.where_clause[0],
+            Condition::Cmp {
+                left: Scalar::Col(ColRef {
+                    table: None,
+                    column: "a".into()
+                }),
+                op: CmpOp::Eq,
+                right: Scalar::Param(0),
+            }
+        );
+        assert!(matches!(
+            &block.where_clause[1],
+            Condition::Cmp {
+                left: Scalar::Param(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_parameters_in_insert_values() {
+        let (stmt, n) = parse_stmt_params("INSERT INTO t VALUES (?, 'x'), (3, ?)").unwrap();
+        assert_eq!(n, 2);
+        let Stmt::InsertValues { rows, .. } = stmt else {
+            panic!()
+        };
+        assert_eq!(rows[0][0], Scalar::Param(0));
+        assert_eq!(rows[1][1], Scalar::Param(1));
+    }
+
+    #[test]
+    fn parses_truncate_table() {
+        assert_eq!(
+            parse_stmt("TRUNCATE TABLE delta_anc").unwrap(),
+            Stmt::Truncate {
+                table: "delta_anc".into()
+            }
+        );
+        assert!(parse_stmt("TRUNCATE delta_anc").is_err());
+    }
+
+    #[test]
+    fn rejects_parameters_in_in_lists() {
+        assert!(parse_stmt("SELECT * FROM t WHERE a IN (?, 2)").is_err());
+        assert!(parse_stmt("SELECT * FROM t WHERE ? IN (1, 2)").is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         special_tc: true, // role-hierarchy closure uses the TC operator
         supplementary: false,
         durability: false,
+        prepared_sql: true,
     })?;
 
     // Extensional data: role inheritance, grants, denials, memberships.

@@ -25,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         special_tc: false,
         supplementary: false,
         durability: false,
+        prepared_sql: true,
     })?;
 
     // Assembly graph: 5 levels (finished goods -> raw materials), 8 items

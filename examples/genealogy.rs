@@ -22,6 +22,7 @@ fn build_session(optimize: bool) -> Result<Session, Box<dyn std::error::Error>> 
         special_tc: false,
         supplementary: false,
         durability: false,
+        prepared_sql: true,
     })?;
     s.define_base("parent", &binary_sym())?;
     let rows = full_binary_tree(10)

@@ -18,6 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         special_tc: false,
         supplementary: false,
         durability: false,
+        prepared_sql: true,
     })?;
 
     // The extensional database: a parent relation.
