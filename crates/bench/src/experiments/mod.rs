@@ -16,6 +16,7 @@ pub mod prepared;
 pub mod table4;
 pub mod table5;
 pub mod table8;
+pub mod trace;
 pub mod wal;
 
 use std::time::Duration;
@@ -44,4 +45,5 @@ pub const ALL: &[(&str, fn())] = &[
     ("datasets", datasets::run),
     ("optimizers", optimizers::run),
     ("prepared", prepared::run),
+    ("trace", trace::run),
 ];

@@ -50,7 +50,9 @@ pub mod update;
 pub mod util;
 pub mod workspace;
 
-pub use runtime::{EvalOutcome, LfpBreakdown, LfpStrategy};
+pub use runtime::{
+    CliqueTrace, EvalOutcome, IterationTrace, LfpBreakdown, LfpStrategy, NodeTiming,
+};
 pub use session::{CompileTimings, CompiledQuery, QueryResult, Session, SessionConfig};
 pub use stored::{KmError, StoredDkb};
 pub use update::UpdateTimings;

@@ -70,6 +70,50 @@ impl LfpBreakdown {
     }
 }
 
+/// One LFP iteration of one clique, as observed at the SQL boundary.
+#[derive(Debug, Clone, Default)]
+pub struct IterationTrace {
+    /// 1-based iteration number within the clique.
+    pub iteration: u64,
+    /// Per-predicate cardinality of the genuinely new tuples this
+    /// iteration produced (the delta), in clique-predicate order.
+    pub delta_cards: Vec<(String, u64)>,
+    /// Temp-table recycling (CREATE/DROP/TRUNCATE) time this iteration.
+    pub t_temp: Duration,
+    /// RHS (or differential) evaluation time this iteration.
+    pub t_eval: Duration,
+    /// Termination-check time this iteration.
+    pub t_term: Duration,
+    /// Wall time of the whole iteration — the three phases plus loop glue.
+    pub t_total: Duration,
+    /// Plan-cache hits observed at the engine during this iteration.
+    pub plan_cache_hits: u64,
+    /// Plan-cache (re)compilations observed during this iteration.
+    pub plan_cache_misses: u64,
+    /// Cardinality-drift replans observed during this iteration.
+    pub plan_replans: u64,
+    /// SQL statements executed during this iteration.
+    pub statements: u64,
+}
+
+/// Per-clique LFP trace: setup cost plus one [`IterationTrace`] per round.
+///
+/// `t_setup + Σ iterations[i].t_total == total` by construction, so a
+/// consumer can re-derive the clique's wall time from the parts.
+#[derive(Debug, Clone, Default)]
+pub struct CliqueTrace {
+    pub predicates: Vec<String>,
+    /// Whether this clique computes magic predicates (`m_` prefix) —
+    /// Figure 14 attributes LFP time to the two computations this way.
+    pub is_magic: bool,
+    /// Wall time of the whole clique: setup, iterations, teardown.
+    pub total: Duration,
+    /// `total` minus the summed iteration wall times: table creation,
+    /// statement preparation, exit rules, final drops.
+    pub t_setup: Duration,
+    pub iterations: Vec<IterationTrace>,
+}
+
 /// Timing of one evaluation-order node.
 #[derive(Debug, Clone)]
 pub struct NodeTiming {
@@ -91,6 +135,9 @@ pub struct EvalOutcome {
     pub total: Duration,
     /// Per-node timings, in evaluation order.
     pub node_timings: Vec<NodeTiming>,
+    /// Per-clique, per-iteration traces, in evaluation order (one entry
+    /// per clique node; non-recursive nodes do not iterate).
+    pub clique_traces: Vec<CliqueTrace>,
     /// Aggregated LFP breakdown over all nodes.
     pub breakdown: LfpBreakdown,
 }
@@ -196,10 +243,11 @@ pub fn run_program_opts(
 
     // Evaluate nodes in order.
     let mut node_timings = Vec::with_capacity(prog.nodes.len());
+    let mut clique_traces = Vec::new();
     for node in &prog.nodes {
         let node_start = Instant::now();
-        let node_breakdown = match node {
-            ProgNode::Predicate { rules, .. } => eval_predicate(db, rules)?,
+        let (node_breakdown, iterations) = match node {
+            ProgNode::Predicate { rules, .. } => (eval_predicate(db, rules)?, Vec::new()),
             ProgNode::Clique {
                 preds,
                 exit_rules,
@@ -214,21 +262,35 @@ pub fn run_program_opts(
                     if let Some(src) = tc_of {
                         let pred = &preds[0];
                         let mut b = LfpBreakdown::default();
+                        let snap0 = StatSnap::take(db);
                         let t = Instant::now();
                         let rs = db.execute(&format!(
                             "INSERT INTO {} TRANSITIVE CLOSURE OF {src}",
                             all_table(pred)
                         ))?;
-                        b.t_eval_rhs = t.elapsed();
+                        let elapsed = t.elapsed();
+                        b.t_eval_rhs = elapsed;
                         b.n_eval_stmts = 1;
                         b.iterations = 1;
                         b.tuples_produced = rs.affected;
                         breakdown.absorb(&b);
+                        let mut iter = snap0.finish(db);
+                        iter.iteration = 1;
+                        iter.delta_cards = vec![(pred.clone(), rs.affected)];
+                        iter.t_eval = elapsed;
+                        iter.t_total = elapsed;
+                        clique_traces.push(CliqueTrace {
+                            predicates: vec![pred.clone()],
+                            is_magic: pred.starts_with("m_"),
+                            total: elapsed,
+                            t_setup: Duration::ZERO,
+                            iterations: vec![iter],
+                        });
                         node_timings.push(NodeTiming {
                             predicates: vec![pred.clone()],
                             is_clique: true,
                             is_magic: pred.starts_with("m_"),
-                            elapsed: t.elapsed(),
+                            elapsed,
                             breakdown: b,
                         });
                         continue;
@@ -254,12 +316,23 @@ pub fn run_program_opts(
                 }
             }
         };
+        let elapsed = node_start.elapsed();
+        if node.is_clique() {
+            let iter_total: Duration = iterations.iter().map(|i| i.t_total).sum();
+            clique_traces.push(CliqueTrace {
+                predicates: node.predicates().iter().map(|s| s.to_string()).collect(),
+                is_magic: node.predicates().iter().all(|p| p.starts_with("m_")),
+                total: elapsed,
+                t_setup: elapsed.saturating_sub(iter_total),
+                iterations,
+            });
+        }
         breakdown.absorb(&node_breakdown);
         node_timings.push(NodeTiming {
             predicates: node.predicates().iter().map(|s| s.to_string()).collect(),
             is_clique: node.is_clique(),
             is_magic: node.predicates().iter().all(|p| p.starts_with("m_")),
-            elapsed: node_start.elapsed(),
+            elapsed,
             breakdown: node_breakdown,
         });
     }
@@ -285,8 +358,41 @@ pub fn run_program_opts(
         rows,
         total: start.elapsed(),
         node_timings,
+        clique_traces,
         breakdown,
     })
+}
+
+/// Engine counters sampled at an iteration boundary; `finish` turns a pair
+/// of samples into the per-iteration deltas of an [`IterationTrace`].
+struct StatSnap {
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+    plan_replans: u64,
+    statements: u64,
+}
+
+impl StatSnap {
+    fn take(db: &Engine) -> StatSnap {
+        let s = db.stats();
+        StatSnap {
+            plan_cache_hits: s.exec.plan_cache_hits,
+            plan_cache_misses: s.exec.plan_cache_misses,
+            plan_replans: s.exec.plan_replans,
+            statements: s.statements,
+        }
+    }
+
+    fn finish(&self, db: &Engine) -> IterationTrace {
+        let now = StatSnap::take(db);
+        IterationTrace {
+            plan_cache_hits: now.plan_cache_hits - self.plan_cache_hits,
+            plan_cache_misses: now.plan_cache_misses - self.plan_cache_misses,
+            plan_replans: now.plan_replans - self.plan_replans,
+            statements: now.statements - self.statements,
+            ..IterationTrace::default()
+        }
+    }
 }
 
 /// Insert a SELECT's result into `target`, keeping set semantics via the
@@ -319,19 +425,21 @@ fn eval_clique_naive(
     types: &BTreeMap<&str, &[AttrType]>,
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
-) -> Result<LfpBreakdown, KmError> {
+) -> Result<(LfpBreakdown, Vec<IterationTrace>), KmError> {
     let mut b = LfpBreakdown::default();
+    let mut traces = Vec::new();
     loop {
         b.iterations += 1;
+        let iter_start = Instant::now();
+        let snap = StatSnap::take(db);
 
         // Fresh candidate tables for this iteration.
-        timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
-            for (p, tys) in types {
-                db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(p)))?;
-                db.execute(&create_table_sql(&new_table(p), tys))?;
-            }
-            Ok(())
-        })?;
+        let t = Instant::now();
+        for (p, tys) in types {
+            db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(p)))?;
+            db.execute(&create_table_sql(&new_table(p), tys))?;
+        }
+        let mut d_temp = t.elapsed();
         b.n_temp_ops += 2 * types.len() as u64;
 
         // Recompute the full RHS: exit rules and recursive rules alike.
@@ -344,9 +452,10 @@ fn eval_clique_naive(
             ))?;
             b.n_eval_stmts += 1;
         }
-        b.t_eval_rhs += t.elapsed();
+        let mut d_eval = t.elapsed();
 
         // Termination check: full set difference per predicate.
+        let mut delta_cards = Vec::with_capacity(types.len());
         let mut new_tuples: Vec<(&str, Vec<Vec<Value>>)> = Vec::new();
         let t = Instant::now();
         for p in types.keys() {
@@ -356,29 +465,43 @@ fn eval_clique_naive(
                 all_table(p)
             ))?;
             b.n_term_checks += 1;
+            delta_cards.push((p.to_string(), rs.rows.len() as u64));
             if !rs.rows.is_empty() {
                 new_tuples.push((p, rs.rows));
             }
         }
-        b.t_termination += t.elapsed();
+        let d_term = t.elapsed();
 
         // Drop the candidate tables (per-iteration churn).
-        timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
-            for p in types.keys() {
-                db.execute(&format!("DROP TABLE {}", new_table(p)))?;
-            }
-            Ok(())
-        })?;
+        let t = Instant::now();
+        for p in types.keys() {
+            db.execute(&format!("DROP TABLE {}", new_table(p)))?;
+        }
+        d_temp += t.elapsed();
         b.n_temp_ops += types.len() as u64;
 
-        if new_tuples.is_empty() {
-            return Ok(b);
+        let done = new_tuples.is_empty();
+        if !done {
+            let t = Instant::now();
+            for (p, rows) in new_tuples {
+                b.tuples_produced += db.insert_rows(&all_table(p), rows)?;
+            }
+            d_eval += t.elapsed();
         }
-        let t = Instant::now();
-        for (p, rows) in new_tuples {
-            b.tuples_produced += db.insert_rows(&all_table(p), rows)?;
+        b.t_temp_tables += d_temp;
+        b.t_eval_rhs += d_eval;
+        b.t_termination += d_term;
+        let mut iter = snap.finish(db);
+        iter.iteration = b.iterations;
+        iter.delta_cards = delta_cards;
+        iter.t_temp = d_temp;
+        iter.t_eval = d_eval;
+        iter.t_term = d_term;
+        iter.t_total = iter_start.elapsed();
+        traces.push(iter);
+        if done {
+            return Ok((b, traces));
         }
-        b.t_eval_rhs += t.elapsed();
     }
 }
 
@@ -390,8 +513,9 @@ fn eval_clique_seminaive(
     types: &BTreeMap<&str, &[AttrType]>,
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
-) -> Result<LfpBreakdown, KmError> {
+) -> Result<(LfpBreakdown, Vec<IterationTrace>), KmError> {
     let mut b = LfpBreakdown::default();
+    let mut traces = Vec::new();
 
     // Exit rules populate the accumulated tables.
     let t = Instant::now();
@@ -423,15 +547,16 @@ fn eval_clique_seminaive(
 
     loop {
         b.iterations += 1;
+        let iter_start = Instant::now();
+        let snap = StatSnap::take(db);
 
         // Fresh candidate tables.
-        timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
-            for (p, tys) in types {
-                db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(p)))?;
-                db.execute(&create_table_sql(&new_table(p), tys))?;
-            }
-            Ok(())
-        })?;
+        let t = Instant::now();
+        for (p, tys) in types {
+            db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(p)))?;
+            db.execute(&create_table_sql(&new_table(p), tys))?;
+        }
+        let mut d_temp = t.elapsed();
         b.n_temp_ops += 2 * types.len() as u64;
 
         // Evaluate the differential of each recursive rule.
@@ -445,9 +570,10 @@ fn eval_clique_seminaive(
                 b.n_eval_stmts += 1;
             }
         }
-        b.t_eval_rhs += t.elapsed();
+        let mut d_eval = t.elapsed();
 
         // Termination check on the differential.
+        let mut delta_cards = Vec::with_capacity(types.len());
         let mut new_tuples: Vec<(&str, Vec<Vec<Value>>)> = Vec::new();
         let t = Instant::now();
         for p in types.keys() {
@@ -457,41 +583,53 @@ fn eval_clique_seminaive(
                 all_table(p)
             ))?;
             b.n_term_checks += 1;
+            delta_cards.push((p.to_string(), rs.rows.len() as u64));
             if !rs.rows.is_empty() {
                 new_tuples.push((p, rs.rows));
             }
         }
-        b.t_termination += t.elapsed();
+        let d_term = t.elapsed();
 
         // Drop candidate and (old) delta tables — the per-iteration churn.
-        timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
-            for p in types.keys() {
-                db.execute(&format!("DROP TABLE {}", new_table(p)))?;
-                db.execute(&format!("DROP TABLE {}", delta_table(p)))?;
-            }
-            Ok(())
-        })?;
+        let t = Instant::now();
+        for p in types.keys() {
+            db.execute(&format!("DROP TABLE {}", new_table(p)))?;
+            db.execute(&format!("DROP TABLE {}", delta_table(p)))?;
+        }
+        d_temp += t.elapsed();
         b.n_temp_ops += 2 * types.len() as u64;
 
-        if new_tuples.is_empty() {
-            return Ok(b);
-        }
-
-        // New deltas: exactly the new tuples; also fold them into the
-        // accumulated tables.
-        timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
+        let done = new_tuples.is_empty();
+        if !done {
+            // New deltas: exactly the new tuples; also fold them into the
+            // accumulated tables.
+            let t = Instant::now();
             for (p, tys) in types {
                 db.execute(&create_table_sql(&delta_table(p), tys))?;
             }
-            Ok(())
-        })?;
-        b.n_temp_ops += types.len() as u64;
-        let t = Instant::now();
-        for (p, rows) in new_tuples {
-            b.tuples_produced += db.insert_rows(&all_table(p), rows.clone())?;
-            db.insert_rows(&delta_table(p), rows)?;
+            d_temp += t.elapsed();
+            b.n_temp_ops += types.len() as u64;
+            let t = Instant::now();
+            for (p, rows) in new_tuples {
+                b.tuples_produced += db.insert_rows(&all_table(p), rows.clone())?;
+                db.insert_rows(&delta_table(p), rows)?;
+            }
+            d_eval += t.elapsed();
         }
-        b.t_eval_rhs += t.elapsed();
+        b.t_temp_tables += d_temp;
+        b.t_eval_rhs += d_eval;
+        b.t_termination += d_term;
+        let mut iter = snap.finish(db);
+        iter.iteration = b.iterations;
+        iter.delta_cards = delta_cards;
+        iter.t_temp = d_temp;
+        iter.t_eval = d_eval;
+        iter.t_term = d_term;
+        iter.t_total = iter_start.elapsed();
+        traces.push(iter);
+        if done {
+            return Ok((b, traces));
+        }
     }
 }
 
@@ -507,8 +645,9 @@ fn eval_clique_naive_prepared(
     types: &BTreeMap<&str, &[AttrType]>,
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
-) -> Result<LfpBreakdown, KmError> {
+) -> Result<(LfpBreakdown, Vec<IterationTrace>), KmError> {
     let mut b = LfpBreakdown::default();
+    let mut traces = Vec::new();
 
     // Candidate tables, created once for the whole fixpoint, plus the
     // full-key index each termination check probes.
@@ -558,14 +697,16 @@ fn eval_clique_naive_prepared(
 
     loop {
         b.iterations += 1;
+        let iter_start = Instant::now();
+        let snap = StatSnap::take(db);
 
         // Recycle the candidate tables.
-        timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
-            for id in &trunc_stmts {
-                db.execute_prepared(*id, &[])?;
-            }
-            Ok(())
-        })?;
+        let t = Instant::now();
+        for id in &trunc_stmts {
+            db.execute_prepared(*id, &[])?;
+        }
+        let d_temp = t.elapsed();
+        b.t_temp_tables += d_temp;
         b.n_temp_ops += trunc_stmts.len() as u64;
 
         // Recompute the full RHS: exit rules and recursive rules alike.
@@ -574,19 +715,32 @@ fn eval_clique_naive_prepared(
             db.execute_prepared(*id, &[])?;
             b.n_eval_stmts += 1;
         }
-        b.t_eval_rhs += t.elapsed();
+        let d_eval = t.elapsed();
+        b.t_eval_rhs += d_eval;
 
         // Termination check + fold in one server-side statement per
         // predicate.
+        let mut delta_cards = Vec::with_capacity(types.len());
         let mut new_tuples = 0;
         let t = Instant::now();
-        for id in &term_stmts {
+        for (p, id) in preds.iter().zip(&term_stmts) {
             let rs = db.execute_prepared(*id, &[])?;
             b.n_term_checks += 1;
+            delta_cards.push((p.to_string(), rs.affected));
             new_tuples += rs.affected;
         }
-        b.t_termination += t.elapsed();
+        let d_term = t.elapsed();
+        b.t_termination += d_term;
         b.tuples_produced += new_tuples;
+
+        let mut iter = snap.finish(db);
+        iter.iteration = b.iterations;
+        iter.delta_cards = delta_cards;
+        iter.t_temp = d_temp;
+        iter.t_eval = d_eval;
+        iter.t_term = d_term;
+        iter.t_total = iter_start.elapsed();
+        traces.push(iter);
 
         if new_tuples == 0 {
             break;
@@ -604,7 +758,7 @@ fn eval_clique_naive_prepared(
     for id in eval_stmts.into_iter().chain(trunc_stmts).chain(term_stmts) {
         db.deallocate(id)?;
     }
-    Ok(b)
+    Ok((b, traces))
 }
 
 /// Semi-naive LFP in embedded-SQL style. Candidate and delta tables are
@@ -619,8 +773,9 @@ fn eval_clique_seminaive_prepared(
     types: &BTreeMap<&str, &[AttrType]>,
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
-) -> Result<LfpBreakdown, KmError> {
+) -> Result<(LfpBreakdown, Vec<IterationTrace>), KmError> {
     let mut b = LfpBreakdown::default();
+    let mut traces = Vec::new();
 
     // Exit rules populate the accumulated tables (single-shot statements).
     let t = Instant::now();
@@ -699,15 +854,16 @@ fn eval_clique_seminaive_prepared(
 
     loop {
         b.iterations += 1;
+        let iter_start = Instant::now();
+        let snap = StatSnap::take(db);
 
         // Recycle the candidate tables, then evaluate the differential of
         // each recursive rule against the previous delta.
-        timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
-            for id in &trunc_new {
-                db.execute_prepared(*id, &[])?;
-            }
-            Ok(())
-        })?;
+        let t = Instant::now();
+        for id in &trunc_new {
+            db.execute_prepared(*id, &[])?;
+        }
+        let mut d_temp = t.elapsed();
         b.n_temp_ops += trunc_new.len() as u64;
 
         let t = Instant::now();
@@ -715,39 +871,53 @@ fn eval_clique_seminaive_prepared(
             db.execute_prepared(*id, &[])?;
             b.n_eval_stmts += 1;
         }
-        b.t_eval_rhs += t.elapsed();
+        let mut d_eval = t.elapsed();
 
         // Recycle the delta, then refill it with exactly the new tuples —
         // the server-side termination check.
-        timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
-            for id in &trunc_delta {
-                db.execute_prepared(*id, &[])?;
-            }
-            Ok(())
-        })?;
+        let t = Instant::now();
+        for id in &trunc_delta {
+            db.execute_prepared(*id, &[])?;
+        }
+        d_temp += t.elapsed();
         b.n_temp_ops += trunc_delta.len() as u64;
 
+        let mut delta_cards = Vec::with_capacity(types.len());
         let mut new_tuples = 0;
         let t = Instant::now();
-        for id in &term_stmts {
+        for (p, id) in preds.iter().zip(&term_stmts) {
             let rs = db.execute_prepared(*id, &[])?;
             b.n_term_checks += 1;
+            delta_cards.push((p.to_string(), rs.affected));
             new_tuples += rs.affected;
         }
-        b.t_termination += t.elapsed();
+        let d_term = t.elapsed();
 
-        if new_tuples == 0 {
+        let done = new_tuples == 0;
+        if !done {
+            // Fold the delta into the accumulated tables.
+            let t = Instant::now();
+            for id in &fold_stmts {
+                let rs = db.execute_prepared(*id, &[])?;
+                b.n_eval_stmts += 1;
+                b.tuples_produced += rs.affected;
+            }
+            d_eval += t.elapsed();
+        }
+        b.t_temp_tables += d_temp;
+        b.t_eval_rhs += d_eval;
+        b.t_termination += d_term;
+        let mut iter = snap.finish(db);
+        iter.iteration = b.iterations;
+        iter.delta_cards = delta_cards;
+        iter.t_temp = d_temp;
+        iter.t_eval = d_eval;
+        iter.t_term = d_term;
+        iter.t_total = iter_start.elapsed();
+        traces.push(iter);
+        if done {
             break;
         }
-
-        // Fold the delta into the accumulated tables.
-        let t = Instant::now();
-        for id in &fold_stmts {
-            let rs = db.execute_prepared(*id, &[])?;
-            b.n_eval_stmts += 1;
-            b.tuples_produced += rs.affected;
-        }
-        b.t_eval_rhs += t.elapsed();
     }
 
     // Drop the recycled temporaries and release the handles.
@@ -768,7 +938,7 @@ fn eval_clique_seminaive_prepared(
     {
         db.deallocate(id)?;
     }
-    Ok(b)
+    Ok((b, traces))
 }
 
 #[cfg(test)]
@@ -995,6 +1165,48 @@ mod tests {
             2 * out.breakdown.iterations + (out.breakdown.iterations - 1) - 3,
             "every re-execution reuses its cached plan"
         );
+    }
+
+    #[test]
+    fn clique_traces_account_for_wall_time() {
+        let (program, _) = ancestor_program("?- anc(A, B).");
+        for prepared in [false, true] {
+            for strategy in [LfpStrategy::Naive, LfpStrategy::SemiNaive] {
+                let mut db = chain_engine(8);
+                let prog = compile(&program, &db);
+                let out = run_program_opts(&mut db, &prog, strategy, false, prepared).unwrap();
+                assert_eq!(out.clique_traces.len(), 1, "one clique over anc");
+                let trace = &out.clique_traces[0];
+                assert!(trace.predicates.contains(&"anc".to_string()));
+                assert!(!trace.is_magic);
+                assert_eq!(trace.iterations.len() as u64, out.breakdown.iterations);
+                // Iteration wall times plus setup reconstruct the clique
+                // total exactly (t_setup is defined as the remainder).
+                let sum: Duration =
+                    trace.t_setup + trace.iterations.iter().map(|i| i.t_total).sum::<Duration>();
+                assert!(sum <= trace.total);
+                assert!(trace.total - sum < Duration::from_millis(1));
+                // The last iteration finds nothing new; earlier ones do.
+                let cards: Vec<u64> = trace
+                    .iterations
+                    .iter()
+                    .map(|i| i.delta_cards.iter().map(|(_, n)| n).sum())
+                    .collect();
+                assert_eq!(*cards.last().unwrap(), 0, "final round is empty");
+                assert!(cards[..cards.len() - 1].iter().all(|&n| n > 0));
+                // Iteration numbers are 1-based and consecutive.
+                for (i, iter) in trace.iterations.iter().enumerate() {
+                    assert_eq!(iter.iteration, i as u64 + 1);
+                    assert!(iter.statements > 0);
+                }
+                if prepared {
+                    // After the first round every statement reuses its plan.
+                    assert!(trace.iterations[1..]
+                        .iter()
+                        .all(|i| i.plan_cache_misses == 0 && i.plan_cache_hits > 0));
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,19 @@ pub struct BufferStats {
     pub dirty_writebacks: u64,
 }
 
+impl BufferStats {
+    /// Fraction of page requests served from the pool, in [0, 1];
+    /// 1.0 when no request has been made yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 struct Frame {
     key: Option<(FileId, PageId)>,
     data: Box<[u8]>,

@@ -45,6 +45,10 @@ pub struct DiskStats {
     pub wal_records: u64,
     /// Total bytes appended to the WAL.
     pub wal_bytes: u64,
+    /// Checkpoints (whole-log truncations) taken by the WAL.
+    pub wal_checkpoints: u64,
+    /// Peak WAL size in bytes ever reached between checkpoints.
+    pub wal_high_water_bytes: u64,
     /// Reads that hit a transient fault and were retried.
     pub read_retries: u64,
     /// Writes the injector tore in half before crashing the disk.
@@ -677,7 +681,12 @@ impl Disk {
     }
 
     pub fn stats(&self) -> DiskStats {
-        self.stats
+        let mut s = self.stats;
+        if let Some(wal) = self.wal.as_ref() {
+            s.wal_checkpoints = wal.checkpoint_count();
+            s.wal_high_water_bytes = wal.high_water_bytes() as u64;
+        }
+        s
     }
 
     /// Whether `file` still exists.

@@ -8,7 +8,7 @@
 use crate::buffer::{BufferPool, BufferStats, DEFAULT_POOL_FRAMES};
 use crate::catalog::{Catalog, DbError, Table};
 use crate::disk::{Disk, DiskStats, FaultInjector, RecoveryReport};
-use crate::exec::{execute_plan, ExecCtx, ExecStats};
+use crate::exec::{execute_plan, ExecCtx, ExecStats, OpProfile, Profiler};
 use crate::heap::RecordId;
 use crate::plan::{output_types, plan_query, ExecCond, PlannedQuery};
 use crate::schema::{serialize_tuple, Schema, Tuple};
@@ -127,6 +127,8 @@ pub struct Engine {
     catalog_epoch: u64,
     prepared: BTreeMap<u64, PreparedStmt>,
     next_stmt_id: u64,
+    /// Per-operator profile collected by the most recent EXPLAIN ANALYZE.
+    last_profile: Vec<OpProfile>,
 }
 
 impl Default for Engine {
@@ -153,6 +155,7 @@ impl Engine {
             catalog_epoch: 0,
             prepared: BTreeMap::new(),
             next_stmt_id: 0,
+            last_profile: Vec::new(),
         }
     }
 
@@ -399,13 +402,18 @@ impl Engine {
                 let planned = self.cached_plan(id, query, None)?;
                 Ok(explain_result(&planned))
             }
+            Stmt::ExplainAnalyze(query) => {
+                let planned = self.cached_plan(id, query, None)?;
+                self.explain_analyze(&planned, params)
+            }
             other => self.dispatch_stmt(other),
         }
     }
 
     /// Fetch the plan cached for `id` if it was built under the current
-    /// catalog epoch; otherwise (re-)plan, type-check an INSERT SELECT
-    /// target if given, and cache the result under the current epoch.
+    /// catalog epoch and its base-table cardinalities have not drifted;
+    /// otherwise (re-)plan, type-check an INSERT SELECT target if given,
+    /// and cache the result under the current epoch.
     fn cached_plan(
         &mut self,
         id: StmtId,
@@ -413,15 +421,28 @@ impl Engine {
         insert_target: Option<&str>,
     ) -> Result<PlannedQuery, DbError> {
         let epoch = self.catalog_epoch;
+        let mut drifted = false;
         if let Some((cached_epoch, planned)) =
             self.prepared.get(&id.0).and_then(|e| e.plan.as_ref())
         {
             if *cached_epoch == epoch {
-                self.exec_stats.plan_cache_hits += 1;
-                return Ok(planned.clone());
+                // The epoch only tracks schema changes; join orders were
+                // chosen from the tuple counts at plan time. Re-plan when
+                // any joined table has since grown or shrunk past the
+                // drift threshold — the cached join order may be inverted
+                // relative to what the planner would pick today.
+                if !cards_drifted(&self.catalog, planned) {
+                    self.exec_stats.plan_cache_hits += 1;
+                    return Ok(planned.clone());
+                }
+                drifted = true;
             }
         }
-        self.exec_stats.plan_cache_misses += 1;
+        if drifted {
+            self.exec_stats.plan_replans += 1;
+        } else {
+            self.exec_stats.plan_cache_misses += 1;
+        }
         let t0 = Instant::now();
         let planned = plan_query(&self.catalog, query);
         self.exec_stats.plan_ns += t0.elapsed().as_nanos() as u64;
@@ -540,6 +561,12 @@ impl Engine {
                 self.exec_stats.plan_ns += t0.elapsed().as_nanos() as u64;
                 Ok(explain_result(&planned?))
             }
+            Stmt::ExplainAnalyze(query) => {
+                let t0 = Instant::now();
+                let planned = plan_query(&self.catalog, query);
+                self.exec_stats.plan_ns += t0.elapsed().as_nanos() as u64;
+                self.explain_analyze(&planned?, &[])
+            }
         }
     }
 
@@ -605,6 +632,7 @@ impl Engine {
                 pool: &mut self.pool,
                 stats: &mut self.exec_stats,
                 params,
+                profiler: None,
             };
             execute_plan(&planned.plan, &mut ctx)
         };
@@ -616,6 +644,59 @@ impl Engine {
             rows,
             affected: 0,
         })
+    }
+
+    /// Execute `planned` with the per-operator profiler installed and
+    /// render the plan tree annotated with runtime counters. The collected
+    /// profile stays available through [`Engine::last_profile`].
+    fn explain_analyze(
+        &mut self,
+        planned: &PlannedQuery,
+        params: &[Value],
+    ) -> Result<ResultSet, DbError> {
+        let t0 = Instant::now();
+        let (rows, profile) = {
+            let mut ctx = ExecCtx {
+                catalog: &self.catalog,
+                disk: &mut self.disk,
+                pool: &mut self.pool,
+                stats: &mut self.exec_stats,
+                params,
+                profiler: Some(Profiler::default()),
+            };
+            let rows = execute_plan(&planned.plan, &mut ctx);
+            let profile = ctx.profiler.take().expect("installed above").into_nodes();
+            (rows, profile)
+        };
+        self.exec_stats.exec_ns += t0.elapsed().as_nanos() as u64;
+        let rows = rows?;
+        self.exec_stats.rows_output += rows.len() as u64;
+        let lines: Vec<Tuple> = profile
+            .iter()
+            .map(|op| vec![Value::Str(render_op_profile(op))])
+            .collect();
+        self.last_profile = profile;
+        Ok(ResultSet {
+            columns: vec!["plan".to_string()],
+            rows: lines,
+            affected: 0,
+        })
+    }
+
+    /// Per-operator profile of the most recent `EXPLAIN ANALYZE`, in
+    /// pre-order (the same order as the rendered plan rows).
+    pub fn last_profile(&self) -> &[OpProfile] {
+        &self.last_profile
+    }
+
+    /// EXPLAIN lines of the physical plan currently cached for a prepared
+    /// statement, if one has been built. Lets tests and tools observe the
+    /// join order a prepared statement would actually execute.
+    pub fn prepared_plan_text(&self, id: StmtId) -> Option<Vec<String>> {
+        self.prepared
+            .get(&id.0)
+            .and_then(|e| e.plan.as_ref())
+            .map(|(_, planned)| planned.plan.explain())
     }
 
     /// Bulk-insert rows (programmatic fast path; also used by SQL INSERT).
@@ -924,6 +1005,43 @@ impl Engine {
             tables_dropped: self.tables_dropped,
         }
     }
+
+    /// All engine counters as a [`metrics::Registry`](crate::metrics::Registry)
+    /// snapshot, ready for JSON export. Names are `layer.counter`.
+    pub fn metrics(&self) -> crate::metrics::Registry {
+        let s = self.stats();
+        let mut r = crate::metrics::Registry::new();
+        r.counter("disk.pages_read", s.disk.pages_read);
+        r.counter("disk.pages_written", s.disk.pages_written);
+        r.counter("disk.pages_allocated", s.disk.pages_allocated);
+        r.counter("disk.read_retries", s.disk.read_retries);
+        r.counter("disk.torn_writes", s.disk.torn_writes);
+        r.counter("disk.injected_faults", s.disk.injected_faults);
+        r.counter("wal.records", s.disk.wal_records);
+        r.counter("wal.bytes", s.disk.wal_bytes);
+        r.counter("wal.checkpoints", s.disk.wal_checkpoints);
+        r.gauge("wal.high_water_bytes", s.disk.wal_high_water_bytes as f64);
+        r.counter("buffer.hits", s.buffer.hits);
+        r.counter("buffer.misses", s.buffer.misses);
+        r.counter("buffer.evictions", s.buffer.evictions);
+        r.counter("buffer.dirty_writebacks", s.buffer.dirty_writebacks);
+        r.gauge("buffer.hit_rate", s.buffer.hit_rate());
+        r.counter("exec.tuples_scanned", s.exec.tuples_scanned);
+        r.counter("exec.tuples_fetched", s.exec.tuples_fetched);
+        r.counter("exec.index_probes", s.exec.index_probes);
+        r.counter("exec.join_output", s.exec.join_output);
+        r.counter("exec.rows_output", s.exec.rows_output);
+        r.counter("exec.plan_cache_hits", s.exec.plan_cache_hits);
+        r.counter("exec.plan_cache_misses", s.exec.plan_cache_misses);
+        r.counter("exec.plan_replans", s.exec.plan_replans);
+        r.counter("exec.parse_ns", s.exec.parse_ns);
+        r.counter("exec.plan_ns", s.exec.plan_ns);
+        r.counter("exec.exec_ns", s.exec.exec_ns);
+        r.counter("engine.statements", s.statements);
+        r.counter("engine.tables_created", s.tables_created);
+        r.counter("engine.tables_dropped", s.tables_dropped);
+        r
+    }
 }
 
 fn scalar_is_param(s: &Scalar) -> bool {
@@ -957,9 +1075,10 @@ fn query_has_param(q: &Query) -> bool {
 fn stmt_has_param(stmt: &Stmt) -> bool {
     match stmt {
         Stmt::InsertValues { rows, .. } => rows.iter().flatten().any(scalar_is_param),
-        Stmt::InsertSelect { query, .. } | Stmt::Select(query) | Stmt::Explain(query) => {
-            query_has_param(query)
-        }
+        Stmt::InsertSelect { query, .. }
+        | Stmt::Select(query)
+        | Stmt::Explain(query)
+        | Stmt::ExplainAnalyze(query) => query_has_param(query),
         Stmt::Delete { predicate, .. } => predicate.iter().any(cond_has_param),
         _ => false,
     }
@@ -1014,6 +1133,54 @@ fn bind_conditions(conds: &[Condition], params: &[Value]) -> Result<Vec<Conditio
             }),
         })
         .collect()
+}
+
+/// How far a live cardinality may drift from its plan-time snapshot (in
+/// either direction) before a cached plan is considered stale.
+const REPLAN_DRIFT_FACTOR: u64 = 10;
+
+/// Whether any base-table cardinality recorded in a cached plan has
+/// drifted past [`REPLAN_DRIFT_FACTOR`]. Counts clamp to 1 so growth from
+/// an empty table still registers. A table dropped since plan time is the
+/// epoch's business, not drift's.
+fn cards_drifted(catalog: &Catalog, planned: &PlannedQuery) -> bool {
+    planned.base_cards.iter().any(|(table, at_plan)| {
+        let Ok(t) = catalog.table(table) else {
+            return false;
+        };
+        let live = t.heap.tuple_count().max(1);
+        let at_plan = (*at_plan).max(1);
+        live >= at_plan.saturating_mul(REPLAN_DRIFT_FACTOR)
+            || at_plan >= live.saturating_mul(REPLAN_DRIFT_FACTOR)
+    })
+}
+
+/// Render one profiled operator as an EXPLAIN ANALYZE output line.
+fn render_op_profile(op: &OpProfile) -> String {
+    let mut line = format!(
+        "{}{} (rows={} time={:.3}ms",
+        "  ".repeat(op.depth),
+        op.label,
+        op.rows_out,
+        op.elapsed_ns as f64 / 1e6
+    );
+    if op.tuples_scanned > 0 {
+        line.push_str(&format!(" scanned={}", op.tuples_scanned));
+    }
+    if op.index_probes > 0 {
+        line.push_str(&format!(" probes={}", op.index_probes));
+    }
+    if op.tuples_fetched > 0 {
+        line.push_str(&format!(" fetched={}", op.tuples_fetched));
+    }
+    if op.build_rows > 0 {
+        line.push_str(&format!(" build={}", op.build_rows));
+    }
+    if op.residual_dropped > 0 {
+        line.push_str(&format!(" dropped={}", op.residual_dropped));
+    }
+    line.push(')');
+    line
 }
 
 /// Render a physical plan as the EXPLAIN result set.
@@ -1914,6 +2081,212 @@ mod tests {
         let s = e.stats().exec;
         assert_eq!(s.plan_cache_misses, 1, "TRUNCATE keeps the plan");
         assert_eq!(s.plan_cache_hits, 1);
+    }
+
+    /// Relative order of two tables' scan lines in an EXPLAIN rendering:
+    /// `true` when `first` is scanned before `second` (i.e. earlier in the
+    /// greedy join order).
+    fn scans_before(lines: &[String], first: &str, second: &str) -> bool {
+        let pos = |t: &str| {
+            lines
+                .iter()
+                .position(|l| l.contains(&format!("SeqScan {t}")))
+                .unwrap_or_else(|| panic!("no SeqScan {t} in {lines:?}"))
+        };
+        pos(first) < pos(second)
+    }
+
+    #[test]
+    fn cardinality_drift_replans_cached_join_order() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE small (k char)").unwrap();
+        e.execute("CREATE TABLE big (k char)").unwrap();
+        e.insert_rows(
+            "small",
+            vec![vec![Value::from("x")], vec![Value::from("y")]],
+        )
+        .unwrap();
+        e.insert_rows(
+            "big",
+            (0..50)
+                .map(|i| vec![Value::from(format!("b{i}"))])
+                .collect(),
+        )
+        .unwrap();
+        let id = e
+            .prepare("SELECT * FROM small s, big b WHERE s.k = b.k")
+            .unwrap();
+        e.execute_prepared(id, &[]).unwrap();
+        let plan_before = e.prepared_plan_text(id).unwrap();
+        assert!(
+            scans_before(&plan_before, "small", "big"),
+            "2-row table drives the join at plan time: {plan_before:?}"
+        );
+
+        // The cached plan's assumption goes stale: `small` grows 1000x.
+        e.insert_rows(
+            "small",
+            (0..2000)
+                .map(|i| vec![Value::from(format!("s{i}"))])
+                .collect(),
+        )
+        .unwrap();
+        let rs = e.execute_prepared(id, &[]).unwrap();
+        assert_eq!(rs.rows.len(), 0, "no shared keys");
+        let plan_after = e.prepared_plan_text(id).unwrap();
+        assert!(
+            scans_before(&plan_after, "big", "small"),
+            "after 1000x growth the join order flips: {plan_after:?}"
+        );
+        let s = e.stats().exec;
+        assert_eq!(s.plan_replans, 1, "drift re-planned the statement");
+        assert_eq!(
+            s.plan_cache_misses, 1,
+            "only the first execution planned cold"
+        );
+
+        // The fixpoint: re-executing against stable cardinalities is a
+        // plain cache hit again.
+        e.execute_prepared(id, &[]).unwrap();
+        let s = e.stats().exec;
+        assert_eq!(s.plan_replans, 1);
+        assert_eq!(s.plan_cache_hits, 1);
+    }
+
+    #[test]
+    fn duplicate_join_columns_still_use_single_column_index() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE l (a char, b char)").unwrap();
+        e.execute("CREATE TABLE r (x char, v char)").unwrap();
+        e.execute("CREATE INDEX r_x ON r (x)").unwrap();
+        e.insert_rows(
+            "l",
+            vec![
+                vec![Value::from("m"), Value::from("m")],
+                vec![Value::from("q"), Value::from("z")],
+            ],
+        )
+        .unwrap();
+        e.insert_rows(
+            "r",
+            vec![
+                vec![Value::from("m"), Value::from("r1")],
+                vec![Value::from("q"), Value::from("r2")],
+                vec![Value::from("z"), Value::from("r3")],
+            ],
+        )
+        .unwrap();
+        // Both equalities target r.x: the deduped key set is {x}, served by
+        // the single-column index; the second equality stays as a residual.
+        let sql = "SELECT l.a, r.v FROM l, r WHERE l.a = r.x AND l.b = r.x";
+        let plan = e.execute(&format!("EXPLAIN {sql}")).unwrap();
+        let text: Vec<String> = plan
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Str(s) => s.clone(),
+                v => panic!("unexpected {v:?}"),
+            })
+            .collect();
+        assert!(
+            text.iter().any(|l| l.contains("IndexNlJoin probe r")),
+            "duplicate join columns must not disqualify the index: {text:?}"
+        );
+        let probes_before = e.stats().exec.index_probes;
+        let rows = e.execute(sql).unwrap().rows;
+        // Only ('m','m') satisfies both equalities; ('q','z') matches on
+        // l.a but the residual l.b = r.x rejects it.
+        assert_eq!(rows, vec![vec![Value::from("m"), Value::from("r1")]]);
+        assert!(e.stats().exec.index_probes > probes_before);
+    }
+
+    #[test]
+    fn in_list_estimate_scales_with_list_cardinality() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE wide (k char, v integer)").unwrap();
+        e.execute("CREATE TABLE narrow (k char, v integer)")
+            .unwrap();
+        for t in ["wide", "narrow"] {
+            e.insert_rows(
+                t,
+                (0..100)
+                    .map(|i| vec![Value::from(format!("k{i}")), Value::Int(i)])
+                    .collect(),
+            )
+            .unwrap();
+        }
+        // Same base cardinality, but `wide`'s IN list admits 40 values while
+        // `narrow`'s admits one: the narrow relation must drive the join.
+        let in40: Vec<String> = (0..40).map(|i| i.to_string()).collect();
+        let sql = format!(
+            "EXPLAIN SELECT * FROM wide w, narrow n WHERE w.k = n.k \
+             AND w.v IN ({}) AND n.v IN (7)",
+            in40.join(", ")
+        );
+        let text: Vec<String> = e
+            .execute(&sql)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Str(s) => s.clone(),
+                v => panic!("unexpected {v:?}"),
+            })
+            .collect();
+        assert!(
+            scans_before(&text, "narrow", "wide"),
+            "a 40-value IN list is ~40x less selective than a 1-value one: {text:?}"
+        );
+    }
+
+    // -- EXPLAIN ANALYZE ---------------------------------------------------
+
+    #[test]
+    fn explain_analyze_reports_per_operator_counters() {
+        let mut e = engine_with_parent();
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
+        let sql = "SELECT a.par, b.child FROM parent a, parent b WHERE a.child = b.par";
+        let expected = e.execute(sql).unwrap().rows.len() as u64;
+        let rs = e.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        assert!(!rs.rows.is_empty());
+        let profile = e.last_profile().to_vec();
+        assert_eq!(rs.rows.len(), profile.len(), "one line per operator");
+        // The root operator emits exactly the query's result cardinality.
+        assert_eq!(profile[0].rows_out, expected);
+        assert_eq!(profile[0].depth, 0);
+        assert!(profile[0].label.starts_with("Project"));
+        // Real work was attributed somewhere in the tree.
+        assert!(profile.iter().any(|op| op.rows_out > 0));
+        assert!(profile
+            .iter()
+            .any(|op| op.tuples_scanned > 0 || op.index_probes > 0));
+        // Rendered lines carry the counters.
+        let first = match &rs.rows[0][0] {
+            Value::Str(s) => s.clone(),
+            v => panic!("unexpected {v:?}"),
+        };
+        assert!(
+            first.contains("rows=") && first.contains("time="),
+            "{first}"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_runs_prepared_with_params() {
+        let mut e = engine_with_parent();
+        e.execute("CREATE INDEX parent_par ON parent (par)")
+            .unwrap();
+        let id = e
+            .prepare("EXPLAIN ANALYZE SELECT child FROM parent WHERE par = ?")
+            .unwrap();
+        e.execute_prepared(id, &[Value::from("carol")]).unwrap();
+        let profile = e.last_profile();
+        assert_eq!(profile[0].rows_out, 1, "carol has one child");
+        assert!(
+            profile.iter().any(|op| op.index_probes > 0),
+            "param equality keeps the index path: {profile:?}"
+        );
     }
 
     #[test]

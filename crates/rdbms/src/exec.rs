@@ -33,12 +33,81 @@ pub struct ExecStats {
     /// Prepared-statement executions that had to (re)plan, including the
     /// first execution after `prepare` and any catalog-epoch invalidation.
     pub plan_cache_misses: u64,
+    /// Cached plans discarded because a base table's live cardinality
+    /// drifted past the replan threshold since plan time (counted
+    /// separately from hits and misses).
+    pub plan_replans: u64,
     /// Wall time spent lexing/parsing SQL, in nanoseconds.
     pub parse_ns: u64,
     /// Wall time spent planning queries, in nanoseconds.
     pub plan_ns: u64,
     /// Wall time spent executing physical plans, in nanoseconds.
     pub exec_ns: u64,
+}
+
+/// Per-operator runtime counters collected while executing under
+/// `EXPLAIN ANALYZE`. Nodes are stored in pre-order; `depth` reconstructs
+/// the tree shape (a node's children are the entries that follow it with
+/// `depth + 1`, up to the next entry at its own depth or less).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Operator description, identical to the EXPLAIN line (unindented).
+    pub label: String,
+    pub depth: usize,
+    /// Rows this operator emitted to its parent.
+    pub rows_out: u64,
+    /// Inclusive wall time, children included.
+    pub elapsed_ns: u64,
+    /// Heap tuples scanned by this operator itself (children excluded).
+    pub tuples_scanned: u64,
+    /// Tuples fetched through an index by this operator itself.
+    pub tuples_fetched: u64,
+    /// Index probes issued by this operator itself.
+    pub index_probes: u64,
+    /// Rows on the build side of a hash join.
+    pub build_rows: u64,
+    /// Candidate rows dropped by this operator's residual / pushed-down
+    /// filters (a scanned-but-filtered tuple, a joined row failing a
+    /// residual condition, a filtered inner tuple of an index join).
+    pub residual_dropped: u64,
+}
+
+/// Collects the [`OpProfile`] tree during execution. Installed in
+/// [`ExecCtx::profiler`] only by EXPLAIN ANALYZE, so the ordinary
+/// execution path pays a single `Option` test per plan node.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    nodes: Vec<OpProfile>,
+    stack: Vec<usize>,
+}
+
+impl Profiler {
+    fn enter(&mut self, plan: &PhysPlan) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(OpProfile {
+            label: plan.label(),
+            depth: self.stack.len(),
+            ..OpProfile::default()
+        });
+        self.stack.push(idx);
+        idx
+    }
+
+    fn exit(&mut self, idx: usize, elapsed_ns: u64, rows_out: u64) {
+        self.stack.pop();
+        let node = &mut self.nodes[idx];
+        node.elapsed_ns = elapsed_ns;
+        node.rows_out = rows_out;
+    }
+
+    fn current(&mut self) -> Option<&mut OpProfile> {
+        self.stack.last().map(|&i| &mut self.nodes[i])
+    }
+
+    /// The collected pre-order profile.
+    pub fn into_nodes(self) -> Vec<OpProfile> {
+        self.nodes
+    }
 }
 
 /// Everything an operator needs at runtime.
@@ -50,6 +119,64 @@ pub struct ExecCtx<'a> {
     /// Bind values for `?` placeholders; empty for unparameterized plans.
     /// Arity and ordinals are validated by the engine before execution.
     pub params: &'a [Value],
+    /// When set, `execute_plan` records an [`OpProfile`] per plan node.
+    pub profiler: Option<Profiler>,
+}
+
+impl ExecCtx<'_> {
+    /// Count a sequential-scan tuple read, attributing it to the operator
+    /// currently executing when profiling is on.
+    #[inline]
+    fn count_scanned(&mut self) {
+        self.stats.tuples_scanned += 1;
+        if let Some(p) = self.profiler.as_mut() {
+            if let Some(op) = p.current() {
+                op.tuples_scanned += 1;
+            }
+        }
+    }
+
+    /// Count an index-fetched tuple.
+    #[inline]
+    fn count_fetched(&mut self) {
+        self.stats.tuples_fetched += 1;
+        if let Some(p) = self.profiler.as_mut() {
+            if let Some(op) = p.current() {
+                op.tuples_fetched += 1;
+            }
+        }
+    }
+
+    /// Count an index probe.
+    #[inline]
+    fn count_probe(&mut self) {
+        self.stats.index_probes += 1;
+        if let Some(p) = self.profiler.as_mut() {
+            if let Some(op) = p.current() {
+                op.index_probes += 1;
+            }
+        }
+    }
+
+    /// Record a candidate row dropped by a residual or pushed-down filter.
+    #[inline]
+    fn prof_drop(&mut self) {
+        if let Some(p) = self.profiler.as_mut() {
+            if let Some(op) = p.current() {
+                op.residual_dropped += 1;
+            }
+        }
+    }
+
+    /// Record the hash-join build-side size.
+    #[inline]
+    fn prof_build(&mut self, rows: u64) {
+        if let Some(p) = self.profiler.as_mut() {
+            if let Some(op) = p.current() {
+                op.build_rows = rows;
+            }
+        }
+    }
 }
 
 /// Evaluate one resolved condition against a flat row.
@@ -101,18 +228,38 @@ fn fetch_indexed(
     })
 }
 
-/// Execute `plan` to completion.
+/// Execute `plan` to completion. When a [`Profiler`] is installed in the
+/// context, each node's wall time, output cardinality, and operator-local
+/// counters are recorded on the way.
 pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbError> {
+    if ctx.profiler.is_none() {
+        return run_plan(plan, ctx);
+    }
+    let idx = ctx.profiler.as_mut().expect("profiler present").enter(plan);
+    let start = std::time::Instant::now();
+    let result = run_plan(plan, ctx);
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let rows_out = result.as_ref().map(|r| r.len() as u64).unwrap_or(0);
+    ctx.profiler
+        .as_mut()
+        .expect("profiler present")
+        .exit(idx, elapsed_ns, rows_out);
+    result
+}
+
+fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbError> {
     match plan {
         PhysPlan::SeqScan { table, filters } => {
             let t = ctx.catalog.table(table)?;
             let mut scan = t.heap.scan();
             let mut out = Vec::new();
             while let Some((rid, payload)) = scan.next(ctx.disk, ctx.pool)? {
-                ctx.stats.tuples_scanned += 1;
+                ctx.count_scanned();
                 let tuple = decode_tuple(table, rid, &payload)?;
                 if eval_all(filters, &tuple, ctx.params) {
                     out.push(tuple);
+                } else {
+                    ctx.prof_drop();
                 }
             }
             Ok(out)
@@ -126,15 +273,17 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
             let t = ctx.catalog.table(table)?;
             let index = &t.indexes[*index_pos];
             let key = resolve_key(key, ctx.params);
-            ctx.stats.index_probes += 1;
+            ctx.count_probe();
             let rids: Vec<_> = index.lookup(&key).to_vec();
             let mut out = Vec::with_capacity(rids.len());
             for rid in rids {
                 let payload = fetch_indexed(ctx, t, rid)?;
-                ctx.stats.tuples_fetched += 1;
+                ctx.count_fetched();
                 let tuple = decode_tuple(table, rid, &payload)?;
                 if eval_all(residual, &tuple, ctx.params) {
                     out.push(tuple);
+                } else {
+                    ctx.prof_drop();
                 }
             }
             Ok(out)
@@ -156,14 +305,16 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
             let rids = index
                 .range(to_key(lo), to_key(hi))
                 .expect("planner only ranges over ordered indexes");
-            ctx.stats.index_probes += 1;
+            ctx.count_probe();
             let mut out = Vec::with_capacity(rids.len());
             for rid in rids {
                 let payload = fetch_indexed(ctx, t, rid)?;
-                ctx.stats.tuples_fetched += 1;
+                ctx.count_fetched();
                 let tuple = decode_tuple(table, rid, &payload)?;
                 if eval_all(residual, &tuple, ctx.params) {
                     out.push(tuple);
+                } else {
+                    ctx.prof_drop();
                 }
             }
             Ok(out)
@@ -190,6 +341,7 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
                 let key: Vec<Value> = build_keys.iter().map(|&i| row[i].clone()).collect();
                 table.entry(key).or_default().push(row);
             }
+            ctx.prof_build(build.len() as u64);
             let mut out = Vec::new();
             for prow in probe {
                 let key: Vec<Value> = probe_keys.iter().map(|&i| prow[i].clone()).collect();
@@ -206,6 +358,8 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
                         if eval_all(residual, &joined, ctx.params) {
                             ctx.stats.join_output += 1;
                             out.push(joined);
+                        } else {
+                            ctx.prof_drop();
                         }
                     }
                 }
@@ -226,13 +380,14 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
             let mut out = Vec::new();
             for lrow in &left_rows {
                 let key: Vec<Value> = left_keys.iter().map(|&i| lrow[i].clone()).collect();
-                ctx.stats.index_probes += 1;
+                ctx.count_probe();
                 let rids: Vec<_> = index.lookup(&key).to_vec();
                 for rid in rids {
                     let payload = fetch_indexed(ctx, t, rid)?;
-                    ctx.stats.tuples_fetched += 1;
+                    ctx.count_fetched();
                     let inner = decode_tuple(table, rid, &payload)?;
                     if !eval_all(inner_filters, &inner, ctx.params) {
+                        ctx.prof_drop();
                         continue;
                     }
                     let mut joined = Vec::with_capacity(lrow.len() + inner.len());
@@ -241,6 +396,8 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
                     if eval_all(residual, &joined, ctx.params) {
                         ctx.stats.join_output += 1;
                         out.push(joined);
+                    } else {
+                        ctx.prof_drop();
                     }
                 }
             }
@@ -265,7 +422,7 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
                     .into_iter()
                     .filter(|row| {
                         let key: Vec<Value> = outer_keys.iter().map(|&i| row[i].clone()).collect();
-                        ctx.stats.index_probes += 1;
+                        ctx.count_probe();
                         index.lookup(&key).is_empty()
                     })
                     .collect());
@@ -275,7 +432,7 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
             let mut keys: HashSet<Vec<Value>> = HashSet::new();
             let mut inner_nonempty = false;
             while let Some((rid, payload)) = scan.next(ctx.disk, ctx.pool)? {
-                ctx.stats.tuples_scanned += 1;
+                ctx.count_scanned();
                 let tuple = decode_tuple(table, rid, &payload)?;
                 if !eval_all(inner_filters, &tuple, ctx.params) {
                     continue;
@@ -313,6 +470,8 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
                     if eval_all(residual, &joined, ctx.params) {
                         ctx.stats.join_output += 1;
                         out.push(joined);
+                    } else {
+                        ctx.prof_drop();
                     }
                 }
             }
@@ -320,11 +479,15 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
         }
         PhysPlan::Filter { child, conds } => {
             let rows = execute_plan(child, ctx)?;
-            let params = ctx.params;
-            Ok(rows
-                .into_iter()
-                .filter(|r| eval_all(conds, r, params))
-                .collect())
+            let mut out = Vec::with_capacity(rows.len());
+            for r in rows {
+                if eval_all(conds, &r, ctx.params) {
+                    out.push(r);
+                } else {
+                    ctx.prof_drop();
+                }
+            }
+            Ok(out)
         }
         PhysPlan::Project { child, exprs } => {
             let rows = execute_plan(child, ctx)?;

@@ -20,6 +20,8 @@
 //! * [`plan`] — binding, access-path selection (index lookups, index
 //!   nested-loop joins, hash joins), greedy join ordering;
 //! * [`exec`] — the materializing executor with logical-work counters;
+//! * [`metrics`] — counters/gauges/histograms with JSON export, shared by
+//!   the engine, the Knowledge Manager, and the bench harness;
 //! * [`engine`] — the public facade.
 //!
 //! ## Example
@@ -43,6 +45,7 @@ pub mod engine;
 pub mod exec;
 pub mod heap;
 pub mod index;
+pub mod metrics;
 pub mod page;
 pub mod plan;
 pub mod schema;
@@ -54,5 +57,7 @@ pub mod wal;
 pub use catalog::DbError;
 pub use disk::{DiskStats, FaultInjector, RecoveryReport};
 pub use engine::{Engine, EngineStats, ResultSet, StmtId};
+pub use exec::OpProfile;
+pub use metrics::{Metric, Registry};
 pub use schema::{Column, Schema, Tuple};
 pub use value::{ColType, Value};

@@ -174,7 +174,15 @@ impl PhysPlan {
     }
 
     fn explain_into(&self, depth: usize, out: &mut Vec<String>) {
-        let pad = "  ".repeat(depth);
+        out.push(format!("{}{}", "  ".repeat(depth), self.label()));
+        for child in self.children() {
+            child.explain_into(depth + 1, out);
+        }
+    }
+
+    /// One-line operator description — the unindented EXPLAIN line, also
+    /// used to label nodes in the EXPLAIN ANALYZE profile.
+    pub fn label(&self) -> String {
         let fmt_conds = |conds: &[ExecCond]| -> String {
             if conds.is_empty() {
                 String::new()
@@ -184,7 +192,7 @@ impl PhysPlan {
         };
         match self {
             PhysPlan::SeqScan { table, filters } => {
-                out.push(format!("{pad}SeqScan {table}{}", fmt_conds(filters)));
+                format!("SeqScan {table}{}", fmt_conds(filters))
             }
             PhysPlan::IndexLookup {
                 table,
@@ -193,11 +201,11 @@ impl PhysPlan {
                 ..
             } => {
                 let key_str: Vec<String> = key.iter().map(|v| v.to_string()).collect();
-                out.push(format!(
-                    "{pad}IndexLookup {table} key=({}){}",
+                format!(
+                    "IndexLookup {table} key=({}){}",
                     key_str.join(", "),
                     fmt_conds(residual)
-                ));
+                )
             }
             PhysPlan::IndexRange {
                 table,
@@ -206,104 +214,79 @@ impl PhysPlan {
                 residual,
                 ..
             } => {
-                out.push(format!(
-                    "{pad}IndexRange {table} {lo:?}..{hi:?}{}",
-                    fmt_conds(residual)
-                ));
+                format!("IndexRange {table} {lo:?}..{hi:?}{}", fmt_conds(residual))
             }
             PhysPlan::HashJoin {
-                left,
-                right,
                 left_keys,
                 right_keys,
                 residual,
+                ..
             } => {
-                out.push(format!(
-                    "{pad}HashJoin on {left_keys:?}={right_keys:?}{}",
+                format!(
+                    "HashJoin on {left_keys:?}={right_keys:?}{}",
                     fmt_conds(residual)
-                ));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
+                )
             }
             PhysPlan::IndexNlJoin {
-                left,
                 table,
                 left_keys,
                 residual,
                 ..
             } => {
-                out.push(format!(
-                    "{pad}IndexNlJoin probe {table} keys={left_keys:?}{}",
+                format!(
+                    "IndexNlJoin probe {table} keys={left_keys:?}{}",
                     fmt_conds(residual)
-                ));
-                left.explain_into(depth + 1, out);
+                )
             }
-            PhysPlan::CrossJoin {
-                left,
-                right,
-                residual,
-            } => {
-                out.push(format!("{pad}CrossJoin{}", fmt_conds(residual)));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
+            PhysPlan::CrossJoin { residual, .. } => format!("CrossJoin{}", fmt_conds(residual)),
             PhysPlan::AntiJoin {
-                child,
                 table,
                 outer_keys,
                 inner_keys,
                 inner_filters,
                 index_pos,
+                ..
             } => {
                 let via = match index_pos {
                     Some(i) => format!(" probe index #{i}"),
                     None => String::new(),
                 };
-                out.push(format!(
-                    "{pad}AntiJoin {table} on {outer_keys:?}={inner_keys:?}{via}{}",
+                format!(
+                    "AntiJoin {table} on {outer_keys:?}={inner_keys:?}{via}{}",
                     fmt_conds(inner_filters)
-                ));
-                child.explain_into(depth + 1, out);
+                )
             }
-            PhysPlan::Filter { child, conds } => {
-                out.push(format!("{pad}Filter{}", fmt_conds(conds)));
-                child.explain_into(depth + 1, out);
-            }
-            PhysPlan::Project { child, exprs } => {
-                out.push(format!("{pad}Project [{} col(s)]", exprs.len()));
-                child.explain_into(depth + 1, out);
-            }
-            PhysPlan::Distinct { child } => {
-                out.push(format!("{pad}Distinct"));
-                child.explain_into(depth + 1, out);
-            }
-            PhysPlan::Sort { child, keys } => {
-                out.push(format!("{pad}Sort by {keys:?}"));
-                child.explain_into(depth + 1, out);
-            }
-            PhysPlan::CountStar { child } => {
-                out.push(format!("{pad}CountStar"));
-                child.explain_into(depth + 1, out);
-            }
-            PhysPlan::GroupCount { child, keys } => {
-                out.push(format!("{pad}GroupCount by {keys:?}"));
-                child.explain_into(depth + 1, out);
-            }
-            PhysPlan::UnionAll { left, right } => {
-                out.push(format!("{pad}UnionAll"));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
-            PhysPlan::UnionDistinct { left, right } => {
-                out.push(format!("{pad}UnionDistinct"));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
-            PhysPlan::Except { left, right } => {
-                out.push(format!("{pad}Except"));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
+            PhysPlan::Filter { conds, .. } => format!("Filter{}", fmt_conds(conds)),
+            PhysPlan::Project { exprs, .. } => format!("Project [{} col(s)]", exprs.len()),
+            PhysPlan::Distinct { .. } => "Distinct".to_string(),
+            PhysPlan::Sort { keys, .. } => format!("Sort by {keys:?}"),
+            PhysPlan::CountStar { .. } => "CountStar".to_string(),
+            PhysPlan::GroupCount { keys, .. } => format!("GroupCount by {keys:?}"),
+            PhysPlan::UnionAll { .. } => "UnionAll".to_string(),
+            PhysPlan::UnionDistinct { .. } => "UnionDistinct".to_string(),
+            PhysPlan::Except { .. } => "Except".to_string(),
+        }
+    }
+
+    /// The operator's direct inputs, in execution order.
+    pub fn children(&self) -> Vec<&PhysPlan> {
+        match self {
+            PhysPlan::SeqScan { .. }
+            | PhysPlan::IndexLookup { .. }
+            | PhysPlan::IndexRange { .. } => Vec::new(),
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::CrossJoin { left, right, .. }
+            | PhysPlan::UnionAll { left, right }
+            | PhysPlan::UnionDistinct { left, right }
+            | PhysPlan::Except { left, right } => vec![left, right],
+            PhysPlan::IndexNlJoin { left, .. } => vec![left],
+            PhysPlan::AntiJoin { child, .. }
+            | PhysPlan::Filter { child, .. }
+            | PhysPlan::Project { child, .. }
+            | PhysPlan::Distinct { child }
+            | PhysPlan::Sort { child, .. }
+            | PhysPlan::CountStar { child }
+            | PhysPlan::GroupCount { child, .. } => vec![child],
         }
     }
 }
@@ -313,6 +296,12 @@ impl PhysPlan {
 pub struct PlannedQuery {
     pub plan: PhysPlan,
     pub columns: Vec<String>,
+    /// `(table, tuple_count)` per FROM relation of every multi-relation
+    /// block, snapshotted at plan time. Empty when the plan has no join
+    /// decisions worth revisiting. The engine compares these against live
+    /// counts before reusing a cached plan and re-plans on drift — the fix
+    /// for join orders frozen while LFP temporaries were still empty.
+    pub base_cards: Vec<(String, u64)>,
 }
 
 /// Plan a (possibly compound) query.
@@ -334,21 +323,27 @@ pub fn plan_query(catalog: &Catalog, query: &Query) -> Result<PlannedQuery, DbEr
                     right: Box::new(r.plan),
                 }
             };
+            let mut base_cards = l.base_cards;
+            base_cards.extend(r.base_cards);
             Ok(PlannedQuery {
                 plan,
                 columns: l.columns,
+                base_cards,
             })
         }
         Query::Except { left, right } => {
             let l = plan_query(catalog, left)?;
             let r = plan_query(catalog, right)?;
             check_compatible(&l, &r, "EXCEPT")?;
+            let mut base_cards = l.base_cards;
+            base_cards.extend(r.base_cards);
             Ok(PlannedQuery {
                 plan: PhysPlan::Except {
                     left: Box::new(l.plan),
                     right: Box::new(r.plan),
                 },
                 columns: l.columns,
+                base_cards,
             })
         }
     }
@@ -480,22 +475,42 @@ fn plan_select(catalog: &Catalog, block: &SelectBlock) -> Result<PlannedQuery, D
                 }
             } else if let Some(index_pos) = usable_join_index(catalog, &bindings[rel], &right_keys)
             {
-                // Reorder left keys to match the index key-column order.
+                // Reorder left keys to match the index key-column order,
+                // consuming one join pair per index key column.
                 let idx_cols = catalog.table(&bindings[rel].table)?.indexes[index_pos]
                     .key_cols()
                     .to_vec();
+                let mut used = vec![false; right_keys.len()];
                 let mut ordered_left = Vec::with_capacity(idx_cols.len());
                 for kc in &idx_cols {
-                    let at = right_keys.iter().position(|c| c == kc).expect("covered");
+                    let at = right_keys
+                        .iter()
+                        .enumerate()
+                        .position(|(i, c)| !used[i] && c == kc)
+                        .expect("covered");
+                    used[at] = true;
                     ordered_left.push(left_keys[at]);
                 }
+                // Duplicate join predicates on the same inner column are
+                // not part of the probe key; they must still hold on the
+                // joined row, so they survive as residual equalities over
+                // the combined layout.
+                let left_width: usize = layout.iter().map(|&r| bindings[r].schema.arity()).sum();
+                let residual: Vec<ExecCond> = used
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, consumed)| !consumed)
+                    .map(|(i, _)| {
+                        ExecCond::ColCmpCol(left_keys[i], CmpOp::Eq, left_width + right_keys[i])
+                    })
+                    .collect();
                 PhysPlan::IndexNlJoin {
                     left: Box::new(current),
                     table: bindings[rel].table.clone(),
                     index_pos,
                     left_keys: ordered_left,
                     inner_filters: local[rel].iter().map(local_to_exec).collect(),
-                    residual: Vec::new(),
+                    residual,
                 }
             } else {
                 let right = access_path(catalog, &bindings, rel, &local[rel])?;
@@ -552,25 +567,46 @@ fn plan_select(catalog: &Catalog, block: &SelectBlock) -> Result<PlannedQuery, D
     // Remaining equi-joins within a single relation occurrence cannot happen
     // (classify maps those to Local), so pending_joins is empty here.
 
-    // 7. Grouped aggregation: SELECT <group cols>, COUNT(*) ... GROUP BY.
-    if !block.group_by.is_empty() {
-        return plan_group_count(&bindings, &layout, block, plan);
+    // 7/8. Grouped aggregation, or projection + DISTINCT + ORDER BY.
+    let mut planned = if !block.group_by.is_empty() {
+        plan_group_count(&bindings, &layout, block, plan)?
+    } else {
+        plan_select_output(&bindings, &layout, block, plan)?
+    };
+    // Multi-relation blocks record the cardinalities their join order was
+    // derived from, so a cached plan can detect drift and re-plan.
+    if bindings.len() > 1 {
+        planned.base_cards = bindings
+            .iter()
+            .map(|b| (b.table.clone(), b.tuple_count))
+            .collect();
     }
+    Ok(planned)
+}
 
-    // 7'. Projection.
-    let (exprs, columns, count_star) = resolve_projection(&bindings, &layout, &block.projections)?;
+/// Sections 7'/8 of `plan_select`: projection, DISTINCT, ORDER BY.
+fn plan_select_output(
+    bindings: &[Binding],
+    layout: &[usize],
+    block: &SelectBlock,
+    mut plan: PhysPlan,
+) -> Result<PlannedQuery, DbError> {
+    let (exprs, columns, count_star) = resolve_projection(bindings, layout, &block.projections)?;
     if count_star {
         plan = PhysPlan::CountStar {
             child: Box::new(plan),
         };
-        return Ok(PlannedQuery { plan, columns });
+        return Ok(PlannedQuery {
+            plan,
+            columns,
+            base_cards: Vec::new(),
+        });
     }
     plan = PhysPlan::Project {
         child: Box::new(plan),
         exprs,
     };
 
-    // 8. DISTINCT then ORDER BY (sort runs over the projected row).
     if block.distinct {
         plan = PhysPlan::Distinct {
             child: Box::new(plan),
@@ -592,7 +628,11 @@ fn plan_select(catalog: &Catalog, block: &SelectBlock) -> Result<PlannedQuery, D
             keys,
         };
     }
-    Ok(PlannedQuery { plan, columns })
+    Ok(PlannedQuery {
+        plan,
+        columns,
+        base_cards: Vec::new(),
+    })
 }
 
 /// Absolute position of a resolved column in the current join layout.
@@ -883,9 +923,18 @@ fn tighten_hi(a: std::ops::Bound<Value>, b: std::ops::Bound<Value>) -> std::ops:
 /// the available join columns.
 fn usable_join_index(catalog: &Catalog, binding: &Binding, join_cols: &[usize]) -> Option<usize> {
     let table = catalog.table(&binding.table).ok()?;
+    // Two join predicates on the *same* inner column (`join_cols = [0, 0]`)
+    // must not disqualify a single-column index on it: match against the
+    // distinct column set; the unconsumed pairs run as residual checks.
+    let mut distinct: Vec<usize> = Vec::new();
+    for &c in join_cols {
+        if !distinct.contains(&c) {
+            distinct.push(c);
+        }
+    }
     table.indexes.iter().position(|index| {
-        index.key_cols().iter().all(|kc| join_cols.contains(kc))
-            && index.key_cols().len() == join_cols.len()
+        index.key_cols().iter().all(|kc| distinct.contains(kc))
+            && index.key_cols().len() == distinct.len()
     })
 }
 
@@ -902,21 +951,25 @@ fn join_order(
         return vec![0];
     }
     // Restriction-aware size estimate: constant filters shrink a relation.
+    // A point equality keeps the flat 1/20 selectivity; an IN-list is a
+    // union of point lookups, so its estimate scales with the list's
+    // cardinality instead of masquerading as a single point lookup.
     let est = |rel: usize| -> u64 {
         let base = bindings[rel].tuple_count.max(1);
-        let restricted = local[rel].iter().any(|c| {
-            matches!(
-                c,
-                LocalCond::ColCmpLit(_, CmpOp::Eq, _)
-                    | LocalCond::ColCmpParam(_, CmpOp::Eq, _)
-                    | LocalCond::InList(..)
-            )
-        });
-        if restricted {
-            (base / 20).max(1)
-        } else {
-            base
+        let mut best = base;
+        for c in &local[rel] {
+            let e = match c {
+                LocalCond::ColCmpLit(_, CmpOp::Eq, _) | LocalCond::ColCmpParam(_, CmpOp::Eq, _) => {
+                    (base / 20).max(1)
+                }
+                LocalCond::InList(_, vs) => ((base / 20).max(1))
+                    .saturating_mul(vs.len() as u64)
+                    .min(base),
+                _ => base,
+            };
+            best = best.min(e);
         }
+        best
     };
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut order = Vec::with_capacity(n);
@@ -1003,7 +1056,11 @@ fn plan_group_count(
             keys: sort_keys,
         };
     }
-    Ok(PlannedQuery { plan, columns })
+    Ok(PlannedQuery {
+        plan,
+        columns,
+        base_cards: Vec::new(),
+    })
 }
 
 /// Build an [`PhysPlan::AntiJoin`] for one `NOT EXISTS` subquery. Inner

@@ -62,6 +62,11 @@ pub enum Stmt {
     Select(Query),
     /// `EXPLAIN SELECT ...` — return the physical plan as text rows.
     Explain(Query),
+    /// `EXPLAIN ANALYZE SELECT ...` — execute the query and return the
+    /// physical plan annotated with per-operator runtime counters (rows
+    /// emitted, rows scanned, index probes, hash-build sizes, residual
+    /// drops, wall time).
+    ExplainAnalyze(Query),
 }
 
 /// A (possibly compound) query.

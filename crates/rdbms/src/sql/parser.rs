@@ -157,7 +157,11 @@ impl Parser {
         } else if self.peek_kw("select") {
             Ok(Stmt::Select(self.query()?))
         } else if self.accept_kw("explain") {
-            Ok(Stmt::Explain(self.query()?))
+            if self.accept_kw("analyze") {
+                Ok(Stmt::ExplainAnalyze(self.query()?))
+            } else {
+                Ok(Stmt::Explain(self.query()?))
+            }
         } else if self.accept_kw("truncate") {
             self.expect_kw("table")?;
             Ok(Stmt::Truncate {

@@ -87,6 +87,11 @@ pub struct WalScan {
 pub struct Wal {
     buf: Vec<u8>,
     records: u64,
+    /// Largest log size (bytes) observed before any truncation — the peak
+    /// durable footprint a checkpoint interval ever needed.
+    high_water: usize,
+    /// Checkpoints taken ([`Wal::clear`] calls) over the log's lifetime.
+    checkpoints: u64,
 }
 
 impl Wal {
@@ -97,6 +102,16 @@ impl Wal {
     /// Total bytes currently in the log.
     pub fn byte_len(&self) -> usize {
         self.buf.len()
+    }
+
+    /// Largest log size in bytes ever reached between checkpoints.
+    pub fn high_water_bytes(&self) -> usize {
+        self.high_water
+    }
+
+    /// Checkpoints (whole-log truncations) taken so far.
+    pub fn checkpoint_count(&self) -> u64 {
+        self.checkpoints
     }
 
     /// Records appended since the last [`Wal::clear`] (torn bytes included
@@ -117,6 +132,7 @@ impl Wal {
         self.buf.extend_from_slice(&payload);
         self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
         self.records += 1;
+        self.high_water = self.high_water.max(self.buf.len());
     }
 
     /// Drop the last `bytes` bytes of the log — the fault injector's model
@@ -131,6 +147,7 @@ impl Wal {
     pub fn clear(&mut self) {
         self.buf.clear();
         self.records = 0;
+        self.checkpoints += 1;
     }
 
     /// Decode the log from the start, stopping at the first record that is
@@ -367,6 +384,8 @@ mod tests {
             let torn = Wal {
                 buf: bytes[..cut].to_vec(),
                 records: 0,
+                high_water: 0,
+                checkpoints: 0,
             };
             let scan = torn.scan();
             assert_eq!(scan.torn_tail, !boundaries.contains(&cut), "cut at {cut}");

@@ -1,0 +1,148 @@
+//! Property tests for the EXPLAIN ANALYZE operator profile: whatever the
+//! planner chooses for random data and predicates, the per-operator row
+//! counts must be mutually consistent and agree with the query's actual
+//! result.
+
+use proptest::prelude::*;
+use rdbms::{Engine, OpProfile, Value};
+
+/// Children of pre-order node `i`: the nodes that follow at `depth + 1`
+/// before the next node at `depth` or less.
+fn children(profile: &[OpProfile], i: usize) -> Vec<usize> {
+    let d = profile[i].depth;
+    let mut out = Vec::new();
+    for (j, op) in profile.iter().enumerate().skip(i + 1) {
+        if op.depth <= d {
+            break;
+        }
+        if op.depth == d + 1 {
+            out.push(j);
+        }
+    }
+    out
+}
+
+fn engine_with_data(edges: &[(u8, u8)], labels: &[u8]) -> Engine {
+    let mut e = Engine::new();
+    e.execute("CREATE TABLE edge (src char, dst char)").unwrap();
+    e.execute("CREATE TABLE label (node char, tag integer)")
+        .unwrap();
+    e.execute("CREATE INDEX label_node ON label (node)")
+        .unwrap();
+    e.insert_rows(
+        "edge",
+        edges
+            .iter()
+            .map(|&(a, b)| vec![Value::from(format!("v{a}")), Value::from(format!("v{b}"))])
+            .collect(),
+    )
+    .unwrap();
+    e.insert_rows(
+        "label",
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                vec![
+                    Value::from(format!("v{}", i as u8 % 10)),
+                    Value::Int(t as i64),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    e
+}
+
+/// Check the structural invariants of one profile tree.
+fn check_profile(profile: &[OpProfile], result_rows: u64) {
+    assert!(!profile.is_empty());
+    assert_eq!(profile[0].depth, 0);
+    // The root emits exactly the query's result cardinality.
+    assert_eq!(
+        profile[0].rows_out, result_rows,
+        "root must emit the result: {profile:?}"
+    );
+    for (i, op) in profile.iter().enumerate() {
+        let kids = children(profile, i);
+        let label = &op.label;
+        if label.starts_with("HashJoin") || label.starts_with("CrossJoin") {
+            assert_eq!(kids.len(), 2, "{label}");
+            let product = profile[kids[0]]
+                .rows_out
+                .saturating_mul(profile[kids[1]].rows_out);
+            assert!(
+                op.rows_out <= product,
+                "join emits at most the product of its inputs: {op:?}"
+            );
+        }
+        if label.starts_with("IndexNlJoin") {
+            // Every emitted row came from a fetched inner tuple.
+            assert!(
+                op.rows_out
+                    <= profile[kids[0]]
+                        .rows_out
+                        .saturating_mul(op.tuples_fetched.max(1)),
+                "{op:?}"
+            );
+            if op.rows_out > 0 {
+                assert!(op.tuples_fetched > 0, "{op:?}");
+            }
+        }
+        // Pure row-shapers never change cardinality.
+        if label.starts_with("Project") || label.starts_with("Sort") {
+            assert_eq!(op.rows_out, profile[kids[0]].rows_out, "{op:?}");
+        }
+        // Filters and Distinct only ever shrink their input.
+        if label.starts_with("Filter") || label.starts_with("Distinct") {
+            assert!(op.rows_out <= profile[kids[0]].rows_out, "{op:?}");
+        }
+    }
+}
+
+fn run_case(e: &mut Engine, sql: &str) {
+    let expected = e.execute(sql).unwrap().rows.len() as u64;
+    e.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+    let profile = e.last_profile().to_vec();
+    check_profile(&profile, expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn per_operator_row_counts_are_consistent(
+        edges in prop::collection::vec((0u8..10, 0u8..10), 0..30),
+        labels in prop::collection::vec(0u8..5, 0..20),
+        tag in 0u8..5,
+    ) {
+        let mut e = engine_with_data(&edges, &labels);
+        // A hash/cross join, an index join, a filtered scan, and a distinct
+        // projection: every profiled operator family shows up across cases.
+        run_case(&mut e, "SELECT a.src, b.dst FROM edge a, edge b WHERE a.dst = b.src");
+        run_case(&mut e, "SELECT e.src, l.tag FROM edge e, label l WHERE e.dst = l.node");
+        run_case(&mut e, &format!("SELECT node FROM label WHERE tag = {tag}"));
+        run_case(&mut e, "SELECT DISTINCT dst FROM edge ORDER BY dst");
+        run_case(
+            &mut e,
+            &format!(
+                "SELECT DISTINCT e.src FROM edge e, label l \
+                 WHERE e.src = l.node AND l.tag IN ({tag}, 9)"
+            ),
+        );
+    }
+
+    /// Profiling is observation only: EXPLAIN ANALYZE returns the same
+    /// answer cardinality as the bare statement, every time.
+    #[test]
+    fn analyze_does_not_change_answers(
+        edges in prop::collection::vec((0u8..6, 0u8..6), 0..15),
+    ) {
+        let mut e = engine_with_data(&edges, &[]);
+        let sql = "SELECT a.src, b.dst FROM edge a, edge b WHERE a.dst = b.src";
+        let before = e.execute(sql).unwrap().rows;
+        e.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        let after = e.execute(sql).unwrap().rows;
+        prop_assert_eq!(before, after);
+    }
+}

@@ -229,6 +229,42 @@ fn durability_off_means_zero_wal_traffic_and_identical_results() {
 }
 
 #[test]
+fn metrics_collection_never_perturbs_recovery() {
+    // Two identical sessions crash at the same write; one is polled for
+    // stats and metrics at every step, the other is left alone. Observation
+    // must be side-effect free: both recover to byte-identical states.
+    let run = |observe: bool| -> BTreeMap<String, Vec<Vec<Value>>> {
+        let mut s = durable_session();
+        s.engine_mut().flush().unwrap();
+        if observe {
+            let _ = s.engine().stats();
+            let _ = s.engine().metrics().to_json();
+        }
+        s.engine_mut()
+            .set_fault_injector(FaultInjector::new().fail_after_writes(3));
+        let res = s.commit_workspace();
+        assert!(res.is_err(), "the injector fires inside the commit");
+        if observe {
+            let _ = s.engine().stats();
+            let _ = s.engine().metrics().to_json();
+        }
+        s.recover().unwrap();
+        if observe {
+            let m = s.engine().metrics();
+            assert!(m.counter_value("wal.records") > 0, "WAL activity recorded");
+            let _ = m.to_json();
+        }
+        s.verify_integrity().unwrap();
+        dump(s.engine_mut())
+    };
+    assert_eq!(
+        run(true),
+        run(false),
+        "reading metrics must not change what recovery replays"
+    );
+}
+
+#[test]
 fn commit_failure_keeps_workspace_for_retry() {
     let mut s = durable_session();
     let rules_before = s.workspace().rule_count();
