@@ -12,6 +12,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod optimizers;
+pub mod parallel;
 pub mod prepared;
 pub mod table4;
 pub mod table5;
@@ -45,5 +46,6 @@ pub const ALL: &[(&str, fn())] = &[
     ("datasets", datasets::run),
     ("optimizers", optimizers::run),
     ("prepared", prepared::run),
+    ("parallel", parallel::run),
     ("trace", trace::run),
 ];

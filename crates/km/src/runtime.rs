@@ -20,8 +20,10 @@ use crate::codegen::{all_table, delta_table, new_table, EvalProgram, ProgNode, R
 use crate::stored::KmError;
 use crate::util::attr_to_coltype;
 use hornlog::types::AttrType;
-use rdbms::{Engine, Value};
-use std::collections::BTreeMap;
+use rdbms::{Engine, ResultSet, StmtId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// LFP evaluation strategy.
@@ -94,6 +96,12 @@ pub struct IterationTrace {
     pub plan_replans: u64,
     /// SQL statements executed during this iteration.
     pub statements: u64,
+    /// Per-worker busy time of the RHS evaluation phase when the delta
+    /// statements were dispatched to worker threads (empty when they ran
+    /// inline on the clique's own thread, i.e. at parallelism 1). The
+    /// workers serialize at the engine, so these overlap with `t_eval`
+    /// rather than summing to it.
+    pub worker_eval: Vec<Duration>,
 }
 
 /// Per-clique LFP trace: setup cost plus one [`IterationTrace`] per round.
@@ -111,6 +119,9 @@ pub struct CliqueTrace {
     /// `total` minus the summed iteration wall times: table creation,
     /// statement preparation, exit rules, final drops.
     pub t_setup: Duration,
+    /// Index of the scheduler worker that evaluated this clique (0 when
+    /// the evaluation order ran serially).
+    pub worker: usize,
     pub iterations: Vec<IterationTrace>,
 }
 
@@ -124,6 +135,11 @@ pub struct NodeTiming {
     pub is_magic: bool,
     pub elapsed: Duration,
     pub breakdown: LfpBreakdown,
+    /// Index of the scheduler worker that evaluated this node (0 when the
+    /// evaluation order ran serially). Node wall times overlap when the
+    /// scheduler runs independent nodes concurrently, so summing
+    /// `elapsed` across nodes can exceed the outcome's `total`.
+    pub worker: usize,
 }
 
 /// The outcome of running a generated program.
@@ -188,6 +204,452 @@ fn dedup(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
     rows
 }
 
+/// The runtime's handle to the single-writer engine during evaluation.
+///
+/// Every SQL statement acquires the mutex for exactly its own duration, so
+/// WAL appends and buffer-pool I/O stay serialized even when several
+/// evaluation-order nodes — or several delta statements of one iteration —
+/// are in flight on worker threads. Concurrent statements interleave but
+/// never overlap inside the engine; the CPU parallelism that makes the
+/// knob pay off lives *inside* each statement, in the engine's
+/// partitioned operators (see `rdbms::exec`).
+struct DbHandle<'a> {
+    engine: Mutex<&'a mut Engine>,
+}
+
+impl<'a> DbHandle<'a> {
+    fn new(engine: &'a mut Engine) -> DbHandle<'a> {
+        DbHandle {
+            engine: Mutex::new(engine),
+        }
+    }
+
+    fn execute(&self, sql: &str) -> Result<ResultSet, KmError> {
+        Ok(self.engine.lock().unwrap().execute(sql)?)
+    }
+
+    fn execute_prepared(&self, id: StmtId, params: &[Value]) -> Result<ResultSet, KmError> {
+        Ok(self.engine.lock().unwrap().execute_prepared(id, params)?)
+    }
+
+    fn prepare(&self, sql: &str) -> Result<StmtId, KmError> {
+        Ok(self.engine.lock().unwrap().prepare(sql)?)
+    }
+
+    fn deallocate(&self, id: StmtId) -> Result<(), KmError> {
+        Ok(self.engine.lock().unwrap().deallocate(id)?)
+    }
+
+    fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<u64, KmError> {
+        Ok(self.engine.lock().unwrap().insert_rows(table, rows)?)
+    }
+}
+
+/// One statement of an evaluation batch (see [`run_batch`]).
+enum BatchStmt<'a> {
+    Sql(&'a str),
+    Prepared(StmtId),
+}
+
+impl BatchStmt<'_> {
+    fn run(&self, db: &DbHandle) -> Result<(), KmError> {
+        match self {
+            BatchStmt::Sql(s) => db.execute(s).map(|_| ()),
+            BatchStmt::Prepared(id) => db.execute_prepared(*id, &[]).map(|_| ()),
+        }
+    }
+}
+
+/// Execute a batch of independent statements — the per-iteration rule (or
+/// delta-variant) evaluations, which only read stable tables and append to
+/// distinct-per-rule candidate tables — on up to `workers` threads.
+///
+/// Statements are claimed by index from a shared counter and serialize at
+/// the engine lock, so the result is the same multiset of rows as the
+/// serial loop in every candidate table. Returns each worker's busy time
+/// (empty when the batch ran inline on the calling thread); on failure the
+/// error of the lowest-indexed failing statement is reported, matching
+/// which statement the serial loop would have failed on.
+fn run_batch(
+    db: &DbHandle,
+    stmts: &[BatchStmt<'_>],
+    workers: usize,
+) -> Result<Vec<Duration>, KmError> {
+    if workers <= 1 || stmts.len() < 2 {
+        for s in stmts {
+            s.run(db)?;
+        }
+        return Ok(Vec::new());
+    }
+    let next = AtomicUsize::new(0);
+    let n = workers.min(stmts.len());
+    let outcomes: Vec<Result<Duration, (usize, KmError)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= stmts.len() {
+                            return Ok(busy);
+                        }
+                        let t = Instant::now();
+                        stmts[i].run(db).map_err(|e| (i, e))?;
+                        busy += t.elapsed();
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+    let mut times = Vec::with_capacity(n);
+    let mut first_err: Option<(usize, KmError)> = None;
+    for o in outcomes {
+        match o {
+            Ok(d) => times.push(d),
+            Err((i, e)) => {
+                let replace = match &first_err {
+                    None => true,
+                    Some((j, _)) => i < *j,
+                };
+                if replace {
+                    first_err = Some((i, e));
+                }
+            }
+        }
+    }
+    match first_err {
+        Some((_, e)) => Err(e),
+        None => Ok(times),
+    }
+}
+
+/// Collect the predicates a generated SQL statement reads through their
+/// accumulated (`d_`-prefixed) tables. Single-quoted literals are skipped
+/// so a symbol constant cannot alias a table name.
+fn d_table_refs(sql: &str, out: &mut BTreeSet<String>) {
+    let b = sql.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'\'' {
+            i += 1;
+            while i < b.len() && b[i] != b'\'' {
+                i += 1;
+            }
+            i += 1;
+        } else if b[i].is_ascii_alphabetic() || b[i] == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            if let Some(p) = sql[start..i].strip_prefix("d_") {
+                if !p.is_empty() {
+                    out.insert(p.to_string());
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Dependency edges of the evaluation-order DAG: `deps[i]` lists the
+/// indices of the nodes whose defined predicates node `i`'s rules read via
+/// the accumulated `d_` tables. The evaluation order list is topologically
+/// sorted, so every dependency points at an earlier index; nodes with
+/// disjoint dependency chains (e.g. the magic clique of one subquery and
+/// an unrelated predicate) are free to run concurrently.
+fn node_deps(prog: &EvalProgram) -> Vec<Vec<usize>> {
+    let mut defined: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, node) in prog.nodes.iter().enumerate() {
+        for p in node.predicates() {
+            defined.insert(p, i);
+        }
+    }
+    prog.nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let rules: Vec<&RuleSql> = match node {
+                ProgNode::Predicate { rules, .. } => rules.iter().collect(),
+                ProgNode::Clique {
+                    exit_rules,
+                    recursive_rules,
+                    ..
+                } => exit_rules.iter().chain(recursive_rules).collect(),
+            };
+            let mut refs = BTreeSet::new();
+            for rule in rules {
+                d_table_refs(&rule.full_sql, &mut refs);
+                for v in &rule.delta_variants {
+                    d_table_refs(v, &mut refs);
+                }
+            }
+            let mut deps = BTreeSet::new();
+            for p in &refs {
+                if let Some(&j) = defined.get(p.as_str()) {
+                    if j != i {
+                        deps.insert(j);
+                    }
+                }
+            }
+            deps.into_iter().collect()
+        })
+        .collect()
+}
+
+/// What evaluating one evaluation-order node yields, before trace assembly.
+struct NodeOut {
+    breakdown: LfpBreakdown,
+    iterations: Vec<IterationTrace>,
+    /// Wall time of the node on the worker that ran it.
+    elapsed: Duration,
+    /// The specialized TC operator ran: `elapsed` is the single
+    /// statement's time and the clique trace gets zero setup.
+    tc: bool,
+    worker: usize,
+}
+
+/// Evaluate one node of the evaluation order.
+fn eval_node(
+    db: &DbHandle,
+    prog: &EvalProgram,
+    node: &ProgNode,
+    strategy: LfpStrategy,
+    special_tc: bool,
+    prepared_sql: bool,
+    workers: usize,
+) -> Result<NodeOut, KmError> {
+    let node_start = Instant::now();
+    match node {
+        ProgNode::Predicate { rules, .. } => Ok(NodeOut {
+            breakdown: eval_predicate(db, rules)?,
+            iterations: Vec::new(),
+            elapsed: node_start.elapsed(),
+            tc: false,
+            worker: 0,
+        }),
+        ProgNode::Clique {
+            preds,
+            exit_rules,
+            recursive_rules,
+            tc_of,
+        } => {
+            // The specialized operator applies only when nothing was
+            // seeded into the clique predicate (seeds would extend the
+            // LFP beyond the plain closure).
+            let seeded = prog.seeds.iter().any(|(p, _)| preds.contains(p));
+            if special_tc && !seeded {
+                if let Some(src) = tc_of {
+                    let pred = &preds[0];
+                    let mut b = LfpBreakdown::default();
+                    let snap0 = StatSnap::take(db);
+                    let t = Instant::now();
+                    let rs = db.execute(&format!(
+                        "INSERT INTO {} TRANSITIVE CLOSURE OF {src}",
+                        all_table(pred)
+                    ))?;
+                    let elapsed = t.elapsed();
+                    b.t_eval_rhs = elapsed;
+                    b.n_eval_stmts = 1;
+                    b.iterations = 1;
+                    b.tuples_produced = rs.affected;
+                    let mut iter = snap0.finish(db);
+                    iter.iteration = 1;
+                    iter.delta_cards = vec![(pred.clone(), rs.affected)];
+                    iter.t_eval = elapsed;
+                    iter.t_total = elapsed;
+                    return Ok(NodeOut {
+                        breakdown: b,
+                        iterations: vec![iter],
+                        elapsed,
+                        tc: true,
+                        worker: 0,
+                    });
+                }
+            }
+            let types: BTreeMap<&str, &[AttrType]> = preds
+                .iter()
+                .map(|p| (p.as_str(), prog.tables[p].as_slice()))
+                .collect();
+            let (b, iterations) = match (strategy, prepared_sql) {
+                (LfpStrategy::Naive, false) => {
+                    eval_clique_naive(db, &types, exit_rules, recursive_rules, workers)?
+                }
+                (LfpStrategy::SemiNaive, false) => {
+                    eval_clique_seminaive(db, &types, exit_rules, recursive_rules, workers)?
+                }
+                (LfpStrategy::Naive, true) => {
+                    eval_clique_naive_prepared(db, &types, exit_rules, recursive_rules, workers)?
+                }
+                (LfpStrategy::SemiNaive, true) => eval_clique_seminaive_prepared(
+                    db,
+                    &types,
+                    exit_rules,
+                    recursive_rules,
+                    workers,
+                )?,
+            };
+            Ok(NodeOut {
+                breakdown: b,
+                iterations,
+                elapsed: node_start.elapsed(),
+                tc: false,
+                worker: 0,
+            })
+        }
+    }
+}
+
+/// Fold one node's result into the outcome accumulators, in evaluation
+/// order — regardless of which worker evaluated it when.
+fn record_node(
+    node: &ProgNode,
+    out: NodeOut,
+    breakdown: &mut LfpBreakdown,
+    node_timings: &mut Vec<NodeTiming>,
+    clique_traces: &mut Vec<CliqueTrace>,
+) {
+    let predicates: Vec<String> = node.predicates().iter().map(|s| s.to_string()).collect();
+    let is_magic = predicates.iter().all(|p| p.starts_with("m_"));
+    breakdown.absorb(&out.breakdown);
+    if node.is_clique() {
+        let iter_total: Duration = out.iterations.iter().map(|i| i.t_total).sum();
+        clique_traces.push(CliqueTrace {
+            predicates: predicates.clone(),
+            is_magic,
+            total: out.elapsed,
+            t_setup: if out.tc {
+                Duration::ZERO
+            } else {
+                out.elapsed.saturating_sub(iter_total)
+            },
+            worker: out.worker,
+            iterations: out.iterations,
+        });
+    }
+    node_timings.push(NodeTiming {
+        predicates,
+        is_clique: node.is_clique(),
+        is_magic,
+        elapsed: out.elapsed,
+        breakdown: out.breakdown,
+        worker: out.worker,
+    });
+}
+
+/// Shared state of the clique DAG scheduler.
+struct SchedState {
+    /// Unmet dependency count per node.
+    remaining: Vec<usize>,
+    /// Nodes whose dependencies are all evaluated; workers claim the
+    /// smallest index first so the schedule is deterministic up to timing.
+    ready: BTreeSet<usize>,
+    /// Nodes claimed so far (running or finished).
+    claimed: usize,
+    results: Vec<Option<NodeOut>>,
+    /// First failure by node index; once set, idle workers drain and exit.
+    error: Option<(usize, KmError)>,
+}
+
+/// Run the evaluation-order nodes on a scoped pool of `workers` threads,
+/// dispatching each node as soon as the nodes it reads from are done.
+fn run_nodes_parallel(
+    db: &DbHandle,
+    prog: &EvalProgram,
+    strategy: LfpStrategy,
+    special_tc: bool,
+    prepared_sql: bool,
+    workers: usize,
+) -> Result<Vec<NodeOut>, KmError> {
+    let n = prog.nodes.len();
+    let deps = node_deps(prog);
+    let mut dependents = vec![Vec::new(); n];
+    let mut remaining = vec![0usize; n];
+    for (i, ds) in deps.iter().enumerate() {
+        remaining[i] = ds.len();
+        for &d in ds {
+            dependents[d].push(i);
+        }
+    }
+    let ready: BTreeSet<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+    let state = Mutex::new(SchedState {
+        remaining,
+        ready,
+        claimed: 0,
+        results: (0..n).map(|_| None).collect(),
+        error: None,
+    });
+    let cv = Condvar::new();
+    let dependents = &dependents;
+    std::thread::scope(|scope| {
+        for w in 0..workers.min(n.max(1)) {
+            let state = &state;
+            let cv = &cv;
+            scope.spawn(move || loop {
+                let i = {
+                    let mut g = state.lock().unwrap();
+                    loop {
+                        if g.error.is_some() || g.claimed == n {
+                            return;
+                        }
+                        if let Some(&i) = g.ready.iter().next() {
+                            g.ready.remove(&i);
+                            g.claimed += 1;
+                            break i;
+                        }
+                        g = cv.wait(g).unwrap();
+                    }
+                };
+                let r = eval_node(
+                    db,
+                    prog,
+                    &prog.nodes[i],
+                    strategy,
+                    special_tc,
+                    prepared_sql,
+                    workers,
+                );
+                let mut g = state.lock().unwrap();
+                match r {
+                    Ok(mut out) => {
+                        out.worker = w;
+                        for &d in &dependents[i] {
+                            g.remaining[d] -= 1;
+                            if g.remaining[d] == 0 {
+                                g.ready.insert(d);
+                            }
+                        }
+                        g.results[i] = Some(out);
+                    }
+                    Err(e) => {
+                        let replace = match &g.error {
+                            None => true,
+                            Some((j, _)) => i < *j,
+                        };
+                        if replace {
+                            g.error = Some((i, e));
+                        }
+                    }
+                }
+                cv.notify_all();
+            });
+        }
+    });
+    let state = state.into_inner().unwrap();
+    if let Some((_, e)) = state.error {
+        return Err(e);
+    }
+    Ok(state
+        .results
+        .into_iter()
+        .map(|o| o.expect("scheduler evaluated every node"))
+        .collect())
+}
+
 /// Run a generated program to completion and read the answer.
 pub fn run_program(
     db: &mut Engine,
@@ -223,8 +685,10 @@ pub fn run_program_opts(
     special_tc: bool,
     prepared_sql: bool,
 ) -> Result<EvalOutcome, KmError> {
+    let workers = db.parallelism();
     let start = Instant::now();
     let mut breakdown = LfpBreakdown::default();
+    let db = DbHandle::new(db);
 
     // Create the accumulated tables and load seeds.
     timed(&mut breakdown.t_temp_tables, || -> Result<(), KmError> {
@@ -241,100 +705,33 @@ pub fn run_program_opts(
     }
     breakdown.t_eval_rhs += t.elapsed();
 
-    // Evaluate nodes in order.
+    // Evaluate the nodes: strictly in order when serial, in dependency
+    // order on the scheduler's thread pool otherwise. Traces are folded in
+    // evaluation-order either way, so consumers see the same shape.
     let mut node_timings = Vec::with_capacity(prog.nodes.len());
     let mut clique_traces = Vec::new();
-    for node in &prog.nodes {
-        let node_start = Instant::now();
-        let (node_breakdown, iterations) = match node {
-            ProgNode::Predicate { rules, .. } => (eval_predicate(db, rules)?, Vec::new()),
-            ProgNode::Clique {
-                preds,
-                exit_rules,
-                recursive_rules,
-                tc_of,
-            } => {
-                // The specialized operator applies only when nothing was
-                // seeded into the clique predicate (seeds would extend the
-                // LFP beyond the plain closure).
-                let seeded = prog.seeds.iter().any(|(p, _)| preds.contains(p));
-                if special_tc && !seeded {
-                    if let Some(src) = tc_of {
-                        let pred = &preds[0];
-                        let mut b = LfpBreakdown::default();
-                        let snap0 = StatSnap::take(db);
-                        let t = Instant::now();
-                        let rs = db.execute(&format!(
-                            "INSERT INTO {} TRANSITIVE CLOSURE OF {src}",
-                            all_table(pred)
-                        ))?;
-                        let elapsed = t.elapsed();
-                        b.t_eval_rhs = elapsed;
-                        b.n_eval_stmts = 1;
-                        b.iterations = 1;
-                        b.tuples_produced = rs.affected;
-                        breakdown.absorb(&b);
-                        let mut iter = snap0.finish(db);
-                        iter.iteration = 1;
-                        iter.delta_cards = vec![(pred.clone(), rs.affected)];
-                        iter.t_eval = elapsed;
-                        iter.t_total = elapsed;
-                        clique_traces.push(CliqueTrace {
-                            predicates: vec![pred.clone()],
-                            is_magic: pred.starts_with("m_"),
-                            total: elapsed,
-                            t_setup: Duration::ZERO,
-                            iterations: vec![iter],
-                        });
-                        node_timings.push(NodeTiming {
-                            predicates: vec![pred.clone()],
-                            is_clique: true,
-                            is_magic: pred.starts_with("m_"),
-                            elapsed,
-                            breakdown: b,
-                        });
-                        continue;
-                    }
-                }
-                let types: BTreeMap<&str, &[AttrType]> = preds
-                    .iter()
-                    .map(|p| (p.as_str(), prog.tables[p].as_slice()))
-                    .collect();
-                match (strategy, prepared_sql) {
-                    (LfpStrategy::Naive, false) => {
-                        eval_clique_naive(db, &types, exit_rules, recursive_rules)?
-                    }
-                    (LfpStrategy::SemiNaive, false) => {
-                        eval_clique_seminaive(db, &types, exit_rules, recursive_rules)?
-                    }
-                    (LfpStrategy::Naive, true) => {
-                        eval_clique_naive_prepared(db, &types, exit_rules, recursive_rules)?
-                    }
-                    (LfpStrategy::SemiNaive, true) => {
-                        eval_clique_seminaive_prepared(db, &types, exit_rules, recursive_rules)?
-                    }
-                }
-            }
-        };
-        let elapsed = node_start.elapsed();
-        if node.is_clique() {
-            let iter_total: Duration = iterations.iter().map(|i| i.t_total).sum();
-            clique_traces.push(CliqueTrace {
-                predicates: node.predicates().iter().map(|s| s.to_string()).collect(),
-                is_magic: node.predicates().iter().all(|p| p.starts_with("m_")),
-                total: elapsed,
-                t_setup: elapsed.saturating_sub(iter_total),
-                iterations,
-            });
+    if workers <= 1 {
+        for node in &prog.nodes {
+            let out = eval_node(&db, prog, node, strategy, special_tc, prepared_sql, workers)?;
+            record_node(
+                node,
+                out,
+                &mut breakdown,
+                &mut node_timings,
+                &mut clique_traces,
+            );
         }
-        breakdown.absorb(&node_breakdown);
-        node_timings.push(NodeTiming {
-            predicates: node.predicates().iter().map(|s| s.to_string()).collect(),
-            is_clique: node.is_clique(),
-            is_magic: node.predicates().iter().all(|p| p.starts_with("m_")),
-            elapsed,
-            breakdown: node_breakdown,
-        });
+    } else {
+        let outs = run_nodes_parallel(&db, prog, strategy, special_tc, prepared_sql, workers)?;
+        for (node, out) in prog.nodes.iter().zip(outs) {
+            record_node(
+                node,
+                out,
+                &mut breakdown,
+                &mut node_timings,
+                &mut clique_traces,
+            );
+        }
     }
 
     // Read the answer.
@@ -373,8 +770,8 @@ struct StatSnap {
 }
 
 impl StatSnap {
-    fn take(db: &Engine) -> StatSnap {
-        let s = db.stats();
+    fn take(db: &DbHandle) -> StatSnap {
+        let s = db.engine.lock().unwrap().stats();
         StatSnap {
             plan_cache_hits: s.exec.plan_cache_hits,
             plan_cache_misses: s.exec.plan_cache_misses,
@@ -383,7 +780,7 @@ impl StatSnap {
         }
     }
 
-    fn finish(&self, db: &Engine) -> IterationTrace {
+    fn finish(&self, db: &DbHandle) -> IterationTrace {
         let now = StatSnap::take(db);
         IterationTrace {
             plan_cache_hits: now.plan_cache_hits - self.plan_cache_hits,
@@ -397,7 +794,7 @@ impl StatSnap {
 
 /// Insert a SELECT's result into `target`, keeping set semantics via the
 /// trailing `EXCEPT`. Returns the number of rows actually added.
-fn insert_new(db: &mut Engine, target: &str, select_sql: &str) -> Result<u64, KmError> {
+fn insert_new(db: &DbHandle, target: &str, select_sql: &str) -> Result<u64, KmError> {
     let rs = db.execute(&format!(
         "INSERT INTO {target} {select_sql} EXCEPT SELECT * FROM {target}"
     ))?;
@@ -405,7 +802,7 @@ fn insert_new(db: &mut Engine, target: &str, select_sql: &str) -> Result<u64, Km
 }
 
 /// Evaluate a non-recursive predicate node: one pass over its rules.
-fn eval_predicate(db: &mut Engine, rules: &[RuleSql]) -> Result<LfpBreakdown, KmError> {
+fn eval_predicate(db: &DbHandle, rules: &[RuleSql]) -> Result<LfpBreakdown, KmError> {
     let mut b = LfpBreakdown::default();
     for rule in rules {
         let added = timed(&mut b.t_eval_rhs, || {
@@ -421,13 +818,29 @@ fn eval_predicate(db: &mut Engine, rules: &[RuleSql]) -> Result<LfpBreakdown, Km
 /// clique into per-iteration candidate tables, then diffs against the
 /// accumulated tables for termination.
 fn eval_clique_naive(
-    db: &mut Engine,
+    db: &DbHandle,
     types: &BTreeMap<&str, &[AttrType]>,
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
+    workers: usize,
 ) -> Result<(LfpBreakdown, Vec<IterationTrace>), KmError> {
     let mut b = LfpBreakdown::default();
     let mut traces = Vec::new();
+    // Each rule appends only to its own head's candidate table and reads
+    // only the (stable within an iteration) accumulated tables, so the
+    // per-iteration rule statements form an independent batch.
+    let eval_sqls: Vec<String> = exit_rules
+        .iter()
+        .chain(recursive_rules)
+        .map(|rule| {
+            format!(
+                "INSERT INTO {} {}",
+                new_table(&rule.head_pred),
+                rule.full_sql
+            )
+        })
+        .collect();
+    let eval_batch: Vec<BatchStmt> = eval_sqls.iter().map(|s| BatchStmt::Sql(s)).collect();
     loop {
         b.iterations += 1;
         let iter_start = Instant::now();
@@ -444,14 +857,8 @@ fn eval_clique_naive(
 
         // Recompute the full RHS: exit rules and recursive rules alike.
         let t = Instant::now();
-        for rule in exit_rules.iter().chain(recursive_rules) {
-            db.execute(&format!(
-                "INSERT INTO {} {}",
-                new_table(&rule.head_pred),
-                rule.full_sql
-            ))?;
-            b.n_eval_stmts += 1;
-        }
+        let worker_eval = run_batch(db, &eval_batch, workers)?;
+        b.n_eval_stmts += eval_batch.len() as u64;
         let mut d_eval = t.elapsed();
 
         // Termination check: full set difference per predicate.
@@ -498,6 +905,7 @@ fn eval_clique_naive(
         iter.t_eval = d_eval;
         iter.t_term = d_term;
         iter.t_total = iter_start.elapsed();
+        iter.worker_eval = worker_eval;
         traces.push(iter);
         if done {
             return Ok((b, traces));
@@ -509,10 +917,11 @@ fn eval_clique_naive(
 /// exit rules (and any seeds already present), then iterate the
 /// differential variants.
 fn eval_clique_seminaive(
-    db: &mut Engine,
+    db: &DbHandle,
     types: &BTreeMap<&str, &[AttrType]>,
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
+    workers: usize,
 ) -> Result<(LfpBreakdown, Vec<IterationTrace>), KmError> {
     let mut b = LfpBreakdown::default();
     let mut traces = Vec::new();
@@ -545,6 +954,19 @@ fn eval_clique_seminaive(
     }
     b.t_eval_rhs += t.elapsed();
 
+    // The delta variants read the (stable within an iteration) delta and
+    // accumulated tables and append to per-head candidate tables, so they
+    // form an independent batch.
+    let eval_sqls: Vec<String> = recursive_rules
+        .iter()
+        .flat_map(|rule| {
+            rule.delta_variants
+                .iter()
+                .map(|variant| format!("INSERT INTO {} {variant}", new_table(&rule.head_pred)))
+        })
+        .collect();
+    let eval_batch: Vec<BatchStmt> = eval_sqls.iter().map(|s| BatchStmt::Sql(s)).collect();
+
     loop {
         b.iterations += 1;
         let iter_start = Instant::now();
@@ -561,15 +983,8 @@ fn eval_clique_seminaive(
 
         // Evaluate the differential of each recursive rule.
         let t = Instant::now();
-        for rule in recursive_rules {
-            for variant in &rule.delta_variants {
-                db.execute(&format!(
-                    "INSERT INTO {} {variant}",
-                    new_table(&rule.head_pred)
-                ))?;
-                b.n_eval_stmts += 1;
-            }
-        }
+        let worker_eval = run_batch(db, &eval_batch, workers)?;
+        b.n_eval_stmts += eval_batch.len() as u64;
         let mut d_eval = t.elapsed();
 
         // Termination check on the differential.
@@ -626,6 +1041,7 @@ fn eval_clique_seminaive(
         iter.t_eval = d_eval;
         iter.t_term = d_term;
         iter.t_total = iter_start.elapsed();
+        iter.worker_eval = worker_eval;
         traces.push(iter);
         if done {
             return Ok((b, traces));
@@ -641,10 +1057,11 @@ fn eval_clique_seminaive(
 /// a full-key index on the accumulated table ([`termination_sql`]), not by
 /// re-scanning it.
 fn eval_clique_naive_prepared(
-    db: &mut Engine,
+    db: &DbHandle,
     types: &BTreeMap<&str, &[AttrType]>,
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
+    workers: usize,
 ) -> Result<(LfpBreakdown, Vec<IterationTrace>), KmError> {
     let mut b = LfpBreakdown::default();
     let mut traces = Vec::new();
@@ -694,6 +1111,10 @@ fn eval_clique_naive_prepared(
         ))?);
     }
     b.t_termination += t.elapsed();
+    let eval_batch: Vec<BatchStmt> = eval_stmts
+        .iter()
+        .map(|id| BatchStmt::Prepared(*id))
+        .collect();
 
     loop {
         b.iterations += 1;
@@ -711,10 +1132,8 @@ fn eval_clique_naive_prepared(
 
         // Recompute the full RHS: exit rules and recursive rules alike.
         let t = Instant::now();
-        for id in &eval_stmts {
-            db.execute_prepared(*id, &[])?;
-            b.n_eval_stmts += 1;
-        }
+        let worker_eval = run_batch(db, &eval_batch, workers)?;
+        b.n_eval_stmts += eval_batch.len() as u64;
         let d_eval = t.elapsed();
         b.t_eval_rhs += d_eval;
 
@@ -740,6 +1159,7 @@ fn eval_clique_naive_prepared(
         iter.t_eval = d_eval;
         iter.t_term = d_term;
         iter.t_total = iter_start.elapsed();
+        iter.worker_eval = worker_eval;
         traces.push(iter);
 
         if new_tuples == 0 {
@@ -769,10 +1189,11 @@ fn eval_clique_naive_prepared(
 /// anti-join — only their count crosses the SQL boundary, instead of the
 /// tuples being materialized in the client and re-inserted row by row.
 fn eval_clique_seminaive_prepared(
-    db: &mut Engine,
+    db: &DbHandle,
     types: &BTreeMap<&str, &[AttrType]>,
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
+    workers: usize,
 ) -> Result<(LfpBreakdown, Vec<IterationTrace>), KmError> {
     let mut b = LfpBreakdown::default();
     let mut traces = Vec::new();
@@ -851,6 +1272,10 @@ fn eval_clique_seminaive_prepared(
         ))?);
     }
     b.t_termination += t.elapsed();
+    let eval_batch: Vec<BatchStmt> = eval_stmts
+        .iter()
+        .map(|id| BatchStmt::Prepared(*id))
+        .collect();
 
     loop {
         b.iterations += 1;
@@ -867,10 +1292,8 @@ fn eval_clique_seminaive_prepared(
         b.n_temp_ops += trunc_new.len() as u64;
 
         let t = Instant::now();
-        for id in &eval_stmts {
-            db.execute_prepared(*id, &[])?;
-            b.n_eval_stmts += 1;
-        }
+        let worker_eval = run_batch(db, &eval_batch, workers)?;
+        b.n_eval_stmts += eval_batch.len() as u64;
         let mut d_eval = t.elapsed();
 
         // Recycle the delta, then refill it with exactly the new tuples —
@@ -914,6 +1337,7 @@ fn eval_clique_seminaive_prepared(
         iter.t_eval = d_eval;
         iter.t_term = d_term;
         iter.t_total = iter_start.elapsed();
+        iter.worker_eval = worker_eval;
         traces.push(iter);
         if done {
             break;

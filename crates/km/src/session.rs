@@ -45,6 +45,13 @@ pub struct SessionConfig {
     /// iteration. On by default; the bench harness turns it off for the
     /// ablation.
     pub prepared_sql: bool,
+    /// Worker threads for evaluation: partitioned operators inside the
+    /// engine, plus the runtime's clique DAG scheduler and per-iteration
+    /// delta-statement batches. `0` (the default) inherits the engine's
+    /// own default (the `RDBMS_PARALLELISM` environment variable, else
+    /// serial); any other value is set on the engine explicitly. Answers
+    /// are identical at every setting.
+    pub parallelism: usize,
 }
 
 impl Default for SessionConfig {
@@ -57,6 +64,7 @@ impl Default for SessionConfig {
             supplementary: false,
             durability: false,
             prepared_sql: true,
+            parallelism: 0,
         }
     }
 }
@@ -166,6 +174,9 @@ impl Session {
         let mut db = Engine::new();
         if config.durability {
             db.enable_wal();
+        }
+        if config.parallelism > 0 {
+            db.set_parallelism(config.parallelism);
         }
         let stored = StoredDkb::new(config.compiled_storage);
         stored.init(&mut db)?;
@@ -333,6 +344,9 @@ impl Session {
         let mut db = Engine::load_snapshot(path)?;
         if config.durability {
             db.enable_wal();
+        }
+        if config.parallelism > 0 {
+            db.set_parallelism(config.parallelism);
         }
         for required in ["rulesource", "idb_relname", "idb_column", "edb_relname"] {
             if !db.has_table(required) {

@@ -4,6 +4,14 @@
 //! which faults the page in from the [`Disk`] on a miss, possibly evicting
 //! (and writing back) a dirty victim. Hit/miss counters let experiments
 //! separate logical from physical page traffic.
+//!
+//! The pool is deliberately single-writer: `with_page` takes `&mut self`
+//! and `&mut Disk`, so all page I/O happens on the thread driving the
+//! executor. The partitioned parallel operators (see `exec.rs`) respect
+//! this by gathering raw payloads serially through the pool and handing
+//! worker threads only materialized rows and read-only index directories —
+//! workers never fault pages, so no frame latching is needed and WAL
+//! writes stay serialized.
 
 use crate::catalog::DbError;
 use crate::disk::{Disk, FileId, PageId};

@@ -129,6 +129,12 @@ pub struct Engine {
     next_stmt_id: u64,
     /// Per-operator profile collected by the most recent EXPLAIN ANALYZE.
     last_profile: Vec<OpProfile>,
+    /// Worker count handed to the executor's partitioned operators. 1 (the
+    /// default) is the historical single-threaded read path; any setting
+    /// produces byte-identical plans and answers. Initialized from the
+    /// `RDBMS_PARALLELISM` environment variable when set, so whole test
+    /// suites can be swept at a parallelism level without code changes.
+    parallelism: usize,
 }
 
 impl Default for Engine {
@@ -156,7 +162,19 @@ impl Engine {
             prepared: BTreeMap::new(),
             next_stmt_id: 0,
             last_profile: Vec::new(),
+            parallelism: default_parallelism(),
         }
+    }
+
+    /// Set the worker count for partitioned read operators (clamped to at
+    /// least 1). Answers and plans are byte-identical at any setting; only
+    /// wall time and the `exec.tasks_spawned` counter change.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers.max(1);
+    }
+
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     // ------------------------------------------------------------------
@@ -633,6 +651,7 @@ impl Engine {
                 stats: &mut self.exec_stats,
                 params,
                 profiler: None,
+                parallelism: self.parallelism,
             };
             execute_plan(&planned.plan, &mut ctx)
         };
@@ -663,6 +682,7 @@ impl Engine {
                 stats: &mut self.exec_stats,
                 params,
                 profiler: Some(Profiler::default()),
+                parallelism: self.parallelism,
             };
             let rows = execute_plan(&planned.plan, &mut ctx);
             let profile = ctx.profiler.take().expect("installed above").into_nodes();
@@ -1037,11 +1057,24 @@ impl Engine {
         r.counter("exec.parse_ns", s.exec.parse_ns);
         r.counter("exec.plan_ns", s.exec.plan_ns);
         r.counter("exec.exec_ns", s.exec.exec_ns);
+        r.gauge("exec.threads", self.parallelism as f64);
+        r.counter("exec.tasks_spawned", s.exec.tasks_spawned);
+        r.gauge("exec.partition_skew", s.exec.partition_skew as f64);
         r.counter("engine.statements", s.statements);
         r.counter("engine.tables_created", s.tables_created);
         r.counter("engine.tables_dropped", s.tables_dropped);
         r
     }
+}
+
+/// Executor parallelism a fresh engine starts with: `RDBMS_PARALLELISM`
+/// when set to a positive integer, else 1 (serial).
+fn default_parallelism() -> usize {
+    std::env::var("RDBMS_PARALLELISM")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 fn scalar_is_param(s: &Scalar) -> bool {

@@ -43,6 +43,12 @@ pub struct ExecStats {
     pub plan_ns: u64,
     /// Wall time spent executing physical plans, in nanoseconds.
     pub exec_ns: u64,
+    /// Worker tasks spawned by partitioned parallel operators.
+    pub tasks_spawned: u64,
+    /// Worst partition imbalance observed, as the percentage by which the
+    /// slowest worker of a partitioned operator exceeded the mean worker
+    /// time (0 = perfectly even, or no parallel run yet).
+    pub partition_skew: u64,
 }
 
 /// Per-operator runtime counters collected while executing under
@@ -121,6 +127,10 @@ pub struct ExecCtx<'a> {
     pub params: &'a [Value],
     /// When set, `execute_plan` records an [`OpProfile`] per plan node.
     pub profiler: Option<Profiler>,
+    /// Worker count for partitioned operators; 1 runs everything inline on
+    /// the calling thread (the default, byte-identical to the historical
+    /// single-threaded executor).
+    pub parallelism: usize,
 }
 
 impl ExecCtx<'_> {
@@ -176,6 +186,179 @@ impl ExecCtx<'_> {
                 op.build_rows = rows;
             }
         }
+    }
+
+    /// Fold one worker's locally accumulated counters into the global
+    /// stats and the profiled operator, so totals are identical to a
+    /// serial run no matter how the rows were partitioned.
+    fn absorb(&mut self, c: WorkerCounts) {
+        self.stats.tuples_scanned += c.scanned;
+        self.stats.index_probes += c.probes;
+        self.stats.join_output += c.join_output;
+        if let Some(p) = self.profiler.as_mut() {
+            if let Some(op) = p.current() {
+                op.tuples_scanned += c.scanned;
+                op.index_probes += c.probes;
+                op.residual_dropped += c.dropped;
+            }
+        }
+    }
+}
+
+/// Execution counters a partitioned worker accumulates locally; merged
+/// into [`ExecStats`] (and the profiler) by [`ExecCtx::absorb`] after the
+/// workers join, so parallel runs report the same totals as serial ones.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerCounts {
+    scanned: u64,
+    probes: u64,
+    join_output: u64,
+    dropped: u64,
+}
+
+/// Minimum rows each worker must receive before a partitioned operator
+/// spawns threads: below this, thread start-up dominates the row work.
+const PAR_MIN_ROWS_PER_WORKER: usize = 256;
+
+/// Outer cardinality below which a full-key anti-join always probes the
+/// index: at this scale a probe and a hash-set lookup cost the same, and
+/// skipping the inner scan is a guaranteed win.
+const ANTI_JOIN_PROBE_FLOOR: u64 = 256;
+
+/// Contiguous chunk ranges splitting `n` items as evenly as possible
+/// across `workers` chunks (earlier chunks take the remainder).
+fn chunk_ranges(n: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = workers.min(n).max(1);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Run `f` over `items`, partitioned into contiguous chunks across the
+/// context's worker budget. Outputs are concatenated in chunk order, so
+/// the result is byte-identical to one serial pass (`f` over the whole
+/// slice) — order-preserving partitioning is what keeps every answer
+/// independent of the parallelism setting. Falls back to the inline serial
+/// pass when parallelism is 1 or the input is too small to pay for thread
+/// start-up. Worker counters and the partition-skew gauge are merged after
+/// the scoped threads join; on error the first failing chunk (in chunk
+/// order) wins, again matching the serial pass.
+fn par_run<T, F>(ctx: &mut ExecCtx<'_>, items: &[T], f: F) -> Result<Vec<Tuple>, DbError>
+where
+    T: Sync,
+    F: Fn(&[T], &mut WorkerCounts) -> Result<Vec<Tuple>, DbError> + Sync,
+{
+    let workers = ctx
+        .parallelism
+        .min(items.len() / PAR_MIN_ROWS_PER_WORKER)
+        .max(1);
+    if workers <= 1 {
+        let mut counts = WorkerCounts::default();
+        let out = f(items, &mut counts);
+        ctx.absorb(counts);
+        return out;
+    }
+    let ranges = chunk_ranges(items.len(), workers);
+    let results = std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let chunk = &items[r.clone()];
+                s.spawn(move || {
+                    let t0 = std::time::Instant::now();
+                    let mut counts = WorkerCounts::default();
+                    let out = f(chunk, &mut counts);
+                    (out, counts, t0.elapsed().as_nanos() as u64)
+                })
+            })
+            .collect();
+        join_workers(handles)
+    });
+    finish_par(ctx, results)
+}
+
+/// [`par_run`] over an owned vector: the items are moved into per-worker
+/// chunk vectors (one pointer move per element, no deep clone), so
+/// filter-style operators can pass surviving rows through untouched.
+fn par_run_owned<T, F>(ctx: &mut ExecCtx<'_>, items: Vec<T>, f: F) -> Result<Vec<Tuple>, DbError>
+where
+    T: Send,
+    F: Fn(Vec<T>, &mut WorkerCounts) -> Result<Vec<Tuple>, DbError> + Sync,
+{
+    let workers = ctx
+        .parallelism
+        .min(items.len() / PAR_MIN_ROWS_PER_WORKER)
+        .max(1);
+    if workers <= 1 {
+        let mut counts = WorkerCounts::default();
+        let out = f(items, &mut counts);
+        ctx.absorb(counts);
+        return out;
+    }
+    let ranges = chunk_ranges(items.len(), workers);
+    let mut it = items.into_iter();
+    let chunks: Vec<Vec<T>> = ranges
+        .iter()
+        .map(|r| it.by_ref().take(r.len()).collect())
+        .collect();
+    let results = std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    let t0 = std::time::Instant::now();
+                    let mut counts = WorkerCounts::default();
+                    let out = f(chunk, &mut counts);
+                    (out, counts, t0.elapsed().as_nanos() as u64)
+                })
+            })
+            .collect();
+        join_workers(handles)
+    });
+    finish_par(ctx, results)
+}
+
+type WorkerResult = (Result<Vec<Tuple>, DbError>, WorkerCounts, u64);
+
+fn join_workers(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, WorkerResult>>,
+) -> Vec<WorkerResult> {
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("partitioned worker panicked"))
+        .collect()
+}
+
+/// Merge worker counters and the partition-skew gauge, then concatenate
+/// chunk outputs in chunk order (first error, in chunk order, wins).
+fn finish_par(ctx: &mut ExecCtx<'_>, results: Vec<WorkerResult>) -> Result<Vec<Tuple>, DbError> {
+    ctx.stats.tasks_spawned += results.len() as u64;
+    let mean_ns = (results.iter().map(|(_, _, ns)| ns).sum::<u64>() / results.len() as u64).max(1);
+    let max_ns = results.iter().map(|(_, _, ns)| *ns).max().unwrap_or(0);
+    let skew = (max_ns * 100 / mean_ns).saturating_sub(100);
+    ctx.stats.partition_skew = ctx.stats.partition_skew.max(skew);
+    let mut err = None;
+    let mut out = Vec::new();
+    for (chunk_out, counts, _) in results {
+        ctx.absorb(counts);
+        match chunk_out {
+            Ok(rows) if err.is_none() => out.extend(rows),
+            Ok(_) => {}
+            Err(e) => err = err.or(Some(e)),
+        }
+    }
+    match err {
+        Some(e) => Err(e),
+        None => Ok(out),
     }
 }
 
@@ -252,6 +435,29 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
         PhysPlan::SeqScan { table, filters } => {
             let t = ctx.catalog.table(table)?;
             let mut scan = t.heap.scan();
+            if ctx.parallelism > 1 {
+                // Page I/O stays on this thread (the buffer pool is a
+                // single-writer resource); workers split the CPU-bound
+                // decode + filter work over the gathered payloads.
+                let mut raw: Vec<(RecordId, Vec<u8>)> = Vec::new();
+                while let Some(entry) = scan.next(ctx.disk, ctx.pool)? {
+                    raw.push(entry);
+                }
+                let params = ctx.params;
+                return par_run(ctx, &raw, |chunk, c| {
+                    let mut out = Vec::new();
+                    for (rid, payload) in chunk {
+                        c.scanned += 1;
+                        let tuple = decode_tuple(table, *rid, payload)?;
+                        if eval_all(filters, &tuple, params) {
+                            out.push(tuple);
+                        } else {
+                            c.dropped += 1;
+                        }
+                    }
+                    Ok(out)
+                });
+            }
             let mut out = Vec::new();
             while let Some((rid, payload)) = scan.next(ctx.disk, ctx.pool)? {
                 ctx.count_scanned();
@@ -342,29 +548,36 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
                 table.entry(key).or_default().push(row);
             }
             ctx.prof_build(build.len() as u64);
-            let mut out = Vec::new();
-            for prow in probe {
-                let key: Vec<Value> = probe_keys.iter().map(|&i| prow[i].clone()).collect();
-                if let Some(matches) = table.get(&key) {
-                    for brow in matches {
-                        let (lrow, rrow): (&Tuple, &Tuple) = if build_left {
-                            (brow, prow)
-                        } else {
-                            (prow, brow)
-                        };
-                        let mut joined = Vec::with_capacity(lrow.len() + rrow.len());
-                        joined.extend_from_slice(lrow);
-                        joined.extend_from_slice(rrow);
-                        if eval_all(residual, &joined, ctx.params) {
-                            ctx.stats.join_output += 1;
-                            out.push(joined);
-                        } else {
-                            ctx.prof_drop();
+            // The hash table is built once and shared read-only; probe rows
+            // are partitioned into contiguous chunks whose outputs are
+            // concatenated in probe order, so the joined rows come out in
+            // exactly the serial order at any parallelism setting.
+            let params = ctx.params;
+            par_run(ctx, probe, |chunk, c| {
+                let mut out = Vec::new();
+                for prow in chunk {
+                    let key: Vec<Value> = probe_keys.iter().map(|&i| prow[i].clone()).collect();
+                    if let Some(matches) = table.get(&key) {
+                        for brow in matches {
+                            let (lrow, rrow): (&Tuple, &Tuple) = if build_left {
+                                (brow, prow)
+                            } else {
+                                (prow, brow)
+                            };
+                            let mut joined = Vec::with_capacity(lrow.len() + rrow.len());
+                            joined.extend_from_slice(lrow);
+                            joined.extend_from_slice(rrow);
+                            if eval_all(residual, &joined, params) {
+                                c.join_output += 1;
+                                out.push(joined);
+                            } else {
+                                c.dropped += 1;
+                            }
                         }
                     }
                 }
-            }
-            Ok(out)
+                Ok(out)
+            })
         }
         PhysPlan::IndexNlJoin {
             left,
@@ -413,21 +626,39 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
         } => {
             let rows = execute_plan(child, ctx)?;
             let t = ctx.catalog.table(table)?;
-            if let Some(pos) = index_pos {
+            // The planner records an index as a *capability*; whether
+            // probing actually pays is decided here against live
+            // cardinalities (a cached plan's estimates can be iterations
+            // stale inside an LFP loop). Probing issues one lookup per
+            // outer row, so it wins when the outer side is small relative
+            // to the inner relation; when the probing side has grown to
+            // the size of the accumulated relation itself — every naive
+            // LFP termination check — one inner scan into a fresh hash
+            // set is cheaper than hammering the persistent index.
+            let probe_pays = (rows.len() as u64) < t.heap.tuple_count().max(ANTI_JOIN_PROBE_FLOOR);
+            if let (Some(pos), true) = (*index_pos, probe_pays) {
                 // The correlation keys are exactly the index key: a row of
                 // the inner table matches iff the probe hits, so no scan
-                // and no tuple fetch are needed.
-                let index = &t.indexes[*pos];
-                return Ok(rows
-                    .into_iter()
-                    .filter(|row| {
+                // and no tuple fetch are needed. Probes are pure reads of
+                // the in-memory directory, so outer rows partition across
+                // workers; order is preserved by chunk concatenation.
+                let index = &t.indexes[pos];
+                return par_run_owned(ctx, rows, |chunk, c| {
+                    let mut out = Vec::new();
+                    for row in chunk {
                         let key: Vec<Value> = outer_keys.iter().map(|&i| row[i].clone()).collect();
-                        ctx.count_probe();
-                        index.lookup(&key).is_empty()
-                    })
-                    .collect());
+                        c.probes += 1;
+                        if index.lookup(&key).is_empty() {
+                            out.push(row);
+                        }
+                    }
+                    Ok(out)
+                });
             }
-            // Materialize the (filtered) inner side once.
+            // Materialize the (filtered) inner side once. When the planner
+            // found a full-key index but probing lost the cost race above,
+            // the (reordered) key pairs still correlate the two sides, and
+            // `inner_filters` is empty — the scan fallback is unchanged.
             let mut scan = t.heap.scan();
             let mut keys: HashSet<Vec<Value>> = HashSet::new();
             let mut inner_nonempty = false;
@@ -446,13 +677,17 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
                 // Uncorrelated NOT EXISTS: all-or-nothing.
                 return Ok(if inner_nonempty { Vec::new() } else { rows });
             }
-            Ok(rows
-                .into_iter()
-                .filter(|row| {
-                    let key: Vec<Value> = outer_keys.iter().map(|&i| row[i].clone()).collect();
-                    !keys.contains(&key)
-                })
-                .collect())
+            // Membership tests against the frozen key set are pure reads;
+            // partition the outer rows like the probing path.
+            par_run_owned(ctx, rows, |chunk, _c| {
+                Ok(chunk
+                    .into_iter()
+                    .filter(|row| {
+                        let key: Vec<Value> = outer_keys.iter().map(|&i| row[i].clone()).collect();
+                        !keys.contains(&key)
+                    })
+                    .collect())
+            })
         }
         PhysPlan::CrossJoin {
             left,

@@ -15,9 +15,9 @@
 
 use crate::heap::RecordId;
 use crate::value::Value;
-use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 #[derive(Debug, Clone)]
 enum Directory {
@@ -28,15 +28,28 @@ enum Directory {
 /// A multi-column index: exact-match lookups on a fixed key, and — for
 /// ordered indexes — range scans.
 ///
-/// The probe counter is a [`Cell`] so lookups can be counted while the
-/// catalog (and thus the index) is borrowed immutably during execution.
-#[derive(Debug, Clone)]
+/// The probe counter is an [`AtomicU64`] so lookups can be counted while
+/// the catalog (and thus the index) is borrowed immutably during execution
+/// — including from the partitioned operators' worker threads, which share
+/// one `&TableIndex` and probe it concurrently.
+#[derive(Debug)]
 pub struct TableIndex {
     name: String,
     /// Positions of the key columns within the table schema.
     key_cols: Vec<usize>,
     directory: Directory,
-    probes: Cell<u64>,
+    probes: AtomicU64,
+}
+
+impl Clone for TableIndex {
+    fn clone(&self) -> TableIndex {
+        TableIndex {
+            name: self.name.clone(),
+            key_cols: self.key_cols.clone(),
+            directory: self.directory.clone(),
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// Backwards-compatible alias: the original index type was hash-only.
@@ -50,7 +63,7 @@ impl TableIndex {
             name: name.into(),
             key_cols,
             directory: Directory::Hash(HashMap::new()),
-            probes: Cell::new(0),
+            probes: AtomicU64::new(0),
         }
     }
 
@@ -61,7 +74,7 @@ impl TableIndex {
             name: name.into(),
             key_cols,
             directory: Directory::Ordered(BTreeMap::new()),
-            probes: Cell::new(0),
+            probes: AtomicU64::new(0),
         }
     }
 
@@ -124,7 +137,7 @@ impl TableIndex {
 
     /// All record ids whose key equals `key`.
     pub fn lookup(&self, key: &[Value]) -> &[RecordId] {
-        self.probes.set(self.probes.get() + 1);
+        self.probes.fetch_add(1, Ordering::Relaxed);
         match &self.directory {
             Directory::Hash(m) => m.get(key).map(Vec::as_slice).unwrap_or(&[]),
             Directory::Ordered(m) => m.get(key).map(Vec::as_slice).unwrap_or(&[]),
@@ -137,7 +150,7 @@ impl TableIndex {
         let Directory::Ordered(m) = &self.directory else {
             return None;
         };
-        self.probes.set(self.probes.get() + 1);
+        self.probes.fetch_add(1, Ordering::Relaxed);
         // An inverted range is simply empty (BTreeMap::range would panic).
         if let (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) =
             (&lo, &hi)
@@ -173,7 +186,7 @@ impl TableIndex {
     }
 
     pub fn probes(&self) -> u64 {
-        self.probes.get()
+        self.probes.load(Ordering::Relaxed)
     }
 
     /// Discard all entries (used when a table is truncated).

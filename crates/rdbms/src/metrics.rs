@@ -7,6 +7,13 @@
 //! buffer/disk/WAL counters ([`crate::Engine::metrics`]), and the
 //! Knowledge Manager's per-iteration LFP traces — which the bench crate
 //! serializes into `BENCH_trace.json`.
+//!
+//! The parallel execution layer reports through the same registry:
+//! `exec.threads` (the engine's configured worker count),
+//! `exec.tasks_spawned` (partitioned worker tasks launched so far), and
+//! `exec.partition_skew` (worst observed percentage by which the slowest
+//! partition exceeded the mean partition time; 0 when splits were even or
+//! nothing ran in parallel).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -1168,12 +1168,20 @@ fn plan_anti_join(
             },
         }
     }
-    // Probe an index instead of materializing the inner side when the
-    // correlation keys cover exactly one index's key columns and no other
-    // inner predicate needs evaluating: membership is then a pure key
-    // lookup, O(probes) instead of O(|inner|) per execution. This is what
-    // makes a prepared `NOT EXISTS` termination check cheap in the LFP
-    // loop — the accumulated table is probed, never re-scanned.
+    // Record an index as a *capability* when the correlation keys cover
+    // exactly one index's key columns and no other inner predicate needs
+    // evaluating: membership is then a pure key lookup, O(probes) instead
+    // of O(|inner|) per execution. This is what makes a prepared
+    // `NOT EXISTS` termination check cheap in the LFP loop — the
+    // accumulated table is probed, never re-scanned.
+    //
+    // The executor makes the final probe-vs-scan call at run time against
+    // live cardinalities (see `AntiJoin` in exec.rs): a cached prepared
+    // plan outlives many LFP iterations, so a plan-time estimate of the
+    // probing side goes stale — under naive evaluation it is the whole
+    // accumulated relation, where one inner scan into a hash set beats
+    // tens of thousands of probes. `index_pos` therefore means "a probe is
+    // possible", not "a probe was chosen".
     let mut index_pos = None;
     let keys_distinct = (1..inner_keys.len()).all(|i| !inner_keys[..i].contains(&inner_keys[i]));
     if inner_filters.is_empty() && !inner_keys.is_empty() && keys_distinct {

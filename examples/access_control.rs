@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         supplementary: false,
         durability: false,
         prepared_sql: true,
+        parallelism: 0,
     })?;
 
     // Extensional data: role inheritance, grants, denials, memberships.

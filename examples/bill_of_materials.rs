@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         supplementary: false,
         durability: false,
         prepared_sql: true,
+        parallelism: 0,
     })?;
 
     // Assembly graph: 5 levels (finished goods -> raw materials), 8 items

@@ -23,6 +23,7 @@ fn build_session(optimize: bool) -> Result<Session, Box<dyn std::error::Error>> 
         supplementary: false,
         durability: false,
         prepared_sql: true,
+        parallelism: 0,
     })?;
     s.define_base("parent", &binary_sym())?;
     let rows = full_binary_tree(10)

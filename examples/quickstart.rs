@@ -19,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         supplementary: false,
         durability: false,
         prepared_sql: true,
+        parallelism: 0,
     })?;
 
     // The extensional database: a parent relation.

@@ -265,6 +265,94 @@ fn metrics_collection_never_perturbs_recovery() {
 }
 
 #[test]
+fn fault_during_parallel_evaluation_recovers() {
+    // A durable session evaluating with 4 workers: the clique scheduler,
+    // the per-iteration delta batches, and the partitioned operators are
+    // all live, but every page and WAL write still goes through the
+    // single engine lock. The sweep arms the injector, runs a parallel
+    // clique evaluation inside the armed window — read-path evaluation
+    // must not consume a single write of the budget, i.e. the parallel
+    // layer issues no unlogged disk traffic — then crashes the commit at
+    // every write point. Recovery must restore the exact pre-commit
+    // stored D/KB, and parallel evaluation must keep producing the
+    // reference answer afterwards.
+    let make = || {
+        let mut s = Session::new(SessionConfig {
+            durability: true,
+            parallelism: 4,
+            ..SessionConfig::default()
+        })
+        .unwrap();
+        s.define_base("parent", &binary_sym()).unwrap();
+        s.load_facts("parent", workload::chain_facts(8)).unwrap();
+        s.load_rules(
+            "anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).\n\
+             edge(e0, e1).\n\
+             edge(e1, e2).\n",
+        )
+        .unwrap();
+        s
+    };
+    let (post, expected) = {
+        let mut s = make();
+        s.commit_workspace().unwrap();
+        let state = dump(s.engine_mut());
+        let (_, r) = s.query("?- anc(a0, W).").unwrap();
+        (state, r.rows)
+    };
+    assert_eq!(expected.len(), 7);
+
+    let mut crash_points = 0u64;
+    let mut k = 0u64;
+    loop {
+        let mut s = make();
+        s.engine_mut().flush().unwrap();
+        let pre = dump(s.engine_mut());
+        s.engine_mut()
+            .set_fault_injector(FaultInjector::new().fail_after_writes(k));
+        // Parallel clique evaluation with the fault armed: the LFP runs
+        // on 4 workers and must neither crash nor eat into the write
+        // budget (the read path never writes a page).
+        let (_, r) = s.query("?- anc(a0, W).").unwrap();
+        assert_eq!(r.rows, expected, "armed-injector evaluation at k={k}");
+        match s.commit_workspace() {
+            Ok(_) => {
+                s.engine_mut().clear_fault_injector();
+                assert_eq!(dump(s.engine_mut()), post, "fault-free commit at k={k}");
+                s.verify_integrity().unwrap();
+                break;
+            }
+            Err(_) => {
+                assert!(
+                    s.engine().crashed(),
+                    "commit failed without a crash at k={k}"
+                );
+                s.recover().unwrap();
+                assert_eq!(
+                    dump(s.engine_mut()),
+                    pre,
+                    "crash at write {k} with 4 evaluation workers: recovery \
+                     must restore the pre-commit stored D/KB"
+                );
+                s.verify_integrity().unwrap();
+                // The recovered session still evaluates correctly — and
+                // still in parallel.
+                let (_, r) = s.query("?- anc(a0, W).").unwrap();
+                assert_eq!(r.rows, expected, "parallel re-run after crash at {k}");
+                crash_points += 1;
+            }
+        }
+        k += 1;
+        assert!(k < 4096, "sweep did not terminate");
+    }
+    assert!(
+        crash_points >= 3,
+        "the sweep must cover several crash points, got {crash_points}"
+    );
+}
+
+#[test]
 fn commit_failure_keeps_workspace_for_retry() {
     let mut s = durable_session();
     let rules_before = s.workspace().rule_count();
