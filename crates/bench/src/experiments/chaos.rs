@@ -1,0 +1,310 @@
+//! `chaos` — the 500-episode torture run behind the governor/recovery
+//! robustness claims.
+//!
+//! Each episode seeds a deterministic schedule that arms one perturbation
+//! (a seeded disk fault, a cancellation raised at a WAL write point, an
+//! evaluation budget, an engine row budget, or a fault+budget combination),
+//! drives a durable evaluation-plus-commit into it at parallelism 1 or 4,
+//! then requires the engine to come back: recovery succeeds,
+//! `verify_integrity` passes, the stored D/KB is fully pre- or fully
+//! post-commit, and a clean re-run returns byte-identical answers to a
+//! pristine reference session. The aggregate (and the hard zeros for
+//! integrity failures and answer mismatches) is written to
+//! `BENCH_chaos.json`.
+//!
+//! Reproduce any single episode with its seed: the schedule is a pure
+//! function of the episode index (see `tests/chaos.rs` for the same
+//! machinery in unit-test form).
+
+use crate::print_table;
+use km::session::{binary_sym, Session, SessionConfig};
+use rdbms::metrics::json_escape;
+use rdbms::{Engine, FaultInjector, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const EPISODES: u64 = 500;
+
+const TABLES: &[&str] = &[
+    "idb_relname",
+    "idb_column",
+    "edb_relname",
+    "edb_column",
+    "rulesource",
+    "reachablepreds",
+    "parent",
+    "edge",
+];
+
+const QUERY: &str = "?- anc(A, B).";
+
+const KINDS: &[&str] = &[
+    "disk-fault",
+    "cancel-at-write",
+    "fact-budget",
+    "iteration-budget",
+    "row-budget",
+    "fault+budget",
+];
+
+/// Logical content of the whole database, keyed by table, rows sorted.
+type DbState = BTreeMap<String, Vec<Vec<Value>>>;
+/// Reference answer rows plus the post-commit database state.
+type Reference = (Vec<Vec<Value>>, DbState);
+
+fn dump(db: &mut Engine) -> DbState {
+    let mut out = BTreeMap::new();
+    for table in TABLES {
+        if db.has_table(table) {
+            let mut rows = db.scan_all(table).unwrap();
+            rows.sort();
+            out.insert(table.to_string(), rows);
+        }
+    }
+    out
+}
+
+fn chaos_session(parallelism: usize, config: SessionConfig) -> Session {
+    let mut s = Session::new(SessionConfig {
+        durability: true,
+        parallelism,
+        ..config
+    })
+    .unwrap();
+    s.define_base("parent", &binary_sym()).unwrap();
+    let edges = workload::cyclic_digraph(2, 6, 4, 11);
+    s.load_facts("parent", workload::edges_to_rows(&edges))
+        .unwrap();
+    s.load_rules(
+        "anc(X, Y) :- parent(X, Y).\n\
+         anc(X, Y) :- parent(X, Z), anc(Z, Y).\n\
+         edge(e0, e1).\n\
+         edge(e1, e2).\n",
+    )
+    .unwrap();
+    s
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[derive(Default, Clone)]
+struct KindStats {
+    episodes: u64,
+    eval_errors: u64,
+    commit_errors: u64,
+    crashes: u64,
+    recoveries: u64,
+    cancellations: u64,
+    retried_commits: u64,
+    integrity_failures: u64,
+    mismatches: u64,
+}
+
+/// Run one seeded episode, folding its outcome into the stats bucket of
+/// whichever perturbation the schedule draws; returns that bucket's index.
+fn episode(seed: u64, refs: &BTreeMap<usize, Reference>, stats: &mut [KindStats]) -> usize {
+    let mut rng = Rng::new(seed);
+    let parallelism = if rng.pick(2) == 0 { 1 } else { 4 };
+    let (expected, post) = &refs[&parallelism];
+
+    let mut config = SessionConfig::default();
+    let kind = rng.pick(KINDS.len() as u64);
+    let st = &mut stats[kind as usize];
+    if kind == 2 || kind == 5 {
+        config.max_derived_facts = Some(1 + rng.pick(30));
+    }
+    if kind == 3 {
+        config.max_iterations = Some(1 + rng.pick(3));
+    }
+    let mut s = chaos_session(parallelism, config);
+    s.engine_mut().flush().unwrap();
+    let pre = dump(s.engine_mut());
+    match kind {
+        0 | 5 => s
+            .engine_mut()
+            .set_fault_injector(FaultInjector::from_seed(rng.next())),
+        1 => {
+            let handle = s.engine().cancel_handle();
+            let at = rng.pick(24);
+            s.engine_mut()
+                .set_fault_injector(FaultInjector::new().cancel_at_write(at, handle));
+        }
+        4 => s.engine_mut().set_row_budget(Some(1 + rng.pick(200))),
+        _ => {}
+    }
+
+    st.episodes += 1;
+    if s.query(QUERY).is_err() {
+        st.eval_errors += 1;
+    }
+    let commit = s.commit_workspace();
+    if commit.is_err() {
+        st.commit_errors += 1;
+    }
+    if s.engine().cancel_requested() {
+        st.cancellations += 1;
+    }
+
+    if s.engine().crashed() {
+        st.crashes += 1;
+        match s.recover() {
+            Ok(_) => st.recoveries += 1,
+            Err(e) => {
+                // `recover()` verifies integrity by default; a failure
+                // here is exactly the torn-state bug the harness hunts.
+                st.integrity_failures += 1;
+                eprintln!("seed {seed}: recovery failed: {e}");
+                return kind as usize;
+            }
+        }
+    }
+    s.engine_mut().clear_fault_injector();
+    s.engine_mut().set_row_budget(None);
+    s.engine_mut().reset_cancel();
+    s.config.max_derived_facts = None;
+    s.config.max_iterations = None;
+
+    if let Err(e) = s.verify_integrity() {
+        st.integrity_failures += 1;
+        eprintln!("seed {seed}: integrity: {e}");
+        return kind as usize;
+    }
+    let state = dump(s.engine_mut());
+    if state == pre {
+        st.retried_commits += 1;
+        if s.commit_workspace().is_err() || dump(s.engine_mut()) != *post {
+            st.mismatches += 1;
+            eprintln!("seed {seed}: retried commit did not reach post-state");
+            return kind as usize;
+        }
+    } else if state != *post {
+        st.mismatches += 1;
+        eprintln!("seed {seed}: stored D/KB is neither pre- nor post-commit");
+        return kind as usize;
+    }
+    match s.query(QUERY) {
+        Ok((_, r)) if r.rows == *expected => {}
+        _ => {
+            st.mismatches += 1;
+            eprintln!("seed {seed}: clean re-run diverged from reference");
+        }
+    }
+    kind as usize
+}
+
+pub fn run() {
+    println!("== chaos: seeded fault/cancellation/budget torture run ==\n");
+    let start = Instant::now();
+    let refs: BTreeMap<usize, _> = [1usize, 4]
+        .iter()
+        .map(|&p| {
+            let mut s = chaos_session(p, SessionConfig::default());
+            let (_, r) = s.query(QUERY).unwrap();
+            s.commit_workspace().unwrap();
+            let d = dump(s.engine_mut());
+            (p, (r.rows, d))
+        })
+        .collect();
+
+    let mut stats: Vec<KindStats> = vec![KindStats::default(); KINDS.len()];
+    for seed in 0..EPISODES {
+        episode(seed, &refs, &mut stats);
+    }
+    let wall = start.elapsed();
+
+    let rows: Vec<Vec<String>> = KINDS
+        .iter()
+        .zip(&stats)
+        .map(|(k, s)| {
+            vec![
+                k.to_string(),
+                s.episodes.to_string(),
+                s.eval_errors.to_string(),
+                s.commit_errors.to_string(),
+                s.crashes.to_string(),
+                s.recoveries.to_string(),
+                s.cancellations.to_string(),
+                s.retried_commits.to_string(),
+                s.integrity_failures.to_string(),
+                s.mismatches.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("{EPISODES} episodes in {:.1}s", wall.as_secs_f64()),
+        &[
+            "perturbation",
+            "episodes",
+            "eval_err",
+            "commit_err",
+            "crashes",
+            "recovered",
+            "canceled",
+            "retried",
+            "integrity_fail",
+            "mismatch",
+        ],
+        &rows,
+    );
+
+    let integrity_failures: u64 = stats.iter().map(|s| s.integrity_failures).sum();
+    let mismatches: u64 = stats.iter().map(|s| s.mismatches).sum();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"experiment\": \"chaos\",");
+    let _ = writeln!(json, "  \"episodes\": {EPISODES},");
+    let _ = writeln!(json, "  \"wall_seconds\": {:.3},", wall.as_secs_f64());
+    let _ = writeln!(json, "  \"integrity_failures\": {integrity_failures},");
+    let _ = writeln!(json, "  \"mismatches\": {mismatches},");
+    let _ = writeln!(json, "  \"perturbations\": [");
+    for (i, (k, s)) in KINDS.iter().zip(&stats).enumerate() {
+        let comma = if i + 1 < KINDS.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"kind\": \"{}\", \"episodes\": {}, \"eval_errors\": {}, \
+             \"commit_errors\": {}, \"crashes\": {}, \"recoveries\": {}, \
+             \"cancellations\": {}, \"retried_commits\": {}, \
+             \"integrity_failures\": {}, \"mismatches\": {}}}{comma}",
+            json_escape(k),
+            s.episodes,
+            s.eval_errors,
+            s.commit_errors,
+            s.crashes,
+            s.recoveries,
+            s.cancellations,
+            s.retried_commits,
+            s.integrity_failures,
+            s.mismatches,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    match std::fs::write("BENCH_chaos.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_chaos.json"),
+        Err(e) => println!("\ncould not write BENCH_chaos.json: {e}"),
+    }
+
+    assert_eq!(integrity_failures, 0, "chaos run found integrity failures");
+    assert_eq!(mismatches, 0, "chaos run found answer/state mismatches");
+    println!(
+        "\nall {EPISODES} episodes recovered with intact integrity and \
+         byte-identical clean re-runs"
+    );
+}

@@ -1,6 +1,7 @@
 //! One module per paper table/figure. Each exposes `run()`, which prints
 //! the regenerated rows in the shape the paper reports.
 
+pub mod chaos;
 pub mod datasets;
 pub mod fig10;
 pub mod fig11;
@@ -48,4 +49,5 @@ pub const ALL: &[(&str, fn())] = &[
     ("prepared", prepared::run),
     ("parallel", parallel::run),
     ("trace", trace::run),
+    ("chaos", chaos::run),
 ];

@@ -51,7 +51,8 @@ pub mod util;
 pub mod workspace;
 
 pub use runtime::{
-    CliqueTrace, EvalOutcome, IterationTrace, LfpBreakdown, LfpStrategy, NodeTiming,
+    CliqueTrace, EvalError, EvalLimits, EvalOutcome, EvalResource, IterationTrace, LfpBreakdown,
+    LfpStrategy, NodeTiming, PartialProgress,
 };
 pub use session::{CompileTimings, CompiledQuery, QueryResult, Session, SessionConfig};
 pub use stored::{KmError, StoredDkb};

@@ -20,9 +20,9 @@ use crate::codegen::{all_table, delta_table, new_table, EvalProgram, ProgNode, R
 use crate::stored::KmError;
 use crate::util::attr_to_coltype;
 use hornlog::types::AttrType;
-use rdbms::{Engine, ResultSet, StmtId, Value};
+use rdbms::{BudgetKind, DbError, Engine, ResultSet, StmtId, Value};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -156,6 +156,245 @@ pub struct EvalOutcome {
     pub clique_traces: Vec<CliqueTrace>,
     /// Aggregated LFP breakdown over all nodes.
     pub breakdown: LfpBreakdown,
+}
+
+/// Per-evaluation resource limits, all off by default. The deadline is
+/// relative to the start of the evaluation and is armed on the engine too
+/// ([`Engine::set_eval_deadline`]), so long-running *statements* observe
+/// the same clock as the LFP loop around them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalLimits {
+    /// Wall-clock budget for the whole evaluation.
+    pub deadline: Option<Duration>,
+    /// Maximum LFP iterations per clique.
+    pub max_iterations: Option<u64>,
+    /// Maximum derived tuples installed across the whole evaluation
+    /// (seeds, exit rules, and every iteration's new tuples).
+    pub max_derived_facts: Option<u64>,
+}
+
+/// Which resource an [`EvalError::Budget`] tripped on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalResource {
+    /// Cooperative cancellation (the engine's cancel flag).
+    Canceled,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// Per-clique LFP iteration budget.
+    Iterations,
+    /// Whole-evaluation derived-fact budget.
+    DerivedFacts,
+    /// Engine-level row-processing budget.
+    Rows,
+    /// Engine-level operator memory budget.
+    Memory,
+}
+
+impl std::fmt::Display for EvalResource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalResource::Canceled => write!(f, "cancellation"),
+            EvalResource::Deadline => write!(f, "deadline"),
+            EvalResource::Iterations => write!(f, "iteration budget"),
+            EvalResource::DerivedFacts => write!(f, "derived-fact budget"),
+            EvalResource::Rows => write!(f, "row budget"),
+            EvalResource::Memory => write!(f, "memory budget"),
+        }
+    }
+}
+
+/// What the evaluation had produced when a budget tripped — the same trace
+/// machinery a successful [`EvalOutcome`] carries, minus the answer rows.
+/// Completed evaluation-order nodes appear in full; the clique that was
+/// mid-fixpoint contributes its iterations so far as a final
+/// [`CliqueTrace`] with zero `total`/`t_setup` (wall time is unknown at
+/// the abort point).
+#[derive(Debug, Clone, Default)]
+pub struct PartialProgress {
+    pub breakdown: LfpBreakdown,
+    pub node_timings: Vec<NodeTiming>,
+    pub clique_traces: Vec<CliqueTrace>,
+}
+
+/// A typed evaluation failure: the LFP run was abandoned cooperatively.
+/// The engine itself stays healthy — the governed entry point
+/// ([`run_program_governed`]) has already dropped the run's temporaries
+/// and acknowledged any cancellation before this error reaches the caller.
+#[derive(Debug, Clone)]
+pub enum EvalError {
+    Budget {
+        resource: EvalResource,
+        /// The configured limit (0 for cancellation/deadline breaches
+        /// reported by the engine, where no count applies).
+        limit: u64,
+        /// Consumption observed at the breach.
+        used: u64,
+        partial: Box<PartialProgress>,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Budget {
+                resource,
+                limit,
+                used,
+                ..
+            } => write!(
+                f,
+                "evaluation exceeded {resource} (used {used}, limit {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A breach observed by [`EvalCtl`], before partial progress is attached.
+struct CtlBreach {
+    resource: EvalResource,
+    limit: u64,
+    used: u64,
+}
+
+/// The km-level evaluation governor: an absolute deadline, a per-clique
+/// iteration cap, and a cumulative derived-fact budget shared (atomically)
+/// by every node the scheduler may be running concurrently.
+struct EvalCtl {
+    started: Instant,
+    deadline: Option<Instant>,
+    max_iterations: Option<u64>,
+    max_derived_facts: Option<u64>,
+    derived: AtomicU64,
+}
+
+impl EvalCtl {
+    fn new(limits: &EvalLimits, deadline: Option<Instant>) -> EvalCtl {
+        EvalCtl {
+            started: Instant::now(),
+            deadline,
+            max_iterations: limits.max_iterations,
+            max_derived_facts: limits.max_derived_facts,
+            derived: AtomicU64::new(0),
+        }
+    }
+
+    fn check_deadline(&self) -> Result<(), CtlBreach> {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(CtlBreach {
+                    resource: EvalResource::Deadline,
+                    limit: d.saturating_duration_since(self.started).as_millis() as u64,
+                    used: self.started.elapsed().as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Loop-top check: deadline plus the per-clique iteration cap.
+    /// `iters` is the 1-based iteration about to run, so a cap of `n`
+    /// admits exactly `n` iterations.
+    fn check_iters(&self, iters: u64) -> Result<(), CtlBreach> {
+        if let Some(m) = self.max_iterations {
+            if iters > m {
+                return Err(CtlBreach {
+                    resource: EvalResource::Iterations,
+                    limit: m,
+                    used: iters,
+                });
+            }
+        }
+        self.check_deadline()
+    }
+
+    /// Charge `n` freshly installed derived tuples against the cumulative
+    /// budget.
+    fn charge_facts(&self, n: u64) -> Result<(), CtlBreach> {
+        if n == 0 {
+            return Ok(());
+        }
+        let used = self.derived.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(m) = self.max_derived_facts {
+            if used > m {
+                return Err(CtlBreach {
+                    resource: EvalResource::DerivedFacts,
+                    limit: m,
+                    used,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wrap a breach and the progress made so far into the typed error.
+fn budget_err(br: CtlBreach, partial: PartialProgress) -> KmError {
+    KmError::Eval(Box::new(EvalError::Budget {
+        resource: br.resource,
+        limit: br.limit,
+        used: br.used,
+        partial: Box::new(partial),
+    }))
+}
+
+/// Partial progress of a clique that was mid-fixpoint: its iterations so
+/// far, packaged as the final clique trace.
+fn clique_partial(
+    types: &BTreeMap<&str, &[AttrType]>,
+    b: &LfpBreakdown,
+    traces: &mut Vec<IterationTrace>,
+) -> PartialProgress {
+    let predicates: Vec<String> = types.keys().map(|s| s.to_string()).collect();
+    let is_magic = !predicates.is_empty() && predicates.iter().all(|p| p.starts_with("m_"));
+    PartialProgress {
+        breakdown: *b,
+        node_timings: Vec::new(),
+        clique_traces: vec![CliqueTrace {
+            predicates,
+            is_magic,
+            total: Duration::ZERO,
+            t_setup: Duration::ZERO,
+            worker: 0,
+            iterations: std::mem::take(traces),
+        }],
+    }
+}
+
+/// Promote an error leaving the evaluation into its governed form:
+/// engine-level budget breaches ([`DbError::Budget`]) become
+/// [`EvalError::Budget`] and clique-local partial progress is merged
+/// behind the progress of the nodes that had already completed. Other
+/// errors pass through untouched.
+fn promote(e: KmError, mut done: PartialProgress) -> KmError {
+    match e {
+        KmError::Db(DbError::Budget(br)) => {
+            let resource = match br.kind {
+                BudgetKind::Canceled => EvalResource::Canceled,
+                BudgetKind::Deadline => EvalResource::Deadline,
+                BudgetKind::Rows => EvalResource::Rows,
+                BudgetKind::Memory => EvalResource::Memory,
+            };
+            budget_err(
+                CtlBreach {
+                    resource,
+                    limit: br.limit,
+                    used: br.used,
+                },
+                done,
+            )
+        }
+        KmError::Eval(mut boxed) => {
+            let EvalError::Budget { partial, .. } = boxed.as_mut();
+            done.breakdown.absorb(&partial.breakdown);
+            done.node_timings.append(&mut partial.node_timings);
+            done.clique_traces.append(&mut partial.clique_traces);
+            **partial = done;
+            KmError::Eval(boxed)
+        }
+        other => other,
+    }
 }
 
 fn timed<R>(acc: &mut Duration, f: impl FnOnce() -> R) -> R {
@@ -414,6 +653,7 @@ struct NodeOut {
 }
 
 /// Evaluate one node of the evaluation order.
+#[allow(clippy::too_many_arguments)]
 fn eval_node(
     db: &DbHandle,
     prog: &EvalProgram,
@@ -422,11 +662,12 @@ fn eval_node(
     special_tc: bool,
     prepared_sql: bool,
     workers: usize,
+    ctl: &EvalCtl,
 ) -> Result<NodeOut, KmError> {
     let node_start = Instant::now();
     match node {
         ProgNode::Predicate { rules, .. } => Ok(NodeOut {
-            breakdown: eval_predicate(db, rules)?,
+            breakdown: eval_predicate(db, rules, ctl)?,
             iterations: Vec::new(),
             elapsed: node_start.elapsed(),
             tc: false,
@@ -446,6 +687,18 @@ fn eval_node(
                 if let Some(src) = tc_of {
                     let pred = &preds[0];
                     let mut b = LfpBreakdown::default();
+                    if let Err(br) = ctl.check_deadline() {
+                        return Err(budget_err(
+                            br,
+                            clique_partial(
+                                &[(pred.as_str(), prog.tables[pred].as_slice())]
+                                    .into_iter()
+                                    .collect(),
+                                &b,
+                                &mut Vec::new(),
+                            ),
+                        ));
+                    }
                     let snap0 = StatSnap::take(db);
                     let t = Instant::now();
                     let rs = db.execute(&format!(
@@ -462,6 +715,22 @@ fn eval_node(
                     iter.delta_cards = vec![(pred.clone(), rs.affected)];
                     iter.t_eval = elapsed;
                     iter.t_total = elapsed;
+                    // The operator runs as one statement, so the fact
+                    // budget is enforced on its affected count after the
+                    // fact — the engine-level row budget is the in-flight
+                    // bound for this path.
+                    if let Err(br) = ctl.charge_facts(rs.affected) {
+                        return Err(budget_err(
+                            br,
+                            clique_partial(
+                                &[(pred.as_str(), prog.tables[pred].as_slice())]
+                                    .into_iter()
+                                    .collect(),
+                                &b,
+                                &mut vec![iter],
+                            ),
+                        ));
+                    }
                     return Ok(NodeOut {
                         breakdown: b,
                         iterations: vec![iter],
@@ -477,20 +746,26 @@ fn eval_node(
                 .collect();
             let (b, iterations) = match (strategy, prepared_sql) {
                 (LfpStrategy::Naive, false) => {
-                    eval_clique_naive(db, &types, exit_rules, recursive_rules, workers)?
+                    eval_clique_naive(db, &types, exit_rules, recursive_rules, workers, ctl)?
                 }
                 (LfpStrategy::SemiNaive, false) => {
-                    eval_clique_seminaive(db, &types, exit_rules, recursive_rules, workers)?
+                    eval_clique_seminaive(db, &types, exit_rules, recursive_rules, workers, ctl)?
                 }
-                (LfpStrategy::Naive, true) => {
-                    eval_clique_naive_prepared(db, &types, exit_rules, recursive_rules, workers)?
-                }
+                (LfpStrategy::Naive, true) => eval_clique_naive_prepared(
+                    db,
+                    &types,
+                    exit_rules,
+                    recursive_rules,
+                    workers,
+                    ctl,
+                )?,
                 (LfpStrategy::SemiNaive, true) => eval_clique_seminaive_prepared(
                     db,
                     &types,
                     exit_rules,
                     recursive_rules,
                     workers,
+                    ctl,
                 )?,
             };
             Ok(NodeOut {
@@ -564,6 +839,7 @@ fn run_nodes_parallel(
     special_tc: bool,
     prepared_sql: bool,
     workers: usize,
+    ctl: &EvalCtl,
 ) -> Result<Vec<NodeOut>, KmError> {
     let n = prog.nodes.len();
     let deps = node_deps(prog);
@@ -612,6 +888,7 @@ fn run_nodes_parallel(
                     special_tc,
                     prepared_sql,
                     workers,
+                    ctl,
                 );
                 let mut g = state.lock().unwrap();
                 match r {
@@ -685,6 +962,65 @@ pub fn run_program_opts(
     special_tc: bool,
     prepared_sql: bool,
 ) -> Result<EvalOutcome, KmError> {
+    run_program_governed(
+        db,
+        prog,
+        strategy,
+        special_tc,
+        prepared_sql,
+        &EvalLimits::default(),
+    )
+}
+
+/// [`run_program_opts`] under an evaluation governor: a wall-clock
+/// deadline (armed on the engine too, so individual statements observe
+/// it), a per-clique iteration cap, and a cumulative derived-fact budget.
+/// A breach — or an engine-level budget/cancellation breach surfacing from
+/// a statement — aborts the run with [`EvalError::Budget`], carrying the
+/// traces produced so far. Before the error is returned the engine is put
+/// back in service: the evaluation deadline is cleared, a pending
+/// cancellation is acknowledged, and the run's temporary tables are
+/// dropped best-effort.
+pub fn run_program_governed(
+    db: &mut Engine,
+    prog: &EvalProgram,
+    strategy: LfpStrategy,
+    special_tc: bool,
+    prepared_sql: bool,
+    limits: &EvalLimits,
+) -> Result<EvalOutcome, KmError> {
+    let deadline = limits.deadline.map(|d| Instant::now() + d);
+    let ctl = EvalCtl::new(limits, deadline);
+    db.set_eval_deadline(deadline);
+    let r = run_program_inner(db, prog, strategy, special_tc, prepared_sql, &ctl);
+    db.set_eval_deadline(None);
+    match r {
+        Ok(out) => Ok(out),
+        Err(e) => {
+            // Late breaches (answer read, cleanup) carry no trace state;
+            // promote them with empty progress.
+            let e = promote(e, PartialProgress::default());
+            if matches!(e, KmError::Eval(_)) {
+                db.reset_cancel();
+                for pred in prog.tables.keys() {
+                    let _ = db.execute(&format!("DROP TABLE IF EXISTS {}", all_table(pred)));
+                    let _ = db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(pred)));
+                    let _ = db.execute(&format!("DROP TABLE IF EXISTS {}", delta_table(pred)));
+                }
+            }
+            Err(e)
+        }
+    }
+}
+
+fn run_program_inner(
+    db: &mut Engine,
+    prog: &EvalProgram,
+    strategy: LfpStrategy,
+    special_tc: bool,
+    prepared_sql: bool,
+    ctl: &EvalCtl,
+) -> Result<EvalOutcome, KmError> {
     let workers = db.parallelism();
     let start = Instant::now();
     let mut breakdown = LfpBreakdown::default();
@@ -701,7 +1037,17 @@ pub fn run_program_opts(
     breakdown.n_temp_ops += 2 * prog.tables.len() as u64;
     let t = Instant::now();
     for (pred, rows) in &prog.seeds {
-        breakdown.tuples_produced += db.insert_rows(&all_table(pred), dedup(rows.clone()))?;
+        let added = db.insert_rows(&all_table(pred), dedup(rows.clone()))?;
+        breakdown.tuples_produced += added;
+        if let Err(br) = ctl.charge_facts(added) {
+            return Err(budget_err(
+                br,
+                PartialProgress {
+                    breakdown,
+                    ..PartialProgress::default()
+                },
+            ));
+        }
     }
     breakdown.t_eval_rhs += t.elapsed();
 
@@ -710,28 +1056,59 @@ pub fn run_program_opts(
     // evaluation-order either way, so consumers see the same shape.
     let mut node_timings = Vec::with_capacity(prog.nodes.len());
     let mut clique_traces = Vec::new();
+    let mut eval_err: Option<KmError> = None;
     if workers <= 1 {
         for node in &prog.nodes {
-            let out = eval_node(&db, prog, node, strategy, special_tc, prepared_sql, workers)?;
-            record_node(
+            match eval_node(
+                &db,
+                prog,
                 node,
-                out,
-                &mut breakdown,
-                &mut node_timings,
-                &mut clique_traces,
-            );
+                strategy,
+                special_tc,
+                prepared_sql,
+                workers,
+                ctl,
+            ) {
+                Ok(out) => record_node(
+                    node,
+                    out,
+                    &mut breakdown,
+                    &mut node_timings,
+                    &mut clique_traces,
+                ),
+                Err(e) => {
+                    eval_err = Some(e);
+                    break;
+                }
+            }
         }
     } else {
-        let outs = run_nodes_parallel(&db, prog, strategy, special_tc, prepared_sql, workers)?;
-        for (node, out) in prog.nodes.iter().zip(outs) {
-            record_node(
-                node,
-                out,
-                &mut breakdown,
-                &mut node_timings,
-                &mut clique_traces,
-            );
+        match run_nodes_parallel(&db, prog, strategy, special_tc, prepared_sql, workers, ctl) {
+            Ok(outs) => {
+                for (node, out) in prog.nodes.iter().zip(outs) {
+                    record_node(
+                        node,
+                        out,
+                        &mut breakdown,
+                        &mut node_timings,
+                        &mut clique_traces,
+                    );
+                }
+            }
+            Err(e) => eval_err = Some(e),
         }
+    }
+    if let Some(e) = eval_err {
+        // Attach what the completed nodes produced ahead of the failing
+        // node's own partial state.
+        return Err(promote(
+            e,
+            PartialProgress {
+                breakdown,
+                node_timings,
+                clique_traces,
+            },
+        ));
     }
 
     // Read the answer.
@@ -802,14 +1179,36 @@ fn insert_new(db: &DbHandle, target: &str, select_sql: &str) -> Result<u64, KmEr
 }
 
 /// Evaluate a non-recursive predicate node: one pass over its rules.
-fn eval_predicate(db: &DbHandle, rules: &[RuleSql]) -> Result<LfpBreakdown, KmError> {
+fn eval_predicate(
+    db: &DbHandle,
+    rules: &[RuleSql],
+    ctl: &EvalCtl,
+) -> Result<LfpBreakdown, KmError> {
     let mut b = LfpBreakdown::default();
     for rule in rules {
+        if let Err(br) = ctl.check_deadline() {
+            return Err(budget_err(
+                br,
+                PartialProgress {
+                    breakdown: b,
+                    ..PartialProgress::default()
+                },
+            ));
+        }
         let added = timed(&mut b.t_eval_rhs, || {
             insert_new(db, &all_table(&rule.head_pred), &rule.full_sql)
         })?;
         b.n_eval_stmts += 1;
         b.tuples_produced += added;
+        if let Err(br) = ctl.charge_facts(added) {
+            return Err(budget_err(
+                br,
+                PartialProgress {
+                    breakdown: b,
+                    ..PartialProgress::default()
+                },
+            ));
+        }
     }
     Ok(b)
 }
@@ -823,6 +1222,7 @@ fn eval_clique_naive(
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
     workers: usize,
+    ctl: &EvalCtl,
 ) -> Result<(LfpBreakdown, Vec<IterationTrace>), KmError> {
     let mut b = LfpBreakdown::default();
     let mut traces = Vec::new();
@@ -843,6 +1243,9 @@ fn eval_clique_naive(
     let eval_batch: Vec<BatchStmt> = eval_sqls.iter().map(|s| BatchStmt::Sql(s)).collect();
     loop {
         b.iterations += 1;
+        if let Err(br) = ctl.check_iters(b.iterations) {
+            return Err(budget_err(br, clique_partial(types, &b, &mut traces)));
+        }
         let iter_start = Instant::now();
         let snap = StatSnap::take(db);
 
@@ -888,10 +1291,13 @@ fn eval_clique_naive(
         b.n_temp_ops += types.len() as u64;
 
         let done = new_tuples.is_empty();
+        let mut fresh = 0u64;
         if !done {
             let t = Instant::now();
             for (p, rows) in new_tuples {
-                b.tuples_produced += db.insert_rows(&all_table(p), rows)?;
+                let added = db.insert_rows(&all_table(p), rows)?;
+                b.tuples_produced += added;
+                fresh += added;
             }
             d_eval += t.elapsed();
         }
@@ -907,6 +1313,9 @@ fn eval_clique_naive(
         iter.t_total = iter_start.elapsed();
         iter.worker_eval = worker_eval;
         traces.push(iter);
+        if let Err(br) = ctl.charge_facts(fresh) {
+            return Err(budget_err(br, clique_partial(types, &b, &mut traces)));
+        }
         if done {
             return Ok((b, traces));
         }
@@ -922,17 +1331,24 @@ fn eval_clique_seminaive(
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
     workers: usize,
+    ctl: &EvalCtl,
 ) -> Result<(LfpBreakdown, Vec<IterationTrace>), KmError> {
     let mut b = LfpBreakdown::default();
     let mut traces = Vec::new();
 
     // Exit rules populate the accumulated tables.
     let t = Instant::now();
+    let mut exit_added = 0u64;
     for rule in exit_rules {
-        b.tuples_produced += insert_new(db, &all_table(&rule.head_pred), &rule.full_sql)?;
+        let added = insert_new(db, &all_table(&rule.head_pred), &rule.full_sql)?;
+        b.tuples_produced += added;
+        exit_added += added;
         b.n_eval_stmts += 1;
     }
     b.t_eval_rhs += t.elapsed();
+    if let Err(br) = ctl.charge_facts(exit_added) {
+        return Err(budget_err(br, clique_partial(types, &b, &mut traces)));
+    }
 
     // delta := current accumulated contents (exit results + seeds).
     timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
@@ -969,6 +1385,9 @@ fn eval_clique_seminaive(
 
     loop {
         b.iterations += 1;
+        if let Err(br) = ctl.check_iters(b.iterations) {
+            return Err(budget_err(br, clique_partial(types, &b, &mut traces)));
+        }
         let iter_start = Instant::now();
         let snap = StatSnap::take(db);
 
@@ -1015,6 +1434,7 @@ fn eval_clique_seminaive(
         b.n_temp_ops += 2 * types.len() as u64;
 
         let done = new_tuples.is_empty();
+        let mut fresh = 0u64;
         if !done {
             // New deltas: exactly the new tuples; also fold them into the
             // accumulated tables.
@@ -1026,7 +1446,9 @@ fn eval_clique_seminaive(
             b.n_temp_ops += types.len() as u64;
             let t = Instant::now();
             for (p, rows) in new_tuples {
-                b.tuples_produced += db.insert_rows(&all_table(p), rows.clone())?;
+                let added = db.insert_rows(&all_table(p), rows.clone())?;
+                b.tuples_produced += added;
+                fresh += added;
                 db.insert_rows(&delta_table(p), rows)?;
             }
             d_eval += t.elapsed();
@@ -1043,6 +1465,9 @@ fn eval_clique_seminaive(
         iter.t_total = iter_start.elapsed();
         iter.worker_eval = worker_eval;
         traces.push(iter);
+        if let Err(br) = ctl.charge_facts(fresh) {
+            return Err(budget_err(br, clique_partial(types, &b, &mut traces)));
+        }
         if done {
             return Ok((b, traces));
         }
@@ -1062,6 +1487,7 @@ fn eval_clique_naive_prepared(
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
     workers: usize,
+    ctl: &EvalCtl,
 ) -> Result<(LfpBreakdown, Vec<IterationTrace>), KmError> {
     let mut b = LfpBreakdown::default();
     let mut traces = Vec::new();
@@ -1118,6 +1544,9 @@ fn eval_clique_naive_prepared(
 
     loop {
         b.iterations += 1;
+        if let Err(br) = ctl.check_iters(b.iterations) {
+            return Err(budget_err(br, clique_partial(types, &b, &mut traces)));
+        }
         let iter_start = Instant::now();
         let snap = StatSnap::take(db);
 
@@ -1161,6 +1590,9 @@ fn eval_clique_naive_prepared(
         iter.t_total = iter_start.elapsed();
         iter.worker_eval = worker_eval;
         traces.push(iter);
+        if let Err(br) = ctl.charge_facts(new_tuples) {
+            return Err(budget_err(br, clique_partial(types, &b, &mut traces)));
+        }
 
         if new_tuples == 0 {
             break;
@@ -1194,17 +1626,24 @@ fn eval_clique_seminaive_prepared(
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
     workers: usize,
+    ctl: &EvalCtl,
 ) -> Result<(LfpBreakdown, Vec<IterationTrace>), KmError> {
     let mut b = LfpBreakdown::default();
     let mut traces = Vec::new();
 
     // Exit rules populate the accumulated tables (single-shot statements).
     let t = Instant::now();
+    let mut exit_added = 0u64;
     for rule in exit_rules {
-        b.tuples_produced += insert_new(db, &all_table(&rule.head_pred), &rule.full_sql)?;
+        let added = insert_new(db, &all_table(&rule.head_pred), &rule.full_sql)?;
+        b.tuples_produced += added;
+        exit_added += added;
         b.n_eval_stmts += 1;
     }
     b.t_eval_rhs += t.elapsed();
+    if let Err(br) = ctl.charge_facts(exit_added) {
+        return Err(budget_err(br, clique_partial(types, &b, &mut traces)));
+    }
 
     // Candidate and delta tables, created once for the whole fixpoint,
     // plus the full-key index each termination check probes.
@@ -1279,6 +1718,9 @@ fn eval_clique_seminaive_prepared(
 
     loop {
         b.iterations += 1;
+        if let Err(br) = ctl.check_iters(b.iterations) {
+            return Err(budget_err(br, clique_partial(types, &b, &mut traces)));
+        }
         let iter_start = Instant::now();
         let snap = StatSnap::take(db);
 
@@ -1339,6 +1781,9 @@ fn eval_clique_seminaive_prepared(
         iter.t_total = iter_start.elapsed();
         iter.worker_eval = worker_eval;
         traces.push(iter);
+        if let Err(br) = ctl.charge_facts(new_tuples) {
+            return Err(budget_err(br, clique_partial(types, &b, &mut traces)));
+        }
         if done {
             break;
         }
@@ -1646,6 +2091,142 @@ mod tests {
         // tables every iteration.
         assert_eq!(per_run, 4, "temp tables are recycled, not recreated");
         assert!(out.breakdown.iterations >= 5);
+    }
+
+    /// Unwrap a governed failure into its budget fields.
+    fn budget_parts(e: KmError) -> (EvalResource, u64, u64, PartialProgress) {
+        match e {
+            KmError::Eval(boxed) => {
+                let EvalError::Budget {
+                    resource,
+                    limit,
+                    used,
+                    partial,
+                } = *boxed;
+                (resource, limit, used, *partial)
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iteration_budget_trips_with_partial_traces() {
+        for prepared in [false, true] {
+            for strategy in [LfpStrategy::Naive, LfpStrategy::SemiNaive] {
+                let mut db = chain_engine(10);
+                let (program, _) = ancestor_program("?- anc(A, B).");
+                let prog = compile(&program, &db);
+                let before = db.table_names();
+                let limits = EvalLimits {
+                    max_iterations: Some(2),
+                    ..EvalLimits::default()
+                };
+                let err = run_program_governed(&mut db, &prog, strategy, false, prepared, &limits)
+                    .unwrap_err();
+                let (resource, limit, used, partial) = budget_parts(err);
+                assert_eq!(
+                    resource,
+                    EvalResource::Iterations,
+                    "{strategy:?}/{prepared}"
+                );
+                assert_eq!(limit, 2);
+                assert_eq!(used, 3, "tripped entering iteration 3");
+                // The two admitted iterations are reported via the trace
+                // machinery, and they did real work.
+                let clique = partial
+                    .clique_traces
+                    .last()
+                    .expect("failing clique contributes a trace");
+                assert_eq!(clique.iterations.len(), 2);
+                assert!(clique.iterations.iter().all(|i| i.statements > 0));
+                assert!(partial.breakdown.tuples_produced > 0);
+                // The engine keeps serving and no temporaries leak.
+                assert_eq!(db.table_names(), before, "temp tables dropped");
+                assert!(db.execute("SELECT * FROM parent").is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn derived_fact_budget_trips() {
+        let mut db = chain_engine(10);
+        let (program, _) = ancestor_program("?- anc(A, B).");
+        let prog = compile(&program, &db);
+        let limits = EvalLimits {
+            max_derived_facts: Some(12),
+            ..EvalLimits::default()
+        };
+        let err =
+            run_program_governed(&mut db, &prog, LfpStrategy::SemiNaive, false, true, &limits)
+                .unwrap_err();
+        let (resource, limit, used, partial) = budget_parts(err);
+        assert_eq!(resource, EvalResource::DerivedFacts);
+        assert_eq!(limit, 12);
+        assert!(used > 12, "charge observed the overshoot");
+        assert!(!partial.clique_traces.is_empty());
+        assert!(db.execute("SELECT * FROM parent").is_ok());
+    }
+
+    #[test]
+    fn zero_deadline_trips_before_divergence() {
+        // A deadline of zero must abort on the very first check — whether
+        // the km loop or an engine statement observes it first.
+        let mut db = chain_engine(6);
+        let (program, _) = ancestor_program("?- anc(A, B).");
+        let prog = compile(&program, &db);
+        let limits = EvalLimits {
+            deadline: Some(Duration::ZERO),
+            ..EvalLimits::default()
+        };
+        let err =
+            run_program_governed(&mut db, &prog, LfpStrategy::SemiNaive, false, true, &limits)
+                .unwrap_err();
+        let (resource, _, _, _) = budget_parts(err);
+        assert_eq!(resource, EvalResource::Deadline);
+        // The eval deadline is cleared on exit: the engine serves again.
+        assert!(db.execute("SELECT * FROM parent").is_ok());
+    }
+
+    #[test]
+    fn governed_without_limits_matches_ungoverned() {
+        let (program, _) = ancestor_program("?- anc(A, B).");
+        let mut db1 = chain_engine(8);
+        let prog = compile(&program, &db1);
+        let plain = run_program(&mut db1, &prog, LfpStrategy::SemiNaive).unwrap();
+        let mut db2 = chain_engine(8);
+        let governed = run_program_governed(
+            &mut db2,
+            &prog,
+            LfpStrategy::SemiNaive,
+            false,
+            true,
+            &EvalLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(plain.rows, governed.rows);
+    }
+
+    #[test]
+    fn engine_cancellation_surfaces_as_eval_budget() {
+        let mut db = chain_engine(8);
+        let (program, _) = ancestor_program("?- anc(A, B).");
+        let prog = compile(&program, &db);
+        db.cancel();
+        let err = run_program_governed(
+            &mut db,
+            &prog,
+            LfpStrategy::SemiNaive,
+            false,
+            true,
+            &EvalLimits::default(),
+        )
+        .unwrap_err();
+        let (resource, _, _, _) = budget_parts(err);
+        assert_eq!(resource, EvalResource::Canceled);
+        // The governed exit acknowledged the cancellation: a clean re-run
+        // succeeds and yields the full answer.
+        let out = run_program(&mut db, &prog, LfpStrategy::SemiNaive).unwrap();
+        assert_eq!(out.rows.len(), 28);
     }
 
     #[test]

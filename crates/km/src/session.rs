@@ -5,7 +5,7 @@
 
 use crate::codegen::{generate, CodegenEnv, EvalProgram};
 use crate::magic::magic_rewrite;
-use crate::runtime::{run_program_opts, EvalOutcome, LfpStrategy};
+use crate::runtime::{run_program_governed, EvalLimits, EvalOutcome, LfpStrategy};
 use crate::semantics;
 use crate::stored::{KmError, StoredDkb};
 use crate::update::{update_stored, UpdateTimings};
@@ -52,6 +52,20 @@ pub struct SessionConfig {
     /// serial); any other value is set on the engine explicitly. Answers
     /// are identical at every setting.
     pub parallelism: usize,
+    /// Wall-clock budget per evaluation. Armed on the engine too, so
+    /// long-running individual statements observe the same clock. A breach
+    /// surfaces as [`KmError::Eval`] with partial traces attached; the
+    /// session stays serviceable.
+    pub deadline: Option<Duration>,
+    /// Maximum LFP iterations per clique per evaluation.
+    pub max_iterations: Option<u64>,
+    /// Maximum derived tuples installed per evaluation, cumulative across
+    /// all cliques and non-recursive nodes.
+    pub max_derived_facts: Option<u64>,
+    /// Run [`StoredDkb::verify_integrity`] automatically after
+    /// [`Session::recover`], recording the result on the engine's
+    /// `engine.recovery_verified` gauge. On by default.
+    pub verify_on_recover: bool,
 }
 
 impl Default for SessionConfig {
@@ -65,6 +79,10 @@ impl Default for SessionConfig {
             durability: false,
             prepared_sql: true,
             parallelism: 0,
+            deadline: None,
+            max_iterations: None,
+            max_derived_facts: None,
+            verify_on_recover: true,
         }
     }
 }
@@ -320,6 +338,14 @@ impl Session {
         for entry in self.prepared.values_mut() {
             entry.valid = false;
         }
+        // Cross-check the recovered dictionary structures unless the
+        // caller opted out; the engine gauge records the verdict either
+        // way so an operator can see it in the metrics export.
+        if self.config.verify_on_recover {
+            let verified = self.stored.verify_integrity(&mut self.db);
+            self.db.note_recovery_verified(verified.is_ok());
+            verified?;
+        }
         Ok(report)
     }
 
@@ -411,13 +437,15 @@ impl Session {
         }
         // Run without cloning the program: the prepared map and the engine
         // are disjoint fields.
+        let limits = self.eval_limits();
         let entry = &self.prepared[name];
-        let mut outcome = run_program_opts(
+        let mut outcome = run_program_governed(
             &mut self.db,
             &entry.compiled.program,
             self.config.strategy,
             self.config.special_tc,
             self.config.prepared_sql,
+            &limits,
         )?;
         let rows = std::mem::take(&mut outcome.rows);
         Ok(QueryResult {
@@ -638,14 +666,25 @@ impl Session {
         })
     }
 
+    /// The evaluation limits this session's config implies.
+    fn eval_limits(&self) -> EvalLimits {
+        EvalLimits {
+            deadline: self.config.deadline,
+            max_iterations: self.config.max_iterations,
+            max_derived_facts: self.config.max_derived_facts,
+        }
+    }
+
     /// Execute a compiled query.
     pub fn execute(&mut self, compiled: &CompiledQuery) -> Result<QueryResult, KmError> {
-        let mut outcome = run_program_opts(
+        let limits = self.eval_limits();
+        let mut outcome = run_program_governed(
             &mut self.db,
             &compiled.program,
             self.config.strategy,
             self.config.special_tc,
             self.config.prepared_sql,
+            &limits,
         )?;
         let rows = std::mem::take(&mut outcome.rows);
         Ok(QueryResult {
@@ -918,6 +957,29 @@ mod tests {
         let r1 = s.execute(&compiled).unwrap();
         let r2 = s.execute(&compiled).unwrap();
         assert_eq!(r1.rows, r2.rows);
+    }
+
+    #[test]
+    fn session_budget_trips_and_session_survives() {
+        let mut s = Session::new(SessionConfig {
+            max_derived_facts: Some(5),
+            ..SessionConfig::default()
+        })
+        .unwrap();
+        s.define_base("parent", &binary_sym()).unwrap();
+        s.load_facts("parent", chain_rows(8)).unwrap();
+        s.load_rules(
+            "anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).\n",
+        )
+        .unwrap();
+        let err = s.query("?- anc(A, B).").unwrap_err();
+        assert!(matches!(err, KmError::Eval(_)), "got {err:?}");
+        // Lifting the budget on the same session yields the full answer:
+        // the governed abort left the engine serviceable.
+        s.config.max_derived_facts = None;
+        let (_, r) = s.query("?- anc(A, B).").unwrap();
+        assert_eq!(r.rows.len(), 28);
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub enum KmError {
     /// The stored D/KB's structures contradict each other (see
     /// [`StoredDkb::verify_integrity`]).
     Integrity(String),
+    /// An evaluation budget tripped (deadline, cancellation, iteration or
+    /// derived-fact cap): the run was abandoned cooperatively with partial
+    /// progress attached (see [`crate::runtime::EvalError`]). Boxed: the
+    /// partial traces make it much larger than the other variants.
+    Eval(Box<crate::runtime::EvalError>),
 }
 
 impl std::fmt::Display for KmError {
@@ -49,6 +54,7 @@ impl std::fmt::Display for KmError {
             KmError::Semantic(m) => write!(f, "semantic error: {m}"),
             KmError::Internal(m) => write!(f, "internal error: {m}"),
             KmError::Integrity(m) => write!(f, "integrity violation: {m}"),
+            KmError::Eval(e) => write!(f, "evaluation aborted: {e}"),
         }
     }
 }

@@ -38,6 +38,10 @@ pub enum DbError {
     Corruption(String),
     /// Transaction-protocol misuse (nested begin, commit without begin).
     Txn(String),
+    /// The statement's execution governor tripped: canceled, past its
+    /// deadline, or over a row/memory budget. The engine itself is
+    /// healthy; the statement was abandoned cooperatively.
+    Budget(crate::governor::BudgetBreach),
 }
 
 impl std::fmt::Display for DbError {
@@ -54,6 +58,7 @@ impl std::fmt::Display for DbError {
             DbError::Io(m) => write!(f, "I/O error: {m}"),
             DbError::Corruption(m) => write!(f, "corruption detected: {m}"),
             DbError::Txn(m) => write!(f, "transaction error: {m}"),
+            DbError::Budget(b) => write!(f, "budget exceeded: {b}"),
         }
     }
 }

@@ -26,6 +26,8 @@
 use crate::catalog::DbError;
 use crate::page::PAGE_SIZE;
 use crate::wal::{TxnId, Wal, WalRecord};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Identifies a file on the simulated disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -47,6 +49,9 @@ pub struct DiskStats {
     pub wal_bytes: u64,
     /// Checkpoints (whole-log truncations) taken by the WAL.
     pub wal_checkpoints: u64,
+    /// Checkpoints forced by the size threshold while per-commit
+    /// checkpointing was off (a subset of `wal_checkpoints`).
+    pub wal_auto_checkpoints: u64,
     /// Peak WAL size in bytes ever reached between checkpoints.
     pub wal_high_water_bytes: u64,
     /// Reads that hit a transient fault and were retried.
@@ -87,6 +92,14 @@ pub struct FaultInjector {
     wal_tear_bytes: Option<usize>,
     /// Every Nth read fails transiently (succeeds when retried).
     transient_read_every: Option<u64>,
+    /// When this many page writes have been attempted, set `cancel_flag`
+    /// instead of crashing: models an operator hitting cancel while the
+    /// engine is mid-write. Independent of `fail_after_writes` — a
+    /// schedule can arm both.
+    cancel_after_writes: Option<u64>,
+    /// The cooperative cancellation flag to set (a clone of
+    /// `Engine::cancel_handle`).
+    cancel_flag: Option<Arc<AtomicBool>>,
     writes_seen: u64,
     reads_seen: u64,
     rng: u64,
@@ -100,6 +113,8 @@ impl FaultInjector {
             torn_writes: false,
             wal_tear_bytes: None,
             transient_read_every: None,
+            cancel_after_writes: None,
+            cancel_flag: None,
             writes_seen: 0,
             reads_seen: 0,
             rng: 0x9E37_79B9_97F4_A7C1,
@@ -154,6 +169,17 @@ impl FaultInjector {
         self
     }
 
+    /// Arm a cancellation at the `n`-th page-write attempt: when it
+    /// fires, `flag` (a clone of the engine's cancel handle) is set and
+    /// the write itself proceeds normally. Sweeping `n` over a
+    /// transaction's write points exercises "the user hit cancel at
+    /// every possible moment" without the disk ever crashing.
+    pub fn cancel_at_write(mut self, n: u64, flag: Arc<AtomicBool>) -> FaultInjector {
+        self.cancel_after_writes = Some(n);
+        self.cancel_flag = Some(flag);
+        self
+    }
+
     fn next_rand(&mut self) -> u64 {
         self.rng ^= self.rng << 13;
         self.rng ^= self.rng >> 7;
@@ -164,6 +190,11 @@ impl FaultInjector {
     fn on_write(&mut self) -> WriteFault {
         let seen = self.writes_seen;
         self.writes_seen += 1;
+        if let (Some(n), Some(flag)) = (self.cancel_after_writes, self.cancel_flag.as_ref()) {
+            if seen >= n {
+                flag.store(true, Ordering::Relaxed);
+            }
+        }
         match self.fail_after_writes {
             Some(n) if seen >= n => {
                 if self.torn_writes {
@@ -230,12 +261,22 @@ pub struct Disk {
     /// exercising the redo path disable it to keep committed records
     /// around for replay.
     checkpoint_on_commit: bool,
+    /// With `checkpoint_on_commit` off, a commit still checkpoints once
+    /// the log exceeds this many bytes, so redo-retaining mode cannot
+    /// grow the log without bound. `None` disables the backstop.
+    wal_autockpt_bytes: Option<u64>,
 }
+
+/// Default WAL auto-checkpoint threshold: large enough that redo tests
+/// retaining a handful of commits never trip it, small enough that a
+/// long-lived redo-retaining session is bounded.
+pub const DEFAULT_WAL_AUTOCKPT_BYTES: u64 = 4 << 20;
 
 impl Disk {
     pub fn new() -> Disk {
         Disk {
             checkpoint_on_commit: true,
+            wal_autockpt_bytes: Some(DEFAULT_WAL_AUTOCKPT_BYTES),
             ..Disk::default()
         }
     }
@@ -276,6 +317,13 @@ impl Disk {
     /// Keep committed WAL records instead of checkpointing at commit.
     pub fn set_checkpoint_on_commit(&mut self, on: bool) {
         self.checkpoint_on_commit = on;
+    }
+
+    /// Set (or disable, with `None`) the size threshold above which a
+    /// commit checkpoints the log even when `checkpoint_on_commit` is
+    /// off.
+    pub fn set_wal_autocheckpoint_bytes(&mut self, threshold: Option<u64>) {
+        self.wal_autockpt_bytes = threshold;
     }
 
     fn check_crashed(&self) -> Result<(), DbError> {
@@ -352,6 +400,18 @@ impl Disk {
         if self.checkpoint_on_commit {
             if let Some(wal) = self.wal.as_mut() {
                 wal.clear();
+            }
+        } else if let Some(limit) = self.wal_autockpt_bytes {
+            // Redo-retaining mode keeps committed records for replay, but
+            // not without bound: the commit just made every page durable,
+            // so once the log outgrows the threshold it is safe to
+            // checkpoint here — exactly the state a per-commit checkpoint
+            // would have produced.
+            if let Some(wal) = self.wal.as_mut() {
+                if wal.byte_len() as u64 > limit {
+                    wal.clear();
+                    self.stats.wal_auto_checkpoints += 1;
+                }
             }
         }
         Ok(())
@@ -936,5 +996,50 @@ mod tests {
         disk.commit_txn().unwrap();
         assert!(matches!(disk.commit_txn(), Err(DbError::Txn(_))));
         assert!(matches!(disk.rollback_txn(), Err(DbError::Txn(_))));
+    }
+
+    #[test]
+    fn wal_auto_checkpoints_when_threshold_exceeded() {
+        let mut disk = Disk::new();
+        disk.enable_wal();
+        disk.set_checkpoint_on_commit(false);
+        disk.set_wal_autocheckpoint_bytes(Some(PAGE_SIZE as u64));
+        let f = disk.create_file();
+        let p = disk.allocate_page(f).unwrap();
+        // Each committed write logs two page images (> PAGE_SIZE), so the
+        // commit-time backstop fires every round and the log never
+        // accumulates more than one transaction.
+        for fill in 1..=5u8 {
+            disk.begin_txn().unwrap();
+            disk.write_page(f, p, &page_of(fill)).unwrap();
+            disk.commit_txn().unwrap();
+            assert!(disk.wal().unwrap().is_empty(), "backstop checkpointed");
+        }
+        assert_eq!(disk.stats().wal_auto_checkpoints, 5);
+        // Raising the threshold stops the backstop from firing.
+        disk.set_wal_autocheckpoint_bytes(Some(64 << 20));
+        disk.begin_txn().unwrap();
+        disk.write_page(f, p, &page_of(9)).unwrap();
+        disk.commit_txn().unwrap();
+        assert!(!disk.wal().unwrap().is_empty(), "records retained for redo");
+        assert_eq!(disk.stats().wal_auto_checkpoints, 5);
+    }
+
+    #[test]
+    fn cancel_at_write_sets_flag_without_crashing() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut disk = Disk::new();
+        let f = disk.create_file();
+        let p = disk.allocate_page(f).unwrap();
+        disk.set_fault_injector(FaultInjector::new().cancel_at_write(2, Arc::clone(&flag)));
+        disk.write_page(f, p, &page_of(1)).unwrap();
+        disk.write_page(f, p, &page_of(2)).unwrap();
+        assert!(!flag.load(Ordering::Relaxed), "not yet at the write point");
+        disk.write_page(f, p, &page_of(3)).unwrap();
+        assert!(flag.load(Ordering::Relaxed), "third write set the flag");
+        assert!(!disk.crashed(), "cancellation is not a crash");
+        let mut out = page_of(0);
+        disk.read_page(f, p, &mut out).unwrap();
+        assert_eq!(out, page_of(3), "the cancelled-at write still landed");
     }
 }

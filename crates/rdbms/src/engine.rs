@@ -9,6 +9,7 @@ use crate::buffer::{BufferPool, BufferStats, DEFAULT_POOL_FRAMES};
 use crate::catalog::{Catalog, DbError, Table};
 use crate::disk::{Disk, DiskStats, FaultInjector, RecoveryReport};
 use crate::exec::{execute_plan, ExecCtx, ExecStats, OpProfile, Profiler};
+use crate::governor::{BudgetKind, ExecLimits, QueryGovernor, GOVERNOR_CHECK_INTERVAL};
 use crate::heap::RecordId;
 use crate::plan::{output_types, plan_query, ExecCond, PlannedQuery};
 use crate::schema::{serialize_tuple, Schema, Tuple};
@@ -16,7 +17,9 @@ use crate::sql::ast::{CmpOp, ColRef, Condition, Query, Scalar, SelectItem, Stmt}
 use crate::sql::parser::{parse_script, parse_stmt, parse_stmt_params};
 use crate::value::Value;
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Result of one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,6 +138,32 @@ pub struct Engine {
     /// `RDBMS_PARALLELISM` environment variable when set, so whole test
     /// suites can be swept at a parallelism level without code changes.
     parallelism: usize,
+    /// Cooperative cancellation flag shared with every clone handed out by
+    /// [`Engine::cancel_handle`]. Once set, every governed statement fails
+    /// with [`DbError::Budget`] (kind `Canceled`) at its next batch
+    /// boundary until [`Engine::reset_cancel`] acknowledges it — a
+    /// canceled session stays canceled, it does not silently resume.
+    cancel: Arc<AtomicBool>,
+    /// Wall-clock allowance per statement; converted to an absolute
+    /// deadline when each statement's governor is created.
+    statement_timeout: Option<Duration>,
+    /// Cumulative rows-processed budget per statement.
+    max_rows: Option<u64>,
+    /// Materialized-state byte budget per statement (hash-join builds).
+    max_bytes: Option<u64>,
+    /// Absolute deadline imposed by the layer above (the Knowledge
+    /// Manager's per-evaluation deadline); combined with the per-statement
+    /// timeout by taking whichever expires first.
+    eval_deadline: Option<Instant>,
+    /// Governor breaches observed, by kind (for the metrics registry).
+    gov_canceled: u64,
+    gov_deadline: u64,
+    gov_rows: u64,
+    gov_memory: u64,
+    /// Result of the most recent post-recovery integrity verification
+    /// reported via [`Engine::note_recovery_verified`]; `None` until a
+    /// recovery has been verified (gauge reads -1).
+    recovery_verified: Option<bool>,
 }
 
 impl Default for Engine {
@@ -149,8 +178,17 @@ impl Engine {
     }
 
     pub fn with_pool_size(frames: usize) -> Engine {
+        let mut disk = Disk::new();
+        // A fault-heavy CI profile: `RDBMS_FAULT_PROFILE=transient:<n>`
+        // arms a transient-read injector on every fresh engine so the
+        // whole test suite runs with the read-retry path constantly
+        // exercised. The retry loop masks any n >= 2 (a read only fails
+        // permanently after consecutive faulted retries).
+        if let Some(n) = fault_profile_transient() {
+            disk.set_fault_injector(FaultInjector::new().transient_read_every(n));
+        }
         Engine {
-            disk: Disk::new(),
+            disk,
             pool: BufferPool::new(frames),
             catalog: Catalog::new(),
             exec_stats: ExecStats::default(),
@@ -163,7 +201,109 @@ impl Engine {
             next_stmt_id: 0,
             last_profile: Vec::new(),
             parallelism: default_parallelism(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            statement_timeout: None,
+            max_rows: None,
+            max_bytes: None,
+            eval_deadline: None,
+            gov_canceled: 0,
+            gov_deadline: 0,
+            gov_rows: 0,
+            gov_memory: 0,
+            recovery_verified: None,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution governor
+    // ------------------------------------------------------------------
+
+    /// Set the per-statement wall-clock allowance (`None` = unlimited).
+    pub fn set_statement_timeout(&mut self, timeout: Option<Duration>) {
+        self.statement_timeout = timeout;
+    }
+
+    /// Set the per-statement rows-processed budget (`None` = unlimited).
+    /// Every operator's materialized output counts, so intermediate
+    /// blow-ups trip it even when the final result is small.
+    pub fn set_row_budget(&mut self, rows: Option<u64>) {
+        self.max_rows = rows;
+    }
+
+    /// Set the per-statement materialized-bytes budget (`None` =
+    /// unlimited). Charged for hash-join build sides.
+    pub fn set_memory_budget(&mut self, bytes: Option<u64>) {
+        self.max_bytes = bytes;
+    }
+
+    /// Impose (or clear) an absolute deadline that applies to every
+    /// statement until cleared — the Knowledge Manager sets this around an
+    /// LFP evaluation so the whole fixpoint, not each statement, races the
+    /// clock.
+    pub fn set_eval_deadline(&mut self, deadline: Option<Instant>) {
+        self.eval_deadline = deadline;
+    }
+
+    /// A clone of the cooperative cancellation flag. Store it anywhere
+    /// (another thread, a fault injector) and set it to cancel whatever
+    /// statement is running at its next batch boundary.
+    pub fn cancel_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// Request cancellation of the running (and any subsequent) statement.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested and not yet acknowledged.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Acknowledge a cancellation, letting statements run again.
+    pub fn reset_cancel(&self) {
+        self.cancel.store(false, Ordering::Relaxed);
+    }
+
+    /// Record the outcome of a post-recovery integrity verification (the
+    /// knowledge layer runs the check; the engine owns the metric).
+    pub fn note_recovery_verified(&mut self, ok: bool) {
+        self.recovery_verified = Some(ok);
+    }
+
+    /// Build this statement's governor from the session limits. The
+    /// per-statement timeout and the evaluation deadline combine by
+    /// whichever expires first.
+    fn governor(&self) -> QueryGovernor {
+        let deadline = match (self.statement_timeout, self.eval_deadline) {
+            (None, None) => None,
+            (Some(t), None) => Some(Instant::now() + t),
+            (None, Some(d)) => Some(d),
+            (Some(t), Some(d)) => Some((Instant::now() + t).min(d)),
+        };
+        QueryGovernor::new(
+            ExecLimits {
+                deadline,
+                max_rows: self.max_rows,
+                max_bytes: self.max_bytes,
+            },
+            Arc::clone(&self.cancel),
+        )
+    }
+
+    /// Count a budget breach by kind on the way out, so the metrics
+    /// registry can report why statements were cut short.
+    fn note_budget<T>(&mut self, r: Result<T, DbError>) -> Result<T, DbError> {
+        if let Err(DbError::Budget(b)) = &r {
+            match b.kind {
+                BudgetKind::Canceled => self.gov_canceled += 1,
+                BudgetKind::Deadline => self.gov_deadline += 1,
+                BudgetKind::Rows => self.gov_rows += 1,
+                BudgetKind::Memory => self.gov_memory += 1,
+            }
+        }
+        r
     }
 
     /// Set the worker count for partitioned read operators (clamped to at
@@ -211,6 +351,13 @@ impl Engine {
         self.disk.set_checkpoint_on_commit(on);
     }
 
+    /// Byte threshold above which a commit checkpoints the WAL even when
+    /// `checkpoint_on_commit` is off, so the log cannot grow without
+    /// bound in redo-retaining mode. `None` disables auto-checkpointing.
+    pub fn set_wal_autocheckpoint_bytes(&mut self, threshold: Option<u64>) {
+        self.disk.set_wal_autocheckpoint_bytes(threshold);
+    }
+
     /// Whether an engine-level transaction is active.
     pub fn in_transaction(&self) -> bool {
         self.txn.is_some()
@@ -243,6 +390,13 @@ impl Engine {
         if self.txn.is_none() {
             return Err(DbError::Txn("commit without an active transaction".into()));
         }
+        // The governor gates the *entry* to commit: a cancellation or
+        // deadline observed here aborts before any commit work starts,
+        // but once the flush begins the commit runs to completion — the
+        // stored state is always fully pre- or fully post-commit, never
+        // somewhere in between because a flag flipped mid-flush.
+        let check = self.governor().check();
+        self.note_budget(check)?;
         self.pool.flush_all(&mut self.disk)?;
         self.disk.commit_txn()?;
         self.txn = None;
@@ -643,6 +797,7 @@ impl Engine {
         params: &[Value],
     ) -> Result<ResultSet, DbError> {
         let t0 = Instant::now();
+        let governor = self.governor();
         let rows = {
             let mut ctx = ExecCtx {
                 catalog: &self.catalog,
@@ -652,11 +807,12 @@ impl Engine {
                 params,
                 profiler: None,
                 parallelism: self.parallelism,
+                governor: Some(&governor),
             };
             execute_plan(&planned.plan, &mut ctx)
         };
         self.exec_stats.exec_ns += t0.elapsed().as_nanos() as u64;
-        let rows = rows?;
+        let rows = self.note_budget(rows)?;
         self.exec_stats.rows_output += rows.len() as u64;
         Ok(ResultSet {
             columns: planned.columns.clone(),
@@ -674,6 +830,7 @@ impl Engine {
         params: &[Value],
     ) -> Result<ResultSet, DbError> {
         let t0 = Instant::now();
+        let governor = self.governor();
         let (rows, profile) = {
             let mut ctx = ExecCtx {
                 catalog: &self.catalog,
@@ -683,13 +840,14 @@ impl Engine {
                 params,
                 profiler: Some(Profiler::default()),
                 parallelism: self.parallelism,
+                governor: Some(&governor),
             };
             let rows = execute_plan(&planned.plan, &mut ctx);
             let profile = ctx.profiler.take().expect("installed above").into_nodes();
             (rows, profile)
         };
         self.exec_stats.exec_ns += t0.elapsed().as_nanos() as u64;
-        let rows = rows?;
+        let rows = self.note_budget(rows)?;
         self.exec_stats.rows_output += rows.len() as u64;
         let lines: Vec<Tuple> = profile
             .iter()
@@ -724,6 +882,15 @@ impl Engine {
     /// row touches the heap, so a mid-batch mismatch cannot leave a partial
     /// insert behind.
     pub fn insert_rows(&mut self, table: &str, rows: Vec<Tuple>) -> Result<u64, DbError> {
+        // Governor checks happen *before* the first row is written: a
+        // budget breach (or a pending cancellation) rejects the whole
+        // batch, so DML batches stay all-or-nothing under the governor
+        // exactly as they are under type checking.
+        let governor = self.governor();
+        let admitted = governor
+            .check()
+            .and_then(|()| governor.charge_rows(rows.len() as u64));
+        self.note_budget(admitted)?;
         let t = self.catalog.table_mut(table)?;
         for row in &rows {
             if !t.schema.admits(row) {
@@ -783,6 +950,23 @@ impl Engine {
     /// counted as a second logical scan. Deletion removes every duplicate
     /// of a matched row, exactly as predicate semantics demand.
     fn delete_where(&mut self, table: &str, predicate: &[Condition]) -> Result<u64, DbError> {
+        let governor = self.governor();
+        let r = self.delete_where_governed(table, predicate, &governor);
+        self.note_budget(r)
+    }
+
+    /// [`Engine::delete_where`] body, with the statement's governor in
+    /// scope. The victim *search* is governed (entry check plus batch
+    /// ticks in the scans); the victim *application* — removing already
+    /// collected rids — runs to completion so a mid-delete breach can
+    /// never leave half the matched duplicates behind.
+    fn delete_where_governed(
+        &mut self,
+        table: &str,
+        predicate: &[Condition],
+        governor: &QueryGovernor,
+    ) -> Result<u64, DbError> {
+        governor.check()?;
         if predicate.is_empty() && self.txn.is_none() {
             return self.truncate_now(table);
         }
@@ -828,7 +1012,12 @@ impl Engine {
                 }
             } else {
                 let mut scan = t.heap.scan();
+                let mut seen = 0usize;
                 while let Some((rid, payload)) = scan.next(&mut self.disk, &mut self.pool)? {
+                    if seen.is_multiple_of(GOVERNOR_CHECK_INTERVAL) {
+                        governor.check()?;
+                    }
+                    seen += 1;
                     self.exec_stats.tuples_scanned += 1;
                     let tuple = decode_stored(table, rid, &payload)?;
                     if crate::exec::eval_all(&conds, &tuple, &[]) {
@@ -885,8 +1074,29 @@ impl Engine {
     /// Appends the closure (deduplicated against `target`'s contents) to
     /// `target` and returns the number of rows added.
     pub fn transitive_closure(&mut self, source: &str, target: &str) -> Result<u64, DbError> {
+        let governor = self.governor();
+        let fresh = {
+            let r = self.tc_expand(source, target, &governor);
+            self.note_budget(r)?
+        };
+        self.insert_rows(target, fresh)
+    }
+
+    /// The expansion phase of [`Engine::transitive_closure`]: scan the
+    /// source, run the in-memory reachability search, and return the new
+    /// (deduplicated, sorted) closure rows. Governed throughout — the
+    /// in-memory search is exactly where a dense cyclic input blows up,
+    /// so each emitted closure pair counts against the row budget and
+    /// cancellation is observed every batch of expansions.
+    fn tc_expand(
+        &mut self,
+        source: &str,
+        target: &str,
+        governor: &QueryGovernor,
+    ) -> Result<Vec<Tuple>, DbError> {
         use std::collections::{HashMap, HashSet};
 
+        governor.check()?;
         let src = self.catalog.table(source)?;
         if src.schema.arity() != 2 {
             return Err(DbError::Plan(format!(
@@ -907,7 +1117,12 @@ impl Engine {
         // One scan of the source builds the adjacency map.
         let mut adjacency: HashMap<Value, Vec<Value>> = HashMap::new();
         let mut scan = src.heap.scan();
+        let mut seen_rows = 0usize;
         while let Some((rid, payload)) = scan.next(&mut self.disk, &mut self.pool)? {
+            if seen_rows.is_multiple_of(GOVERNOR_CHECK_INTERVAL) {
+                governor.check()?;
+            }
+            seen_rows += 1;
             self.exec_stats.tuples_scanned += 1;
             let mut tuple = decode_stored(source, rid, &payload)?;
             let b = tuple.pop().expect("binary");
@@ -925,6 +1140,10 @@ impl Engine {
             while let Some(node) = stack.pop() {
                 for next in adjacency.get(node).into_iter().flatten() {
                     if seen.insert(next) {
+                        if closure.len().is_multiple_of(GOVERNOR_CHECK_INTERVAL) {
+                            governor.check()?;
+                        }
+                        governor.charge_rows(1)?;
                         closure.insert((start.clone(), next.clone()));
                         stack.push(next);
                     }
@@ -937,7 +1156,12 @@ impl Engine {
             let tgt = self.catalog.table(target)?;
             let mut scan = tgt.heap.scan();
             let mut out = HashSet::new();
+            let mut seen_rows = 0usize;
             while let Some((rid, payload)) = scan.next(&mut self.disk, &mut self.pool)? {
+                if seen_rows.is_multiple_of(GOVERNOR_CHECK_INTERVAL) {
+                    governor.check()?;
+                }
+                seen_rows += 1;
                 self.exec_stats.tuples_scanned += 1;
                 let mut tuple = decode_stored(target, rid, &payload)?;
                 let b = tuple.pop().expect("binary");
@@ -952,7 +1176,7 @@ impl Engine {
             .map(|(a, b)| vec![a, b])
             .collect();
         fresh.sort();
-        self.insert_rows(target, fresh)
+        Ok(fresh)
     }
 
     /// Number of live rows in `table`.
@@ -1040,6 +1264,7 @@ impl Engine {
         r.counter("wal.records", s.disk.wal_records);
         r.counter("wal.bytes", s.disk.wal_bytes);
         r.counter("wal.checkpoints", s.disk.wal_checkpoints);
+        r.counter("wal.auto_checkpoints", s.disk.wal_auto_checkpoints);
         r.gauge("wal.high_water_bytes", s.disk.wal_high_water_bytes as f64);
         r.counter("buffer.hits", s.buffer.hits);
         r.counter("buffer.misses", s.buffer.misses);
@@ -1060,9 +1285,23 @@ impl Engine {
         r.gauge("exec.threads", self.parallelism as f64);
         r.counter("exec.tasks_spawned", s.exec.tasks_spawned);
         r.gauge("exec.partition_skew", s.exec.partition_skew as f64);
+        r.counter("governor.cancellations", self.gov_canceled);
+        r.counter("governor.deadline_breaches", self.gov_deadline);
+        r.counter("governor.row_budget_breaches", self.gov_rows);
+        r.counter("governor.memory_budget_breaches", self.gov_memory);
         r.counter("engine.statements", s.statements);
         r.counter("engine.tables_created", s.tables_created);
         r.counter("engine.tables_dropped", s.tables_dropped);
+        // -1 = no verified recovery yet, 1 = last recovery verified clean,
+        // 0 = last recovery FAILED verification.
+        r.gauge(
+            "engine.recovery_verified",
+            match self.recovery_verified {
+                None => -1.0,
+                Some(true) => 1.0,
+                Some(false) => 0.0,
+            },
+        );
         r
     }
 }
@@ -1075,6 +1314,17 @@ fn default_parallelism() -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Parse the `RDBMS_FAULT_PROFILE` environment variable. The only profile
+/// today is `transient:<n>` — every nth page read fails once — used by CI
+/// to run the whole suite with the retry path hot. Values below 2 are
+/// ignored: a faulted retry of a faulted read would turn the transient
+/// profile into a permanent outage.
+fn fault_profile_transient() -> Option<u64> {
+    let profile = std::env::var("RDBMS_FAULT_PROFILE").ok()?;
+    let n = profile.strip_prefix("transient:")?.parse::<u64>().ok()?;
+    (n >= 2).then_some(n)
 }
 
 fn scalar_is_param(s: &Scalar) -> bool {

@@ -9,6 +9,7 @@
 use crate::buffer::BufferPool;
 use crate::catalog::{Catalog, DbError};
 use crate::disk::Disk;
+use crate::governor::{QueryGovernor, GOVERNOR_CHECK_INTERVAL};
 use crate::heap::RecordId;
 use crate::plan::{ExecCond, KeyExpr, PhysPlan, ProjExpr};
 use crate::schema::{deserialize_tuple, Tuple};
@@ -131,6 +132,11 @@ pub struct ExecCtx<'a> {
     /// the calling thread (the default, byte-identical to the historical
     /// single-threaded executor).
     pub parallelism: usize,
+    /// The statement's execution governor. Checked at operator entry and
+    /// every [`GOVERNOR_CHECK_INTERVAL`] rows inside scan/join loops,
+    /// including partitioned worker closures. `None` means ungoverned
+    /// (internal maintenance statements).
+    pub governor: Option<&'a QueryGovernor>,
 }
 
 impl ExecCtx<'_> {
@@ -225,16 +231,63 @@ const PAR_MIN_ROWS_PER_WORKER: usize = 256;
 /// skipping the inner scan is a guaranteed win.
 const ANTI_JOIN_PROBE_FLOOR: u64 = 256;
 
-/// Contiguous chunk ranges splitting `n` items as evenly as possible
-/// across `workers` chunks (earlier chunks take the remainder).
+/// Periodic cooperative governor check for row loops: probes the
+/// governor once every [`GOVERNOR_CHECK_INTERVAL`] iterations so the
+/// atomic loads stay off the per-row fast path. Safe to call from
+/// partitioned worker threads (the governor is all atomics).
+#[inline]
+fn gov_tick(gov: Option<&QueryGovernor>, i: usize) -> Result<(), DbError> {
+    if let Some(g) = gov {
+        if i.is_multiple_of(GOVERNOR_CHECK_INTERVAL) {
+            g.check()?;
+        }
+    }
+    Ok(())
+}
+
+/// Approximate heap footprint of one materialized tuple, for charging
+/// hash-join build sides against the memory budget. Deliberately a
+/// cheap over-estimate (enum discriminant + payload), not an exact
+/// allocator measurement.
+fn tuple_bytes(t: &Tuple) -> u64 {
+    t.iter()
+        .map(|v| match v {
+            Value::Int(_) => 16u64,
+            Value::Str(s) => 24 + s.len() as u64,
+        })
+        .sum::<u64>()
+        + 24
+}
+
+/// Contiguous chunk ranges splitting `n` items across `workers` chunks.
+/// Each chunk is sized by the rows *remaining* when it is cut
+/// (`ceil(remaining / remaining_workers)`), so the division stays
+/// balanced to within one row even when `n` sits just above the
+/// `PAR_MIN_ROWS_PER_WORKER` floor, and a sub-floor tail can never be
+/// stranded on its own worker: if cutting the chunk would leave fewer
+/// than the floor per remaining worker, the tail folds into the current
+/// chunk instead of spawning under-fed threads.
 fn chunk_ranges(n: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
     let workers = workers.min(n).max(1);
-    let base = n / workers;
-    let extra = n % workers;
     let mut ranges = Vec::with_capacity(workers);
     let mut start = 0;
     for w in 0..workers {
-        let len = base + usize::from(w < extra);
+        if start >= n {
+            break;
+        }
+        let remaining = n - start;
+        let remaining_workers = workers - w;
+        let mut len = remaining.div_ceil(remaining_workers);
+        // Fold the tail: splitting further would leave the remaining
+        // workers below the spawn floor, so the imbalance of one big
+        // chunk beats the start-up cost of starving threads. (The
+        // callers' worker selection already guarantees the floor, so
+        // this only fires for direct calls with oversized counts.)
+        if remaining_workers > 1
+            && remaining - len < (remaining_workers - 1) * PAR_MIN_ROWS_PER_WORKER
+        {
+            len = remaining;
+        }
         ranges.push(start..start + len);
         start += len;
     }
@@ -338,14 +391,24 @@ fn join_workers(
         .collect()
 }
 
+/// Worker runs shorter than this are dominated by thread start-up and
+/// scheduler jitter, not row work; their timings say nothing about the
+/// partitioning, so they are excluded from the skew gauge. This is what
+/// produced the ~200% `exec.partition_skew` readings near the
+/// rows-per-worker floor: microsecond-scale workers where a single
+/// descheduling tick triples one worker's wall time.
+const SKEW_MIN_MEAN_NS: u64 = 100_000;
+
 /// Merge worker counters and the partition-skew gauge, then concatenate
 /// chunk outputs in chunk order (first error, in chunk order, wins).
 fn finish_par(ctx: &mut ExecCtx<'_>, results: Vec<WorkerResult>) -> Result<Vec<Tuple>, DbError> {
     ctx.stats.tasks_spawned += results.len() as u64;
     let mean_ns = (results.iter().map(|(_, _, ns)| ns).sum::<u64>() / results.len() as u64).max(1);
     let max_ns = results.iter().map(|(_, _, ns)| *ns).max().unwrap_or(0);
-    let skew = (max_ns * 100 / mean_ns).saturating_sub(100);
-    ctx.stats.partition_skew = ctx.stats.partition_skew.max(skew);
+    if mean_ns >= SKEW_MIN_MEAN_NS {
+        let skew = (max_ns * 100 / mean_ns).saturating_sub(100);
+        ctx.stats.partition_skew = ctx.stats.partition_skew.max(skew);
+    }
     let mut err = None;
     let mut out = Vec::new();
     for (chunk_out, counts, _) in results {
@@ -416,7 +479,15 @@ fn fetch_indexed(
 /// counters are recorded on the way.
 pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbError> {
     if ctx.profiler.is_none() {
-        return run_plan(plan, ctx);
+        let rows = run_plan(plan, ctx)?;
+        // Every operator's materialized output counts against the row
+        // budget: "rows processed", not "rows returned", so a blow-up in
+        // an intermediate join trips the governor even if the final
+        // projection is tiny.
+        if let Some(g) = ctx.governor {
+            g.charge_rows(rows.len() as u64)?;
+        }
+        return Ok(rows);
     }
     let idx = ctx.profiler.as_mut().expect("profiler present").enter(plan);
     let start = std::time::Instant::now();
@@ -427,10 +498,17 @@ pub fn execute_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>
         .as_mut()
         .expect("profiler present")
         .exit(idx, elapsed_ns, rows_out);
-    result
+    let rows = result?;
+    if let Some(g) = ctx.governor {
+        g.charge_rows(rows.len() as u64)?;
+    }
+    Ok(rows)
 }
 
 fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbError> {
+    if let Some(g) = ctx.governor {
+        g.check()?;
+    }
     match plan {
         PhysPlan::SeqScan { table, filters } => {
             let t = ctx.catalog.table(table)?;
@@ -444,9 +522,11 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
                     raw.push(entry);
                 }
                 let params = ctx.params;
+                let gov = ctx.governor;
                 return par_run(ctx, &raw, |chunk, c| {
                     let mut out = Vec::new();
-                    for (rid, payload) in chunk {
+                    for (i, (rid, payload)) in chunk.iter().enumerate() {
+                        gov_tick(gov, i)?;
                         c.scanned += 1;
                         let tuple = decode_tuple(table, *rid, payload)?;
                         if eval_all(filters, &tuple, params) {
@@ -459,7 +539,10 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
                 });
             }
             let mut out = Vec::new();
+            let mut seen = 0usize;
             while let Some((rid, payload)) = scan.next(ctx.disk, ctx.pool)? {
+                gov_tick(ctx.governor, seen)?;
+                seen += 1;
                 ctx.count_scanned();
                 let tuple = decode_tuple(table, rid, &payload)?;
                 if eval_all(filters, &tuple, ctx.params) {
@@ -542,8 +625,14 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
             } else {
                 (&right_rows, right_keys, &left_rows, left_keys)
             };
+            // The build side is the join's materialized state: charge it
+            // against the memory budget before committing to building it.
+            if let Some(g) = ctx.governor {
+                g.charge_bytes(build.iter().map(tuple_bytes).sum())?;
+            }
             let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
-            for row in build {
+            for (bi, row) in build.iter().enumerate() {
+                gov_tick(ctx.governor, bi)?;
                 let key: Vec<Value> = build_keys.iter().map(|&i| row[i].clone()).collect();
                 table.entry(key).or_default().push(row);
             }
@@ -553,9 +642,11 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
             // concatenated in probe order, so the joined rows come out in
             // exactly the serial order at any parallelism setting.
             let params = ctx.params;
+            let gov = ctx.governor;
             par_run(ctx, probe, |chunk, c| {
                 let mut out = Vec::new();
-                for prow in chunk {
+                for (pi, prow) in chunk.iter().enumerate() {
+                    gov_tick(gov, pi)?;
                     let key: Vec<Value> = probe_keys.iter().map(|&i| prow[i].clone()).collect();
                     if let Some(matches) = table.get(&key) {
                         for brow in matches {
@@ -591,7 +682,8 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
             let t = ctx.catalog.table(table)?;
             let index = &t.indexes[*index_pos];
             let mut out = Vec::new();
-            for lrow in &left_rows {
+            for (li, lrow) in left_rows.iter().enumerate() {
+                gov_tick(ctx.governor, li)?;
                 let key: Vec<Value> = left_keys.iter().map(|&i| lrow[i].clone()).collect();
                 ctx.count_probe();
                 let rids: Vec<_> = index.lookup(&key).to_vec();
@@ -643,9 +735,11 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
                 // the in-memory directory, so outer rows partition across
                 // workers; order is preserved by chunk concatenation.
                 let index = &t.indexes[pos];
+                let gov = ctx.governor;
                 return par_run_owned(ctx, rows, |chunk, c| {
                     let mut out = Vec::new();
-                    for row in chunk {
+                    for (ri, row) in chunk.into_iter().enumerate() {
+                        gov_tick(gov, ri)?;
                         let key: Vec<Value> = outer_keys.iter().map(|&i| row[i].clone()).collect();
                         c.probes += 1;
                         if index.lookup(&key).is_empty() {
@@ -662,7 +756,10 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
             let mut scan = t.heap.scan();
             let mut keys: HashSet<Vec<Value>> = HashSet::new();
             let mut inner_nonempty = false;
+            let mut seen = 0usize;
             while let Some((rid, payload)) = scan.next(ctx.disk, ctx.pool)? {
+                gov_tick(ctx.governor, seen)?;
+                seen += 1;
                 ctx.count_scanned();
                 let tuple = decode_tuple(table, rid, &payload)?;
                 if !eval_all(inner_filters, &tuple, ctx.params) {
@@ -679,14 +776,17 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
             }
             // Membership tests against the frozen key set are pure reads;
             // partition the outer rows like the probing path.
+            let gov = ctx.governor;
             par_run_owned(ctx, rows, |chunk, _c| {
-                Ok(chunk
-                    .into_iter()
-                    .filter(|row| {
-                        let key: Vec<Value> = outer_keys.iter().map(|&i| row[i].clone()).collect();
-                        !keys.contains(&key)
-                    })
-                    .collect())
+                let mut out = Vec::new();
+                for (ri, row) in chunk.into_iter().enumerate() {
+                    gov_tick(gov, ri)?;
+                    let key: Vec<Value> = outer_keys.iter().map(|&i| row[i].clone()).collect();
+                    if !keys.contains(&key) {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
             })
         }
         PhysPlan::CrossJoin {
@@ -697,8 +797,11 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
             let left_rows = execute_plan(left, ctx)?;
             let right_rows = execute_plan(right, ctx)?;
             let mut out = Vec::new();
+            let mut steps = 0usize;
             for lrow in &left_rows {
                 for rrow in &right_rows {
+                    gov_tick(ctx.governor, steps)?;
+                    steps += 1;
                     let mut joined = Vec::with_capacity(lrow.len() + rrow.len());
                     joined.extend_from_slice(lrow);
                     joined.extend_from_slice(rrow);
@@ -812,5 +915,64 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
                 .filter(|r| !exclude.contains(r) && seen.insert(r.clone()))
                 .collect())
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes(n: usize, workers: usize) -> Vec<usize> {
+        let ranges = chunk_ranges(n, workers);
+        // Chunks must tile [0, n) contiguously in order.
+        let mut expect = 0;
+        for r in &ranges {
+            assert_eq!(r.start, expect, "gap or overlap at {r:?} for n={n}");
+            assert!(r.end > r.start, "empty chunk {r:?} for n={n}");
+            expect = r.end;
+        }
+        assert_eq!(expect, n);
+        ranges.iter().map(|r| r.len()).collect()
+    }
+
+    /// Near the rows-per-worker floor — the regime the skew gauge flagged
+    /// — remaining-rows sizing keeps partition cardinalities within one
+    /// row of each other, so any residual skew is scheduler noise, not
+    /// partitioning.
+    #[test]
+    fn partition_sizes_balanced_near_floor() {
+        for n in [512, 513, 600, 767, 1023, 1024, 2048, 4097] {
+            let workers = (n / PAR_MIN_ROWS_PER_WORKER).clamp(1, 4);
+            let s = sizes(n, workers);
+            assert_eq!(s.len(), workers);
+            let (min, max) = (*s.iter().min().unwrap(), *s.iter().max().unwrap());
+            assert!(
+                max - min <= 1,
+                "n={n} workers={workers}: row skew {s:?} exceeds one row"
+            );
+            assert!(
+                min >= PAR_MIN_ROWS_PER_WORKER,
+                "n={n}: chunk below spawn floor in {s:?}"
+            );
+        }
+    }
+
+    /// A worker count too large for the input folds the tail instead of
+    /// starving threads below the spawn floor.
+    #[test]
+    fn partition_tail_folds_instead_of_starving() {
+        assert_eq!(sizes(300, 4), vec![300]);
+        assert_eq!(sizes(520, 2), vec![260, 260]);
+        // 700/3 would leave ~233-row chunks (< floor): folds to one.
+        assert_eq!(sizes(700, 3), vec![700]);
+    }
+
+    #[test]
+    fn partition_degenerate_inputs() {
+        assert_eq!(sizes(1, 8), vec![1]);
+        assert_eq!(sizes(5, 1), vec![5]);
+        // Empty inputs never reach chunk_ranges (par_run's serial
+        // fallback handles them), but it must not panic or emit chunks.
+        assert!(chunk_ranges(0, 4).is_empty());
     }
 }

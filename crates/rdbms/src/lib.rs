@@ -20,6 +20,8 @@
 //! * [`plan`] — binding, access-path selection (index lookups, index
 //!   nested-loop joins, hash joins), greedy join ordering;
 //! * [`exec`] — the materializing executor with logical-work counters;
+//! * [`governor`] — per-statement deadlines, cooperative cancellation,
+//!   and row/memory budgets checked at operator batch boundaries;
 //! * [`metrics`] — counters/gauges/histograms with JSON export, shared by
 //!   the engine, the Knowledge Manager, and the bench harness;
 //! * [`engine`] — the public facade.
@@ -43,6 +45,7 @@ pub mod catalog;
 pub mod disk;
 pub mod engine;
 pub mod exec;
+pub mod governor;
 pub mod heap;
 pub mod index;
 pub mod metrics;
@@ -58,6 +61,7 @@ pub use catalog::DbError;
 pub use disk::{DiskStats, FaultInjector, RecoveryReport};
 pub use engine::{Engine, EngineStats, ResultSet, StmtId};
 pub use exec::OpProfile;
+pub use governor::{BudgetBreach, BudgetKind, ExecLimits, QueryGovernor};
 pub use metrics::{Metric, Registry};
 pub use schema::{Column, Schema, Tuple};
 pub use value::{ColType, Value};

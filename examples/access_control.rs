@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         durability: false,
         prepared_sql: true,
         parallelism: 0,
+        ..SessionConfig::default()
     })?;
 
     // Extensional data: role inheritance, grants, denials, memberships.

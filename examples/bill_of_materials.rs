@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         durability: false,
         prepared_sql: true,
         parallelism: 0,
+        ..SessionConfig::default()
     })?;
 
     // Assembly graph: 5 levels (finished goods -> raw materials), 8 items

@@ -24,6 +24,7 @@ fn build_session(optimize: bool) -> Result<Session, Box<dyn std::error::Error>> 
         durability: false,
         prepared_sql: true,
         parallelism: 0,
+        ..SessionConfig::default()
     })?;
     s.define_base("parent", &binary_sym())?;
     let rows = full_binary_tree(10)

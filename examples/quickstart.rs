@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         durability: false,
         prepared_sql: true,
         parallelism: 0,
+        ..SessionConfig::default()
     })?;
 
     // The extensional database: a parent relation.

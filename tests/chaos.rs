@@ -1,0 +1,326 @@
+//! Chaos harness: seeded schedules interleaving disk faults, cooperative
+//! cancellation, and budget exhaustion at random points during serial and
+//! 4-worker evaluations and commits. After every episode the engine must
+//! recover, `verify_integrity` must pass, and a clean re-run must yield
+//! byte-identical answers to a pristine reference session.
+//!
+//! The bench harness (`experiments chaos`) runs the 500-episode version of
+//! the same schedule and writes `BENCH_chaos.json`; this file keeps CI's
+//! `cargo test` pass at a few dozen episodes.
+
+use km::session::{binary_sym, Session, SessionConfig};
+use km::{EvalError, EvalResource, KmError};
+use rdbms::{Engine, FaultInjector, Value};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+const TABLES: &[&str] = &[
+    "idb_relname",
+    "idb_column",
+    "edb_relname",
+    "edb_column",
+    "rulesource",
+    "reachablepreds",
+    "parent",
+    "edge",
+];
+
+/// Logical content of the whole database, keyed by table, rows sorted.
+type DbState = BTreeMap<String, Vec<Vec<Value>>>;
+/// Reference answer rows plus the post-commit database state.
+type Reference = (Vec<Vec<Value>>, DbState);
+
+fn dump(db: &mut Engine) -> DbState {
+    let mut out = BTreeMap::new();
+    for table in TABLES {
+        if db.has_table(table) {
+            let mut rows = db.scan_all(table).unwrap();
+            rows.sort();
+            out.insert(table.to_string(), rows);
+        }
+    }
+    out
+}
+
+/// A durable session over a cyclic digraph base relation with the ancestor
+/// rules plus facts for a new predicate in the workspace, so commits
+/// exercise dictionary inserts, rule storage, and base-relation creation.
+fn chaos_session(parallelism: usize, config: SessionConfig) -> Session {
+    let mut s = Session::new(SessionConfig {
+        durability: true,
+        parallelism,
+        ..config
+    })
+    .unwrap();
+    s.define_base("parent", &binary_sym()).unwrap();
+    let edges = workload::cyclic_digraph(2, 6, 4, 11);
+    s.load_facts("parent", workload::edges_to_rows(&edges))
+        .unwrap();
+    s.load_rules(
+        "anc(X, Y) :- parent(X, Y).\n\
+         anc(X, Y) :- parent(X, Z), anc(Z, Y).\n\
+         edge(e0, e1).\n\
+         edge(e1, e2).\n",
+    )
+    .unwrap();
+    s
+}
+
+const QUERY: &str = "?- anc(A, B).";
+
+/// Reference answer and post-commit state from a pristine session.
+fn reference(parallelism: usize) -> Reference {
+    let mut s = chaos_session(parallelism, SessionConfig::default());
+    let (_, r) = s.query(QUERY).unwrap();
+    s.commit_workspace().unwrap();
+    (r.rows, dump(s.engine_mut()))
+}
+
+/// Acceptance criterion: a fact-budget-exceeding run over the cyclic
+/// closure terminates with `EvalError::Budget` well within its deadline,
+/// partial traces intact, engine still serving.
+#[test]
+fn divergent_closure_trips_budget_within_deadline() {
+    let mut s = chaos_session(
+        1,
+        SessionConfig {
+            deadline: Some(Duration::from_secs(30)),
+            max_derived_facts: Some(20),
+            ..SessionConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let err = s.query(QUERY).unwrap_err();
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "budget must fire long before the deadline"
+    );
+    match err {
+        KmError::Eval(boxed) => {
+            let EvalError::Budget {
+                resource,
+                used,
+                partial,
+                ..
+            } = *boxed;
+            assert_eq!(resource, EvalResource::DerivedFacts);
+            assert!(used > 20);
+            assert!(
+                !partial.clique_traces.is_empty() || partial.breakdown.tuples_produced > 0,
+                "partial progress is reported via the trace machinery"
+            );
+        }
+        other => panic!("expected budget error, got {other:?}"),
+    }
+    // The engine is still serving: lift the budget, get the full answer.
+    s.config.max_derived_facts = None;
+    let (_, r) = s.query(QUERY).unwrap();
+    assert_eq!(r.rows, reference(1).0);
+}
+
+/// Satellite: cancellation armed at every WAL write point of a 4-worker
+/// evaluation-plus-commit never leaves an inconsistent stored D/KB.
+/// Commits are gated at entry: once page flushing begins the commit runs
+/// to completion, so a flag raised mid-commit must yield the full
+/// post-commit state, never a torn one.
+#[test]
+fn cancellation_sweep_at_every_write_point() {
+    let (expected, post) = reference(4);
+    let mut n = 0u64;
+    let mut fired = 0u64;
+    loop {
+        let mut s = chaos_session(4, SessionConfig::default());
+        s.engine_mut().flush().unwrap();
+        let handle = s.engine().cancel_handle();
+        s.engine_mut()
+            .set_fault_injector(FaultInjector::new().cancel_at_write(n, handle));
+        // Evaluation is pure read-path work (temp pages stay in the buffer
+        // pool), so the armed trigger cannot fire before the commit.
+        let (_, r) = s.query(QUERY).unwrap();
+        assert_eq!(r.rows, expected, "4-worker evaluation at write point {n}");
+        s.commit_workspace()
+            .expect("mid-commit cancellation must not abort the commit");
+        assert!(!s.engine().crashed(), "cancellation never crashes the disk");
+        let was_canceled = s.engine().cancel_requested();
+        s.engine_mut().clear_fault_injector();
+        s.engine_mut().reset_cancel();
+        assert_eq!(dump(s.engine_mut()), post, "write point {n}");
+        s.verify_integrity().unwrap();
+        // Reopen from a snapshot: the on-disk form is consistent too.
+        let (_, again) = s.query(QUERY).unwrap();
+        assert_eq!(
+            again.rows, expected,
+            "post-cancel re-run at write point {n}"
+        );
+        if !was_canceled {
+            break; // n exceeded the episode's total write count
+        }
+        fired += 1;
+        n += 1;
+        assert!(n < 4096, "sweep did not terminate");
+    }
+    assert!(
+        fired >= 3,
+        "sweep must cover several write points, got {fired}"
+    );
+}
+
+/// A tiny deterministic xorshift generator for episode schedules.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One seeded chaos episode: a perturbation is armed, an evaluation and a
+/// commit run into it, the engine is put back in service, and the episode
+/// must end with intact integrity and byte-identical clean-run answers.
+/// Returns which perturbation ran (for coverage accounting).
+fn episode(seed: u64, refs: &BTreeMap<usize, Reference>) -> &'static str {
+    let mut rng = Rng::new(seed);
+    let parallelism = if rng.pick(2) == 0 { 1 } else { 4 };
+    let (expected, post) = &refs[&parallelism];
+
+    let mut config = SessionConfig::default();
+    let kind = rng.pick(6);
+    let name = match kind {
+        0 => "disk-fault",
+        1 => "cancel-at-write",
+        2 => "fact-budget",
+        3 => "iteration-budget",
+        4 => "row-budget",
+        _ => "fault+budget",
+    };
+    if kind == 2 || kind == 5 {
+        config.max_derived_facts = Some(1 + rng.pick(30));
+    }
+    if kind == 3 {
+        config.max_iterations = Some(1 + rng.pick(3));
+    }
+    let mut s = chaos_session(parallelism, config);
+    s.engine_mut().flush().unwrap();
+    let pre = dump(s.engine_mut());
+    match kind {
+        0 | 5 => s
+            .engine_mut()
+            .set_fault_injector(FaultInjector::from_seed(rng.next())),
+        1 => {
+            let handle = s.engine().cancel_handle();
+            let at = rng.pick(24);
+            s.engine_mut()
+                .set_fault_injector(FaultInjector::new().cancel_at_write(at, handle));
+        }
+        4 => s.engine_mut().set_row_budget(Some(1 + rng.pick(200))),
+        _ => {}
+    }
+
+    // Evaluate, then commit, into the armed perturbation. Either may fail
+    // with a crash, a budget breach, or a cancellation; none may poison
+    // the engine.
+    let _ = s.query(QUERY);
+    let commit = s.commit_workspace();
+
+    // Put the engine back in service.
+    if s.engine().crashed() {
+        assert!(commit.is_err(), "a crashed episode cannot have committed");
+        s.recover()
+            .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
+    }
+    s.engine_mut().clear_fault_injector();
+    s.engine_mut().set_row_budget(None);
+    s.engine_mut().reset_cancel();
+    s.config.max_derived_facts = None;
+    s.config.max_iterations = None;
+
+    // Integrity holds whatever happened.
+    s.verify_integrity()
+        .unwrap_or_else(|e| panic!("seed {seed}: integrity: {e}"));
+    // The stored D/KB is fully pre- or fully post-commit.
+    let state = dump(s.engine_mut());
+    assert!(
+        state == *post || state == pre,
+        "seed {seed}: stored D/KB is neither pre- nor post-commit"
+    );
+    // A clean re-run yields byte-identical answers.
+    if state == pre {
+        s.commit_workspace()
+            .unwrap_or_else(|e| panic!("seed {seed}: retried commit: {e}"));
+        assert_eq!(dump(s.engine_mut()), *post, "seed {seed}: retried commit");
+    }
+    let (_, r) = s.query(QUERY).unwrap();
+    assert_eq!(r.rows, *expected, "seed {seed}: clean re-run answers");
+    name
+}
+
+#[test]
+fn seeded_chaos_episodes_recover_and_rerun_identically() {
+    let refs: BTreeMap<usize, _> = [1usize, 4].iter().map(|&p| (p, reference(p))).collect();
+    let mut coverage: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for seed in 0..48u64 {
+        *coverage.entry(episode(seed, &refs)).or_insert(0) += 1;
+    }
+    // The schedule must actually have exercised every perturbation class.
+    for kind in [
+        "disk-fault",
+        "cancel-at-write",
+        "fact-budget",
+        "iteration-budget",
+        "row-budget",
+        "fault+budget",
+    ] {
+        assert!(
+            coverage.get(kind).copied().unwrap_or(0) > 0,
+            "{kind} never ran"
+        );
+    }
+}
+
+/// Satellite: recovery runs `verify_integrity` automatically (default on)
+/// and the verdict lands on the `engine.recovery_verified` gauge.
+#[test]
+fn recovery_auto_verifies_and_sets_gauge() {
+    let mut s = chaos_session(1, SessionConfig::default());
+    s.engine_mut().flush().unwrap();
+    assert_eq!(
+        s.engine().metrics().gauge_value("engine.recovery_verified"),
+        Some(-1.0),
+        "unset before any recovery"
+    );
+    s.engine_mut()
+        .set_fault_injector(FaultInjector::new().fail_after_writes(3));
+    assert!(s.commit_workspace().is_err());
+    s.recover().unwrap();
+    assert_eq!(
+        s.engine().metrics().gauge_value("engine.recovery_verified"),
+        Some(1.0),
+        "post-recovery verification passed and was recorded"
+    );
+    // Opting out skips the check and leaves the gauge unset.
+    let mut s = chaos_session(
+        1,
+        SessionConfig {
+            verify_on_recover: false,
+            ..SessionConfig::default()
+        },
+    );
+    s.engine_mut().flush().unwrap();
+    s.engine_mut()
+        .set_fault_injector(FaultInjector::new().fail_after_writes(3));
+    assert!(s.commit_workspace().is_err());
+    s.recover().unwrap();
+    assert_eq!(
+        s.engine().metrics().gauge_value("engine.recovery_verified"),
+        Some(-1.0)
+    );
+}
