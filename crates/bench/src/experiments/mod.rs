@@ -15,6 +15,7 @@ pub mod fig9;
 pub mod optimizers;
 pub mod parallel;
 pub mod prepared;
+pub mod scale;
 pub mod table4;
 pub mod table5;
 pub mod table8;
@@ -48,6 +49,7 @@ pub const ALL: &[(&str, fn())] = &[
     ("optimizers", optimizers::run),
     ("prepared", prepared::run),
     ("parallel", parallel::run),
+    ("scale", scale::run),
     ("trace", trace::run),
     ("chaos", chaos::run),
 ];

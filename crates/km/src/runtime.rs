@@ -482,6 +482,24 @@ impl<'a> DbHandle<'a> {
     fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<u64, KmError> {
         Ok(self.engine.lock().unwrap().insert_rows(table, rows)?)
     }
+
+    /// Load a temporary relation one engine batch at a time. Each chunk
+    /// holds the engine mutex for only its own insert, so concurrent
+    /// evaluation-order nodes interleave at batch granularity instead of
+    /// stalling behind one monolithic load of a large delta.
+    fn insert_rows_batched(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<u64, KmError> {
+        let batch = self.engine.lock().unwrap().batch_rows().max(1);
+        if rows.len() <= batch {
+            return self.insert_rows(table, rows);
+        }
+        let mut added = 0u64;
+        let mut rows = rows;
+        while !rows.is_empty() {
+            let rest = rows.split_off(rows.len().min(batch));
+            added += self.insert_rows(table, std::mem::replace(&mut rows, rest))?;
+        }
+        Ok(added)
+    }
 }
 
 /// One statement of an evaluation batch (see [`run_batch`]).
@@ -1037,7 +1055,7 @@ fn run_program_inner(
     breakdown.n_temp_ops += 2 * prog.tables.len() as u64;
     let t = Instant::now();
     for (pred, rows) in &prog.seeds {
-        let added = db.insert_rows(&all_table(pred), dedup(rows.clone()))?;
+        let added = db.insert_rows_batched(&all_table(pred), dedup(rows.clone()))?;
         breakdown.tuples_produced += added;
         if let Err(br) = ctl.charge_facts(added) {
             return Err(budget_err(
@@ -1295,7 +1313,7 @@ fn eval_clique_naive(
         if !done {
             let t = Instant::now();
             for (p, rows) in new_tuples {
-                let added = db.insert_rows(&all_table(p), rows)?;
+                let added = db.insert_rows_batched(&all_table(p), rows)?;
                 b.tuples_produced += added;
                 fresh += added;
             }
@@ -1446,10 +1464,10 @@ fn eval_clique_seminaive(
             b.n_temp_ops += types.len() as u64;
             let t = Instant::now();
             for (p, rows) in new_tuples {
-                let added = db.insert_rows(&all_table(p), rows.clone())?;
+                let added = db.insert_rows_batched(&all_table(p), rows.clone())?;
                 b.tuples_produced += added;
                 fresh += added;
-                db.insert_rows(&delta_table(p), rows)?;
+                db.insert_rows_batched(&delta_table(p), rows)?;
             }
             d_eval += t.elapsed();
         }

@@ -66,6 +66,16 @@ pub struct SessionConfig {
     /// [`Session::recover`], recording the result on the engine's
     /// `engine.recovery_verified` gauge. On by default.
     pub verify_on_recover: bool,
+    /// Rows per operator batch inside the engine, and the chunk size for
+    /// the runtime's temporary-relation loads. `0` (the default) inherits
+    /// the engine's own default (the `RDBMS_BATCH_SIZE` environment
+    /// variable, else [`rdbms::DEFAULT_BATCH_ROWS`]).
+    pub batch_rows: usize,
+    /// Byte budget for per-statement operator state inside the engine.
+    /// With spilling enabled (the default) joins and sorts whose state
+    /// exceeds the budget go through the Grace-partitioned / external-sort
+    /// paths instead of failing; answers are identical either way.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for SessionConfig {
@@ -83,6 +93,8 @@ impl Default for SessionConfig {
             max_iterations: None,
             max_derived_facts: None,
             verify_on_recover: true,
+            batch_rows: 0,
+            memory_budget: None,
         }
     }
 }
@@ -195,6 +207,12 @@ impl Session {
         }
         if config.parallelism > 0 {
             db.set_parallelism(config.parallelism);
+        }
+        if config.batch_rows > 0 {
+            db.set_batch_rows(config.batch_rows);
+        }
+        if config.memory_budget.is_some() {
+            db.set_memory_budget(config.memory_budget);
         }
         let stored = StoredDkb::new(config.compiled_storage);
         stored.init(&mut db)?;
@@ -373,6 +391,12 @@ impl Session {
         }
         if config.parallelism > 0 {
             db.set_parallelism(config.parallelism);
+        }
+        if config.batch_rows > 0 {
+            db.set_batch_rows(config.batch_rows);
+        }
+        if config.memory_budget.is_some() {
+            db.set_memory_budget(config.memory_budget);
         }
         for required in ["rulesource", "idb_relname", "idb_column", "edb_relname"] {
             if !db.has_table(required) {

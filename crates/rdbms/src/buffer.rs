@@ -184,6 +184,27 @@ impl BufferPool {
         }
     }
 
+    /// Resize the pool to `capacity` frames, flushing every dirty frame
+    /// and dropping all cached pages first. Lets experiments shrink (or
+    /// grow) the cache between workload tiers without rebuilding the
+    /// engine; counters carry over so hit rates can still be compared
+    /// per-phase via deltas.
+    pub fn resize(&mut self, disk: &mut Disk, capacity: usize) -> Result<(), DbError> {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        self.flush_all(disk)?;
+        self.map.clear();
+        self.clock_hand = 0;
+        self.frames = (0..capacity)
+            .map(|_| Frame {
+                key: None,
+                data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                dirty: false,
+                referenced: false,
+            })
+            .collect();
+        Ok(())
+    }
+
     /// Number of frames currently caching a page.
     pub fn occupied(&self) -> usize {
         self.map.len()

@@ -8,7 +8,9 @@
 use crate::buffer::{BufferPool, BufferStats, DEFAULT_POOL_FRAMES};
 use crate::catalog::{Catalog, DbError, Table};
 use crate::disk::{Disk, DiskStats, FaultInjector, RecoveryReport};
-use crate::exec::{execute_plan, ExecCtx, ExecStats, OpProfile, Profiler};
+use crate::exec::{
+    execute_plan, ExecCtx, ExecStats, OpProfile, Profiler, SpillMode, DEFAULT_BATCH_ROWS,
+};
 use crate::governor::{BudgetKind, ExecLimits, QueryGovernor, GOVERNOR_CHECK_INTERVAL};
 use crate::heap::RecordId;
 use crate::plan::{output_types, plan_query, ExecCond, PlannedQuery};
@@ -164,6 +166,13 @@ pub struct Engine {
     /// reported via [`Engine::note_recovery_verified`]; `None` until a
     /// recovery has been verified (gauge reads -1).
     recovery_verified: Option<bool>,
+    /// Whether memory-bounded operators divert to spill files when the
+    /// memory budget cannot hold their state. Initialized from the
+    /// `RDBMS_SPILL` environment variable (`off`/`0`/`false` disables,
+    /// `force` spills unconditionally, anything else enables).
+    spill: SpillMode,
+    /// Rows per operator batch; initialized from `RDBMS_BATCH_SIZE`.
+    batch_rows: usize,
 }
 
 impl Default for Engine {
@@ -211,6 +220,8 @@ impl Engine {
             gov_rows: 0,
             gov_memory: 0,
             recovery_verified: None,
+            spill: default_spill_mode(),
+            batch_rows: default_batch_rows(),
         }
     }
 
@@ -231,9 +242,32 @@ impl Engine {
     }
 
     /// Set the per-statement materialized-bytes budget (`None` =
-    /// unlimited). Charged for hash-join build sides.
+    /// unlimited). Charged for hash-join build sides. With spilling
+    /// enabled (the default) an operator whose state would not fit the
+    /// remaining budget partitions to disk instead of failing; with
+    /// [`SpillMode::Disabled`] a breach surfaces as [`DbError::Budget`].
     pub fn set_memory_budget(&mut self, bytes: Option<u64>) {
         self.max_bytes = bytes;
+    }
+
+    /// Set whether memory-bounded operators may spill to disk.
+    pub fn set_spill_mode(&mut self, mode: SpillMode) {
+        self.spill = mode;
+    }
+
+    pub fn spill_mode(&self) -> SpillMode {
+        self.spill
+    }
+
+    /// Set the operator batch size (rows gathered per buffer-pool visit
+    /// in scans, rows per governor poll in probe/filter loops). Answers
+    /// are identical at any setting ≥ 1.
+    pub fn set_batch_rows(&mut self, rows: usize) {
+        self.batch_rows = rows.max(1);
+    }
+
+    pub fn batch_rows(&self) -> usize {
+        self.batch_rows
     }
 
     /// Impose (or clear) an absolute deadline that applies to every
@@ -315,6 +349,18 @@ impl Engine {
 
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Resize the buffer pool to `frames` frames (dirty pages are
+    /// flushed first, the cache restarts cold). Experiments use this to
+    /// pit a working set against a deliberately undersized cache.
+    pub fn set_pool_frames(&mut self, frames: usize) -> Result<(), DbError> {
+        self.pool.resize(&mut self.disk, frames)
+    }
+
+    /// Current buffer-pool capacity in frames.
+    pub fn pool_frames(&self) -> usize {
+        self.pool.capacity()
     }
 
     // ------------------------------------------------------------------
@@ -808,6 +854,8 @@ impl Engine {
                 profiler: None,
                 parallelism: self.parallelism,
                 governor: Some(&governor),
+                spill: self.spill,
+                batch_rows: self.batch_rows,
             };
             execute_plan(&planned.plan, &mut ctx)
         };
@@ -841,6 +889,8 @@ impl Engine {
                 profiler: Some(Profiler::default()),
                 parallelism: self.parallelism,
                 governor: Some(&governor),
+                spill: self.spill,
+                batch_rows: self.batch_rows,
             };
             let rows = execute_plan(&planned.plan, &mut ctx);
             let profile = ctx.profiler.take().expect("installed above").into_nodes();
@@ -1285,6 +1335,10 @@ impl Engine {
         r.gauge("exec.threads", self.parallelism as f64);
         r.counter("exec.tasks_spawned", s.exec.tasks_spawned);
         r.gauge("exec.partition_skew", s.exec.partition_skew as f64);
+        r.counter("exec.spill_partitions", s.exec.spill_partitions);
+        r.counter("exec.spill_bytes", s.exec.spill_bytes);
+        r.counter("exec.sort_runs", s.exec.sort_runs);
+        r.counter("exec.batches", s.exec.batches);
         r.counter("governor.cancellations", self.gov_canceled);
         r.counter("governor.deadline_breaches", self.gov_deadline);
         r.counter("governor.row_budget_breaches", self.gov_rows);
@@ -1314,6 +1368,29 @@ fn default_parallelism() -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Spill mode a fresh engine starts with: `RDBMS_SPILL=off|0|false`
+/// disables spilling (budget breaches stay fatal), `RDBMS_SPILL=force`
+/// routes every memory-bounded operator through the spill path so test
+/// suites exercise it on small data, anything else (or unset) enables
+/// budget-triggered spilling.
+fn default_spill_mode() -> SpillMode {
+    match std::env::var("RDBMS_SPILL").ok().as_deref() {
+        Some("off") | Some("0") | Some("false") => SpillMode::Disabled,
+        Some("force") => SpillMode::Forced,
+        _ => SpillMode::Enabled,
+    }
+}
+
+/// Operator batch size a fresh engine starts with: `RDBMS_BATCH_SIZE`
+/// when set to a positive integer, else [`DEFAULT_BATCH_ROWS`].
+fn default_batch_rows() -> usize {
+    std::env::var("RDBMS_BATCH_SIZE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_BATCH_ROWS)
 }
 
 /// Parse the `RDBMS_FAULT_PROFILE` environment variable. The only profile
@@ -1461,6 +1538,21 @@ fn render_op_profile(op: &OpProfile) -> String {
     }
     if op.residual_dropped > 0 {
         line.push_str(&format!(" dropped={}", op.residual_dropped));
+    }
+    if op.spill_partitions > 0 {
+        line.push_str(&format!(
+            " spill_parts={} spill_bytes={}",
+            op.spill_partitions, op.spill_bytes
+        ));
+    }
+    if op.sort_runs > 0 {
+        line.push_str(&format!(
+            " sort_runs={} spill_bytes={}",
+            op.sort_runs, op.spill_bytes
+        ));
+    }
+    if op.batches > 0 {
+        line.push_str(&format!(" batches={}", op.batches));
     }
     line.push(')');
     line

@@ -12,9 +12,27 @@ use crate::disk::Disk;
 use crate::governor::{QueryGovernor, GOVERNOR_CHECK_INTERVAL};
 use crate::heap::RecordId;
 use crate::plan::{ExecCond, KeyExpr, PhysPlan, ProjExpr};
-use crate::schema::{deserialize_tuple, Tuple};
+use crate::schema::{deserialize_tuple, serialize_tuple, Tuple};
+use crate::spill::{decode_seq_tuple, encode_seq_tuple, partition_of, SpillFile, SpillWriter};
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
+
+/// When memory-bounded operators may divert state to spill files
+/// instead of failing the statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpillMode {
+    /// Never spill: a memory-budget breach surfaces as the typed
+    /// `DbError::Budget` error, exactly the PR-5 behaviour.
+    Disabled,
+    /// Spill when an operator's materialized state would exceed the
+    /// governor's remaining memory budget (the default). Without a
+    /// memory budget this is indistinguishable from `Disabled`.
+    #[default]
+    Enabled,
+    /// Always take the spill path, budget or not — lets test suites and
+    /// CI exercise the spill code on small data (`RDBMS_SPILL=force`).
+    Forced,
+}
 
 /// Logical execution counters, cumulative across statements.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,6 +68,18 @@ pub struct ExecStats {
     /// slowest worker of a partitioned operator exceeded the mean worker
     /// time (0 = perfectly even, or no parallel run yet).
     pub partition_skew: u64,
+    /// Spill partitions created by memory-bounded operators (Grace
+    /// hash-join and hash-dedup partitions; one per partition per side
+    /// pair, not per file).
+    pub spill_partitions: u64,
+    /// Bytes written to spill files (record payloads, before page
+    /// padding), across joins, sorts, and dedup operators.
+    pub spill_bytes: u64,
+    /// Sorted runs produced by the external merge-sort.
+    pub sort_runs: u64,
+    /// Row batches moved between operators (scan pages gathered, probe
+    /// chunks processed): the unit at which the governor is polled.
+    pub batches: u64,
 }
 
 /// Per-operator runtime counters collected while executing under
@@ -77,6 +107,14 @@ pub struct OpProfile {
     /// filters (a scanned-but-filtered tuple, a joined row failing a
     /// residual condition, a filtered inner tuple of an index join).
     pub residual_dropped: u64,
+    /// Spill partitions this operator created (0 = ran in memory).
+    pub spill_partitions: u64,
+    /// Bytes this operator wrote to spill files.
+    pub spill_bytes: u64,
+    /// Sorted runs this operator spilled (external sort only).
+    pub sort_runs: u64,
+    /// Row batches this operator processed.
+    pub batches: u64,
 }
 
 /// Collects the [`OpProfile`] tree during execution. Installed in
@@ -137,6 +175,14 @@ pub struct ExecCtx<'a> {
     /// including partitioned worker closures. `None` means ungoverned
     /// (internal maintenance statements).
     pub governor: Option<&'a QueryGovernor>,
+    /// Whether memory-bounded operators may spill to disk instead of
+    /// failing on a memory-budget breach.
+    pub spill: SpillMode,
+    /// Rows per batch exchanged at operator boundaries: sequential scans
+    /// gather this many records per buffer-pool visit, probe/filter
+    /// loops poll the governor once per batch. Answers are identical at
+    /// any setting; only the check cadence and latch traffic change.
+    pub batch_rows: usize,
 }
 
 impl ExecCtx<'_> {
@@ -194,6 +240,40 @@ impl ExecCtx<'_> {
         }
     }
 
+    /// Count one processed row batch.
+    #[inline]
+    fn count_batch(&mut self) {
+        self.stats.batches += 1;
+        if let Some(p) = self.profiler.as_mut() {
+            if let Some(op) = p.current() {
+                op.batches += 1;
+            }
+        }
+    }
+
+    /// Record a spill fan-out: `parts` partitions written, `bytes` of
+    /// record payload spilled (both sides / all runs included).
+    fn count_spill(&mut self, parts: u64, bytes: u64) {
+        self.stats.spill_partitions += parts;
+        self.stats.spill_bytes += bytes;
+        if let Some(p) = self.profiler.as_mut() {
+            if let Some(op) = p.current() {
+                op.spill_partitions += parts;
+                op.spill_bytes += bytes;
+            }
+        }
+    }
+
+    /// Record external-sort runs spilled.
+    fn count_sort_runs(&mut self, runs: u64) {
+        self.stats.sort_runs += runs;
+        if let Some(p) = self.profiler.as_mut() {
+            if let Some(op) = p.current() {
+                op.sort_runs += runs;
+            }
+        }
+    }
+
     /// Fold one worker's locally accumulated counters into the global
     /// stats and the profiled operator, so totals are identical to a
     /// serial run no matter how the rows were partitioned.
@@ -201,11 +281,13 @@ impl ExecCtx<'_> {
         self.stats.tuples_scanned += c.scanned;
         self.stats.index_probes += c.probes;
         self.stats.join_output += c.join_output;
+        self.stats.batches += c.batches;
         if let Some(p) = self.profiler.as_mut() {
             if let Some(op) = p.current() {
                 op.tuples_scanned += c.scanned;
                 op.index_probes += c.probes;
                 op.residual_dropped += c.dropped;
+                op.batches += c.batches;
             }
         }
     }
@@ -220,6 +302,7 @@ struct WorkerCounts {
     probes: u64,
     join_output: u64,
     dropped: u64,
+    batches: u64,
 }
 
 /// Minimum rows each worker must receive before a partitioned operator
@@ -257,6 +340,144 @@ fn tuple_bytes(t: &Tuple) -> u64 {
         })
         .sum::<u64>()
         + 24
+}
+
+/// Default rows per operator batch. Matches [`GOVERNOR_CHECK_INTERVAL`]
+/// so moving governor polls from "every 256 rows inside the loop" to
+/// "once per batch" keeps the breach-detection latency unchanged.
+pub const DEFAULT_BATCH_ROWS: usize = GOVERNOR_CHECK_INTERVAL;
+
+/// Floor on the spill partition / sort-run byte target: below this the
+/// per-file fixed costs (page padding, directory churn) dominate and
+/// more partitions only slow things down.
+const SPILL_MIN_PARTITION_BYTES: u64 = 64 * 1024;
+
+/// Partition / run byte target when no memory budget constrains the
+/// operator (i.e. `SpillMode::Forced` on an ungoverned statement).
+const SPILL_DEFAULT_PARTITION_BYTES: u64 = 256 * 1024;
+
+/// Cap on Grace partitions / sort runs, so the merge fan-in and the
+/// number of live spill files stay bounded no matter the input size
+/// (oversized inputs get proportionally larger partitions instead).
+const SPILL_MAX_PARTITIONS: u64 = 64;
+
+/// Should an operator whose materialized state needs `bytes` take the
+/// spill path? `Enabled` spills only when the governor's remaining
+/// memory budget cannot hold the state in full; `Forced` always does.
+fn spill_engaged(ctx: &ExecCtx<'_>, bytes: u64) -> bool {
+    match ctx.spill {
+        SpillMode::Disabled => false,
+        SpillMode::Forced => true,
+        SpillMode::Enabled => ctx
+            .governor
+            .and_then(QueryGovernor::bytes_remaining)
+            .is_some_and(|remaining| bytes > remaining),
+    }
+}
+
+/// Byte target for one spill partition: what still fits in the memory
+/// budget (each partition is re-loaded whole during its probe/merge
+/// phase), floored so partitions stay page-efficient.
+fn spill_partition_bytes(ctx: &ExecCtx<'_>) -> u64 {
+    ctx.governor
+        .and_then(QueryGovernor::bytes_remaining)
+        .map_or(SPILL_DEFAULT_PARTITION_BYTES, |remaining| {
+            remaining.max(SPILL_MIN_PARTITION_BYTES)
+        })
+}
+
+/// Partition fan-out for `bytes` of state: enough partitions that each
+/// fits the budget, at least 2 (a spill that cannot subdivide is not a
+/// spill), at most [`SPILL_MAX_PARTITIONS`].
+fn spill_partition_count(ctx: &ExecCtx<'_>, bytes: u64) -> usize {
+    bytes
+        .div_ceil(spill_partition_bytes(ctx).max(1))
+        .clamp(2, SPILL_MAX_PARTITIONS) as usize
+}
+
+/// Hash-scatter `rows` into `parts` spill streams by FNV of the key
+/// columns (`None` = the whole tuple, for dedup operators). When
+/// `tag_seq` each record carries its input ordinal so downstream
+/// merges can restore exact input order. On error the partially
+/// written streams are dropped before returning.
+fn scatter_partitions(
+    disk: &mut Disk,
+    gov: Option<&QueryGovernor>,
+    rows: &[Tuple],
+    parts: usize,
+    key_cols: Option<&[usize]>,
+    tag_seq: bool,
+) -> Result<Vec<SpillFile>, DbError> {
+    let mut writers: Vec<SpillWriter> = (0..parts).map(|_| SpillWriter::new(disk)).collect();
+    let mut failed = None;
+    for (seq, row) in rows.iter().enumerate() {
+        let step = gov_tick(gov, seq).and_then(|()| {
+            let part = match key_cols {
+                Some(cols) => {
+                    let key: Vec<Value> = cols.iter().map(|&k| row[k].clone()).collect();
+                    partition_of(&key, parts)
+                }
+                None => partition_of(row, parts),
+            };
+            let payload = if tag_seq {
+                encode_seq_tuple(seq as u64, row)
+            } else {
+                serialize_tuple(row)
+            };
+            writers[part].push(disk, &payload)
+        });
+        if let Err(e) = step {
+            failed = Some(e);
+            break;
+        }
+    }
+    if let Some(e) = failed {
+        for w in writers {
+            w.abandon(disk);
+        }
+        return Err(e);
+    }
+    let mut files = Vec::with_capacity(parts);
+    let mut writers = writers.into_iter();
+    for w in writers.by_ref() {
+        match w.finish(disk) {
+            Ok(f) => files.push(f),
+            Err(e) => {
+                for f in files {
+                    f.destroy(disk);
+                }
+                for w in writers {
+                    w.abandon(disk);
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(files)
+}
+
+/// Read one spilled (untagged) tuple.
+fn read_spilled_tuple(
+    r: &mut crate::spill::SpillReader,
+    disk: &mut Disk,
+) -> Result<Option<Tuple>, DbError> {
+    match r.next(disk)? {
+        None => Ok(None),
+        Some(payload) => deserialize_tuple(&payload)
+            .map(Some)
+            .ok_or_else(|| DbError::Corruption("spilled tuple does not deserialize".into())),
+    }
+}
+
+/// Compare two rows on the sort key columns.
+fn cmp_keys(a: &Tuple, b: &Tuple, keys: &[usize]) -> std::cmp::Ordering {
+    for &k in keys {
+        let ord = a[k].cmp(&b[k]);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
 }
 
 /// Contiguous chunk ranges splitting `n` items across `workers` chunks.
@@ -513,42 +734,62 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
         PhysPlan::SeqScan { table, filters } => {
             let t = ctx.catalog.table(table)?;
             let mut scan = t.heap.scan();
+            let batch = ctx.batch_rows.max(1);
             if ctx.parallelism > 1 {
                 // Page I/O stays on this thread (the buffer pool is a
                 // single-writer resource); workers split the CPU-bound
                 // decode + filter work over the gathered payloads.
                 let mut raw: Vec<(RecordId, Vec<u8>)> = Vec::new();
-                while let Some(entry) = scan.next(ctx.disk, ctx.pool)? {
-                    raw.push(entry);
+                loop {
+                    if let Some(g) = ctx.governor {
+                        g.check()?;
+                    }
+                    let chunk = scan.next_batch(ctx.disk, ctx.pool, batch)?;
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    raw.extend(chunk);
                 }
                 let params = ctx.params;
                 let gov = ctx.governor;
                 return par_run(ctx, &raw, |chunk, c| {
                     let mut out = Vec::new();
-                    for (i, (rid, payload)) in chunk.iter().enumerate() {
-                        gov_tick(gov, i)?;
-                        c.scanned += 1;
-                        let tuple = decode_tuple(table, *rid, payload)?;
-                        if eval_all(filters, &tuple, params) {
-                            out.push(tuple);
-                        } else {
-                            c.dropped += 1;
+                    for sub in chunk.chunks(batch) {
+                        if let Some(g) = gov {
+                            g.check()?;
+                        }
+                        c.batches += 1;
+                        for (rid, payload) in sub {
+                            c.scanned += 1;
+                            let tuple = decode_tuple(table, *rid, payload)?;
+                            if eval_all(filters, &tuple, params) {
+                                out.push(tuple);
+                            } else {
+                                c.dropped += 1;
+                            }
                         }
                     }
                     Ok(out)
                 });
             }
             let mut out = Vec::new();
-            let mut seen = 0usize;
-            while let Some((rid, payload)) = scan.next(ctx.disk, ctx.pool)? {
-                gov_tick(ctx.governor, seen)?;
-                seen += 1;
-                ctx.count_scanned();
-                let tuple = decode_tuple(table, rid, &payload)?;
-                if eval_all(filters, &tuple, ctx.params) {
-                    out.push(tuple);
-                } else {
-                    ctx.prof_drop();
+            loop {
+                if let Some(g) = ctx.governor {
+                    g.check()?;
+                }
+                let chunk = scan.next_batch(ctx.disk, ctx.pool, batch)?;
+                if chunk.is_empty() {
+                    break;
+                }
+                ctx.count_batch();
+                for (rid, payload) in chunk {
+                    ctx.count_scanned();
+                    let tuple = decode_tuple(table, rid, &payload)?;
+                    if eval_all(filters, &tuple, ctx.params) {
+                        out.push(tuple);
+                    } else {
+                        ctx.prof_drop();
+                    }
                 }
             }
             Ok(out)
@@ -621,14 +862,29 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
             // always left-columns-then-right-columns regardless.
             let build_left = left_rows.len() <= right_rows.len();
             let (build, build_keys, probe, probe_keys) = if build_left {
-                (&left_rows, left_keys, &right_rows, right_keys)
+                (left_rows, left_keys, right_rows, right_keys)
             } else {
-                (&right_rows, right_keys, &left_rows, left_keys)
+                (right_rows, right_keys, left_rows, left_keys)
             };
+            let build_bytes: u64 = build.iter().map(tuple_bytes).sum();
+            if spill_engaged(ctx, build_bytes) && !build.is_empty() {
+                return grace_hash_join(
+                    ctx,
+                    build,
+                    build_keys,
+                    probe,
+                    probe_keys,
+                    build_left,
+                    residual,
+                    build_bytes,
+                );
+            }
             // The build side is the join's materialized state: charge it
             // against the memory budget before committing to building it.
+            // With spilling off (or no budget set) a breach is fatal here,
+            // exactly as before spilling existed.
             if let Some(g) = ctx.governor {
-                g.charge_bytes(build.iter().map(tuple_bytes).sum())?;
+                g.charge_bytes(build_bytes)?;
             }
             let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
             for (bi, row) in build.iter().enumerate() {
@@ -643,26 +899,32 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
             // exactly the serial order at any parallelism setting.
             let params = ctx.params;
             let gov = ctx.governor;
-            par_run(ctx, probe, |chunk, c| {
+            let batch = ctx.batch_rows.max(1);
+            par_run(ctx, &probe, |chunk, c| {
                 let mut out = Vec::new();
-                for (pi, prow) in chunk.iter().enumerate() {
-                    gov_tick(gov, pi)?;
-                    let key: Vec<Value> = probe_keys.iter().map(|&i| prow[i].clone()).collect();
-                    if let Some(matches) = table.get(&key) {
-                        for brow in matches {
-                            let (lrow, rrow): (&Tuple, &Tuple) = if build_left {
-                                (brow, prow)
-                            } else {
-                                (prow, brow)
-                            };
-                            let mut joined = Vec::with_capacity(lrow.len() + rrow.len());
-                            joined.extend_from_slice(lrow);
-                            joined.extend_from_slice(rrow);
-                            if eval_all(residual, &joined, params) {
-                                c.join_output += 1;
-                                out.push(joined);
-                            } else {
-                                c.dropped += 1;
+                for sub in chunk.chunks(batch) {
+                    if let Some(g) = gov {
+                        g.check()?;
+                    }
+                    c.batches += 1;
+                    for prow in sub {
+                        let key: Vec<Value> = probe_keys.iter().map(|&i| prow[i].clone()).collect();
+                        if let Some(matches) = table.get(&key) {
+                            for brow in matches {
+                                let (lrow, rrow): (&Tuple, &Tuple) = if build_left {
+                                    (brow, prow)
+                                } else {
+                                    (prow, brow)
+                                };
+                                let mut joined = Vec::with_capacity(lrow.len() + rrow.len());
+                                joined.extend_from_slice(lrow);
+                                joined.extend_from_slice(rrow);
+                                if eval_all(residual, &joined, params) {
+                                    c.join_output += 1;
+                                    out.push(joined);
+                                } else {
+                                    c.dropped += 1;
+                                }
                             }
                         }
                     }
@@ -681,9 +943,15 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
             let left_rows = execute_plan(left, ctx)?;
             let t = ctx.catalog.table(table)?;
             let index = &t.indexes[*index_pos];
+            let batch = ctx.batch_rows.max(1);
             let mut out = Vec::new();
             for (li, lrow) in left_rows.iter().enumerate() {
-                gov_tick(ctx.governor, li)?;
+                if li % batch == 0 {
+                    if let Some(g) = ctx.governor {
+                        g.check()?;
+                    }
+                    ctx.count_batch();
+                }
                 let key: Vec<Value> = left_keys.iter().map(|&i| lrow[i].clone()).collect();
                 ctx.count_probe();
                 let rids: Vec<_> = index.lookup(&key).to_vec();
@@ -754,20 +1022,28 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
             // the (reordered) key pairs still correlate the two sides, and
             // `inner_filters` is empty — the scan fallback is unchanged.
             let mut scan = t.heap.scan();
+            let batch = ctx.batch_rows.max(1);
             let mut keys: HashSet<Vec<Value>> = HashSet::new();
             let mut inner_nonempty = false;
-            let mut seen = 0usize;
-            while let Some((rid, payload)) = scan.next(ctx.disk, ctx.pool)? {
-                gov_tick(ctx.governor, seen)?;
-                seen += 1;
-                ctx.count_scanned();
-                let tuple = decode_tuple(table, rid, &payload)?;
-                if !eval_all(inner_filters, &tuple, ctx.params) {
-                    continue;
+            loop {
+                if let Some(g) = ctx.governor {
+                    g.check()?;
                 }
-                inner_nonempty = true;
-                if !inner_keys.is_empty() {
-                    keys.insert(inner_keys.iter().map(|&i| tuple[i].clone()).collect());
+                let chunk = scan.next_batch(ctx.disk, ctx.pool, batch)?;
+                if chunk.is_empty() {
+                    break;
+                }
+                ctx.count_batch();
+                for (rid, payload) in chunk {
+                    ctx.count_scanned();
+                    let tuple = decode_tuple(table, rid, &payload)?;
+                    if !eval_all(inner_filters, &tuple, ctx.params) {
+                        continue;
+                    }
+                    inner_nonempty = true;
+                    if !inner_keys.is_empty() {
+                        keys.insert(inner_keys.iter().map(|&i| tuple[i].clone()).collect());
+                    }
                 }
             }
             if outer_keys.is_empty() {
@@ -817,8 +1093,15 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
         }
         PhysPlan::Filter { child, conds } => {
             let rows = execute_plan(child, ctx)?;
+            let batch = ctx.batch_rows.max(1);
             let mut out = Vec::with_capacity(rows.len());
-            for r in rows {
+            for (i, r) in rows.into_iter().enumerate() {
+                if i % batch == 0 {
+                    if let Some(g) = ctx.governor {
+                        g.check()?;
+                    }
+                    ctx.count_batch();
+                }
                 if eval_all(conds, &r, ctx.params) {
                     out.push(r);
                 } else {
@@ -844,6 +1127,10 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
         }
         PhysPlan::Distinct { child } => {
             let rows = execute_plan(child, ctx)?;
+            let state: u64 = rows.iter().map(tuple_bytes).sum();
+            if spill_engaged(ctx, state) && !rows.is_empty() {
+                return spill_dedup(ctx, rows, None, state);
+            }
             let mut seen = HashSet::with_capacity(rows.len());
             Ok(rows
                 .into_iter()
@@ -852,15 +1139,11 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
         }
         PhysPlan::Sort { child, keys } => {
             let mut rows = execute_plan(child, ctx)?;
-            rows.sort_by(|a, b| {
-                for &k in keys {
-                    let ord = a[k].cmp(&b[k]);
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
+            let state: u64 = rows.iter().map(tuple_bytes).sum();
+            if spill_engaged(ctx, state) && !rows.is_empty() {
+                return external_sort(ctx, rows, keys, state);
+            }
+            rows.sort_by(|a, b| cmp_keys(a, b, keys));
             Ok(rows)
         }
         PhysPlan::CountStar { child } => {
@@ -900,6 +1183,10 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
         PhysPlan::UnionDistinct { left, right } => {
             let mut rows = execute_plan(left, ctx)?;
             rows.extend(execute_plan(right, ctx)?);
+            let state: u64 = rows.iter().map(tuple_bytes).sum();
+            if spill_engaged(ctx, state) && !rows.is_empty() {
+                return spill_dedup(ctx, rows, None, state);
+            }
             let mut seen = HashSet::with_capacity(rows.len());
             Ok(rows
                 .into_iter()
@@ -908,7 +1195,12 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
         }
         PhysPlan::Except { left, right } => {
             let rows = execute_plan(left, ctx)?;
-            let exclude: HashSet<Tuple> = execute_plan(right, ctx)?.into_iter().collect();
+            let right_rows = execute_plan(right, ctx)?;
+            let state: u64 = rows.iter().chain(right_rows.iter()).map(tuple_bytes).sum();
+            if spill_engaged(ctx, state) && !rows.is_empty() {
+                return spill_dedup(ctx, rows, Some(right_rows), state);
+            }
+            let exclude: HashSet<Tuple> = right_rows.into_iter().collect();
             let mut seen = HashSet::new();
             Ok(rows
                 .into_iter()
@@ -916,6 +1208,313 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
                 .collect())
         }
     }
+}
+
+/// Grace hash join: both sides are hash-scattered on the join key into
+/// per-partition spill files, then each partition is joined on its own
+/// with a build table that fits the remaining memory budget. Probe rows
+/// carry their input ordinal through the scatter; since every row with
+/// a given key lands in exactly one partition, a final stable sort on
+/// the ordinal restores exact probe-major order — byte-identical to the
+/// in-memory join at any partition count.
+#[allow(clippy::too_many_arguments)]
+fn grace_hash_join(
+    ctx: &mut ExecCtx<'_>,
+    build: Vec<Tuple>,
+    build_keys: &[usize],
+    probe: Vec<Tuple>,
+    probe_keys: &[usize],
+    build_left: bool,
+    residual: &[ExecCond],
+    build_bytes: u64,
+) -> Result<Vec<Tuple>, DbError> {
+    let parts = spill_partition_count(ctx, build_bytes);
+    ctx.prof_build(build.len() as u64);
+    let build_files = scatter_partitions(
+        ctx.disk,
+        ctx.governor,
+        &build,
+        parts,
+        Some(build_keys),
+        false,
+    )?;
+    drop(build);
+    let probe_files = match scatter_partitions(
+        ctx.disk,
+        ctx.governor,
+        &probe,
+        parts,
+        Some(probe_keys),
+        true,
+    ) {
+        Ok(files) => files,
+        Err(e) => {
+            for f in build_files {
+                f.destroy(ctx.disk);
+            }
+            return Err(e);
+        }
+    };
+    drop(probe);
+    let spilled: u64 = build_files
+        .iter()
+        .chain(probe_files.iter())
+        .map(SpillFile::bytes)
+        .sum();
+    ctx.count_spill(parts as u64, spilled);
+    let mut counts = WorkerCounts::default();
+    let mut tagged: Vec<(u64, Tuple)> = Vec::new();
+    let mut result = Ok(());
+    'parts: for (bf, pf) in build_files.iter().zip(probe_files.iter()) {
+        // Load this partition's build side (its rows keep their relative
+        // build order) and hash it; only now does the build state become
+        // memory-resident, sized by the partition target.
+        let mut part_build: Vec<Tuple> = Vec::with_capacity(bf.records() as usize);
+        let mut reader = bf.reader();
+        loop {
+            match read_spilled_tuple(&mut reader, ctx.disk) {
+                Ok(Some(t)) => part_build.push(t),
+                Ok(None) => break,
+                Err(e) => {
+                    result = Err(e);
+                    break 'parts;
+                }
+            }
+            if let Err(e) = gov_tick(ctx.governor, part_build.len()) {
+                result = Err(e);
+                break 'parts;
+            }
+        }
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (bi, row) in part_build.iter().enumerate() {
+            let key: Vec<Value> = build_keys.iter().map(|&k| row[k].clone()).collect();
+            table.entry(key).or_default().push(bi);
+        }
+        counts.batches += 1;
+        let mut reader = pf.reader();
+        let mut pi = 0usize;
+        loop {
+            let payload = match reader.next(ctx.disk) {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                Err(e) => {
+                    result = Err(e);
+                    break 'parts;
+                }
+            };
+            if let Err(e) = gov_tick(ctx.governor, pi) {
+                result = Err(e);
+                break 'parts;
+            }
+            pi += 1;
+            let (seq, prow) = match decode_seq_tuple(&payload) {
+                Ok(v) => v,
+                Err(e) => {
+                    result = Err(e);
+                    break 'parts;
+                }
+            };
+            let key: Vec<Value> = probe_keys.iter().map(|&k| prow[k].clone()).collect();
+            if let Some(matches) = table.get(&key) {
+                for &bi in matches {
+                    let brow = &part_build[bi];
+                    let (lrow, rrow): (&Tuple, &Tuple) = if build_left {
+                        (brow, &prow)
+                    } else {
+                        (&prow, brow)
+                    };
+                    let mut joined = Vec::with_capacity(lrow.len() + rrow.len());
+                    joined.extend_from_slice(lrow);
+                    joined.extend_from_slice(rrow);
+                    if eval_all(residual, &joined, ctx.params) {
+                        counts.join_output += 1;
+                        tagged.push((seq, joined));
+                    } else {
+                        counts.dropped += 1;
+                    }
+                }
+            }
+        }
+    }
+    for f in build_files.into_iter().chain(probe_files) {
+        f.destroy(ctx.disk);
+    }
+    ctx.absorb(counts);
+    result?;
+    tagged.sort_by_key(|&(seq, _)| seq);
+    Ok(tagged.into_iter().map(|(_, t)| t).collect())
+}
+
+/// External merge sort: cut the input into consecutive runs sized to
+/// the remaining memory budget, stable-sort and spill each, then merge
+/// with ties broken by run index. Consecutive runs + stable run sort +
+/// lowest-run-wins tie-breaking is exactly one big stable sort, so the
+/// output is byte-identical to the in-memory path.
+fn external_sort(
+    ctx: &mut ExecCtx<'_>,
+    rows: Vec<Tuple>,
+    keys: &[usize],
+    total_bytes: u64,
+) -> Result<Vec<Tuple>, DbError> {
+    let n = rows.len();
+    let run_target = spill_partition_bytes(ctx).max(total_bytes.div_ceil(SPILL_MAX_PARTITIONS));
+    let mut runs: Vec<SpillFile> = Vec::new();
+    let mut cur: Vec<Tuple> = Vec::new();
+    let mut cur_bytes = 0u64;
+    let spill_run = |cur: &mut Vec<Tuple>, disk: &mut Disk| -> Result<SpillFile, DbError> {
+        cur.sort_by(|a, b| cmp_keys(a, b, keys));
+        let mut w = SpillWriter::new(disk);
+        for t in cur.iter() {
+            if let Err(e) = w.push(disk, &serialize_tuple(t)) {
+                w.abandon(disk);
+                return Err(e);
+            }
+        }
+        cur.clear();
+        w.finish(disk)
+    };
+    let mut result = Ok(());
+    for (i, row) in rows.into_iter().enumerate() {
+        if let Err(e) = gov_tick(ctx.governor, i) {
+            result = Err(e);
+            break;
+        }
+        cur_bytes += tuple_bytes(&row);
+        cur.push(row);
+        if cur_bytes >= run_target {
+            match spill_run(&mut cur, ctx.disk) {
+                Ok(f) => runs.push(f),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+            cur_bytes = 0;
+        }
+    }
+    if result.is_ok() && !cur.is_empty() {
+        match spill_run(&mut cur, ctx.disk) {
+            Ok(f) => runs.push(f),
+            Err(e) => result = Err(e),
+        }
+    }
+    if let Err(e) = result {
+        for f in runs {
+            f.destroy(ctx.disk);
+        }
+        return Err(e);
+    }
+    ctx.count_sort_runs(runs.len() as u64);
+    ctx.count_spill(0, runs.iter().map(SpillFile::bytes).sum());
+    // K-way merge: pick the smallest head, lowest run index on ties
+    // (strict less-than never displaces an equal earlier run).
+    let mut readers: Vec<crate::spill::SpillReader> = runs.iter().map(SpillFile::reader).collect();
+    let mut heads: Vec<Option<Tuple>> = Vec::with_capacity(readers.len());
+    let mut out = Vec::with_capacity(n);
+    let mut merge = || -> Result<(), DbError> {
+        for r in &mut readers {
+            heads.push(read_spilled_tuple(r, ctx.disk)?);
+        }
+        loop {
+            gov_tick(ctx.governor, out.len())?;
+            let mut best: Option<usize> = None;
+            for i in 0..heads.len() {
+                if heads[i].is_none() {
+                    continue;
+                }
+                best = match best {
+                    None => Some(i),
+                    Some(b) => {
+                        let (hi, hb) = (heads[i].as_ref().unwrap(), heads[b].as_ref().unwrap());
+                        if cmp_keys(hi, hb, keys) == std::cmp::Ordering::Less {
+                            Some(i)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+            let Some(b) = best else { break };
+            out.push(heads[b].take().unwrap());
+            heads[b] = read_spilled_tuple(&mut readers[b], ctx.disk)?;
+        }
+        Ok(())
+    };
+    let merged = merge();
+    for f in runs {
+        f.destroy(ctx.disk);
+    }
+    merged?;
+    Ok(out)
+}
+
+/// Spilled duplicate elimination (DISTINCT / UNION / EXCEPT): rows are
+/// hash-scattered on the whole tuple with input ordinals, each
+/// partition is deduplicated independently (every duplicate of a tuple
+/// shares its partition), and survivors merge back in ordinal order —
+/// first occurrence wins, exactly like the in-memory hash set. For
+/// EXCEPT the right side scatters with the same hash so each partition
+/// carries its own exclusion set.
+fn spill_dedup(
+    ctx: &mut ExecCtx<'_>,
+    rows: Vec<Tuple>,
+    exclude: Option<Vec<Tuple>>,
+    state_bytes: u64,
+) -> Result<Vec<Tuple>, DbError> {
+    let parts = spill_partition_count(ctx, state_bytes);
+    let row_files = scatter_partitions(ctx.disk, ctx.governor, &rows, parts, None, true)?;
+    drop(rows);
+    let ex_files = match &exclude {
+        None => Vec::new(),
+        Some(ex) => match scatter_partitions(ctx.disk, ctx.governor, ex, parts, None, false) {
+            Ok(files) => files,
+            Err(e) => {
+                for f in row_files {
+                    f.destroy(ctx.disk);
+                }
+                return Err(e);
+            }
+        },
+    };
+    drop(exclude);
+    let spilled: u64 = row_files
+        .iter()
+        .chain(ex_files.iter())
+        .map(SpillFile::bytes)
+        .sum();
+    ctx.count_spill(parts as u64, spilled);
+    let mut tagged: Vec<(u64, Tuple)> = Vec::new();
+    let mut run = || -> Result<(), DbError> {
+        for (p, rf) in row_files.iter().enumerate() {
+            let mut excluded: HashSet<Tuple> = HashSet::new();
+            if let Some(ef) = ex_files.get(p) {
+                let mut reader = ef.reader();
+                while let Some(t) = read_spilled_tuple(&mut reader, ctx.disk)? {
+                    gov_tick(ctx.governor, excluded.len())?;
+                    excluded.insert(t);
+                }
+            }
+            let mut seen: HashSet<Tuple> = HashSet::new();
+            let mut reader = rf.reader();
+            let mut i = 0usize;
+            while let Some(payload) = reader.next(ctx.disk)? {
+                gov_tick(ctx.governor, i)?;
+                i += 1;
+                let (seq, t) = decode_seq_tuple(&payload)?;
+                if !excluded.contains(&t) && seen.insert(t.clone()) {
+                    tagged.push((seq, t));
+                }
+            }
+        }
+        Ok(())
+    };
+    let outcome = run();
+    for f in row_files.into_iter().chain(ex_files) {
+        f.destroy(ctx.disk);
+    }
+    outcome?;
+    tagged.sort_by_key(|&(seq, _)| seq);
+    Ok(tagged.into_iter().map(|(_, t)| t).collect())
 }
 
 #[cfg(test)]

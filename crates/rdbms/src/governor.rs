@@ -208,6 +208,16 @@ impl QueryGovernor {
         Ok(())
     }
 
+    /// How many bytes of the memory budget remain unclaimed, or `None`
+    /// when no byte budget is set. The spill machinery uses this to
+    /// decide whether a hash build (or sort buffer) still fits in
+    /// memory and, when it does not, how large each spill partition may
+    /// be while staying under the budget.
+    pub fn bytes_remaining(&self) -> Option<u64> {
+        self.max_bytes
+            .map(|max| max.saturating_sub(self.bytes.load(Ordering::Relaxed)))
+    }
+
     /// Rows charged so far (for stats / partial-progress reporting).
     pub fn rows_used(&self) -> u64 {
         self.rows.load(Ordering::Relaxed)

@@ -53,6 +53,7 @@ pub mod page;
 pub mod plan;
 pub mod schema;
 pub mod snapshot;
+pub mod spill;
 pub mod sql;
 pub mod value;
 pub mod wal;
@@ -60,7 +61,7 @@ pub mod wal;
 pub use catalog::DbError;
 pub use disk::{DiskStats, FaultInjector, RecoveryReport};
 pub use engine::{Engine, EngineStats, ResultSet, StmtId};
-pub use exec::OpProfile;
+pub use exec::{OpProfile, SpillMode, DEFAULT_BATCH_ROWS};
 pub use governor::{BudgetBreach, BudgetKind, ExecLimits, QueryGovernor};
 pub use metrics::{Metric, Registry};
 pub use schema::{Column, Schema, Tuple};

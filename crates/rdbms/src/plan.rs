@@ -953,23 +953,32 @@ fn join_order(
     // Restriction-aware size estimate: constant filters shrink a relation.
     // A point equality keeps the flat 1/20 selectivity; an IN-list is a
     // union of point lookups, so its estimate scales with the list's
-    // cardinality instead of masquerading as a single point lookup.
+    // cardinality instead of masquerading as a single point lookup. A
+    // one-sided range (`<`, `<=`, `>`, `>=`) keeps 1/3 of the relation —
+    // coarse, but enough to seed the join order with the ranged relation
+    // when it is the only restricted one (two range conditions on the
+    // same relation, the BETWEEN desugaring, compound to 1/9).
     let est = |rel: usize| -> u64 {
         let base = bindings[rel].tuple_count.max(1);
-        let mut best = base;
+        let mut e = base;
         for c in &local[rel] {
-            let e = match c {
+            e = match c {
                 LocalCond::ColCmpLit(_, CmpOp::Eq, _) | LocalCond::ColCmpParam(_, CmpOp::Eq, _) => {
-                    (base / 20).max(1)
+                    e.min((base / 20).max(1))
                 }
-                LocalCond::InList(_, vs) => ((base / 20).max(1))
-                    .saturating_mul(vs.len() as u64)
-                    .min(base),
-                _ => base,
+                LocalCond::InList(_, vs) => e.min(
+                    ((base / 20).max(1))
+                        .saturating_mul(vs.len() as u64)
+                        .min(base),
+                ),
+                LocalCond::ColCmpLit(_, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge, _)
+                | LocalCond::ColCmpParam(_, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge, _) => {
+                    (e / 3).max(1)
+                }
+                _ => e,
             };
-            best = best.min(e);
         }
-        best
+        e
     };
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut order = Vec::with_capacity(n);

@@ -54,7 +54,7 @@ struct Parser {
 /// Keywords that terminate an implicit alias position.
 const RESERVED: &[&str] = &[
     "where", "order", "union", "except", "from", "and", "in", "as", "group", "on", "values",
-    "select", "distinct", "not", "exists",
+    "select", "distinct", "not", "exists", "between",
 ];
 
 impl Parser {
@@ -434,14 +434,19 @@ impl Parser {
     }
 
     fn conjunction(&mut self) -> Result<Vec<Condition>, DbError> {
-        let mut conds = vec![self.condition()?];
+        let mut conds = Vec::new();
+        self.condition_into(&mut conds)?;
         while self.accept_kw("and") {
-            conds.push(self.condition()?);
+            self.condition_into(&mut conds)?;
         }
         Ok(conds)
     }
 
-    fn condition(&mut self) -> Result<Condition, DbError> {
+    /// Parse one condition into `out`. Most conditions push exactly one
+    /// entry; `x BETWEEN lo AND hi` desugars to the pair `x >= lo` and
+    /// `x <= hi` (which the planner's range tightening recombines into a
+    /// single index range scan when an ordered index covers `x`).
+    fn condition_into(&mut self, out: &mut Vec<Condition>) -> Result<(), DbError> {
         if self.peek_kw("not") {
             let mark = self.pos;
             self.pos += 1;
@@ -463,7 +468,8 @@ impl Parser {
                     return Err(self.error("nested NOT EXISTS is not supported"));
                 }
                 self.expect(&Token::RParen)?;
-                return Ok(Condition::NotExists { table, conds });
+                out.push(Condition::NotExists { table, conds });
+                return Ok(());
             }
             self.pos = mark;
         }
@@ -479,7 +485,24 @@ impl Parser {
                 values.push(self.literal()?);
             }
             self.expect(&Token::RParen)?;
-            return Ok(Condition::InList { col, values });
+            out.push(Condition::InList { col, values });
+            return Ok(());
+        }
+        if self.accept_kw("between") {
+            let lo = self.scalar()?;
+            self.expect_kw("and")?;
+            let hi = self.scalar()?;
+            out.push(Condition::Cmp {
+                left: left.clone(),
+                op: CmpOp::Ge,
+                right: lo,
+            });
+            out.push(Condition::Cmp {
+                left,
+                op: CmpOp::Le,
+                right: hi,
+            });
+            return Ok(());
         }
         let op = match self.bump() {
             Some(Token::Eq) => CmpOp::Eq,
@@ -494,7 +517,8 @@ impl Parser {
             }
         };
         let right = self.scalar()?;
-        Ok(Condition::Cmp { left, op, right })
+        out.push(Condition::Cmp { left, op, right });
+        Ok(())
     }
 
     fn scalar(&mut self) -> Result<Scalar, DbError> {
@@ -776,5 +800,58 @@ mod tests {
                 alias: None
             }
         );
+    }
+
+    #[test]
+    fn between_desugars_to_range_pair() {
+        let stmt = parse_stmt("SELECT * FROM t WHERE k BETWEEN 10 AND 20 AND v = 'x'").unwrap();
+        let Stmt::Select(Query::Select(block)) = stmt else {
+            panic!()
+        };
+        assert_eq!(block.where_clause.len(), 3);
+        match &block.where_clause[0] {
+            Condition::Cmp { op, right, .. } => {
+                assert_eq!(*op, CmpOp::Ge);
+                assert_eq!(*right, Scalar::Lit(Value::Int(10)));
+            }
+            other => panic!("expected Cmp, got {other:?}"),
+        }
+        match &block.where_clause[1] {
+            Condition::Cmp { op, right, .. } => {
+                assert_eq!(*op, CmpOp::Le);
+                assert_eq!(*right, Scalar::Lit(Value::Int(20)));
+            }
+            other => panic!("expected Cmp, got {other:?}"),
+        }
+        // The trailing AND condition still parses independently.
+        assert!(matches!(
+            &block.where_clause[2],
+            Condition::Cmp { op: CmpOp::Eq, .. }
+        ));
+    }
+
+    #[test]
+    fn between_with_params_assigns_ordinals_in_order() {
+        let (stmt, n) = parse_stmt_params("SELECT * FROM t WHERE k BETWEEN ? AND ?").unwrap();
+        assert_eq!(n, 2);
+        let Stmt::Select(Query::Select(block)) = stmt else {
+            panic!()
+        };
+        assert!(matches!(
+            &block.where_clause[0],
+            Condition::Cmp {
+                op: CmpOp::Ge,
+                right: Scalar::Param(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &block.where_clause[1],
+            Condition::Cmp {
+                op: CmpOp::Le,
+                right: Scalar::Param(1),
+                ..
+            }
+        ));
     }
 }

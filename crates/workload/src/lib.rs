@@ -7,8 +7,13 @@
 
 pub mod graphs;
 pub mod rules;
+pub mod scale;
 
 pub use graphs::{
     chain_facts, cyclic_digraph, edges_to_rows, forest, full_binary_tree, layered_dag, lists, Edges,
 };
 pub use rules::{ancestor_program, chain_rule_base, same_generation};
+pub use scale::{
+    int_edges_to_rows, scaled_chains, scaled_cyclic, scaled_dag, scaled_forest, scaled_power_law,
+    IntEdges,
+};

@@ -10,7 +10,7 @@
 
 use km::session::{binary_sym, Session, SessionConfig};
 use km::{EvalError, EvalResource, KmError};
-use rdbms::{Engine, FaultInjector, Value};
+use rdbms::{Engine, FaultInjector, SpillMode, Value};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -130,6 +130,12 @@ fn cancellation_sweep_at_every_write_point() {
     let mut fired = 0u64;
     loop {
         let mut s = chaos_session(4, SessionConfig::default());
+        // The sweep's invariant is about the WAL write points of the
+        // *commit*: evaluation must stay write-free so the armed trigger
+        // cannot fire early. Forced spilling (the RDBMS_SPILL=force CI
+        // pass) would add spill-page writes during evaluation, so pin
+        // the default budget-driven mode for this test.
+        s.engine_mut().set_spill_mode(SpillMode::Enabled);
         s.engine_mut().flush().unwrap();
         let handle = s.engine().cancel_handle();
         s.engine_mut()

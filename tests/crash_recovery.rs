@@ -9,7 +9,7 @@
 //! sweep index at which no fault fires demonstrates the post-state.
 
 use km::session::{binary_sym, Session, SessionConfig};
-use rdbms::{Engine, FaultInjector, Value};
+use rdbms::{Engine, FaultInjector, SpillMode, Value};
 use std::collections::BTreeMap;
 
 /// Every table a commit can touch, dictionaries included.
@@ -307,6 +307,11 @@ fn fault_during_parallel_evaluation_recovers() {
     let mut k = 0u64;
     loop {
         let mut s = make();
+        // This sweep counts the *commit's* write points, so evaluation
+        // must stay write-free; forced spilling (RDBMS_SPILL=force)
+        // would add spill-page writes and fire the fault early. Pin the
+        // default budget-driven mode.
+        s.engine_mut().set_spill_mode(SpillMode::Enabled);
         s.engine_mut().flush().unwrap();
         let pre = dump(s.engine_mut());
         s.engine_mut()
