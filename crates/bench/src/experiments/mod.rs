@@ -2,6 +2,7 @@
 //! the regenerated rows in the shape the paper reports.
 
 pub mod chaos;
+pub mod concurrency;
 pub mod datasets;
 pub mod fig10;
 pub mod fig11;
@@ -52,4 +53,5 @@ pub const ALL: &[(&str, fn())] = &[
     ("scale", scale::run),
     ("trace", trace::run),
     ("chaos", chaos::run),
+    ("concurrency", concurrency::run),
 ];

@@ -231,6 +231,32 @@ impl Session {
         Session::new(SessionConfig::default())
     }
 
+    /// A read-only snapshot of this session: the engine is a
+    /// copy-on-write fork ([`Engine::fork`]), the workspace and
+    /// dictionary handles are cloned. Long LFP evaluations run on the
+    /// snapshot without blocking — or ever observing — updates committed
+    /// through this session afterwards; the two sessions share pages
+    /// until one of them writes. The fork carries no WAL: a snapshot is
+    /// scratch space for evaluation (its temporaries and
+    /// `commit_workspace` materializations stay private), never the
+    /// durability domain.
+    pub fn fork_reader(&mut self) -> Result<Session, KmError> {
+        let db = self.db.fork()?;
+        // The fork has no WAL, so the snapshot session must not try to
+        // run durable commits.
+        let mut config = self.config;
+        config.durability = false;
+        Ok(Session {
+            db,
+            stored: self.stored.clone(),
+            workspace: self.workspace.clone(),
+            config,
+            prepared: BTreeMap::new(),
+            recompilations: 0,
+            workspace_gen: self.workspace_gen,
+        })
+    }
+
     // -- plumbing ----------------------------------------------------------
 
     pub fn engine(&self) -> &Engine {

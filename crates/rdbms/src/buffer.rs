@@ -16,7 +16,7 @@
 use crate::catalog::DbError;
 use crate::disk::{Disk, FileId, PageId};
 use crate::page::PAGE_SIZE;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Default number of frames. 256 frames x 4 KiB = 1 MiB of buffer, small
 /// enough that the larger experiment relations actually overflow it and
@@ -49,6 +49,11 @@ struct Frame {
     data: Box<[u8]>,
     dirty: bool,
     referenced: bool,
+    /// Faulted in by scan traffic and never touched since. Cold frames
+    /// are the preferred eviction victims (see [`BufferPool::find_victim`]),
+    /// so a sequential scan recycles its own frames instead of sweeping
+    /// the clock — and clearing the reference bits — of the hot set.
+    cold: bool,
 }
 
 /// A fixed-capacity page cache over the simulated disk.
@@ -56,6 +61,9 @@ pub struct BufferPool {
     frames: Vec<Frame>,
     map: HashMap<(FileId, PageId), usize>,
     clock_hand: usize,
+    /// Frames faulted in cold, oldest first. Entries go stale when the
+    /// frame is promoted or evicted; `find_victim` validates on pop.
+    cold_queue: VecDeque<usize>,
     stats: BufferStats,
 }
 
@@ -69,10 +77,12 @@ impl BufferPool {
                     data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
                     dirty: false,
                     referenced: false,
+                    cold: false,
                 })
                 .collect(),
             map: HashMap::new(),
             clock_hand: 0,
+            cold_queue: VecDeque::new(),
             stats: BufferStats::default(),
         }
     }
@@ -92,10 +102,38 @@ impl BufferPool {
         mark_dirty: bool,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R, DbError> {
-        let frame_idx = match self.map.get(&(file, page)) {
+        self.with_page_at(disk, file, page, mark_dirty, true, f)
+    }
+
+    /// [`BufferPool::with_page`] for scan traffic: a miss faults the page
+    /// in *cold* (reference bit clear), so the next clock sweep reclaims
+    /// it unless something touches it again first. Large sequential scans
+    /// routed through this path recycle a handful of frames instead of
+    /// flushing the pool's hot working set.
+    pub fn with_page_cold<R>(
+        &mut self,
+        disk: &mut Disk,
+        file: FileId,
+        page: PageId,
+        mark_dirty: bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, DbError> {
+        self.with_page_at(disk, file, page, mark_dirty, false, f)
+    }
+
+    fn with_page_at<R>(
+        &mut self,
+        disk: &mut Disk,
+        file: FileId,
+        page: PageId,
+        mark_dirty: bool,
+        hot: bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, DbError> {
+        let (frame_idx, was_hit) = match self.map.get(&(file, page)) {
             Some(&idx) => {
                 self.stats.hits += 1;
-                idx
+                (idx, true)
             }
             None => {
                 self.stats.misses += 1;
@@ -104,11 +142,21 @@ impl BufferPool {
                 self.frames[idx].key = Some((file, page));
                 self.frames[idx].dirty = false;
                 self.map.insert((file, page), idx);
-                idx
+                if !hot {
+                    self.frames[idx].cold = true;
+                    self.cold_queue.push_back(idx);
+                }
+                (idx, false)
             }
         };
         let frame = &mut self.frames[frame_idx];
-        frame.referenced = true;
+        // Any hit promotes: a page touched twice is part of the working
+        // set no matter which access class touched it. Only a cold miss
+        // enters unreferenced.
+        if hot || was_hit {
+            frame.referenced = true;
+            frame.cold = false;
+        }
         frame.dirty |= mark_dirty;
         Ok(f(&mut frame.data))
     }
@@ -117,6 +165,28 @@ impl BufferPool {
     fn find_victim(&mut self, disk: &mut Disk) -> Result<usize, DbError> {
         // Free frame first.
         if let Some(idx) = self.frames.iter().position(|fr| fr.key.is_none()) {
+            return Ok(idx);
+        }
+        // Unpromoted cold frames next, oldest first: scan traffic then
+        // recycles its own frames without ever advancing the clock, so a
+        // scan of any length costs the hot set nothing.
+        while let Some(idx) = self.cold_queue.pop_front() {
+            let frame = &mut self.frames[idx];
+            if !frame.cold {
+                continue; // stale: promoted or evicted since it was queued
+            }
+            let (file, page) = frame.key.expect("cold frame has a key");
+            if frame.dirty {
+                self.stats.dirty_writebacks += 1;
+                disk.write_page(file, page, &frame.data)?;
+            }
+            self.stats.evictions += 1;
+            self.map.remove(&(file, page));
+            let frame = &mut self.frames[idx];
+            frame.key = None;
+            frame.dirty = false;
+            frame.cold = false;
+            frame.referenced = false;
             return Ok(idx);
         }
         // Clock sweep: skip referenced frames once, clearing the bit.
@@ -136,6 +206,7 @@ impl BufferPool {
             self.stats.evictions += 1;
             self.map.remove(&(file, page));
             frame.key = None;
+            frame.cold = false;
             return Ok(idx);
         }
     }
@@ -159,10 +230,12 @@ impl BufferPool {
     /// recovery.
     pub fn discard_all(&mut self) {
         self.map.clear();
+        self.cold_queue.clear();
         for frame in &mut self.frames {
             frame.key = None;
             frame.dirty = false;
             frame.referenced = false;
+            frame.cold = false;
         }
     }
 
@@ -181,6 +254,7 @@ impl BufferPool {
             frame.key = None;
             frame.dirty = false;
             frame.referenced = false;
+            frame.cold = false;
         }
     }
 
@@ -194,12 +268,14 @@ impl BufferPool {
         self.flush_all(disk)?;
         self.map.clear();
         self.clock_hand = 0;
+        self.cold_queue.clear();
         self.frames = (0..capacity)
             .map(|_| Frame {
                 key: None,
                 data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
                 dirty: false,
                 referenced: false,
+                cold: false,
             })
             .collect();
         Ok(())
@@ -284,6 +360,58 @@ mod tests {
         let mut out = vec![0u8; PAGE_SIZE];
         disk.read_page(file, page, &mut out).unwrap();
         assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn cold_scan_does_not_evict_hot_working_set() {
+        let (mut disk, mut pool, file) = setup(4);
+        let hot: Vec<PageId> = (0..3).map(|_| disk.allocate_page(file).unwrap()).collect();
+        let scan: Vec<PageId> = (0..32).map(|_| disk.allocate_page(file).unwrap()).collect();
+        // Establish the working set: every hot page referenced.
+        for &p in &hot {
+            pool.with_page(&mut disk, file, p, false, |_| ()).unwrap();
+            pool.with_page(&mut disk, file, p, false, |_| ()).unwrap();
+        }
+        // A scan 8x the pool size streams through cold.
+        for &p in &scan {
+            pool.with_page_cold(&mut disk, file, p, false, |_| ())
+                .unwrap();
+        }
+        // The hot set survived: re-touching it is all hits.
+        let misses_before = pool.stats().misses;
+        for &p in &hot {
+            pool.with_page(&mut disk, file, p, false, |_| ()).unwrap();
+        }
+        assert_eq!(
+            pool.stats().misses,
+            misses_before,
+            "cold scan evicted the hot working set"
+        );
+    }
+
+    #[test]
+    fn cold_hit_promotes_to_hot() {
+        let (mut disk, mut pool, file) = setup(2);
+        let p0 = disk.allocate_page(file).unwrap();
+        let p1 = disk.allocate_page(file).unwrap();
+        let p2 = disk.allocate_page(file).unwrap();
+        // p0 enters cold, then a second cold access promotes it.
+        pool.with_page_cold(&mut disk, file, p0, false, |_| ())
+            .unwrap();
+        pool.with_page_cold(&mut disk, file, p0, false, |_| ())
+            .unwrap();
+        // p1 enters cold and stays cold; faulting p2 must pick p1.
+        pool.with_page_cold(&mut disk, file, p1, false, |_| ())
+            .unwrap();
+        pool.with_page_cold(&mut disk, file, p2, false, |_| ())
+            .unwrap();
+        let misses_before = pool.stats().misses;
+        pool.with_page(&mut disk, file, p0, false, |_| ()).unwrap();
+        assert_eq!(
+            pool.stats().misses,
+            misses_before,
+            "promoted page was evicted"
+        );
     }
 
     #[test]

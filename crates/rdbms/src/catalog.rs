@@ -6,6 +6,7 @@ use crate::heap::HeapFile;
 use crate::index::HashIndex;
 use crate::schema::Schema;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Everything the engine knows about one table.
 #[derive(Debug, Clone)]
@@ -42,6 +43,11 @@ pub enum DbError {
     /// deadline, or over a row/memory budget. The engine itself is
     /// healthy; the statement was abandoned cooperatively.
     Budget(crate::governor::BudgetBreach),
+    /// First-committer-wins validation failed: another session committed
+    /// a change to a table in this transaction's read/write set after
+    /// the transaction took its snapshot. The transaction was rolled
+    /// back; the caller should retry it on a fresh snapshot.
+    WriteConflict(String),
 }
 
 impl std::fmt::Display for DbError {
@@ -59,6 +65,7 @@ impl std::fmt::Display for DbError {
             DbError::Corruption(m) => write!(f, "corruption detected: {m}"),
             DbError::Txn(m) => write!(f, "transaction error: {m}"),
             DbError::Budget(b) => write!(f, "budget exceeded: {b}"),
+            DbError::WriteConflict(m) => write!(f, "write conflict: {m}"),
         }
     }
 }
@@ -67,9 +74,13 @@ impl std::error::Error for DbError {}
 
 /// The catalog maps lower-cased table names to [`Table`] entries. A
 /// `BTreeMap` keeps listing deterministic.
-#[derive(Default)]
+///
+/// Entries are `Arc`-shared so cloning the catalog for an MVCC snapshot
+/// ([`crate::engine::Engine::fork`]) costs O(#tables) pointer copies;
+/// mutating a table on either side copies just that entry on write.
+#[derive(Default, Clone)]
 pub struct Catalog {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 fn norm(name: &str) -> String {
@@ -95,13 +106,13 @@ impl Catalog {
         let heap = HeapFile::create(disk);
         self.tables.insert(
             key,
-            Table {
+            Arc::new(Table {
                 name: name.to_string(),
                 schema,
                 heap,
                 indexes: Vec::new(),
                 is_temp,
-            },
+            }),
         );
         Ok(())
     }
@@ -114,7 +125,7 @@ impl Catalog {
     ) -> Result<(), DbError> {
         match self.tables.remove(&norm(name)) {
             Some(table) => {
-                table.heap.destroy(disk, pool);
+                table.heap.clone().destroy(disk, pool);
                 Ok(())
             }
             None => Err(DbError::NoSuchTable(name.to_string())),
@@ -124,12 +135,14 @@ impl Catalog {
     pub fn table(&self, name: &str) -> Result<&Table, DbError> {
         self.tables
             .get(&norm(name))
+            .map(|t| &**t)
             .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
     }
 
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
         self.tables
             .get_mut(&norm(name))
+            .map(Arc::make_mut)
             .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
     }
 
@@ -139,18 +152,19 @@ impl Catalog {
     pub fn take_table(&mut self, name: &str) -> Result<Table, DbError> {
         self.tables
             .remove(&norm(name))
+            .map(|t| Arc::try_unwrap(t).unwrap_or_else(|t| (*t).clone()))
             .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
     }
 
     /// Re-insert a table previously removed with [`Catalog::take_table`].
     pub fn restore_table(&mut self, table: Table) {
-        self.tables.insert(norm(&table.name), table);
+        self.tables.insert(norm(&table.name), Arc::new(table));
     }
 
     /// Mutable iteration over all tables (used to rebuild volatile state
     /// after recovery).
     pub fn tables_mut(&mut self) -> impl Iterator<Item = &mut Table> {
-        self.tables.values_mut()
+        self.tables.values_mut().map(Arc::make_mut)
     }
 
     pub fn has_table(&self, name: &str) -> bool {
@@ -204,7 +218,7 @@ impl Catalog {
         let key = index_name.to_ascii_lowercase();
         for table in self.tables.values_mut() {
             if let Some(pos) = table.indexes.iter().position(|i| i.name() == key) {
-                table.indexes.remove(pos);
+                Arc::make_mut(table).indexes.remove(pos);
                 return Ok(());
             }
         }
@@ -217,6 +231,7 @@ impl Catalog {
         self.tables
             .values()
             .find(|t| t.indexes.iter().any(|i| i.name() == key))
+            .map(|t| &**t)
     }
 
     /// Names of all tables (deterministic order).

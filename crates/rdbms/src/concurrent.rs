@@ -1,0 +1,840 @@
+//! Multi-session concurrency: MVCC snapshot reads and a group-commit WAL.
+//!
+//! The engine itself is single-threaded by design — one [`Engine`], one
+//! buffer pool, one WAL. This module turns it into a concurrent,
+//! multi-session system without giving up that simplicity:
+//!
+//! * **Snapshot reads.** Every [`DbSession`] owns a copy-on-write fork of
+//!   the live engine ([`Engine::fork`]): disk pages and catalog entries
+//!   are `Arc`-shared, so taking a snapshot is O(#tables + #pages)
+//!   pointer copies and readers — including long LFP evaluations in the
+//!   Knowledge Manager — run entirely on their fork. They never take the
+//!   live-engine lock, never block a writer, and never observe a partial
+//!   commit: their snapshot is immutable by construction.
+//!
+//! * **Deferred-apply writes with first-committer-wins validation.**
+//!   Write statements execute against the session's private fork (so the
+//!   session reads its own writes) *and* are recorded. At commit the
+//!   recorded statements are replayed on the live engine inside a WAL
+//!   transaction. Validation is at table granularity over the
+//!   transaction's read ∪ write set: if any table in the set was
+//!   committed by another session after this transaction's snapshot, the
+//!   commit fails with [`DbError::WriteConflict`] and nothing is applied.
+//!   Because validation covers the *read* set too, the replay runs
+//!   against exactly the table states the fork execution saw — the
+//!   committed history is serializable in commit order.
+//!
+//! * **Group commit.** Commits funnel through a queue: a committing
+//!   session enqueues its transaction, then contends for the live-engine
+//!   lock. Whoever acquires it becomes the *leader* and drains every
+//!   queued transaction — its own and any that piled up behind the
+//!   previous leader — applying each in arrival order with per-commit
+//!   fsyncs deferred, then flushing the WAL **once** for the whole batch
+//!   ([`Engine::fsync_wal`]). Followers find their result already
+//!   recorded when they get the lock and return without applying
+//!   anything. Under contention the fsyncs-per-commit ratio drops below
+//!   1; the `wal.fsyncs` / `wal.group_commits` /
+//!   `wal.group_committed_txns` counters prove it. The
+//!   `RDBMS_FSYNC_MICROS` environment variable adds a simulated
+//!   per-fsync latency so the batching also shows up in throughput, not
+//!   only in counters.
+
+use crate::catalog::DbError;
+use crate::engine::{Engine, ResultSet};
+use crate::metrics::{Metric, Registry};
+use crate::sql::ast::{Condition, Query, Stmt};
+use crate::sql::parser::parse_stmt_params;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A statement recorded on a session's fork, to be replayed on the live
+/// engine at commit.
+#[derive(Debug, Clone)]
+enum ReplayOp {
+    Sql(String),
+    Prepared { sql: String, params: Vec<Value> },
+}
+
+/// A transaction waiting in the commit queue.
+struct Pending {
+    ticket: u64,
+    /// The global commit sequence number the session's snapshot was
+    /// taken at; first-committer-wins validates against it.
+    snapshot_seq: u64,
+    ops: Vec<ReplayOp>,
+    read_set: BTreeSet<String>,
+    write_set: BTreeSet<String>,
+}
+
+/// The single mutable heart of the system: the live engine plus the
+/// version bookkeeping the commit protocol needs.
+struct Live {
+    engine: Engine,
+    /// Bumped once per applied transaction.
+    commit_seq: u64,
+    /// Per-table sequence number of the last commit that wrote it.
+    table_versions: BTreeMap<String, u64>,
+    /// Outcomes of transactions a leader applied on behalf of other
+    /// sessions, keyed by ticket; each owner removes its own entry.
+    results: BTreeMap<u64, Result<(), DbError>>,
+}
+
+struct Shared {
+    queue: Mutex<Vec<Pending>>,
+    live: Mutex<Live>,
+    /// Signaled after a leader drains a batch, so followers whose result
+    /// is ready wake promptly even while the next leader holds `live`.
+    batch_done: Condvar,
+    /// When on (the default), leaders defer per-commit fsyncs and flush
+    /// once per drained batch; when off every commit fsyncs itself —
+    /// the ablation baseline for `experiments concurrency`.
+    group_commit: AtomicBool,
+    next_session: AtomicU64,
+    next_ticket: AtomicU64,
+    /// Simulated fsync latency (µs), from `RDBMS_FSYNC_MICROS`.
+    fsync_micros: u64,
+}
+
+/// A thread-safe, multi-session handle over one [`Engine`]. Cloning is
+/// cheap (an `Arc` bump); every clone talks to the same live engine.
+#[derive(Clone)]
+pub struct SharedEngine {
+    shared: Arc<Shared>,
+}
+
+fn fsync_micros_env() -> u64 {
+    std::env::var("RDBMS_FSYNC_MICROS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+impl SharedEngine {
+    /// Wrap `engine` for concurrent use. WAL is enabled (commits replay
+    /// through transactions) and the engine must not be mid-transaction.
+    pub fn new(mut engine: Engine) -> SharedEngine {
+        assert!(
+            !engine.in_transaction(),
+            "SharedEngine requires an engine with no open transaction"
+        );
+        engine.enable_wal();
+        SharedEngine {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(Vec::new()),
+                live: Mutex::new(Live {
+                    engine,
+                    commit_seq: 0,
+                    table_versions: BTreeMap::new(),
+                    results: BTreeMap::new(),
+                }),
+                batch_done: Condvar::new(),
+                group_commit: AtomicBool::new(true),
+                next_session: AtomicU64::new(0),
+                next_ticket: AtomicU64::new(0),
+                fsync_micros: fsync_micros_env(),
+            }),
+        }
+    }
+
+    /// Toggle group commit (on by default). Off = every commit fsyncs
+    /// individually, the baseline the concurrency bench compares against.
+    pub fn set_group_commit(&self, on: bool) {
+        self.shared.group_commit.store(on, Ordering::Relaxed);
+    }
+
+    /// Open a new session on the current committed state.
+    pub fn session(&self) -> DbSession {
+        let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let mut live = self.shared.live.lock().unwrap();
+        let snap = live
+            .engine
+            .fork()
+            .expect("live engine is never mid-transaction between commits");
+        let snapshot_seq = live.commit_seq;
+        drop(live);
+        DbSession {
+            shared: Arc::clone(&self.shared),
+            id,
+            snap,
+            snapshot_seq,
+            fork_gen: 0,
+            txn: None,
+            commits: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// Run `f` against the live engine under the commit lock. Tests use
+    /// this to arm fault injectors, inspect durable state, and drive
+    /// recovery; it is also the seam for maintenance (checkpointing).
+    pub fn with_live<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
+        let mut live = self.shared.live.lock().unwrap();
+        f(&mut live.engine)
+    }
+
+    /// Crash recovery on the live engine. Every table's version is
+    /// bumped past every open snapshot, so transactions that straddled
+    /// the crash fail validation instead of committing over a recovered
+    /// state, and queued-but-unapplied transactions are failed outright.
+    pub fn recover(&self) -> Result<crate::disk::RecoveryReport, DbError> {
+        let mut queued = std::mem::take(&mut *self.shared.queue.lock().unwrap());
+        let mut live = self.shared.live.lock().unwrap();
+        let report = live.engine.recover()?;
+        live.commit_seq += 1;
+        let seq = live.commit_seq;
+        for name in live.engine.table_names() {
+            live.table_versions.insert(name.to_ascii_lowercase(), seq);
+        }
+        for p in queued.drain(..) {
+            live.results.insert(
+                p.ticket,
+                Err(DbError::Txn(
+                    "transaction discarded: the engine crashed and recovered before it was applied"
+                        .into(),
+                )),
+            );
+        }
+        self.shared.batch_done.notify_all();
+        Ok(report)
+    }
+
+    /// Metrics of the live engine (the durable side; sessions report
+    /// their fork-local metrics via [`DbSession::metrics`]).
+    pub fn metrics(&self) -> Registry {
+        let live = self.shared.live.lock().unwrap();
+        live.engine.metrics()
+    }
+}
+
+/// Recording state of an open session transaction.
+#[derive(Default)]
+struct TxnRecording {
+    ops: Vec<ReplayOp>,
+    read_set: BTreeSet<String>,
+    write_set: BTreeSet<String>,
+    /// A statement failed mid-transaction; only rollback is accepted
+    /// (the fork may hold that statement's partial effects).
+    poisoned: bool,
+}
+
+/// One session over a [`SharedEngine`]: a private MVCC snapshot plus the
+/// recording/commit machinery. Sessions are `Send` — park one per thread.
+pub struct DbSession {
+    shared: Arc<Shared>,
+    id: u64,
+    /// The session's snapshot: a copy-on-write fork of the live engine.
+    snap: Engine,
+    snapshot_seq: u64,
+    /// Bumped every time `snap` is replaced; prepared handles remember
+    /// the generation they were built on and re-prepare when it moved.
+    fork_gen: u64,
+    txn: Option<TxnRecording>,
+    commits: u64,
+    conflicts: u64,
+}
+
+impl DbSession {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Transactions this session successfully committed.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Commits this session lost to first-committer-wins validation.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// The session's snapshot engine. Reads run here without any lock;
+    /// the per-session governor, budgets, and spill mode are configured
+    /// through it ([`Engine::set_statement_timeout`] etc.).
+    pub fn engine(&mut self) -> &mut Engine {
+        &mut self.snap
+    }
+
+    /// Discard the current snapshot (and any open transaction) and fork
+    /// the latest committed state. Fails when the live engine cannot be
+    /// forked — in practice only after a crash; run
+    /// [`SharedEngine::recover`] and refresh again. On failure the old
+    /// snapshot is kept, so reads keep working against the stale state.
+    pub fn refresh(&mut self) -> Result<(), DbError> {
+        self.txn = None;
+        let mut live = self.shared.live.lock().unwrap();
+        self.snap = live.engine.fork()?;
+        self.snapshot_seq = live.commit_seq;
+        self.fork_gen += 1;
+        Ok(())
+    }
+
+    /// Begin an explicit transaction. The snapshot is refreshed first so
+    /// the transaction validates against the freshest possible baseline.
+    pub fn begin(&mut self) -> Result<(), DbError> {
+        if self.txn.is_some() {
+            return Err(DbError::Txn("a transaction is already active".into()));
+        }
+        self.refresh()?;
+        self.txn = Some(TxnRecording::default());
+        Ok(())
+    }
+
+    /// Abandon the open transaction and re-snapshot. The transaction is
+    /// gone even if the re-snapshot fails (crashed live engine): the
+    /// error then reports the stale snapshot, not a live transaction.
+    pub fn rollback(&mut self) -> Result<(), DbError> {
+        if self.txn.is_none() {
+            return Err(DbError::Txn(
+                "rollback without an active transaction".into(),
+            ));
+        }
+        self.refresh()
+    }
+
+    /// Commit the open transaction through the group-commit queue. On
+    /// [`DbError::WriteConflict`] nothing was applied; retry the whole
+    /// transaction on the fresh snapshot this call leaves behind.
+    pub fn commit(&mut self) -> Result<(), DbError> {
+        let rec = self
+            .txn
+            .take()
+            .ok_or_else(|| DbError::Txn("commit without an active transaction".into()))?;
+        if rec.poisoned {
+            let _ = self.refresh();
+            return Err(DbError::Txn(
+                "transaction aborted by an earlier statement error".into(),
+            ));
+        }
+        if rec.ops.is_empty() {
+            // Read-only: the snapshot is the transaction. Nothing to
+            // validate or apply.
+            return Ok(());
+        }
+        self.submit(rec.ops, rec.read_set, rec.write_set)
+    }
+
+    /// Execute one SQL statement. Reads run on the snapshot; writes run
+    /// on the snapshot *and* are recorded for replay at commit (or, in
+    /// autocommit, committed through the queue immediately).
+    pub fn execute(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        let (stmt, n_params) = parse_stmt_params(sql)?;
+        if n_params > 0 {
+            return Err(DbError::Plan(
+                "statement contains `?` parameters; use prepare/execute_prepared".into(),
+            ));
+        }
+        self.run(sql, None, &stmt)
+    }
+
+    /// Prepare a statement on this session. The handle is fork-local;
+    /// the SQL text is kept so commits can replay it on the live engine.
+    pub fn prepare(&mut self, sql: &str) -> Result<SessionStmt, DbError> {
+        let id = self.snap.prepare(sql)?;
+        let (stmt, _) = parse_stmt_params(sql)?;
+        Ok(SessionStmt {
+            id,
+            sql: sql.to_string(),
+            stmt,
+            fork_gen: self.fork_gen,
+        })
+    }
+
+    /// Execute a prepared handle with bound parameters.
+    pub fn execute_prepared(
+        &mut self,
+        stmt: &SessionStmt,
+        params: &[Value],
+    ) -> Result<ResultSet, DbError> {
+        self.run(&stmt.sql, Some((stmt, params)), &stmt.stmt.clone())
+    }
+
+    fn run(
+        &mut self,
+        sql: &str,
+        prepared: Option<(&SessionStmt, &[Value])>,
+        stmt: &Stmt,
+    ) -> Result<ResultSet, DbError> {
+        if self.txn.as_ref().is_some_and(|t| t.poisoned) {
+            return Err(DbError::Txn(
+                "transaction aborted by an earlier statement error; rollback first".into(),
+            ));
+        }
+        let (reads, writes) = self.stmt_tables(stmt);
+        if writes.is_empty() {
+            // Pure read: run on the snapshot; record the footprint when
+            // a transaction is open (reads participate in validation).
+            let result = self.exec_on_snap(sql, prepared);
+            if let (Some(t), Ok(_)) = (self.txn.as_mut(), &result) {
+                t.read_set.extend(reads);
+            }
+            return result;
+        }
+        let op = match prepared {
+            Some((handle, params)) => ReplayOp::Prepared {
+                sql: handle.sql.clone(),
+                params: params.to_vec(),
+            },
+            None => ReplayOp::Sql(sql.to_string()),
+        };
+        if self.txn.is_some() {
+            let result = self.exec_on_snap(sql, prepared);
+            let t = self.txn.as_mut().expect("txn checked above");
+            match &result {
+                Ok(_) => {
+                    t.ops.push(op);
+                    t.read_set.extend(reads);
+                    t.write_set.extend(writes);
+                }
+                Err(_) => t.poisoned = true,
+            }
+            return result;
+        }
+        // Autocommit: a one-statement transaction through the queue. A
+        // write conflict is retried transparently — the statement re-runs
+        // on the fresh snapshot `submit` left behind, exactly as a new
+        // single-statement transaction would. Progress is guaranteed:
+        // every conflict means some other session's commit landed.
+        loop {
+            let result = self.exec_on_snap(sql, prepared);
+            let rs = match result {
+                Ok(rs) => rs,
+                Err(e) => {
+                    // The fork may hold the failed statement's partial
+                    // effects; discard it (best-effort if the live
+                    // engine is crashed).
+                    let _ = self.refresh();
+                    return Err(e);
+                }
+            };
+            match self.submit(vec![op.clone()], reads.clone(), writes.clone()) {
+                Ok(()) => return Ok(rs),
+                Err(DbError::WriteConflict(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Run the statement on the snapshot engine. Prepared handles from
+    /// an older fork generation are transparently re-prepared.
+    fn exec_on_snap(
+        &mut self,
+        sql: &str,
+        prepared: Option<(&SessionStmt, &[Value])>,
+    ) -> Result<ResultSet, DbError> {
+        match prepared {
+            Some((handle, params)) => {
+                if handle.fork_gen != self.fork_gen {
+                    let id = self.snap.prepare(&handle.sql)?;
+                    let r = self.snap.execute_prepared(id, params);
+                    let _ = self.snap.deallocate(id);
+                    r
+                } else {
+                    self.snap.execute_prepared(handle.id, params)
+                }
+            }
+            None => self.snap.execute(sql),
+        }
+    }
+
+    /// Enqueue a transaction and see it through the group-commit
+    /// protocol. Always leaves the session on a fresh snapshot.
+    fn submit(
+        &mut self,
+        ops: Vec<ReplayOp>,
+        read_set: BTreeSet<String>,
+        write_set: BTreeSet<String>,
+    ) -> Result<(), DbError> {
+        let ticket = self.shared.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.shared.queue.lock().unwrap().push(Pending {
+            ticket,
+            snapshot_seq: self.snapshot_seq,
+            ops,
+            read_set,
+            write_set,
+        });
+        let mut live = self.shared.live.lock().unwrap();
+        let result = loop {
+            if let Some(r) = live.results.remove(&ticket) {
+                // A previous leader applied (or failed) this transaction.
+                break r;
+            }
+            // Become the leader: drain everything queued right now and
+            // apply it in arrival order with one fsync for the batch.
+            let batch: Vec<Pending> = {
+                let mut q = self.shared.queue.lock().unwrap();
+                std::mem::take(&mut *q)
+            };
+            if batch.is_empty() {
+                // Our entry is gone but no result yet: another leader is
+                // mid-batch with it. Wait for that batch to land.
+                live = self.shared.batch_done.wait(live).unwrap();
+                continue;
+            }
+            let defer = self.shared.group_commit.load(Ordering::Relaxed);
+            live.engine.set_defer_fsync(defer);
+            let mut mine = None;
+            for p in batch {
+                let p_ticket = p.ticket;
+                let r = apply_one(&mut live, p);
+                if !defer && r.is_ok() {
+                    simulate_fsync(self.shared.fsync_micros);
+                }
+                if p_ticket == ticket {
+                    mine = Some(r);
+                } else {
+                    live.results.insert(p_ticket, r);
+                }
+            }
+            if defer {
+                live.engine.set_defer_fsync(false);
+                if live.engine.fsync_wal() > 0 {
+                    simulate_fsync(self.shared.fsync_micros);
+                }
+            }
+            self.shared.batch_done.notify_all();
+            if let Some(r) = mine {
+                break r;
+            }
+            // Keep looping: our entry must have been drained by someone
+            // else (can't happen — we just drained it — but stay safe).
+        };
+        // Re-snapshot under the lock we already hold: the fresh fork is
+        // consistent with whatever batch just committed. The generation
+        // bump invalidates prepared handles compiled on the old fork —
+        // their statement ids do not exist in the new engine.
+        if !live.engine.crashed() {
+            if let Ok(fork) = live.engine.fork() {
+                self.snap = fork;
+                self.snapshot_seq = live.commit_seq;
+                self.fork_gen += 1;
+                self.txn = None;
+            }
+        }
+        if result.is_ok() {
+            self.commits += 1;
+        } else if matches!(result, Err(DbError::WriteConflict(_))) {
+            self.conflicts += 1;
+        }
+        result
+    }
+
+    /// Fork-local metrics, each name prefixed with `session<id>.` so
+    /// several sessions' registries merge without colliding, plus the
+    /// session-level commit/conflict counters.
+    pub fn metrics(&self) -> Registry {
+        let mut out = Registry::new();
+        let prefix = format!("session{}.", self.id);
+        for (name, m) in self.snap.metrics().iter() {
+            let name = format!("{prefix}{name}");
+            match m {
+                Metric::Counter(v) => out.counter(&name, *v),
+                Metric::Gauge(v) => out.gauge(&name, *v),
+                Metric::Histogram(_) => {}
+            }
+        }
+        out.counter(&format!("{prefix}txn.commits"), self.commits);
+        out.counter(&format!("{prefix}txn.conflicts"), self.conflicts);
+        out
+    }
+
+    /// Tables a statement reads / writes (lower-cased), the footprint
+    /// first-committer-wins validation runs over.
+    fn stmt_tables(&self, stmt: &Stmt) -> (BTreeSet<String>, BTreeSet<String>) {
+        let mut reads = BTreeSet::new();
+        let mut writes = BTreeSet::new();
+        match stmt {
+            Stmt::CreateTable { name, .. } | Stmt::DropTable { name, .. } => {
+                writes.insert(norm(name));
+            }
+            Stmt::CreateIndex { table, .. } => {
+                writes.insert(norm(table));
+            }
+            Stmt::DropIndex { name } => {
+                // Resolve the owning table on the snapshot; if the index
+                // is unknown the statement will fail there anyway.
+                let key = name.to_ascii_lowercase();
+                for t in self.snap.table_names() {
+                    if let Ok((_, _, indexes)) = self.snap.table_info(&t) {
+                        if indexes.iter().any(|(n, _, _)| *n == key) {
+                            writes.insert(norm(&t));
+                        }
+                    }
+                }
+            }
+            Stmt::InsertValues { table, .. } | Stmt::Truncate { table } => {
+                writes.insert(norm(table));
+            }
+            Stmt::InsertSelect { table, query } => {
+                writes.insert(norm(table));
+                query_tables(query, &mut reads);
+            }
+            Stmt::InsertTransitiveClosure { table, source } => {
+                writes.insert(norm(table));
+                reads.insert(norm(source));
+            }
+            Stmt::Delete { table, predicate } => {
+                writes.insert(norm(table));
+                conds_tables(predicate, &mut reads);
+            }
+            Stmt::Select(query) | Stmt::Explain(query) | Stmt::ExplainAnalyze(query) => {
+                query_tables(query, &mut reads);
+            }
+        }
+        (reads, writes)
+    }
+}
+
+/// A statement prepared on a [`DbSession`]: the fork-local handle plus
+/// the SQL text for commit-time replay.
+pub struct SessionStmt {
+    id: crate::engine::StmtId,
+    sql: String,
+    stmt: Stmt,
+    /// Fork generation the handle was prepared on; execution on a newer
+    /// fork transparently re-prepares there.
+    fork_gen: u64,
+}
+
+fn norm(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+fn query_tables(query: &Query, out: &mut BTreeSet<String>) {
+    match query {
+        Query::Select(b) => {
+            for t in &b.from {
+                out.insert(norm(&t.table));
+            }
+            conds_tables(&b.where_clause, out);
+        }
+        Query::Union { left, right, .. } | Query::Except { left, right } => {
+            query_tables(left, out);
+            query_tables(right, out);
+        }
+    }
+}
+
+fn conds_tables(conds: &[Condition], out: &mut BTreeSet<String>) {
+    for c in conds {
+        if let Condition::NotExists { table, conds } = c {
+            out.insert(norm(&table.table));
+            conds_tables(conds, out);
+        }
+    }
+}
+
+fn simulate_fsync(micros: u64) {
+    if micros > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(micros));
+    }
+}
+
+/// Validate and apply one queued transaction on the live engine.
+fn apply_one(live: &mut Live, p: Pending) -> Result<(), DbError> {
+    // First-committer-wins over the read ∪ write set: any table in the
+    // footprint committed past this transaction's snapshot kills it.
+    for table in p.read_set.iter().chain(p.write_set.iter()) {
+        let version = live.table_versions.get(table).copied().unwrap_or(0);
+        if version > p.snapshot_seq {
+            return Err(DbError::WriteConflict(format!(
+                "table '{table}' was modified by a concurrent commit \
+                 (snapshot at seq {}, table at seq {version}); retry the transaction",
+                p.snapshot_seq
+            )));
+        }
+    }
+    apply_ops(&mut live.engine, &p.ops)?;
+    live.commit_seq += 1;
+    let seq = live.commit_seq;
+    for table in &p.write_set {
+        live.table_versions.insert(table.clone(), seq);
+    }
+    Ok(())
+}
+
+/// Replay a transaction's statements inside a WAL transaction on the
+/// live engine. On any statement error the transaction is rolled back
+/// (best-effort on a crashed disk — recovery handles the rest).
+fn apply_ops(engine: &mut Engine, ops: &[ReplayOp]) -> Result<(), DbError> {
+    engine.begin()?;
+    for op in ops {
+        let r = match op {
+            ReplayOp::Sql(sql) => engine.execute(sql).map(|_| ()),
+            ReplayOp::Prepared { sql, params } => {
+                let id = engine.prepare(sql)?;
+                let r = engine.execute_prepared(id, params).map(|_| ());
+                let _ = engine.deallocate(id);
+                r
+            }
+        };
+        if let Err(e) = r {
+            let _ = engine.rollback();
+            return Err(e);
+        }
+    }
+    engine.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> SharedEngine {
+        let mut db = Engine::new();
+        db.execute("CREATE TABLE kv (k int, v int)").unwrap();
+        db.execute("INSERT INTO kv VALUES (1, 10), (2, 20)")
+            .unwrap();
+        SharedEngine::new(db)
+    }
+
+    fn dump(s: &mut DbSession) -> Vec<Vec<Value>> {
+        s.execute("SELECT k, v FROM kv ORDER BY k").unwrap().rows
+    }
+
+    #[test]
+    fn snapshot_reader_does_not_see_concurrent_commit() {
+        let shared = seeded();
+        let mut reader = shared.session();
+        let mut writer = shared.session();
+        let before = dump(&mut reader);
+        writer.execute("INSERT INTO kv VALUES (3, 30)").unwrap();
+        assert_eq!(
+            dump(&mut reader),
+            before,
+            "snapshot must not see the new row"
+        );
+        assert_eq!(dump(&mut writer).len(), 3, "writer sees its own commit");
+        reader.refresh().unwrap();
+        assert_eq!(dump(&mut reader).len(), 3, "refresh picks up the commit");
+    }
+
+    #[test]
+    fn first_committer_wins_on_the_same_table() {
+        let shared = seeded();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.execute("INSERT INTO kv VALUES (3, 30)").unwrap();
+        b.execute("INSERT INTO kv VALUES (4, 40)").unwrap();
+        a.commit().unwrap();
+        let err = b.commit().unwrap_err();
+        assert!(
+            matches!(err, DbError::WriteConflict(_)),
+            "second committer must lose: {err}"
+        );
+        assert_eq!(b.conflicts(), 1);
+        // Retry on the fresh snapshot succeeds.
+        b.begin().unwrap();
+        b.execute("INSERT INTO kv VALUES (4, 40)").unwrap();
+        b.commit().unwrap();
+        assert_eq!(dump(&mut b).len(), 4);
+    }
+
+    #[test]
+    fn read_set_participates_in_validation() {
+        let shared = seeded();
+        let mut db = shared.session();
+        db.execute("CREATE TABLE sums (total int)").unwrap();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        // a reads kv, then writes a derived value into sums.
+        a.execute("SELECT k, v FROM kv").unwrap();
+        a.execute("INSERT INTO sums VALUES (30)").unwrap();
+        // b commits a change to kv first: a's read is now stale.
+        b.execute("INSERT INTO kv VALUES (9, 90)").unwrap();
+        let err = a.commit().unwrap_err();
+        assert!(matches!(err, DbError::WriteConflict(_)));
+    }
+
+    #[test]
+    fn disjoint_tables_commit_without_conflict() {
+        let shared = seeded();
+        let mut setup = shared.session();
+        setup.execute("CREATE TABLE other (x int)").unwrap();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.execute("INSERT INTO kv VALUES (5, 50)").unwrap();
+        b.execute("INSERT INTO other VALUES (1)").unwrap();
+        a.commit().unwrap();
+        b.commit().unwrap();
+        assert_eq!(a.conflicts() + b.conflicts(), 0);
+    }
+
+    #[test]
+    fn poisoned_transaction_requires_rollback() {
+        let shared = seeded();
+        let mut s = shared.session();
+        s.begin().unwrap();
+        assert!(s.execute("INSERT INTO nosuch VALUES (1)").is_err());
+        assert!(matches!(
+            s.execute("SELECT k FROM kv"),
+            Err(DbError::Txn(_))
+        ));
+        assert!(matches!(s.commit(), Err(DbError::Txn(_))));
+        // After the failed commit the session is usable again.
+        assert_eq!(dump(&mut s).len(), 2);
+    }
+
+    #[test]
+    fn prepared_statements_replay_at_commit() {
+        let shared = seeded();
+        let mut s = shared.session();
+        let ins = s.prepare("INSERT INTO kv VALUES (?, ?)").unwrap();
+        s.begin().unwrap();
+        s.execute_prepared(&ins, &[Value::Int(7), Value::Int(70)])
+            .unwrap();
+        s.execute_prepared(&ins, &[Value::Int(8), Value::Int(80)])
+            .unwrap();
+        s.commit().unwrap();
+        let mut check = shared.session();
+        assert_eq!(dump(&mut check).len(), 4);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs_under_contention() {
+        let shared = seeded();
+        const SESSIONS: usize = 4;
+        const TXNS: usize = 25;
+        std::thread::scope(|scope| {
+            for t in 0..SESSIONS {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let mut s = shared.session();
+                    for i in 0..TXNS {
+                        let k = 1000 + (t * TXNS + i) as i64;
+                        s.execute(&format!("INSERT INTO kv VALUES ({k}, 0)"))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let m = shared.metrics();
+        let commits = SESSIONS as u64 * TXNS as u64;
+        let fsyncs = m.counter_value("wal.fsyncs");
+        assert_eq!(m.counter_value("wal.group_committed_txns"), commits);
+        assert!(
+            fsyncs <= commits,
+            "group commit must never fsync more than once per commit \
+             ({fsyncs} fsyncs for {commits} commits)"
+        );
+        let mut check = shared.session();
+        assert_eq!(dump(&mut check).len(), 2 + commits as usize);
+    }
+
+    #[test]
+    fn session_metrics_are_labelled() {
+        let shared = seeded();
+        let mut s = shared.session();
+        let id = s.id();
+        dump(&mut s);
+        let m = s.metrics();
+        assert!(m.counter_value(&format!("session{id}.exec.tuples_scanned")) > 0);
+    }
+}

@@ -37,12 +37,28 @@ pub struct FileId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
 
+/// Page buffer: pages are shared copy-on-write between a disk and its
+/// [`Disk::fork`] snapshots, so a fork is O(pages) pointer copies and a
+/// write to either side clones only the page it touches.
+type PageBuf = Arc<Vec<u8>>;
+
 /// Cumulative physical I/O counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiskStats {
     pub pages_read: u64,
     pub pages_written: u64,
     pub pages_allocated: u64,
+    /// Pages physically cloned because a write hit a page still shared
+    /// with a snapshot fork (the copy-on-write cost of MVCC reads).
+    pub pages_cow: u64,
+    /// Durable WAL flushes. Without group commit every commit is one
+    /// fsync; with it a single fsync can cover a whole commit batch.
+    pub fsyncs: u64,
+    /// Fsyncs that covered more than one committed transaction.
+    pub group_commits: u64,
+    /// Transactions whose commit was made durable by a shared fsync
+    /// (every deferred-fsync commit, batched or not).
+    pub group_committed_txns: u64,
     /// WAL records appended (0 unless a transaction ran with WAL on).
     pub wal_records: u64,
     /// Total bytes appended to the WAL.
@@ -249,7 +265,7 @@ pub struct RecoveryReport {
 /// rollback can resurrect the file.
 #[derive(Default)]
 pub struct Disk {
-    files: Vec<Option<Vec<Box<[u8]>>>>,
+    files: Vec<Option<Vec<PageBuf>>>,
     stats: DiskStats,
     wal: Option<Wal>,
     active_txn: Option<TxnId>,
@@ -257,6 +273,13 @@ pub struct Disk {
     deferred_drops: Vec<FileId>,
     injector: Option<FaultInjector>,
     crashed: bool,
+    /// Commits whose durability fsync was deferred to the group-commit
+    /// leader (see [`Disk::set_defer_fsync`] / [`Disk::fsync_wal`]).
+    pending_fsync_commits: u64,
+    /// When set, `commit_txn` does not count an fsync of its own; the
+    /// session layer's commit leader calls [`Disk::fsync_wal`] once per
+    /// drained batch instead.
+    defer_fsync: bool,
     /// Clearing the WAL at commit (checkpointing) is the default; tests
     /// exercising the redo path disable it to keep committed records
     /// around for replay.
@@ -279,6 +302,33 @@ impl Disk {
             wal_autockpt_bytes: Some(DEFAULT_WAL_AUTOCKPT_BYTES),
             ..Disk::default()
         }
+    }
+
+    /// A copy-on-write snapshot of every live file. Pages are shared by
+    /// `Arc`, so the fork costs O(#pages) pointer copies; the first write
+    /// to a shared page — on either side — clones just that page
+    /// (counted in [`DiskStats::pages_cow`]). The fork carries no WAL,
+    /// no injector, and no transaction state: snapshots are read-mostly
+    /// scratch space (MVCC readers), never a durability domain.
+    ///
+    /// Must not be called mid-transaction: the snapshot would see
+    /// uncommitted page images.
+    pub fn fork(&self) -> Disk {
+        debug_assert!(
+            self.active_txn.is_none(),
+            "fork during an active transaction would snapshot uncommitted writes"
+        );
+        Disk {
+            files: self.files.clone(),
+            ..Disk::new()
+        }
+    }
+
+    /// Number of live (non-dropped, non-deferred-dropped) file slots.
+    /// Spill-file accounting: an aborted statement must return this to
+    /// its pre-statement value once its spill streams are cleaned up.
+    pub fn live_files(&self) -> usize {
+        self.files.iter().filter(|f| f.is_some()).count()
     }
 
     // ------------------------------------------------------------------
@@ -324,6 +374,28 @@ impl Disk {
     /// off.
     pub fn set_wal_autocheckpoint_bytes(&mut self, threshold: Option<u64>) {
         self.wal_autockpt_bytes = threshold;
+    }
+
+    /// Defer per-commit durability flushes to an explicit
+    /// [`Disk::fsync_wal`] call (the group-commit path). Off by default:
+    /// every commit then counts one fsync of its own.
+    pub fn set_defer_fsync(&mut self, on: bool) {
+        self.defer_fsync = on;
+    }
+
+    /// Flush the WAL once on behalf of every commit since the last
+    /// flush. Returns the number of commits this fsync made durable.
+    pub fn fsync_wal(&mut self) -> u64 {
+        let n = self.pending_fsync_commits;
+        if n > 0 {
+            self.stats.fsyncs += 1;
+            self.stats.group_committed_txns += n;
+            if n > 1 {
+                self.stats.group_commits += 1;
+            }
+            self.pending_fsync_commits = 0;
+        }
+        n
     }
 
     fn check_crashed(&self) -> Result<(), DbError> {
@@ -392,6 +464,13 @@ impl Disk {
             }
         }
         self.wal_append(WalRecord::Commit { txn });
+        // The commit record is only durable once flushed; group commit
+        // defers the flush so one fsync can cover a batch of commits.
+        if self.defer_fsync {
+            self.pending_fsync_commits += 1;
+        } else {
+            self.stats.fsyncs += 1;
+        }
         let drops = std::mem::take(&mut self.deferred_drops);
         for file in drops {
             self.drop_file_now(file);
@@ -484,8 +563,7 @@ impl Disk {
                 }
                 WalRecord::Alloc { file, .. } => {
                     self.ensure_file_slot(*file);
-                    self.file_mut(*file)
-                        .push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+                    self.file_mut(*file).push(Arc::new(vec![0u8; PAGE_SIZE]));
                 }
                 WalRecord::Write {
                     file, page, after, ..
@@ -493,9 +571,9 @@ impl Disk {
                     self.ensure_file_slot(*file);
                     let pages = self.file_mut(*file);
                     while pages.len() <= page.0 as usize {
-                        pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+                        pages.push(Arc::new(vec![0u8; PAGE_SIZE]));
                     }
-                    pages[page.0 as usize].copy_from_slice(after);
+                    pages[page.0 as usize] = Arc::new(after.to_vec());
                     report.pages_redone += 1;
                 }
                 WalRecord::DropFile { file, .. } => deferred.push(*file),
@@ -536,7 +614,7 @@ impl Disk {
                 } => {
                     if let Some(Some(pages)) = self.files.get_mut(file.0 as usize) {
                         if let Some(slot) = pages.get_mut(page.0 as usize) {
-                            slot.copy_from_slice(before);
+                            *slot = Arc::new(before.to_vec());
                             pages_undone += 1;
                         }
                     }
@@ -637,16 +715,28 @@ impl Disk {
         Ok(())
     }
 
-    fn file(&self, file: FileId) -> &Vec<Box<[u8]>> {
+    fn file(&self, file: FileId) -> &Vec<PageBuf> {
         self.files[file.0 as usize]
             .as_ref()
             .expect("access to dropped file")
     }
 
-    fn file_mut(&mut self, file: FileId) -> &mut Vec<Box<[u8]>> {
+    fn file_mut(&mut self, file: FileId) -> &mut Vec<PageBuf> {
         self.files[file.0 as usize]
             .as_mut()
             .expect("access to dropped file")
+    }
+
+    /// Mutable bytes of a page, cloning it first (copy-on-write) if it
+    /// is still shared with a [`Disk::fork`] snapshot.
+    fn page_mut(&mut self, file: FileId, page: PageId) -> &mut Vec<u8> {
+        let slot = &mut self.files[file.0 as usize]
+            .as_mut()
+            .expect("access to dropped file")[page.0 as usize];
+        if Arc::get_mut(slot).is_none() {
+            self.stats.pages_cow += 1;
+        }
+        Arc::make_mut(slot)
     }
 
     /// Append a zeroed page to `file`.
@@ -657,7 +747,7 @@ impl Disk {
         }
         self.stats.pages_allocated += 1;
         let pages = self.file_mut(file);
-        pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+        pages.push(Arc::new(vec![0u8; PAGE_SIZE]));
         Ok(PageId((pages.len() - 1) as u32))
     }
 
@@ -692,7 +782,7 @@ impl Disk {
         self.check_crashed()?;
         if self.wal.is_some() {
             if let Some(txn) = self.active_txn {
-                let before: Box<[u8]> = self.file(file)[page.0 as usize].clone();
+                let before: Box<[u8]> = self.file(file)[page.0 as usize].as_slice().into();
                 self.wal_append(WalRecord::Write {
                     txn,
                     file,
@@ -731,12 +821,12 @@ impl Disk {
             }
             Some((_, _, n)) => {
                 self.stats.torn_writes += 1;
-                self.file_mut(file)[page.0 as usize][..n].copy_from_slice(&data[..n]);
+                self.page_mut(file, page)[..n].copy_from_slice(&data[..n]);
                 return Err(self.crash("torn page write"));
             }
         }
         self.stats.pages_written += 1;
-        self.file_mut(file)[page.0 as usize].copy_from_slice(data);
+        self.page_mut(file, page).copy_from_slice(data);
         Ok(())
     }
 
@@ -885,7 +975,7 @@ mod tests {
 
         // Simulate the media losing the data write after commit: smash
         // the page, then recover. Redo must restore the after-image.
-        disk.file_mut(f)[p.0 as usize].copy_from_slice(&page_of(0));
+        *Arc::make_mut(&mut disk.file_mut(f)[p.0 as usize]) = page_of(0);
         let report = disk.recover_wal().unwrap();
         assert_eq!(report.committed_replayed, 1);
         assert!(report.pages_redone >= 1);

@@ -364,6 +364,79 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // MVCC snapshots
+    // ------------------------------------------------------------------
+
+    /// A copy-on-write snapshot of this engine. Disk pages and catalog
+    /// entries are shared by `Arc`, so the fork costs O(#tables +
+    /// #pages) pointer copies and the two engines are fully isolated
+    /// afterwards: a write on either side copies only the page or
+    /// catalog entry it touches (counted in `disk.pages_cow`). Dirty
+    /// buffered pages are flushed first so the snapshot reflects every
+    /// committed write this engine has performed.
+    ///
+    /// The fork starts with a fresh buffer pool, fresh statistics, its
+    /// own cancellation flag, no WAL, no fault injector, and no prepared
+    /// statements — it is the MVCC read surface of a concurrent session
+    /// ([`crate::concurrent`]), never a durability domain. Execution
+    /// knobs (parallelism, spill mode, batch size, budgets) carry over.
+    pub fn fork(&mut self) -> Result<Engine, DbError> {
+        if self.txn.is_some() {
+            return Err(DbError::Txn(
+                "cannot fork during an active transaction".into(),
+            ));
+        }
+        self.pool.flush_all(&mut self.disk)?;
+        Ok(Engine {
+            disk: self.disk.fork(),
+            pool: BufferPool::new(self.pool.capacity()),
+            catalog: self.catalog.clone(),
+            exec_stats: ExecStats::default(),
+            statements: 0,
+            tables_created: 0,
+            tables_dropped: 0,
+            txn: None,
+            catalog_epoch: self.catalog_epoch,
+            prepared: BTreeMap::new(),
+            next_stmt_id: 0,
+            last_profile: Vec::new(),
+            parallelism: self.parallelism,
+            cancel: Arc::new(AtomicBool::new(false)),
+            statement_timeout: self.statement_timeout,
+            max_rows: self.max_rows,
+            max_bytes: self.max_bytes,
+            eval_deadline: None,
+            gov_canceled: 0,
+            gov_deadline: 0,
+            gov_rows: 0,
+            gov_memory: 0,
+            recovery_verified: None,
+            spill: self.spill,
+            batch_rows: self.batch_rows,
+        })
+    }
+
+    /// Defer per-commit durability flushes to an explicit
+    /// [`Engine::fsync_wal`] (the group-commit path; see
+    /// [`crate::concurrent`]).
+    pub fn set_defer_fsync(&mut self, on: bool) {
+        self.disk.set_defer_fsync(on);
+    }
+
+    /// Flush the WAL once on behalf of every deferred commit since the
+    /// last flush; returns how many commits this fsync made durable.
+    pub fn fsync_wal(&mut self) -> u64 {
+        self.disk.fsync_wal()
+    }
+
+    /// Number of live files on the underlying disk (tables, indexes'
+    /// heaps, spill files). Tests use this to assert spill files are
+    /// reclaimed after aborted statements.
+    pub fn disk_live_files(&self) -> usize {
+        self.disk.live_files()
+    }
+
+    // ------------------------------------------------------------------
     // Durability and transactions
     // ------------------------------------------------------------------
 
@@ -1308,6 +1381,7 @@ impl Engine {
         r.counter("disk.pages_read", s.disk.pages_read);
         r.counter("disk.pages_written", s.disk.pages_written);
         r.counter("disk.pages_allocated", s.disk.pages_allocated);
+        r.counter("disk.pages_cow", s.disk.pages_cow);
         r.counter("disk.read_retries", s.disk.read_retries);
         r.counter("disk.torn_writes", s.disk.torn_writes);
         r.counter("disk.injected_faults", s.disk.injected_faults);
@@ -1315,6 +1389,9 @@ impl Engine {
         r.counter("wal.bytes", s.disk.wal_bytes);
         r.counter("wal.checkpoints", s.disk.wal_checkpoints);
         r.counter("wal.auto_checkpoints", s.disk.wal_auto_checkpoints);
+        r.counter("wal.fsyncs", s.disk.fsyncs);
+        r.counter("wal.group_commits", s.disk.group_commits);
+        r.counter("wal.group_committed_txns", s.disk.group_committed_txns);
         r.gauge("wal.high_water_bytes", s.disk.wal_high_water_bytes as f64);
         r.counter("buffer.hits", s.buffer.hits);
         r.counter("buffer.misses", s.buffer.misses);

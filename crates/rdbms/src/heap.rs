@@ -125,7 +125,7 @@ impl HeapFile {
         let pages = disk.page_count(self.file);
         let mut count: u64 = 0;
         for p in 0..pages {
-            count += pool.with_page(disk, self.file, PageId(p), false, |buf| {
+            count += pool.with_page_cold(disk, self.file, PageId(p), false, |buf| {
                 SlottedPage::new(buf).live_slots().len() as u64
             })?;
         }
@@ -176,7 +176,10 @@ impl HeapScan {
             }
             let pid = PageId(self.page);
             let start_slot = self.slot;
-            let found = pool.with_page(disk, self.file, pid, false, |buf| {
+            // Scans fault pages in cold (see [`BufferPool::with_page_cold`]):
+            // each page is visited once, so it must not displace the pool's
+            // hot working set on its way through.
+            let found = pool.with_page_cold(disk, self.file, pid, false, |buf| {
                 let page = SlottedPage::new(buf);
                 let count = page.slot_count();
                 let mut s = start_slot;
@@ -221,7 +224,7 @@ impl HeapScan {
             let pid = PageId(self.page);
             let start_slot = self.slot;
             let room = max - out.len();
-            let (taken, exhausted) = pool.with_page(disk, self.file, pid, false, |buf| {
+            let (taken, exhausted) = pool.with_page_cold(disk, self.file, pid, false, |buf| {
                 let page = SlottedPage::new(buf);
                 let count = page.slot_count();
                 let mut batch = Vec::new();

@@ -42,6 +42,7 @@
 
 pub mod buffer;
 pub mod catalog;
+pub mod concurrent;
 pub mod disk;
 pub mod engine;
 pub mod exec;
@@ -59,6 +60,7 @@ pub mod value;
 pub mod wal;
 
 pub use catalog::DbError;
+pub use concurrent::{DbSession, SessionStmt, SharedEngine};
 pub use disk::{DiskStats, FaultInjector, RecoveryReport};
 pub use engine::{Engine, EngineStats, ResultSet, StmtId};
 pub use exec::{OpProfile, SpillMode, DEFAULT_BATCH_ROWS};

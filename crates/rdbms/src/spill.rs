@@ -116,9 +116,15 @@ impl SpillWriter {
     }
 
     /// Flush the final partial page and seal the stream for reading.
+    /// `finish` consumes the writer, so on error it must release the
+    /// backing file itself — no caller holds the [`FileId`] anymore, and
+    /// returning the error alone would leak the slot.
     pub fn finish(mut self, disk: &mut Disk) -> Result<SpillFile, DbError> {
         if !self.buf.is_empty() {
-            self.flush_page(disk)?;
+            if let Err(e) = self.flush_page(disk) {
+                disk.drop_file(self.file);
+                return Err(e);
+            }
         }
         Ok(SpillFile {
             file: self.file,

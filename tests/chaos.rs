@@ -10,7 +10,7 @@
 
 use km::session::{binary_sym, Session, SessionConfig};
 use km::{EvalError, EvalResource, KmError};
-use rdbms::{Engine, FaultInjector, SpillMode, Value};
+use rdbms::{Engine, FaultInjector, Value};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -118,11 +118,18 @@ fn divergent_closure_trips_budget_within_deadline() {
     assert_eq!(r.rows, reference(1).0);
 }
 
-/// Satellite: cancellation armed at every WAL write point of a 4-worker
+/// Satellite: cancellation armed at every write point of a 4-worker
 /// evaluation-plus-commit never leaves an inconsistent stored D/KB.
-/// Commits are gated at entry: once page flushing begins the commit runs
-/// to completion, so a flag raised mid-commit must yield the full
-/// post-commit state, never a torn one.
+///
+/// The write points come in two flavours. Under the default spill mode
+/// evaluation is write-free and every point lands in the commit; commits
+/// are gated at entry, so once page flushing begins the commit runs to
+/// completion and a flag raised mid-commit must yield the full
+/// post-commit state, never a torn one. Under `RDBMS_SPILL=force` the
+/// evaluation itself emits spill-page writes, so early points fire
+/// mid-query: the governed exit must abort cooperatively, leave the
+/// stored D/KB byte-identical to its pre-query state, and hand back a
+/// session that can immediately re-run and commit.
 #[test]
 fn cancellation_sweep_at_every_write_point() {
     let (expected, post) = reference(4);
@@ -130,27 +137,58 @@ fn cancellation_sweep_at_every_write_point() {
     let mut fired = 0u64;
     loop {
         let mut s = chaos_session(4, SessionConfig::default());
-        // The sweep's invariant is about the WAL write points of the
-        // *commit*: evaluation must stay write-free so the armed trigger
-        // cannot fire early. Forced spilling (the RDBMS_SPILL=force CI
-        // pass) would add spill-page writes during evaluation, so pin
-        // the default budget-driven mode for this test.
-        s.engine_mut().set_spill_mode(SpillMode::Enabled);
         s.engine_mut().flush().unwrap();
+        let pre = dump(s.engine_mut());
         let handle = s.engine().cancel_handle();
         s.engine_mut()
             .set_fault_injector(FaultInjector::new().cancel_at_write(n, handle));
-        // Evaluation is pure read-path work (temp pages stay in the buffer
-        // pool), so the armed trigger cannot fire before the commit.
-        let (_, r) = s.query(QUERY).unwrap();
-        assert_eq!(r.rows, expected, "4-worker evaluation at write point {n}");
-        s.commit_workspace()
-            .expect("mid-commit cancellation must not abort the commit");
-        assert!(!s.engine().crashed(), "cancellation never crashes the disk");
-        let was_canceled = s.engine().cancel_requested();
-        s.engine_mut().clear_fault_injector();
-        s.engine_mut().reset_cancel();
-        assert_eq!(dump(s.engine_mut()), post, "write point {n}");
+        let point_fired = match s.query(QUERY) {
+            Ok((_, r)) => {
+                assert_eq!(r.rows, expected, "4-worker evaluation at write point {n}");
+                s.commit_workspace()
+                    .expect("mid-commit cancellation must not abort the commit");
+                assert!(!s.engine().crashed(), "cancellation never crashes the disk");
+                let was_canceled = s.engine().cancel_requested();
+                s.engine_mut().clear_fault_injector();
+                s.engine_mut().reset_cancel();
+                assert_eq!(dump(s.engine_mut()), post, "write point {n}");
+                was_canceled
+            }
+            Err(err) => {
+                // A spill-file write point inside the evaluation: the
+                // governed exit acknowledged the cancellation and dropped
+                // the run's temporaries.
+                match err {
+                    KmError::Eval(boxed) => {
+                        let EvalError::Budget { resource, .. } = *boxed;
+                        assert_eq!(
+                            resource,
+                            EvalResource::Canceled,
+                            "eval abort at write point {n} must come from the armed cancel"
+                        );
+                    }
+                    other => panic!("expected cancellation at write point {n}, got {other:?}"),
+                }
+                assert!(!s.engine().crashed(), "cancellation never crashes the disk");
+                s.engine_mut().clear_fault_injector();
+                s.engine_mut().reset_cancel();
+                assert_eq!(
+                    dump(s.engine_mut()),
+                    pre,
+                    "aborted evaluation must leave the stored D/KB untouched at write point {n}"
+                );
+                // The session keeps serving: clean re-run plus commit.
+                let (_, r) = s.query(QUERY).unwrap();
+                assert_eq!(r.rows, expected, "post-abort re-run at write point {n}");
+                s.commit_workspace().unwrap();
+                assert_eq!(
+                    dump(s.engine_mut()),
+                    post,
+                    "post-abort commit at write point {n}"
+                );
+                true
+            }
+        };
         s.verify_integrity().unwrap();
         // Reopen from a snapshot: the on-disk form is consistent too.
         let (_, again) = s.query(QUERY).unwrap();
@@ -158,7 +196,7 @@ fn cancellation_sweep_at_every_write_point() {
             again.rows, expected,
             "post-cancel re-run at write point {n}"
         );
-        if !was_canceled {
+        if !point_fired {
             break; // n exceeded the episode's total write count
         }
         fired += 1;

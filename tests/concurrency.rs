@@ -1,0 +1,271 @@
+//! Concurrency tests for the multi-session MVCC engine: snapshot
+//! stability under a committing writer, first-committer-wins validation,
+//! prepared statements vs. concurrent DDL, and a crash sweep over the
+//! write points of interleaved group commits.
+//!
+//! The serial-equivalence contract under test: a transaction that
+//! commits with its read ∪ write set unversioned since its snapshot is
+//! replayed verbatim on the live engine, so the multi-session history is
+//! byte-identical to some serial execution in commit order.
+
+use proptest::prelude::*;
+use rdbms::{DbError, Engine, FaultInjector, SharedEngine, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const QUERY: &str = "SELECT k, v FROM kv";
+
+/// A shared engine over `kv(k int, v int)` with two seed rows.
+fn seeded() -> SharedEngine {
+    let mut db = Engine::new();
+    db.execute("CREATE TABLE kv (k int, v int)").unwrap();
+    db.execute("INSERT INTO kv VALUES (1, 10), (2, 20)")
+        .unwrap();
+    SharedEngine::new(db)
+}
+
+/// Acceptance: four concurrent sessions sustain byte-identical snapshot
+/// reads — content and order — while a writer commits through the same
+/// engine, with no coordination between readers and writer.
+#[test]
+fn four_sessions_read_stable_snapshots_while_writer_commits() {
+    let shared = seeded();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let sh = shared.clone();
+        let stop = Arc::clone(&stop);
+        readers.push(thread::spawn(move || {
+            let mut s = sh.session();
+            let first = s.execute(QUERY).unwrap().rows;
+            let mut reads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let again = s.execute(QUERY).unwrap().rows;
+                assert_eq!(again, first, "snapshot read changed under a live writer");
+                reads += 1;
+            }
+            // After an explicit refresh the session observes the writer.
+            s.refresh().unwrap();
+            let fresh = s.execute(QUERY).unwrap().rows;
+            assert!(fresh.len() > first.len(), "refresh must observe commits");
+            reads
+        }));
+    }
+    let mut w = shared.session();
+    for i in 0..200i64 {
+        w.execute(&format!("INSERT INTO kv VALUES ({}, {i})", 100 + i))
+            .unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        assert!(r.join().unwrap() > 0, "reader never got a read in");
+    }
+    let mut check = shared.session();
+    assert_eq!(check.execute(QUERY).unwrap().rows.len(), 202);
+}
+
+/// Satellite: prepared statements are fork-local. A handle keeps
+/// answering on the session's snapshot while another session rebuilds
+/// the table underneath it, and recompiles transparently once the
+/// session refreshes onto the new catalog.
+#[test]
+fn prepared_statements_survive_concurrent_ddl() {
+    let shared = seeded();
+    let mut a = shared.session();
+    let mut b = shared.session();
+    let q = a.prepare("SELECT v FROM kv WHERE k = ?").unwrap();
+    let before = a.execute_prepared(&q, &[Value::Int(1)]).unwrap().rows;
+    assert_eq!(before, vec![vec![Value::Int(10)]]);
+
+    // B drops and recreates kv with a different shape and content.
+    b.execute("DROP TABLE kv").unwrap();
+    b.execute("CREATE TABLE kv (k int, v int, w int)").unwrap();
+    b.execute("INSERT INTO kv VALUES (1, 11, 111)").unwrap();
+
+    // A's handle still answers from A's snapshot, byte-identical.
+    let stale = a.execute_prepared(&q, &[Value::Int(1)]).unwrap().rows;
+    assert_eq!(stale, before, "prepared reads must be snapshot-stable");
+
+    // After refresh the same handle recompiles against the new schema.
+    a.refresh().unwrap();
+    let fresh = a.execute_prepared(&q, &[Value::Int(1)]).unwrap().rows;
+    assert_eq!(fresh, vec![vec![Value::Int(11)]]);
+}
+
+/// Satellite regression: an autocommit write re-snapshots the session,
+/// so a handle prepared before the write must be recompiled for the new
+/// fork — its old statement id does not exist there.
+#[test]
+fn prepared_handles_survive_autocommit_resnapshot() {
+    let shared = seeded();
+    let mut s = shared.session();
+    let q = s.prepare("SELECT v FROM kv WHERE k = ?").unwrap();
+    s.execute("INSERT INTO kv VALUES (7, 70)").unwrap();
+    let rows = s.execute_prepared(&q, &[Value::Int(7)]).unwrap().rows;
+    assert_eq!(rows, vec![vec![Value::Int(70)]]);
+}
+
+/// Tentpole acceptance: crash the disk at every write point of a run of
+/// interleaved committing sessions. After recovery every acknowledged
+/// commit is durable, every transaction is atomic (both marker rows or
+/// neither), and the engine serves new sessions.
+#[test]
+fn crash_sweep_over_interleaved_commits_preserves_atomicity() {
+    let mut k = 0u64;
+    let mut crash_points = 0u64;
+    loop {
+        let shared = seeded();
+        let mut sessions: Vec<_> = (0..4).map(|_| shared.session()).collect();
+        shared.with_live(|eng| {
+            eng.flush().unwrap();
+            eng.set_fault_injector(FaultInjector::new().fail_after_writes(k));
+        });
+        // Each transaction inserts two marker halves; atomicity after a
+        // crash means both or neither survive.
+        let mut acknowledged: Vec<(i64, i64)> = Vec::new();
+        let mut crashed = false;
+        'schedule: for j in 0..3i64 {
+            for (si, s) in sessions.iter_mut().enumerate() {
+                let si = si as i64 + 10;
+                let r = (|| -> Result<(), DbError> {
+                    s.begin()?;
+                    s.execute(&format!("INSERT INTO kv VALUES ({si}, {})", j * 2))?;
+                    s.execute(&format!("INSERT INTO kv VALUES ({si}, {})", j * 2 + 1))?;
+                    s.commit()
+                })();
+                match r {
+                    Ok(()) => acknowledged.push((si, j)),
+                    Err(DbError::WriteConflict(e)) => {
+                        panic!("round-robin schedule can never conflict: {e}")
+                    }
+                    Err(_) => {
+                        crashed = true;
+                        break 'schedule;
+                    }
+                }
+            }
+        }
+        if !crashed {
+            // k exceeded the schedule's total write count: the sweep
+            // covered every write point.
+            shared.with_live(Engine::clear_fault_injector);
+            break;
+        }
+        shared.with_live(Engine::clear_fault_injector);
+        shared.recover().expect("recovery after injected crash");
+        let mut reader = shared.session();
+        let rows = reader.execute(QUERY).unwrap().rows;
+        // Group marker rows by (session, transaction round).
+        let mut halves: BTreeMap<(i64, i64), u32> = BTreeMap::new();
+        for row in &rows {
+            let (Value::Int(s), Value::Int(v)) = (&row[0], &row[1]) else {
+                panic!("unexpected row shape {row:?}");
+            };
+            if *s >= 10 {
+                *halves.entry((*s, v / 2)).or_default() += 1;
+            }
+        }
+        for (&(s, j), &n) in &halves {
+            assert_eq!(n, 2, "torn transaction ({s},{j}) after crash at write {k}");
+        }
+        for &(s, j) in &acknowledged {
+            assert_eq!(
+                halves.get(&(s, j)).copied(),
+                Some(2),
+                "acknowledged commit ({s},{j}) lost after crash at write {k}"
+            );
+        }
+        // The recovered engine keeps serving: one more full transaction.
+        let mut s = shared.session();
+        s.begin().unwrap();
+        s.execute("INSERT INTO kv VALUES (99, 0)").unwrap();
+        s.execute("INSERT INTO kv VALUES (99, 1)").unwrap();
+        s.commit().unwrap();
+        crash_points += 1;
+        k += 1;
+        assert!(k < 4096, "sweep did not terminate");
+    }
+    assert!(
+        crash_points >= 3,
+        "sweep must cover several crash points, got {crash_points}"
+    );
+}
+
+/// Reference for the proptest: one plain engine applying the same
+/// transactions serially.
+fn serial_answers(txns: &[Vec<(i64, i64)>]) -> Vec<Vec<Vec<Value>>> {
+    let mut db = Engine::new();
+    db.execute("CREATE TABLE kv (k int, v int)").unwrap();
+    db.execute("INSERT INTO kv VALUES (1, 10), (2, 20)")
+        .unwrap();
+    let mut out = vec![db.execute(QUERY).unwrap().rows];
+    for txn in txns {
+        for &(k, v) in txn {
+            db.execute(&format!("INSERT INTO kv VALUES ({k}, {v})"))
+                .unwrap();
+        }
+        out.push(db.execute(QUERY).unwrap().rows);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite: random transaction batches interleaved with reader
+    /// snapshots. Every reader's answer must be byte-identical (content
+    /// and order) to the serial engine at its snapshot point, and stay
+    /// frozen until the reader refreshes — regardless of how many
+    /// commits land in between.
+    #[test]
+    fn snapshot_reads_equal_serial_execution(
+        txns in prop::collection::vec(
+            prop::collection::vec((100i64..200, 0i64..1000), 1..4),
+            1..8,
+        ),
+        // Which reader (of four) refreshes after each commit.
+        refresh_picks in prop::collection::vec(0usize..4, 8),
+    ) {
+        let serial = serial_answers(&txns);
+        let shared = seeded();
+        let mut writer = shared.session();
+        let mut readers: Vec<_> = (0..4).map(|_| shared.session()).collect();
+        // Snapshot point of each reader: index into `serial`.
+        let mut at = [0usize; 4];
+        for (i, txn) in txns.iter().enumerate() {
+            // Every reader answers exactly its snapshot point's serial state.
+            for (r, reader) in readers.iter_mut().enumerate() {
+                prop_assert_eq!(
+                    &reader.execute(QUERY).unwrap().rows,
+                    &serial[at[r]],
+                    "reader {} diverged from serial state {} before txn {}",
+                    r, at[r], i
+                );
+            }
+            writer.begin().unwrap();
+            for &(k, v) in txn {
+                writer.execute(&format!("INSERT INTO kv VALUES ({k}, {v})")).unwrap();
+            }
+            writer.commit().unwrap();
+            // One reader moves up to the new state; the rest stay put.
+            let pick = refresh_picks[i % refresh_picks.len()];
+            readers[pick].refresh().unwrap();
+            at[pick] = i + 1;
+        }
+        for (r, reader) in readers.iter_mut().enumerate() {
+            prop_assert_eq!(
+                &reader.execute(QUERY).unwrap().rows,
+                &serial[at[r]],
+                "reader {} diverged at the end", r
+            );
+            reader.refresh().unwrap();
+            prop_assert_eq!(
+                &reader.execute(QUERY).unwrap().rows,
+                serial.last().unwrap(),
+                "reader {} refresh missed the final state", r
+            );
+        }
+    }
+}

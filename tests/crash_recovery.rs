@@ -9,7 +9,7 @@
 //! sweep index at which no fault fires demonstrates the post-state.
 
 use km::session::{binary_sym, Session, SessionConfig};
-use rdbms::{Engine, FaultInjector, SpillMode, Value};
+use rdbms::{Engine, FaultInjector, Value};
 use std::collections::BTreeMap;
 
 /// Every table a commit can touch, dictionaries included.
@@ -269,13 +269,13 @@ fn fault_during_parallel_evaluation_recovers() {
     // A durable session evaluating with 4 workers: the clique scheduler,
     // the per-iteration delta batches, and the partitioned operators are
     // all live, but every page and WAL write still goes through the
-    // single engine lock. The sweep arms the injector, runs a parallel
-    // clique evaluation inside the armed window — read-path evaluation
-    // must not consume a single write of the budget, i.e. the parallel
-    // layer issues no unlogged disk traffic — then crashes the commit at
-    // every write point. Recovery must restore the exact pre-commit
-    // stored D/KB, and parallel evaluation must keep producing the
-    // reference answer afterwards.
+    // single engine lock. The sweep arms the injector and runs a
+    // parallel clique evaluation plus commit inside the armed window,
+    // crashing at every write point the episode reaches — the commit's
+    // WAL writes always, and the evaluation's own spill-file writes when
+    // RDBMS_SPILL=force makes the operators spill. Recovery must restore
+    // the exact pre-commit stored D/KB, and parallel evaluation must
+    // keep producing the reference answer afterwards.
     let make = || {
         let mut s = Session::new(SessionConfig {
             durability: true,
@@ -307,44 +307,67 @@ fn fault_during_parallel_evaluation_recovers() {
     let mut k = 0u64;
     loop {
         let mut s = make();
-        // This sweep counts the *commit's* write points, so evaluation
-        // must stay write-free; forced spilling (RDBMS_SPILL=force)
-        // would add spill-page writes and fire the fault early. Pin the
-        // default budget-driven mode.
-        s.engine_mut().set_spill_mode(SpillMode::Enabled);
         s.engine_mut().flush().unwrap();
         let pre = dump(s.engine_mut());
         s.engine_mut()
             .set_fault_injector(FaultInjector::new().fail_after_writes(k));
-        // Parallel clique evaluation with the fault armed: the LFP runs
-        // on 4 workers and must neither crash nor eat into the write
-        // budget (the read path never writes a page).
-        let (_, r) = s.query("?- anc(a0, W).").unwrap();
-        assert_eq!(r.rows, expected, "armed-injector evaluation at k={k}");
-        match s.commit_workspace() {
-            Ok(_) => {
-                s.engine_mut().clear_fault_injector();
-                assert_eq!(dump(s.engine_mut()), post, "fault-free commit at k={k}");
-                s.verify_integrity().unwrap();
-                break;
+        // Under the default budget-driven spill mode the parallel LFP is
+        // pure read-path work (temp pages stay in the buffer pool), so
+        // the armed fault only ever fires inside the commit. Under
+        // RDBMS_SPILL=force the evaluation itself emits spill-file
+        // writes: early write points then crash the disk mid-query, and
+        // recovery must restore the exact pre-commit stored D/KB before
+        // a clean re-run and commit land the post-state.
+        match s.query("?- anc(a0, W).") {
+            Ok((_, r)) => {
+                assert_eq!(r.rows, expected, "armed-injector evaluation at k={k}");
+                match s.commit_workspace() {
+                    Ok(_) => {
+                        s.engine_mut().clear_fault_injector();
+                        assert_eq!(dump(s.engine_mut()), post, "fault-free commit at k={k}");
+                        s.verify_integrity().unwrap();
+                        break;
+                    }
+                    Err(_) => {
+                        assert!(
+                            s.engine().crashed(),
+                            "commit failed without a crash at k={k}"
+                        );
+                        s.recover().unwrap();
+                        assert_eq!(
+                            dump(s.engine_mut()),
+                            pre,
+                            "crash at write {k} with 4 evaluation workers: recovery \
+                             must restore the pre-commit stored D/KB"
+                        );
+                        s.verify_integrity().unwrap();
+                        // The recovered session still evaluates correctly —
+                        // and still in parallel.
+                        let (_, r) = s.query("?- anc(a0, W).").unwrap();
+                        assert_eq!(r.rows, expected, "parallel re-run after crash at {k}");
+                        crash_points += 1;
+                    }
+                }
             }
             Err(_) => {
+                // A spill-file write point inside the parallel evaluation.
                 assert!(
                     s.engine().crashed(),
-                    "commit failed without a crash at k={k}"
+                    "evaluation failed without a crash at k={k}"
                 );
                 s.recover().unwrap();
                 assert_eq!(
                     dump(s.engine_mut()),
                     pre,
-                    "crash at write {k} with 4 evaluation workers: recovery \
-                     must restore the pre-commit stored D/KB"
+                    "crash at spill write {k}: recovery must leave the \
+                     stored D/KB byte-identical to its pre-query state"
                 );
                 s.verify_integrity().unwrap();
-                // The recovered session still evaluates correctly — and
-                // still in parallel.
                 let (_, r) = s.query("?- anc(a0, W).").unwrap();
-                assert_eq!(r.rows, expected, "parallel re-run after crash at {k}");
+                assert_eq!(r.rows, expected, "parallel re-run after eval crash at {k}");
+                s.commit_workspace().unwrap();
+                assert_eq!(dump(s.engine_mut()), post, "commit after eval crash at {k}");
+                s.verify_integrity().unwrap();
                 crash_points += 1;
             }
         }

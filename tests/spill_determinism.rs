@@ -108,6 +108,84 @@ proptest! {
     }
 }
 
+/// Satellite: governed exits must not leak spill files. Whatever aborts
+/// a spilling statement — cooperative cancellation armed at a spill
+/// write point, a rows-budget breach, or a disk fault plus recovery —
+/// the disk's live file-slot count must return to its pre-statement
+/// baseline: every spill partition, sort run, and dedup scratch file is
+/// destroyed or abandoned on the way out.
+#[test]
+fn aborted_spilling_statements_leak_no_spill_files() {
+    let edges: Vec<(i64, i64)> = (0..400).map(|i| (i % 37, (i * 7) % 37)).collect();
+    let expect = engine_with(&edges).execute(QUERIES[0]).unwrap().rows;
+
+    // Cooperative cancellation fired by a spill write.
+    {
+        let mut db = engine_with(&edges);
+        db.set_spill_mode(SpillMode::Forced);
+        db.flush().unwrap();
+        let baseline = db.disk_live_files();
+        let handle = db.cancel_handle();
+        db.set_fault_injector(FaultInjector::new().cancel_at_write(3, handle));
+        assert!(
+            db.execute(QUERIES[0]).is_err(),
+            "cancel armed mid-spill must abort the statement"
+        );
+        db.clear_fault_injector();
+        db.reset_cancel();
+        assert_eq!(
+            db.disk_live_files(),
+            baseline,
+            "cancellation abort leaked spill files"
+        );
+        // The engine keeps serving, and a clean spilling run tears all
+        // its scratch files back down too.
+        assert_eq!(db.execute(QUERIES[0]).unwrap().rows, expect);
+        assert_eq!(
+            db.disk_live_files(),
+            baseline,
+            "successful spilling statement leaked spill files"
+        );
+    }
+
+    // Rows-budget breach while sort runs are already on disk.
+    {
+        let mut db = engine_with(&edges);
+        db.set_spill_mode(SpillMode::Forced);
+        db.set_row_budget(Some(450));
+        db.flush().unwrap();
+        let baseline = db.disk_live_files();
+        let err = db.execute(QUERIES[1]).unwrap_err();
+        assert!(
+            matches!(err, rdbms::DbError::Budget(_)),
+            "expected a budget breach, got {err:?}"
+        );
+        assert_eq!(
+            db.disk_live_files(),
+            baseline,
+            "budget-breach abort leaked spill files"
+        );
+    }
+
+    // Disk fault mid-spill, then recovery.
+    {
+        let mut db = engine_with(&edges);
+        db.set_spill_mode(SpillMode::Forced);
+        db.flush().unwrap();
+        let baseline = db.disk_live_files();
+        db.set_fault_injector(FaultInjector::new().fail_after_writes(2));
+        assert!(db.execute(QUERIES[0]).is_err());
+        db.clear_fault_injector();
+        db.recover().unwrap();
+        assert_eq!(
+            db.disk_live_files(),
+            baseline,
+            "crash plus recovery leaked spill file slots"
+        );
+        assert_eq!(db.execute(QUERIES[0]).unwrap().rows, expect);
+    }
+}
+
 /// A disk fault that fires mid-spill must fail the statement, leave the
 /// engine recoverable, and not corrupt any table: after recovery the
 /// same query returns exactly the clean answer.
