@@ -26,8 +26,7 @@ fn bench_extract(c: &mut Criterion) {
     for chains in [5usize, 20] {
         let mut session = chain_session(chains, 20).expect("session");
         session
-            .engine_mut()
-            .execute("DROP INDEX rulesource_head")
+            .db_execute("DROP INDEX rulesource_head")
             .expect("drop index");
         let query = chain_query(0, 19, "a");
         group.bench_function(format!("noindex/Rs={}", chains * 20), |b| {

@@ -7,21 +7,33 @@
 //! queue. Per cell we report throughput, fsyncs per commit, and the
 //! first-committer-wins conflict rate.
 //!
-//! The two contention modes tell the story together. Commit validation
-//! is table-granular — it must be, because commits replay their SQL on
-//! the live engine, so any concurrent change to a written table would
-//! make the replay diverge from what the session observed. Under
-//! `shared` contention (all writers on one table) a drained batch can
-//! therefore commit at most one transaction: conflicts/commit climbs
-//! and group commit has nothing to coalesce. Under `private` contention
-//! (each session writes its own table) batches commit wholesale and the
-//! fsyncs/commit ratio falls below 1 as sessions are added; with group
-//! commit off it is pinned at 1. `RDBMS_FSYNC_MICROS` (default 200
-//! here) prices each fsync so the batching also shows up as throughput,
-//! the way it would on real storage.
+//! The two contention modes tell the story together, and the `shared`
+//! mode is additionally run under both validation granularities. With
+//! table-granular validation any concurrent change to a written table
+//! fails a committer, so under `shared` contention (all writers on one
+//! table) a drained batch commits at most one transaction:
+//! conflicts/commit climbs and group commit has nothing to coalesce.
+//! Key-granular validation (the default) tracks the written keys per
+//! table version instead; the sweep's insert keys are disjoint, the
+//! commits commute, and the conflict rate collapses to zero — the
+//! before/after pair in `BENCH_concurrency.json` quantifies it. Under
+//! `private` contention (each session writes its own table) batches
+//! commit wholesale either way and the fsyncs/commit ratio falls below
+//! 1 as sessions are added; with group commit off it is pinned at 1.
+//! `RDBMS_FSYNC_MICROS` (default 200 here) prices each fsync so the
+//! batching also shows up as throughput, the way it would on real
+//! storage.
+//!
+//! A second sweep raises the same question one layer up: N knowledge
+//! manager sessions attached to one shared stored D/KB
+//! ([`Session::attach`]), each interleaving workspace commits of new
+//! facts with recursive-query evaluations. Commits go through the
+//! validated stored-update path; queries evaluate semi-naive LFPs on
+//! the session's snapshot fork with namespaced temporaries.
 
 use crate::{f3, print_table};
-use rdbms::{Engine, SharedEngine};
+use km::session::{binary_sym, Session, SessionConfig};
+use rdbms::{Engine, SharedEngine, Value};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -54,6 +66,7 @@ struct Cell {
     write_pct: u32,
     contention: Contention,
     group_commit: bool,
+    key_granular: bool,
     ops: u64,
     commits: u64,
     conflicts: u64,
@@ -96,9 +109,16 @@ fn is_write(thread: usize, op: usize, write_pct: u32) -> bool {
     (h % 100) < u64::from(write_pct)
 }
 
-fn run_cell(sessions: usize, write_pct: u32, contention: Contention, group_commit: bool) -> Cell {
+fn run_cell(
+    sessions: usize,
+    write_pct: u32,
+    contention: Contention,
+    group_commit: bool,
+    key_granular: bool,
+) -> Cell {
     let shared = seeded(sessions);
     shared.set_group_commit(group_commit);
+    shared.set_key_granular(key_granular);
     let t0 = Instant::now();
     let per_thread: Vec<(u64, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..sessions)
@@ -136,6 +156,7 @@ fn run_cell(sessions: usize, write_pct: u32, contention: Contention, group_commi
         write_pct,
         contention,
         group_commit,
+        key_granular,
         ops,
         commits: per_thread.iter().map(|&(c, _)| c).sum(),
         conflicts: per_thread.iter().map(|&(_, c)| c).sum(),
@@ -143,6 +164,93 @@ fn run_cell(sessions: usize, write_pct: u32, contention: Contention, group_commi
         ops_per_sec: ops as f64 / elapsed.as_secs_f64().max(1e-9),
         fsyncs: m.counter_value("wal.fsyncs"),
         group_commits: m.counter_value("wal.group_commits"),
+    }
+}
+
+const KM_SESSIONS: &[usize] = &[1, 2, 4];
+const KM_ROUNDS: usize = 8;
+const KM_CHAIN: usize = 8;
+
+struct KmCell {
+    sessions: usize,
+    rounds: u64,
+    queries: u64,
+    workspace_commits: u64,
+    /// MVCC transactions committed across all attached sessions
+    /// (bootstrap, autocommit loads, workspace commits).
+    mvcc_commits: u64,
+    conflicts: u64,
+    elapsed_ms: f64,
+    rounds_per_sec: f64,
+    /// Cardinality of the recursive answer every query returned.
+    answer_rows: u64,
+}
+
+/// One shared stored D/KB, N attached knowledge-manager sessions. Each
+/// session alternates a workspace commit (one new fact, validated
+/// stored-update path) with a recursive-query evaluation (semi-naive
+/// LFP on the session's snapshot fork, namespaced temporaries). The
+/// committed facts are disconnected from the queried chain, so every
+/// answer — under every interleaving — must be byte-identical to the
+/// serial chain closure; the cell panics otherwise.
+fn run_km_cell(sessions: usize, rounds: usize) -> KmCell {
+    let shared = SharedEngine::new(Engine::new());
+    {
+        let mut s = Session::attach(&shared, SessionConfig::default()).expect("attach");
+        s.define_base("parent", &binary_sym()).expect("base");
+        let chain: Vec<Vec<Value>> = (0..KM_CHAIN - 1)
+            .map(|i| {
+                vec![
+                    Value::Str(format!("a{i}")),
+                    Value::Str(format!("a{}", i + 1)),
+                ]
+            })
+            .collect();
+        s.load_facts("parent", chain).expect("facts");
+        s.load_rules(
+            "anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).\n",
+        )
+        .expect("rules");
+        s.commit_workspace().expect("bootstrap commit");
+    }
+    let expect_rows = (KM_CHAIN - 1) as u64;
+    let t0 = Instant::now();
+    let per_thread: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|t| {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let mut s = Session::attach(&shared, SessionConfig::default()).expect("attach");
+                    for r in 0..rounds {
+                        s.load_rules(&format!("parent(b{t}r{r}, c{t}r{r}).\n"))
+                            .expect("stage fact");
+                        s.commit_workspace().expect("workspace commit");
+                        let (_, res) = s.query("?- anc(a0, W).").expect("query");
+                        assert_eq!(
+                            res.rows.len() as u64,
+                            expect_rows,
+                            "shared-session answer diverged from the serial closure"
+                        );
+                    }
+                    s.commit_counters()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed();
+    let total_rounds = (sessions * rounds) as u64;
+    KmCell {
+        sessions,
+        rounds: total_rounds,
+        queries: total_rounds,
+        workspace_commits: total_rounds,
+        mvcc_commits: per_thread.iter().map(|&(c, _)| c).sum(),
+        conflicts: per_thread.iter().map(|&(_, c)| c).sum(),
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        rounds_per_sec: total_rounds as f64 / elapsed.as_secs_f64().max(1e-9),
+        answer_rows: expect_rows,
     }
 }
 
@@ -159,7 +267,21 @@ pub fn run() {
         for &write_pct in WRITE_PCTS {
             for &sessions in SESSIONS {
                 for group_commit in [false, true] {
-                    cells.push(run_cell(sessions, write_pct, contention, group_commit));
+                    // Private-table commits commute at either granularity;
+                    // only the shared table shows the ablation.
+                    let granularities: &[bool] = match contention {
+                        Contention::Shared => &[false, true],
+                        Contention::Private => &[true],
+                    };
+                    for &key_granular in granularities {
+                        cells.push(run_cell(
+                            sessions,
+                            write_pct,
+                            contention,
+                            group_commit,
+                            key_granular,
+                        ));
+                    }
                 }
             }
         }
@@ -173,6 +295,7 @@ pub fn run() {
                 format!("{}%", c.write_pct),
                 c.contention.name().to_string(),
                 if c.group_commit { "on" } else { "off" }.to_string(),
+                if c.key_granular { "key" } else { "table" }.to_string(),
                 format!("{:.0}", c.ops_per_sec),
                 f3(c.fsyncs_per_commit()),
                 f3(c.conflict_rate()),
@@ -187,6 +310,7 @@ pub fn run() {
             "writes",
             "contention",
             "group commit",
+            "validation",
             "ops/s",
             "fsyncs/commit",
             "conflicts/commit",
@@ -198,8 +322,48 @@ pub fn run() {
         "Reads never block: they run on per-session snapshots without touching \
          the commit queue. Private-table writers show group commit at work — \
          fsyncs/commit drops below 1 as sessions contend for the WAL. \
-         Shared-table writers show the cost of table-granular validation \
-         instead: each batch commits one winner, the rest retry."
+         Shared-table writers show the validation granularity instead: \
+         table-granular lets each batch commit one winner while the rest \
+         retry; key-granular sees the disjoint insert keys commute and the \
+         conflict rate collapse."
+    );
+
+    let km_cells: Vec<KmCell> = KM_SESSIONS
+        .iter()
+        .map(|&n| run_km_cell(n, KM_ROUNDS))
+        .collect();
+    let km_rows: Vec<Vec<String>> = km_cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.sessions.to_string(),
+                c.rounds.to_string(),
+                format!("{:.0}", c.rounds_per_sec),
+                c.workspace_commits.to_string(),
+                c.mvcc_commits.to_string(),
+                f3(c.conflicts as f64 / (c.mvcc_commits as f64).max(1.0)),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Multi-user stored D/KB: {KM_ROUNDS} commit+query rounds/session, \
+             chain of {KM_CHAIN}"
+        ),
+        &[
+            "sessions",
+            "rounds",
+            "rounds/s",
+            "ws commits",
+            "mvcc commits",
+            "conflicts/commit",
+        ],
+        &km_rows,
+    );
+    println!(
+        "Every session's every recursive answer matched the serial closure — \
+         workspace commits ride first-committer-wins validation while LFPs \
+         evaluate on private snapshot forks with namespaced temporaries."
     );
 
     let mut json = String::new();
@@ -212,15 +376,16 @@ pub fn run() {
         let _ = write!(
             json,
             "{}\n    {{\"sessions\": {}, \"write_pct\": {}, \"contention\": \"{}\", \
-             \"group_commit\": {}, \"ops\": {}, \"commits\": {}, \"conflicts\": {}, \
-             \"elapsed_ms\": {:.3}, \"ops_per_sec\": {:.1}, \"fsyncs\": {}, \
-             \"fsyncs_per_commit\": {:.4}, \"conflict_rate\": {:.4}, \
+             \"group_commit\": {}, \"key_granular\": {}, \"ops\": {}, \"commits\": {}, \
+             \"conflicts\": {}, \"elapsed_ms\": {:.3}, \"ops_per_sec\": {:.1}, \
+             \"fsyncs\": {}, \"fsyncs_per_commit\": {:.4}, \"conflict_rate\": {:.4}, \
              \"group_commit_batches\": {}}}",
             if i == 0 { "" } else { "," },
             c.sessions,
             c.write_pct,
             c.contention.name(),
             c.group_commit,
+            c.key_granular,
             c.ops,
             c.commits,
             c.conflicts,
@@ -230,6 +395,25 @@ pub fn run() {
             c.fsyncs_per_commit(),
             c.conflict_rate(),
             c.group_commits,
+        );
+    }
+    let _ = write!(json, "\n  ],\n  \"km_cells\": [");
+    for (i, c) in km_cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\n    {{\"sessions\": {}, \"rounds\": {}, \"queries\": {}, \
+             \"workspace_commits\": {}, \"mvcc_commits\": {}, \"conflicts\": {}, \
+             \"elapsed_ms\": {:.3}, \"rounds_per_sec\": {:.1}, \"answer_rows\": {}}}",
+            if i == 0 { "" } else { "," },
+            c.sessions,
+            c.rounds,
+            c.queries,
+            c.workspace_commits,
+            c.mvcc_commits,
+            c.conflicts,
+            c.elapsed_ms,
+            c.rounds_per_sec,
+            c.answer_rows,
         );
     }
     let _ = write!(json, "\n  ]\n}}\n");
@@ -248,8 +432,8 @@ mod tests {
     #[test]
     fn group_commit_reduces_fsyncs_per_commit() {
         std::env::set_var("RDBMS_FSYNC_MICROS", "500");
-        let off = run_cell(4, 100, Contention::Private, false);
-        let on = run_cell(4, 100, Contention::Private, true);
+        let off = run_cell(4, 100, Contention::Private, false, true);
+        let on = run_cell(4, 100, Contention::Private, true, true);
         assert!(off.commits > 0 && on.commits > 0);
         assert!(
             (off.fsyncs_per_commit() - 1.0).abs() < 1e-9,
@@ -268,7 +452,7 @@ mod tests {
 
     #[test]
     fn autocommit_writers_never_surface_conflicts() {
-        let cell = run_cell(4, 50, Contention::Shared, true);
+        let cell = run_cell(4, 50, Contention::Shared, true, true);
         assert_eq!(cell.ops, 400);
         // Conflicts are retried inside the session; callers see none,
         // so every write op lands exactly one commit.
@@ -277,6 +461,37 @@ mod tests {
             .filter(|&w| w)
             .count() as u64;
         assert_eq!(cell.commits, writes);
+    }
+
+    /// The PR's headline number: on the shared-table insert workload
+    /// (disjoint keys), key-granular validation must show a measurably
+    /// lower conflict rate than the table-granular baseline.
+    #[test]
+    fn key_granular_validation_lowers_shared_conflict_rate() {
+        let table = run_cell(4, 100, Contention::Shared, true, false);
+        let key = run_cell(4, 100, Contention::Shared, true, true);
+        assert!(table.commits > 0 && key.commits > 0);
+        assert_eq!(
+            key.conflicts, 0,
+            "disjoint-key inserts commute under key granularity"
+        );
+        assert!(
+            table.conflicts > 0,
+            "the table-granular baseline must show contention for the \
+             ablation to mean anything"
+        );
+        assert!(key.conflict_rate() < table.conflict_rate());
+    }
+
+    /// The km sweep's invariant is enforced inside the cell (every
+    /// answer equals the serial closure); here we pin the counters.
+    #[test]
+    fn km_shared_cell_commits_and_answers() {
+        let cell = run_km_cell(2, 2);
+        assert_eq!(cell.rounds, 4);
+        assert_eq!(cell.workspace_commits, 4);
+        assert!(cell.mvcc_commits >= cell.workspace_commits);
+        assert_eq!(cell.answer_rows, (KM_CHAIN - 1) as u64);
     }
 
     #[test]

@@ -16,8 +16,7 @@ fn session_with(edges: &workload::Edges, optimize: bool) -> Session {
     })
     .expect("session");
     s.define_base("edge", &binary_sym()).expect("base");
-    s.engine_mut()
-        .execute("CREATE INDEX edge_c0 ON edge (c0)")
+    s.db_execute("CREATE INDEX edge_c0 ON edge (c0)")
         .expect("index");
     s.load_facts("edge", edges_to_rows(edges)).expect("facts");
     s.load_rules(&workload::ancestor_program("edge"))

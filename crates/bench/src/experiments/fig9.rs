@@ -22,7 +22,7 @@ pub fn dict_session(p_s: usize) -> Session {
         let stored: StoredDkb = s.stored().clone();
         stored
             .register_derived(
-                s.engine_mut(),
+                s.backend_mut(),
                 &format!("pred{i}"),
                 &[AttrType::Sym, AttrType::Sym],
             )
@@ -37,7 +37,7 @@ pub fn read_once(s: &mut Session, p_dr: usize) -> std::time::Duration {
     let stored = s.stored().clone();
     let start = Instant::now();
     let dict = stored
-        .read_idb_dictionary(s.engine_mut(), &preds)
+        .read_idb_dictionary(s.backend_mut(), &preds)
         .expect("read");
     let elapsed = start.elapsed();
     assert_eq!(dict.len(), p_dr);

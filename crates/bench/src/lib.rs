@@ -33,8 +33,7 @@ pub fn tree_session(depth: u32, optimize: bool, strategy: LfpStrategy) -> Result
 pub fn tree_session_configured(depth: u32, config: SessionConfig) -> Result<Session, KmError> {
     let mut s = Session::new(config)?;
     s.define_base("parent", &binary_sym())?;
-    s.engine_mut()
-        .execute("CREATE INDEX parent_c0 ON parent (c0)")?;
+    s.db_execute("CREATE INDEX parent_c0 ON parent (c0)")?;
     s.load_facts("parent", edges_to_rows(&workload::full_binary_tree(depth)))?;
     s.load_rules(&workload::ancestor_program("parent"))?;
     Ok(s)

@@ -1,0 +1,292 @@
+//! The execution backend: where a session's database interactions run.
+//!
+//! The testbed paper couples one Knowledge Manager to one relational
+//! engine. This module abstracts that coupling so a km [`Session`] can
+//! run either on a *private* [`Engine`] (the paper's architecture — one
+//! engine per experiment run, exact pre-backend behavior) or on a
+//! [`DbSession`] over a *shared* MVCC engine (`SharedEngine`, DESIGN.md
+//! §16/§17), letting N sessions compile, evaluate LFPs, and commit
+//! workspaces against one live stored D/KB.
+//!
+//! Two channels make up the backend:
+//!
+//! * **The durable channel** (the [`Storage`] trait): every statement
+//!   that reads or writes the stored D/KB — dictionary maintenance,
+//!   rule storage, base-relation loads, the stored-update algorithm.
+//!   On the private backend these hit the engine directly; on the
+//!   shared backend they run on the session's MVCC snapshot *and* are
+//!   recorded for validated replay at commit, so nothing bypasses
+//!   first-committer-wins validation.
+//!
+//! * **The evaluation engine** ([`ExecBackend::eval_engine`]): where
+//!   the embedded-SQL LFP loop runs. Evaluation only creates
+//!   session-scratch temporaries (the namespaced `all_/new_/delta_`
+//!   tables) and never writes durable state, so it runs on the private
+//!   engine directly, or on the shared session's snapshot fork — an
+//!   MVCC snapshot that never blocks and never observes other
+//!   sessions' partial commits.
+//!
+//! [`Session`]: crate::session::Session
+
+use crate::stored::KmError;
+use rdbms::{DbError, DbSession, Engine, ResultSet, Schema, SharedEngine, Value};
+
+/// The durable-statement channel every stored-D/KB operation goes
+/// through. Implemented by the raw [`Engine`] (the private backend, and
+/// unit tests that drive [`crate::stored::StoredDkb`] directly) and by
+/// [`ExecBackend`].
+pub trait Storage {
+    fn execute(&mut self, sql: &str) -> Result<ResultSet, DbError>;
+    fn execute_script(&mut self, sql: &str) -> Result<ResultSet, DbError>;
+    fn insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<u64, DbError>;
+    fn has_table(&mut self, table: &str) -> bool;
+    fn table_schema(&mut self, table: &str) -> Result<Schema, DbError>;
+    fn table_len(&mut self, table: &str) -> Result<u64, DbError>;
+    fn scan_all(&mut self, table: &str) -> Result<Vec<Vec<Value>>, DbError>;
+}
+
+impl Storage for Engine {
+    fn execute(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        Engine::execute(self, sql)
+    }
+    fn execute_script(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        Engine::execute_script(self, sql)
+    }
+    fn insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<u64, DbError> {
+        Engine::insert_rows(self, table, rows)
+    }
+    fn has_table(&mut self, table: &str) -> bool {
+        Engine::has_table(self, table)
+    }
+    fn table_schema(&mut self, table: &str) -> Result<Schema, DbError> {
+        Engine::table_schema(self, table)
+    }
+    fn table_len(&mut self, table: &str) -> Result<u64, DbError> {
+        Engine::table_len(self, table)
+    }
+    fn scan_all(&mut self, table: &str) -> Result<Vec<Vec<Value>>, DbError> {
+        Engine::scan_all(self, table)
+    }
+}
+
+impl Storage for DbSession {
+    fn execute(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        DbSession::execute(self, sql)
+    }
+    fn execute_script(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        DbSession::execute_script(self, sql)
+    }
+    fn insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<u64, DbError> {
+        DbSession::insert_rows(self, table, rows)
+    }
+    fn has_table(&mut self, table: &str) -> bool {
+        DbSession::has_table(self, table)
+    }
+    fn table_schema(&mut self, table: &str) -> Result<Schema, DbError> {
+        DbSession::table_schema(self, table)
+    }
+    fn table_len(&mut self, table: &str) -> Result<u64, DbError> {
+        DbSession::table_len(self, table)
+    }
+    fn scan_all(&mut self, table: &str) -> Result<Vec<Vec<Value>>, DbError> {
+        DbSession::scan_all(self, table)
+    }
+}
+
+/// Where a km session executes: a private engine (default, byte-identical
+/// to the pre-backend testbed) or a session on a shared MVCC engine.
+pub enum ExecBackend {
+    Private(Engine),
+    Shared(DbSession),
+}
+
+impl ExecBackend {
+    /// The engine LFP evaluation runs on. Evaluation is write-free with
+    /// respect to the durable store — it only creates session-scratch
+    /// `all_/new_/delta_` temporaries — so the shared backend hands out
+    /// its MVCC snapshot fork and needs no validation for it.
+    pub fn eval_engine(&mut self) -> &mut Engine {
+        match self {
+            ExecBackend::Private(e) => e,
+            ExecBackend::Shared(s) => s.engine(),
+        }
+    }
+
+    /// Immutable view of the evaluation engine (metrics, stats).
+    pub fn eval_engine_ref(&self) -> &Engine {
+        match self {
+            ExecBackend::Private(e) => e,
+            ExecBackend::Shared(s) => s.snapshot(),
+        }
+    }
+
+    pub fn is_shared(&self) -> bool {
+        matches!(self, ExecBackend::Shared(_))
+    }
+
+    /// Move a shared session onto the latest committed state. A no-op on
+    /// the private backend, whose engine *is* the latest state.
+    pub fn refresh(&mut self) -> Result<(), DbError> {
+        match self {
+            ExecBackend::Private(_) => Ok(()),
+            ExecBackend::Shared(s) => s.refresh(),
+        }
+    }
+
+    /// Begin a transaction on the durable channel: a WAL transaction on
+    /// the private engine, a recording MVCC transaction on the shared
+    /// session (which refreshes onto the freshest snapshot first).
+    pub fn begin(&mut self) -> Result<(), DbError> {
+        match self {
+            ExecBackend::Private(e) => e.begin(),
+            ExecBackend::Shared(s) => s.begin(),
+        }
+    }
+
+    /// Commit the open transaction. On the shared backend this submits
+    /// the recorded statements for first-committer-wins validation and
+    /// replay; [`DbError::WriteConflict`] means nothing was applied and
+    /// the whole transaction can be retried on the fresh snapshot.
+    pub fn commit(&mut self) -> Result<(), DbError> {
+        match self {
+            ExecBackend::Private(e) => e.commit(),
+            ExecBackend::Shared(s) => s.commit(),
+        }
+    }
+
+    /// Abandon the open transaction.
+    pub fn rollback(&mut self) -> Result<(), DbError> {
+        match self {
+            ExecBackend::Private(e) => e.rollback(),
+            ExecBackend::Shared(s) => s.rollback(),
+        }
+    }
+
+    /// A read-only snapshot backend: a copy-on-write fork of the private
+    /// engine, or a fresh session on the shared engine (both paths are
+    /// MVCC snapshots of the current committed state — this is the one
+    /// fork mechanism, shared with [`DbSession`]).
+    pub fn fork_reader(&mut self) -> Result<ExecBackend, DbError> {
+        match self {
+            ExecBackend::Private(e) => Ok(ExecBackend::Private(e.fork()?)),
+            ExecBackend::Shared(s) => Ok(ExecBackend::Shared(s.shared_engine().session())),
+        }
+    }
+
+    /// The temporary-table namespace this backend's evaluation scratch
+    /// tables carry: empty on a private engine (sole owner of its name
+    /// space), `s<id>_` on a shared session — so two sessions' semi-naive
+    /// `all_/new_/delta_` temporaries can never collide by name.
+    pub fn temp_ns(&self) -> String {
+        match self {
+            ExecBackend::Private(_) => String::new(),
+            ExecBackend::Shared(s) => format!("s{}_", s.id()),
+        }
+    }
+
+    /// The shared engine behind this backend, if any.
+    pub fn shared_engine(&self) -> Option<SharedEngine> {
+        match self {
+            ExecBackend::Private(_) => None,
+            ExecBackend::Shared(s) => Some(s.shared_engine()),
+        }
+    }
+
+    /// Transactions this backend committed / lost to validation (always
+    /// zero on the private backend).
+    pub fn commit_counters(&self) -> (u64, u64) {
+        match self {
+            ExecBackend::Private(_) => (0, 0),
+            ExecBackend::Shared(s) => (s.commits(), s.conflicts()),
+        }
+    }
+}
+
+impl Storage for ExecBackend {
+    fn execute(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        match self {
+            ExecBackend::Private(e) => Storage::execute(e, sql),
+            ExecBackend::Shared(s) => Storage::execute(s, sql),
+        }
+    }
+    fn execute_script(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        match self {
+            ExecBackend::Private(e) => Storage::execute_script(e, sql),
+            ExecBackend::Shared(s) => Storage::execute_script(s, sql),
+        }
+    }
+    fn insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<u64, DbError> {
+        match self {
+            ExecBackend::Private(e) => Storage::insert_rows(e, table, rows),
+            ExecBackend::Shared(s) => Storage::insert_rows(s, table, rows),
+        }
+    }
+    fn has_table(&mut self, table: &str) -> bool {
+        match self {
+            ExecBackend::Private(e) => Storage::has_table(e, table),
+            ExecBackend::Shared(s) => Storage::has_table(s, table),
+        }
+    }
+    fn table_schema(&mut self, table: &str) -> Result<Schema, DbError> {
+        match self {
+            ExecBackend::Private(e) => Storage::table_schema(e, table),
+            ExecBackend::Shared(s) => Storage::table_schema(s, table),
+        }
+    }
+    fn table_len(&mut self, table: &str) -> Result<u64, DbError> {
+        match self {
+            ExecBackend::Private(e) => Storage::table_len(e, table),
+            ExecBackend::Shared(s) => Storage::table_len(s, table),
+        }
+    }
+    fn scan_all(&mut self, table: &str) -> Result<Vec<Vec<Value>>, DbError> {
+        match self {
+            ExecBackend::Private(e) => Storage::scan_all(e, table),
+            ExecBackend::Shared(s) => Storage::scan_all(s, table),
+        }
+    }
+}
+
+/// Run `f` as one transaction on the backend when `transactional`,
+/// retrying the whole body on [`DbError::WriteConflict`] (shared backend
+/// only — each retry re-runs `f` on the fresh snapshot the failed commit
+/// left behind). Without `transactional` the body runs bare, preserving
+/// the private backend's non-durable fast path byte-for-byte.
+pub fn with_txn<T>(
+    backend: &mut ExecBackend,
+    transactional: bool,
+    mut f: impl FnMut(&mut ExecBackend) -> Result<T, KmError>,
+) -> Result<T, KmError> {
+    if !transactional {
+        return f(backend);
+    }
+    // First-committer-wins guarantees global progress: every conflict
+    // means some other session committed. The cap only guards against a
+    // pathological livelock of this one session.
+    const MAX_RETRIES: usize = 64;
+    let mut last = None;
+    for _ in 0..MAX_RETRIES {
+        backend.begin()?;
+        let out = match f(backend) {
+            Ok(out) => out,
+            Err(e) => {
+                let _ = backend.rollback();
+                return Err(e);
+            }
+        };
+        match backend.commit() {
+            Ok(()) => return Ok(out),
+            Err(DbError::WriteConflict(m)) if backend.is_shared() => {
+                last = Some(DbError::WriteConflict(m));
+                continue;
+            }
+            Err(e) => {
+                // On a crashed private disk the rollback itself fails;
+                // the open transaction is then reconciled by recover().
+                let _ = backend.rollback();
+                return Err(e.into());
+            }
+        }
+    }
+    Err(last.expect("loop ran at least once").into())
+}

@@ -18,18 +18,23 @@ use rdbms::Value;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Table holding the accumulated extension of derived predicate `pred`.
-pub fn all_table(pred: &str) -> String {
-    format!("d_{pred}")
+///
+/// `ns` is the session's temporary namespace (empty on a private
+/// backend). Namespacing the scratch tables is what lets two sessions
+/// of a shared engine run semi-naive LFPs concurrently: their
+/// `all_/new_/delta_` temporaries never collide by name.
+pub fn all_table(ns: &str, pred: &str) -> String {
+    format!("d_{ns}{pred}")
 }
 
 /// Per-iteration delta table of a clique predicate.
-pub fn delta_table(pred: &str) -> String {
-    format!("delta_{pred}")
+pub fn delta_table(ns: &str, pred: &str) -> String {
+    format!("delta_{ns}{pred}")
 }
 
 /// Scratch table collecting one iteration's new tuples.
-pub fn new_table(pred: &str) -> String {
-    format!("new_{pred}")
+pub fn new_table(ns: &str, pred: &str) -> String {
+    format!("new_{ns}{pred}")
 }
 
 /// The SQL generated for one rule.
@@ -83,6 +88,10 @@ impl ProgNode {
 /// run-time library takes over.
 #[derive(Debug, Clone)]
 pub struct EvalProgram {
+    /// Temporary-table namespace every scratch-table name carries (the
+    /// [`CodegenEnv::ns`] the program was generated under). The runtime
+    /// must create/drop the program's temporaries through this.
+    pub ns: String,
     /// Derived tables to create: predicate → column types.
     pub tables: BTreeMap<String, Vec<AttrType>>,
     /// Ground facts to seed, grouped by predicate (magic seeds and
@@ -127,6 +136,9 @@ pub struct CodegenEnv<'a> {
     pub base_preds: &'a BTreeSet<String>,
     /// Column names of the base relations.
     pub base_columns: &'a BTreeMap<String, Vec<String>>,
+    /// Temporary-table namespace baked into every generated scratch-table
+    /// name (empty for a private session, `s<id>_` for shared sessions).
+    pub ns: &'a str,
 }
 
 impl<'a> CodegenEnv<'a> {
@@ -134,7 +146,7 @@ impl<'a> CodegenEnv<'a> {
         if self.base_preds.contains(pred) {
             pred.to_string()
         } else {
-            all_table(pred)
+            all_table(self.ns, pred)
         }
     }
 
@@ -345,7 +357,7 @@ fn compile_rule(
             delta_variants.push(rule_to_sql(
                 rule,
                 env,
-                Some((i, delta_table(&atom.predicate))),
+                Some((i, delta_table(env.ns, &atom.predicate))),
             )?);
         }
     }
@@ -447,6 +459,7 @@ pub fn generate(
     want_table(result_pred)?;
 
     Ok(EvalProgram {
+        ns: env.ns.to_string(),
         tables,
         seeds: seeds.into_iter().collect(),
         nodes,
@@ -481,6 +494,7 @@ mod tests {
             types: &types,
             base_preds: &base,
             base_columns: &cols,
+            ns: "",
         };
         let rule = parse_clause("anc(X, Y) :- parent(X, Y).").unwrap();
         let sql = rule_to_sql(&rule, &env, None).unwrap();
@@ -494,6 +508,7 @@ mod tests {
             types: &types,
             base_preds: &base,
             base_columns: &cols,
+            ns: "",
         };
         let rule = parse_clause("anc(X, Y) :- parent(X, Z), anc(Z, Y).").unwrap();
         let sql = rule_to_sql(&rule, &env, None).unwrap();
@@ -511,6 +526,7 @@ mod tests {
             types: &types,
             base_preds: &base,
             base_columns: &cols,
+            ns: "",
         };
         let rule = parse_clause("anc(adam, Y) :- parent(adam, Y).").unwrap();
         let sql = rule_to_sql(&rule, &env, None).unwrap();
@@ -527,6 +543,7 @@ mod tests {
             types: &types,
             base_preds: &base,
             base_columns: &cols,
+            ns: "",
         };
         let rule = parse_clause("anc(X, X) :- parent(X, X).").unwrap();
         let sql = rule_to_sql(&rule, &env, None).unwrap();
@@ -540,10 +557,11 @@ mod tests {
             types: &types,
             base_preds: &base,
             base_columns: &cols,
+            ns: "",
         };
         let rule = parse_clause("anc(X, Y) :- anc(X, Z), anc(Z, Y).").unwrap();
-        let v0 = rule_to_sql(&rule, &env, Some((0, delta_table("anc")))).unwrap();
-        let v1 = rule_to_sql(&rule, &env, Some((1, delta_table("anc")))).unwrap();
+        let v0 = rule_to_sql(&rule, &env, Some((0, delta_table("", "anc")))).unwrap();
+        let v1 = rule_to_sql(&rule, &env, Some((1, delta_table("", "anc")))).unwrap();
         assert!(v0.contains("FROM delta_anc t0, d_anc t1"));
         assert!(v1.contains("FROM d_anc t0, delta_anc t1"));
     }
@@ -555,6 +573,7 @@ mod tests {
             types: &types,
             base_preds: &base,
             base_columns: &cols,
+            ns: "",
         };
         let rule = parse_clause("anc(X, Y) :- parent(X, X).").unwrap();
         assert!(matches!(
@@ -582,6 +601,7 @@ mod tests {
             types: &types,
             base_preds: &base,
             base_columns: &cols,
+            ns: "",
         };
         let order = evaluation_order(&program).unwrap();
         let prog = generate(&order, &[], "_query", &env).unwrap();
@@ -621,6 +641,7 @@ mod tests {
             types: &types,
             base_preds: &base,
             base_columns: &cols,
+            ns: "",
         };
         let seeds = vec![
             parse_clause("m_anc(adam).").unwrap(),
@@ -634,12 +655,71 @@ mod tests {
     }
 
     #[test]
+    fn namespace_prefixes_every_scratch_table() {
+        let (types, base, cols) = env_fixture();
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+            ns: "s7_",
+        };
+        let rule = parse_clause("anc(X, Y) :- parent(X, Z), anc(Z, Y).").unwrap();
+        let sql = rule_to_sql(&rule, &env, None).unwrap();
+        assert_eq!(
+            sql,
+            "SELECT DISTINCT t0.par, t1.c1 FROM parent t0, d_s7_anc t1 \
+             WHERE t0.child = t1.c0"
+        );
+        let v = rule_to_sql(&rule, &env, Some((1, delta_table(env.ns, "anc")))).unwrap();
+        assert!(v.contains("FROM parent t0, delta_s7_anc t1"));
+        assert_eq!(new_table("s7_", "anc"), "new_s7_anc");
+    }
+
+    #[test]
+    fn generated_program_records_its_namespace() {
+        use hornlog::evalgraph::evaluation_order;
+        use hornlog::parser::{parse_program, parse_query};
+
+        let mut program = parse_program(
+            "anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).\n",
+        )
+        .unwrap();
+        let query = parse_query("?- anc(adam, W).").unwrap();
+        program.push(query.clone());
+
+        let (mut types, base, cols) = env_fixture();
+        types.insert("_query".into(), vec![AttrType::Sym]);
+        let env = CodegenEnv {
+            types: &types,
+            base_preds: &base,
+            base_columns: &cols,
+            ns: "s3_",
+        };
+        let order = evaluation_order(&program).unwrap();
+        let prog = generate(&order, &[], "_query", &env).unwrap();
+        assert_eq!(prog.ns, "s3_");
+        // Table keys stay un-namespaced predicates; only the generated
+        // SQL carries the prefix.
+        assert!(prog.tables.contains_key("anc"));
+        let ProgNode::Clique {
+            recursive_rules, ..
+        } = &prog.nodes[0]
+        else {
+            panic!("expected clique");
+        };
+        assert!(recursive_rules[0].full_sql.contains("d_s3_anc"));
+        assert!(recursive_rules[0].delta_variants[0].contains("delta_s3_anc"));
+    }
+
+    #[test]
     fn nullary_head_rejected() {
         let (types, base, cols) = env_fixture();
         let env = CodegenEnv {
             types: &types,
             base_preds: &base,
             base_columns: &cols,
+            ns: "",
         };
         let rule = parse_clause("halt :- parent(X, Y).").unwrap();
         assert!(matches!(

@@ -40,6 +40,7 @@
 //! assert_eq!(result.rows.len(), 2);
 //! ```
 
+pub mod backend;
 pub mod codegen;
 pub mod magic;
 pub mod runtime;
@@ -50,11 +51,14 @@ pub mod update;
 pub mod util;
 pub mod workspace;
 
+pub use backend::{ExecBackend, Storage};
 pub use runtime::{
     CliqueTrace, EvalError, EvalLimits, EvalOutcome, EvalResource, IterationTrace, LfpBreakdown,
     LfpStrategy, NodeTiming, PartialProgress,
 };
-pub use session::{CompileTimings, CompiledQuery, QueryResult, Session, SessionConfig};
+pub use session::{
+    CompileTimings, CompiledQuery, QueryResult, Session, SessionConfig, SharedSession,
+};
 pub use stored::{KmError, StoredDkb};
 pub use update::UpdateTimings;
 pub use workspace::Workspace;

@@ -585,9 +585,9 @@ fn run_batch(
 }
 
 /// Collect the predicates a generated SQL statement reads through their
-/// accumulated (`d_`-prefixed) tables. Single-quoted literals are skipped
-/// so a symbol constant cannot alias a table name.
-fn d_table_refs(sql: &str, out: &mut BTreeSet<String>) {
+/// accumulated (`d_`-prefixed, `ns`-namespaced) tables. Single-quoted
+/// literals are skipped so a symbol constant cannot alias a table name.
+fn d_table_refs(sql: &str, ns: &str, out: &mut BTreeSet<String>) {
     let b = sql.as_bytes();
     let mut i = 0;
     while i < b.len() {
@@ -603,6 +603,7 @@ fn d_table_refs(sql: &str, out: &mut BTreeSet<String>) {
                 i += 1;
             }
             if let Some(p) = sql[start..i].strip_prefix("d_") {
+                let p = p.strip_prefix(ns).unwrap_or(p);
                 if !p.is_empty() {
                     out.insert(p.to_string());
                 }
@@ -640,9 +641,9 @@ fn node_deps(prog: &EvalProgram) -> Vec<Vec<usize>> {
             };
             let mut refs = BTreeSet::new();
             for rule in rules {
-                d_table_refs(&rule.full_sql, &mut refs);
+                d_table_refs(&rule.full_sql, &prog.ns, &mut refs);
                 for v in &rule.delta_variants {
-                    d_table_refs(v, &mut refs);
+                    d_table_refs(v, &prog.ns, &mut refs);
                 }
             }
             let mut deps = BTreeSet::new();
@@ -685,7 +686,7 @@ fn eval_node(
     let node_start = Instant::now();
     match node {
         ProgNode::Predicate { rules, .. } => Ok(NodeOut {
-            breakdown: eval_predicate(db, rules, ctl)?,
+            breakdown: eval_predicate(db, &prog.ns, rules, ctl)?,
             iterations: Vec::new(),
             elapsed: node_start.elapsed(),
             tc: false,
@@ -721,7 +722,7 @@ fn eval_node(
                     let t = Instant::now();
                     let rs = db.execute(&format!(
                         "INSERT INTO {} TRANSITIVE CLOSURE OF {src}",
-                        all_table(pred)
+                        all_table(&prog.ns, pred)
                     ))?;
                     let elapsed = t.elapsed();
                     b.t_eval_rhs = elapsed;
@@ -763,14 +764,27 @@ fn eval_node(
                 .map(|p| (p.as_str(), prog.tables[p].as_slice()))
                 .collect();
             let (b, iterations) = match (strategy, prepared_sql) {
-                (LfpStrategy::Naive, false) => {
-                    eval_clique_naive(db, &types, exit_rules, recursive_rules, workers, ctl)?
-                }
-                (LfpStrategy::SemiNaive, false) => {
-                    eval_clique_seminaive(db, &types, exit_rules, recursive_rules, workers, ctl)?
-                }
+                (LfpStrategy::Naive, false) => eval_clique_naive(
+                    db,
+                    &prog.ns,
+                    &types,
+                    exit_rules,
+                    recursive_rules,
+                    workers,
+                    ctl,
+                )?,
+                (LfpStrategy::SemiNaive, false) => eval_clique_seminaive(
+                    db,
+                    &prog.ns,
+                    &types,
+                    exit_rules,
+                    recursive_rules,
+                    workers,
+                    ctl,
+                )?,
                 (LfpStrategy::Naive, true) => eval_clique_naive_prepared(
                     db,
+                    &prog.ns,
                     &types,
                     exit_rules,
                     recursive_rules,
@@ -779,6 +793,7 @@ fn eval_node(
                 )?,
                 (LfpStrategy::SemiNaive, true) => eval_clique_seminaive_prepared(
                     db,
+                    &prog.ns,
                     &types,
                     exit_rules,
                     recursive_rules,
@@ -1021,9 +1036,18 @@ pub fn run_program_governed(
             if matches!(e, KmError::Eval(_)) {
                 db.reset_cancel();
                 for pred in prog.tables.keys() {
-                    let _ = db.execute(&format!("DROP TABLE IF EXISTS {}", all_table(pred)));
-                    let _ = db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(pred)));
-                    let _ = db.execute(&format!("DROP TABLE IF EXISTS {}", delta_table(pred)));
+                    let _ = db.execute(&format!(
+                        "DROP TABLE IF EXISTS {}",
+                        all_table(&prog.ns, pred)
+                    ));
+                    let _ = db.execute(&format!(
+                        "DROP TABLE IF EXISTS {}",
+                        new_table(&prog.ns, pred)
+                    ));
+                    let _ = db.execute(&format!(
+                        "DROP TABLE IF EXISTS {}",
+                        delta_table(&prog.ns, pred)
+                    ));
                 }
             }
             Err(e)
@@ -1047,15 +1071,18 @@ fn run_program_inner(
     // Create the accumulated tables and load seeds.
     timed(&mut breakdown.t_temp_tables, || -> Result<(), KmError> {
         for (pred, types) in &prog.tables {
-            db.execute(&format!("DROP TABLE IF EXISTS {}", all_table(pred)))?;
-            db.execute(&create_table_sql(&all_table(pred), types))?;
+            db.execute(&format!(
+                "DROP TABLE IF EXISTS {}",
+                all_table(&prog.ns, pred)
+            ))?;
+            db.execute(&create_table_sql(&all_table(&prog.ns, pred), types))?;
         }
         Ok(())
     })?;
     breakdown.n_temp_ops += 2 * prog.tables.len() as u64;
     let t = Instant::now();
     for (pred, rows) in &prog.seeds {
-        let added = db.insert_rows_batched(&all_table(pred), dedup(rows.clone()))?;
+        let added = db.insert_rows_batched(&all_table(&prog.ns, pred), dedup(rows.clone()))?;
         breakdown.tuples_produced += added;
         if let Err(br) = ctl.charge_facts(added) {
             return Err(budget_err(
@@ -1132,7 +1159,7 @@ fn run_program_inner(
     // Read the answer.
     let rs = db.execute(&format!(
         "SELECT DISTINCT * FROM {}",
-        all_table(&prog.result_pred)
+        all_table(&prog.ns, &prog.result_pred)
     ))?;
     let mut rows = rs.rows;
     rows.sort();
@@ -1141,7 +1168,10 @@ fn run_program_inner(
     // temp tables in the same engine are not ours to drop).
     let t = Instant::now();
     for pred in prog.tables.keys() {
-        db.execute(&format!("DROP TABLE IF EXISTS {}", all_table(pred)))?;
+        db.execute(&format!(
+            "DROP TABLE IF EXISTS {}",
+            all_table(&prog.ns, pred)
+        ))?;
         breakdown.n_temp_ops += 1;
     }
     breakdown.t_temp_tables += t.elapsed();
@@ -1199,6 +1229,7 @@ fn insert_new(db: &DbHandle, target: &str, select_sql: &str) -> Result<u64, KmEr
 /// Evaluate a non-recursive predicate node: one pass over its rules.
 fn eval_predicate(
     db: &DbHandle,
+    ns: &str,
     rules: &[RuleSql],
     ctl: &EvalCtl,
 ) -> Result<LfpBreakdown, KmError> {
@@ -1214,7 +1245,7 @@ fn eval_predicate(
             ));
         }
         let added = timed(&mut b.t_eval_rhs, || {
-            insert_new(db, &all_table(&rule.head_pred), &rule.full_sql)
+            insert_new(db, &all_table(ns, &rule.head_pred), &rule.full_sql)
         })?;
         b.n_eval_stmts += 1;
         b.tuples_produced += added;
@@ -1236,6 +1267,7 @@ fn eval_predicate(
 /// accumulated tables for termination.
 fn eval_clique_naive(
     db: &DbHandle,
+    ns: &str,
     types: &BTreeMap<&str, &[AttrType]>,
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
@@ -1253,7 +1285,7 @@ fn eval_clique_naive(
         .map(|rule| {
             format!(
                 "INSERT INTO {} {}",
-                new_table(&rule.head_pred),
+                new_table(ns, &rule.head_pred),
                 rule.full_sql
             )
         })
@@ -1270,8 +1302,8 @@ fn eval_clique_naive(
         // Fresh candidate tables for this iteration.
         let t = Instant::now();
         for (p, tys) in types {
-            db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(p)))?;
-            db.execute(&create_table_sql(&new_table(p), tys))?;
+            db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(ns, p)))?;
+            db.execute(&create_table_sql(&new_table(ns, p), tys))?;
         }
         let mut d_temp = t.elapsed();
         b.n_temp_ops += 2 * types.len() as u64;
@@ -1289,8 +1321,8 @@ fn eval_clique_naive(
         for p in types.keys() {
             let rs = db.execute(&format!(
                 "SELECT * FROM {} EXCEPT SELECT * FROM {}",
-                new_table(p),
-                all_table(p)
+                new_table(ns, p),
+                all_table(ns, p)
             ))?;
             b.n_term_checks += 1;
             delta_cards.push((p.to_string(), rs.rows.len() as u64));
@@ -1303,7 +1335,7 @@ fn eval_clique_naive(
         // Drop the candidate tables (per-iteration churn).
         let t = Instant::now();
         for p in types.keys() {
-            db.execute(&format!("DROP TABLE {}", new_table(p)))?;
+            db.execute(&format!("DROP TABLE {}", new_table(ns, p)))?;
         }
         d_temp += t.elapsed();
         b.n_temp_ops += types.len() as u64;
@@ -1313,7 +1345,7 @@ fn eval_clique_naive(
         if !done {
             let t = Instant::now();
             for (p, rows) in new_tuples {
-                let added = db.insert_rows_batched(&all_table(p), rows)?;
+                let added = db.insert_rows_batched(&all_table(ns, p), rows)?;
                 b.tuples_produced += added;
                 fresh += added;
             }
@@ -1345,6 +1377,7 @@ fn eval_clique_naive(
 /// differential variants.
 fn eval_clique_seminaive(
     db: &DbHandle,
+    ns: &str,
     types: &BTreeMap<&str, &[AttrType]>,
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
@@ -1358,7 +1391,7 @@ fn eval_clique_seminaive(
     let t = Instant::now();
     let mut exit_added = 0u64;
     for rule in exit_rules {
-        let added = insert_new(db, &all_table(&rule.head_pred), &rule.full_sql)?;
+        let added = insert_new(db, &all_table(ns, &rule.head_pred), &rule.full_sql)?;
         b.tuples_produced += added;
         exit_added += added;
         b.n_eval_stmts += 1;
@@ -1371,8 +1404,8 @@ fn eval_clique_seminaive(
     // delta := current accumulated contents (exit results + seeds).
     timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
         for (p, tys) in types {
-            db.execute(&format!("DROP TABLE IF EXISTS {}", delta_table(p)))?;
-            db.execute(&create_table_sql(&delta_table(p), tys))?;
+            db.execute(&format!("DROP TABLE IF EXISTS {}", delta_table(ns, p)))?;
+            db.execute(&create_table_sql(&delta_table(ns, p), tys))?;
         }
         Ok(())
     })?;
@@ -1381,8 +1414,8 @@ fn eval_clique_seminaive(
     for p in types.keys() {
         db.execute(&format!(
             "INSERT INTO {} SELECT * FROM {}",
-            delta_table(p),
-            all_table(p)
+            delta_table(ns, p),
+            all_table(ns, p)
         ))?;
         b.n_eval_stmts += 1;
     }
@@ -1396,7 +1429,7 @@ fn eval_clique_seminaive(
         .flat_map(|rule| {
             rule.delta_variants
                 .iter()
-                .map(|variant| format!("INSERT INTO {} {variant}", new_table(&rule.head_pred)))
+                .map(|variant| format!("INSERT INTO {} {variant}", new_table(ns, &rule.head_pred)))
         })
         .collect();
     let eval_batch: Vec<BatchStmt> = eval_sqls.iter().map(|s| BatchStmt::Sql(s)).collect();
@@ -1412,8 +1445,8 @@ fn eval_clique_seminaive(
         // Fresh candidate tables.
         let t = Instant::now();
         for (p, tys) in types {
-            db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(p)))?;
-            db.execute(&create_table_sql(&new_table(p), tys))?;
+            db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(ns, p)))?;
+            db.execute(&create_table_sql(&new_table(ns, p), tys))?;
         }
         let mut d_temp = t.elapsed();
         b.n_temp_ops += 2 * types.len() as u64;
@@ -1431,8 +1464,8 @@ fn eval_clique_seminaive(
         for p in types.keys() {
             let rs = db.execute(&format!(
                 "SELECT * FROM {} EXCEPT SELECT * FROM {}",
-                new_table(p),
-                all_table(p)
+                new_table(ns, p),
+                all_table(ns, p)
             ))?;
             b.n_term_checks += 1;
             delta_cards.push((p.to_string(), rs.rows.len() as u64));
@@ -1445,8 +1478,8 @@ fn eval_clique_seminaive(
         // Drop candidate and (old) delta tables — the per-iteration churn.
         let t = Instant::now();
         for p in types.keys() {
-            db.execute(&format!("DROP TABLE {}", new_table(p)))?;
-            db.execute(&format!("DROP TABLE {}", delta_table(p)))?;
+            db.execute(&format!("DROP TABLE {}", new_table(ns, p)))?;
+            db.execute(&format!("DROP TABLE {}", delta_table(ns, p)))?;
         }
         d_temp += t.elapsed();
         b.n_temp_ops += 2 * types.len() as u64;
@@ -1458,16 +1491,16 @@ fn eval_clique_seminaive(
             // accumulated tables.
             let t = Instant::now();
             for (p, tys) in types {
-                db.execute(&create_table_sql(&delta_table(p), tys))?;
+                db.execute(&create_table_sql(&delta_table(ns, p), tys))?;
             }
             d_temp += t.elapsed();
             b.n_temp_ops += types.len() as u64;
             let t = Instant::now();
             for (p, rows) in new_tuples {
-                let added = db.insert_rows_batched(&all_table(p), rows.clone())?;
+                let added = db.insert_rows_batched(&all_table(ns, p), rows.clone())?;
                 b.tuples_produced += added;
                 fresh += added;
-                db.insert_rows_batched(&delta_table(p), rows)?;
+                db.insert_rows_batched(&delta_table(ns, p), rows)?;
             }
             d_eval += t.elapsed();
         }
@@ -1501,6 +1534,7 @@ fn eval_clique_seminaive(
 /// re-scanning it.
 fn eval_clique_naive_prepared(
     db: &DbHandle,
+    ns: &str,
     types: &BTreeMap<&str, &[AttrType]>,
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
@@ -1514,10 +1548,10 @@ fn eval_clique_naive_prepared(
     // full-key index each termination check probes.
     timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
         for (p, tys) in types {
-            db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(p)))?;
-            db.execute(&create_table_sql(&new_table(p), tys))?;
+            db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(ns, p)))?;
+            db.execute(&create_table_sql(&new_table(ns, p), tys))?;
             if !tys.is_empty() {
-                db.execute(&term_index_sql(&all_table(p), tys.len()))?;
+                db.execute(&term_index_sql(&all_table(ns, p), tys.len()))?;
             }
         }
         Ok(())
@@ -1533,7 +1567,7 @@ fn eval_clique_naive_prepared(
     for rule in exit_rules.iter().chain(recursive_rules) {
         eval_stmts.push(db.prepare(&format!(
             "INSERT INTO {} {}",
-            new_table(&rule.head_pred),
+            new_table(ns, &rule.head_pred),
             rule.full_sql
         ))?);
     }
@@ -1541,16 +1575,16 @@ fn eval_clique_naive_prepared(
     let mut trunc_stmts = Vec::new();
     let t = Instant::now();
     for p in &preds {
-        trunc_stmts.push(db.prepare(&format!("TRUNCATE TABLE {}", new_table(p)))?);
+        trunc_stmts.push(db.prepare(&format!("TRUNCATE TABLE {}", new_table(ns, p)))?);
     }
     b.t_temp_tables += t.elapsed();
     let mut term_stmts = Vec::new();
     let t = Instant::now();
     for (p, tys) in types {
         term_stmts.push(db.prepare(&termination_sql(
-            &all_table(p),
-            &new_table(p),
-            &all_table(p),
+            &all_table(ns, p),
+            &new_table(ns, p),
+            &all_table(ns, p),
             tys.len(),
         ))?);
     }
@@ -1620,7 +1654,7 @@ fn eval_clique_naive_prepared(
     // Drop the recycled temporaries and release the handles.
     timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
         for p in &preds {
-            db.execute(&format!("DROP TABLE {}", new_table(p)))?;
+            db.execute(&format!("DROP TABLE {}", new_table(ns, p)))?;
         }
         Ok(())
     })?;
@@ -1640,6 +1674,7 @@ fn eval_clique_naive_prepared(
 /// tuples being materialized in the client and re-inserted row by row.
 fn eval_clique_seminaive_prepared(
     db: &DbHandle,
+    ns: &str,
     types: &BTreeMap<&str, &[AttrType]>,
     exit_rules: &[RuleSql],
     recursive_rules: &[RuleSql],
@@ -1653,7 +1688,7 @@ fn eval_clique_seminaive_prepared(
     let t = Instant::now();
     let mut exit_added = 0u64;
     for rule in exit_rules {
-        let added = insert_new(db, &all_table(&rule.head_pred), &rule.full_sql)?;
+        let added = insert_new(db, &all_table(ns, &rule.head_pred), &rule.full_sql)?;
         b.tuples_produced += added;
         exit_added += added;
         b.n_eval_stmts += 1;
@@ -1667,12 +1702,12 @@ fn eval_clique_seminaive_prepared(
     // plus the full-key index each termination check probes.
     timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
         for (p, tys) in types {
-            db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(p)))?;
-            db.execute(&create_table_sql(&new_table(p), tys))?;
-            db.execute(&format!("DROP TABLE IF EXISTS {}", delta_table(p)))?;
-            db.execute(&create_table_sql(&delta_table(p), tys))?;
+            db.execute(&format!("DROP TABLE IF EXISTS {}", new_table(ns, p)))?;
+            db.execute(&create_table_sql(&new_table(ns, p), tys))?;
+            db.execute(&format!("DROP TABLE IF EXISTS {}", delta_table(ns, p)))?;
+            db.execute(&create_table_sql(&delta_table(ns, p), tys))?;
             if !tys.is_empty() {
-                db.execute(&term_index_sql(&all_table(p), tys.len()))?;
+                db.execute(&term_index_sql(&all_table(ns, p), tys.len()))?;
             }
         }
         Ok(())
@@ -1684,8 +1719,8 @@ fn eval_clique_seminaive_prepared(
     for p in types.keys() {
         db.execute(&format!(
             "INSERT INTO {} SELECT * FROM {}",
-            delta_table(p),
-            all_table(p)
+            delta_table(ns, p),
+            all_table(ns, p)
         ))?;
         b.n_eval_stmts += 1;
     }
@@ -1699,7 +1734,7 @@ fn eval_clique_seminaive_prepared(
         for variant in &rule.delta_variants {
             eval_stmts.push(db.prepare(&format!(
                 "INSERT INTO {} {variant}",
-                new_table(&rule.head_pred)
+                new_table(ns, &rule.head_pred)
             ))?);
         }
     }
@@ -1708,8 +1743,8 @@ fn eval_clique_seminaive_prepared(
     let mut trunc_delta = Vec::new();
     let t = Instant::now();
     for p in &preds {
-        trunc_new.push(db.prepare(&format!("TRUNCATE TABLE {}", new_table(p)))?);
-        trunc_delta.push(db.prepare(&format!("TRUNCATE TABLE {}", delta_table(p)))?);
+        trunc_new.push(db.prepare(&format!("TRUNCATE TABLE {}", new_table(ns, p)))?);
+        trunc_delta.push(db.prepare(&format!("TRUNCATE TABLE {}", delta_table(ns, p)))?);
     }
     b.t_temp_tables += t.elapsed();
     let mut term_stmts = Vec::new();
@@ -1717,15 +1752,15 @@ fn eval_clique_seminaive_prepared(
     let t = Instant::now();
     for (p, tys) in types {
         term_stmts.push(db.prepare(&termination_sql(
-            &delta_table(p),
-            &new_table(p),
-            &all_table(p),
+            &delta_table(ns, p),
+            &new_table(ns, p),
+            &all_table(ns, p),
             tys.len(),
         ))?);
         fold_stmts.push(db.prepare(&format!(
             "INSERT INTO {} SELECT * FROM {}",
-            all_table(p),
-            delta_table(p)
+            all_table(ns, p),
+            delta_table(ns, p)
         ))?);
     }
     b.t_termination += t.elapsed();
@@ -1810,8 +1845,8 @@ fn eval_clique_seminaive_prepared(
     // Drop the recycled temporaries and release the handles.
     timed(&mut b.t_temp_tables, || -> Result<(), KmError> {
         for p in &preds {
-            db.execute(&format!("DROP TABLE {}", new_table(p)))?;
-            db.execute(&format!("DROP TABLE {}", delta_table(p)))?;
+            db.execute(&format!("DROP TABLE {}", new_table(ns, p)))?;
+            db.execute(&format!("DROP TABLE {}", delta_table(ns, p)))?;
         }
         Ok(())
     })?;
@@ -1867,6 +1902,10 @@ mod tests {
     }
 
     fn compile(program: &hornlog::Program, db: &Engine) -> EvalProgram {
+        compile_ns(program, db, "")
+    }
+
+    fn compile_ns(program: &hornlog::Program, db: &Engine, ns: &str) -> EvalProgram {
         let mut types = TypeMap::new();
         types.insert("parent".into(), vec![AttrType::Sym, AttrType::Sym]);
         types.insert("anc".into(), vec![AttrType::Sym, AttrType::Sym]);
@@ -1892,9 +1931,37 @@ mod tests {
             types: &types,
             base_preds: &base,
             base_columns: &cols,
+            ns,
         };
         let order = evaluation_order(program).unwrap();
         generate(&order, &[], "_query", &env).unwrap()
+    }
+
+    #[test]
+    fn namespaced_program_evaluates_and_cleans_up() {
+        let mut db = chain_engine(6);
+        let (program, _) = ancestor_program("?- anc(A, B).");
+        let namespaced = compile_ns(&program, &db, "s42_");
+        let before = db.table_names();
+        let out = run_program(&mut db, &namespaced, LfpStrategy::SemiNaive).unwrap();
+        assert_eq!(db.table_names(), before, "no leaked namespaced temporaries");
+        let plain = compile(&program, &db);
+        let base = run_program(&mut db, &plain, LfpStrategy::SemiNaive).unwrap();
+        assert_eq!(out.rows, base.rows);
+    }
+
+    #[test]
+    fn namespaced_deps_still_resolve() {
+        // The scheduler's dependency edges come from `d_<ns><pred>` refs
+        // in the generated SQL; the namespace must be stripped before the
+        // predicate lookup or every namespaced program would appear
+        // dependency-free (and race under parallel evaluation).
+        let (program, _) = ancestor_program("?- anc(a0, W).");
+        let db = chain_engine(4);
+        let prog = compile_ns(&program, &db, "s9_");
+        let deps = node_deps(&prog);
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[1], vec![0], "_query depends on the anc clique");
     }
 
     #[test]
@@ -2269,6 +2336,7 @@ mod tests {
             types: &types,
             base_preds: &base,
             base_columns: &cols,
+            ns: "",
         };
         let rules_only = hornlog::Program::new(
             program

@@ -3,6 +3,7 @@
 //! compilation experiments report (`t_setup`, `t_extract`, `t_read`,
 //! `t_eol`, `t_gen`).
 
+use crate::backend::{with_txn, ExecBackend, Storage};
 use crate::codegen::{generate, CodegenEnv, EvalProgram};
 use crate::magic::magic_rewrite;
 use crate::runtime::{run_program_governed, EvalLimits, EvalOutcome, LfpStrategy};
@@ -14,7 +15,7 @@ use hornlog::evalgraph::evaluation_order;
 use hornlog::pcg::Pcg;
 use hornlog::types::AttrType;
 use hornlog::{parse_query, Atom, Clause, Program, Term, QUERY_PREDICATE};
-use rdbms::{Engine, Value};
+use rdbms::{DbError, Engine, ResultSet, SharedEngine, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
@@ -170,10 +171,20 @@ impl QueryResult {
     }
 }
 
-/// A D/KBMS testbed session: an engine holding the stored D/KB and base
-/// relations, plus the memory-resident workspace.
+/// A D/KBMS testbed session: an execution backend holding the stored
+/// D/KB and base relations, plus the memory-resident workspace.
+///
+/// The backend is either a private [`Engine`] (the paper's one-user
+/// architecture, via [`Session::new`]) or a [`rdbms::DbSession`] on a
+/// [`SharedEngine`] (via [`Session::attach`]), which lets N sessions
+/// share one live stored D/KB under MVCC snapshot isolation. A shared
+/// session reads committed state as of its last snapshot refresh —
+/// taken at the start of each compile, each prepared execution, and
+/// each commit — and its durable writes (fact loads, base-relation
+/// definitions, workspace commits) are validated first-committer-wins
+/// and retried transparently on `WriteConflict`.
 pub struct Session {
-    db: Engine,
+    backend: ExecBackend,
     stored: StoredDkb,
     workspace: Workspace,
     pub config: SessionConfig,
@@ -217,7 +228,7 @@ impl Session {
         let stored = StoredDkb::new(config.compiled_storage);
         stored.init(&mut db)?;
         Ok(Session {
-            db,
+            backend: ExecBackend::Private(db),
             stored,
             workspace: Workspace::new(),
             config,
@@ -231,23 +242,76 @@ impl Session {
         Session::new(SessionConfig::default())
     }
 
-    /// A read-only snapshot of this session: the engine is a
-    /// copy-on-write fork ([`Engine::fork`]), the workspace and
-    /// dictionary handles are cloned. Long LFP evaluations run on the
-    /// snapshot without blocking — or ever observing — updates committed
-    /// through this session afterwards; the two sessions share pages
-    /// until one of them writes. The fork carries no WAL: a snapshot is
-    /// scratch space for evaluation (its temporaries and
-    /// `commit_workspace` materializations stay private), never the
-    /// durability domain.
+    /// Attach a session to a [`SharedEngine`], so this user's fact loads,
+    /// LFP evaluations, and workspace commits run against the same live
+    /// stored D/KB as every other attached session.
+    ///
+    /// The first session to attach bootstraps the D/KB catalog; the
+    /// bootstrap itself is a validated transaction, so concurrent
+    /// attachers race safely — exactly one creates the tables and the
+    /// rest observe them after a refresh. `durability` is forced on
+    /// conceptually (every shared commit goes through the engine's WAL
+    /// group-commit path); `compiled_storage` is clamped to what the
+    /// shared catalog actually maintains, mirroring [`Session::open`].
+    pub fn attach(shared: &SharedEngine, config: SessionConfig) -> Result<Session, KmError> {
+        let mut backend = ExecBackend::Shared(shared.session());
+        let stored = StoredDkb::new(config.compiled_storage);
+        loop {
+            backend.refresh()?;
+            if backend.has_table("rulesource") {
+                break;
+            }
+            backend.begin()?;
+            if backend.has_table("rulesource") {
+                // A racing attacher committed the catalog between our
+                // check and begin's re-snapshot.
+                let _ = backend.rollback();
+                break;
+            }
+            match stored.init(&mut backend) {
+                Ok(()) => match backend.commit() {
+                    Ok(()) => break,
+                    Err(DbError::WriteConflict(_)) => continue,
+                    Err(e) => return Err(e.into()),
+                },
+                Err(e) => {
+                    let _ = backend.rollback();
+                    return Err(e);
+                }
+            }
+        }
+        let mut config = config;
+        config.compiled_storage = config.compiled_storage && backend.has_table("reachablepreds");
+        Ok(Session {
+            backend,
+            stored: StoredDkb::new(config.compiled_storage),
+            workspace: Workspace::new(),
+            config,
+            prepared: BTreeMap::new(),
+            recompilations: 0,
+            workspace_gen: 0,
+        })
+    }
+
+    /// A read-only snapshot of this session: the backend is an MVCC
+    /// snapshot of the current committed state ([`ExecBackend::fork_reader`]
+    /// — a copy-on-write [`Engine::fork`] on the private backend, a fresh
+    /// [`rdbms::DbSession`] on the shared one; both are the same fork
+    /// mechanism), the workspace and dictionary handles are cloned. Long
+    /// LFP evaluations run on the snapshot without blocking — or ever
+    /// observing — updates committed through this session afterwards; the
+    /// two sessions share pages until one of them writes. The private
+    /// fork carries no WAL: a snapshot is scratch space for evaluation
+    /// (its temporaries and `commit_workspace` materializations stay
+    /// private), never the durability domain.
     pub fn fork_reader(&mut self) -> Result<Session, KmError> {
-        let db = self.db.fork()?;
-        // The fork has no WAL, so the snapshot session must not try to
-        // run durable commits.
+        let backend = self.backend.fork_reader()?;
+        // The private fork has no WAL, so the snapshot session must not
+        // try to run durable commits.
         let mut config = self.config;
         config.durability = false;
         Ok(Session {
-            db,
+            backend,
             stored: self.stored.clone(),
             workspace: self.workspace.clone(),
             config,
@@ -259,12 +323,40 @@ impl Session {
 
     // -- plumbing ----------------------------------------------------------
 
+    /// The engine evaluation runs on: the private engine, or the shared
+    /// session's snapshot. Use it for inspection (stats, metrics,
+    /// profiles) and evaluation-scoped knobs (budgets, fault injectors,
+    /// cancellation); on a shared backend its durable state is a
+    /// snapshot, and writes made here are *not* validated or committed —
+    /// route those through [`Session::db_execute`].
     pub fn engine(&self) -> &Engine {
-        &self.db
+        self.backend.eval_engine_ref()
     }
 
+    /// Mutable access to the evaluation engine (see [`Session::engine`]).
     pub fn engine_mut(&mut self) -> &mut Engine {
-        &mut self.db
+        self.backend.eval_engine()
+    }
+
+    /// The execution backend itself, for callers that need transaction
+    /// control or shared-engine introspection.
+    pub fn backend_mut(&mut self) -> &mut ExecBackend {
+        &mut self.backend
+    }
+
+    /// Execute one SQL statement through the durable channel: directly on
+    /// the private engine, or via the shared session's validated MVCC
+    /// write path. This is the supported route for out-of-band DDL (e.g.
+    /// the bench harness's secondary indexes) that must be visible to —
+    /// and conflict-checked against — other attached sessions.
+    pub fn db_execute(&mut self, sql: &str) -> Result<ResultSet, KmError> {
+        Ok(self.backend.execute(sql)?)
+    }
+
+    /// Commits and validation conflicts on the shared backend (both zero
+    /// on a private backend).
+    pub fn commit_counters(&self) -> (u64, u64) {
+        self.backend.commit_counters()
     }
 
     pub fn workspace(&self) -> &Workspace {
@@ -281,14 +373,22 @@ impl Session {
     }
 
     /// Create a base relation (`c0..cn` columns) and register it in the
-    /// extensional dictionary.
+    /// extensional dictionary. On a shared backend the multi-statement
+    /// registration runs as one validated transaction, so other sessions
+    /// never observe a table without its dictionary entries.
     pub fn define_base(&mut self, name: &str, types: &[AttrType]) -> Result<(), KmError> {
-        self.stored.create_base_relation(&mut self.db, name, types)
+        let stored = &self.stored;
+        let shared = self.backend.is_shared();
+        with_txn(&mut self.backend, shared, |b| {
+            stored.create_base_relation(b, name, types)
+        })
     }
 
-    /// Bulk-load tuples into a base relation.
+    /// Bulk-load tuples into a base relation. On a shared backend this is
+    /// the key-granular MVCC write path: concurrent loads into the same
+    /// relation commute conflict-free unless they insert identical rows.
     pub fn load_facts(&mut self, name: &str, rows: Vec<Vec<Value>>) -> Result<u64, KmError> {
-        self.stored.load_facts(&mut self.db, name, rows)
+        self.stored.load_facts(&mut self.backend, name, rows)
     }
 
     /// Add rules/facts to the workspace from source text.
@@ -313,29 +413,19 @@ impl Session {
             .iter()
             .flat_map(|c| c.body.iter().map(|a| a.predicate.clone()))
             .collect();
-        let base_types = self.stored.read_edb_dictionary(&mut self.db, &referenced)?;
-        let durable = self.config.durability;
-        if durable {
-            self.db.begin()?;
-        }
-        let timings = match update_stored(&mut self.db, &self.stored, &self.workspace, &base_types)
-        {
-            Ok(t) => t,
-            Err(e) => {
-                if durable {
-                    // On a crashed disk the rollback itself fails; the
-                    // open transaction is then reconciled by recover().
-                    let _ = self.db.rollback();
-                }
-                return Err(e);
-            }
-        };
-        if durable {
-            if let Err(e) = self.db.commit() {
-                let _ = self.db.rollback();
-                return Err(e.into());
-            }
-        }
+        // Transactional: when durable (one WAL transaction on the private
+        // engine) and always on the shared backend, where the update must
+        // be one validated unit — including its dictionary *reads*, so a
+        // commit that raced another session's update fails validation and
+        // retries the whole algorithm on a fresh snapshot rather than
+        // committing decisions made against stale dictionaries.
+        let transactional = self.config.durability || self.backend.is_shared();
+        let stored = &self.stored;
+        let workspace = &self.workspace;
+        let timings = with_txn(&mut self.backend, transactional, |b| {
+            let base_types = stored.read_edb_dictionary(b, &referenced)?;
+            update_stored(b, stored, workspace, &base_types)
+        })?;
 
         // Facts that became stored base relations leave the workspace —
         // they would otherwise shadow the base relation on the next query.
@@ -378,7 +468,17 @@ impl Session {
     /// query is invalidated, since its plan may reference rolled-back
     /// state; the memory-resident workspace survives untouched.
     pub fn recover(&mut self) -> Result<rdbms::RecoveryReport, KmError> {
-        let report = self.db.recover()?;
+        let report = match &mut self.backend {
+            ExecBackend::Private(e) => e.recover()?,
+            ExecBackend::Shared(s) => {
+                // Recovery runs once on the live engine (it invalidates
+                // every open snapshot's validation baseline); this
+                // session then re-snapshots the recovered state.
+                let report = s.shared_engine().recover()?;
+                s.refresh()?;
+                report
+            }
+        };
         for entry in self.prepared.values_mut() {
             entry.valid = false;
         }
@@ -386,24 +486,37 @@ impl Session {
         // caller opted out; the engine gauge records the verdict either
         // way so an operator can see it in the metrics export.
         if self.config.verify_on_recover {
-            let verified = self.stored.verify_integrity(&mut self.db);
-            self.db.note_recovery_verified(verified.is_ok());
+            let verified = self.stored.verify_integrity(&mut self.backend);
+            match self.backend.shared_engine() {
+                Some(sh) => sh.with_live(|e| e.note_recovery_verified(verified.is_ok())),
+                None => self
+                    .backend
+                    .eval_engine()
+                    .note_recovery_verified(verified.is_ok()),
+            }
             verified?;
         }
         Ok(report)
     }
 
     /// Cross-check the stored D/KB's dictionary structures against each
-    /// other (see [`StoredDkb::verify_integrity`]).
+    /// other (see [`StoredDkb::verify_integrity`]). On a shared backend
+    /// this checks the session's snapshot.
     pub fn verify_integrity(&mut self) -> Result<(), KmError> {
-        self.stored.verify_integrity(&mut self.db)
+        self.stored.verify_integrity(&mut self.backend)
     }
 
     /// Persist the whole D/KB — base relations, dictionaries, rule storage
     /// — to a snapshot file. The memory-resident workspace is not saved
-    /// (it is scratch space by design).
+    /// (it is scratch space by design). On a shared backend the snapshot
+    /// is taken from the live committed state under the commit lock.
     pub fn save(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), KmError> {
-        Ok(self.db.save_snapshot(path)?)
+        match &mut self.backend {
+            ExecBackend::Private(e) => Ok(e.save_snapshot(path)?),
+            ExecBackend::Shared(s) => {
+                Ok(s.shared_engine().with_live(|e| e.save_snapshot(&path))?)
+            }
+        }
     }
 
     /// Open a session over a previously saved D/KB snapshot.
@@ -439,7 +552,7 @@ impl Session {
         config.compiled_storage = config.compiled_storage && db.has_table("reachablepreds");
         let stored = StoredDkb::new(config.compiled_storage);
         Ok(Session {
-            db,
+            backend: ExecBackend::Private(db),
             stored,
             workspace: Workspace::new(),
             config,
@@ -471,6 +584,8 @@ impl Session {
     /// Execute a prepared query, recompiling first if a stored-D/KB update
     /// invalidated it or the workspace changed since compilation.
     pub fn execute_prepared(&mut self, name: &str) -> Result<QueryResult, KmError> {
+        // A shared session answers from the latest committed state.
+        self.backend.refresh()?;
         let entry = self
             .prepared
             .get(name)
@@ -488,9 +603,10 @@ impl Session {
         // Run without cloning the program: the prepared map and the engine
         // are disjoint fields.
         let limits = self.eval_limits();
+        self.configure_eval_engine();
         let entry = &self.prepared[name];
         let mut outcome = run_program_governed(
-            &mut self.db,
+            self.backend.eval_engine(),
             &entry.compiled.program,
             self.config.strategy,
             self.config.special_tc,
@@ -524,8 +640,12 @@ impl Session {
 
     // -- query processing (§4.2) -------------------------------------------
 
-    /// Compile a query against the workspace and stored D/KBs.
+    /// Compile a query against the workspace and stored D/KBs. A shared
+    /// session refreshes onto the latest committed state first; the
+    /// compiled program then evaluates against that same snapshot, so a
+    /// compile-execute pair is one consistent read.
     pub fn compile(&mut self, query_src: &str) -> Result<CompiledQuery, KmError> {
+        self.backend.refresh()?;
         let total_start = Instant::now();
         let mut tm = CompileTimings::default();
 
@@ -575,7 +695,9 @@ impl Session {
 
             // Extract from the Stored D/KB.
             let t = Instant::now();
-            let extracted = self.stored.extract_relevant_rules(&mut self.db, &preds)?;
+            let extracted = self
+                .stored
+                .extract_relevant_rules(&mut self.backend, &preds)?;
             tm.t_extract += t.elapsed();
             let t = Instant::now();
             for rule in extracted.clauses {
@@ -597,11 +719,11 @@ impl Session {
         // dictionary for referenced base relations and the intensional
         // dictionary for relevant derived predicates.
         let t = Instant::now();
-        let base_rels = self.stored.base_relations(&mut self.db)?;
+        let base_rels = self.stored.base_relations(&mut self.backend)?;
         let referenced_base: BTreeSet<String> = preds.intersection(&base_rels).cloned().collect();
         let mut dict = self
             .stored
-            .read_edb_dictionary(&mut self.db, &referenced_base)?;
+            .read_edb_dictionary(&mut self.backend, &referenced_base)?;
         let derived_set: BTreeSet<String> = relevant
             .derived_predicates()
             .into_iter()
@@ -609,7 +731,7 @@ impl Session {
             .collect();
         for (pred, types) in self
             .stored
-            .read_idb_dictionary(&mut self.db, &derived_set)?
+            .read_idb_dictionary(&mut self.backend, &derived_set)?
         {
             dict.entry(pred).or_insert(types);
         }
@@ -687,7 +809,7 @@ impl Session {
         let t = Instant::now();
         let mut base_columns: BTreeMap<String, Vec<String>> = BTreeMap::new();
         for rel in &referenced_base {
-            let schema = self.db.table_schema(rel)?;
+            let schema = self.backend.table_schema(rel)?;
             base_columns.insert(
                 rel.clone(),
                 schema.columns().iter().map(|c| c.name.clone()).collect(),
@@ -695,10 +817,12 @@ impl Session {
         }
         let mut all_seeds = seed_facts;
         all_seeds.extend(extra_seeds);
+        let ns = self.backend.temp_ns();
         let env = CodegenEnv {
             types: &types,
             base_preds: &referenced_base,
             base_columns: &base_columns,
+            ns: &ns,
         };
         let program = generate(&order, &all_seeds, QUERY_PREDICATE, &env)?;
         validate_program(&program)?;
@@ -725,11 +849,31 @@ impl Session {
         }
     }
 
-    /// Execute a compiled query.
+    /// Re-apply the session's engine knobs to the evaluation engine. A
+    /// shared session's snapshot is re-forked from the live engine on
+    /// every refresh, losing per-session settings; this runs before each
+    /// evaluation so they stick. Idempotent on the private backend.
+    fn configure_eval_engine(&mut self) {
+        let cfg = self.config;
+        let e = self.backend.eval_engine();
+        if cfg.parallelism > 0 {
+            e.set_parallelism(cfg.parallelism);
+        }
+        if cfg.batch_rows > 0 {
+            e.set_batch_rows(cfg.batch_rows);
+        }
+        if cfg.memory_budget.is_some() {
+            e.set_memory_budget(cfg.memory_budget);
+        }
+    }
+
+    /// Execute a compiled query on the evaluation engine — the snapshot
+    /// the query was compiled against, for a shared session.
     pub fn execute(&mut self, compiled: &CompiledQuery) -> Result<QueryResult, KmError> {
         let limits = self.eval_limits();
+        self.configure_eval_engine();
         let mut outcome = run_program_governed(
-            &mut self.db,
+            self.backend.eval_engine(),
             &compiled.program,
             self.config.strategy,
             self.config.special_tc,
@@ -797,6 +941,11 @@ impl Session {
         Ok(out)
     }
 }
+
+/// A km session attached to a [`SharedEngine`] (built with
+/// [`Session::attach`]). Same type as [`Session`] — every session runs
+/// on an [`ExecBackend`]; the alias names the multi-user configuration.
+pub type SharedSession = Session;
 
 /// "Link step": parse every generated SQL statement once so malformed
 /// codegen output fails at compile time, not mid-evaluation.

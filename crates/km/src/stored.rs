@@ -19,12 +19,13 @@
 //! `reachablepreds` are indexed on their lookup columns; the experiments of
 //! Figures 7–10 measure the effect.
 
+use crate::backend::Storage;
 use crate::util::{attr_to_coltype, sql_in_list, sql_quote};
 use hornlog::parser::parse_clause;
 use hornlog::pcg::Pcg;
 use hornlog::types::{AttrType, TypeMap};
 use hornlog::{Clause, Program};
-use rdbms::{ColType, DbError, Engine, Value};
+use rdbms::{ColType, DbError, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Errors raised by the Knowledge Manager.
@@ -103,7 +104,7 @@ impl StoredDkb {
     }
 
     /// Create the storage structures and their indexes.
-    pub fn init(&self, db: &mut Engine) -> Result<(), KmError> {
+    pub fn init(&self, db: &mut impl Storage) -> Result<(), KmError> {
         db.execute_script(
             "CREATE TABLE idb_relname (predname char, arity integer);\
              CREATE TABLE idb_column (predname char, colno integer, coltype char);\
@@ -133,7 +134,7 @@ impl StoredDkb {
     /// register it in the extensional dictionary.
     pub fn create_base_relation(
         &self,
-        db: &mut Engine,
+        db: &mut impl Storage,
         name: &str,
         types: &[AttrType],
     ) -> Result<(), KmError> {
@@ -162,7 +163,7 @@ impl StoredDkb {
     /// Bulk-load facts (tuples) into a base relation.
     pub fn load_facts(
         &self,
-        db: &mut Engine,
+        db: &mut impl Storage,
         name: &str,
         rows: Vec<Vec<Value>>,
     ) -> Result<u64, KmError> {
@@ -170,7 +171,7 @@ impl StoredDkb {
     }
 
     /// Base relations known to the extensional dictionary.
-    pub fn base_relations(&self, db: &mut Engine) -> Result<BTreeSet<String>, KmError> {
+    pub fn base_relations(&self, db: &mut impl Storage) -> Result<BTreeSet<String>, KmError> {
         let rs = db.execute("SELECT relname FROM edb_relname")?;
         Ok(rs
             .rows
@@ -182,7 +183,7 @@ impl StoredDkb {
     /// Read the extensional dictionary for the given relations.
     pub fn read_edb_dictionary(
         &self,
-        db: &mut Engine,
+        db: &mut impl Storage,
         rels: &BTreeSet<String>,
     ) -> Result<TypeMap, KmError> {
         if rels.is_empty() {
@@ -205,7 +206,7 @@ impl StoredDkb {
     /// dictionary, if not already present.
     pub fn register_derived(
         &self,
-        db: &mut Engine,
+        db: &mut impl Storage,
         pred: &str,
         types: &[AttrType],
     ) -> Result<bool, KmError> {
@@ -237,7 +238,7 @@ impl StoredDkb {
     /// Returns how many were new.
     pub fn register_derived_bulk(
         &self,
-        db: &mut Engine,
+        db: &mut impl Storage,
         entries: &[(String, Vec<AttrType>)],
     ) -> Result<u64, KmError> {
         if entries.is_empty() {
@@ -295,7 +296,7 @@ impl StoredDkb {
     /// to deduplicate bulk rule stores with one indexed read.
     pub fn stored_rule_texts(
         &self,
-        db: &mut Engine,
+        db: &mut impl Storage,
         heads: &BTreeSet<String>,
     ) -> Result<BTreeSet<String>, KmError> {
         if heads.is_empty() {
@@ -316,7 +317,7 @@ impl StoredDkb {
     /// `t_read` operation of Test 2 (Figures 9 and 10).
     pub fn read_idb_dictionary(
         &self,
-        db: &mut Engine,
+        db: &mut impl Storage,
         preds: &BTreeSet<String>,
     ) -> Result<TypeMap, KmError> {
         if preds.is_empty() {
@@ -332,7 +333,7 @@ impl StoredDkb {
     }
 
     /// Store one rule's source form.
-    pub fn store_rule_source(&self, db: &mut Engine, rule: &Clause) -> Result<(), KmError> {
+    pub fn store_rule_source(&self, db: &mut impl Storage, rule: &Clause) -> Result<(), KmError> {
         db.execute(&format!(
             "INSERT INTO rulesource VALUES ({}, {})",
             sql_quote(&rule.head.predicate),
@@ -342,7 +343,7 @@ impl StoredDkb {
     }
 
     /// Whether the exact rule text is already stored under its head.
-    pub fn has_rule(&self, db: &mut Engine, rule: &Clause) -> Result<bool, KmError> {
+    pub fn has_rule(&self, db: &mut impl Storage, rule: &Clause) -> Result<bool, KmError> {
         let rs = db.execute(&format!(
             "SELECT COUNT(*) FROM rulesource WHERE headpredname = {} AND ruletext = {}",
             sql_quote(&rule.head.predicate),
@@ -357,7 +358,7 @@ impl StoredDkb {
     /// compiled storage is off.
     pub fn insert_reachable(
         &self,
-        db: &mut Engine,
+        db: &mut impl Storage,
         pairs: &[(String, String)],
     ) -> Result<u64, KmError> {
         if !self.compiled_storage || pairs.is_empty() {
@@ -400,7 +401,7 @@ impl StoredDkb {
     /// Predicates reachable (per the compiled form) from any of `preds`.
     pub fn reachable_from(
         &self,
-        db: &mut Engine,
+        db: &mut impl Storage,
         preds: &BTreeSet<String>,
     ) -> Result<BTreeSet<String>, KmError> {
         if !self.compiled_storage {
@@ -430,7 +431,7 @@ impl StoredDkb {
     /// predicates that already reached an updated rule head.
     pub fn reaching_to(
         &self,
-        db: &mut Engine,
+        db: &mut impl Storage,
         preds: &BTreeSet<String>,
     ) -> Result<Vec<(String, String)>, KmError> {
         if !self.compiled_storage || preds.is_empty() {
@@ -458,7 +459,7 @@ impl StoredDkb {
     /// frontier expansion when compiled storage is off.
     pub fn extract_relevant_rules(
         &self,
-        db: &mut Engine,
+        db: &mut impl Storage,
         preds: &BTreeSet<String>,
     ) -> Result<Program, KmError> {
         if preds.is_empty() {
@@ -509,19 +510,19 @@ impl StoredDkb {
     }
 
     /// Total number of stored rules (the paper's `R_s`).
-    pub fn rule_count(&self, db: &mut Engine) -> Result<u64, KmError> {
+    pub fn rule_count(&self, db: &mut impl Storage) -> Result<u64, KmError> {
         let rs = db.execute("SELECT COUNT(*) FROM rulesource")?;
         Ok(rs.scalar_int().unwrap_or(0) as u64)
     }
 
     /// Number of derived predicates in the dictionary (the paper's `P_s`).
-    pub fn derived_count(&self, db: &mut Engine) -> Result<u64, KmError> {
+    pub fn derived_count(&self, db: &mut impl Storage) -> Result<u64, KmError> {
         let rs = db.execute("SELECT COUNT(*) FROM idb_relname")?;
         Ok(rs.scalar_int().unwrap_or(0) as u64)
     }
 
     /// Number of edges in the stored transitive closure.
-    pub fn reachable_count(&self, db: &mut Engine) -> Result<u64, KmError> {
+    pub fn reachable_count(&self, db: &mut impl Storage) -> Result<u64, KmError> {
         if !self.compiled_storage {
             return Ok(0);
         }
@@ -548,7 +549,7 @@ impl StoredDkb {
     ///
     /// Returns [`KmError::Integrity`] naming the first violation. The
     /// crash-recovery tests run this after every injected crash point.
-    pub fn verify_integrity(&self, db: &mut Engine) -> Result<(), KmError> {
+    pub fn verify_integrity(&self, db: &mut impl Storage) -> Result<(), KmError> {
         self.check_dictionary(db, "idb_relname", "idb_column", "predname")?;
         self.check_dictionary(db, "edb_relname", "edb_column", "relname")?;
 
@@ -633,7 +634,7 @@ impl StoredDkb {
     /// Check one relname/column dictionary pair for cross-consistency.
     fn check_dictionary(
         &self,
-        db: &mut Engine,
+        db: &mut impl Storage,
         rel_table: &str,
         col_table: &str,
         key: &str,
@@ -738,6 +739,7 @@ fn parse_rule_rows(rows: Vec<Vec<Value>>) -> Result<Program, KmError> {
 mod tests {
     use super::*;
     use hornlog::parse_clause;
+    use rdbms::Engine;
 
     fn setup(compiled: bool) -> (Engine, StoredDkb) {
         let mut db = Engine::new();

@@ -6,13 +6,13 @@
 //! whole stored rule base. The paper's Test 8/9 measure exactly the three
 //! phases broken out in [`UpdateTimings`].
 
+use crate::backend::Storage;
 use crate::semantics;
 use crate::stored::{KmError, StoredDkb};
 use crate::workspace::Workspace;
 use hornlog::pcg::Pcg;
 use hornlog::types::TypeMap;
 use hornlog::Program;
-use rdbms::Engine;
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -51,7 +51,7 @@ pub struct UpdateTimings {
 /// extensional dictionary types for the type check (pass the EDB dictionary
 /// contents). Only intensional structures are written, as in the testbed.
 pub fn update_stored(
-    db: &mut Engine,
+    db: &mut impl Storage,
     stored: &StoredDkb,
     workspace: &Workspace,
     base_types: &TypeMap,
@@ -249,6 +249,7 @@ pub fn update_stored(
 mod tests {
     use super::*;
     use hornlog::types::AttrType;
+    use rdbms::Engine;
 
     fn setup(compiled: bool) -> (Engine, StoredDkb) {
         let mut db = Engine::new();

@@ -16,13 +16,26 @@
 //!   Write statements execute against the session's private fork (so the
 //!   session reads its own writes) *and* are recorded. At commit the
 //!   recorded statements are replayed on the live engine inside a WAL
-//!   transaction. Validation is at table granularity over the
-//!   transaction's read ∪ write set: if any table in the set was
-//!   committed by another session after this transaction's snapshot, the
-//!   commit fails with [`DbError::WriteConflict`] and nothing is applied.
+//!   transaction. Validation runs over the transaction's read ∪ write
+//!   footprint: reads and state-dependent writes (DDL, `TRUNCATE`,
+//!   `DELETE`, `INSERT ... SELECT`, transitive closure) are validated at
+//!   table granularity — any commit that touched the table after this
+//!   transaction's snapshot kills it with [`DbError::WriteConflict`] and
+//!   nothing is applied. Literal-row inserts (`INSERT ... VALUES`,
+//!   [`DbSession::insert_rows`]) are validated at *key* granularity: the
+//!   inserted rows are recorded as keys, and the commit fails only when a
+//!   concurrent commit coarsely rewrote the table or inserted an
+//!   overlapping key. Commuting inserts into the same table therefore
+//!   take a conflict-free fast path. This is sound because a literal
+//!   insert's replay is state-independent: replaying the recorded rows in
+//!   commit order *is* the serial execution in commit order, and any
+//!   statement whose outcome could depend on those rows either reads the
+//!   table (table-granular read validation) or writes it coarsely.
 //!   Because validation covers the *read* set too, the replay runs
 //!   against exactly the table states the fork execution saw — the
 //!   committed history is serializable in commit order.
+//!   [`SharedEngine::set_key_granular`] reverts to pure table
+//!   granularity, the ablation baseline of `experiments concurrency`.
 //!
 //! * **Group commit.** Commits funnel through a queue: a committing
 //!   session enqueues its transaction, then contends for the live-engine
@@ -42,10 +55,11 @@
 use crate::catalog::DbError;
 use crate::engine::{Engine, ResultSet};
 use crate::metrics::{Metric, Registry};
+use crate::schema::{Schema, Tuple};
 use crate::sql::ast::{Condition, Query, Stmt};
-use crate::sql::parser::parse_stmt_params;
+use crate::sql::parser::{parse_script, parse_stmt_params};
 use crate::value::Value;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -54,7 +68,51 @@ use std::sync::{Arc, Condvar, Mutex};
 #[derive(Debug, Clone)]
 enum ReplayOp {
     Sql(String),
-    Prepared { sql: String, params: Vec<Value> },
+    Prepared {
+        sql: String,
+        params: Vec<Value>,
+    },
+    /// A literal row batch ([`DbSession::insert_rows`]) — the bulk-load
+    /// path the Knowledge Manager's stored-D/KB loads go through.
+    Rows {
+        table: String,
+        rows: Vec<Tuple>,
+    },
+    /// A multi-statement script ([`DbSession::execute_script`]), replayed
+    /// as one unit; its footprint is the merge of its statements'.
+    Script(String),
+}
+
+/// How a transaction wrote one table, for validation purposes.
+#[derive(Debug, Clone)]
+enum TableWrite {
+    /// A state-dependent write (DDL, `TRUNCATE`, `DELETE`,
+    /// `INSERT ... SELECT`, transitive closure): conflicts with any
+    /// concurrent write to the table, exactly as in pure table
+    /// granularity.
+    Coarse,
+    /// Literal-row inserts only: replay is state-independent, so the
+    /// write conflicts only with a concurrent coarse write or an
+    /// overlapping inserted key (the key is the full row — the engine
+    /// has no primary-key constraints, so equal rows are the only
+    /// overlap that could distinguish commit orders to a key-level
+    /// observer).
+    Keys(BTreeSet<Tuple>),
+}
+
+/// Merge another statement's write of `table` into a transaction's
+/// accumulated write set. `Coarse` absorbs keys in both directions.
+fn merge_write(set: &mut BTreeMap<String, TableWrite>, table: String, write: TableWrite) {
+    match set.entry(table) {
+        std::collections::btree_map::Entry::Vacant(e) => {
+            e.insert(write);
+        }
+        std::collections::btree_map::Entry::Occupied(mut e) => match (e.get_mut(), write) {
+            (TableWrite::Coarse, _) => {}
+            (slot @ TableWrite::Keys(_), TableWrite::Coarse) => *slot = TableWrite::Coarse,
+            (TableWrite::Keys(a), TableWrite::Keys(b)) => a.extend(b),
+        },
+    }
 }
 
 /// A transaction waiting in the commit queue.
@@ -65,7 +123,63 @@ struct Pending {
     snapshot_seq: u64,
     ops: Vec<ReplayOp>,
     read_set: BTreeSet<String>,
-    write_set: BTreeSet<String>,
+    write_set: BTreeMap<String, TableWrite>,
+}
+
+/// Keys remembered per table before the FIFO history starts pruning.
+/// Far above what the bench workloads insert between any two snapshots;
+/// the `pruned_floor` fallback keeps validation sound past the cap.
+const KEY_HISTORY_CAP: usize = 65_536;
+
+/// Per-table commit history: the last-writer sequence numbers key-granular
+/// validation checks against.
+#[derive(Default)]
+struct TableHistory {
+    /// Seq of the last commit that wrote the table at all (reads and
+    /// coarse writes validate against this — unchanged table semantics).
+    last_seq: u64,
+    /// Seq of the last *coarse* write; literal inserts conflict with it.
+    coarse_seq: u64,
+    /// Last-writer seq per inserted key, FIFO-capped at
+    /// [`KEY_HISTORY_CAP`].
+    keys: BTreeMap<Tuple, u64>,
+    /// Insertion order of `keys` entries, for pruning.
+    order: VecDeque<(Tuple, u64)>,
+    /// Highest seq ever pruned from `keys`: an absent key may have been
+    /// written at or below this, so validation treats "absent but floor
+    /// past snapshot" as a conflict (conservative, never unsound).
+    pruned_floor: u64,
+}
+
+impl TableHistory {
+    /// Record a coarse write at `seq`. Key history before a coarse write
+    /// is irrelevant: any snapshot that predates it already conflicts on
+    /// `coarse_seq` alone.
+    fn record_coarse(&mut self, seq: u64) {
+        self.last_seq = seq;
+        self.coarse_seq = seq;
+        self.keys.clear();
+        self.order.clear();
+        self.pruned_floor = 0;
+    }
+
+    /// Record a literal-insert write of `keys` at `seq`.
+    fn record_keys(&mut self, keys: &BTreeSet<Tuple>, seq: u64) {
+        self.last_seq = seq;
+        for k in keys {
+            self.keys.insert(k.clone(), seq);
+            self.order.push_back((k.clone(), seq));
+        }
+        while self.order.len() > KEY_HISTORY_CAP {
+            let (k, s) = self.order.pop_front().expect("len checked");
+            // Only drop the map entry if it still belongs to this
+            // insertion; a re-inserted key owns a newer seq.
+            if self.keys.get(&k) == Some(&s) {
+                self.keys.remove(&k);
+            }
+            self.pruned_floor = self.pruned_floor.max(s);
+        }
+    }
 }
 
 /// The single mutable heart of the system: the live engine plus the
@@ -74,8 +188,9 @@ struct Live {
     engine: Engine,
     /// Bumped once per applied transaction.
     commit_seq: u64,
-    /// Per-table sequence number of the last commit that wrote it.
-    table_versions: BTreeMap<String, u64>,
+    /// Per-table commit history (last write, last coarse write, recent
+    /// insert keys).
+    history: BTreeMap<String, TableHistory>,
     /// Outcomes of transactions a leader applied on behalf of other
     /// sessions, keyed by ticket; each owner removes its own entry.
     results: BTreeMap<u64, Result<(), DbError>>,
@@ -91,6 +206,10 @@ struct Shared {
     /// once per drained batch; when off every commit fsyncs itself —
     /// the ablation baseline for `experiments concurrency`.
     group_commit: AtomicBool,
+    /// When on (the default), literal-row inserts validate at key
+    /// granularity; off restores PR-8 table granularity (the ablation
+    /// baseline).
+    key_granular: AtomicBool,
     next_session: AtomicU64,
     next_ticket: AtomicU64,
     /// Simulated fsync latency (µs), from `RDBMS_FSYNC_MICROS`.
@@ -126,11 +245,12 @@ impl SharedEngine {
                 live: Mutex::new(Live {
                     engine,
                     commit_seq: 0,
-                    table_versions: BTreeMap::new(),
+                    history: BTreeMap::new(),
                     results: BTreeMap::new(),
                 }),
                 batch_done: Condvar::new(),
                 group_commit: AtomicBool::new(true),
+                key_granular: AtomicBool::new(true),
                 next_session: AtomicU64::new(0),
                 next_ticket: AtomicU64::new(0),
                 fsync_micros: fsync_micros_env(),
@@ -142,6 +262,14 @@ impl SharedEngine {
     /// individually, the baseline the concurrency bench compares against.
     pub fn set_group_commit(&self, on: bool) {
         self.shared.group_commit.store(on, Ordering::Relaxed);
+    }
+
+    /// Toggle key-granular validation of literal-row inserts (on by
+    /// default). Off = every write validates at table granularity, the
+    /// PR-8 baseline `experiments concurrency` compares conflict rates
+    /// against.
+    pub fn set_key_granular(&self, on: bool) {
+        self.shared.key_granular.store(on, Ordering::Relaxed);
     }
 
     /// Open a new session on the current committed state.
@@ -185,7 +313,10 @@ impl SharedEngine {
         live.commit_seq += 1;
         let seq = live.commit_seq;
         for name in live.engine.table_names() {
-            live.table_versions.insert(name.to_ascii_lowercase(), seq);
+            live.history
+                .entry(name.to_ascii_lowercase())
+                .or_default()
+                .record_coarse(seq);
         }
         for p in queued.drain(..) {
             live.results.insert(
@@ -213,7 +344,7 @@ impl SharedEngine {
 struct TxnRecording {
     ops: Vec<ReplayOp>,
     read_set: BTreeSet<String>,
-    write_set: BTreeSet<String>,
+    write_set: BTreeMap<String, TableWrite>,
     /// A statement failed mid-transaction; only rollback is accepted
     /// (the fork may hold that statement's partial effects).
     poisoned: bool,
@@ -255,6 +386,19 @@ impl DbSession {
     /// through it ([`Engine::set_statement_timeout`] etc.).
     pub fn engine(&mut self) -> &mut Engine {
         &mut self.snap
+    }
+
+    /// Immutable view of the session's snapshot engine.
+    pub fn snapshot(&self) -> &Engine {
+        &self.snap
+    }
+
+    /// A handle to the shared engine this session runs on — the way to
+    /// open sibling sessions against the same live state.
+    pub fn shared_engine(&self) -> SharedEngine {
+        SharedEngine {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Discard the current snapshot (and any open transaction) and fork
@@ -351,6 +495,141 @@ impl DbSession {
         self.run(&stmt.sql, Some((stmt, params)), &stmt.stmt.clone())
     }
 
+    /// Insert literal rows through the MVCC write path: executed on the
+    /// snapshot (the session reads its own writes) and recorded for
+    /// key-granular replay at commit — the bulk-load fast path of the
+    /// Knowledge Manager's stored D/KB. In autocommit a write conflict is
+    /// retried transparently, like [`DbSession::execute`].
+    pub fn insert_rows(&mut self, table: &str, rows: Vec<Tuple>) -> Result<u64, DbError> {
+        if self.txn.as_ref().is_some_and(|t| t.poisoned) {
+            return Err(DbError::Txn(
+                "transaction aborted by an earlier statement error; rollback first".into(),
+            ));
+        }
+        let keys: BTreeSet<Tuple> = rows.iter().cloned().collect();
+        let op = ReplayOp::Rows {
+            table: table.to_string(),
+            rows: rows.clone(),
+        };
+        if self.txn.is_some() {
+            let result = self.snap.insert_rows(table, rows);
+            if let Some(t) = self.txn.as_mut() {
+                match &result {
+                    Ok(_) => {
+                        t.ops.push(op);
+                        merge_write(&mut t.write_set, norm(table), TableWrite::Keys(keys));
+                    }
+                    Err(_) => t.poisoned = true,
+                }
+            }
+            return result;
+        }
+        loop {
+            let n = match self.snap.insert_rows(table, rows.clone()) {
+                Ok(n) => n,
+                Err(e) => {
+                    let _ = self.refresh();
+                    return Err(e);
+                }
+            };
+            let writes = BTreeMap::from([(norm(table), TableWrite::Keys(keys.clone()))]);
+            match self.submit(vec![op.clone()], BTreeSet::new(), writes) {
+                Ok(()) => return Ok(n),
+                Err(DbError::WriteConflict(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Execute a multi-statement script through the MVCC path. The script
+    /// runs on the snapshot and is recorded as a single replay unit whose
+    /// validation footprint is the merge of its statements' footprints —
+    /// the stored-D/KB bootstrap DDL goes through here.
+    pub fn execute_script(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        if self.txn.as_ref().is_some_and(|t| t.poisoned) {
+            return Err(DbError::Txn(
+                "transaction aborted by an earlier statement error; rollback first".into(),
+            ));
+        }
+        let stmts = parse_script(sql)?;
+        let mut reads = BTreeSet::new();
+        let mut writes = BTreeMap::new();
+        for stmt in &stmts {
+            let (r, w) = self.stmt_tables(stmt, None);
+            reads.extend(r);
+            for (table, write) in w {
+                merge_write(&mut writes, table, write);
+            }
+        }
+        if writes.is_empty() {
+            let result = self.snap.execute_script(sql);
+            if let (Some(t), Ok(_)) = (self.txn.as_mut(), &result) {
+                t.read_set.extend(reads);
+            }
+            return result;
+        }
+        let op = ReplayOp::Script(sql.to_string());
+        if self.txn.is_some() {
+            let result = self.snap.execute_script(sql);
+            if let Some(t) = self.txn.as_mut() {
+                match &result {
+                    Ok(_) => {
+                        t.ops.push(op);
+                        t.read_set.extend(reads);
+                        for (table, write) in writes {
+                            merge_write(&mut t.write_set, table, write);
+                        }
+                    }
+                    Err(_) => t.poisoned = true,
+                }
+            }
+            return result;
+        }
+        loop {
+            let rs = match self.snap.execute_script(sql) {
+                Ok(rs) => rs,
+                Err(e) => {
+                    let _ = self.refresh();
+                    return Err(e);
+                }
+            };
+            match self.submit(vec![op.clone()], reads.clone(), writes.clone()) {
+                Ok(()) => return Ok(rs),
+                Err(DbError::WriteConflict(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Whether the snapshot has `table`.
+    pub fn has_table(&self, table: &str) -> bool {
+        self.snap.has_table(table)
+    }
+
+    /// Schema of `table` on the snapshot.
+    pub fn table_schema(&self, table: &str) -> Result<Schema, DbError> {
+        self.snap.table_schema(table)
+    }
+
+    /// Row count of `table` on the snapshot, recorded as a read when a
+    /// transaction is open (decisions derived from the count must not
+    /// survive a concurrent write to the table).
+    pub fn table_len(&mut self, table: &str) -> Result<u64, DbError> {
+        if let Some(t) = self.txn.as_mut() {
+            t.read_set.insert(norm(table));
+        }
+        self.snap.table_len(table)
+    }
+
+    /// All rows of `table` on the snapshot, recorded as a read when a
+    /// transaction is open.
+    pub fn scan_all(&mut self, table: &str) -> Result<Vec<Tuple>, DbError> {
+        if let Some(t) = self.txn.as_mut() {
+            t.read_set.insert(norm(table));
+        }
+        self.snap.scan_all(table)
+    }
+
     fn run(
         &mut self,
         sql: &str,
@@ -362,7 +641,7 @@ impl DbSession {
                 "transaction aborted by an earlier statement error; rollback first".into(),
             ));
         }
-        let (reads, writes) = self.stmt_tables(stmt);
+        let (reads, writes) = self.stmt_tables(stmt, prepared.map(|(_, p)| p));
         if writes.is_empty() {
             // Pure read: run on the snapshot; record the footprint when
             // a transaction is open (reads participate in validation).
@@ -386,7 +665,9 @@ impl DbSession {
                 Ok(_) => {
                     t.ops.push(op);
                     t.read_set.extend(reads);
-                    t.write_set.extend(writes);
+                    for (table, w) in writes {
+                        merge_write(&mut t.write_set, table, w);
+                    }
                 }
                 Err(_) => t.poisoned = true,
             }
@@ -445,7 +726,7 @@ impl DbSession {
         &mut self,
         ops: Vec<ReplayOp>,
         read_set: BTreeSet<String>,
-        write_set: BTreeSet<String>,
+        write_set: BTreeMap<String, TableWrite>,
     ) -> Result<(), DbError> {
         let ticket = self.shared.next_ticket.fetch_add(1, Ordering::Relaxed);
         self.shared.queue.lock().unwrap().push(Pending {
@@ -474,11 +755,12 @@ impl DbSession {
                 continue;
             }
             let defer = self.shared.group_commit.load(Ordering::Relaxed);
+            let key_granular = self.shared.key_granular.load(Ordering::Relaxed);
             live.engine.set_defer_fsync(defer);
             let mut mine = None;
             for p in batch {
                 let p_ticket = p.ticket;
-                let r = apply_one(&mut live, p);
+                let r = apply_one(&mut live, p, key_granular);
                 if !defer && r.is_ok() {
                     simulate_fsync(self.shared.fsync_micros);
                 }
@@ -541,16 +823,22 @@ impl DbSession {
     }
 
     /// Tables a statement reads / writes (lower-cased), the footprint
-    /// first-committer-wins validation runs over.
-    fn stmt_tables(&self, stmt: &Stmt) -> (BTreeSet<String>, BTreeSet<String>) {
+    /// first-committer-wins validation runs over. `params` binds `?`
+    /// placeholders of a prepared statement so literal inserts can list
+    /// their keys.
+    fn stmt_tables(
+        &self,
+        stmt: &Stmt,
+        params: Option<&[Value]>,
+    ) -> (BTreeSet<String>, BTreeMap<String, TableWrite>) {
         let mut reads = BTreeSet::new();
-        let mut writes = BTreeSet::new();
+        let mut writes = BTreeMap::new();
         match stmt {
             Stmt::CreateTable { name, .. } | Stmt::DropTable { name, .. } => {
-                writes.insert(norm(name));
+                writes.insert(norm(name), TableWrite::Coarse);
             }
             Stmt::CreateIndex { table, .. } => {
-                writes.insert(norm(table));
+                writes.insert(norm(table), TableWrite::Coarse);
             }
             Stmt::DropIndex { name } => {
                 // Resolve the owning table on the snapshot; if the index
@@ -559,24 +847,27 @@ impl DbSession {
                 for t in self.snap.table_names() {
                     if let Ok((_, _, indexes)) = self.snap.table_info(&t) {
                         if indexes.iter().any(|(n, _, _)| *n == key) {
-                            writes.insert(norm(&t));
+                            writes.insert(norm(&t), TableWrite::Coarse);
                         }
                     }
                 }
             }
-            Stmt::InsertValues { table, .. } | Stmt::Truncate { table } => {
-                writes.insert(norm(table));
+            Stmt::InsertValues { table, rows } => {
+                writes.insert(norm(table), insert_keys(rows, params));
+            }
+            Stmt::Truncate { table } => {
+                writes.insert(norm(table), TableWrite::Coarse);
             }
             Stmt::InsertSelect { table, query } => {
-                writes.insert(norm(table));
+                writes.insert(norm(table), TableWrite::Coarse);
                 query_tables(query, &mut reads);
             }
             Stmt::InsertTransitiveClosure { table, source } => {
-                writes.insert(norm(table));
+                writes.insert(norm(table), TableWrite::Coarse);
                 reads.insert(norm(source));
             }
             Stmt::Delete { table, predicate } => {
-                writes.insert(norm(table));
+                writes.insert(norm(table), TableWrite::Coarse);
                 conds_tables(predicate, &mut reads);
             }
             Stmt::Select(query) | Stmt::Explain(query) | Stmt::ExplainAnalyze(query) => {
@@ -585,6 +876,31 @@ impl DbSession {
         }
         (reads, writes)
     }
+}
+
+/// The write-set entry for an `INSERT ... VALUES` statement: the inserted
+/// rows as keys. Any scalar that cannot be resolved to a literal (an
+/// unbound parameter, a column reference the parser should have rejected)
+/// degrades the whole statement to a coarse write — conservative, never
+/// unsound.
+fn insert_keys(rows: &[Vec<crate::sql::ast::Scalar>], params: Option<&[Value]>) -> TableWrite {
+    use crate::sql::ast::Scalar;
+    let mut keys = BTreeSet::new();
+    for row in rows {
+        let mut key = Vec::with_capacity(row.len());
+        for scalar in row {
+            match scalar {
+                Scalar::Lit(v) => key.push(v.clone()),
+                Scalar::Param(i) => match params.and_then(|p| p.get(*i)) {
+                    Some(v) => key.push(v.clone()),
+                    None => return TableWrite::Coarse,
+                },
+                Scalar::Col(_) => return TableWrite::Coarse,
+            }
+        }
+        keys.insert(key);
+    }
+    TableWrite::Keys(keys)
 }
 
 /// A statement prepared on a [`DbSession`]: the fork-local handle plus
@@ -633,24 +949,63 @@ fn simulate_fsync(micros: u64) {
 }
 
 /// Validate and apply one queued transaction on the live engine.
-fn apply_one(live: &mut Live, p: Pending) -> Result<(), DbError> {
-    // First-committer-wins over the read ∪ write set: any table in the
-    // footprint committed past this transaction's snapshot kills it.
-    for table in p.read_set.iter().chain(p.write_set.iter()) {
-        let version = live.table_versions.get(table).copied().unwrap_or(0);
-        if version > p.snapshot_seq {
-            return Err(DbError::WriteConflict(format!(
-                "table '{table}' was modified by a concurrent commit \
-                 (snapshot at seq {}, table at seq {version}); retry the transaction",
-                p.snapshot_seq
-            )));
+///
+/// First-committer-wins over the read ∪ write footprint. Reads and coarse
+/// writes conflict with *any* commit that wrote the table past this
+/// transaction's snapshot; key-listed literal inserts conflict only with
+/// a coarse write, an overlapping key, or a key history pruned past the
+/// snapshot. With `key_granular` off every write validates coarsely (the
+/// PR-8 baseline).
+fn apply_one(live: &mut Live, p: Pending, key_granular: bool) -> Result<(), DbError> {
+    let conflict = |table: &str, seq: u64, what: &str| {
+        Err(DbError::WriteConflict(format!(
+            "table '{table}' {what} by a concurrent commit \
+             (snapshot at seq {}, table at seq {seq}); retry the transaction",
+            p.snapshot_seq
+        )))
+    };
+    for table in &p.read_set {
+        if let Some(h) = live.history.get(table) {
+            if h.last_seq > p.snapshot_seq {
+                return conflict(table, h.last_seq, "was modified");
+            }
+        }
+    }
+    for (table, write) in &p.write_set {
+        let Some(h) = live.history.get(table) else {
+            continue;
+        };
+        match write {
+            TableWrite::Keys(keys) if key_granular => {
+                if h.coarse_seq > p.snapshot_seq {
+                    return conflict(table, h.coarse_seq, "was rewritten");
+                }
+                if h.pruned_floor > p.snapshot_seq {
+                    return conflict(table, h.pruned_floor, "key history was pruned");
+                }
+                for key in keys {
+                    let seq = h.keys.get(key).copied().unwrap_or(0);
+                    if seq > p.snapshot_seq {
+                        return conflict(table, seq, "had an overlapping key inserted");
+                    }
+                }
+            }
+            _ => {
+                if h.last_seq > p.snapshot_seq {
+                    return conflict(table, h.last_seq, "was modified");
+                }
+            }
         }
     }
     apply_ops(&mut live.engine, &p.ops)?;
     live.commit_seq += 1;
     let seq = live.commit_seq;
-    for table in &p.write_set {
-        live.table_versions.insert(table.clone(), seq);
+    for (table, write) in &p.write_set {
+        let h = live.history.entry(table.clone()).or_default();
+        match write {
+            TableWrite::Keys(keys) if key_granular => h.record_keys(keys, seq),
+            _ => h.record_coarse(seq),
+        }
     }
     Ok(())
 }
@@ -669,6 +1024,8 @@ fn apply_ops(engine: &mut Engine, ops: &[ReplayOp]) -> Result<(), DbError> {
                 let _ = engine.deallocate(id);
                 r
             }
+            ReplayOp::Rows { table, rows } => engine.insert_rows(table, rows.clone()).map(|_| ()),
+            ReplayOp::Script(sql) => engine.execute_script(sql).map(|_| ()),
         };
         if let Err(e) = r {
             let _ = engine.rollback();
@@ -713,13 +1070,15 @@ mod tests {
 
     #[test]
     fn first_committer_wins_on_the_same_table() {
+        // A state-dependent write (DELETE) races a literal insert: the
+        // second committer must lose at table granularity.
         let shared = seeded();
         let mut a = shared.session();
         let mut b = shared.session();
         a.begin().unwrap();
         b.begin().unwrap();
         a.execute("INSERT INTO kv VALUES (3, 30)").unwrap();
-        b.execute("INSERT INTO kv VALUES (4, 40)").unwrap();
+        b.execute("DELETE FROM kv WHERE k = 1").unwrap();
         a.commit().unwrap();
         let err = b.commit().unwrap_err();
         assert!(
@@ -729,9 +1088,129 @@ mod tests {
         assert_eq!(b.conflicts(), 1);
         // Retry on the fresh snapshot succeeds.
         b.begin().unwrap();
-        b.execute("INSERT INTO kv VALUES (4, 40)").unwrap();
+        b.execute("DELETE FROM kv WHERE k = 1").unwrap();
         b.commit().unwrap();
-        assert_eq!(dump(&mut b).len(), 4);
+        assert_eq!(dump(&mut b).len(), 2);
+    }
+
+    /// Regression (key-granular validation): commuting literal inserts
+    /// into the same table no longer raise `WriteConflict`.
+    #[test]
+    fn commuting_inserts_into_same_table_do_not_conflict() {
+        let shared = seeded();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.execute("INSERT INTO kv VALUES (3, 30)").unwrap();
+        b.execute("INSERT INTO kv VALUES (4, 40)").unwrap();
+        a.commit().unwrap();
+        b.commit().expect("disjoint-key inserts commute");
+        assert_eq!(a.conflicts() + b.conflicts(), 0);
+        let mut check = shared.session();
+        assert_eq!(dump(&mut check).len(), 4);
+    }
+
+    /// The ablation toggle restores PR-8 table granularity: the same
+    /// disjoint-key schedule conflicts again.
+    #[test]
+    fn table_granularity_toggle_restores_old_conflicts() {
+        let shared = seeded();
+        shared.set_key_granular(false);
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.execute("INSERT INTO kv VALUES (3, 30)").unwrap();
+        b.execute("INSERT INTO kv VALUES (4, 40)").unwrap();
+        a.commit().unwrap();
+        let err = b.commit().unwrap_err();
+        assert!(matches!(err, DbError::WriteConflict(_)), "{err}");
+    }
+
+    /// Overlapping keys still conflict: a key-level observer could
+    /// otherwise distinguish commit orders.
+    #[test]
+    fn overlapping_keys_conflict() {
+        let shared = seeded();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.execute("INSERT INTO kv VALUES (3, 30)").unwrap();
+        b.execute("INSERT INTO kv VALUES (3, 30)").unwrap();
+        a.commit().unwrap();
+        let err = b.commit().unwrap_err();
+        assert!(matches!(err, DbError::WriteConflict(_)), "{err}");
+    }
+
+    /// A coarse rewrite (TRUNCATE) since the snapshot kills a literal
+    /// insert even under key granularity: replaying the insert after the
+    /// rewrite is serial, but the coarse writer's own validation story
+    /// depends on the table version, so inserts stay conservative here.
+    #[test]
+    fn coarse_write_conflicts_literal_insert() {
+        let shared = seeded();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        b.begin().unwrap();
+        b.execute("INSERT INTO kv VALUES (5, 50)").unwrap();
+        a.execute("TRUNCATE TABLE kv").unwrap();
+        let err = b.commit().unwrap_err();
+        assert!(matches!(err, DbError::WriteConflict(_)), "{err}");
+    }
+
+    /// Reads stay table-granular: a snapshot read of a table invalidates
+    /// against even a commuting insert into it (the replayed transaction
+    /// must see exactly the table states its fork saw).
+    #[test]
+    fn reads_invalidate_against_commuting_inserts() {
+        let shared = seeded();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        a.execute("SELECT k, v FROM kv").unwrap();
+        a.execute("INSERT INTO kv VALUES (7, 70)").unwrap();
+        b.execute("INSERT INTO kv VALUES (8, 80)").unwrap();
+        let err = a.commit().unwrap_err();
+        assert!(matches!(err, DbError::WriteConflict(_)), "{err}");
+    }
+
+    /// `insert_rows` batches ride the same key-granular path as SQL
+    /// inserts, in transactions and in autocommit.
+    #[test]
+    fn insert_rows_batches_commute() {
+        let shared = seeded();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        b.begin().unwrap();
+        let rows_a: Vec<Tuple> = (0..10)
+            .map(|i| vec![Value::Int(100 + i), Value::Int(i)])
+            .collect();
+        let rows_b: Vec<Tuple> = (0..10)
+            .map(|i| vec![Value::Int(200 + i), Value::Int(i)])
+            .collect();
+        assert_eq!(a.insert_rows("kv", rows_a).unwrap(), 10);
+        assert_eq!(b.insert_rows("kv", rows_b).unwrap(), 10);
+        a.commit().unwrap();
+        b.commit().expect("disjoint insert_rows batches commute");
+        let mut check = shared.session();
+        assert_eq!(dump(&mut check).len(), 22);
+    }
+
+    /// A pruned key history fails conservative, never unsound: after the
+    /// FIFO cap evicts entries, an insert from a pre-pruning snapshot
+    /// conflicts even with keys nobody touched.
+    #[test]
+    fn pruned_key_history_is_conservative() {
+        let mut h = TableHistory::default();
+        let keys: BTreeSet<Tuple> = (0..KEY_HISTORY_CAP as i64 + 10)
+            .map(|i| vec![Value::Int(i)])
+            .collect();
+        h.record_keys(&keys, 5);
+        assert!(h.pruned_floor >= 5, "cap exceeded, floor must rise");
+        assert!(h.keys.len() <= KEY_HISTORY_CAP);
     }
 
     #[test]

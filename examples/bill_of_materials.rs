@@ -46,8 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect(),
     )?;
     // Index the part-explosion join column.
-    s.engine_mut()
-        .execute("CREATE INDEX subpart_c0 ON subpart (c0)")?;
+    s.db_execute("CREATE INDEX subpart_c0 ON subpart (c0)")?;
 
     s.load_rules(
         "contains(A, P) :- subpart(A, P).\n\
