@@ -13,6 +13,7 @@ pub mod fig15;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod optimizer;
 pub mod optimizers;
 pub mod parallel;
 pub mod prepared;
@@ -47,6 +48,7 @@ pub const ALL: &[(&str, fn())] = &[
     ("table8", table8::run),
     ("wal", wal::run),
     ("datasets", datasets::run),
+    ("optimizer", optimizer::run),
     ("optimizers", optimizers::run),
     ("prepared", prepared::run),
     ("parallel", parallel::run),

@@ -18,19 +18,22 @@
 //!   recorded statements are replayed on the live engine inside a WAL
 //!   transaction. Validation runs over the transaction's read ∪ write
 //!   footprint: reads and state-dependent writes (DDL, `TRUNCATE`,
-//!   `DELETE`, `INSERT ... SELECT`, transitive closure) are validated at
-//!   table granularity — any commit that touched the table after this
-//!   transaction's snapshot kills it with [`DbError::WriteConflict`] and
-//!   nothing is applied. Literal-row inserts (`INSERT ... VALUES`,
-//!   [`DbSession::insert_rows`]) are validated at *key* granularity: the
-//!   inserted rows are recorded as keys, and the commit fails only when a
-//!   concurrent commit coarsely rewrote the table or inserted an
-//!   overlapping key. Commuting inserts into the same table therefore
-//!   take a conflict-free fast path. This is sound because a literal
-//!   insert's replay is state-independent: replaying the recorded rows in
-//!   commit order *is* the serial execution in commit order, and any
-//!   statement whose outcome could depend on those rows either reads the
-//!   table (table-granular read validation) or writes it coarsely.
+//!   multi-row `DELETE`, `INSERT ... SELECT`, transitive closure) are
+//!   validated at table granularity — any commit that touched the table
+//!   after this transaction's snapshot kills it with
+//!   [`DbError::WriteConflict`] and nothing is applied. Literal-row
+//!   inserts (`INSERT ... VALUES`, [`DbSession::insert_rows`]) are
+//!   validated at *key* granularity: the inserted rows are recorded as
+//!   keys, and the commit fails only when a concurrent commit coarsely
+//!   rewrote the table or inserted an overlapping key. Point deletes
+//!   (`DELETE ... WHERE col = literal`) are key-granular too: the
+//!   `(column, value)` atom conflicts only with a coarse write, a
+//!   concurrent insert of a matching row, or a concurrent point delete
+//!   not provably disjoint (same column, different value). Commuting
+//!   inserts and point deletes therefore take a conflict-free fast path.
+//!   This is sound because their replays preserve the serial outcome:
+//!   a literal insert is state-independent, and a point delete's matched
+//!   row set is unchanged by any commit it is allowed to overlap with.
 //!   Because validation covers the *read* set too, the replay runs
 //!   against exactly the table states the fork execution saw — the
 //!   committed history is serializable in commit order.
@@ -56,7 +59,7 @@ use crate::catalog::DbError;
 use crate::engine::{Engine, ResultSet};
 use crate::metrics::{Metric, Registry};
 use crate::schema::{Schema, Tuple};
-use crate::sql::ast::{Condition, Query, Stmt};
+use crate::sql::ast::{CmpOp, Condition, Query, Stmt};
 use crate::sql::parser::{parse_script, parse_stmt_params};
 use crate::value::Value;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -98,6 +101,16 @@ enum TableWrite {
     /// overlap that could distinguish commit orders to a key-level
     /// observer).
     Keys(BTreeSet<Tuple>),
+    /// Point deletes (`DELETE ... WHERE col = literal`): each atom is a
+    /// `(column, value)` pair naming exactly the rows the delete targets.
+    /// Replay after a commuting commit is serial, so the delete conflicts
+    /// only with a coarse write, a concurrent insert of a matching row
+    /// (the replay would delete a row the fork never saw), or a
+    /// concurrent delete that cannot be proven disjoint (same column +
+    /// different value is the only provable case — one row holds one
+    /// value per column). Multi-conjunct and non-equality DELETEs stay
+    /// [`TableWrite::Coarse`].
+    DeleteKeys(BTreeSet<(usize, Value)>),
 }
 
 /// Merge another statement's write of `table` into a transaction's
@@ -109,8 +122,13 @@ fn merge_write(set: &mut BTreeMap<String, TableWrite>, table: String, write: Tab
         }
         std::collections::btree_map::Entry::Occupied(mut e) => match (e.get_mut(), write) {
             (TableWrite::Coarse, _) => {}
-            (slot @ TableWrite::Keys(_), TableWrite::Coarse) => *slot = TableWrite::Coarse,
+            (slot, TableWrite::Coarse) => *slot = TableWrite::Coarse,
             (TableWrite::Keys(a), TableWrite::Keys(b)) => a.extend(b),
+            (TableWrite::DeleteKeys(a), TableWrite::DeleteKeys(b)) => a.extend(b),
+            // Inserts and deletes mixed on one table inside a transaction:
+            // the delete's outcome may depend on the insert, so the pair
+            // degrades to a coarse write (conservative, never unsound).
+            (slot, _) => *slot = TableWrite::Coarse,
         },
     }
 }
@@ -149,6 +167,13 @@ struct TableHistory {
     /// written at or below this, so validation treats "absent but floor
     /// past snapshot" as a conflict (conservative, never unsound).
     pruned_floor: u64,
+    /// Last-writer seq per point-delete atom `(column, value)`, FIFO-capped
+    /// at [`KEY_HISTORY_CAP`] like the insert keys.
+    deletes: BTreeMap<(usize, Value), u64>,
+    /// Insertion order of `deletes` entries, for pruning.
+    delete_order: VecDeque<((usize, Value), u64)>,
+    /// Highest seq ever pruned from `deletes`.
+    delete_floor: u64,
 }
 
 impl TableHistory {
@@ -161,6 +186,9 @@ impl TableHistory {
         self.keys.clear();
         self.order.clear();
         self.pruned_floor = 0;
+        self.deletes.clear();
+        self.delete_order.clear();
+        self.delete_floor = 0;
     }
 
     /// Record a literal-insert write of `keys` at `seq`.
@@ -178,6 +206,22 @@ impl TableHistory {
                 self.keys.remove(&k);
             }
             self.pruned_floor = self.pruned_floor.max(s);
+        }
+    }
+
+    /// Record a point-delete write of `atoms` at `seq`.
+    fn record_delete_keys(&mut self, atoms: &BTreeSet<(usize, Value)>, seq: u64) {
+        self.last_seq = seq;
+        for a in atoms {
+            self.deletes.insert(a.clone(), seq);
+            self.delete_order.push_back((a.clone(), seq));
+        }
+        while self.delete_order.len() > KEY_HISTORY_CAP {
+            let (a, s) = self.delete_order.pop_front().expect("len checked");
+            if self.deletes.get(&a) == Some(&s) {
+                self.deletes.remove(&a);
+            }
+            self.delete_floor = self.delete_floor.max(s);
         }
     }
 }
@@ -867,7 +911,7 @@ impl DbSession {
                 reads.insert(norm(source));
             }
             Stmt::Delete { table, predicate } => {
-                writes.insert(norm(table), TableWrite::Coarse);
+                writes.insert(norm(table), self.delete_write(table, predicate, params));
                 conds_tables(predicate, &mut reads);
             }
             Stmt::Select(query) | Stmt::Explain(query) | Stmt::ExplainAnalyze(query) => {
@@ -875,6 +919,54 @@ impl DbSession {
             }
         }
         (reads, writes)
+    }
+
+    /// The write-set entry for a `DELETE`. A *point* delete — exactly one
+    /// `col = literal` (or bound-parameter) conjunct over the target
+    /// table — yields a key-granular [`TableWrite::DeleteKeys`] atom;
+    /// every other shape (multi-conjunct, range, `NOT EXISTS`,
+    /// column-to-column, unresolvable column) stays coarse.
+    fn delete_write(
+        &self,
+        table: &str,
+        predicate: &[Condition],
+        params: Option<&[Value]>,
+    ) -> TableWrite {
+        use crate::sql::ast::Scalar;
+        let [Condition::Cmp {
+            left,
+            op: CmpOp::Eq,
+            right,
+        }] = predicate
+        else {
+            return TableWrite::Coarse;
+        };
+        let (col, lit) = match (left, right) {
+            (Scalar::Col(c), other) | (other, Scalar::Col(c)) => (c, other),
+            _ => return TableWrite::Coarse,
+        };
+        if col
+            .table
+            .as_ref()
+            .is_some_and(|t| !t.eq_ignore_ascii_case(table))
+        {
+            return TableWrite::Coarse;
+        }
+        let value = match lit {
+            Scalar::Lit(v) => v.clone(),
+            Scalar::Param(i) => match params.and_then(|p| p.get(*i)) {
+                Some(v) => v.clone(),
+                None => return TableWrite::Coarse,
+            },
+            Scalar::Col(_) => return TableWrite::Coarse,
+        };
+        let Ok(schema) = self.snap.table_schema(table) else {
+            return TableWrite::Coarse;
+        };
+        match schema.index_of(&col.column) {
+            Some(idx) => TableWrite::DeleteKeys(BTreeSet::from([(idx, value)])),
+            None => TableWrite::Coarse,
+        }
     }
 }
 
@@ -990,6 +1082,35 @@ fn apply_one(live: &mut Live, p: Pending, key_granular: bool) -> Result<(), DbEr
                     }
                 }
             }
+            TableWrite::DeleteKeys(atoms) if key_granular => {
+                if h.coarse_seq > p.snapshot_seq {
+                    return conflict(table, h.coarse_seq, "was rewritten");
+                }
+                // A pruned insert-key history may hide a matching insert;
+                // a pruned delete history may hide an overlapping delete.
+                if h.pruned_floor > p.snapshot_seq {
+                    return conflict(table, h.pruned_floor, "key history was pruned");
+                }
+                if h.delete_floor > p.snapshot_seq {
+                    return conflict(table, h.delete_floor, "delete history was pruned");
+                }
+                for (col, value) in atoms {
+                    // A concurrent insert of a matching row: replaying the
+                    // delete would remove a row its fork never saw.
+                    for (key, &seq) in &h.keys {
+                        if seq > p.snapshot_seq && key.get(*col) == Some(value) {
+                            return conflict(table, seq, "had a matching row inserted");
+                        }
+                    }
+                    // A concurrent point delete is disjoint only when it
+                    // names the same column with a different value.
+                    for ((dcol, dval), &seq) in &h.deletes {
+                        if seq > p.snapshot_seq && (dcol != col || dval == value) {
+                            return conflict(table, seq, "had an overlapping delete");
+                        }
+                    }
+                }
+            }
             _ => {
                 if h.last_seq > p.snapshot_seq {
                     return conflict(table, h.last_seq, "was modified");
@@ -1004,6 +1125,7 @@ fn apply_one(live: &mut Live, p: Pending, key_granular: bool) -> Result<(), DbEr
         let h = live.history.entry(table.clone()).or_default();
         match write {
             TableWrite::Keys(keys) if key_granular => h.record_keys(keys, seq),
+            TableWrite::DeleteKeys(atoms) if key_granular => h.record_delete_keys(atoms, seq),
             _ => h.record_coarse(seq),
         }
     }
@@ -1070,15 +1192,16 @@ mod tests {
 
     #[test]
     fn first_committer_wins_on_the_same_table() {
-        // A state-dependent write (DELETE) races a literal insert: the
-        // second committer must lose at table granularity.
+        // A state-dependent write (a multi-conjunct DELETE stays coarse)
+        // races a literal insert: the second committer must lose at table
+        // granularity.
         let shared = seeded();
         let mut a = shared.session();
         let mut b = shared.session();
         a.begin().unwrap();
         b.begin().unwrap();
         a.execute("INSERT INTO kv VALUES (3, 30)").unwrap();
-        b.execute("DELETE FROM kv WHERE k = 1").unwrap();
+        b.execute("DELETE FROM kv WHERE k = 1 AND v = 10").unwrap();
         a.commit().unwrap();
         let err = b.commit().unwrap_err();
         assert!(
@@ -1088,9 +1211,97 @@ mod tests {
         assert_eq!(b.conflicts(), 1);
         // Retry on the fresh snapshot succeeds.
         b.begin().unwrap();
-        b.execute("DELETE FROM kv WHERE k = 1").unwrap();
+        b.execute("DELETE FROM kv WHERE k = 1 AND v = 10").unwrap();
         b.commit().unwrap();
         assert_eq!(dump(&mut b).len(), 2);
+    }
+
+    /// A point delete and a literal insert of a non-matching row commute:
+    /// neither commit may conflict, and both effects land.
+    #[test]
+    fn point_delete_commutes_with_disjoint_insert() {
+        let shared = seeded();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.execute("INSERT INTO kv VALUES (3, 30)").unwrap();
+        b.execute("DELETE FROM kv WHERE k = 1").unwrap();
+        a.commit().unwrap();
+        b.commit().expect("k=3 insert and k=1 delete commute");
+        let mut check = shared.session();
+        assert_eq!(
+            dump(&mut check),
+            vec![
+                vec![Value::Int(2), Value::Int(20)],
+                vec![Value::Int(3), Value::Int(30)],
+            ]
+        );
+    }
+
+    /// A point delete must lose to a concurrent insert of a matching row:
+    /// replaying the delete would remove a row its fork never saw.
+    #[test]
+    fn point_delete_conflicts_with_matching_insert() {
+        let shared = seeded();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.execute("INSERT INTO kv VALUES (1, 99)").unwrap();
+        b.execute("DELETE FROM kv WHERE k = 1").unwrap();
+        a.commit().unwrap();
+        let err = b.commit().unwrap_err();
+        assert!(matches!(err, DbError::WriteConflict(_)), "{err}");
+    }
+
+    /// Point deletes naming the same column with different values target
+    /// provably disjoint rows and commute.
+    #[test]
+    fn point_deletes_on_distinct_values_commute() {
+        let shared = seeded();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.execute("DELETE FROM kv WHERE k = 1").unwrap();
+        b.execute("DELETE FROM kv WHERE k = 2").unwrap();
+        a.commit().unwrap();
+        b.commit().expect("k=1 and k=2 deletes commute");
+        let mut check = shared.session();
+        assert!(dump(&mut check).is_empty());
+    }
+
+    /// Point deletes on *different* columns may target the same row, so
+    /// they cannot be proven disjoint and must conflict.
+    #[test]
+    fn point_deletes_on_different_columns_conflict() {
+        let shared = seeded();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.execute("DELETE FROM kv WHERE k = 1").unwrap();
+        b.execute("DELETE FROM kv WHERE v = 20").unwrap();
+        a.commit().unwrap();
+        let err = b.commit().unwrap_err();
+        assert!(matches!(err, DbError::WriteConflict(_)), "{err}");
+    }
+
+    /// The ablation toggle also coarsens point deletes.
+    #[test]
+    fn table_granularity_toggle_coarsens_point_deletes() {
+        let shared = seeded();
+        shared.set_key_granular(false);
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.execute("DELETE FROM kv WHERE k = 1").unwrap();
+        b.execute("DELETE FROM kv WHERE k = 2").unwrap();
+        a.commit().unwrap();
+        let err = b.commit().unwrap_err();
+        assert!(matches!(err, DbError::WriteConflict(_)), "{err}");
     }
 
     /// Regression (key-granular validation): commuting literal inserts

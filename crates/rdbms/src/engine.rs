@@ -17,11 +17,14 @@ use crate::plan::{output_types, plan_query, ExecCond, PlannedQuery};
 use crate::schema::{serialize_tuple, Schema, Tuple};
 use crate::sql::ast::{CmpOp, ColRef, Condition, Query, Scalar, SelectItem, Stmt};
 use crate::sql::parser::{parse_script, parse_stmt, parse_stmt_params};
+use crate::stats::{Reservoir, RESERVOIR_CAP};
 use crate::value::Value;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+pub use crate::cost::PlannerMode;
 
 /// Result of one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +176,17 @@ pub struct Engine {
     spill: SpillMode,
     /// Rows per operator batch; initialized from `RDBMS_BATCH_SIZE`.
     batch_rows: usize,
+    /// Physical planner mode: cost-based (the default) or the legacy
+    /// heuristics, kept for ablation. Initialized from the
+    /// `RDBMS_COST_PLANNER` environment variable (`off`/`0`/`heuristic`
+    /// selects the heuristics).
+    planner_mode: PlannerMode,
+    /// Statistics refreshes (analyze scans) run, and rows sampled by them.
+    stats_refreshes: u64,
+    stats_sampled_rows: u64,
+    /// Rewrite-rule activity accumulated at plan time.
+    rewrite_predicates_pushed: u64,
+    rewrite_projections_pruned: u64,
 }
 
 impl Default for Engine {
@@ -222,7 +236,25 @@ impl Engine {
             recovery_verified: None,
             spill: default_spill_mode(),
             batch_rows: default_batch_rows(),
+            planner_mode: default_planner_mode(),
+            stats_refreshes: 0,
+            stats_sampled_rows: 0,
+            rewrite_predicates_pushed: 0,
+            rewrite_projections_pruned: 0,
         }
+    }
+
+    /// Select the physical planner: cost-based or the legacy heuristics.
+    /// Switching modes drops cached plans (they were built the other way).
+    pub fn set_planner_mode(&mut self, mode: PlannerMode) {
+        if self.planner_mode != mode {
+            self.planner_mode = mode;
+            self.catalog_epoch += 1;
+        }
+    }
+
+    pub fn planner_mode(&self) -> PlannerMode {
+        self.planner_mode
     }
 
     // ------------------------------------------------------------------
@@ -413,6 +445,11 @@ impl Engine {
             recovery_verified: None,
             spill: self.spill,
             batch_rows: self.batch_rows,
+            planner_mode: self.planner_mode,
+            stats_refreshes: 0,
+            stats_sampled_rows: 0,
+            rewrite_predicates_pushed: 0,
+            rewrite_projections_pruned: 0,
         })
     }
 
@@ -702,9 +739,9 @@ impl Engine {
     }
 
     /// Fetch the plan cached for `id` if it was built under the current
-    /// catalog epoch and its base-table cardinalities have not drifted;
-    /// otherwise (re-)plan, type-check an INSERT SELECT target if given,
-    /// and cache the result under the current epoch.
+    /// catalog epoch and the statistics it was costed from are still
+    /// current; otherwise (re-)plan, type-check an INSERT SELECT target if
+    /// given, and cache the result under the current epoch.
     fn cached_plan(
         &mut self,
         id: StmtId,
@@ -712,30 +749,31 @@ impl Engine {
         insert_target: Option<&str>,
     ) -> Result<PlannedQuery, DbError> {
         let epoch = self.catalog_epoch;
-        let mut drifted = false;
+        let mut stale = false;
         if let Some((cached_epoch, planned)) =
             self.prepared.get(&id.0).and_then(|e| e.plan.as_ref())
         {
             if *cached_epoch == epoch {
-                // The epoch only tracks schema changes; join orders were
-                // chosen from the tuple counts at plan time. Re-plan when
-                // any joined table has since grown or shrunk past the
-                // drift threshold — the cached join order may be inverted
-                // relative to what the planner would pick today.
-                if !cards_drifted(&self.catalog, planned) {
+                // The epoch only tracks schema changes; join orders and
+                // join methods were costed from the statistics at plan
+                // time. Re-plan when any base table's statistics version
+                // moved (analyze or truncate) or its live row count
+                // diverged past the drift threshold — the cached plan may
+                // be inverted relative to what the planner picks today.
+                if !stats_stale(&self.catalog, planned) {
                     self.exec_stats.plan_cache_hits += 1;
                     return Ok(planned.clone());
                 }
-                drifted = true;
+                stale = true;
             }
         }
-        if drifted {
+        if stale {
             self.exec_stats.plan_replans += 1;
         } else {
             self.exec_stats.plan_cache_misses += 1;
         }
         let t0 = Instant::now();
-        let planned = plan_query(&self.catalog, query);
+        let planned = self.plan_with_mode(query);
         self.exec_stats.plan_ns += t0.elapsed().as_nanos() as u64;
         let planned = planned?;
         if let Some(table) = insert_target {
@@ -744,6 +782,15 @@ impl Engine {
         if let Some(e) = self.prepared.get_mut(&id.0) {
             e.plan = Some((epoch, planned.clone()));
         }
+        Ok(planned)
+    }
+
+    /// Plan a query under the engine's planner mode, folding the rewrite
+    /// report into the engine-wide rewrite counters.
+    fn plan_with_mode(&mut self, query: &Query) -> Result<PlannedQuery, DbError> {
+        let planned = plan_query(&self.catalog, query, self.planner_mode)?;
+        self.rewrite_predicates_pushed += planned.rewrites.predicates_pushed;
+        self.rewrite_projections_pruned += planned.rewrites.projections_pruned;
         Ok(planned)
     }
 
@@ -848,13 +895,13 @@ impl Engine {
             Stmt::Select(query) => self.run_query(query),
             Stmt::Explain(query) => {
                 let t0 = Instant::now();
-                let planned = plan_query(&self.catalog, query);
+                let planned = self.plan_with_mode(query);
                 self.exec_stats.plan_ns += t0.elapsed().as_nanos() as u64;
                 Ok(explain_result(&planned?))
             }
             Stmt::ExplainAnalyze(query) => {
                 let t0 = Instant::now();
-                let planned = plan_query(&self.catalog, query);
+                let planned = self.plan_with_mode(query);
                 self.exec_stats.plan_ns += t0.elapsed().as_nanos() as u64;
                 self.explain_analyze(&planned?, &[])
             }
@@ -904,7 +951,7 @@ impl Engine {
     /// Plan and execute a query against the current catalog.
     fn run_query(&mut self, query: &Query) -> Result<ResultSet, DbError> {
         let t0 = Instant::now();
-        let planned = plan_query(&self.catalog, query);
+        let planned = self.plan_with_mode(query);
         self.exec_stats.plan_ns += t0.elapsed().as_nanos() as u64;
         self.execute_planned(&planned?, &[])
     }
@@ -972,10 +1019,33 @@ impl Engine {
         self.exec_stats.exec_ns += t0.elapsed().as_nanos() as u64;
         let rows = self.note_budget(rows)?;
         self.exec_stats.rows_output += rows.len() as u64;
-        let lines: Vec<Tuple> = profile
+        // The profiler records operators in strict pre-order — the same
+        // order `estimate_plan` walked the plan — so the planner's row
+        // estimates zip onto the profile nodes by index.
+        let mut profile = profile;
+        for (op, est) in profile.iter_mut().zip(planned.est_rows.iter()) {
+            op.est_rows = Some(*est);
+        }
+        let mut lines: Vec<Tuple> = profile
             .iter()
             .map(|op| vec![Value::Str(render_op_profile(op))])
             .collect();
+        // Top-level misestimation summary: the worst estimated-vs-actual
+        // ratio across operators, naming the offender.
+        let worst = profile
+            .iter()
+            .filter_map(|op| {
+                let est = op.est_rows?;
+                let actual = op.rows_out;
+                let ratio = (est.max(actual).max(1)) as f64 / (est.min(actual).max(1)) as f64;
+                Some((ratio, op.label.clone()))
+            })
+            .max_by(|a, b| a.0.total_cmp(&b.0));
+        if let Some((ratio, label)) = worst {
+            lines.push(vec![Value::Str(format!(
+                "max misestimate {ratio:.1}x at {label}"
+            ))]);
+        }
         self.last_profile = profile;
         Ok(ResultSet {
             columns: vec!["plan".to_string()],
@@ -1032,7 +1102,59 @@ impl Engine {
             }
             n += 1;
         }
+        t.stats.note_mods(n);
+        self.maybe_analyze(table)?;
         Ok(n)
+    }
+
+    /// Re-sample `table`'s column statistics if its modification counter
+    /// has crossed the churn threshold since the last analyze.
+    fn maybe_analyze(&mut self, table: &str) -> Result<(), DbError> {
+        let t = self.catalog.table(table)?;
+        if t.stats.is_stale(t.heap.tuple_count()) {
+            self.analyze_table(table)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild `table`'s column statistics from a deterministic reservoir
+    /// sample of its live rows. Runs ungoverned — an analyze scan is engine
+    /// maintenance charged to no statement's budget — and bumps the stats
+    /// version so cached plans costed from the old estimates re-plan.
+    pub fn analyze_table(&mut self, table: &str) -> Result<(), DbError> {
+        let t = self.catalog.table(table)?;
+        let live = t.heap.tuple_count();
+        let arity = t.schema.arity();
+        // Seed from the table name and stats version: deterministic for a
+        // replayed statement sequence, yet different across re-analyzes so
+        // a pathological sample is not sticky.
+        let seed = t
+            .name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+            })
+            .wrapping_add(t.stats.version);
+        let mut reservoir = Reservoir::new(RESERVOIR_CAP, seed);
+        let mut scan = t.heap.scan();
+        while let Some((rid, payload)) = scan.next(&mut self.disk, &mut self.pool)? {
+            reservoir.offer(decode_stored(table, rid, &payload)?);
+        }
+        let sampled = reservoir.rows().len() as u64;
+        // An empty table has no distribution to describe: install no column
+        // estimates (rather than degenerate zero-distinct ones) so the
+        // first insert makes the table stale and triggers a real analyze.
+        let columns = if live == 0 {
+            Vec::new()
+        } else {
+            reservoir.column_stats(arity)
+        };
+        let epoch = self.catalog_epoch;
+        let t = self.catalog.table_mut(table)?;
+        t.stats.install(columns, live, epoch);
+        self.stats_refreshes += 1;
+        self.stats_sampled_rows += sampled;
+        Ok(())
     }
 
     /// Empty `table` in one step, keeping its schema and (emptied) indexes —
@@ -1058,6 +1180,9 @@ impl Engine {
         for index in &mut t.indexes {
             index.clear();
         }
+        // Column estimates describe rows that no longer exist; dropping
+        // them also bumps the stats version so cached plans re-cost.
+        t.stats.on_truncate();
         Ok(prior)
     }
 
@@ -1186,6 +1311,8 @@ impl Engine {
                 index.remove(&tuple, rid);
             }
         }
+        t.stats.note_mods(n);
+        self.maybe_analyze(table)?;
         Ok(n)
     }
 
@@ -1307,6 +1434,12 @@ impl Engine {
         Ok(self.catalog.table(table)?.heap.tuple_count())
     }
 
+    /// The optimizer statistics currently installed for `table`: row
+    /// bookkeeping plus any analyzed per-column estimates.
+    pub fn table_stats(&self, table: &str) -> Result<&crate::stats::TableStats, DbError> {
+        Ok(&self.catalog.table(table)?.stats)
+    }
+
     pub fn has_table(&self, table: &str) -> bool {
         self.catalog.has_table(table)
     }
@@ -1402,6 +1535,7 @@ impl Engine {
         r.counter("exec.tuples_fetched", s.exec.tuples_fetched);
         r.counter("exec.index_probes", s.exec.index_probes);
         r.counter("exec.join_output", s.exec.join_output);
+        r.counter("exec.join_adaptive_flips", s.exec.join_adaptive_flips);
         r.counter("exec.rows_output", s.exec.rows_output);
         r.counter("exec.plan_cache_hits", s.exec.plan_cache_hits);
         r.counter("exec.plan_cache_misses", s.exec.plan_cache_misses);
@@ -1423,6 +1557,10 @@ impl Engine {
         r.counter("engine.statements", s.statements);
         r.counter("engine.tables_created", s.tables_created);
         r.counter("engine.tables_dropped", s.tables_dropped);
+        r.counter("stats.refreshes", self.stats_refreshes);
+        r.counter("stats.sampled_rows", self.stats_sampled_rows);
+        r.counter("plan.predicates_pushed", self.rewrite_predicates_pushed);
+        r.counter("plan.projections_pruned", self.rewrite_projections_pruned);
         // -1 = no verified recovery yet, 1 = last recovery verified clean,
         // 0 = last recovery FAILED verification.
         r.gauge(
@@ -1445,6 +1583,17 @@ fn default_parallelism() -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Planner mode a fresh engine starts with:
+/// `RDBMS_COST_PLANNER=off|0|heuristic` selects the legacy heuristics
+/// (always-index joins, syntactic join order) for ablation; anything else
+/// (or unset) selects the cost-based planner.
+fn default_planner_mode() -> PlannerMode {
+    match std::env::var("RDBMS_COST_PLANNER").ok().as_deref() {
+        Some("off") | Some("0") | Some("heuristic") => PlannerMode::Heuristic,
+        _ => PlannerMode::CostBased,
+    }
 }
 
 /// Spill mode a fresh engine starts with: `RDBMS_SPILL=off|0|false`
@@ -1572,21 +1721,36 @@ fn bind_conditions(conds: &[Condition], params: &[Value]) -> Result<Vec<Conditio
         .collect()
 }
 
-/// How far a live cardinality may drift from its plan-time snapshot (in
+/// How far a live row count may drift from its plan-time snapshot (in
 /// either direction) before a cached plan is considered stale.
-const REPLAN_DRIFT_FACTOR: u64 = 10;
+const REPLAN_DRIFT_FACTOR: u64 = 2;
 
-/// Whether any base-table cardinality recorded in a cached plan has
-/// drifted past [`REPLAN_DRIFT_FACTOR`]. Counts clamp to 1 so growth from
-/// an empty table still registers. A table dropped since plan time is the
-/// epoch's business, not drift's.
-fn cards_drifted(catalog: &Catalog, planned: &PlannedQuery) -> bool {
-    planned.base_cards.iter().any(|(table, at_plan)| {
-        let Ok(t) = catalog.table(table) else {
+/// Row-count drift below this table size never triggers a replan: at a few
+/// hundred rows every join order costs about the same, and the LFP runtime
+/// churns its tiny delta tables through exactly this range every iteration
+/// — re-costing there would forfeit plan-cache reuse for nothing.
+const REPLAN_DRIFT_FLOOR: u64 = 256;
+
+/// Whether any base-table statistics recorded in a cached plan have moved:
+/// a statistics version bump (analyze or truncate) or a live row count a
+/// factor of [`REPLAN_DRIFT_FACTOR`] away from the snapshot the plan was
+/// costed from (once either side of the comparison clears
+/// [`REPLAN_DRIFT_FLOOR`]). Counts clamp to 1 so growth from an empty
+/// table still registers. A table dropped since plan time is the epoch's
+/// business, not drift's.
+fn stats_stale(catalog: &Catalog, planned: &PlannedQuery) -> bool {
+    planned.stat_deps.iter().any(|dep| {
+        let Ok(t) = catalog.table(&dep.table) else {
             return false;
         };
+        if t.stats.version != dep.stats_version {
+            return true;
+        }
         let live = t.heap.tuple_count().max(1);
-        let at_plan = (*at_plan).max(1);
+        let at_plan = dep.rows.max(1);
+        if live.max(at_plan) < REPLAN_DRIFT_FLOOR {
+            return false;
+        }
         live >= at_plan.saturating_mul(REPLAN_DRIFT_FACTOR)
             || at_plan >= live.saturating_mul(REPLAN_DRIFT_FACTOR)
     })
@@ -1601,6 +1765,9 @@ fn render_op_profile(op: &OpProfile) -> String {
         op.rows_out,
         op.elapsed_ns as f64 / 1e6
     );
+    if let Some(est) = op.est_rows {
+        line.push_str(&format!(" est={est}"));
+    }
     if op.tuples_scanned > 0 {
         line.push_str(&format!(" scanned={}", op.tuples_scanned));
     }
@@ -2531,7 +2698,12 @@ mod tests {
         let rows = e.execute_prepared(id, &[Value::from("p")]).unwrap().rows;
         assert_eq!(rows, vec![vec![Value::from("p"), Value::from("q")]]);
         let s = e.stats().exec;
-        assert_eq!(s.plan_cache_misses, 1, "TRUNCATE keeps the plan");
+        // TRUNCATE keeps the catalog epoch and the statistics version
+        // (schema and indexes survive, estimates are merely dropped), so
+        // the LFP runtime's truncate-and-refill temp-table recycling reuses
+        // its cached plans: no replan, no cold miss.
+        assert_eq!(s.plan_cache_misses, 1, "only the first execution is cold");
+        assert_eq!(s.plan_replans, 0, "recycling keeps the cached plan");
         assert_eq!(s.plan_cache_hits, 1);
     }
 
@@ -2703,7 +2875,19 @@ mod tests {
         let rs = e.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
         assert!(!rs.rows.is_empty());
         let profile = e.last_profile().to_vec();
-        assert_eq!(rs.rows.len(), profile.len(), "one line per operator");
+        assert_eq!(
+            rs.rows.len(),
+            profile.len() + 1,
+            "one line per operator plus the misestimation summary"
+        );
+        let last = match &rs.rows[profile.len()][0] {
+            Value::Str(s) => s.clone(),
+            v => panic!("unexpected {v:?}"),
+        };
+        assert!(
+            last.starts_with("max misestimate "),
+            "summary line closes the rendering: {last}"
+        );
         // The root operator emits exactly the query's result cardinality.
         assert_eq!(profile[0].rows_out, expected);
         assert_eq!(profile[0].depth, 0);

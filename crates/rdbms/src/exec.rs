@@ -45,6 +45,9 @@ pub struct ExecStats {
     pub index_probes: u64,
     /// Tuples emitted by join operators.
     pub join_output: u64,
+    /// Index nested-loop joins that flipped to a hash build at runtime
+    /// because the outer side outgrew the planner's estimate.
+    pub join_adaptive_flips: u64,
     /// Rows returned to the caller.
     pub rows_output: u64,
     /// Prepared-statement executions that reused a cached physical plan.
@@ -115,6 +118,9 @@ pub struct OpProfile {
     pub sort_runs: u64,
     /// Row batches this operator processed.
     pub batches: u64,
+    /// The planner's cardinality estimate for this operator, attached by
+    /// EXPLAIN ANALYZE after execution (`None` outside that path).
+    pub est_rows: Option<u64>,
 }
 
 /// Collects the [`OpProfile`] tree during execution. Installed in
@@ -944,6 +950,61 @@ fn run_plan(plan: &PhysPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>, DbErro
             let t = ctx.catalog.table(table)?;
             let index = &t.indexes[*index_pos];
             let batch = ctx.batch_rows.max(1);
+            // The planner chose probing from its estimates at plan time;
+            // whether it still pays is re-checked here against live
+            // cardinalities. When the outer side has grown to the size of
+            // the inner relation — a cached plan iterations stale inside
+            // an LFP loop — one inner scan into a hash table beats
+            // hammering the index once per outer row. Output order is the
+            // probing order either way.
+            let probe_pays =
+                (left_rows.len() as u64) < t.heap.tuple_count().max(ANTI_JOIN_PROBE_FLOOR);
+            if !probe_pays {
+                ctx.stats.join_adaptive_flips += 1;
+                let key_cols = index.key_cols().to_vec();
+                let mut inner_table: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+                let mut scan = t.heap.scan();
+                loop {
+                    if let Some(g) = ctx.governor {
+                        g.check()?;
+                    }
+                    let chunk = scan.next_batch(ctx.disk, ctx.pool, batch)?;
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    ctx.count_batch();
+                    for (rid, payload) in chunk {
+                        ctx.count_scanned();
+                        let tuple = decode_tuple(table, rid, &payload)?;
+                        if !eval_all(inner_filters, &tuple, ctx.params) {
+                            ctx.prof_drop();
+                            continue;
+                        }
+                        let key: Vec<Value> = key_cols.iter().map(|&i| tuple[i].clone()).collect();
+                        inner_table.entry(key).or_default().push(tuple);
+                    }
+                }
+                ctx.prof_build(inner_table.values().map(|v| v.len() as u64).sum());
+                let mut out = Vec::new();
+                for (li, lrow) in left_rows.iter().enumerate() {
+                    gov_tick(ctx.governor, li)?;
+                    let key: Vec<Value> = left_keys.iter().map(|&i| lrow[i].clone()).collect();
+                    if let Some(matches) = inner_table.get(&key) {
+                        for inner in matches {
+                            let mut joined = Vec::with_capacity(lrow.len() + inner.len());
+                            joined.extend_from_slice(lrow);
+                            joined.extend_from_slice(inner);
+                            if eval_all(residual, &joined, ctx.params) {
+                                ctx.stats.join_output += 1;
+                                out.push(joined);
+                            } else {
+                                ctx.prof_drop();
+                            }
+                        }
+                    }
+                }
+                return Ok(out);
+            }
             let mut out = Vec::new();
             for (li, lrow) in left_rows.iter().enumerate() {
                 if li % batch == 0 {

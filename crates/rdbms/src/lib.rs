@@ -17,8 +17,15 @@
 //! * [`wal`] — checksummed page-image write-ahead log for crash safety;
 //! * [`catalog`] — table/index metadata, temp-table lifecycle;
 //! * [`sql`] — lexer, parser and AST for the SQL subset;
+//! * [`stats`] — live table/column statistics (distinct counts,
+//!   equi-width histograms) refreshed by reservoir sampling;
+//! * [`rewrite`] — logical rewrite rules (predicate/projection pushdown)
+//!   run over the bound query block before physical planning;
+//! * [`cost`] — the cost model: selectivity estimation and join-order /
+//!   access-path / join-method costing;
 //! * [`plan`] — binding, access-path selection (index lookups, index
-//!   nested-loop joins, hash joins), greedy join ordering;
+//!   nested-loop joins, hash joins), cost-based join ordering with a
+//!   legacy heuristic mode for ablation;
 //! * [`exec`] — the materializing executor with logical-work counters;
 //! * [`governor`] — per-statement deadlines, cooperative cancellation,
 //!   and row/memory budgets checked at operator batch boundaries;
@@ -43,6 +50,7 @@
 pub mod buffer;
 pub mod catalog;
 pub mod concurrent;
+pub mod cost;
 pub mod disk;
 pub mod engine;
 pub mod exec;
@@ -52,19 +60,23 @@ pub mod index;
 pub mod metrics;
 pub mod page;
 pub mod plan;
+pub mod rewrite;
 pub mod schema;
 pub mod snapshot;
 pub mod spill;
 pub mod sql;
+pub mod stats;
 pub mod value;
 pub mod wal;
 
 pub use catalog::DbError;
 pub use concurrent::{DbSession, SessionStmt, SharedEngine};
 pub use disk::{DiskStats, FaultInjector, RecoveryReport};
-pub use engine::{Engine, EngineStats, ResultSet, StmtId};
+pub use engine::{Engine, EngineStats, PlannerMode, ResultSet, StmtId};
 pub use exec::{OpProfile, SpillMode, DEFAULT_BATCH_ROWS};
 pub use governor::{BudgetBreach, BudgetKind, ExecLimits, QueryGovernor};
 pub use metrics::{Metric, Registry};
+pub use rewrite::RewriteReport;
 pub use schema::{Column, Schema, Tuple};
+pub use stats::{ColumnStats, Histogram, TableStats};
 pub use value::{ColType, Value};

@@ -1,5 +1,6 @@
-//! Query planner: binds a parsed query against the catalog and produces a
-//! physical plan.
+//! Physical planner: consumes the bound, rewritten query block produced by
+//! [`crate::rewrite`] and makes the physical decisions — join order, join
+//! method, access path — from the cost model in [`crate::cost`].
 //!
 //! The planner implements the access-path and join decisions the paper's
 //! experiments depend on:
@@ -8,14 +9,24 @@
 //!   all key columns of some index is read with an index lookup instead of a
 //!   scan. This is why `t_extract` and `t_read` stay flat as the stored rule
 //!   base / dictionary grows (Figures 7 and 9).
-//! * **Index nested-loop joins** — when the relation being joined in has an
-//!   index covering the join columns, the already-built side drives probes
-//!   into that index, so join cost follows the *relevant* rows, not the
-//!   relation size (Figure 8's join-selectivity sensitivity).
-//! * **Hash joins** otherwise, with greedy smallest-first join ordering.
+//! * **Index nested-loop vs hash joins** — when the relation being joined in
+//!   has an index covering the join columns, the planner costs probing that
+//!   index per outer row against building the inner side into a hash table,
+//!   using live cardinality estimates (Figure 8's join-selectivity
+//!   sensitivity; Figure 12's accumulated-relation joins).
+//! * **Cost-based join ordering** — exhaustive for 2–3 way joins, greedy
+//!   beyond, driven by per-column statistics instead of flat selectivity
+//!   constants.
+//!
+//! [`PlannerMode::Heuristic`] reproduces the legacy planner (flat `1/20`
+//! selectivities, greedy smallest-first order, index-if-usable joins) as the
+//! ablation baseline for `experiments optimizer`.
 
 use crate::catalog::{Catalog, DbError};
-use crate::schema::Schema;
+use crate::cost::{self, PlannerMode};
+use crate::rewrite::{
+    self, resolve_col, Binding, LocalCond, Resolved, ResolvedCond, RewriteReport,
+};
 use crate::sql::ast::*;
 use crate::value::{ColType, Value};
 
@@ -291,62 +302,115 @@ impl PhysPlan {
     }
 }
 
-/// A planned query: the operator tree plus output column names.
+/// One statistics dependency of a plan: what the planner believed about a
+/// referenced table when it made its decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatDep {
+    /// Canonical table name.
+    pub table: String,
+    /// Live tuple count at plan time.
+    pub rows: u64,
+    /// [`crate::stats::TableStats::version`] at plan time.
+    pub stats_version: u64,
+}
+
+/// A planned query: the operator tree plus output column names, the
+/// statistics snapshot the plan was derived from, and per-operator row
+/// estimates.
 #[derive(Debug, Clone)]
 pub struct PlannedQuery {
     pub plan: PhysPlan,
     pub columns: Vec<String>,
-    /// `(table, tuple_count)` per FROM relation of every multi-relation
-    /// block, snapshotted at plan time. Empty when the plan has no join
-    /// decisions worth revisiting. The engine compares these against live
-    /// counts before reusing a cached plan and re-plans on drift — the fix
-    /// for join orders frozen while LFP temporaries were still empty.
-    pub base_cards: Vec<(String, u64)>,
+    /// One entry per referenced table (FROM relations and `NOT EXISTS`
+    /// inner tables, deduplicated), snapshotted at plan time. The engine
+    /// compares these against live state before reusing a cached plan and
+    /// re-plans when the tuple count drifts ≥2× in either direction or the
+    /// table's statistics version changed — the fix for join orders frozen
+    /// while LFP temporaries were still empty.
+    pub stat_deps: Vec<StatDep>,
+    /// Estimated output rows per operator in pre-order — the order
+    /// [`PhysPlan::explain`] lists operators and the EXPLAIN ANALYZE
+    /// profiler records them, so estimate and measurement zip by index.
+    pub est_rows: Vec<u64>,
+    /// Rewrite-rule application counts for this plan (summed over the arms
+    /// of compound queries).
+    pub rewrites: RewriteReport,
+}
+
+impl PlannedQuery {
+    fn new(plan: PhysPlan, columns: Vec<String>) -> Self {
+        PlannedQuery {
+            plan,
+            columns,
+            stat_deps: Vec::new(),
+            est_rows: Vec::new(),
+            rewrites: RewriteReport::default(),
+        }
+    }
 }
 
 /// Plan a (possibly compound) query.
-pub fn plan_query(catalog: &Catalog, query: &Query) -> Result<PlannedQuery, DbError> {
+pub fn plan_query(
+    catalog: &Catalog,
+    query: &Query,
+    mode: PlannerMode,
+) -> Result<PlannedQuery, DbError> {
+    let mut planned = plan_query_inner(catalog, query, mode)?;
+    planned.est_rows = cost::estimate_plan(catalog, &planned.plan);
+    Ok(planned)
+}
+
+fn plan_query_inner(
+    catalog: &Catalog,
+    query: &Query,
+    mode: PlannerMode,
+) -> Result<PlannedQuery, DbError> {
     match query {
-        Query::Select(block) => plan_select(catalog, block),
+        Query::Select(block) => plan_select(catalog, block, mode),
         Query::Union { left, right, all } => {
-            let l = plan_query(catalog, left)?;
-            let r = plan_query(catalog, right)?;
+            let l = plan_query_inner(catalog, left, mode)?;
+            let r = plan_query_inner(catalog, right, mode)?;
             check_compatible(&l, &r, "UNION")?;
+            let (lp, rp) = (l.plan.clone(), r.plan.clone());
             let plan = if *all {
                 PhysPlan::UnionAll {
-                    left: Box::new(l.plan),
-                    right: Box::new(r.plan),
+                    left: Box::new(lp),
+                    right: Box::new(rp),
                 }
             } else {
                 PhysPlan::UnionDistinct {
-                    left: Box::new(l.plan),
-                    right: Box::new(r.plan),
+                    left: Box::new(lp),
+                    right: Box::new(rp),
                 }
             };
-            let mut base_cards = l.base_cards;
-            base_cards.extend(r.base_cards);
-            Ok(PlannedQuery {
-                plan,
-                columns: l.columns,
-                base_cards,
-            })
+            Ok(merge_compound(plan, l, r))
         }
         Query::Except { left, right } => {
-            let l = plan_query(catalog, left)?;
-            let r = plan_query(catalog, right)?;
+            let l = plan_query_inner(catalog, left, mode)?;
+            let r = plan_query_inner(catalog, right, mode)?;
             check_compatible(&l, &r, "EXCEPT")?;
-            let mut base_cards = l.base_cards;
-            base_cards.extend(r.base_cards);
-            Ok(PlannedQuery {
-                plan: PhysPlan::Except {
-                    left: Box::new(l.plan),
-                    right: Box::new(r.plan),
-                },
-                columns: l.columns,
-                base_cards,
-            })
+            let plan = PhysPlan::Except {
+                left: Box::new(l.plan.clone()),
+                right: Box::new(r.plan.clone()),
+            };
+            Ok(merge_compound(plan, l, r))
         }
     }
+}
+
+/// Combine the planned arms of a compound query: union their statistics
+/// dependencies (deduplicated by table) and sum their rewrite reports.
+fn merge_compound(plan: PhysPlan, l: PlannedQuery, r: PlannedQuery) -> PlannedQuery {
+    let mut out = PlannedQuery::new(plan, l.columns);
+    out.stat_deps = l.stat_deps;
+    for d in r.stat_deps {
+        if !out.stat_deps.iter().any(|e| e.table == d.table) {
+            out.stat_deps.push(d);
+        }
+    }
+    out.rewrites = l.rewrites;
+    out.rewrites.absorb(r.rewrites);
+    out
 }
 
 fn check_compatible(l: &PlannedQuery, r: &PlannedQuery, op: &str) -> Result<(), DbError> {
@@ -360,172 +424,243 @@ fn check_compatible(l: &PlannedQuery, r: &PlannedQuery, op: &str) -> Result<(), 
     Ok(())
 }
 
-/// One relation appearing in the FROM list, after binding.
-struct Binding {
-    /// Canonical table name (as stored in the catalog entry).
-    table: String,
-    /// Name by which columns qualify this occurrence.
-    binding: String,
-    schema: Schema,
-    tuple_count: u64,
-}
-
-/// A column resolved to (relation index in FROM order, local column index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Resolved {
+/// One relation's contribution to the combined row layout of the join
+/// pipeline: which FROM relation, and which of its columns survive (in
+/// order). Projection pruning narrows `cols`; without pruning it is the
+/// full `0..arity` range.
+struct LayoutEntry {
     rel: usize,
-    col: usize,
+    cols: Vec<usize>,
 }
 
-/// A classified WHERE conjunct.
-enum Classified {
-    /// Touches exactly one relation.
-    Local(usize, LocalCond),
-    /// `a.x = b.y` with a != b.
-    EquiJoin(Resolved, Resolved),
-    /// Anything else touching two relations.
-    CrossResidual(ResolvedCond),
-}
-
-/// A condition with relation-local column positions.
-#[derive(Debug, Clone)]
-enum LocalCond {
-    ColCmpCol(usize, CmpOp, usize),
-    ColCmpLit(usize, CmpOp, Value),
-    ColCmpParam(usize, CmpOp, usize),
-    InList(usize, Vec<Value>),
-}
-
-/// A fully resolved cross-relation condition.
-#[derive(Debug, Clone)]
-enum ResolvedCond {
-    ColCmpCol(Resolved, CmpOp, Resolved),
-}
-
-fn plan_select(catalog: &Catalog, block: &SelectBlock) -> Result<PlannedQuery, DbError> {
-    // 1. Bind FROM relations.
-    let mut bindings = Vec::with_capacity(block.from.len());
-    for tref in &block.from {
-        let table = catalog.table(&tref.table)?;
-        let binding = tref.binding().to_ascii_lowercase();
-        if bindings.iter().any(|b: &Binding| b.binding == binding) {
-            return Err(DbError::Plan(format!(
-                "duplicate relation binding: {binding}"
-            )));
+/// Absolute position of a resolved column in the current join layout.
+fn pos_of(layout: &[LayoutEntry], r: Resolved) -> usize {
+    let mut offset = 0;
+    for e in layout {
+        if e.rel == r.rel {
+            let within = e
+                .cols
+                .iter()
+                .position(|&c| c == r.col)
+                .expect("column preserved by projection pruning");
+            return offset + within;
         }
-        bindings.push(Binding {
-            table: table.name.clone(),
-            binding,
-            schema: table.schema.clone(),
-            tuple_count: table.heap.tuple_count(),
-        });
+        offset += e.cols.len();
+    }
+    unreachable!("column's relation not yet in layout")
+}
+
+fn plan_select(
+    catalog: &Catalog,
+    block: &SelectBlock,
+    mode: PlannerMode,
+) -> Result<PlannedQuery, DbError> {
+    // 1/2. Bind the FROM list and run the rewrite rules (predicate
+    // pushdown, projection pruning).
+    let rewrite::QueryBlock {
+        bindings,
+        local,
+        joins,
+        cross,
+        anti,
+        needed,
+        report,
+    } = rewrite::build_block(catalog, block)?;
+
+    // Statistics snapshot for every referenced table.
+    let mut stat_deps: Vec<StatDep> = Vec::new();
+    for b in &bindings {
+        push_stat_dep(catalog, &mut stat_deps, &b.table)?;
+    }
+    for (tref, _) in &anti {
+        let name = catalog.table(&tref.table)?.name.clone();
+        push_stat_dep(catalog, &mut stat_deps, &name)?;
     }
 
-    // 2. Resolve and classify conditions. NOT EXISTS conjuncts become
-    // anti-joins applied after the positive join tree is complete.
-    let mut local: Vec<Vec<LocalCond>> = vec![Vec::new(); bindings.len()];
-    let mut joins: Vec<(Resolved, Resolved)> = Vec::new();
-    let mut cross: Vec<ResolvedCond> = Vec::new();
-    let mut anti: Vec<(&TableRef, &Vec<Condition>)> = Vec::new();
-    for cond in &block.where_clause {
-        if let Condition::NotExists { table, conds } = cond {
-            anti.push((table, conds));
-            continue;
-        }
-        match classify(&bindings, cond)? {
-            Classified::Local(rel, c) => local[rel].push(c),
-            Classified::EquiJoin(a, b) => joins.push((a, b)),
-            Classified::CrossResidual(c) => cross.push(c),
-        }
-    }
+    // 3. Join order.
+    let local_exec: Vec<Vec<ExecCond>> = local
+        .iter()
+        .map(|v| v.iter().map(local_to_exec).collect())
+        .collect();
+    let order = match mode {
+        PlannerMode::Heuristic => join_order_heuristic(&bindings, &local, &joins),
+        PlannerMode::CostBased => cost::join_order(catalog, &bindings, &local_exec, &joins),
+    };
 
-    // 3. Greedy join order.
-    let order = join_order(catalog, &bindings, &local, &joins);
+    // Columns each relation feeds into the join pipeline. Pruning is a
+    // cost-mode rewrite; heuristic mode reproduces the legacy full-width
+    // layouts.
+    let kept_cols = |rel: usize| -> Vec<usize> {
+        match (mode, &needed[rel]) {
+            (PlannerMode::CostBased, Some(cols)) => cols.clone(),
+            _ => (0..bindings[rel].schema.arity()).collect(),
+        }
+    };
+    let prune_wrap = |rel: usize, p: PhysPlan| -> PhysPlan {
+        match (mode, &needed[rel]) {
+            (PlannerMode::CostBased, Some(cols)) => PhysPlan::Project {
+                child: Box::new(p),
+                exprs: cols.iter().map(|&c| ProjExpr::Col(c)).collect(),
+            },
+            _ => p,
+        }
+    };
 
     // 4/5/6. Build the join tree with access paths.
-    let mut layout: Vec<usize> = Vec::new(); // FROM-relation index per join position
+    let mut layout: Vec<LayoutEntry> = Vec::new();
     let mut plan: Option<PhysPlan> = None;
     let mut pending_joins = joins.clone();
     let mut pending_cross = cross;
+    // Running cardinality estimate of the built side; drives the
+    // index-NL-vs-hash choice in cost mode.
+    let mut cur_est: f64 = 0.0;
 
     for &rel in &order {
+        let rel_est = cost::est_table_rows(catalog, &bindings[rel].table, &local_exec[rel]);
         let next = if let Some(current) = plan.take() {
-            // Join keys between the current layout and `rel`.
-            let mut left_keys = Vec::new();
-            let mut right_keys = Vec::new();
+            // Join predicates between the current layout and `rel`, as
+            // (outer, inner) resolved pairs.
+            let mut pairs: Vec<(Resolved, Resolved)> = Vec::new();
             pending_joins.retain(|(a, b)| {
-                let (inner, outer) = if a.rel == rel && layout.contains(&b.rel) {
+                let (inner, outer) = if a.rel == rel && layout.iter().any(|e| e.rel == b.rel) {
                     (a, b)
-                } else if b.rel == rel && layout.contains(&a.rel) {
+                } else if b.rel == rel && layout.iter().any(|e| e.rel == a.rel) {
                     (b, a)
                 } else {
                     return true;
                 };
-                left_keys.push(global_pos(&bindings, &layout, *outer));
-                right_keys.push(inner.col);
+                pairs.push((*outer, *inner));
                 false
             });
+            let left_keys: Vec<usize> = pairs.iter().map(|&(o, _)| pos_of(&layout, o)).collect();
+            let right_keys: Vec<usize> = pairs.iter().map(|&(_, i)| i.col).collect();
 
             if left_keys.is_empty() {
-                let right = access_path(catalog, &bindings, rel, &local[rel])?;
+                let right = prune_wrap(
+                    rel,
+                    access_path(catalog, &bindings, rel, &local[rel], mode)?,
+                );
+                cur_est = cur_est.max(0.05) * rel_est.max(0.05);
+                layout.push(LayoutEntry {
+                    rel,
+                    cols: kept_cols(rel),
+                });
                 PhysPlan::CrossJoin {
                     left: Box::new(current),
                     right: Box::new(right),
                     residual: Vec::new(),
                 }
-            } else if let Some(index_pos) = usable_join_index(catalog, &bindings[rel], &right_keys)
-            {
-                // Reorder left keys to match the index key-column order,
-                // consuming one join pair per index key column.
-                let idx_cols = catalog.table(&bindings[rel].table)?.indexes[index_pos]
-                    .key_cols()
-                    .to_vec();
-                let mut used = vec![false; right_keys.len()];
-                let mut ordered_left = Vec::with_capacity(idx_cols.len());
-                for kc in &idx_cols {
-                    let at = right_keys
+            } else {
+                let join_sel: f64 = pairs
+                    .iter()
+                    .map(|&(o, i)| {
+                        cost::join_selectivity(
+                            catalog,
+                            (&bindings[o.rel].table, o.col),
+                            (&bindings[i.rel].table, i.col),
+                        )
+                    })
+                    .product();
+                let index_choice = match usable_join_index(catalog, &bindings[rel], &right_keys) {
+                    Some(pos) => {
+                        let keep = match mode {
+                            // Legacy behavior: probe whenever an index covers
+                            // the join columns.
+                            PlannerMode::Heuristic => true,
+                            PlannerMode::CostBased => cost::prefer_index_nl(
+                                catalog.table(&bindings[rel].table)?,
+                                pos,
+                                cur_est,
+                                rel_est,
+                            ),
+                        };
+                        keep.then_some(pos)
+                    }
+                    None => None,
+                };
+                cur_est = (cur_est.max(0.05) * rel_est.max(0.05) * join_sel).max(0.05);
+                if let Some(index_pos) = index_choice {
+                    // Reorder left keys to match the index key-column order,
+                    // consuming one join pair per index key column.
+                    let idx_cols = catalog.table(&bindings[rel].table)?.indexes[index_pos]
+                        .key_cols()
+                        .to_vec();
+                    let mut used = vec![false; right_keys.len()];
+                    let mut ordered_left = Vec::with_capacity(idx_cols.len());
+                    for kc in &idx_cols {
+                        let at = right_keys
+                            .iter()
+                            .enumerate()
+                            .position(|(i, c)| !used[i] && c == kc)
+                            .expect("covered");
+                        used[at] = true;
+                        ordered_left.push(left_keys[at]);
+                    }
+                    // Duplicate join predicates on the same inner column are
+                    // not part of the probe key; they must still hold on the
+                    // joined row, so they survive as residual equalities over
+                    // the combined layout.
+                    let left_width: usize = layout.iter().map(|e| e.cols.len()).sum();
+                    let residual: Vec<ExecCond> = used
                         .iter()
                         .enumerate()
-                        .position(|(i, c)| !used[i] && c == kc)
-                        .expect("covered");
-                    used[at] = true;
-                    ordered_left.push(left_keys[at]);
-                }
-                // Duplicate join predicates on the same inner column are
-                // not part of the probe key; they must still hold on the
-                // joined row, so they survive as residual equalities over
-                // the combined layout.
-                let left_width: usize = layout.iter().map(|&r| bindings[r].schema.arity()).sum();
-                let residual: Vec<ExecCond> = used
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, consumed)| !consumed)
-                    .map(|(i, _)| {
-                        ExecCond::ColCmpCol(left_keys[i], CmpOp::Eq, left_width + right_keys[i])
-                    })
-                    .collect();
-                PhysPlan::IndexNlJoin {
-                    left: Box::new(current),
-                    table: bindings[rel].table.clone(),
-                    index_pos,
-                    left_keys: ordered_left,
-                    inner_filters: local[rel].iter().map(local_to_exec).collect(),
-                    residual,
-                }
-            } else {
-                let right = access_path(catalog, &bindings, rel, &local[rel])?;
-                PhysPlan::HashJoin {
-                    left: Box::new(current),
-                    right: Box::new(right),
-                    left_keys,
-                    right_keys,
-                    residual: Vec::new(),
+                        .filter(|&(_, consumed)| !consumed)
+                        .map(|(i, _)| {
+                            ExecCond::ColCmpCol(left_keys[i], CmpOp::Eq, left_width + right_keys[i])
+                        })
+                        .collect();
+                    // The executor emits full inner tuples on a probe, so the
+                    // inner side of an index NL join is never pruned.
+                    layout.push(LayoutEntry {
+                        rel,
+                        cols: (0..bindings[rel].schema.arity()).collect(),
+                    });
+                    PhysPlan::IndexNlJoin {
+                        left: Box::new(current),
+                        table: bindings[rel].table.clone(),
+                        index_pos,
+                        left_keys: ordered_left,
+                        inner_filters: local[rel].iter().map(local_to_exec).collect(),
+                        residual,
+                    }
+                } else {
+                    let right = prune_wrap(
+                        rel,
+                        access_path(catalog, &bindings, rel, &local[rel], mode)?,
+                    );
+                    let kept = kept_cols(rel);
+                    // Probe keys are positions in the (possibly pruned) right
+                    // layout; pruning always keeps join columns.
+                    let right_keys: Vec<usize> = right_keys
+                        .iter()
+                        .map(|c| {
+                            kept.iter()
+                                .position(|k| k == c)
+                                .expect("join key preserved by pruning")
+                        })
+                        .collect();
+                    layout.push(LayoutEntry { rel, cols: kept });
+                    PhysPlan::HashJoin {
+                        left: Box::new(current),
+                        right: Box::new(right),
+                        left_keys,
+                        right_keys,
+                        residual: Vec::new(),
+                    }
                 }
             }
         } else {
-            access_path(catalog, &bindings, rel, &local[rel])?
+            cur_est = rel_est;
+            let base = prune_wrap(
+                rel,
+                access_path(catalog, &bindings, rel, &local[rel], mode)?,
+            );
+            layout.push(LayoutEntry {
+                rel,
+                cols: kept_cols(rel),
+            });
+            base
         };
-        layout.push(rel);
         plan = Some(next);
 
         // Attach any cross-residual conditions that are now fully bound.
@@ -533,7 +668,7 @@ fn plan_select(catalog: &Catalog, block: &SelectBlock) -> Result<PlannedQuery, D
             let mut now = Vec::new();
             pending_cross.retain(|c| {
                 let ResolvedCond::ColCmpCol(a, _, b) = c;
-                if layout.contains(&a.rel) && layout.contains(&b.rel) {
+                if layout.iter().any(|e| e.rel == a.rel) && layout.iter().any(|e| e.rel == b.rel) {
                     now.push(c.clone());
                     false
                 } else {
@@ -546,11 +681,7 @@ fn plan_select(catalog: &Catalog, block: &SelectBlock) -> Result<PlannedQuery, D
             let conds: Vec<ExecCond> = bound
                 .iter()
                 .map(|ResolvedCond::ColCmpCol(a, op, b)| {
-                    ExecCond::ColCmpCol(
-                        global_pos(&bindings, &layout, *a),
-                        *op,
-                        global_pos(&bindings, &layout, *b),
-                    )
+                    ExecCond::ColCmpCol(pos_of(&layout, *a), *op, pos_of(&layout, *b))
                 })
                 .collect();
             plan = Some(attach_residual(plan.take().expect("plan built"), conds));
@@ -564,30 +695,34 @@ fn plan_select(catalog: &Catalog, block: &SelectBlock) -> Result<PlannedQuery, D
         plan = plan_anti_join(catalog, &bindings, &layout, plan, tref, conds)?;
     }
 
-    // Remaining equi-joins within a single relation occurrence cannot happen
-    // (classify maps those to Local), so pending_joins is empty here.
-
     // 7/8. Grouped aggregation, or projection + DISTINCT + ORDER BY.
     let mut planned = if !block.group_by.is_empty() {
         plan_group_count(&bindings, &layout, block, plan)?
     } else {
         plan_select_output(&bindings, &layout, block, plan)?
     };
-    // Multi-relation blocks record the cardinalities their join order was
-    // derived from, so a cached plan can detect drift and re-plan.
-    if bindings.len() > 1 {
-        planned.base_cards = bindings
-            .iter()
-            .map(|b| (b.table.clone(), b.tuple_count))
-            .collect();
-    }
+    planned.stat_deps = stat_deps;
+    planned.rewrites = report;
     Ok(planned)
+}
+
+fn push_stat_dep(catalog: &Catalog, deps: &mut Vec<StatDep>, table: &str) -> Result<(), DbError> {
+    if deps.iter().any(|d| d.table == table) {
+        return Ok(());
+    }
+    let t = catalog.table(table)?;
+    deps.push(StatDep {
+        table: t.name.clone(),
+        rows: t.heap.tuple_count(),
+        stats_version: t.stats.version,
+    });
+    Ok(())
 }
 
 /// Sections 7'/8 of `plan_select`: projection, DISTINCT, ORDER BY.
 fn plan_select_output(
     bindings: &[Binding],
-    layout: &[usize],
+    layout: &[LayoutEntry],
     block: &SelectBlock,
     mut plan: PhysPlan,
 ) -> Result<PlannedQuery, DbError> {
@@ -596,11 +731,7 @@ fn plan_select_output(
         plan = PhysPlan::CountStar {
             child: Box::new(plan),
         };
-        return Ok(PlannedQuery {
-            plan,
-            columns,
-            base_cards: Vec::new(),
-        });
+        return Ok(PlannedQuery::new(plan, columns));
     }
     plan = PhysPlan::Project {
         child: Box::new(plan),
@@ -628,23 +759,7 @@ fn plan_select_output(
             keys,
         };
     }
-    Ok(PlannedQuery {
-        plan,
-        columns,
-        base_cards: Vec::new(),
-    })
-}
-
-/// Absolute position of a resolved column in the current join layout.
-fn global_pos(bindings: &[Binding], layout: &[usize], r: Resolved) -> usize {
-    let mut offset = 0;
-    for &rel in layout {
-        if rel == r.rel {
-            return offset + r.col;
-        }
-        offset += bindings[rel].schema.arity();
-    }
-    unreachable!("column's relation not yet in layout")
+    Ok(PlannedQuery::new(plan, columns))
 }
 
 fn local_to_exec(c: &LocalCond) -> ExecCond {
@@ -725,8 +840,8 @@ fn attach_residual(plan: PhysPlan, mut conds: Vec<ExecCond>) -> PhysPlan {
             }
         }
         // Any other shape (e.g. the UnionAll an IN-list index expansion
-        // produces) keeps its semantics under a generic filter — never
-        // silently drop a condition.
+        // produces, or a pruning Project) keeps its semantics under a
+        // generic filter — never silently drop a condition.
         other => PhysPlan::Filter {
             child: Box::new(other),
             conds,
@@ -740,6 +855,7 @@ fn access_path(
     bindings: &[Binding],
     rel: usize,
     local: &[LocalCond],
+    mode: PlannerMode,
 ) -> Result<PhysPlan, DbError> {
     let b = &bindings[rel];
     let table = catalog.table(&b.table)?;
@@ -870,6 +986,15 @@ fn access_path(
         if used == 0 {
             continue;
         }
+        // A wide range fetches most of the table through the index — each
+        // hit a random access — where a sequential scan is cheaper. With
+        // histogram statistics the estimated fraction gates the choice;
+        // without them the flat fallback (≤1/3) always takes the index,
+        // matching the legacy heuristic.
+        if mode == PlannerMode::CostBased && cost::range_scan_pays(table, *key_col, &lo, &hi) >= 0.5
+        {
+            continue;
+        }
         // Everything stays as a residual check (bounds may overlap several
         // conjuncts); the index only narrows the scan.
         let residual: Vec<ExecCond> = local.iter().map(local_to_exec).collect();
@@ -938,10 +1063,10 @@ fn usable_join_index(catalog: &Catalog, binding: &Binding, join_cols: &[usize]) 
     })
 }
 
-/// Greedy join order: start from the most restricted relation, then extend
-/// with connected relations smallest-first.
-fn join_order(
-    _catalog: &Catalog,
+/// The legacy greedy join order: start from the most restricted relation
+/// (flat selectivity constants), then extend with connected relations.
+/// Kept verbatim as the `PlannerMode::Heuristic` ablation baseline.
+fn join_order_heuristic(
     bindings: &[Binding],
     local: &[Vec<LocalCond>],
     joins: &[(Resolved, Resolved)],
@@ -1002,7 +1127,7 @@ fn join_order(
 /// `COUNT(*)`.
 fn plan_group_count(
     bindings: &[Binding],
-    layout: &[usize],
+    layout: &[LayoutEntry],
     block: &SelectBlock,
     child: PhysPlan,
 ) -> Result<PlannedQuery, DbError> {
@@ -1032,7 +1157,7 @@ fn plan_group_count(
                 pcol.column, gcol.column
             )));
         }
-        keys.push(global_pos(bindings, layout, rg));
+        keys.push(pos_of(layout, rg));
         columns.push(alias.clone().unwrap_or_else(|| pcol.column.clone()));
     }
     match &block.projections[n] {
@@ -1065,11 +1190,7 @@ fn plan_group_count(
             keys: sort_keys,
         };
     }
-    Ok(PlannedQuery {
-        plan,
-        columns,
-        base_cards: Vec::new(),
-    })
+    Ok(PlannedQuery::new(plan, columns))
 }
 
 /// Build an [`PhysPlan::AntiJoin`] for one `NOT EXISTS` subquery. Inner
@@ -1078,7 +1199,7 @@ fn plan_group_count(
 fn plan_anti_join(
     catalog: &Catalog,
     bindings: &[Binding],
-    layout: &[usize],
+    layout: &[LayoutEntry],
     child: PhysPlan,
     tref: &TableRef,
     conds: &[Condition],
@@ -1137,7 +1258,7 @@ fn plan_anti_join(
                                 "NOT EXISTS correlation must be by equality".into(),
                             ));
                         }
-                        outer_keys.push(global_pos(bindings, layout, o));
+                        outer_keys.push(pos_of(layout, o));
                         inner_keys.push(i);
                     }
                     (Side::Outer(_), Side::Outer(_)) => {
@@ -1156,7 +1277,7 @@ fn plan_anti_join(
                 },
                 (Scalar::Lit(v), Scalar::Col(c)) => match resolve(c)? {
                     Side::Inner(i) => {
-                        inner_filters.push(ExecCond::ColCmpLit(i, flip(*op), v.clone()))
+                        inner_filters.push(ExecCond::ColCmpLit(i, rewrite::flip(*op), v.clone()))
                     }
                     Side::Outer(_) => {
                         return Err(DbError::Plan(
@@ -1222,139 +1343,11 @@ fn plan_anti_join(
     })
 }
 
-fn classify(bindings: &[Binding], cond: &Condition) -> Result<Classified, DbError> {
-    match cond {
-        Condition::NotExists { .. } => {
-            unreachable!("NOT EXISTS conjuncts are handled before classification")
-        }
-        Condition::InList { col, values } => {
-            let r = resolve_col(bindings, col)?;
-            let expected = bindings[r.rel].schema.column(r.col).ty;
-            for v in values {
-                if v.col_type() != expected {
-                    return Err(DbError::TypeMismatch(format!(
-                        "IN list value {v} does not match column type {expected}"
-                    )));
-                }
-            }
-            Ok(Classified::Local(
-                r.rel,
-                LocalCond::InList(r.col, values.clone()),
-            ))
-        }
-        Condition::Cmp { left, op, right } => match (left, right) {
-            (Scalar::Lit(a), Scalar::Lit(b)) => Err(DbError::Plan(format!(
-                "constant comparison not supported: {a} vs {b}"
-            ))),
-            (Scalar::Col(c), Scalar::Lit(v)) => {
-                let r = resolve_col(bindings, c)?;
-                check_lit_type(bindings, r, v)?;
-                Ok(Classified::Local(
-                    r.rel,
-                    LocalCond::ColCmpLit(r.col, *op, v.clone()),
-                ))
-            }
-            (Scalar::Lit(v), Scalar::Col(c)) => {
-                let r = resolve_col(bindings, c)?;
-                check_lit_type(bindings, r, v)?;
-                Ok(Classified::Local(
-                    r.rel,
-                    LocalCond::ColCmpLit(r.col, flip(*op), v.clone()),
-                ))
-            }
-            (Scalar::Col(a), Scalar::Col(b)) => {
-                let ra = resolve_col(bindings, a)?;
-                let rb = resolve_col(bindings, b)?;
-                if ra.rel == rb.rel {
-                    Ok(Classified::Local(
-                        ra.rel,
-                        LocalCond::ColCmpCol(ra.col, *op, rb.col),
-                    ))
-                } else if *op == CmpOp::Eq {
-                    Ok(Classified::EquiJoin(ra, rb))
-                } else {
-                    Ok(Classified::CrossResidual(ResolvedCond::ColCmpCol(
-                        ra, *op, rb,
-                    )))
-                }
-            }
-            (Scalar::Col(c), Scalar::Param(p)) => {
-                let r = resolve_col(bindings, c)?;
-                Ok(Classified::Local(
-                    r.rel,
-                    LocalCond::ColCmpParam(r.col, *op, *p),
-                ))
-            }
-            (Scalar::Param(p), Scalar::Col(c)) => {
-                let r = resolve_col(bindings, c)?;
-                Ok(Classified::Local(
-                    r.rel,
-                    LocalCond::ColCmpParam(r.col, flip(*op), *p),
-                ))
-            }
-            (Scalar::Param(_), Scalar::Param(_) | Scalar::Lit(_))
-            | (Scalar::Lit(_), Scalar::Param(_)) => Err(DbError::Plan(
-                "a parameter must be compared against a column".into(),
-            )),
-        },
-    }
-}
-
-fn check_lit_type(bindings: &[Binding], r: Resolved, v: &Value) -> Result<(), DbError> {
-    let expected = bindings[r.rel].schema.column(r.col).ty;
-    if v.col_type() != expected {
-        return Err(DbError::TypeMismatch(format!(
-            "literal {v} does not match column type {expected}"
-        )));
-    }
-    Ok(())
-}
-
-fn flip(op: CmpOp) -> CmpOp {
-    match op {
-        CmpOp::Eq => CmpOp::Eq,
-        CmpOp::Ne => CmpOp::Ne,
-        CmpOp::Lt => CmpOp::Gt,
-        CmpOp::Le => CmpOp::Ge,
-        CmpOp::Gt => CmpOp::Lt,
-        CmpOp::Ge => CmpOp::Le,
-    }
-}
-
-fn resolve_col(bindings: &[Binding], c: &ColRef) -> Result<Resolved, DbError> {
-    match &c.table {
-        Some(qual) => {
-            let qual = qual.to_ascii_lowercase();
-            let rel = bindings
-                .iter()
-                .position(|b| b.binding == qual)
-                .ok_or_else(|| DbError::Plan(format!("unknown relation: {qual}")))?;
-            let col = bindings[rel]
-                .schema
-                .index_of(&c.column)
-                .ok_or_else(|| DbError::NoSuchColumn(format!("{qual}.{}", c.column)))?;
-            Ok(Resolved { rel, col })
-        }
-        None => {
-            let mut found = None;
-            for (rel, b) in bindings.iter().enumerate() {
-                if let Some(col) = b.schema.index_of(&c.column) {
-                    if found.is_some() {
-                        return Err(DbError::Plan(format!("ambiguous column: {}", c.column)));
-                    }
-                    found = Some(Resolved { rel, col });
-                }
-            }
-            found.ok_or_else(|| DbError::NoSuchColumn(c.column.clone()))
-        }
-    }
-}
-
 /// Resolve the projection list against the join layout. Returns the
 /// expressions, the output column names, and whether this is a COUNT(*).
 fn resolve_projection(
     bindings: &[Binding],
-    layout: &[usize],
+    layout: &[LayoutEntry],
     items: &[SelectItem],
 ) -> Result<(Vec<ProjExpr>, Vec<String>, bool), DbError> {
     if items.len() == 1 {
@@ -1368,14 +1361,11 @@ fn resolve_projection(
     for item in items {
         match item {
             SelectItem::Star => {
-                // All columns in FROM order (not join order).
+                // All columns in FROM order (not join order). Pruning never
+                // fires for SELECT *, so every column is in the layout.
                 for (rel, b) in bindings.iter().enumerate() {
                     for (col, c) in b.schema.columns().iter().enumerate() {
-                        exprs.push(ProjExpr::Col(global_pos(
-                            bindings,
-                            layout,
-                            Resolved { rel, col },
-                        )));
+                        exprs.push(ProjExpr::Col(pos_of(layout, Resolved { rel, col })));
                         names.push(c.name.clone());
                     }
                 }
@@ -1388,7 +1378,7 @@ fn resolve_projection(
             SelectItem::Expr { expr, alias } => match expr {
                 Scalar::Col(c) => {
                     let r = resolve_col(bindings, c)?;
-                    exprs.push(ProjExpr::Col(global_pos(bindings, layout, r)));
+                    exprs.push(ProjExpr::Col(pos_of(layout, r)));
                     names.push(alias.clone().unwrap_or_else(|| c.column.clone()));
                 }
                 Scalar::Lit(v) => {
